@@ -1,0 +1,345 @@
+//! Data Elevator (Dong et al., HiPC'16): transparent burst-buffer caching.
+//!
+//! DE intercepts writes of a shared (HDF5) file and redirects them to the
+//! DataWarp shared burst buffer; at close time its servers asynchronously
+//! flush the file to Lustre. Two design points distinguish it from
+//! UniviStor and drive the evaluation's gaps:
+//!
+//! 1. **Shared-file layout on the BB** — DE "lays out processes' data in
+//!    one shared HDF5 file" (§III-B) striped across BB nodes, so N-to-1
+//!    write contention survives on the burst buffer. We model the BB as a
+//!    striped object store with extent locks (structurally identical to
+//!    Lustre, parameterized by BB-node count and DataWarp's 8 MiB
+//!    granularity).
+//! 2. **Static flush striping** — the flush stripes across all OSTs with
+//!    the default stripe size, without adaptive striping or
+//!    interference-aware scheduling.
+//!
+//! DE cannot cache in DRAM and cannot serve node-local reads — only
+//! UniviStor unifies those layers.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use univistor_core::config::JobGeometry;
+use univistor_core::striping::server_ranges;
+use univistor_mpi::driver::{FileHandle, FsDriver, OpenContext};
+use univistor_pfs::{Lustre, StripeLayout};
+use univistor_sim::calibration::Calibration;
+use univistor_sim::{Payload, SimError, SimResult};
+
+/// DataWarp's allocation granularity, used as the BB stripe size.
+pub const DATAWARP_STRIPE: u64 = 8 << 20;
+
+/// What one DE flush did (timing-plane input).
+#[derive(Debug, Clone)]
+pub struct DeFlushReceipt {
+    /// Destination path.
+    pub dest: String,
+    /// Bytes flushed.
+    pub file_size: u64,
+    /// Bytes written by each flushing server.
+    pub per_server_bytes: Vec<u64>,
+    /// Bytes received per OST.
+    pub per_ost_bytes: Vec<u64>,
+    /// Distinct OSTs each server contacted.
+    pub osts_per_server: usize,
+    /// Lock revocations on the PFS during the flush.
+    pub lock_revocations: u64,
+}
+
+/// Cumulative counters.
+#[derive(Debug, Clone, Default)]
+pub struct DeStats {
+    /// Bytes cached on the burst buffer.
+    pub bb_bytes_written: u64,
+    /// Bytes read back (from the BB cache).
+    pub bytes_read: u64,
+    /// Flush receipts in order.
+    pub flush_receipts: Vec<DeFlushReceipt>,
+}
+
+#[derive(Debug)]
+struct State {
+    /// The shared burst buffer: structurally a striped object store with
+    /// extent locks; "OSTs" here are BB nodes.
+    bb: Lustre,
+    pfs: Lustre,
+    open_counts: HashMap<String, usize>,
+    written: HashMap<String, bool>,
+    stats: DeStats,
+}
+
+/// The Data Elevator driver.
+pub struct DataElevator {
+    state: Mutex<State>,
+    geometry: JobGeometry,
+    cal: Calibration,
+    bb_nodes: usize,
+}
+
+impl DataElevator {
+    /// A DE instance for a job of the given geometry.
+    pub fn new(geometry: JobGeometry, cal: Calibration) -> Self {
+        let bb_nodes = cal.bb_nodes_for_job(geometry.nodes);
+        DataElevator {
+            state: Mutex::new(State {
+                bb: Lustre::new(bb_nodes),
+                pfs: Lustre::new(cal.ost_count),
+                open_counts: HashMap::new(),
+                written: HashMap::new(),
+                stats: DeStats::default(),
+            }),
+            geometry,
+            cal,
+            bb_nodes,
+        }
+    }
+
+    /// Burst-buffer nodes in the allocation.
+    pub fn bb_nodes(&self) -> usize {
+        self.bb_nodes
+    }
+
+    /// Snapshot counters.
+    pub fn stats(&self) -> DeStats {
+        self.state.lock().stats.clone()
+    }
+
+    /// Lock revocations on the shared-file BB cache so far.
+    pub fn bb_lock_conflicts(&self) -> u64 {
+        self.state.lock().bb.lock_conflicts()
+    }
+
+    /// Flushed file size on the PFS.
+    pub fn pfs_file_size(&self, path: &str) -> SimResult<u64> {
+        self.state.lock().pfs.file_size(path)
+    }
+
+    /// Read a flushed file back from the PFS (verification).
+    pub fn pfs_read(&self, path: &str, offset: u64, len: u64) -> SimResult<Payload> {
+        self.state.lock().pfs.read(path, offset, len, u64::MAX)
+    }
+
+    /// DE's flush: each server writes a contiguous range to Lustre with
+    /// the static all-OST layout.
+    fn flush(&self, st: &mut State, path: &str) -> SimResult<DeFlushReceipt> {
+        let file_size = st.bb.file_size(path)?;
+        if file_size == 0 {
+            return Err(SimError::InvalidFlow(format!("flush of empty '{path}'")));
+        }
+        let servers = self.geometry.total_servers();
+        let osts = self.cal.ost_count;
+        if st.pfs.exists(path) {
+            st.pfs.delete(path)?;
+        }
+        st.pfs.create(
+            path,
+            StripeLayout::new(self.cal.default_stripe_size, osts, 0),
+        )?;
+        let ranges = server_ranges(file_size, servers);
+        let mut per_server_bytes = vec![0u64; servers];
+        let mut per_ost_bytes = vec![0u64; osts];
+        let mut revocations = 0u64;
+        let mut osts_per_server = 0usize;
+        for (server, &(start, end)) in ranges.iter().enumerate() {
+            if end <= start {
+                continue;
+            }
+            let payload = st.bb.read(path, start, end - start, server as u64)?;
+            let receipt = st.pfs.write(path, start, payload, server as u64)?;
+            revocations += receipt.lock_revocations;
+            let loads = receipt.ost_bytes();
+            osts_per_server = osts_per_server.max(loads.len());
+            for (ost, bytes) in loads {
+                per_ost_bytes[ost] += bytes;
+            }
+            per_server_bytes[server] = end - start;
+        }
+        Ok(DeFlushReceipt {
+            dest: path.to_string(),
+            file_size,
+            per_server_bytes,
+            per_ost_bytes,
+            osts_per_server,
+            lock_revocations: revocations,
+        })
+    }
+}
+
+impl FsDriver for DataElevator {
+    fn name(&self) -> &'static str {
+        "data-elevator"
+    }
+
+    fn open(&self, ctx: &OpenContext) -> SimResult<FileHandle> {
+        let mut st = self.state.lock();
+        if !st.bb.exists(&ctx.path) {
+            if !ctx.mode.writable() {
+                return Err(SimError::InvalidConfig(format!(
+                    "no such file '{}'",
+                    ctx.path
+                )));
+            }
+            // One shared file striped across all BB nodes at DataWarp
+            // granularity.
+            let nodes = self.bb_nodes;
+            st.bb
+                .create(&ctx.path, StripeLayout::new(DATAWARP_STRIPE, nodes, 0))?;
+        }
+        *st.open_counts.entry(ctx.path.clone()).or_insert(0) += 1;
+        Ok(FileHandle {
+            fid: 0,
+            path: ctx.path.clone(),
+            mode: ctx.mode,
+            nprocs: ctx.nprocs,
+        })
+    }
+
+    fn write_at(&self, h: &FileHandle, rank: usize, offset: u64, data: Payload) -> SimResult<()> {
+        let mut st = self.state.lock();
+        st.stats.bb_bytes_written += data.len();
+        st.bb.write(&h.path, offset, data, rank as u64)?;
+        st.written.insert(h.path.clone(), true);
+        Ok(())
+    }
+
+    fn read_at(&self, h: &FileHandle, rank: usize, offset: u64, len: u64) -> SimResult<Payload> {
+        let mut st = self.state.lock();
+        st.stats.bytes_read += len;
+        st.bb.read(&h.path, offset, len, rank as u64)
+    }
+
+    fn close(&self, h: &FileHandle, _rank: usize) -> SimResult<()> {
+        let mut st = self.state.lock();
+        let count = st
+            .open_counts
+            .get_mut(&h.path)
+            .ok_or_else(|| SimError::InvalidConfig(format!("close of unopened '{}'", h.path)))?;
+        *count = count.saturating_sub(1);
+        let last = *count == 0;
+        let written = st.written.get(&h.path).copied().unwrap_or(false);
+        if last && written && h.mode.writable() {
+            let receipt = self.flush(&mut st, &h.path)?;
+            st.stats.flush_receipts.push(receipt);
+        }
+        Ok(())
+    }
+
+    fn file_size(&self, h: &FileHandle) -> SimResult<u64> {
+        self.state.lock().bb.file_size(&h.path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use univistor_mpi::driver::OpenMode;
+    use univistor_mpi::{Hints, MpiFile, World};
+
+    fn de() -> DataElevator {
+        DataElevator::new(
+            JobGeometry {
+                nodes: 2,
+                procs_per_node: 2,
+                servers_per_node: 2,
+            },
+            Calibration::default(),
+        )
+    }
+
+    #[test]
+    fn cache_then_flush_roundtrip() {
+        let d = de();
+        World::run(4, |comm| {
+            let f = MpiFile::open(&comm, &d, "/sim.h5", OpenMode::ReadWrite, Hints::new())
+                .unwrap();
+            f.write_at_all(
+                comm.rank() as u64 * 4096,
+                Payload::pattern(comm.rank() as u64, 4096),
+            )
+            .unwrap();
+            // Reads during the job come from the BB cache.
+            let got = f.read_at_all(0, 4096).unwrap();
+            assert!(got.content_eq(&Payload::pattern(0, 4096)));
+            f.close().unwrap();
+        });
+        // Close flushed the file to the PFS, byte-exact.
+        assert_eq!(d.pfs_file_size("/sim.h5").unwrap(), 4 * 4096);
+        for r in 0..4u64 {
+            let got = d.pfs_read("/sim.h5", r * 4096, 4096).unwrap();
+            assert!(got.content_eq(&Payload::pattern(r, 4096)));
+        }
+        let stats = d.stats();
+        assert_eq!(stats.flush_receipts.len(), 1);
+        let receipt = &stats.flush_receipts[0];
+        assert_eq!(receipt.file_size, 4 * 4096);
+        assert_eq!(receipt.per_server_bytes.iter().sum::<u64>(), 4 * 4096);
+    }
+
+    #[test]
+    fn shared_file_on_bb_keeps_contention() {
+        let d = de();
+        let h = d
+            .open(&OpenContext {
+                path: "/f".into(),
+                mode: OpenMode::Write,
+                rank: 0,
+                nprocs: 4,
+                hints: Hints::new(),
+            })
+            .unwrap();
+        // Four ranks interleave 1 MiB blocks inside the 8 MiB DataWarp
+        // stripes, landing in the same BB-node objects.
+        for i in 0..32u64 {
+            d.write_at(&h, (i % 4) as usize, i << 20, Payload::pattern(i, 1 << 20))
+                .unwrap();
+        }
+        assert!(
+            d.bb_lock_conflicts() > 0,
+            "DE's shared-file BB layout must show contention"
+        );
+    }
+
+    #[test]
+    fn flush_only_on_last_close_of_written_file() {
+        let d = de();
+        let ctx = |rank| OpenContext {
+            path: "/f".into(),
+            mode: OpenMode::Write,
+            rank,
+            nprocs: 2,
+            hints: Hints::new(),
+        };
+        let h0 = d.open(&ctx(0)).unwrap();
+        let h1 = d.open(&ctx(1)).unwrap();
+        d.write_at(&h0, 0, 0, Payload::pattern(1, 128)).unwrap();
+        d.close(&h0, 0).unwrap();
+        assert!(d.pfs_file_size("/f").is_err(), "flushed too early");
+        d.close(&h1, 1).unwrap();
+        assert_eq!(d.pfs_file_size("/f").unwrap(), 128);
+    }
+
+    #[test]
+    fn read_only_session_does_not_reflush() {
+        let d = de();
+        let wctx = OpenContext {
+            path: "/f".into(),
+            mode: OpenMode::Write,
+            rank: 0,
+            nprocs: 1,
+            hints: Hints::new(),
+        };
+        let h = d.open(&wctx).unwrap();
+        d.write_at(&h, 0, 0, Payload::pattern(1, 64)).unwrap();
+        d.close(&h, 0).unwrap();
+        assert_eq!(d.stats().flush_receipts.len(), 1);
+        let rctx = OpenContext {
+            mode: OpenMode::Read,
+            ..wctx
+        };
+        let h = d.open(&rctx).unwrap();
+        d.read_at(&h, 0, 0, 64).unwrap();
+        d.close(&h, 0).unwrap();
+        assert_eq!(d.stats().flush_receipts.len(), 1);
+    }
+}

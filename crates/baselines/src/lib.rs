@@ -1,0 +1,27 @@
+//! # univistor-baselines — the systems UniviStor is compared against
+//!
+//! The paper's evaluation (§III) compares UniviStor with two baselines:
+//!
+//! * **Lustre** — applications write the shared file straight to the
+//!   disk-based PFS ([`lustre_direct::LustreDirect`]). No caching layer,
+//!   shared-file extent-lock contention in full.
+//! * **Data Elevator** (Dong et al., HiPC'16) — a transparent caching
+//!   library that redirects writes of a shared HDF5 file to the DataWarp
+//!   shared burst buffer and asynchronously flushes the file to Lustre at
+//!   close time ([`data_elevator::DataElevator`]). Crucially, DE keeps the
+//!   *shared-file* layout on the burst buffer (one file striped across BB
+//!   nodes, all processes writing into it) — the contention that
+//!   UniviStor's file-per-process DHP transformation removes — and its
+//!   flush stripes across all OSTs without UniviStor's adaptive striping
+//!   or interference-aware scheduling.
+//!
+//! Both are full [`univistor_mpi::FsDriver`]s: the same workloads run
+//! unmodified against either baseline or UniviStor, and both are
+//! functional (bytes read back exactly from the BB cache and from Lustre
+//! after flush).
+
+pub mod data_elevator;
+pub mod lustre_direct;
+
+pub use data_elevator::DataElevator;
+pub use lustre_direct::LustreDirect;

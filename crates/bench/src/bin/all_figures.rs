@@ -1,0 +1,77 @@
+//! Runs the full evaluation — every figure of §III — and prints each
+//! table plus the headline speedups. This is the binary whose output
+//! EXPERIMENTS.md records.
+
+use univistor_bench::cli::Options;
+use univistor_bench::figures::{
+    fig5_flush, fig5_write_read, fig6, fig7, fig8, fig_workflow, paper_scales,
+};
+use univistor_bench::report::{print_figure, print_speedup, print_speedup_times, save_figure_csv, Figure};
+
+fn main() {
+    let opts = Options::from_env();
+    let scales = paper_scales(opts.max_procs);
+    let vpic = opts.vpic_scale();
+    let emit = |fig: &Figure| {
+        if let Some(dir) = &opts.csv_dir {
+            match save_figure_csv(fig, dir) {
+                Ok(path) => eprintln!("wrote {}", path.display()),
+                Err(e) => eprintln!("csv write failed for {}: {e}", fig.id),
+            }
+        }
+    };
+
+    let (w, r) = fig5_write_read(&scales, opts.bytes_per_proc).expect("fig5ab");
+    print_figure(&w);
+    emit(&w);
+    print_speedup("Fig5a IA gain", &w.series[0], &w.series[1]);
+    print_speedup("Fig5a COC gain", &w.series[0], &w.series[2]);
+    print_figure(&r);
+    emit(&r);
+    print_speedup("Fig5b IA gain", &r.series[0], &r.series[1]);
+    print_speedup("Fig5b COC gain", &r.series[0], &r.series[2]);
+    let f5c = fig5_flush(&scales, opts.bytes_per_proc).expect("fig5c");
+    print_figure(&f5c);
+    emit(&f5c);
+    print_speedup("Fig5c IA+ADPT gain", &f5c.series[0], &f5c.series[3]);
+
+    let (w6, r6, f6c) = fig6(&scales, opts.bytes_per_proc).expect("fig6");
+    for fig in [&w6, &r6, &f6c] {
+        print_figure(fig);
+        emit(fig);
+    }
+    print_speedup("Fig6a UV/DRAM vs DE", &w6.series[0], &w6.series[2]);
+    print_speedup("Fig6a UV/BB vs DE", &w6.series[1], &w6.series[2]);
+    print_speedup("Fig6a UV/DRAM vs Lustre", &w6.series[0], &w6.series[3]);
+    print_speedup("Fig6a UV/BB vs Lustre", &w6.series[1], &w6.series[3]);
+    print_speedup("Fig6b UV/DRAM vs DE", &r6.series[0], &r6.series[2]);
+    print_speedup("Fig6b UV/BB vs DE", &r6.series[1], &r6.series[2]);
+    print_speedup("Fig6b UV/DRAM vs Lustre", &r6.series[0], &r6.series[3]);
+    print_speedup("Fig6c UV/DRAM vs DE", &f6c.series[0], &f6c.series[2]);
+    print_speedup("Fig6c UV/BB vs DE", &f6c.series[1], &f6c.series[2]);
+
+    let f7 = fig7(&scales, vpic).expect("fig7");
+    print_figure(&f7);
+    emit(&f7);
+
+    let f8 = fig8(&scales, vpic).expect("fig8");
+    print_figure(&f8);
+    emit(&f8);
+    print_speedup_times("Fig8 vs BB+Disk", &f8.series[0], &f8.series[1]);
+    print_speedup_times("Fig8 vs Disk", &f8.series[0], &f8.series[2]);
+
+    let f9 = fig_workflow(&scales, 5, vpic, "Fig. 9", false).expect("fig9");
+    print_figure(&f9);
+    emit(&f9);
+    print_speedup_times("Fig9 DRAM overlap", &f9.series[0], &f9.series[1]);
+    print_speedup_times("Fig9 BB overlap", &f9.series[2], &f9.series[3]);
+    print_speedup_times("Fig9 UV/DRAM-non vs DE", &f9.series[1], &f9.series[4]);
+    print_speedup_times("Fig9 UV/BB-non vs DE", &f9.series[3], &f9.series[4]);
+    print_speedup_times("Fig9 UV/DRAM-non vs Lustre", &f9.series[1], &f9.series[5]);
+
+    let f10 = fig_workflow(&scales, 10, vpic, "Fig. 10", true).expect("fig10");
+    print_figure(&f10);
+    emit(&f10);
+    print_speedup_times("Fig10 vs BB", &f10.series[0], &f10.series[1]);
+    print_speedup_times("Fig10 vs Disk", &f10.series[0], &f10.series[2]);
+}

@@ -1,0 +1,16 @@
+//! Reproduces Fig. 10: the 10-timestep workflow across UniviStor tier
+//! configurations — /(DRAM+BB) vs /(BB) vs /(Disk).
+
+use univistor_bench::cli::Options;
+use univistor_bench::figures::{fig_workflow, paper_scales};
+use univistor_bench::report::{print_figure, print_speedup_times};
+
+fn main() {
+    let opts = Options::from_env();
+    let scales = paper_scales(opts.max_procs);
+    let fig = fig_workflow(&scales, 10, opts.vpic_scale(), "Fig. 10", true).expect("fig10");
+    print_figure(&fig);
+    println!("Speedups (paper: DRAM+BB 1.5–2× over BB, 4–4.8× over Disk):");
+    print_speedup_times("Fig10", &fig.series[0], &fig.series[1]);
+    print_speedup_times("Fig10", &fig.series[0], &fig.series[2]);
+}

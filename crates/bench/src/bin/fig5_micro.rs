@@ -1,0 +1,24 @@
+//! Reproduces Fig. 5a/5b/5c: micro write/read/flush with Interference-
+//! Aware scheduling (IA), Collective Open/Close (COC), and ADaPTive
+//! striping (ADPT) toggled.
+
+use univistor_bench::cli::Options;
+use univistor_bench::figures::{fig5_flush, fig5_write_read, paper_scales};
+use univistor_bench::report::{print_figure, print_speedup};
+
+fn main() {
+    let opts = Options::from_env();
+    let scales = paper_scales(opts.max_procs);
+    let (w, r) = fig5_write_read(&scales, opts.bytes_per_proc).expect("fig5 a/b");
+    print_figure(&w);
+    print_speedup("Fig5a write", &w.series[0], &w.series[1]);
+    print_speedup("Fig5a write", &w.series[0], &w.series[2]);
+    println!();
+    print_figure(&r);
+    print_speedup("Fig5b read", &r.series[0], &r.series[1]);
+    print_speedup("Fig5b read", &r.series[0], &r.series[2]);
+    println!();
+    let f = fig5_flush(&scales, opts.bytes_per_proc).expect("fig5c");
+    print_figure(&f);
+    print_speedup("Fig5c flush", &f.series[0], &f.series[3]);
+}

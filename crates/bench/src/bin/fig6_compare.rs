@@ -1,0 +1,24 @@
+//! Reproduces Fig. 6a/6b/6c: micro write/read/flush comparing UniviStor
+//! (DRAM and BB configurations) with Data Elevator and Lustre.
+
+use univistor_bench::cli::Options;
+use univistor_bench::figures::{fig6, paper_scales};
+use univistor_bench::report::{print_figure, print_speedup};
+
+fn main() {
+    let opts = Options::from_env();
+    let scales = paper_scales(opts.max_procs);
+    let (w, r, f) = fig6(&scales, opts.bytes_per_proc).expect("fig6");
+    for fig in [&w, &r, &f] {
+        print_figure(fig);
+    }
+    println!("Speedups (paper: UV/DRAM 3.7–5.6× DE write, up to 46× Lustre; UV/BB 1.2–1.7× DE):");
+    print_speedup("Fig6a write", &w.series[0], &w.series[2]);
+    print_speedup("Fig6a write", &w.series[1], &w.series[2]);
+    print_speedup("Fig6a write", &w.series[0], &w.series[3]);
+    print_speedup("Fig6b read", &r.series[0], &r.series[2]);
+    print_speedup("Fig6b read", &r.series[1], &r.series[2]);
+    print_speedup("Fig6b read", &r.series[0], &r.series[3]);
+    print_speedup("Fig6c flush", &f.series[0], &f.series[2]);
+    print_speedup("Fig6c flush", &f.series[1], &f.series[2]);
+}

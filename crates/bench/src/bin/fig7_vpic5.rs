@@ -1,0 +1,22 @@
+//! Reproduces Fig. 7: total I/O time of a 5-timestep VPIC-IO run across
+//! UniviStor/DRAM, UniviStor/BB, Data Elevator, and Lustre (write + last
+//! flush components).
+
+use univistor_bench::cli::Options;
+use univistor_bench::figures::{fig7, paper_scales};
+use univistor_bench::report::{print_figure, Series};
+
+fn main() {
+    let opts = Options::from_env();
+    let scales = paper_scales(opts.max_procs);
+    let fig = fig7(&scales, opts.vpic_scale()).expect("fig7");
+    print_figure(&fig);
+    // Totals (write + flush), as the paper's bars stack them.
+    let total = |w: &Series, f: &Series| -> Vec<f64> {
+        w.values.iter().zip(&f.values).map(|(a, b)| a + b).collect()
+    };
+    let dram = total(&fig.series[0], &fig.series[1]);
+    let bb = total(&fig.series[2], &fig.series[3]);
+    let de = total(&fig.series[4], &fig.series[5]);
+    println!("totals: UV/DRAM {dram:?}\n        UV/BB   {bb:?}\n        DE      {de:?}");
+}

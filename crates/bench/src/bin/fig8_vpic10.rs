@@ -1,0 +1,16 @@
+//! Reproduces Fig. 8: 10-timestep VPIC-IO, where the data no longer fits
+//! in DRAM — UniviStor/(DRAM+BB+Disk) vs /(BB+Disk) vs /(Disk).
+
+use univistor_bench::cli::Options;
+use univistor_bench::figures::{fig8, paper_scales};
+use univistor_bench::report::{print_figure, print_speedup_times};
+
+fn main() {
+    let opts = Options::from_env();
+    let scales = paper_scales(opts.max_procs);
+    let fig = fig8(&scales, opts.vpic_scale()).expect("fig8");
+    print_figure(&fig);
+    println!("Speedups (paper: DRAM+BB+Disk 1.2–1.6× over BB+Disk, 1.4–2× over Disk):");
+    print_speedup_times("Fig8", &fig.series[0], &fig.series[1]);
+    print_speedup_times("Fig8", &fig.series[0], &fig.series[2]);
+}

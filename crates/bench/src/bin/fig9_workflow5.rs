@@ -1,0 +1,19 @@
+//! Reproduces Fig. 9: the 5-timestep VPIC-IO → BD-CATS-IO workflow in
+//! overlap (workflow-managed) and nonoverlap modes vs. DE and Lustre.
+
+use univistor_bench::cli::Options;
+use univistor_bench::figures::{fig_workflow, paper_scales};
+use univistor_bench::report::{print_figure, print_speedup_times};
+
+fn main() {
+    let opts = Options::from_env();
+    let scales = paper_scales(opts.max_procs);
+    let fig = fig_workflow(&scales, 5, opts.vpic_scale(), "Fig. 9", false).expect("fig9");
+    print_figure(&fig);
+    println!("Speedups (paper: overlap 1.2–1.7×/1.5–2× over nonoverlap; UV nonoverlap 3.5–17×/1.3–7.2× over DE):");
+    print_speedup_times("Fig9", &fig.series[0], &fig.series[1]);
+    print_speedup_times("Fig9", &fig.series[2], &fig.series[3]);
+    print_speedup_times("Fig9", &fig.series[1], &fig.series[4]);
+    print_speedup_times("Fig9", &fig.series[3], &fig.series[4]);
+    print_speedup_times("Fig9", &fig.series[1], &fig.series[5]);
+}

@@ -1,0 +1,217 @@
+//! Configuration: job geometry and the feature toggles the evaluation
+//! ablates (IA, COC, ADPT, workflow management, flush).
+
+use serde::{Deserialize, Serialize};
+use univistor_sim::calibration::Calibration;
+
+/// Which optimizations are enabled. Every evaluation figure toggles some
+/// subset of these; defaults are "everything on" (the shipping system).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Features {
+    /// Interference-aware resource scheduling (§II-C).
+    pub interference_aware: bool,
+    /// Collective open/close: root-only metadata ops + broadcast (§II-F).
+    pub collective_open_close: bool,
+    /// Adaptive data striping for flush (§II-D).
+    pub adaptive_striping: bool,
+    /// Lightweight workflow management (§II-E), off by default like the
+    /// `ENABLE_WORKFLOW` environment variable.
+    pub workflow: bool,
+    /// Location-aware read service (§II-B4).
+    pub location_aware_reads: bool,
+    /// Server-side flush at close time (§II-A); applications without
+    /// persistence requirements can disable it.
+    pub flush_on_close: bool,
+}
+
+impl Default for Features {
+    fn default() -> Self {
+        Features {
+            interference_aware: true,
+            collective_open_close: true,
+            adaptive_striping: true,
+            workflow: false,
+            location_aware_reads: true,
+            flush_on_close: true,
+        }
+    }
+}
+
+impl Features {
+    /// Everything on (including workflow management).
+    pub fn all() -> Self {
+        Features {
+            workflow: true,
+            ..Features::default()
+        }
+    }
+
+    /// Every optimization off — the unoptimized baseline in Fig. 5.
+    pub fn none() -> Self {
+        Features {
+            interference_aware: false,
+            collective_open_close: false,
+            adaptive_striping: false,
+            workflow: false,
+            location_aware_reads: false,
+            flush_on_close: true,
+        }
+    }
+}
+
+/// Shape of the job UniviStor serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobGeometry {
+    /// Compute nodes allocated.
+    pub nodes: usize,
+    /// Client processes per node (per application).
+    pub procs_per_node: usize,
+    /// UniviStor server processes per node (paper default 1; the
+    /// evaluation uses 2 to exploit both NUMA sockets).
+    pub servers_per_node: usize,
+}
+
+impl JobGeometry {
+    /// Total client processes of one application.
+    pub fn total_procs(&self) -> usize {
+        self.nodes * self.procs_per_node
+    }
+
+    /// Total UniviStor servers.
+    pub fn total_servers(&self) -> usize {
+        self.nodes * self.servers_per_node
+    }
+
+    /// Node hosting global client rank `rank` (block distribution, as
+    /// launched by the scheduler).
+    pub fn node_of_rank(&self, rank: usize) -> usize {
+        rank / self.procs_per_node
+    }
+
+    /// The evaluation's geometry for a given total process count:
+    /// 32 procs/node, 2 servers/node (§III-A).
+    pub fn paper(total_procs: usize) -> Self {
+        let procs_per_node = 32.min(total_procs.max(1));
+        let nodes = total_procs.div_ceil(procs_per_node).max(1);
+        JobGeometry {
+            nodes,
+            procs_per_node,
+            servers_per_node: 2,
+        }
+    }
+}
+
+/// Full UniviStor configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UniviStorConfig {
+    /// Job geometry.
+    pub geometry: JobGeometry,
+    /// Feature toggles.
+    pub features: Features,
+    /// Platform constants (tier bandwidths/capacities, latencies).
+    pub cal: Calibration,
+    /// Log chunk size in bytes (§II-B1: log space is formatted as chunks).
+    pub chunk_size: u64,
+    /// Metadata range width for the distributed KV (bytes of logical
+    /// offset per range).
+    pub metadata_range_size: u64,
+    /// α of Eq. 2 — OSTs that saturate one flushing server.
+    pub alpha: usize,
+    /// Segment size client writes are split into before placement.
+    pub segment_size: u64,
+    /// Cache on the distributed DRAM layer (off = the paper's
+    /// "UniviStor/BB" and "UniviStor/(BB+Disk)" configurations).
+    pub enable_dram: bool,
+    /// Cache on the shared burst buffer (off together with `enable_dram`
+    /// = the paper's "UniviStor/(Disk)" configuration).
+    pub enable_bb: bool,
+    /// Mirror volatile-layer segments to a buddy process on another node
+    /// (the paper's future work: resilience for data in volatile layers).
+    pub replicate_volatile: bool,
+}
+
+impl UniviStorConfig {
+    /// The paper's configuration for a given total client count.
+    pub fn paper(total_procs: usize) -> Self {
+        UniviStorConfig {
+            geometry: JobGeometry::paper(total_procs),
+            features: Features::default(),
+            cal: Calibration::default(),
+            chunk_size: 8 << 20,
+            metadata_range_size: 64 << 20,
+            alpha: 8,
+            segment_size: 8 << 20,
+            enable_dram: true,
+            enable_bb: true,
+            replicate_volatile: false,
+        }
+    }
+
+    /// Small geometry for unit tests: `nodes` × `procs_per_node`, tiny
+    /// chunks/segments so spill paths trigger with kilobytes.
+    pub fn test_small(nodes: usize, procs_per_node: usize) -> Self {
+        let mut cfg = UniviStorConfig {
+            geometry: JobGeometry {
+                nodes,
+                procs_per_node,
+                servers_per_node: 2,
+            },
+            features: Features::default(),
+            cal: Calibration::default(),
+            chunk_size: 256,
+            metadata_range_size: 1024,
+            alpha: 8,
+            segment_size: 128,
+            enable_dram: true,
+            enable_bb: true,
+            replicate_volatile: false,
+        };
+        // Tiny tiers so tests exercise spilling: 1 KiB DRAM per node,
+        // 4 KiB per BB node.
+        cfg.cal.dram_cache_capacity_per_node = 1024;
+        cfg.cal.bb_capacity_per_node = 4096;
+        cfg.cal.bb_nodes_min = 1;
+        cfg.cal.bb_nodes_per_compute_node = 0.5;
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry_matches_evaluation_setup() {
+        let g = JobGeometry::paper(8192);
+        assert_eq!(g.nodes, 256);
+        assert_eq!(g.procs_per_node, 32);
+        assert_eq!(g.total_servers(), 512);
+        let g = JobGeometry::paper(64);
+        assert_eq!(g.nodes, 2);
+        assert_eq!(g.total_procs(), 64);
+    }
+
+    #[test]
+    fn small_proc_counts_fit_one_node() {
+        let g = JobGeometry::paper(8);
+        assert_eq!(g.nodes, 1);
+        assert_eq!(g.procs_per_node, 8);
+    }
+
+    #[test]
+    fn node_of_rank_blocks() {
+        let g = JobGeometry::paper(64);
+        assert_eq!(g.node_of_rank(0), 0);
+        assert_eq!(g.node_of_rank(31), 0);
+        assert_eq!(g.node_of_rank(32), 1);
+    }
+
+    #[test]
+    fn feature_presets() {
+        assert!(Features::default().adaptive_striping);
+        assert!(!Features::default().workflow);
+        assert!(Features::all().workflow);
+        let none = Features::none();
+        assert!(!none.interference_aware && !none.collective_open_close);
+    }
+}

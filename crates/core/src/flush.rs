@@ -1,0 +1,273 @@
+//! Server-side asynchronous flush (§II-A, §II-D).
+//!
+//! At file-close time the UniviStor servers collectively move the cached
+//! data to the PFS for long-term persistence, overlapping the application's
+//! next compute phase. The logical file is split into one contiguous range
+//! per server; each server gathers its range's segments from wherever DHP
+//! placed them (its node's DRAM logs, the shared burst buffer, …) and
+//! writes them to Lustre with the striping chosen by
+//! [`crate::striping::adaptive_plan`] (or the all-OST naive layout when
+//! ADPT is disabled).
+//!
+//! The flush is *functional*: bytes land in OST objects and can be read
+//! back from Lustre. The [`FlushReceipt`] captures everything the timing
+//! plane needs: per-server and per-OST byte loads, which tier each byte
+//! came from, stripe-synchronization fan-out, and lock revocations.
+
+use crate::config::UniviStorConfig;
+use crate::metadata::{ClientId, MetadataService};
+use crate::placement::ProcChain;
+use crate::striping::{adaptive_plan, naive_plan, StripePlan};
+use crate::va::{Tier, VirtualAddr};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use univistor_pfs::Lustre;
+use univistor_sim::{SimError, SimResult};
+
+/// What one flush did.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlushReceipt {
+    /// Destination path on the PFS.
+    pub dest: String,
+    /// Logical bytes flushed.
+    pub file_size: u64,
+    /// The striping decision.
+    pub plan: StripePlan,
+    /// Bytes written by each flushing server.
+    pub per_server_bytes: Vec<u64>,
+    /// Bytes received by each OST.
+    pub per_ost_bytes: Vec<u64>,
+    /// Bytes sourced from each tier (DRAM vs. BB vs. PFS-log).
+    pub source_tier_bytes: Vec<(Tier, u64)>,
+    /// Lustre lock revocations during the flush.
+    pub lock_revocations: u64,
+    /// Distinct OSTs each server contacted (sync overhead driver).
+    pub osts_per_server: usize,
+}
+
+/// Flush every byte of `fid` (logical size `file_size`) to `dest` on
+/// `lustre`, using the configuration's striping mode and server count.
+/// Segments whose primary node is in `failed_nodes` are flushed from
+/// their resilience replicas.
+#[allow(clippy::too_many_arguments)]
+pub fn flush_file(
+    metadata: &mut MetadataService,
+    chains: &HashMap<ClientId, ProcChain>,
+    lustre: &mut Lustre,
+    cfg: &UniviStorConfig,
+    failed_nodes: &HashSet<usize>,
+    fid: u64,
+    file_size: u64,
+    dest: &str,
+) -> SimResult<FlushReceipt> {
+    if file_size == 0 {
+        return Err(SimError::InvalidFlow("flush of empty file".into()));
+    }
+    let servers = cfg.geometry.total_servers();
+    let osts = lustre.ost_count();
+    let plan = if cfg.features.adaptive_striping {
+        adaptive_plan(file_size, servers, osts, cfg.alpha, cfg.cal.max_stripe_size)
+    } else {
+        naive_plan(file_size, servers, osts, cfg.cal.default_stripe_size)
+    };
+
+    // (Re-)create the destination with the chosen layout.
+    if lustre.exists(dest) {
+        lustre.delete(dest)?;
+    }
+    lustre.create(dest, plan.layout.clone())?;
+
+    let mut per_server_bytes = vec![0u64; servers];
+    let mut per_ost_bytes = vec![0u64; osts];
+    let mut source_tiers: HashMap<Tier, u64> = HashMap::new();
+    let mut revocations = 0u64;
+
+    for (server, &(start, end)) in plan.server_ranges.iter().enumerate() {
+        if end <= start {
+            continue;
+        }
+        let (_, records) = metadata.lookup_range(fid, start, end);
+        for (key, rec) in records {
+            let seg_end = key.offset + rec.len;
+            let clip_lo = key.offset.max(start);
+            let clip_hi = seg_end.min(end);
+            if clip_hi <= clip_lo {
+                continue;
+            }
+            let clip_len = clip_hi - clip_lo;
+            let primary_node = cfg.geometry.node_of_rank(rec.client.rank as usize);
+            let (source, base_va) = if failed_nodes.contains(&primary_node) {
+                rec.replica.ok_or_else(|| {
+                    SimError::InvalidConfig(format!(
+                        "cannot flush offset {}: node {primary_node} failed, no replica",
+                        key.offset
+                    ))
+                })?
+            } else {
+                (rec.client, rec.va)
+            };
+            let chain = chains.get(&source).ok_or_else(|| {
+                SimError::InvalidConfig(format!("no chain for producer {source:?}"))
+            })?;
+            let va = VirtualAddr(base_va.0 + (clip_lo - key.offset));
+            let payload = chain.read(va, clip_len)?;
+            *source_tiers.entry(chain.tier_of(va)).or_insert(0) += clip_len;
+            let receipt = lustre.write(dest, clip_lo, payload, server as u64)?;
+            revocations += receipt.lock_revocations;
+            for (ost, bytes) in receipt.ost_bytes() {
+                per_ost_bytes[ost] += bytes;
+            }
+            per_server_bytes[server] += clip_len;
+        }
+    }
+
+    let flushed: u64 = per_server_bytes.iter().sum();
+    if flushed != file_size {
+        return Err(SimError::InvalidFlow(format!(
+            "flush moved {flushed} of {file_size} bytes — holes in '{dest}'?"
+        )));
+    }
+
+    let mut source_tier_bytes: Vec<(Tier, u64)> = source_tiers.into_iter().collect();
+    source_tier_bytes.sort_by_key(|(t, _)| *t);
+    Ok(FlushReceipt {
+        dest: dest.to_string(),
+        file_size,
+        osts_per_server: plan.osts_per_server,
+        plan,
+        per_server_bytes,
+        per_ost_bytes,
+        source_tier_bytes,
+        lock_revocations: revocations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metadata::{SegKey, SegmentRecord};
+    use univistor_sim::Payload;
+
+    /// 2 nodes × 2 clients; 128 B DRAM + 128 B BB per-proc logs, 64 B
+    /// chunks/segments; 4 servers.
+    fn setup() -> (
+        MetadataService,
+        HashMap<ClientId, ProcChain>,
+        Lustre,
+        UniviStorConfig,
+    ) {
+        let mut cfg = UniviStorConfig::test_small(2, 2);
+        cfg.geometry.servers_per_node = 2;
+        let metadata = MetadataService::new(256, 4, 2);
+        let mut chains = HashMap::new();
+        for rank in 0..4u32 {
+            chains.insert(
+                ClientId::new(0, rank),
+                ProcChain::new(
+                    vec![
+                        (Tier::Dram, 128),
+                        (Tier::SharedBurstBuffer, 128),
+                        (Tier::Pfs, u64::MAX),
+                    ],
+                    64,
+                )
+                .unwrap(),
+            );
+        }
+        (metadata, chains, Lustre::new(8), cfg)
+    }
+
+    fn populate(
+        metadata: &mut MetadataService,
+        chains: &mut HashMap<ClientId, ProcChain>,
+        segs_per_client: u64,
+    ) -> u64 {
+        for rank in 0..4u32 {
+            let client = ClientId::new(0, rank);
+            let chain = chains.get_mut(&client).expect("chain");
+            for i in 0..segs_per_client {
+                let logical = (rank as u64 * segs_per_client + i) * 64;
+                let placed = chain.append(Payload::pattern(logical, 64)).unwrap();
+                metadata.insert(
+                    SegKey { fid: 1, offset: logical },
+                    SegmentRecord::new(client, placed.va, 64),
+                    (rank / 2) as usize,
+                );
+            }
+        }
+        4 * segs_per_client * 64
+    }
+
+    #[test]
+    fn flushed_file_reads_back_from_lustre() {
+        let (mut md, mut chains, mut lustre, cfg) = setup();
+        let size = populate(&mut md, &mut chains, 4);
+        let receipt =
+            flush_file(&mut md, &chains, &mut lustre, &cfg, &HashSet::new(), 1, size, "/pfs/f").unwrap();
+        assert_eq!(receipt.file_size, size);
+        assert_eq!(lustre.file_size("/pfs/f").unwrap(), size);
+        let whole = lustre.read("/pfs/f", 0, size, 999).unwrap();
+        for s in 0..(size / 64) {
+            assert!(
+                whole.slice(s * 64, 64).content_eq(&Payload::pattern(s * 64, 64)),
+                "segment {s} corrupt on PFS"
+            );
+        }
+    }
+
+    #[test]
+    fn receipt_accounts_every_byte() {
+        let (mut md, mut chains, mut lustre, cfg) = setup();
+        let size = populate(&mut md, &mut chains, 4);
+        let r = flush_file(&mut md, &chains, &mut lustre, &cfg, &HashSet::new(), 1, size, "/pfs/f").unwrap();
+        assert_eq!(r.per_server_bytes.iter().sum::<u64>(), size);
+        assert_eq!(r.per_ost_bytes.iter().sum::<u64>(), size);
+        let by_tier: u64 = r.source_tier_bytes.iter().map(|(_, b)| b).sum();
+        assert_eq!(by_tier, size);
+        // Data spilled across DRAM and BB: both tiers must appear.
+        let tiers: Vec<Tier> = r.source_tier_bytes.iter().map(|(t, _)| *t).collect();
+        assert!(tiers.contains(&Tier::Dram));
+        assert!(tiers.contains(&Tier::SharedBurstBuffer));
+    }
+
+    #[test]
+    fn adaptive_and_naive_both_produce_correct_files() {
+        for adaptive in [true, false] {
+            let (mut md, mut chains, mut lustre, mut cfg) = setup();
+            cfg.features.adaptive_striping = adaptive;
+            let size = populate(&mut md, &mut chains, 2);
+            let r = flush_file(&mut md, &chains, &mut lustre, &cfg, &HashSet::new(), 1, size, "/pfs/f")
+                .unwrap();
+            let whole = lustre.read("/pfs/f", 0, size, 999).unwrap();
+            assert_eq!(whole.len(), size, "adaptive={adaptive}");
+            assert_eq!(r.file_size, size);
+        }
+    }
+
+    #[test]
+    fn reflush_overwrites_destination() {
+        let (mut md, mut chains, mut lustre, cfg) = setup();
+        let size = populate(&mut md, &mut chains, 2);
+        flush_file(&mut md, &chains, &mut lustre, &cfg, &HashSet::new(), 1, size, "/pfs/f").unwrap();
+        // Flush again (e.g. the file was re-opened and appended — here
+        // identical): destination is recreated, not corrupted.
+        flush_file(&mut md, &chains, &mut lustre, &cfg, &HashSet::new(), 1, size, "/pfs/f").unwrap();
+        assert_eq!(lustre.file_size("/pfs/f").unwrap(), size);
+    }
+
+    #[test]
+    fn flush_with_holes_fails() {
+        let (mut md, mut chains, mut lustre, cfg) = setup();
+        let size = populate(&mut md, &mut chains, 2);
+        // Claim the file is bigger than what was written.
+        let err = flush_file(&mut md, &chains, &mut lustre, &cfg, &HashSet::new(), 1, size + 64, "/pfs/f")
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidFlow(_)));
+    }
+
+    #[test]
+    fn empty_flush_rejected() {
+        let (mut md, chains, mut lustre, cfg) = setup();
+        assert!(flush_file(&mut md, &chains, &mut lustre, &cfg, &HashSet::new(), 1, 0, "/pfs/f").is_err());
+    }
+}

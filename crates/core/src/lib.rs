@@ -1,0 +1,47 @@
+//! # univistor-core — the UniviStor system (CLUSTER 2018)
+//!
+//! UniviStor exposes the distributed and hierarchical storage of an HPC
+//! job — per-node DRAM, node-local storage, the shared burst buffer, and a
+//! disk-based parallel file system — as a single mount point behind the
+//! MPI-IO interface. This crate is the paper's contribution, built on the
+//! substrates in `univistor-sim` / `univistor-kv` / `univistor-pfs` /
+//! `univistor-mpi`:
+//!
+//! | module | paper | what it implements |
+//! |---|---|---|
+//! | [`config`] | §II-A/F | feature toggles & job geometry |
+//! | [`log`]    | §II-B1 | chunked log files with free-chunk stacks |
+//! | [`placement`] | §II-B1 | Distributed & Hierarchical data Placement (DHP) |
+//! | [`va`]     | §II-B2 | virtual addresses (Eq. 1) |
+//! | [`metadata`] | §II-B3 | distributed metadata service over the range-partitioned KV |
+//! | [`read`]   | §II-B4 | naive vs. location-aware read planning |
+//! | [`sched`]  | §II-C  | interference-aware resource scheduling (Fig. 4) |
+//! | [`striping`] | §II-D | adaptive data striping (Eqs. 2–6) |
+//! | [`flush`]  | §II-D  | server-side asynchronous flush to Lustre |
+//! | [`workflow`] | §II-E | lightweight workflow management (state file + lock piggybacking) |
+//! | [`server`] | §II-A  | the UniviStor job: servers, tiers, connection management |
+//! | [`driver`] | §II-F  | the ADIO driver (`ROMIO_FSTYPE_FORCE=UniviStor`), COC optimization |
+//!
+//! The data plane is functional: every byte written through the driver is
+//! stored in a log chunk on some tier and reads back exactly, including
+//! after spilling across tiers and flushing to the PFS. The timing plane
+//! consumes the receipts these modules produce.
+
+pub mod config;
+pub mod driver;
+pub mod flush;
+pub mod log;
+pub mod metadata;
+pub mod placement;
+pub mod read;
+pub mod sched;
+pub mod server;
+pub mod striping;
+pub mod va;
+pub mod workflow;
+
+pub use config::{Features, JobGeometry, UniviStorConfig};
+pub use driver::UniviStorDriver;
+pub use metadata::{ClientId, SegKey, SegmentRecord};
+pub use server::UniviStorJob;
+pub use va::{Tier, TierMap, VirtualAddr};

@@ -1,0 +1,448 @@
+//! Distributed metadata service (§II-B3, Fig. 3).
+//!
+//! For every file segment UniviStor keeps a record associating its logical
+//! position `(FID, offset)` with the producing process (`ProcID`) and its
+//! virtual address (`VA`). Records are stored in the range-partitioned
+//! distributed KV of `univistor-kv`, partitioned **by logical offset** with
+//! ranges assigned to servers round-robin — exactly Fig. 3.
+//!
+//! Additionally, each server keeps a **shared metadata buffer** of the
+//! records produced on its own node (§II-B4): the location-aware read
+//! service consults it first so that locally-resident data is served
+//! without any server round trip.
+
+use crate::va::VirtualAddr;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use univistor_kv::{DistKv, PartitionKey, ServerId};
+
+/// A client process: which coupled application and which global rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ClientId {
+    /// Application index within the job (App 1, App 2, … of Fig. 1).
+    pub app: u32,
+    /// Global MPI rank within that application.
+    pub rank: u32,
+}
+
+impl ClientId {
+    /// Convenience constructor.
+    pub fn new(app: u32, rank: u32) -> Self {
+        ClientId { app, rank }
+    }
+}
+
+/// Metadata key: file id + logical offset (Fig. 3's FID / offset columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SegKey {
+    /// File id.
+    pub fid: u64,
+    /// Logical offset of the segment's first byte.
+    pub offset: u64,
+}
+
+impl PartitionKey for SegKey {
+    fn partition_point(&self) -> u64 {
+        self.offset
+    }
+}
+
+/// Metadata value: producing process + VA + length (Fig. 3's ProcID / VA),
+/// optionally with a resilience replica (the paper's future work: "adding
+/// resilience to data in volatile storage layers").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentRecord {
+    /// The producer.
+    pub client: ClientId,
+    /// Virtual address within the producer's log chain.
+    pub va: VirtualAddr,
+    /// Segment length in bytes.
+    pub len: u64,
+    /// Replica location: (buddy client, VA within the buddy's chain).
+    pub replica: Option<(ClientId, VirtualAddr)>,
+}
+
+impl SegmentRecord {
+    /// A record without a replica.
+    pub fn new(client: ClientId, va: VirtualAddr, len: u64) -> Self {
+        SegmentRecord {
+            client,
+            va,
+            len,
+            replica: None,
+        }
+    }
+}
+
+/// A record trimmed out of the index by an overlapping write; the caller
+/// releases the corresponding log bytes (and the replica's, if any).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Displaced {
+    /// Producer of the displaced bytes.
+    pub client: ClientId,
+    /// VA of the first displaced byte.
+    pub va: VirtualAddr,
+    /// Displaced byte count.
+    pub len: u64,
+    /// The replica span displaced along with it.
+    pub replica: Option<(ClientId, VirtualAddr)>,
+}
+
+/// The distributed metadata service plus per-node shared metadata buffers.
+#[derive(Debug)]
+pub struct MetadataService {
+    kv: DistKv<SegKey, SegmentRecord>,
+    /// Per node: fid → offset → record, for records produced on that node.
+    local: Vec<HashMap<u64, BTreeMap<u64, SegmentRecord>>>,
+}
+
+impl MetadataService {
+    /// A service over `servers` metadata servers and `nodes` compute nodes.
+    pub fn new(range_size: u64, servers: usize, nodes: usize) -> Self {
+        MetadataService {
+            kv: DistKv::new(range_size, servers),
+            local: vec![HashMap::new(); nodes],
+        }
+    }
+
+    /// Insert a record for a fresh segment, also caching it in the
+    /// producer node's shared metadata buffer. Any overlapped older
+    /// records are trimmed/removed; the displaced spans are returned so
+    /// the caller can release log space.
+    pub fn insert(
+        &mut self,
+        key: SegKey,
+        record: SegmentRecord,
+        producer_node: usize,
+    ) -> (ServerId, Vec<Displaced>) {
+        // The left-widened overlap scans in `punch`/`lookup_range` assume
+        // no record is longer than one metadata range.
+        assert!(
+            record.len <= self.kv.partitioner().range_size,
+            "segment length {} exceeds metadata range size {}",
+            record.len,
+            self.kv.partitioner().range_size
+        );
+        let displaced = self.punch(key.fid, key.offset, key.offset + record.len);
+        let (server, _) = self.kv.put(key, record);
+        self.local[producer_node]
+            .entry(key.fid)
+            .or_default()
+            .insert(key.offset, record);
+        (server, displaced)
+    }
+
+    /// Remove every byte of `[lo, hi)` of `fid` from the index, trimming
+    /// partially-overlapped records. Returns the displaced spans.
+    pub fn punch(&mut self, fid: u64, lo: u64, hi: u64) -> Vec<Displaced> {
+        if lo >= hi {
+            return Vec::new();
+        }
+        // A record starting before `lo` can still overlap; widen the scan
+        // to the left by the maximum record length we may have stored. We
+        // do not know that bound, so scan from 0 … in practice records are
+        // bounded by the segment size; but correctness first: scan keys in
+        // [0, hi) and filter by actual overlap. To avoid full scans we
+        // exploit that records never exceed one metadata range: scan
+        // [lo.saturating_sub(range), hi).
+        let range = self.kv.partitioner().range_size;
+        let scan_lo = lo.saturating_sub(range);
+        let (_, hits) = self.kv.range_scan_bounded(
+            &SegKey { fid, offset: scan_lo },
+            &SegKey { fid, offset: hi },
+            scan_lo,
+            hi,
+            |k| k.fid == fid,
+        );
+        let overlapping: Vec<(SegKey, SegmentRecord)> = hits
+            .into_iter()
+            .map(|(k, v)| (k, *v))
+            .filter(|(k, v)| k.offset < hi && k.offset + v.len > lo)
+            .collect();
+
+        let mut displaced = Vec::new();
+        for (k, v) in overlapping {
+            self.kv.remove(&k);
+            self.remove_local(k);
+            let seg_end = k.offset + v.len;
+            // Left fragment survives.
+            if k.offset < lo {
+                let keep = lo - k.offset;
+                let frag = SegmentRecord {
+                    client: v.client,
+                    va: v.va,
+                    len: keep,
+                    replica: v.replica,
+                };
+                self.kv.put(k, frag);
+                self.relocal(k, frag);
+            }
+            // Right fragment survives.
+            if seg_end > hi {
+                let skip = hi - k.offset;
+                let frag_key = SegKey {
+                    fid,
+                    offset: hi,
+                };
+                let frag = SegmentRecord {
+                    client: v.client,
+                    va: VirtualAddr(v.va.0 + skip),
+                    len: seg_end - hi,
+                    replica: v.replica.map(|(c, rva)| (c, VirtualAddr(rva.0 + skip))),
+                };
+                self.kv.put(frag_key, frag);
+                self.relocal(frag_key, frag);
+            }
+            // Displaced middle.
+            let cut_lo = lo.max(k.offset);
+            let cut_hi = hi.min(seg_end);
+            let off = cut_lo - k.offset;
+            displaced.push(Displaced {
+                client: v.client,
+                va: VirtualAddr(v.va.0 + off),
+                len: cut_hi - cut_lo,
+                replica: v.replica.map(|(c, rva)| (c, VirtualAddr(rva.0 + off))),
+            });
+        }
+        displaced
+    }
+
+    fn remove_local(&mut self, key: SegKey) {
+        for node in &mut self.local {
+            if let Some(per_fid) = node.get_mut(&key.fid) {
+                per_fid.remove(&key.offset);
+            }
+        }
+    }
+
+    fn relocal(&mut self, key: SegKey, record: SegmentRecord) {
+        // The fragment inherits the original record's producer node; we do
+        // not track it separately, so refresh every node buffer that held
+        // the parent. Fragments are only created on the producer's node
+        // buffer, which `remove_local` just cleared; find it by producer
+        // lookup: the caller's insert() path re-caches fresh records, and
+        // fragments keep the same producer — cache on every node that held
+        // the parent is equivalent to caching on the producer's node.
+        for node in &mut self.local {
+            if node.contains_key(&key.fid) {
+                // Only nodes already tracking this fid are candidates; the
+                // producer's node is among them.
+                node.entry(key.fid).or_default().insert(key.offset, record);
+            }
+        }
+    }
+
+    /// Point lookup of one record (one metadata-server RPC).
+    pub fn get(&mut self, key: &SegKey) -> (ServerId, Option<&SegmentRecord>) {
+        self.kv.get(key)
+    }
+
+    /// Distributed lookup of all records intersecting `[lo, hi)` of `fid`,
+    /// sorted by offset. Returns the metadata servers visited (each visit
+    /// is an RPC in the timing plane).
+    pub fn lookup_range(
+        &mut self,
+        fid: u64,
+        lo: u64,
+        hi: u64,
+    ) -> (Vec<ServerId>, Vec<(SegKey, SegmentRecord)>) {
+        let range = self.kv.partitioner().range_size;
+        let scan_lo = lo.saturating_sub(range);
+        let (servers, hits) = self.kv.range_scan_bounded(
+            &SegKey { fid, offset: scan_lo },
+            &SegKey { fid, offset: hi },
+            scan_lo,
+            hi,
+            |k| k.fid == fid,
+        );
+        let records = hits
+            .into_iter()
+            .map(|(k, v)| (k, *v))
+            .filter(|(k, v)| k.offset < hi && k.offset + v.len > lo)
+            .collect();
+        (servers, records)
+    }
+
+    /// Node-local lookup in the shared metadata buffer: records produced on
+    /// `node` intersecting `[lo, hi)`. No server RPC.
+    pub fn lookup_local(
+        &self,
+        node: usize,
+        fid: u64,
+        lo: u64,
+        hi: u64,
+    ) -> Vec<(SegKey, SegmentRecord)> {
+        let Some(per_fid) = self.local[node].get(&fid) else {
+            return Vec::new();
+        };
+        // Start one record earlier in case it overlaps from the left.
+        let start = per_fid
+            .range(..lo)
+            .next_back()
+            .map(|(o, _)| *o)
+            .unwrap_or(lo);
+        per_fid
+            .range(start..hi)
+            .filter(|(o, r)| **o < hi && **o + r.len > lo)
+            .map(|(o, r)| (SegKey { fid, offset: *o }, *r))
+            .collect()
+    }
+
+    /// Per-server record counts (distribution inspection).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.kv.shard_sizes()
+    }
+
+    /// Total records.
+    pub fn len(&self) -> usize {
+        self.kv.len()
+    }
+
+    /// True when no records exist.
+    pub fn is_empty(&self) -> bool {
+        self.kv.is_empty()
+    }
+
+    /// Metadata servers.
+    pub fn servers(&self) -> usize {
+        self.kv.servers()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn svc() -> MetadataService {
+        MetadataService::new(256, 4, 2)
+    }
+
+    fn rec(app: u32, rank: u32, va: u64, len: u64) -> SegmentRecord {
+        SegmentRecord::new(ClientId::new(app, rank), VirtualAddr(va), len)
+    }
+
+    #[test]
+    fn insert_then_lookup() {
+        let mut m = svc();
+        m.insert(SegKey { fid: 1, offset: 0 }, rec(0, 0, 0, 100), 0);
+        m.insert(SegKey { fid: 1, offset: 100 }, rec(0, 1, 0, 100), 1);
+        let (_, records) = m.lookup_range(1, 0, 200);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].0.offset, 0);
+        assert_eq!(records[1].1.client.rank, 1);
+    }
+
+    #[test]
+    fn lookup_is_fid_scoped() {
+        let mut m = svc();
+        m.insert(SegKey { fid: 1, offset: 0 }, rec(0, 0, 0, 10), 0);
+        m.insert(SegKey { fid: 2, offset: 0 }, rec(0, 1, 0, 10), 0);
+        let (_, records) = m.lookup_range(1, 0, 100);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].1.client.rank, 0);
+    }
+
+    #[test]
+    fn lookup_catches_left_overlapping_record() {
+        let mut m = svc();
+        // Record starts at 50, spans into the queried range [100, 150).
+        m.insert(SegKey { fid: 1, offset: 50 }, rec(0, 0, 0, 60), 0);
+        let (_, records) = m.lookup_range(1, 100, 150);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].0.offset, 50);
+    }
+
+    #[test]
+    fn exact_overwrite_displaces_whole_record() {
+        let mut m = svc();
+        m.insert(SegKey { fid: 1, offset: 0 }, rec(0, 0, 7, 100), 0);
+        let (_, displaced) = m.insert(SegKey { fid: 1, offset: 0 }, rec(0, 1, 200, 100), 1);
+        assert_eq!(
+            displaced,
+            vec![Displaced {
+                client: ClientId::new(0, 0),
+                va: VirtualAddr(7),
+                len: 100,
+                replica: None,
+            }]
+        );
+        let (_, records) = m.lookup_range(1, 0, 100);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].1.client.rank, 1);
+    }
+
+    #[test]
+    fn partial_overwrite_trims_record() {
+        let mut m = svc();
+        // Old record covers [0, 100) at VA 1000.
+        m.insert(SegKey { fid: 1, offset: 0 }, rec(0, 0, 1000, 100), 0);
+        // New write covers [30, 60).
+        let (_, displaced) = m.insert(SegKey { fid: 1, offset: 30 }, rec(0, 1, 0, 30), 0);
+        assert_eq!(displaced.len(), 1);
+        assert_eq!(displaced[0].va, VirtualAddr(1030));
+        assert_eq!(displaced[0].len, 30);
+        let (_, records) = m.lookup_range(1, 0, 100);
+        assert_eq!(records.len(), 3);
+        // Left fragment [0, 30) at VA 1000.
+        assert_eq!(records[0].0.offset, 0);
+        assert_eq!(records[0].1.len, 30);
+        assert_eq!(records[0].1.va, VirtualAddr(1000));
+        // New record [30, 60).
+        assert_eq!(records[1].1.client.rank, 1);
+        // Right fragment [60, 100) at VA 1060.
+        assert_eq!(records[2].0.offset, 60);
+        assert_eq!(records[2].1.va, VirtualAddr(1060));
+        assert_eq!(records[2].1.len, 40);
+    }
+
+    #[test]
+    fn overwrite_spanning_multiple_records() {
+        let mut m = svc();
+        for i in 0..4u64 {
+            m.insert(
+                SegKey { fid: 1, offset: i * 50 },
+                rec(0, i as u32, i * 1000, 50),
+                0,
+            );
+        }
+        // Overwrite [25, 175) — trims first and last, removes middles.
+        let (_, displaced) = m.insert(SegKey { fid: 1, offset: 25 }, rec(1, 0, 0, 150), 0);
+        let total_displaced: u64 = displaced.iter().map(|d| d.len).sum();
+        assert_eq!(total_displaced, 150);
+        let (_, records) = m.lookup_range(1, 0, 200);
+        let covered: u64 = records.iter().map(|(_, r)| r.len).sum();
+        assert_eq!(covered, 200);
+    }
+
+    #[test]
+    fn local_buffer_serves_producer_node_records() {
+        let mut m = svc();
+        m.insert(SegKey { fid: 1, offset: 0 }, rec(0, 0, 0, 64), 0);
+        m.insert(SegKey { fid: 1, offset: 64 }, rec(0, 32, 0, 64), 1);
+        // Node 0 sees only its own production.
+        let hits = m.lookup_local(0, 1, 0, 128);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0.offset, 0);
+        let hits = m.lookup_local(1, 1, 0, 128);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0.offset, 64);
+    }
+
+    #[test]
+    fn records_distribute_across_servers_round_robin() {
+        let mut m = MetadataService::new(64, 4, 1);
+        // 64 segments of 64 bytes → 16 ranges round-robin over 4 servers.
+        for i in 0..64u64 {
+            m.insert(SegKey { fid: 1, offset: i * 64 }, rec(0, 0, i * 64, 64), 0);
+        }
+        assert_eq!(m.shard_sizes(), vec![16, 16, 16, 16]);
+    }
+
+    #[test]
+    fn punch_empty_range_is_noop() {
+        let mut m = svc();
+        m.insert(SegKey { fid: 1, offset: 0 }, rec(0, 0, 0, 10), 0);
+        assert!(m.punch(1, 5, 5).is_empty());
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -1,0 +1,275 @@
+//! Distributed and Hierarchical data Placement — DHP (§II-B1, Fig. 2).
+//!
+//! Each client process owns a **chain of log files**, one per storage
+//! layer, fastest first. A segment goes to the first layer whose log still
+//! has room; when a log's allocated space depletes, subsequent segments
+//! spill to the next layer, repeating down to the destination layer
+//! (typically the PFS). This turns the shared-write pattern into
+//! file-per-process writes and uses the capacity of every layer.
+//!
+//! Log capacities follow the paper's `c/p` rule: a layer of capacity `c`
+//! shared by `p` processes gives each process a log of `c/p` — where for
+//! node-local layers `c`/`p` are the node's capacity and the processes on
+//! that node, and for shared layers the totals across the job.
+
+use crate::log::LogFile;
+use crate::va::{Tier, TierMap, VirtualAddr};
+use univistor_sim::{Payload, SimResult};
+
+/// Where an appended segment landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlacedSegment {
+    /// Layer index within the chain.
+    pub layer: usize,
+    /// The layer's tier.
+    pub tier: Tier,
+    /// Virtual address (Eq. 1).
+    pub va: VirtualAddr,
+    /// Segment length.
+    pub len: u64,
+}
+
+/// One process's cross-layer log chain.
+#[derive(Debug)]
+pub struct ProcChain {
+    tiers: TierMap,
+    logs: Vec<LogFile>,
+}
+
+impl ProcChain {
+    /// Build a chain from ordered per-process (tier, capacity) pairs.
+    /// Capacities are truncated to whole chunks; the TierMap reflects the
+    /// truncated (actually addressable) capacities so VAs stay dense.
+    pub fn new(layer_caps: Vec<(Tier, u64)>, chunk_size: u64) -> SimResult<Self> {
+        let mut logs = Vec::with_capacity(layer_caps.len());
+        let mut truncated = Vec::with_capacity(layer_caps.len());
+        for (tier, cap) in layer_caps {
+            let log = LogFile::new(cap, chunk_size)?;
+            let addressable = if cap == u64::MAX { u64::MAX } else { log.capacity() };
+            truncated.push((tier, addressable));
+            logs.push(log);
+        }
+        Ok(ProcChain {
+            tiers: TierMap::new(truncated),
+            logs,
+        })
+    }
+
+    /// The chain's tier map (for VA decoding elsewhere).
+    pub fn tiers(&self) -> &TierMap {
+        &self.tiers
+    }
+
+    /// Append one segment, spilling to the first layer with room.
+    pub fn append(&mut self, payload: Payload) -> SimResult<PlacedSegment> {
+        let len = payload.len();
+        let last = self.logs.len() - 1;
+        for (layer, log) in self.logs.iter_mut().enumerate() {
+            if layer == last || log.fits(len) {
+                let addr = log.append(payload)?;
+                return Ok(PlacedSegment {
+                    layer,
+                    tier: self.tiers.tier(layer),
+                    va: self.tiers.encode(layer, addr.0),
+                    len,
+                });
+            }
+        }
+        unreachable!("loop always reaches the final layer")
+    }
+
+    /// Read `len` bytes at `va`.
+    pub fn read(&self, va: VirtualAddr, len: u64) -> SimResult<Payload> {
+        let (layer, _, addr) = self.tiers.decode(va);
+        self.logs[layer].read(crate::log::LogAddr(addr), len)
+    }
+
+    /// Release `len` bytes at `va` (overwritten or flushed data).
+    pub fn release(&mut self, va: VirtualAddr, len: u64) {
+        let (layer, _, addr) = self.tiers.decode(va);
+        self.logs[layer].release(crate::log::LogAddr(addr), len);
+    }
+
+    /// Live bytes per layer.
+    pub fn live_by_layer(&self) -> Vec<(Tier, u64)> {
+        self.logs
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (self.tiers.tier(i), l.live_bytes()))
+            .collect()
+    }
+
+    /// The tier a VA resides on.
+    pub fn tier_of(&self, va: VirtualAddr) -> Tier {
+        self.tiers.decode(va).1
+    }
+
+    /// Total live bytes across layers.
+    pub fn live_bytes(&self) -> u64 {
+        self.logs.iter().map(LogFile::live_bytes).sum()
+    }
+}
+
+/// Compute the per-process log capacity of each layer for one client,
+/// applying the `c/p` rule (§II-B1).
+///
+/// * DRAM: node cache capacity / client processes on the node;
+/// * node-local SSD (when present): node SSD capacity / processes on the
+///   node;
+/// * shared burst buffer: total BB capacity / total client processes;
+/// * PFS: unbounded.
+pub fn paper_layer_caps(
+    dram_cache_per_node: u64,
+    procs_per_node: usize,
+    bb_total: u64,
+    total_procs: usize,
+) -> Vec<(Tier, u64)> {
+    layer_caps_with_node_local(
+        dram_cache_per_node,
+        None,
+        procs_per_node,
+        bb_total,
+        total_procs,
+    )
+}
+
+/// The full four-layer variant of the `c/p` rule, with an optional
+/// node-local SSD layer between DRAM and the shared burst buffer.
+pub fn layer_caps_with_node_local(
+    dram_cache_per_node: u64,
+    node_local_per_node: Option<u64>,
+    procs_per_node: usize,
+    bb_total: u64,
+    total_procs: usize,
+) -> Vec<(Tier, u64)> {
+    assert!(procs_per_node > 0 && total_procs > 0);
+    let mut caps = vec![(Tier::Dram, dram_cache_per_node / procs_per_node as u64)];
+    if let Some(ssd) = node_local_per_node {
+        caps.push((Tier::NodeLocal, ssd / procs_per_node as u64));
+    }
+    caps.push((Tier::SharedBurstBuffer, bb_total / total_procs as u64));
+    caps.push((Tier::Pfs, u64::MAX));
+    caps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fig. 2 geometry: node-local cap 2 units, BB cap 3 units, PFS ∞.
+    /// We scale units to one 64-byte chunk each so chunk math stays exact.
+    fn fig2_chain() -> ProcChain {
+        ProcChain::new(
+            vec![
+                (Tier::NodeLocal, 2 * 64),
+                (Tier::SharedBurstBuffer, 3 * 64),
+                (Tier::Pfs, u64::MAX),
+            ],
+            64,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fig2_spill_sequence() {
+        // 8 segments (D1–D8 of process 1): 2 land on node-local, 3 on the
+        // BB, 3 on the PFS — exactly Fig. 2.
+        let mut chain = fig2_chain();
+        let placements: Vec<PlacedSegment> = (0..8)
+            .map(|i| chain.append(Payload::pattern(i, 64)).unwrap())
+            .collect();
+        let tiers: Vec<Tier> = placements.iter().map(|p| p.tier).collect();
+        assert_eq!(
+            tiers,
+            vec![
+                Tier::NodeLocal,
+                Tier::NodeLocal,
+                Tier::SharedBurstBuffer,
+                Tier::SharedBurstBuffer,
+                Tier::SharedBurstBuffer,
+                Tier::Pfs,
+                Tier::Pfs,
+                Tier::Pfs,
+            ]
+        );
+        // D4 (index 3) is the second segment of the BB log: VA = 2·64 + 64.
+        assert_eq!(placements[3].va, VirtualAddr(3 * 64));
+    }
+
+    #[test]
+    fn reads_find_data_across_layers() {
+        let mut chain = fig2_chain();
+        let mut placed = Vec::new();
+        for i in 0..8u64 {
+            placed.push((i, chain.append(Payload::pattern(i, 64)).unwrap()));
+        }
+        for (seed, p) in placed {
+            let got = chain.read(p.va, 64).unwrap();
+            assert!(
+                got.content_eq(&Payload::pattern(seed, 64)),
+                "segment {seed} on {} corrupted",
+                p.tier
+            );
+        }
+    }
+
+    #[test]
+    fn release_lets_fast_layer_recycle() {
+        let mut chain = fig2_chain();
+        let first = chain.append(Payload::pattern(1, 64)).unwrap();
+        chain.append(Payload::pattern(2, 64)).unwrap();
+        // Node-local full; release the first chunk, next append reuses it.
+        chain.release(first.va, 64);
+        let again = chain.append(Payload::pattern(3, 64)).unwrap();
+        assert_eq!(again.tier, Tier::NodeLocal);
+    }
+
+    #[test]
+    fn live_by_layer_tracks_distribution() {
+        let mut chain = fig2_chain();
+        for i in 0..6u64 {
+            chain.append(Payload::pattern(i, 64)).unwrap();
+        }
+        let live = chain.live_by_layer();
+        assert_eq!(live[0], (Tier::NodeLocal, 128));
+        assert_eq!(live[1], (Tier::SharedBurstBuffer, 192));
+        assert_eq!(live[2], (Tier::Pfs, 64));
+        assert_eq!(chain.live_bytes(), 6 * 64);
+    }
+
+    #[test]
+    fn segments_smaller_than_chunks_pack() {
+        let mut chain = ProcChain::new(
+            vec![(Tier::Dram, 256), (Tier::Pfs, u64::MAX)],
+            128,
+        )
+        .unwrap();
+        // Four 50-byte segments: two per 128-byte chunk (with 28 wasted),
+        // all on DRAM.
+        for i in 0..4u64 {
+            let p = chain.append(Payload::pattern(i, 50)).unwrap();
+            assert_eq!(p.tier, Tier::Dram, "segment {i}");
+        }
+        // Chunk space exhausted (2×28 B tails unusable): spill.
+        let p = chain.append(Payload::pattern(9, 50)).unwrap();
+        assert_eq!(p.tier, Tier::Pfs);
+    }
+
+    #[test]
+    fn paper_caps_follow_c_over_p() {
+        let caps = paper_layer_caps(44 << 30, 32, 100 << 30, 8192);
+        assert_eq!(caps[0].1, (44u64 << 30) / 32);
+        assert_eq!(caps[1].1, (100u64 << 30) / 8192);
+        assert_eq!(caps[2].1, u64::MAX);
+    }
+
+    #[test]
+    fn vas_are_unique_within_a_chain() {
+        let mut chain = fig2_chain();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..8u64 {
+            let p = chain.append(Payload::pattern(i, 64)).unwrap();
+            assert!(seen.insert(p.va), "duplicate VA {:?}", p.va);
+        }
+    }
+}

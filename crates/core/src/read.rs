@@ -1,0 +1,403 @@
+//! Read service: naive vs. location-aware (§II-B4).
+//!
+//! The baseline read path directs every request to the UniviStor server
+//! co-located with the requester, which looks up the metadata and either
+//! serves locally-held data (costing an extra memory copy through the
+//! server) or forwards to the remote server holding the segment (at least
+//! one network round trip).
+//!
+//! The location-aware service removes both overheads:
+//! * the requester first consults its node's **shared metadata buffer**;
+//!   locally produced segments are read straight out of node-local
+//!   storage — no server hop, no extra copy;
+//! * for the rest, the *client* retrieves the metadata records itself and
+//!   fetches segments that live on globally visible layers (shared burst
+//!   buffer, PFS) directly, without bouncing through the producers'
+//!   servers.
+
+use crate::config::JobGeometry;
+use crate::metadata::{ClientId, MetadataService, SegKey, SegmentRecord};
+use crate::placement::ProcChain;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use univistor_sim::{Payload, SimError, SimResult};
+
+/// Byte/RPC accounting of one (or many aggregated) read operations — the
+/// input of the timing plane.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReadTrace {
+    /// Bytes served from node-local storage with no server involvement
+    /// (location-aware fast path).
+    pub local_direct_bytes: u64,
+    /// Bytes served from node-local storage *through* the co-located
+    /// server (naive path: same data, plus a copy through the server).
+    pub local_via_server_bytes: u64,
+    /// Bytes fetched by the client directly from the shared burst buffer.
+    pub shared_direct_bytes: u64,
+    /// Bytes fetched by the client directly from its per-process PFS logs
+    /// (globally visible through the PFS mount).
+    pub pfs_direct_bytes: u64,
+    /// Bytes that crossed the network via a remote server round trip.
+    pub remote_bytes: u64,
+    /// Metadata RPCs issued (distributed KV server visits).
+    pub md_rpcs: u64,
+    /// Read requests planned.
+    pub requests: u64,
+    /// Bytes served from resilience replicas because the primary's node
+    /// had failed.
+    pub replica_bytes: u64,
+}
+
+impl ReadTrace {
+    /// Total bytes delivered.
+    pub fn total_bytes(&self) -> u64 {
+        self.local_direct_bytes
+            + self.local_via_server_bytes
+            + self.shared_direct_bytes
+            + self.pfs_direct_bytes
+            + self.remote_bytes
+    }
+
+    /// Accumulate another trace.
+    pub fn absorb(&mut self, other: &ReadTrace) {
+        self.local_direct_bytes += other.local_direct_bytes;
+        self.local_via_server_bytes += other.local_via_server_bytes;
+        self.shared_direct_bytes += other.shared_direct_bytes;
+        self.pfs_direct_bytes += other.pfs_direct_bytes;
+        self.remote_bytes += other.remote_bytes;
+        self.md_rpcs += other.md_rpcs;
+        self.requests += other.requests;
+        self.replica_bytes += other.replica_bytes;
+    }
+}
+
+/// Plan and execute one read of `[offset, offset + len)` from `fid` on
+/// behalf of `client`. Returns the assembled payload, the trace, and the
+/// metadata keys touched (for access-pattern tracking). When a producer's
+/// node is in `failed_nodes`, the segment is served from its resilience
+/// replica (if one exists).
+#[allow(clippy::too_many_arguments)]
+pub fn read_segments(
+    metadata: &mut MetadataService,
+    chains: &HashMap<ClientId, ProcChain>,
+    geometry: &JobGeometry,
+    location_aware: bool,
+    failed_nodes: &HashSet<usize>,
+    client: ClientId,
+    fid: u64,
+    offset: u64,
+    len: u64,
+) -> SimResult<(Payload, ReadTrace, Vec<SegKey>)> {
+    let mut trace = ReadTrace {
+        requests: 1,
+        ..ReadTrace::default()
+    };
+    if len == 0 {
+        return Ok((Payload::empty(), trace, Vec::new()));
+    }
+    let my_node = geometry.node_of_rank(client.rank as usize);
+    let end = offset + len;
+
+    // Records covering the request, with the location-aware local
+    // shortcut where enabled.
+    let mut records: Vec<(SegKey, SegmentRecord)> = Vec::new();
+    if location_aware {
+        // 1. Shared metadata buffer: free lookups for locally-produced data.
+        let local_hits = metadata.lookup_local(my_node, fid, offset, end);
+        // 2. Distributed lookup only for the uncovered remainder.
+        let covered: u64 = local_hits
+            .iter()
+            .map(|(k, r)| {
+                let lo = k.offset.max(offset);
+                let hi = (k.offset + r.len).min(end);
+                hi.saturating_sub(lo)
+            })
+            .sum();
+        records.extend(local_hits.iter().copied());
+        if covered < len {
+            let (servers, remote_hits) = metadata.lookup_range(fid, offset, end);
+            trace.md_rpcs += servers.len() as u64;
+            for (k, r) in remote_hits {
+                if !records.iter().any(|(k2, _)| k2 == &k) {
+                    records.push((k, r));
+                }
+            }
+        }
+    } else {
+        // Naive path: the co-located server performs the distributed
+        // lookup on the client's behalf.
+        let (servers, hits) = metadata.lookup_range(fid, offset, end);
+        trace.md_rpcs += servers.len() as u64;
+        records = hits;
+    }
+    records.sort_by_key(|(k, _)| k.offset);
+
+    // Gather payloads, clipping records to the requested window and
+    // classifying each fragment for the timing plane.
+    let mut parts: Vec<Payload> = Vec::new();
+    let mut touched: Vec<SegKey> = Vec::new();
+    let mut cursor = offset;
+    for (k, r) in records {
+        let seg_end = k.offset + r.len;
+        if seg_end <= cursor || k.offset >= end {
+            continue;
+        }
+        if k.offset > cursor {
+            return Err(SimError::Hole {
+                offset: cursor,
+                len: k.offset - cursor,
+            });
+        }
+        let clip_lo = cursor.max(k.offset);
+        let clip_hi = end.min(seg_end);
+        let clip_len = clip_hi - clip_lo;
+        touched.push(k);
+
+        // Route around failed producers using the resilience replica.
+        let primary_node = geometry.node_of_rank(r.client.rank as usize);
+        let (source, source_va) = if failed_nodes.contains(&primary_node) {
+            let (rc, rva) = r.replica.ok_or_else(|| {
+                SimError::InvalidConfig(format!(
+                    "segment at offset {} lost: node {primary_node} failed and no replica",
+                    k.offset
+                ))
+            })?;
+            let replica_node = geometry.node_of_rank(rc.rank as usize);
+            if failed_nodes.contains(&replica_node) {
+                return Err(SimError::InvalidConfig(format!(
+                    "segment at offset {} lost: primary and replica nodes both failed",
+                    k.offset
+                )));
+            }
+            trace.replica_bytes += clip_len;
+            (rc, crate::va::VirtualAddr(rva.0 + (clip_lo - k.offset)))
+        } else {
+            (r.client, crate::va::VirtualAddr(r.va.0 + (clip_lo - k.offset)))
+        };
+        let producer_chain = chains.get(&source).ok_or_else(|| {
+            SimError::InvalidConfig(format!("no chain for producer {source:?}"))
+        })?;
+        let va = source_va;
+        let payload = producer_chain.read(va, clip_len)?;
+        parts.push(payload);
+
+        let tier = producer_chain.tier_of(va);
+        let producer_node = geometry.node_of_rank(source.rank as usize);
+        if tier.node_local() {
+            if producer_node == my_node {
+                if location_aware {
+                    trace.local_direct_bytes += clip_len;
+                } else {
+                    trace.local_via_server_bytes += clip_len;
+                }
+            } else {
+                trace.remote_bytes += clip_len;
+            }
+        } else if location_aware {
+            if tier == crate::va::Tier::Pfs {
+                trace.pfs_direct_bytes += clip_len;
+            } else {
+                trace.shared_direct_bytes += clip_len;
+            }
+        } else {
+            // Naive: even globally visible data bounces via servers.
+            trace.remote_bytes += clip_len;
+        }
+        cursor = clip_hi;
+    }
+    if cursor < end {
+        return Err(SimError::Hole {
+            offset: cursor,
+            len: end - cursor,
+        });
+    }
+    Ok((Payload::chain(parts), trace, touched))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::PlacedSegment;
+    use crate::va::Tier;
+
+    /// Two nodes × two clients each; tiny tiers: 128 B DRAM log, 128 B BB
+    /// log, then PFS. Chunk = 64 B, segments = 64 B.
+    fn setup() -> (MetadataService, HashMap<ClientId, ProcChain>, JobGeometry) {
+        let geometry = JobGeometry {
+            nodes: 2,
+            procs_per_node: 2,
+            servers_per_node: 1,
+        };
+        let metadata = MetadataService::new(256, 2, 2);
+        let mut chains = HashMap::new();
+        for rank in 0..4u32 {
+            chains.insert(
+                ClientId::new(0, rank),
+                ProcChain::new(
+                    vec![
+                        (Tier::Dram, 128),
+                        (Tier::SharedBurstBuffer, 128),
+                        (Tier::Pfs, u64::MAX),
+                    ],
+                    64,
+                )
+                .unwrap(),
+            );
+        }
+        (metadata, chains, geometry)
+    }
+
+    /// Writer helper: client writes `n` 64-byte segments of a shared file,
+    /// at logical offset = (rank * n + i) * 64.
+    fn write_segments(
+        metadata: &mut MetadataService,
+        chains: &mut HashMap<ClientId, ProcChain>,
+        geometry: &JobGeometry,
+        client: ClientId,
+        n: u64,
+    ) {
+        let chain = chains.get_mut(&client).expect("chain exists");
+        for i in 0..n {
+            let logical = (client.rank as u64 * n + i) * 64;
+            let seed = logical; // deterministic content per offset
+            let placed: PlacedSegment = chain.append(Payload::pattern(seed, 64)).unwrap();
+            metadata.insert(
+                SegKey { fid: 1, offset: logical },
+                SegmentRecord::new(client, placed.va, 64),
+                geometry.node_of_rank(client.rank as usize),
+            );
+        }
+    }
+
+    #[test]
+    fn full_file_reads_back_exactly() {
+        let (mut md, mut chains, geom) = setup();
+        for rank in 0..4 {
+            write_segments(&mut md, &mut chains, &geom, ClientId::new(0, rank), 4);
+        }
+        for aware in [false, true] {
+            let (payload, trace, _) = read_segments(
+                &mut md, &chains, &geom, aware, &HashSet::new(), ClientId::new(0, 0), 1, 0, 16 * 64,
+            )
+            .unwrap();
+            assert_eq!(payload.len(), 16 * 64);
+            assert_eq!(trace.total_bytes(), 16 * 64);
+            for s in 0..16u64 {
+                let expect = Payload::pattern(s * 64, 64);
+                assert!(
+                    payload.slice(s * 64, 64).content_eq(&expect),
+                    "segment {s} corrupt (aware={aware})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn location_aware_serves_local_data_without_rpcs() {
+        let (mut md, mut chains, geom) = setup();
+        // Client 0 writes 2 segments, all on its DRAM log.
+        write_segments(&mut md, &mut chains, &geom, ClientId::new(0, 0), 2);
+        let (_, trace, _) = read_segments(
+            &mut md, &chains, &geom, true, &HashSet::new(), ClientId::new(0, 0), 1, 0, 128,
+        )
+        .unwrap();
+        assert_eq!(trace.local_direct_bytes, 128);
+        assert_eq!(trace.md_rpcs, 0, "local metadata buffer should cover this");
+        assert_eq!(trace.remote_bytes, 0);
+    }
+
+    #[test]
+    fn naive_pays_server_copy_for_local_data() {
+        let (mut md, mut chains, geom) = setup();
+        write_segments(&mut md, &mut chains, &geom, ClientId::new(0, 0), 2);
+        let (_, trace, _) = read_segments(
+            &mut md, &chains, &geom, false, &HashSet::new(), ClientId::new(0, 0), 1, 0, 128,
+        )
+        .unwrap();
+        assert_eq!(trace.local_via_server_bytes, 128);
+        assert!(trace.md_rpcs > 0);
+    }
+
+    #[test]
+    fn same_node_neighbor_counts_as_local() {
+        let (mut md, mut chains, geom) = setup();
+        // Rank 1 (node 0) writes; rank 0 (node 0) reads.
+        write_segments(&mut md, &mut chains, &geom, ClientId::new(0, 1), 2);
+        let (_, trace, _) = read_segments(
+            &mut md, &chains, &geom, true, &HashSet::new(), ClientId::new(0, 0), 1, 2 * 64, 128,
+        )
+        .unwrap();
+        assert_eq!(trace.local_direct_bytes, 128);
+    }
+
+    #[test]
+    fn cross_node_dram_data_is_remote() {
+        let (mut md, mut chains, geom) = setup();
+        // Rank 2 (node 1) writes; rank 0 (node 0) reads.
+        write_segments(&mut md, &mut chains, &geom, ClientId::new(0, 2), 2);
+        let (_, trace, _) = read_segments(
+            &mut md, &chains, &geom, true, &HashSet::new(), ClientId::new(0, 0), 1, 4 * 64, 128,
+        )
+        .unwrap();
+        assert_eq!(trace.remote_bytes, 128);
+        assert!(trace.md_rpcs > 0);
+    }
+
+    #[test]
+    fn bb_resident_data_fetched_directly_when_aware() {
+        let (mut md, mut chains, geom) = setup();
+        // Rank 2 writes 4 segments: 2 fill DRAM, 2 spill to BB.
+        write_segments(&mut md, &mut chains, &geom, ClientId::new(0, 2), 4);
+        // Rank 0 reads the spilled half.
+        let (_, aware, _) = read_segments(
+            &mut md, &chains, &geom, true, &HashSet::new(), ClientId::new(0, 0), 1, 10 * 64, 128,
+        )
+        .unwrap();
+        assert_eq!(aware.shared_direct_bytes, 128, "{aware:?}");
+        let (_, naive, _) = read_segments(
+            &mut md, &chains, &geom, false, &HashSet::new(), ClientId::new(0, 0), 1, 10 * 64, 128,
+        )
+        .unwrap();
+        assert_eq!(naive.remote_bytes, 128);
+    }
+
+    #[test]
+    fn hole_in_file_is_an_error() {
+        let (mut md, mut chains, geom) = setup();
+        write_segments(&mut md, &mut chains, &geom, ClientId::new(0, 0), 1);
+        let err = read_segments(
+            &mut md, &chains, &geom, true, &HashSet::new(), ClientId::new(0, 0), 1, 0, 256,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::Hole { .. }));
+    }
+
+    #[test]
+    fn unaligned_read_clips_segments() {
+        let (mut md, mut chains, geom) = setup();
+        write_segments(&mut md, &mut chains, &geom, ClientId::new(0, 0), 2);
+        let (payload, trace, _) = read_segments(
+            &mut md, &chains, &geom, true, &HashSet::new(), ClientId::new(0, 0), 1, 32, 64,
+        )
+        .unwrap();
+        assert_eq!(payload.len(), 64);
+        assert_eq!(trace.total_bytes(), 64);
+        // Bytes must match the two halves of adjacent segments.
+        let expect = Payload::chain([
+            Payload::pattern(0, 64).slice(32, 32),
+            Payload::pattern(64, 64).slice(0, 32),
+        ]);
+        assert!(payload.content_eq(&expect));
+    }
+
+    #[test]
+    fn zero_len_read_is_trivial() {
+        let (mut md, chains, geom) = setup();
+        let (p, t, _) = read_segments(
+            &mut md, &chains, &geom, true, &HashSet::new(), ClientId::new(0, 0), 1, 0, 0,
+        )
+        .unwrap();
+        assert!(p.is_empty());
+        assert_eq!(t.total_bytes(), 0);
+    }
+}

@@ -1,0 +1,707 @@
+//! The UniviStor job: server processes, tier stores, connection management
+//! (§II-A).
+//!
+//! `UniviStorJob` is the shared state of all UniviStor server processes
+//! launched across a job's compute nodes. It owns the per-client DHP log
+//! chains (the paper's mmap'd shared-memory logs — they outlive client
+//! operations and die with the job unless flushed), the distributed
+//! metadata service, the destination Lustre file system, and the workflow
+//! state file. Client-side drivers (`crate::driver`) call into it; the
+//! bench harness calls the same methods rank-by-rank at paper scale.
+
+use crate::config::UniviStorConfig;
+use crate::flush::{flush_file, FlushReceipt};
+use crate::metadata::{ClientId, MetadataService, SegKey, SegmentRecord};
+use crate::placement::{layer_caps_with_node_local, ProcChain};
+use crate::read::{read_segments, ReadTrace};
+use crate::va::Tier;
+use crate::workflow::StateFile;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use univistor_mpi::driver::OpenMode;
+use univistor_pfs::Lustre;
+use univistor_sim::{Payload, SimError, SimResult};
+
+/// Aggregated operation counters — the timing plane's raw material.
+#[derive(Debug, Clone, Default)]
+pub struct JobStats {
+    /// Metadata RPCs hitting the (single, file-name-hashed) server during
+    /// open/close. Without COC this grows by the full process count per
+    /// collective open — the all-to-one storm.
+    pub open_close_md_rpcs: u64,
+    /// Collective opens served (root-only under COC).
+    pub opens: u64,
+    /// Closes served.
+    pub closes: u64,
+    /// Segments appended.
+    pub segments: u64,
+    /// Bytes cached per tier.
+    pub bytes_by_tier: BTreeMap<Tier, u64>,
+    /// Bytes cached per (client, tier) — drives per-socket flow building.
+    pub bytes_by_client_tier: HashMap<(ClientId, Tier), u64>,
+    /// Metadata-put RPCs from writes.
+    pub write_md_rpcs: u64,
+    /// Aggregated read accounting.
+    pub read_trace: ReadTrace,
+    /// Receipts of every flush performed, in order.
+    pub flush_receipts: Vec<FlushReceipt>,
+    /// Bytes written twice for resilience (replica copies).
+    pub replicated_bytes: u64,
+    /// Segments promoted to a faster tier by adaptive placement.
+    pub promotions: u64,
+}
+
+#[derive(Debug)]
+struct FileEntry {
+    fid: u64,
+    size: u64,
+    open_count: usize,
+    written: bool,
+}
+
+#[derive(Debug)]
+struct JobState {
+    files: HashMap<String, FileEntry>,
+    chains: HashMap<ClientId, ProcChain>,
+    metadata: MetadataService,
+    lustre: Lustre,
+    connected: HashSet<ClientId>,
+    stats: JobStats,
+    next_fid: u64,
+    /// Nodes whose volatile storage has been lost (failure injection).
+    failed_nodes: HashSet<usize>,
+    /// Per-segment read counts driving adaptive promotion.
+    heat: HashMap<SegKey, u32>,
+}
+
+/// The running UniviStor service for one job.
+pub struct UniviStorJob {
+    cfg: UniviStorConfig,
+    state: Mutex<JobState>,
+    state_file: StateFile,
+}
+
+impl UniviStorJob {
+    /// Launch the service for a job with the given configuration.
+    pub fn new(cfg: UniviStorConfig) -> Self {
+        let servers = cfg.geometry.total_servers();
+        let metadata =
+            MetadataService::new(cfg.metadata_range_size, servers.max(1), cfg.geometry.nodes);
+        let lustre = Lustre::new(cfg.cal.ost_count);
+        UniviStorJob {
+            cfg,
+            state: Mutex::new(JobState {
+                files: HashMap::new(),
+                chains: HashMap::new(),
+                metadata,
+                lustre,
+                connected: HashSet::new(),
+                stats: JobStats::default(),
+                next_fid: 1,
+                failed_nodes: HashSet::new(),
+                heat: HashMap::new(),
+            }),
+            state_file: StateFile::new(),
+        }
+    }
+
+    /// The configuration.
+    pub fn cfg(&self) -> &UniviStorConfig {
+        &self.cfg
+    }
+
+    /// The workflow state file (shared with tests/diagnostics).
+    pub fn state_file(&self) -> &StateFile {
+        &self.state_file
+    }
+
+    /// Per-client layer capacities under the `c/p` rule, honoring the
+    /// configuration's tier toggles.
+    fn layer_caps(&self) -> Vec<(Tier, u64)> {
+        let bb_total = self.cfg.cal.bb_nodes_for_job(self.cfg.geometry.nodes) as u64
+            * self.cfg.cal.bb_capacity_per_node;
+        let all = layer_caps_with_node_local(
+            self.cfg.cal.dram_cache_capacity_per_node,
+            self.cfg.cal.node_local_capacity,
+            self.cfg.geometry.procs_per_node,
+            bb_total,
+            self.cfg.geometry.total_procs(),
+        );
+        all.into_iter()
+            .filter(|(tier, _)| match tier {
+                Tier::Dram => self.cfg.enable_dram,
+                Tier::SharedBurstBuffer => self.cfg.enable_bb,
+                _ => true,
+            })
+            .collect()
+    }
+
+    /// Connection management: a client announced itself (`MPI_Init`).
+    pub fn connect(&self, client: ClientId) {
+        let mut st = self.state.lock();
+        st.connected.insert(client);
+    }
+
+    /// A client departed (`MPI_Finalize`).
+    pub fn disconnect(&self, client: ClientId) {
+        let mut st = self.state.lock();
+        st.connected.remove(&client);
+    }
+
+    /// Connected clients (servers terminate when this reaches zero after
+    /// the last application exits).
+    pub fn connected_count(&self) -> usize {
+        self.state.lock().connected.len()
+    }
+
+    /// Open a file. `represents` is how many ranks this call stands for
+    /// (the full communicator under COC, one otherwise); `lock_holder`
+    /// marks the root that piggybacks workflow locking.
+    pub fn open(
+        &self,
+        path: &str,
+        mode: OpenMode,
+        _client: ClientId,
+        represents: usize,
+        lock_holder: bool,
+    ) -> SimResult<u64> {
+        // Workflow locking happens *before* touching job state and without
+        // holding the lock — it may block.
+        if lock_holder && self.cfg.features.workflow {
+            if mode.writable() {
+                self.state_file.acquire_write(path);
+            } else {
+                // A reader of a not-yet-existing file is the in-situ case:
+                // wait until the producer has written it at least once.
+                let exists = self.state.lock().files.contains_key(path);
+                if exists {
+                    self.state_file.acquire_read(path);
+                } else {
+                    self.state_file.acquire_read_produced(path);
+                }
+            }
+        }
+        let mut st = self.state.lock();
+        st.stats.open_close_md_rpcs += 1;
+        st.stats.opens += 1;
+        if !st.files.contains_key(path) {
+            if !mode.writable() {
+                return Err(SimError::InvalidConfig(format!("no such file '{path}'")));
+            }
+            let fid = st.next_fid;
+            st.next_fid += 1;
+            st.files.insert(
+                path.to_string(),
+                FileEntry {
+                    fid,
+                    size: 0,
+                    open_count: 0,
+                    written: false,
+                },
+            );
+        }
+        let entry = st.files.get_mut(path).expect("just ensured");
+        entry.open_count += represents;
+        Ok(entry.fid)
+    }
+
+    fn ensure_chain(&self, st: &mut JobState, client: ClientId) {
+        if let std::collections::hash_map::Entry::Vacant(slot) = st.chains.entry(client) {
+            let chain = ProcChain::new(self.layer_caps(), self.cfg.chunk_size)
+                .expect("layer capacities validated at config time");
+            slot.insert(chain);
+        }
+    }
+
+    /// Write `payload` at `offset` of `path` on behalf of `client`.
+    /// The payload is split into segments (≤ `segment_size`, aligned to
+    /// the logical segment grid) and placed by DHP.
+    pub fn write(
+        &self,
+        client: ClientId,
+        path: &str,
+        offset: u64,
+        payload: Payload,
+    ) -> SimResult<()> {
+        let len = payload.len();
+        if len == 0 {
+            return Ok(());
+        }
+        let mut st = self.state.lock();
+        self.ensure_chain(&mut st, client);
+        let (fid, _) = {
+            let entry = st
+                .files
+                .get_mut(path)
+                .ok_or_else(|| SimError::InvalidConfig(format!("write to unopened '{path}'")))?;
+            entry.size = entry.size.max(offset + len);
+            entry.written = true;
+            (entry.fid, ())
+        };
+        let seg = self.cfg.segment_size;
+        let node = self.cfg.geometry.node_of_rank(client.rank as usize);
+
+        let mut cur = offset;
+        let end = offset + len;
+        while cur < end {
+            // Align pieces to the segment grid so overwrites displace
+            // whole records where possible.
+            let grid_next = (cur / seg + 1) * seg;
+            let piece_end = grid_next.min(end);
+            let piece_len = piece_end - cur;
+            let piece = payload.slice(cur - offset, piece_len);
+
+            let st = &mut *st;
+            let chain = st.chains.get_mut(&client).expect("ensured above");
+            let placed = chain.append(piece.clone())?;
+
+            // Resilience (future work of the paper): mirror segments that
+            // landed on volatile layers into a buddy process's chain on
+            // the next node, so a node failure loses no data.
+            let mut record = SegmentRecord::new(client, placed.va, piece_len);
+            if self.cfg.replicate_volatile && placed.tier != Tier::Pfs {
+                let buddy = self.buddy_of(client);
+                if buddy != client {
+                    self.ensure_chain(st, buddy);
+                    let bchain = st.chains.get_mut(&buddy).expect("ensured");
+                    // Best-effort: a full buddy chain degrades resilience
+                    // for this segment, it does not fail the write.
+                    if let Ok(rplaced) = bchain.append(piece) {
+                        record.replica = Some((buddy, rplaced.va));
+                        st.stats.replicated_bytes += piece_len;
+                    }
+                }
+            }
+
+            let (_, displaced) = st.metadata.insert(SegKey { fid, offset: cur }, record, node);
+            // Free the log space of overwritten data (possibly owned by
+            // other clients' chains), including replica copies.
+            for d in displaced {
+                if let Some(owner) = st.chains.get_mut(&d.client) {
+                    owner.release(d.va, d.len);
+                }
+                if let Some((rc, rva)) = d.replica {
+                    if let Some(owner) = st.chains.get_mut(&rc) {
+                        owner.release(rva, d.len);
+                    }
+                }
+            }
+            st.stats.segments += 1;
+            st.stats.write_md_rpcs += 1;
+            *st.stats.bytes_by_tier.entry(placed.tier).or_insert(0) += piece_len;
+            *st
+                .stats
+                .bytes_by_client_tier
+                .entry((client, placed.tier))
+                .or_insert(0) += piece_len;
+            cur = piece_end;
+        }
+        Ok(())
+    }
+
+    /// Read `[offset, offset + len)` of `path` on behalf of `client`.
+    pub fn read(
+        &self,
+        client: ClientId,
+        path: &str,
+        offset: u64,
+        len: u64,
+    ) -> SimResult<Payload> {
+        let mut st = self.state.lock();
+        let fid = st
+            .files
+            .get(path)
+            .ok_or_else(|| SimError::InvalidConfig(format!("read of unopened '{path}'")))?
+            .fid;
+        let st = &mut *st;
+        let (payload, trace, touched) = read_segments(
+            &mut st.metadata,
+            &st.chains,
+            &self.cfg.geometry,
+            self.cfg.features.location_aware_reads,
+            &st.failed_nodes,
+            client,
+            fid,
+            offset,
+            len,
+        )?;
+        st.stats.read_trace.absorb(&trace);
+        for key in touched {
+            *st.heat.entry(key).or_insert(0) += 1;
+        }
+        Ok(payload)
+    }
+
+    /// The replica buddy of `client`: the same-index process on the next
+    /// node (wrapping), so primary and replica never share a node in
+    /// multi-node jobs.
+    fn buddy_of(&self, client: ClientId) -> ClientId {
+        let total = self.cfg.geometry.total_procs() as u32;
+        ClientId::new(
+            client.app,
+            (client.rank + self.cfg.geometry.procs_per_node as u32) % total,
+        )
+    }
+
+    /// Failure injection: mark a node's volatile storage as lost. Reads
+    /// of segments whose primary lived there are served from replicas.
+    pub fn fail_node(&self, node: usize) {
+        let mut st = self.state.lock();
+        st.failed_nodes.insert(node);
+    }
+
+    /// Adaptive, proactive placement (future work of the paper): promote
+    /// every segment read at least `min_reads` times from a slower layer
+    /// into its producer's DRAM log, space permitting. Returns the number
+    /// of segments promoted.
+    pub fn promote_hot(&self, min_reads: u32) -> SimResult<usize> {
+        let mut st = self.state.lock();
+        let st = &mut *st;
+        let hot: Vec<SegKey> = st
+            .heat
+            .iter()
+            .filter(|(_, n)| **n >= min_reads)
+            .map(|(k, _)| *k)
+            .collect();
+        let mut promoted = 0usize;
+        for key in hot {
+            let record = match st.metadata.get(&key) {
+                (_, Some(r)) => *r,
+                (_, None) => continue, // overwritten since it was read
+            };
+            let Some(chain) = st.chains.get_mut(&record.client) else {
+                continue;
+            };
+            if chain.tier_of(record.va) == Tier::Dram {
+                continue; // already on the fastest layer
+            }
+            let payload = chain.read(record.va, record.len)?;
+            let placed = chain.append(payload)?;
+            if placed.tier != Tier::Dram {
+                // No DRAM space after all: undo the copy.
+                chain.release(placed.va, record.len);
+                continue;
+            }
+            let node = self.cfg.geometry.node_of_rank(record.client.rank as usize);
+            let mut new_record = record;
+            new_record.va = placed.va;
+            // Re-inserting displaces exactly the old record; release its
+            // primary span. The replica copy is unchanged and stays
+            // referenced by the new record, so it must NOT be released.
+            let (_, displaced) = st.metadata.insert(key, new_record, node);
+            for d in displaced {
+                if let Some(owner) = st.chains.get_mut(&d.client) {
+                    owner.release(d.va, d.len);
+                }
+            }
+            st.heat.remove(&key);
+            st.stats.promotions += 1;
+            promoted += 1;
+        }
+        Ok(promoted)
+    }
+
+    /// Close a file on behalf of `represents` ranks. The last close of a
+    /// written file triggers the server-side flush (when enabled) and
+    /// releases the workflow lock.
+    pub fn close(
+        &self,
+        path: &str,
+        _client: ClientId,
+        mode: OpenMode,
+        represents: usize,
+        lock_holder: bool,
+    ) -> SimResult<Option<FlushReceipt>> {
+        let (should_flush, fid, size) = {
+            let mut st = self.state.lock();
+            st.stats.open_close_md_rpcs += 1;
+            st.stats.closes += 1;
+            let entry = st
+                .files
+                .get_mut(path)
+                .ok_or_else(|| SimError::InvalidConfig(format!("close of unopened '{path}'")))?;
+            assert!(
+                entry.open_count >= represents,
+                "close of '{path}' beyond open count"
+            );
+            entry.open_count -= represents;
+            let trigger = entry.open_count == 0
+                && entry.written
+                && mode.writable()
+                && self.cfg.features.flush_on_close;
+            (trigger, entry.fid, entry.size)
+        };
+
+        // Release the workflow lock before flushing: readers may proceed
+        // on the cached data while servers flush (§II-E).
+        if lock_holder && self.cfg.features.workflow {
+            if mode.writable() {
+                self.state_file.release_write(path);
+            } else {
+                self.state_file.release_read(path);
+            }
+        }
+
+        if !should_flush || size == 0 {
+            return Ok(None);
+        }
+        if self.cfg.features.workflow {
+            self.state_file.begin_flush(path);
+        }
+        let receipt = {
+            let mut st = self.state.lock();
+            let st = &mut *st;
+            flush_file(
+                &mut st.metadata,
+                &st.chains,
+                &mut st.lustre,
+                &self.cfg,
+                &st.failed_nodes,
+                fid,
+                size,
+                path,
+            )?
+        };
+        if self.cfg.features.workflow {
+            self.state_file.end_flush(path);
+        }
+        let mut st = self.state.lock();
+        st.stats.flush_receipts.push(receipt.clone());
+        Ok(Some(receipt))
+    }
+
+    /// Logical size of a cached file.
+    pub fn file_size(&self, path: &str) -> SimResult<u64> {
+        let st = self.state.lock();
+        st.files
+            .get(path)
+            .map(|e| e.size)
+            .ok_or_else(|| SimError::InvalidConfig(format!("no such file '{path}'")))
+    }
+
+    /// Live cached bytes per tier across all clients.
+    pub fn tier_usage(&self) -> Vec<(Tier, u64)> {
+        let st = self.state.lock();
+        let mut agg: BTreeMap<Tier, u64> = BTreeMap::new();
+        for chain in st.chains.values() {
+            for (tier, bytes) in chain.live_by_layer() {
+                *agg.entry(tier).or_insert(0) += bytes;
+            }
+        }
+        agg.into_iter().collect()
+    }
+
+    /// Verify a flushed file: compare the PFS copy byte-for-byte against
+    /// the cached data (materializes the file — small/medium scale only).
+    pub fn verify_flush(&self, client: ClientId, path: &str) -> SimResult<bool> {
+        let size = self.file_size(path)?;
+        let cached = self.read(client, path, 0, size)?;
+        let on_pfs = self.lustre_read(path, 0, size)?;
+        Ok(cached.content_eq(&on_pfs))
+    }
+
+    /// Read back a flushed file from the PFS (verification).
+    pub fn lustre_read(&self, path: &str, offset: u64, len: u64) -> SimResult<Payload> {
+        let mut st = self.state.lock();
+        st.lustre.read(path, offset, len, u64::MAX)
+    }
+
+    /// Size of a flushed file on the PFS.
+    pub fn lustre_file_size(&self, path: &str) -> SimResult<u64> {
+        let st = self.state.lock();
+        st.lustre.file_size(path)
+    }
+
+    /// Per-OST cumulative byte loads on the PFS.
+    pub fn ost_loads(&self) -> Vec<u64> {
+        self.state.lock().lustre.ost_loads()
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> JobStats {
+        self.state.lock().stats.clone()
+    }
+
+    /// Take and reset the counters (phase boundaries in experiments).
+    pub fn take_stats(&self) -> JobStats {
+        std::mem::take(&mut self.state.lock().stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job() -> UniviStorJob {
+        UniviStorJob::new(UniviStorConfig::test_small(2, 2))
+    }
+
+    fn client(rank: u32) -> ClientId {
+        ClientId::new(0, rank)
+    }
+
+    #[test]
+    fn open_write_read_close_roundtrip() {
+        let j = job();
+        let total_ranks = 4;
+        j.open("/f", OpenMode::Write, client(0), total_ranks, true)
+            .unwrap();
+        for rank in 0..4u32 {
+            // Each rank writes 512 B at its block offset.
+            j.write(
+                client(rank),
+                "/f",
+                rank as u64 * 512,
+                Payload::pattern(rank as u64, 512),
+            )
+            .unwrap();
+        }
+        assert_eq!(j.file_size("/f").unwrap(), 2048);
+        // Cross-rank read before close.
+        let got = j.read(client(0), "/f", 512, 512).unwrap();
+        assert!(got.content_eq(&Payload::pattern(1, 512)));
+        let receipt = j
+            .close("/f", client(0), OpenMode::Write, total_ranks, true)
+            .unwrap()
+            .expect("last close flushes");
+        assert_eq!(receipt.file_size, 2048);
+        // And it is on Lustre, byte-exact.
+        let pfs = j.lustre_read("/f", 512, 512).unwrap();
+        assert!(pfs.content_eq(&Payload::pattern(1, 512)));
+    }
+
+    #[test]
+    fn writes_spill_across_tiers() {
+        let j = job();
+        j.open("/big", OpenMode::Write, client(0), 1, true).unwrap();
+        // DRAM per proc: 1024/2 = 512 B (2 chunks of 256); write 2 KiB.
+        j.write(client(0), "/big", 0, Payload::pattern(9, 2048))
+            .unwrap();
+        let usage = j.tier_usage();
+        let dram = usage
+            .iter()
+            .find(|(t, _)| *t == Tier::Dram)
+            .map(|(_, b)| *b)
+            .unwrap_or(0);
+        let bb = usage
+            .iter()
+            .find(|(t, _)| *t == Tier::SharedBurstBuffer)
+            .map(|(_, b)| *b)
+            .unwrap_or(0);
+        assert_eq!(dram, 512, "usage: {usage:?}");
+        assert!(bb > 0, "no spill: {usage:?}");
+        // Everything still reads back.
+        let got = j.read(client(0), "/big", 0, 2048).unwrap();
+        assert!(got.content_eq(&Payload::pattern(9, 2048)));
+    }
+
+    #[test]
+    fn overwrite_releases_and_replaces() {
+        let j = job();
+        j.open("/f", OpenMode::Write, client(0), 1, true).unwrap();
+        j.write(client(0), "/f", 0, Payload::pattern(1, 512)).unwrap();
+        let before = j.tier_usage().iter().map(|(_, b)| *b).sum::<u64>();
+        j.write(client(0), "/f", 0, Payload::pattern(2, 512)).unwrap();
+        let after = j.tier_usage().iter().map(|(_, b)| *b).sum::<u64>();
+        assert_eq!(before, after, "overwrite must not grow live bytes");
+        let got = j.read(client(0), "/f", 0, 512).unwrap();
+        assert!(got.content_eq(&Payload::pattern(2, 512)));
+    }
+
+    #[test]
+    fn flush_only_on_last_close() {
+        let j = job();
+        j.open("/f", OpenMode::Write, client(0), 2, true).unwrap();
+        j.write(client(0), "/f", 0, Payload::pattern(1, 128)).unwrap();
+        let r = j.close("/f", client(0), OpenMode::Write, 1, false).unwrap();
+        assert!(r.is_none(), "flush before last close");
+        let r = j.close("/f", client(1), OpenMode::Write, 1, true).unwrap();
+        assert!(r.is_some());
+    }
+
+    #[test]
+    fn read_only_close_does_not_flush() {
+        let j = job();
+        j.open("/f", OpenMode::Write, client(0), 1, true).unwrap();
+        j.write(client(0), "/f", 0, Payload::pattern(1, 128)).unwrap();
+        j.close("/f", client(0), OpenMode::Write, 1, true).unwrap();
+        j.open("/f", OpenMode::Read, client(1), 1, true).unwrap();
+        let flushes_before = j.stats().flush_receipts.len();
+        j.close("/f", client(1), OpenMode::Read, 1, true).unwrap();
+        assert_eq!(j.stats().flush_receipts.len(), flushes_before);
+    }
+
+    #[test]
+    fn flush_disabled_skips_persistence() {
+        let mut cfg = UniviStorConfig::test_small(1, 1);
+        cfg.features.flush_on_close = false;
+        let j = UniviStorJob::new(cfg);
+        j.open("/f", OpenMode::Write, client(0), 1, true).unwrap();
+        j.write(client(0), "/f", 0, Payload::pattern(1, 64)).unwrap();
+        assert!(j
+            .close("/f", client(0), OpenMode::Write, 1, true)
+            .unwrap()
+            .is_none());
+        assert!(j.lustre_file_size("/f").is_err());
+    }
+
+    #[test]
+    fn open_missing_for_read_fails() {
+        let j = job();
+        assert!(j.open("/nope", OpenMode::Read, client(0), 1, true).is_err());
+    }
+
+    #[test]
+    fn connection_management() {
+        let j = job();
+        j.connect(client(0));
+        j.connect(client(1));
+        assert_eq!(j.connected_count(), 2);
+        j.disconnect(client(0));
+        assert_eq!(j.connected_count(), 1);
+        j.disconnect(client(1));
+        assert_eq!(j.connected_count(), 0);
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let j = job();
+        j.open("/f", OpenMode::Write, client(0), 1, true).unwrap();
+        j.write(client(0), "/f", 0, Payload::pattern(1, 512)).unwrap();
+        j.read(client(0), "/f", 0, 512).unwrap();
+        let s = j.stats();
+        assert!(s.segments >= 4); // 512 B in 128 B segments
+        assert_eq!(s.read_trace.total_bytes(), 512);
+        assert_eq!(s.opens, 1);
+        j.take_stats();
+        assert_eq!(j.stats().segments, 0);
+    }
+
+    #[test]
+    fn verify_flush_detects_integrity() {
+        let j = job();
+        j.open("/v", OpenMode::Write, client(0), 1, true).unwrap();
+        j.write(client(0), "/v", 0, Payload::pattern(3, 700)).unwrap();
+        j.close("/v", client(0), OpenMode::Write, 1, true)
+            .unwrap()
+            .expect("flush");
+        assert!(j.verify_flush(client(0), "/v").unwrap());
+        // Mutate the cache after the flush: verification now fails.
+        j.open("/v", OpenMode::Write, client(0), 1, true).unwrap();
+        j.write(client(0), "/v", 0, Payload::pattern(4, 128)).unwrap();
+        assert!(!j.verify_flush(client(0), "/v").unwrap());
+    }
+
+    #[test]
+    fn data_shared_between_coupled_apps() {
+        // App 0 writes; app 1 (different ClientId.app) reads through the
+        // same servers — Fig. 1's data-sharing scenario.
+        let j = job();
+        let producer = ClientId::new(0, 0);
+        let consumer = ClientId::new(1, 0);
+        j.open("/shared", OpenMode::Write, producer, 1, true).unwrap();
+        j.write(producer, "/shared", 0, Payload::pattern(5, 256)).unwrap();
+        let got = j.read(consumer, "/shared", 0, 256).unwrap();
+        assert!(got.content_eq(&Payload::pattern(5, 256)));
+    }
+}

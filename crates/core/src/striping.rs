@@ -1,0 +1,287 @@
+//! Adaptive data striping for fast data flush (§II-D, Eqs. 2–6).
+//!
+//! The flush splits the logical file into one contiguous range per
+//! flushing server and chooses striping dynamically:
+//!
+//! * **Case 1 — fewer servers than OSTs**: each server's range is striped
+//!   over a *distinct* set of `C_per_server = min(C_max_units/C_servers, α)`
+//!   OSTs (Eq. 2), with stripe size
+//!   `min(S_file / (C_servers · C_per_server), S_max)` (Eq. 3) and stripe
+//!   count `min(S_file / S_stripe, C_max_units)` (Eq. 4). No two servers
+//!   share an OST, so there is no cross-server synchronization.
+//! * **Case 2 — at least as many servers as OSTs**: servers must overlap on
+//!   OSTs. The naïve `S_stripe = S_file / C_servers` (Eq. 5) leaves
+//!   `C_servers mod C_max_units` OSTs serving one extra server (the paper's
+//!   example: 512 servers on 248 OSTs leave 16 straggler OSTs). Rounding
+//!   the server count up to a multiple of the OST count —
+//!   `C_dum_servers = ⌈C_servers/C_max_units⌉ · C_max_units` (Eq. 6) —
+//!   yields a smaller stripe that amortizes load evenly.
+//!   (The paper's prose says "724" for 512 servers and 248 OSTs; Eq. 6
+//!   gives 744 — we implement the equation and note the typo.)
+//!
+//! The non-adaptive baseline stripes the whole file across *all* OSTs with
+//! a fixed default stripe size, so every server synchronizes with every
+//! OST and per-OST load depends on luck.
+
+use serde::{Deserialize, Serialize};
+use univistor_pfs::{FileLayout, RangeLayout, StripeLayout};
+
+/// Which regime Eq. 2–6 selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StripeCase {
+    /// Servers < OSTs: distinct OST sets per server.
+    DistinctSets,
+    /// Servers ≥ OSTs: balanced overlap via dummy-server rounding.
+    BalancedOverlap,
+}
+
+/// A complete flush striping decision.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StripePlan {
+    /// Which case applied.
+    pub case: StripeCase,
+    /// Stripe size in bytes.
+    pub stripe_size: u64,
+    /// Per-server contiguous file ranges `[start, end)`.
+    pub server_ranges: Vec<(u64, u64)>,
+    /// File layout to create the destination file with.
+    pub layout: FileLayout,
+    /// Distinct OSTs each server contacts (synchronization cost driver).
+    pub osts_per_server: usize,
+}
+
+/// Split `[0, file_size)` into `servers` contiguous ranges (last absorbs
+/// the remainder). Empty ranges occur when `file_size < servers`.
+pub fn server_ranges(file_size: u64, servers: usize) -> Vec<(u64, u64)> {
+    assert!(servers > 0);
+    let base = file_size / servers as u64;
+    let rem = file_size % servers as u64;
+    let mut out = Vec::with_capacity(servers);
+    let mut cur = 0u64;
+    for i in 0..servers as u64 {
+        let len = base + u64::from(i < rem);
+        out.push((cur, cur + len));
+        cur += len;
+    }
+    debug_assert_eq!(cur, file_size);
+    out
+}
+
+/// Eq. 2: distinct OSTs per server in case 1.
+pub fn c_per_server(osts: usize, servers: usize, alpha: usize) -> usize {
+    (osts / servers).min(alpha).max(1)
+}
+
+/// Eq. 6: dummy server count in case 2.
+pub fn c_dum_servers(servers: usize, osts: usize) -> usize {
+    servers.div_ceil(osts) * osts
+}
+
+/// Compute the adaptive plan (Eqs. 2–6).
+pub fn adaptive_plan(
+    file_size: u64,
+    servers: usize,
+    osts: usize,
+    alpha: usize,
+    max_stripe: u64,
+) -> StripePlan {
+    assert!(servers > 0 && osts > 0 && alpha > 0 && max_stripe > 0);
+    assert!(file_size > 0, "cannot plan an empty flush");
+    let ranges = server_ranges(file_size, servers);
+
+    if servers < osts {
+        // Case 1: distinct OST sets.
+        let per = c_per_server(osts, servers, alpha);
+        // Eq. 3 (floor'd, at least one byte).
+        let stripe_size = (file_size / (servers as u64 * per as u64))
+            .clamp(1, max_stripe);
+        let mut layout_ranges = Vec::with_capacity(servers);
+        for (i, &(start, end)) in ranges.iter().enumerate() {
+            let open_end = if i == servers - 1 { u64::MAX } else { end };
+            layout_ranges.push(RangeLayout {
+                start,
+                end: open_end,
+                layout: StripeLayout::new(stripe_size, per, (i * per) % osts),
+            });
+        }
+        StripePlan {
+            case: StripeCase::DistinctSets,
+            stripe_size,
+            server_ranges: ranges,
+            layout: FileLayout::composite(layout_ranges),
+            osts_per_server: per,
+        }
+    } else {
+        // Case 2: balanced overlap.
+        let dum = c_dum_servers(servers, osts);
+        let stripe_size = (file_size / dum as u64).clamp(1, max_stripe);
+        let layout = FileLayout::Uniform(StripeLayout::new(stripe_size, osts, 0));
+        // A server's range spans ⌈range/stripe⌉ stripes, each on its own
+        // OST (round robin), but never more than all OSTs.
+        let range_len = ranges.first().map(|r| r.1 - r.0).unwrap_or(0);
+        let osts_per_server = (range_len.div_ceil(stripe_size.max(1)) as usize).clamp(1, osts);
+        StripePlan {
+            case: StripeCase::BalancedOverlap,
+            stripe_size,
+            server_ranges: ranges,
+            layout,
+            osts_per_server,
+        }
+    }
+}
+
+/// The non-adaptive baseline: stripe everything across all OSTs with the
+/// system default stripe size (what `lfs setstripe -c -1` gives you).
+pub fn naive_plan(
+    file_size: u64,
+    servers: usize,
+    osts: usize,
+    default_stripe: u64,
+) -> StripePlan {
+    assert!(servers > 0 && osts > 0 && default_stripe > 0 && file_size > 0);
+    let ranges = server_ranges(file_size, servers);
+    let range_len = ranges.first().map(|r| r.1 - r.0).unwrap_or(0);
+    let stripes_in_range = range_len.div_ceil(default_stripe.max(1)) as usize;
+    StripePlan {
+        case: StripeCase::BalancedOverlap,
+        stripe_size: default_stripe,
+        server_ranges: ranges,
+        layout: FileLayout::Uniform(StripeLayout::new(default_stripe, osts, 0)),
+        // With small default stripes every server touches ~all OSTs.
+        osts_per_server: stripes_in_range.clamp(1, osts),
+    }
+}
+
+/// Per-OST byte loads of a plan (for load-balance analysis): how many
+/// bytes each OST receives when all server ranges are written.
+pub fn ost_loads(plan: &StripePlan, osts: usize) -> Vec<u64> {
+    let mut loads = vec![0u64; osts];
+    for &(start, end) in &plan.server_ranges {
+        if end > start {
+            for (ost, bytes) in plan.layout.ost_loads(start, end - start) {
+                loads[ost % osts] += bytes;
+            }
+        }
+    }
+    loads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB: u64 = 1 << 30;
+
+    #[test]
+    fn eq2_caps_at_alpha() {
+        assert_eq!(c_per_server(248, 4, 8), 8); // 62 capped at α=8
+        assert_eq!(c_per_server(248, 62, 8), 4);
+        assert_eq!(c_per_server(248, 124, 8), 2);
+        assert_eq!(c_per_server(248, 200, 8), 1);
+    }
+
+    #[test]
+    fn eq6_paper_example_512_servers_248_osts() {
+        // ⌈512/248⌉ × 248 = 744 (the paper's prose says 724 — a typo).
+        assert_eq!(c_dum_servers(512, 248), 744);
+        assert_eq!(c_dum_servers(248, 248), 248);
+        assert_eq!(c_dum_servers(249, 248), 496);
+    }
+
+    #[test]
+    fn case1_servers_get_disjoint_ost_sets() {
+        let plan = adaptive_plan(64 * GB, 8, 248, 8, GB);
+        assert_eq!(plan.case, StripeCase::DistinctSets);
+        assert_eq!(plan.osts_per_server, 8);
+        // Collect the OSTs each server range actually touches.
+        let mut seen = std::collections::HashSet::new();
+        for &(start, end) in &plan.server_ranges {
+            let mut mine = std::collections::HashSet::new();
+            for (ost, _) in plan.layout.ost_loads(start, end - start) {
+                mine.insert(ost % 248);
+            }
+            assert!(mine.len() <= 8);
+            for ost in mine {
+                assert!(seen.insert(ost), "OST {ost} shared between servers");
+            }
+        }
+    }
+
+    #[test]
+    fn case1_stripe_size_follows_eq3() {
+        let plan = adaptive_plan(64 * GB, 8, 248, 8, GB);
+        // Eq. 3: 64 GB / (8 × 8) = 1 GB, capped at S_max = 1 GB.
+        assert_eq!(plan.stripe_size, GB);
+        let plan = adaptive_plan(64 * GB, 16, 248, 8, GB);
+        assert_eq!(plan.stripe_size, 64 * GB / (16 * 8));
+    }
+
+    #[test]
+    fn case2_loads_are_balanced_where_naive_eq5_is_not() {
+        let osts = 248;
+        let servers = 512;
+        let file = 512 * GB;
+        let plan = adaptive_plan(file, servers, osts, 8, GB);
+        assert_eq!(plan.case, StripeCase::BalancedOverlap);
+        let loads = ost_loads(&plan, osts);
+        let max = *loads.iter().max().unwrap() as f64;
+        let min = *loads.iter().min().unwrap() as f64;
+        assert!(
+            max / min < 1.05,
+            "adaptive case-2 imbalanced: {max} vs {min}"
+        );
+
+        // Naive Eq. 5 equivalent: stripe = file/servers over all OSTs in
+        // round robin — 512 ranges on 248 OSTs → 16 OSTs carry 3 ranges.
+        let eq5_stripe = file / servers as u64;
+        let naive_layout = StripeLayout::new(eq5_stripe, osts, 0);
+        let mut naive_loads = vec![0u64; osts];
+        for (ost, b) in naive_layout.ost_loads(0, file) {
+            naive_loads[ost % osts] += b;
+        }
+        let nmax = *naive_loads.iter().max().unwrap() as f64;
+        let nmin = *naive_loads.iter().min().unwrap() as f64;
+        assert!(nmax / nmin > 1.4, "Eq.5 stragglers missing: {nmax}/{nmin}");
+    }
+
+    #[test]
+    fn naive_plan_contacts_many_osts() {
+        let plan = naive_plan(512 * GB, 16, 248, 1 << 20);
+        // 32 GB per server in 1 MiB stripes → touches all 248 OSTs.
+        assert_eq!(plan.osts_per_server, 248);
+        let adaptive = adaptive_plan(512 * GB, 16, 248, 8, GB);
+        assert_eq!(adaptive.osts_per_server, 8);
+    }
+
+    #[test]
+    fn server_ranges_cover_file_exactly() {
+        for (size, servers) in [(100u64, 7usize), (1, 3), (0, 2), (1 << 40, 512)] {
+            let ranges = server_ranges(size, servers);
+            assert_eq!(ranges.len(), servers);
+            let mut cur = 0;
+            for (s, e) in ranges {
+                assert_eq!(s, cur);
+                cur = e;
+            }
+            assert_eq!(cur, size);
+        }
+    }
+
+    #[test]
+    fn tiny_files_still_plan() {
+        let plan = adaptive_plan(10, 4, 248, 8, GB);
+        assert!(plan.stripe_size >= 1);
+        let plan = adaptive_plan(10, 300, 248, 8, GB);
+        assert!(plan.stripe_size >= 1);
+    }
+
+    #[test]
+    fn loads_sum_to_file_size() {
+        for servers in [4usize, 100, 300, 512] {
+            let file = 31 * GB + 12345;
+            let plan = adaptive_plan(file, servers, 248, 8, GB);
+            let total: u64 = ost_loads(&plan, 248).iter().sum();
+            assert_eq!(total, file, "servers = {servers}");
+        }
+    }
+}

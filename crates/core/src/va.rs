@@ -1,0 +1,220 @@
+//! Virtual addressing across storage layers (§II-B2, Eq. 1).
+//!
+//! A segment written by a process lives in one of that process's per-layer
+//! log files. Its **Virtual Address** is the prefix sum of the log
+//! capacities of all lower layers plus its physical address within its own
+//! layer's log:
+//!
+//! ```text
+//! VA(layer i, addr A) = Σ_{k<i} C_k + A          (Eq. 1)
+//! ```
+//!
+//! A VA therefore identifies *both* the layer and the physical location —
+//! Fig. 2's example: with layer capacities (2, 3, …), segment D4 at
+//! physical address 1 of its second-layer log has VA = 2 + 1 = 3.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A storage layer in the DHP chain, ordered fastest-first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Tier {
+    /// Node-local DRAM (mmap'd shared memory managed by the servers).
+    Dram,
+    /// Node-local NVRAM/SSD.
+    NodeLocal,
+    /// Shared, network-attached burst buffer.
+    SharedBurstBuffer,
+    /// Disk-based parallel file system — the final destination layer.
+    Pfs,
+}
+
+impl Tier {
+    /// True when a log on this tier is visible only within its host node
+    /// (the premise of the location-aware read service, §II-B4).
+    pub fn node_local(self) -> bool {
+        matches!(self, Tier::Dram | Tier::NodeLocal)
+    }
+}
+
+impl fmt::Display for Tier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Tier::Dram => "DRAM",
+            Tier::NodeLocal => "node-local",
+            Tier::SharedBurstBuffer => "BB",
+            Tier::Pfs => "PFS",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A virtual address within one process's cross-layer log chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VirtualAddr(pub u64);
+
+/// The ordered per-process log capacities of each layer, with Eq. 1
+/// encode/decode.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TierMap {
+    /// (tier, per-process log capacity in bytes), fastest first. The final
+    /// layer may be unbounded (`u64::MAX`), conventionally the PFS.
+    layers: Vec<(Tier, u64)>,
+    /// prefix[i] = Σ_{k<i} C_k.
+    prefix: Vec<u64>,
+}
+
+impl TierMap {
+    /// Build from ordered (tier, capacity) pairs. Capacities must be
+    /// positive; only the last layer may be unbounded.
+    pub fn new(layers: Vec<(Tier, u64)>) -> Self {
+        assert!(!layers.is_empty(), "tier map needs at least one layer");
+        let mut prefix = Vec::with_capacity(layers.len());
+        let mut acc = 0u64;
+        for (i, &(tier, cap)) in layers.iter().enumerate() {
+            assert!(cap > 0, "layer {tier} has zero capacity");
+            prefix.push(acc);
+            if cap == u64::MAX {
+                assert!(
+                    i == layers.len() - 1,
+                    "only the final layer may be unbounded"
+                );
+            } else {
+                acc = acc
+                    .checked_add(cap)
+                    .expect("cumulative tier capacity overflows u64");
+            }
+        }
+        TierMap { layers, prefix }
+    }
+
+    /// Number of layers.
+    pub fn n_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Tier of layer `i`.
+    pub fn tier(&self, layer: usize) -> Tier {
+        self.layers[layer].0
+    }
+
+    /// Per-process log capacity of layer `i`.
+    pub fn capacity(&self, layer: usize) -> u64 {
+        self.layers[layer].1
+    }
+
+    /// Σ of capacities below `layer` (the Eq. 1 base).
+    pub fn base(&self, layer: usize) -> u64 {
+        self.prefix[layer]
+    }
+
+    /// Eq. 1: encode a (layer, physical address) pair.
+    pub fn encode(&self, layer: usize, addr: u64) -> VirtualAddr {
+        assert!(layer < self.layers.len(), "layer {layer} out of range");
+        assert!(
+            addr < self.layers[layer].1,
+            "address {addr} exceeds layer {layer} capacity {}",
+            self.layers[layer].1
+        );
+        VirtualAddr(self.prefix[layer] + addr)
+    }
+
+    /// Invert Eq. 1: the layer and physical address a VA points into.
+    pub fn decode(&self, va: VirtualAddr) -> (usize, Tier, u64) {
+        // prefix is sorted; find the last layer whose base ≤ va.
+        let layer = match self.prefix.binary_search(&va.0) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let addr = va.0 - self.prefix[layer];
+        debug_assert!(addr < self.layers[layer].1, "VA beyond final capacity");
+        (layer, self.layers[layer].0, addr)
+    }
+
+    /// The layer index of a tier, if present.
+    pub fn layer_of(&self, tier: Tier) -> Option<usize> {
+        self.layers.iter().position(|(t, _)| *t == tier)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig2_map() -> TierMap {
+        // Fig. 2: node-local log capacity 2, shared BB capacity 3, PFS ∞.
+        TierMap::new(vec![
+            (Tier::NodeLocal, 2),
+            (Tier::SharedBurstBuffer, 3),
+            (Tier::Pfs, u64::MAX),
+        ])
+    }
+
+    #[test]
+    fn fig2_example_d4_has_va_3() {
+        let m = fig2_map();
+        // D4: physical address 1 in the layer-1 (BB) log.
+        assert_eq!(m.encode(1, 1), VirtualAddr(3));
+        // And back.
+        assert_eq!(m.decode(VirtualAddr(3)), (1, Tier::SharedBurstBuffer, 1));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_all_layers() {
+        let m = fig2_map();
+        for (layer, addr) in [(0, 0), (0, 1), (1, 0), (1, 2), (2, 0), (2, 1000)] {
+            let va = m.encode(layer, addr);
+            let (l, t, a) = m.decode(va);
+            assert_eq!((l, a), (layer, addr));
+            assert_eq!(t, m.tier(layer));
+        }
+    }
+
+    #[test]
+    fn va_identifies_layer_boundaries() {
+        let m = fig2_map();
+        assert_eq!(m.decode(VirtualAddr(0)).0, 0);
+        assert_eq!(m.decode(VirtualAddr(1)).0, 0);
+        assert_eq!(m.decode(VirtualAddr(2)).0, 1); // first BB byte
+        assert_eq!(m.decode(VirtualAddr(4)).0, 1);
+        assert_eq!(m.decode(VirtualAddr(5)).0, 2); // first PFS byte
+    }
+
+    #[test]
+    fn same_va_different_processes_is_expected() {
+        // §II-B3: D4 and D12, produced by different processes, both have
+        // VA 3 — the VA alone is ambiguous, which is why metadata records
+        // carry the source process.
+        let m = fig2_map();
+        let va_d4 = m.encode(1, 1);
+        let va_d12 = m.encode(1, 1);
+        assert_eq!(va_d4, va_d12);
+    }
+
+    #[test]
+    fn base_is_prefix_sum() {
+        let m = fig2_map();
+        assert_eq!(m.base(0), 0);
+        assert_eq!(m.base(1), 2);
+        assert_eq!(m.base(2), 5);
+    }
+
+    #[test]
+    fn layer_of_tier() {
+        let m = fig2_map();
+        assert_eq!(m.layer_of(Tier::SharedBurstBuffer), Some(1));
+        assert_eq!(m.layer_of(Tier::Dram), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds layer")]
+    fn encode_beyond_capacity_panics() {
+        fig2_map().encode(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbounded")]
+    fn unbounded_middle_layer_rejected() {
+        TierMap::new(vec![(Tier::Dram, u64::MAX), (Tier::Pfs, u64::MAX)]);
+    }
+}

@@ -1,0 +1,323 @@
+//! The HDF5-lite file object.
+
+use crate::format::{DatasetInfo, Superblock, META_REGION_SIZE};
+use univistor_mpi::OpenMode;
+use univistor_mpi::hints::HDF5_COLLECTIVE_KEY;
+use univistor_mpi::{Comm, FsDriver, Hints, MpiFile};
+use univistor_sim::{Payload, SimError, SimResult};
+
+/// An open HDF5-lite file on one rank.
+///
+/// Metadata consistency model (mirroring parallel HDF5): dataset creation
+/// is collective; data reads/writes are independent. Without the
+/// collective-metadata hint, *every* rank writes the metadata region on
+/// each update — the access pattern that hammers one UniviStor server and
+/// that the COC/HDF5 optimization removes.
+pub struct H5File<'d> {
+    file: MpiFile<'d>,
+    comm: Comm,
+    collective_md: bool,
+    superblock: Superblock,
+}
+
+impl<'d> H5File<'d> {
+    /// Collectively create a new HDF5-lite file.
+    pub fn create(
+        comm: &Comm,
+        driver: &'d dyn FsDriver,
+        path: &str,
+        hints: Hints,
+    ) -> SimResult<H5File<'d>> {
+        let collective_md = hints.get_bool(HDF5_COLLECTIVE_KEY);
+        let file = MpiFile::open(comm, driver, path, OpenMode::ReadWrite, hints)?;
+        let mut h5 = H5File {
+            file,
+            comm: comm.clone(),
+            collective_md,
+            superblock: Superblock::default(),
+        };
+        h5.store_metadata()?;
+        Ok(h5)
+    }
+
+    /// Collectively open an existing file and parse its metadata.
+    pub fn open(
+        comm: &Comm,
+        driver: &'d dyn FsDriver,
+        path: &str,
+        mode: OpenMode,
+        hints: Hints,
+    ) -> SimResult<H5File<'d>> {
+        let collective_md = hints.get_bool(HDF5_COLLECTIVE_KEY);
+        let file = MpiFile::open(comm, driver, path, mode, hints)?;
+        let mut h5 = H5File {
+            file,
+            comm: comm.clone(),
+            collective_md,
+            superblock: Superblock::default(),
+        };
+        h5.load_metadata()?;
+        Ok(h5)
+    }
+
+    /// Write the superblock into the metadata region. Collective-metadata
+    /// mode: root writes, others wait; default: every rank writes the same
+    /// bytes (the storm).
+    fn store_metadata(&mut self) -> SimResult<()> {
+        let bytes = self.superblock.to_bytes()?;
+        // Pad to the full region (zeros stay virtual) so later readers see
+        // no holes regardless of table length.
+        let pad = META_REGION_SIZE - bytes.len() as u64;
+        let region = Payload::chain([Payload::from_bytes(bytes), Payload::zeros(pad)]);
+        if self.collective_md {
+            if self.comm.is_root() {
+                self.file.write_at(0, region)?;
+            }
+            self.comm.barrier();
+        } else {
+            self.file.write_at(0, region)?;
+            self.comm.barrier();
+        }
+        Ok(())
+    }
+
+    /// Read and parse the superblock. Collective-metadata mode: root reads
+    /// and broadcasts; default: every rank reads.
+    fn load_metadata(&mut self) -> SimResult<()> {
+        // The table length is unknown; read the whole region and parse.
+        // (Real HDF5 walks object headers; one bounded read is our
+        // equivalent.)
+        let parse = |payload: Payload| -> SimResult<Superblock> {
+            Superblock::from_bytes(&payload.to_bytes())
+        };
+        if self.collective_md {
+            let root_result: Option<Result<Superblock, String>> = self
+                .comm
+                .is_root()
+                .then(|| {
+                    self.read_meta_region()
+                        .and_then(parse)
+                        .map_err(|e| e.to_string())
+                });
+            let shared = self.comm.bcast(0, root_result);
+            self.superblock = shared.map_err(SimError::InvalidConfig)?;
+        } else {
+            let payload = self.read_meta_region()?;
+            self.superblock = parse(payload)?;
+        }
+        Ok(())
+    }
+
+    fn read_meta_region(&self) -> SimResult<Payload> {
+        // Read only as much as the file holds (freshly created files have a
+        // short table, not the full 64 KiB).
+        let size = self.file.size()?.min(META_REGION_SIZE);
+        self.file.read_at(0, size)
+    }
+
+    /// Collectively create a dataset of `size` bytes. All ranks must call
+    /// with identical arguments; all ranks observe the new table.
+    pub fn create_dataset(
+        &mut self,
+        name: &str,
+        size: u64,
+        elem_size: u32,
+    ) -> SimResult<DatasetInfo> {
+        let info = self.superblock.allocate(name, size, elem_size)?;
+        self.store_metadata()?;
+        Ok(info)
+    }
+
+    /// Collectively set an attribute on the file (`target = ""`) or a
+    /// dataset. All ranks must call with identical arguments.
+    pub fn set_attribute(&mut self, target: &str, name: &str, value: &[u8]) -> SimResult<()> {
+        self.superblock.set_attr(target, name, value.to_vec())?;
+        self.store_metadata()
+    }
+
+    /// Look up an attribute.
+    pub fn attribute(&self, target: &str, name: &str) -> Option<&[u8]> {
+        self.superblock.attr(target, name)
+    }
+
+    /// Look up a dataset.
+    pub fn dataset(&self, name: &str) -> Option<&DatasetInfo> {
+        self.superblock.dataset(name)
+    }
+
+    /// All datasets in creation order.
+    pub fn datasets(&self) -> &[DatasetInfo] {
+        &self.superblock.datasets
+    }
+
+    /// Independent write of `data` at `offset` within dataset `name`.
+    pub fn write(&self, name: &str, offset: u64, data: Payload) -> SimResult<()> {
+        let d = self.dataset_checked(name)?;
+        let end = offset + data.len();
+        if end > d.size {
+            return Err(SimError::OutOfCapacity {
+                requested: end,
+                available: d.size,
+            });
+        }
+        self.file.write_at(d.offset + offset, data)
+    }
+
+    /// Independent read of `[offset, offset + len)` within dataset `name`.
+    pub fn read(&self, name: &str, offset: u64, len: u64) -> SimResult<Payload> {
+        let d = self.dataset_checked(name)?;
+        if offset + len > d.size {
+            return Err(SimError::OutOfCapacity {
+                requested: offset + len,
+                available: d.size,
+            });
+        }
+        self.file.read_at(d.offset + offset, len)
+    }
+
+    fn dataset_checked(&self, name: &str) -> SimResult<&DatasetInfo> {
+        self.superblock
+            .dataset(name)
+            .ok_or_else(|| SimError::InvalidConfig(format!("no dataset '{name}'")))
+    }
+
+    /// Collective close; triggers the driver's close-time behaviour
+    /// (UniviStor: flush).
+    pub fn close(self) -> SimResult<()> {
+        self.file.close()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use univistor_mpi::{MemDriver, World};
+
+    #[test]
+    fn create_write_read_roundtrip_spmd() {
+        let driver = MemDriver::new();
+        let checks = World::run(4, |comm| {
+            let mut h5 =
+                H5File::create(&comm, &driver, "/exp.h5", Hints::new()).unwrap();
+            let per = 64u64;
+            let total = per * comm.size() as u64;
+            h5.create_dataset("energy", total, 4).unwrap();
+            let mine = Payload::pattern(comm.rank() as u64, per);
+            h5.write("energy", comm.rank() as u64 * per, mine.clone())
+                .unwrap();
+            comm.barrier();
+            // Cross-read a neighbour's slab.
+            let next = (comm.rank() + 1) % comm.size();
+            let theirs = h5.read("energy", next as u64 * per, per).unwrap();
+            let ok = theirs.content_eq(&Payload::pattern(next as u64, per));
+            h5.close().unwrap();
+            ok
+        });
+        assert_eq!(checks, vec![true; 4]);
+    }
+
+    #[test]
+    fn reopen_parses_existing_table() {
+        let driver = MemDriver::new();
+        World::run(2, |comm| {
+            let mut h5 = H5File::create(&comm, &driver, "/f.h5", Hints::new()).unwrap();
+            h5.create_dataset("a", 100, 4).unwrap();
+            h5.create_dataset("b", 200, 8).unwrap();
+            h5.write("b", 0, Payload::pattern(7, 200)).unwrap();
+            h5.close().unwrap();
+        });
+        World::run(3, |comm| {
+            let h5 = H5File::open(&comm, &driver, "/f.h5", OpenMode::Read, Hints::new())
+                .unwrap();
+            assert_eq!(h5.datasets().len(), 2);
+            let b = h5.dataset("b").unwrap();
+            assert_eq!((b.size, b.elem_size), (200, 8));
+            assert!(h5
+                .read("b", 0, 200)
+                .unwrap()
+                .content_eq(&Payload::pattern(7, 200)));
+            h5.close().unwrap();
+        });
+    }
+
+    #[test]
+    fn collective_metadata_mode_matches_default() {
+        for collective in [false, true] {
+            let driver = MemDriver::new();
+            let hints = if collective {
+                Hints::new().with(HDF5_COLLECTIVE_KEY, "1")
+            } else {
+                Hints::new()
+            };
+            let h = hints.clone();
+            World::run(4, move |comm| {
+                let mut h5 = H5File::create(&comm, &driver, "/c.h5", h.clone()).unwrap();
+                h5.create_dataset("d", 256, 4).unwrap();
+                h5.write("d", comm.rank() as u64 * 64, Payload::pattern(comm.rank() as u64, 64))
+                    .unwrap();
+                comm.barrier();
+                for r in 0..comm.size() as u64 {
+                    assert!(h5
+                        .read("d", r * 64, 64)
+                        .unwrap()
+                        .content_eq(&Payload::pattern(r, 64)));
+                }
+                h5.close().unwrap();
+            });
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_dataset_io_rejected() {
+        let driver = MemDriver::new();
+        World::run(1, |comm| {
+            let mut h5 = H5File::create(&comm, &driver, "/e.h5", Hints::new()).unwrap();
+            h5.create_dataset("d", 100, 4).unwrap();
+            assert!(h5.write("d", 90, Payload::zeros(20)).is_err());
+            assert!(h5.read("d", 90, 20).is_err());
+            assert!(h5.write("nope", 0, Payload::zeros(1)).is_err());
+            h5.close().unwrap();
+        });
+    }
+
+    #[test]
+    fn attributes_roundtrip_through_reopen() {
+        let driver = MemDriver::new();
+        World::run(2, |comm| {
+            let mut h5 = H5File::create(&comm, &driver, "/a.h5", Hints::new()).unwrap();
+            h5.create_dataset("d", 64, 4).unwrap();
+            h5.set_attribute("", "source", b"VPIC").unwrap();
+            h5.set_attribute("d", "units", b"m/s").unwrap();
+            // Replacement works.
+            h5.set_attribute("d", "units", b"km/s").unwrap();
+            // Unknown targets are rejected.
+            assert!(h5.set_attribute("nope", "x", b"y").is_err());
+            h5.close().unwrap();
+        });
+        World::run(1, |comm| {
+            let h5 = H5File::open(&comm, &driver, "/a.h5", OpenMode::Read, Hints::new())
+                .unwrap();
+            assert_eq!(h5.attribute("", "source"), Some(&b"VPIC"[..]));
+            assert_eq!(h5.attribute("d", "units"), Some(&b"km/s"[..]));
+            assert_eq!(h5.attribute("d", "missing"), None);
+            h5.close().unwrap();
+        });
+    }
+
+    #[test]
+    fn datasets_do_not_overlap_file_metadata() {
+        let driver = MemDriver::new();
+        World::run(1, |comm| {
+            let mut h5 = H5File::create(&comm, &driver, "/g.h5", Hints::new()).unwrap();
+            let d = h5.create_dataset("d", 10, 1).unwrap();
+            assert!(d.offset >= META_REGION_SIZE);
+            // Writing data must not corrupt the parseable superblock.
+            h5.write("d", 0, Payload::pattern(3, 10)).unwrap();
+            h5.close().unwrap();
+            let h5 = H5File::open(&comm, &driver, "/g.h5", OpenMode::Read, Hints::new())
+                .unwrap();
+            assert_eq!(h5.datasets().len(), 1);
+            h5.close().unwrap();
+        });
+    }
+}

@@ -1,0 +1,298 @@
+//! On-disk format: superblock + dataset table, hand-serialized.
+
+use univistor_sim::{SimError, SimResult};
+
+/// Size of the metadata region at the head of every HDF5-lite file.
+pub const META_REGION_SIZE: u64 = 64 * 1024;
+
+/// File magic.
+pub const MAGIC: &[u8; 4] = b"UH5L";
+
+/// Format version.
+pub const VERSION: u16 = 1;
+
+/// One dataset: a named contiguous extent in the data region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetInfo {
+    /// Dataset name (≤ 255 bytes).
+    pub name: String,
+    /// Absolute file offset of the dataset's first byte.
+    pub offset: u64,
+    /// Dataset size in bytes.
+    pub size: u64,
+    /// Element size in bytes (4 for the paper's float32 particle fields).
+    pub elem_size: u32,
+}
+
+/// A named attribute attached to the file (empty target) or a dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrEntry {
+    /// `""` for file-level attributes, else the dataset name.
+    pub target: String,
+    /// Attribute name (≤ 255 bytes).
+    pub name: String,
+    /// Raw attribute value (≤ 64 KiB).
+    pub value: Vec<u8>,
+}
+
+/// The metadata region's contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Superblock {
+    /// Next free byte in the data region (absolute file offset).
+    pub alloc_cursor: u64,
+    /// Registered datasets, in creation order.
+    pub datasets: Vec<DatasetInfo>,
+    /// File- and dataset-level attributes, in insertion order.
+    pub attributes: Vec<AttrEntry>,
+}
+
+impl Default for Superblock {
+    fn default() -> Self {
+        Superblock {
+            alloc_cursor: META_REGION_SIZE,
+            datasets: Vec::new(),
+            attributes: Vec::new(),
+        }
+    }
+}
+
+impl Superblock {
+    /// Find a dataset by name.
+    pub fn dataset(&self, name: &str) -> Option<&DatasetInfo> {
+        self.datasets.iter().find(|d| d.name == name)
+    }
+
+    /// Set (or replace) an attribute. `target` must be `""` (file level)
+    /// or the name of an existing dataset.
+    pub fn set_attr(&mut self, target: &str, name: &str, value: Vec<u8>) -> SimResult<()> {
+        if !target.is_empty() && self.dataset(target).is_none() {
+            return Err(SimError::InvalidConfig(format!(
+                "attribute target dataset '{target}' does not exist"
+            )));
+        }
+        if name.len() > 255 || target.len() > 255 {
+            return Err(SimError::InvalidConfig("attribute name too long".into()));
+        }
+        if value.len() > 64 << 10 {
+            return Err(SimError::InvalidConfig("attribute value too large".into()));
+        }
+        if let Some(existing) = self
+            .attributes
+            .iter_mut()
+            .find(|a| a.target == target && a.name == name)
+        {
+            existing.value = value;
+        } else {
+            self.attributes.push(AttrEntry {
+                target: target.to_string(),
+                name: name.to_string(),
+                value,
+            });
+        }
+        Ok(())
+    }
+
+    /// Look up an attribute value.
+    pub fn attr(&self, target: &str, name: &str) -> Option<&[u8]> {
+        self.attributes
+            .iter()
+            .find(|a| a.target == target && a.name == name)
+            .map(|a| a.value.as_slice())
+    }
+
+    /// Allocate `size` bytes in the data region for a new dataset. Errors
+    /// on duplicate names.
+    pub fn allocate(&mut self, name: &str, size: u64, elem_size: u32) -> SimResult<DatasetInfo> {
+        if self.dataset(name).is_some() {
+            return Err(SimError::InvalidConfig(format!(
+                "dataset '{name}' already exists"
+            )));
+        }
+        if name.len() > 255 {
+            return Err(SimError::InvalidConfig("dataset name too long".into()));
+        }
+        let info = DatasetInfo {
+            name: name.to_string(),
+            offset: self.alloc_cursor,
+            size,
+            elem_size,
+        };
+        self.alloc_cursor = self
+            .alloc_cursor
+            .checked_add(size)
+            .ok_or_else(|| SimError::InvalidConfig("file size overflow".into()))?;
+        self.datasets.push(info.clone());
+        Ok(info)
+    }
+
+    /// Serialize into the metadata region's byte layout.
+    pub fn to_bytes(&self) -> SimResult<Vec<u8>> {
+        let mut out = Vec::with_capacity(256);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&self.alloc_cursor.to_le_bytes());
+        out.extend_from_slice(&(self.datasets.len() as u32).to_le_bytes());
+        for d in &self.datasets {
+            out.push(d.name.len() as u8);
+            out.extend_from_slice(d.name.as_bytes());
+            out.extend_from_slice(&d.offset.to_le_bytes());
+            out.extend_from_slice(&d.size.to_le_bytes());
+            out.extend_from_slice(&d.elem_size.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.attributes.len() as u32).to_le_bytes());
+        for a in &self.attributes {
+            out.push(a.target.len() as u8);
+            out.extend_from_slice(a.target.as_bytes());
+            out.push(a.name.len() as u8);
+            out.extend_from_slice(a.name.as_bytes());
+            out.extend_from_slice(&(a.value.len() as u32).to_le_bytes());
+            out.extend_from_slice(&a.value);
+        }
+        if out.len() as u64 > META_REGION_SIZE {
+            return Err(SimError::OutOfCapacity {
+                requested: out.len() as u64,
+                available: META_REGION_SIZE,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Parse from metadata-region bytes.
+    pub fn from_bytes(bytes: &[u8]) -> SimResult<Superblock> {
+        let bad = |why: &str| SimError::InvalidConfig(format!("corrupt superblock: {why}"));
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> SimResult<&[u8]> {
+            if *pos + n > bytes.len() {
+                return Err(bad("truncated"));
+            }
+            let s = &bytes[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+        if take(&mut pos, 4)? != MAGIC {
+            return Err(bad("bad magic"));
+        }
+        let version = u16::from_le_bytes(take(&mut pos, 2)?.try_into().expect("len 2"));
+        if version != VERSION {
+            return Err(bad("unsupported version"));
+        }
+        let alloc_cursor = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("len 8"));
+        let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("len 4"));
+        // Reject impossible counts before allocating: every dataset entry
+        // occupies at least 21 bytes (1 name-length + 8 offset + 8 size +
+        // 4 elem-size), so the table cannot hold more than this.
+        let remaining = (bytes.len() - pos) as u64;
+        if u64::from(count) * 21 > remaining {
+            return Err(bad("dataset count exceeds table bytes"));
+        }
+        let mut datasets = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let name_len = take(&mut pos, 1)?[0] as usize;
+            let name = String::from_utf8(take(&mut pos, name_len)?.to_vec())
+                .map_err(|_| bad("non-utf8 name"))?;
+            let offset = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("len 8"));
+            let size = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("len 8"));
+            let elem_size = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("len 4"));
+            datasets.push(DatasetInfo {
+                name,
+                offset,
+                size,
+                elem_size,
+            });
+        }
+        let attr_count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("len 4"));
+        // Each attribute entry occupies at least 6 bytes.
+        if u64::from(attr_count) * 6 > (bytes.len() - pos) as u64 {
+            return Err(bad("attribute count exceeds table bytes"));
+        }
+        let mut attributes = Vec::with_capacity(attr_count as usize);
+        for _ in 0..attr_count {
+            let tlen = take(&mut pos, 1)?[0] as usize;
+            let target = String::from_utf8(take(&mut pos, tlen)?.to_vec())
+                .map_err(|_| bad("non-utf8 attr target"))?;
+            let nlen = take(&mut pos, 1)?[0] as usize;
+            let name = String::from_utf8(take(&mut pos, nlen)?.to_vec())
+                .map_err(|_| bad("non-utf8 attr name"))?;
+            let vlen = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("len 4"));
+            if u64::from(vlen) > (bytes.len() - pos) as u64 {
+                return Err(bad("attribute value exceeds table bytes"));
+            }
+            let value = take(&mut pos, vlen as usize)?.to_vec();
+            attributes.push(AttrEntry { target, name, value });
+        }
+        Ok(Superblock {
+            alloc_cursor,
+            datasets,
+            attributes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_superblock_roundtrips() {
+        let sb = Superblock::default();
+        let parsed = Superblock::from_bytes(&sb.to_bytes().unwrap()).unwrap();
+        assert_eq!(parsed, sb);
+        assert_eq!(parsed.alloc_cursor, META_REGION_SIZE);
+    }
+
+    #[test]
+    fn allocation_is_contiguous_and_roundtrips() {
+        let mut sb = Superblock::default();
+        let a = sb.allocate("x", 1000, 4).unwrap();
+        let b = sb.allocate("y", 500, 4).unwrap();
+        assert_eq!(a.offset, META_REGION_SIZE);
+        assert_eq!(b.offset, META_REGION_SIZE + 1000);
+        assert_eq!(sb.alloc_cursor, META_REGION_SIZE + 1500);
+        let parsed = Superblock::from_bytes(&sb.to_bytes().unwrap()).unwrap();
+        assert_eq!(parsed, sb);
+        assert_eq!(parsed.dataset("y").unwrap().size, 500);
+    }
+
+    #[test]
+    fn duplicate_dataset_rejected() {
+        let mut sb = Superblock::default();
+        sb.allocate("x", 10, 4).unwrap();
+        assert!(sb.allocate("x", 10, 4).is_err());
+    }
+
+    #[test]
+    fn corrupt_inputs_rejected() {
+        assert!(Superblock::from_bytes(b"").is_err());
+        assert!(Superblock::from_bytes(b"XXXX\x01\x00").is_err());
+        let good = Superblock::default().to_bytes().unwrap();
+        assert!(Superblock::from_bytes(&good[..good.len() - 1]).is_err());
+        let mut bad_version = good.clone();
+        bad_version[4] = 99;
+        assert!(Superblock::from_bytes(&bad_version).is_err());
+    }
+
+    #[test]
+    fn vpic_scale_table_fits_metadata_region() {
+        // 8 variables as in VPIC-IO — tiny; but also check a stress case
+        // of hundreds of datasets still fitting 64 KiB.
+        let mut sb = Superblock::default();
+        for i in 0..1000 {
+            sb.allocate(&format!("var{i:04}"), 1 << 20, 4).unwrap();
+        }
+        let bytes = sb.to_bytes().unwrap();
+        assert!(bytes.len() as u64 <= META_REGION_SIZE);
+    }
+
+    #[test]
+    fn oversized_table_errors_cleanly() {
+        let mut sb = Superblock::default();
+        for i in 0..3000 {
+            sb.allocate(&format!("dataset-with-a-long-name-{i:06}"), 1, 4)
+                .unwrap();
+        }
+        assert!(matches!(
+            sb.to_bytes(),
+            Err(SimError::OutOfCapacity { .. })
+        ));
+    }
+}

@@ -1,0 +1,32 @@
+//! # univistor-h5 — "HDF5-lite" on the simulated MPI-IO layer
+//!
+//! The paper's workloads (the HDF5 micro-benchmark, VPIC-IO, BD-CATS-IO)
+//! all speak HDF5, and the COC/HDF5 optimization of §II-F targets a
+//! specific HDF5 behaviour: *the file's metadata region lives at a fixed
+//! location, so when every process opens/creates/closes a shared file, all
+//! of them read/write the same region served by the same UniviStor server*.
+//! HDF5-lite reproduces exactly that access pattern on a drastically
+//! simplified format:
+//!
+//! ```text
+//! [ metadata region: 64 KiB                      ][ data region ... ]
+//!   magic | version | alloc cursor | dataset table
+//! ```
+//!
+//! Datasets are named, contiguous byte extents allocated from the data
+//! region. All metadata updates rewrite the metadata region through the
+//! MPI-IO driver — either from **every rank** (HDF5's default, producing
+//! the all-to-one storm) or, with the collective-metadata option
+//! ([`univistor_mpi::hints::HDF5_COLLECTIVE_KEY`]), from **rank 0 only**
+//! followed by a broadcast — the optimization UniviStor's ADIO layer
+//! detects (§II-F).
+//!
+//! The format is functional: dataset tables serialize to real bytes in the
+//! file and parse back, so any driver that stores bytes correctly will
+//! round-trip HDF5-lite files.
+
+pub mod file;
+pub mod format;
+
+pub use file::H5File;
+pub use format::{DatasetInfo, Superblock, META_REGION_SIZE};

@@ -1,0 +1,26 @@
+//! # univistor-kv — range-partitioned distributed key-value store
+//!
+//! UniviStor stores the map from a segment's logical file offset to its
+//! virtual address and source process in "a distributed key-value (KV)
+//! store maintained by all UniviStor servers" (§II-B3). Records are
+//! partitioned into fixed-size *ranges* by their logical offset, and ranges
+//! are assigned to servers **round-robin** (Fig. 3: ranges 1-4, 5-8, 9-12,
+//! 13-16 alternate between the servers on Node 1 and Node 2).
+//!
+//! The crate provides:
+//!
+//! * [`RangePartitioner`] — the offset→server mapping;
+//! * [`DistKv`] — the distributed store (one [`shard`](KvShard) per
+//!   server) with put/get/remove/range-scan and per-server statistics;
+//! * [`CentralizedKv`] — the paper's rejected "naïve solution" (a global
+//!   map on a single server), kept as the scalability ablation baseline.
+//!
+//! Both stores report which server serviced each operation so the timing
+//! plane can charge RPC costs, and both count per-server operations so
+//! experiments can verify load balance.
+
+pub mod partition;
+pub mod store;
+
+pub use partition::{PartitionKey, RangePartitioner, ServerId};
+pub use store::{CentralizedKv, DistKv, KvShard, KvStats};

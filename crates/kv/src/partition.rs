@@ -1,0 +1,138 @@
+//! Offset-range partitioning with round-robin server assignment (Fig. 3).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a metadata server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ServerId(pub usize);
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// Keys locatable by a one-dimensional partition point (the logical file
+/// offset for UniviStor's metadata records).
+pub trait PartitionKey {
+    /// The coordinate partitioning is performed on.
+    fn partition_point(&self) -> u64;
+}
+
+impl PartitionKey for u64 {
+    fn partition_point(&self) -> u64 {
+        *self
+    }
+}
+
+/// Fixed-size ranges of the partition coordinate assigned to servers
+/// round-robin: range `r = point / range_size` goes to server
+/// `r % servers`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RangePartitioner {
+    /// Width of one range in partition-coordinate units (bytes of logical
+    /// offset for metadata).
+    pub range_size: u64,
+    /// Number of servers.
+    pub servers: usize,
+}
+
+impl RangePartitioner {
+    /// Construct; panics on degenerate parameters (misconfiguration is a
+    /// programming error, not a runtime condition).
+    pub fn new(range_size: u64, servers: usize) -> Self {
+        assert!(range_size > 0, "range_size must be positive");
+        assert!(servers > 0, "need at least one server");
+        RangePartitioner {
+            range_size,
+            servers,
+        }
+    }
+
+    /// Index of the range containing `point`.
+    pub fn range_index(&self, point: u64) -> u64 {
+        point / self.range_size
+    }
+
+    /// Server owning `point`.
+    pub fn server_for(&self, point: u64) -> ServerId {
+        ServerId((self.range_index(point) % self.servers as u64) as usize)
+    }
+
+    /// Servers whose ranges intersect `[lo, hi)`, deduplicated, in first-
+    /// touch order. Visits at most `servers` entries even for huge spans.
+    pub fn servers_for_span(&self, lo: u64, hi: u64) -> Vec<ServerId> {
+        if lo >= hi {
+            return Vec::new();
+        }
+        let first = self.range_index(lo);
+        let last = self.range_index(hi - 1);
+        let n_ranges = last - first + 1;
+        let mut out = Vec::new();
+        let mut seen = vec![false; self.servers];
+        for r in first..first + n_ranges.min(self.servers as u64) {
+            let s = (r % self.servers as u64) as usize;
+            if !seen[s] {
+                seen[s] = true;
+                out.push(ServerId(s));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_round_robin_example() {
+        // Fig. 3: 16 records, range width 4, 4 servers on 2 nodes — but the
+        // round-robin property is the same for any server count. With 2
+        // servers: ranges 0,2 → S0; ranges 1,3 → S1.
+        let p = RangePartitioner::new(4, 2);
+        assert_eq!(p.server_for(0), ServerId(0)); // offsets 0-3
+        assert_eq!(p.server_for(3), ServerId(0));
+        assert_eq!(p.server_for(4), ServerId(1)); // offsets 4-7
+        assert_eq!(p.server_for(8), ServerId(0)); // offsets 8-11
+        assert_eq!(p.server_for(12), ServerId(1)); // offsets 12-15
+    }
+
+    #[test]
+    fn span_visits_each_server_once() {
+        let p = RangePartitioner::new(10, 3);
+        let servers = p.servers_for_span(0, 1000);
+        assert_eq!(servers.len(), 3);
+        let servers = p.servers_for_span(0, 10);
+        assert_eq!(servers, vec![ServerId(0)]);
+        let servers = p.servers_for_span(5, 15);
+        assert_eq!(servers, vec![ServerId(0), ServerId(1)]);
+    }
+
+    #[test]
+    fn empty_span_is_empty() {
+        let p = RangePartitioner::new(10, 3);
+        assert!(p.servers_for_span(5, 5).is_empty());
+        assert!(p.servers_for_span(9, 3).is_empty());
+    }
+
+    #[test]
+    fn huge_span_terminates_quickly() {
+        let p = RangePartitioner::new(1, 7);
+        let servers = p.servers_for_span(0, u64::MAX);
+        assert_eq!(servers.len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "range_size")]
+    fn zero_range_size_rejected() {
+        RangePartitioner::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "server")]
+    fn zero_servers_rejected() {
+        RangePartitioner::new(1, 0);
+    }
+}

@@ -1,0 +1,396 @@
+//! The distributed store and its centralized ablation baseline.
+
+use crate::partition::{PartitionKey, RangePartitioner, ServerId};
+use std::collections::BTreeMap;
+
+/// Per-server operation counters, used both for load-balance assertions in
+/// tests and by the timing plane to charge RPC costs.
+#[derive(Debug, Clone, Default)]
+pub struct KvStats {
+    /// Puts serviced per server.
+    pub puts: Vec<u64>,
+    /// Gets (including range-scan visits) serviced per server.
+    pub gets: Vec<u64>,
+}
+
+impl KvStats {
+    fn with_servers(n: usize) -> Self {
+        KvStats {
+            puts: vec![0; n],
+            gets: vec![0; n],
+        }
+    }
+
+    /// Total operations across servers.
+    pub fn total_ops(&self) -> u64 {
+        self.puts.iter().sum::<u64>() + self.gets.iter().sum::<u64>()
+    }
+
+    /// Max-over-min load ratio across servers (1.0 = perfectly balanced).
+    /// Servers with zero load are ignored in the min.
+    pub fn imbalance(&self) -> f64 {
+        let loads: Vec<u64> = self
+            .puts
+            .iter()
+            .zip(&self.gets)
+            .map(|(p, g)| p + g)
+            .collect();
+        let max = loads.iter().copied().max().unwrap_or(0);
+        let min = loads.iter().copied().filter(|&l| l > 0).min().unwrap_or(0);
+        if min == 0 {
+            return f64::INFINITY;
+        }
+        max as f64 / min as f64
+    }
+}
+
+/// One server's shard: an ordered map.
+#[derive(Debug, Clone)]
+pub struct KvShard<K: Ord, V> {
+    map: BTreeMap<K, V>,
+}
+
+impl<K: Ord, V> Default for KvShard<K, V> {
+    fn default() -> Self {
+        KvShard {
+            map: BTreeMap::new(),
+        }
+    }
+}
+
+impl<K: Ord, V> KvShard<K, V> {
+    /// Records stored in this shard.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the shard holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterate records in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.map.iter()
+    }
+}
+
+/// The distributed KV store: `servers` shards with range partitioning.
+#[derive(Debug, Clone)]
+pub struct DistKv<K: Ord + PartitionKey, V> {
+    partitioner: RangePartitioner,
+    shards: Vec<KvShard<K, V>>,
+    stats: KvStats,
+}
+
+impl<K: Ord + PartitionKey + Clone, V> DistKv<K, V> {
+    /// A store with `servers` shards and the given range width.
+    pub fn new(range_size: u64, servers: usize) -> Self {
+        let partitioner = RangePartitioner::new(range_size, servers);
+        DistKv {
+            partitioner,
+            shards: (0..servers).map(|_| KvShard::default()).collect(),
+            stats: KvStats::with_servers(servers),
+        }
+    }
+
+    /// The partitioner in use.
+    pub fn partitioner(&self) -> RangePartitioner {
+        self.partitioner
+    }
+
+    /// Number of servers.
+    pub fn servers(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Insert, returning the servicing server and any displaced value.
+    pub fn put(&mut self, key: K, value: V) -> (ServerId, Option<V>) {
+        let server = self.partitioner.server_for(key.partition_point());
+        self.stats.puts[server.0] += 1;
+        let old = self.shards[server.0].map.insert(key, value);
+        (server, old)
+    }
+
+    /// Look up a key, returning the value and the servicing server.
+    pub fn get(&mut self, key: &K) -> (ServerId, Option<&V>) {
+        let server = self.partitioner.server_for(key.partition_point());
+        self.stats.gets[server.0] += 1;
+        (server, self.shards[server.0].map.get(key))
+    }
+
+    /// Remove a key.
+    pub fn remove(&mut self, key: &K) -> (ServerId, Option<V>) {
+        let server = self.partitioner.server_for(key.partition_point());
+        self.stats.puts[server.0] += 1;
+        (server, self.shards[server.0].map.remove(key))
+    }
+
+    /// Scan all records whose partition point lies in `[lo, hi)` and whose
+    /// key satisfies `filter`. Returns the records sorted by key, plus the
+    /// servers visited (for RPC accounting).
+    ///
+    /// This walks every record of each visited shard — fine for modest
+    /// stores; hot paths with ordered keys should use
+    /// [`range_scan_bounded`](Self::range_scan_bounded).
+    pub fn range_scan(
+        &mut self,
+        lo: u64,
+        hi: u64,
+        filter: impl Fn(&K) -> bool,
+    ) -> (Vec<ServerId>, Vec<(K, &V)>) {
+        let servers = self.partitioner.servers_for_span(lo, hi);
+        let mut out: Vec<(K, &V)> = Vec::new();
+        for s in &servers {
+            self.stats.gets[s.0] += 1;
+            for (k, v) in self.shards[s.0].map.iter() {
+                let p = k.partition_point();
+                if p >= lo && p < hi && filter(k) {
+                    out.push((k.clone(), v));
+                }
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        (servers, out)
+    }
+
+    /// Like [`range_scan`](Self::range_scan), but additionally bounded by
+    /// a key interval `[lo_key, hi_key)` that the caller guarantees
+    /// contains every key with a partition point in `[lo, hi)` (plus
+    /// whatever filtering slack it wants). Each visited shard is scanned
+    /// with an O(log n + hits) ordered-map range, which keeps million-
+    /// record stores fast.
+    pub fn range_scan_bounded(
+        &mut self,
+        lo_key: &K,
+        hi_key: &K,
+        lo: u64,
+        hi: u64,
+        filter: impl Fn(&K) -> bool,
+    ) -> (Vec<ServerId>, Vec<(K, &V)>) {
+        let servers = self.partitioner.servers_for_span(lo, hi);
+        let mut out: Vec<(K, &V)> = Vec::new();
+        for s in &servers {
+            self.stats.gets[s.0] += 1;
+            for (k, v) in self.shards[s.0]
+                .map
+                .range(lo_key.clone()..hi_key.clone())
+            {
+                let p = k.partition_point();
+                if p >= lo && p < hi && filter(k) {
+                    out.push((k.clone(), v));
+                }
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        (servers, out)
+    }
+
+    /// Records per server (distribution inspection).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(KvShard::len).collect()
+    }
+
+    /// Total records.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(KvShard::len).sum()
+    }
+
+    /// True when no records are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> &KvStats {
+        &self.stats
+    }
+}
+
+/// The paper's rejected design: a single global map on one server. Kept as
+/// the ablation baseline — every operation hits server 0, which becomes the
+/// bottleneck the distributed design removes.
+#[derive(Debug, Clone)]
+pub struct CentralizedKv<K: Ord, V> {
+    shard: KvShard<K, V>,
+    ops: u64,
+}
+
+impl<K: Ord + Clone, V> CentralizedKv<K, V> {
+    /// An empty centralized store.
+    pub fn new() -> Self {
+        CentralizedKv {
+            shard: KvShard::default(),
+            ops: 0,
+        }
+    }
+
+    /// Insert. Always serviced by the single server.
+    pub fn put(&mut self, key: K, value: V) -> Option<V> {
+        self.ops += 1;
+        self.shard.map.insert(key, value)
+    }
+
+    /// Look up.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.ops += 1;
+        self.shard.map.get(key)
+    }
+
+    /// Range scan by key order.
+    pub fn range_scan(&mut self, lo: &K, hi: &K) -> Vec<(K, &V)> {
+        self.ops += 1;
+        self.shard
+            .map
+            .range(lo.clone()..hi.clone())
+            .map(|(k, v)| (k.clone(), v))
+            .collect()
+    }
+
+    /// Operations serviced by the lone server.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Records stored.
+    pub fn len(&self) -> usize {
+        self.shard.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.shard.is_empty()
+    }
+}
+
+impl<K: Ord + Clone, V> Default for CentralizedKv<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Key type mirroring UniviStor metadata keys: (file id, offset),
+    /// partitioned by offset.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+    struct SegKey {
+        fid: u32,
+        offset: u64,
+    }
+
+    impl PartitionKey for SegKey {
+        fn partition_point(&self) -> u64 {
+            self.offset
+        }
+    }
+
+    fn key(fid: u32, offset: u64) -> SegKey {
+        SegKey { fid, offset }
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut kv: DistKv<SegKey, &str> = DistKv::new(16, 4);
+        kv.put(key(1, 0), "a");
+        kv.put(key(1, 100), "b");
+        assert_eq!(kv.get(&key(1, 0)).1, Some(&"a"));
+        assert_eq!(kv.get(&key(1, 100)).1, Some(&"b"));
+        assert_eq!(kv.get(&key(2, 0)).1, None);
+        assert_eq!(kv.len(), 2);
+    }
+
+    #[test]
+    fn put_returns_displaced_value() {
+        let mut kv: DistKv<SegKey, u32> = DistKv::new(16, 2);
+        assert_eq!(kv.put(key(1, 5), 10).1, None);
+        assert_eq!(kv.put(key(1, 5), 20).1, Some(10));
+        assert_eq!(kv.len(), 1);
+    }
+
+    #[test]
+    fn remove_works() {
+        let mut kv: DistKv<SegKey, u32> = DistKv::new(16, 2);
+        kv.put(key(1, 5), 10);
+        assert_eq!(kv.remove(&key(1, 5)).1, Some(10));
+        assert_eq!(kv.get(&key(1, 5)).1, None);
+        assert!(kv.is_empty());
+    }
+
+    #[test]
+    fn records_distribute_round_robin() {
+        // 64 records at offsets 0..64, range width 4, 4 servers → each
+        // server owns exactly 4 ranges × 4 records.
+        let mut kv: DistKv<SegKey, u64> = DistKv::new(4, 4);
+        for off in 0..64 {
+            kv.put(key(1, off), off);
+        }
+        assert_eq!(kv.shard_sizes(), vec![16, 16, 16, 16]);
+        assert!(kv.stats().imbalance() < 1.01);
+    }
+
+    #[test]
+    fn same_offset_different_fid_coexist() {
+        // Segments from different source processes can share a VA/offset —
+        // the composite key keeps them distinct.
+        let mut kv: DistKv<SegKey, &str> = DistKv::new(16, 2);
+        kv.put(key(1, 42), "file1");
+        kv.put(key(2, 42), "file2");
+        assert_eq!(kv.get(&key(1, 42)).1, Some(&"file1"));
+        assert_eq!(kv.get(&key(2, 42)).1, Some(&"file2"));
+    }
+
+    #[test]
+    fn range_scan_returns_sorted_and_filtered() {
+        let mut kv: DistKv<SegKey, u64> = DistKv::new(8, 3);
+        for off in (0..100).step_by(10) {
+            kv.put(key(1, off), off);
+            kv.put(key(2, off), off + 1000);
+        }
+        let (servers, records) = kv.range_scan(20, 60, |k| k.fid == 1);
+        assert!(!servers.is_empty());
+        let offsets: Vec<u64> = records.iter().map(|(k, _)| k.offset).collect();
+        assert_eq!(offsets, vec![20, 30, 40, 50]);
+        let sorted = {
+            let mut s = records.clone();
+            s.sort_by_key(|a| a.0);
+            s
+        };
+        assert_eq!(records, sorted);
+    }
+
+    #[test]
+    fn range_scan_empty_span() {
+        let mut kv: DistKv<SegKey, u64> = DistKv::new(8, 3);
+        kv.put(key(1, 5), 5);
+        let (servers, records) = kv.range_scan(100, 100, |_| true);
+        assert!(servers.is_empty());
+        assert!(records.is_empty());
+    }
+
+    #[test]
+    fn centralized_funnels_everything_to_one_server() {
+        let mut central: CentralizedKv<SegKey, u64> = CentralizedKv::new();
+        let mut dist: DistKv<SegKey, u64> = DistKv::new(4, 8);
+        for off in 0..800 {
+            central.put(key(1, off), off);
+            dist.put(key(1, off), off);
+        }
+        assert_eq!(central.ops(), 800);
+        // Distributed: no server saw more than ~1/8 of the puts.
+        let max_per_server = *dist.stats().puts.iter().max().unwrap();
+        assert!(max_per_server <= 101, "max {max_per_server}");
+    }
+
+    #[test]
+    fn centralized_range_scan() {
+        let mut central: CentralizedKv<SegKey, u64> = CentralizedKv::new();
+        for off in 0..10 {
+            central.put(key(1, off), off);
+        }
+        let got = central.range_scan(&key(1, 3), &key(1, 7));
+        assert_eq!(got.len(), 4);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests: DistKv must behave exactly like a single ordered
+//! map, regardless of how records are partitioned across servers.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use univistor_kv::{DistKv, PartitionKey};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct SegKey {
+    fid: u8,
+    offset: u64,
+}
+
+impl PartitionKey for SegKey {
+    fn partition_point(&self) -> u64 {
+        self.offset
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(SegKey, u64),
+    Remove(SegKey),
+    Get(SegKey),
+    Scan { lo: u64, hi: u64, fid: u8 },
+}
+
+fn key_strategy() -> impl Strategy<Value = SegKey> {
+    (0u8..3, 0u64..200).prop_map(|(fid, offset)| SegKey { fid, offset })
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (key_strategy(), any::<u64>()).prop_map(|(k, v)| Op::Put(k, v)),
+        key_strategy().prop_map(Op::Remove),
+        key_strategy().prop_map(Op::Get),
+        (0u64..220, 0u64..220, 0u8..3).prop_map(|(a, b, fid)| Op::Scan {
+            lo: a.min(b),
+            hi: a.max(b),
+            fid
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn distkv_matches_btreemap_model(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+        range_size in 1u64..64,
+        servers in 1usize..9,
+    ) {
+        let mut kv: DistKv<SegKey, u64> = DistKv::new(range_size, servers);
+        let mut model: BTreeMap<SegKey, u64> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::Put(k, v) => {
+                    let (_, old) = kv.put(k, v);
+                    prop_assert_eq!(old, model.insert(k, v));
+                }
+                Op::Remove(k) => {
+                    let (_, removed) = kv.remove(&k);
+                    prop_assert_eq!(removed, model.remove(&k));
+                }
+                Op::Get(k) => {
+                    let (_, got) = kv.get(&k);
+                    prop_assert_eq!(got.copied(), model.get(&k).copied());
+                }
+                Op::Scan { lo, hi, fid } => {
+                    let (_, got) = kv.range_scan(lo, hi, |k| k.fid == fid);
+                    let expect: Vec<(SegKey, u64)> = model
+                        .iter()
+                        .filter(|(k, _)| k.fid == fid && k.offset >= lo && k.offset < hi)
+                        .map(|(k, v)| (*k, *v))
+                        .collect();
+                    let got: Vec<(SegKey, u64)> =
+                        got.into_iter().map(|(k, v)| (k, *v)).collect();
+                    prop_assert_eq!(got, expect);
+                }
+            }
+        }
+        prop_assert_eq!(kv.len(), model.len());
+    }
+
+    #[test]
+    fn every_key_is_routed_to_exactly_one_server(
+        offsets in proptest::collection::vec(0u64..10_000, 1..100),
+        range_size in 1u64..128,
+        servers in 1usize..16,
+    ) {
+        let mut kv: DistKv<SegKey, u64> = DistKv::new(range_size, servers);
+        for &off in &offsets {
+            let k = SegKey { fid: 0, offset: off };
+            let (s_put, _) = kv.put(k, off);
+            let (s_get, v) = kv.get(&k);
+            prop_assert_eq!(s_put, s_get);
+            prop_assert_eq!(v.copied(), Some(off));
+        }
+    }
+
+    #[test]
+    fn shard_sizes_sum_to_len(
+        offsets in proptest::collection::vec(0u64..1_000, 0..200),
+        servers in 1usize..8,
+    ) {
+        let mut kv: DistKv<SegKey, u64> = DistKv::new(16, servers);
+        for &off in &offsets {
+            kv.put(SegKey { fid: 1, offset: off }, off);
+        }
+        prop_assert_eq!(kv.shard_sizes().iter().sum::<usize>(), kv.len());
+    }
+}

@@ -1,0 +1,269 @@
+//! Threaded SPMD runtime.
+//!
+//! [`World::run`] launches `n` ranks as OS threads executing the same
+//! closure — the shape of an MPI program. [`Comm`] provides the collectives
+//! the reproduction needs with *functional* semantics; their analytic time
+//! costs live in [`univistor_sim::latency`] and are charged by the timing
+//! plane, not here.
+//!
+//! The runtime is intended for correctness tests, examples, and workflow
+//! coordination (where a reader genuinely blocks on a writer). Paper-scale
+//! rank counts (up to 8192) are driven rank-by-rank by the bench harness
+//! without threads.
+
+use parking_lot::Mutex;
+use std::any::Any;
+use std::sync::{Arc, Barrier};
+
+struct CommState {
+    barrier: Barrier,
+    /// Broadcast slot. Overwritten by each bcast root; barriers order the
+    /// accesses so no clearing is needed.
+    slot: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Gather slots, one per rank. Same overwrite discipline.
+    gather: Mutex<Vec<Option<Box<dyn Any + Send>>>>,
+}
+
+/// A communicator: this rank's endpoint into the SPMD group.
+#[derive(Clone)]
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    state: Arc<CommState>,
+}
+
+impl Comm {
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// True for rank 0 — the "root" used by collective optimizations.
+    pub fn is_root(&self) -> bool {
+        self.rank == 0
+    }
+
+    /// Synchronize all ranks.
+    pub fn barrier(&self) {
+        self.state.barrier.wait();
+    }
+
+    /// Broadcast `value` from `root` to every rank. Non-root ranks pass
+    /// `None`; the root must pass `Some`.
+    pub fn bcast<T: Clone + Send + 'static>(&self, root: usize, value: Option<T>) -> T {
+        assert!(root < self.size, "bcast root {root} out of range");
+        if self.rank == root {
+            let v = value.expect("bcast root must supply a value");
+            *self.state.slot.lock() = Some(Box::new(v));
+        }
+        self.barrier();
+        let out = {
+            let guard = self.state.slot.lock();
+            guard
+                .as_ref()
+                .expect("root stored the value before the barrier")
+                .downcast_ref::<T>()
+                .expect("all ranks must bcast the same type")
+                .clone()
+        };
+        self.barrier();
+        out
+    }
+
+    /// Gather one value from every rank; all ranks receive the full vector
+    /// (MPI_Allgather).
+    pub fn allgather<T: Clone + Send + 'static>(&self, value: T) -> Vec<T> {
+        {
+            let mut slots = self.state.gather.lock();
+            slots[self.rank] = Some(Box::new(value));
+        }
+        self.barrier();
+        let out: Vec<T> = {
+            let slots = self.state.gather.lock();
+            slots
+                .iter()
+                .map(|s| {
+                    s.as_ref()
+                        .expect("every rank stored before the barrier")
+                        .downcast_ref::<T>()
+                        .expect("all ranks must gather the same type")
+                        .clone()
+                })
+                .collect()
+        };
+        self.barrier();
+        out
+    }
+
+    /// Sum a `u64` across ranks; every rank receives the total.
+    pub fn allreduce_sum(&self, value: u64) -> u64 {
+        self.allgather(value).into_iter().sum()
+    }
+
+    /// Maximum across ranks.
+    pub fn allreduce_max(&self, value: u64) -> u64 {
+        self.allgather(value).into_iter().max().unwrap_or(0)
+    }
+}
+
+/// Factory for SPMD thread groups.
+pub struct World;
+
+impl World {
+    /// Run `f` on `size` ranks as threads; returns per-rank results in rank
+    /// order. Panics in any rank propagate.
+    pub fn run<R, F>(size: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Comm) -> R + Send + Sync,
+    {
+        assert!(size > 0, "world size must be positive");
+        let state = Arc::new(CommState {
+            barrier: Barrier::new(size),
+            slot: Mutex::new(None),
+            gather: Mutex::new((0..size).map(|_| None).collect()),
+        });
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..size)
+                .map(|rank| {
+                    let comm = Comm {
+                        rank,
+                        size,
+                        state: Arc::clone(&state),
+                    };
+                    let f = &f;
+                    scope.spawn(move || f(comm))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread panicked"))
+                .collect()
+        })
+    }
+
+    /// Run two coupled applications concurrently (e.g. a simulation and an
+    /// analysis program in one job). Returns (results_a, results_b).
+    pub fn run_coupled<RA, RB, FA, FB>(
+        size_a: usize,
+        size_b: usize,
+        fa: FA,
+        fb: FB,
+    ) -> (Vec<RA>, Vec<RB>)
+    where
+        RA: Send,
+        RB: Send,
+        FA: Fn(Comm) -> RA + Send + Sync,
+        FB: Fn(Comm) -> RB + Send + Sync,
+    {
+        std::thread::scope(|scope| {
+            let ha = scope.spawn(|| World::run(size_a, fa));
+            let hb = scope.spawn(|| World::run(size_b, fb));
+            (
+                ha.join().expect("app A panicked"),
+                hb.join().expect("app B panicked"),
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn ranks_are_distinct_and_complete() {
+        let mut ranks = World::run(8, |c| c.rank());
+        ranks.sort_unstable();
+        assert_eq!(ranks, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bcast_from_root() {
+        let got = World::run(6, |c| {
+            let v = c.bcast(0, c.is_root().then(|| vec![1u32, 2, 3]));
+            v.iter().sum::<u32>()
+        });
+        assert_eq!(got, vec![6; 6]);
+    }
+
+    #[test]
+    fn bcast_from_nonzero_root() {
+        let got = World::run(4, |c| c.bcast(2, (c.rank() == 2).then_some(99u8)));
+        assert_eq!(got, vec![99; 4]);
+    }
+
+    #[test]
+    fn repeated_collectives_do_not_cross_talk() {
+        let got = World::run(4, |c| {
+            let a = c.bcast(0, c.is_root().then_some(1u64));
+            let b = c.bcast(1, (c.rank() == 1).then_some(2u64));
+            let s = c.allreduce_sum(c.rank() as u64);
+            let m = c.allreduce_max(c.rank() as u64);
+            (a, b, s, m)
+        });
+        for g in got {
+            assert_eq!(g, (1, 2, 6, 3));
+        }
+    }
+
+    #[test]
+    fn allgather_orders_by_rank() {
+        let got = World::run(5, |c| c.allgather(c.rank() * 10));
+        for g in got {
+            assert_eq!(g, vec![0, 10, 20, 30, 40]);
+        }
+    }
+
+    #[test]
+    fn barrier_actually_synchronizes() {
+        // All ranks increment before the barrier; after it, every rank must
+        // observe the full count.
+        let counter = AtomicU64::new(0);
+        let seen = World::run(8, |c| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            c.barrier();
+            counter.load(Ordering::SeqCst)
+        });
+        assert_eq!(seen, vec![8; 8]);
+    }
+
+    #[test]
+    fn coupled_apps_run_concurrently() {
+        // B waits for A's signal through shared state: only possible if the
+        // two worlds genuinely overlap in time.
+        let flag = AtomicU64::new(0);
+        let (a, b) = World::run_coupled(
+            2,
+            2,
+            |c| {
+                if c.is_root() {
+                    flag.store(1, Ordering::SeqCst);
+                }
+                c.barrier();
+                1u32
+            },
+            |c| {
+                while flag.load(Ordering::SeqCst) == 0 {
+                    std::thread::yield_now();
+                }
+                c.barrier();
+                2u32
+            },
+        );
+        assert_eq!(a, vec![1, 1]);
+        assert_eq!(b, vec![2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "world size")]
+    fn zero_world_rejected() {
+        World::run(0, |_| ());
+    }
+}

@@ -1,0 +1,100 @@
+//! The ADIO boundary: pluggable file-system drivers.
+//!
+//! ADIO "allows file system developers to implement their own file system
+//! feature for MPI-IO while exposing to applications the same MPI-IO
+//! interface" (§II-F). [`FsDriver`] is that boundary here: UniviStor, Data
+//! Elevator, direct-Lustre, and the in-memory test driver all implement it,
+//! and applications/workloads only ever see [`crate::file::MpiFile`].
+//!
+//! Drivers take `&self` and use interior mutability: in the threaded SPMD
+//! runtime every rank calls into the same driver instance concurrently,
+//! exactly like ROMIO inside a multi-process job.
+
+use crate::hints::Hints;
+use univistor_sim::{Payload, SimResult};
+
+/// File access mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpenMode {
+    /// Read-only (`MPI_MODE_RDONLY`).
+    Read,
+    /// Write-only, create (`MPI_MODE_WRONLY | MPI_MODE_CREATE`).
+    Write,
+    /// Read-write.
+    ReadWrite,
+}
+
+impl OpenMode {
+    /// True when the mode permits writing.
+    pub fn writable(self) -> bool {
+        matches!(self, OpenMode::Write | OpenMode::ReadWrite)
+    }
+
+    /// True when the mode permits reading.
+    pub fn readable(self) -> bool {
+        matches!(self, OpenMode::Read | OpenMode::ReadWrite)
+    }
+}
+
+/// Everything a driver learns at open time.
+#[derive(Debug, Clone)]
+pub struct OpenContext {
+    /// File path within the unified namespace.
+    pub path: String,
+    /// Access mode.
+    pub mode: OpenMode,
+    /// Calling rank.
+    pub rank: usize,
+    /// Total ranks participating in this (collective) open.
+    pub nprocs: usize,
+    /// MPI_Info hints.
+    pub hints: Hints,
+}
+
+/// An open file, as seen by one rank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileHandle {
+    /// Driver-assigned file id.
+    pub fid: u64,
+    /// Path (kept for diagnostics and close-time bookkeeping).
+    pub path: String,
+    /// Mode granted at open.
+    pub mode: OpenMode,
+    /// Ranks participating in the collective open (ROMIO keeps the
+    /// communicator in its file struct; drivers need the size for
+    /// collective close bookkeeping).
+    pub nprocs: usize,
+}
+
+/// An ADIO-style file-system driver.
+pub trait FsDriver: Send + Sync {
+    /// Driver name, as matched against `ROMIO_FSTYPE_FORCE`.
+    fn name(&self) -> &'static str;
+
+    /// Open (collectively — every rank calls this with the same path).
+    fn open(&self, ctx: &OpenContext) -> SimResult<FileHandle>;
+
+    /// Independent write at an explicit offset.
+    fn write_at(&self, h: &FileHandle, rank: usize, offset: u64, data: Payload) -> SimResult<()>;
+
+    /// Independent read at an explicit offset.
+    fn read_at(&self, h: &FileHandle, rank: usize, offset: u64, len: u64) -> SimResult<Payload>;
+
+    /// Close (collective). Drivers trigger flush/unlock work here.
+    fn close(&self, h: &FileHandle, rank: usize) -> SimResult<()>;
+
+    /// Current logical file size.
+    fn file_size(&self, h: &FileHandle) -> SimResult<u64>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_mode_capabilities() {
+        assert!(OpenMode::Write.writable() && !OpenMode::Write.readable());
+        assert!(OpenMode::Read.readable() && !OpenMode::Read.writable());
+        assert!(OpenMode::ReadWrite.readable() && OpenMode::ReadWrite.writable());
+    }
+}

@@ -1,0 +1,106 @@
+//! MPI_Info-style hints and driver selection.
+//!
+//! ROMIO selects UniviStor when the environment variable
+//! `ROMIO_FSTYPE_FORCE` is set to `UniviStor` (§II-A). We carry the same
+//! key through an explicit hint table instead of process environment, so
+//! experiments stay hermetic.
+
+use std::collections::HashMap;
+
+/// The ROMIO driver-selection key.
+pub const FSTYPE_KEY: &str = "ROMIO_FSTYPE_FORCE";
+
+/// Key for enabling the lightweight workflow management (§II-E).
+pub const ENABLE_WORKFLOW_KEY: &str = "ENABLE_WORKFLOW";
+
+/// Key for the HDF5 collective-metadata optimization (§II-F).
+pub const HDF5_COLLECTIVE_KEY: &str = "UNIVISTOR_HDF5_COLLECTIVE";
+
+/// An MPI_Info-like set of string hints.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Hints {
+    map: HashMap<String, String>,
+}
+
+impl Hints {
+    /// Empty hints.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set a hint, builder-style.
+    pub fn with(mut self, key: &str, value: &str) -> Self {
+        self.map.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Set a hint in place.
+    pub fn set(&mut self, key: &str, value: &str) {
+        self.map.insert(key.to_string(), value.to_string());
+    }
+
+    /// Get a hint.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.map.get(key).map(String::as_str)
+    }
+
+    /// Boolean hint: "1", "true", "yes", "on" (case-insensitive) are true;
+    /// anything else or absence is false.
+    pub fn get_bool(&self, key: &str) -> bool {
+        self.get(key)
+            .map(|v| {
+                matches!(
+                    v.to_ascii_lowercase().as_str(),
+                    "1" | "true" | "yes" | "on"
+                )
+            })
+            .unwrap_or(false)
+    }
+
+    /// Integer hint, `None` when absent or malformed.
+    pub fn get_u64(&self, key: &str) -> Option<u64> {
+        self.get(key).and_then(|v| v.parse().ok())
+    }
+
+    /// The forced file-system type, if any.
+    pub fn fstype(&self) -> Option<&str> {
+        self.get(FSTYPE_KEY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let h = Hints::new().with(FSTYPE_KEY, "UniviStor");
+        assert_eq!(h.fstype(), Some("UniviStor"));
+        assert_eq!(h.get("missing"), None);
+    }
+
+    #[test]
+    fn bool_parsing() {
+        for v in ["1", "true", "YES", "On"] {
+            assert!(Hints::new().with("k", v).get_bool("k"), "{v}");
+        }
+        for v in ["0", "false", "off", "banana"] {
+            assert!(!Hints::new().with("k", v).get_bool("k"), "{v}");
+        }
+        assert!(!Hints::new().get_bool("absent"));
+    }
+
+    #[test]
+    fn u64_parsing() {
+        assert_eq!(Hints::new().with("n", "42").get_u64("n"), Some(42));
+        assert_eq!(Hints::new().with("n", "x").get_u64("n"), None);
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let mut h = Hints::new();
+        h.set("k", "a");
+        h.set("k", "b");
+        assert_eq!(h.get("k"), Some("b"));
+    }
+}

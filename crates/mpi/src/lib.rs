@@ -1,0 +1,41 @@
+//! # univistor-mpi — simulated MPI runtime, MPI-IO, and the ADIO layer
+//!
+//! UniviStor is implemented as an I/O driver in MPI-IO's Abstract-Device
+//! Interface (ADIO) inside MPICH/ROMIO (§II-F): file-system developers plug
+//! a driver into ROMIO and applications keep using plain `MPI_File_*`
+//! calls; the driver is selected with `ROMIO_FSTYPE_FORCE`. This crate
+//! reproduces that architecture:
+//!
+//! * [`comm`] — a threaded SPMD runtime: [`comm::World::run`] launches `n`
+//!   ranks as threads; [`comm::Comm`] provides `barrier`, `bcast`,
+//!   `gather`, and `allreduce` with functional semantics (the analytic
+//!   *costs* of collectives live in `univistor_sim::latency`);
+//! * [`driver`] — the ADIO boundary: the [`driver::FsDriver`] trait
+//!   (open/read/write/close + file metadata) every storage backend
+//!   implements — UniviStor, Data Elevator, direct Lustre, and the
+//!   in-memory test driver here;
+//! * [`hints`] — MPI_Info-style hints plus the `ROMIO_FSTYPE_FORCE`
+//!   selection variable;
+//! * `file` — the `MPI_File` façade ([`MpiFile`]): collective open/close and
+//!   independent/collective reads and writes on top of a driver;
+//! * [`mem`] — a trivial single-space in-memory driver used by tests and
+//!   as scratch space;
+//! * [`registry`] — `ROMIO_FSTYPE_FORCE`-style driver selection.
+//!
+//! Rank counts in the threaded runtime are test-scale (≤ a few hundred);
+//! paper-scale experiments drive the same driver code rank-by-rank from the
+//! bench harness without spawning threads.
+
+pub mod comm;
+pub mod driver;
+pub mod file;
+pub mod hints;
+pub mod mem;
+pub mod registry;
+
+pub use comm::{Comm, World};
+pub use driver::{FileHandle, FsDriver, OpenContext, OpenMode};
+pub use file::MpiFile;
+pub use hints::{Hints, FSTYPE_KEY};
+pub use mem::MemDriver;
+pub use registry::DriverRegistry;

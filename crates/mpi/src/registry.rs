@@ -1,0 +1,108 @@
+//! Driver selection — the `ROMIO_FSTYPE_FORCE` mechanism.
+//!
+//! ROMIO picks an ADIO driver per file system; UniviStor is enabled by
+//! forcing the type via the environment (§II-A). The [`DriverRegistry`]
+//! reproduces that: drivers register under their [`FsDriver::name`], and
+//! opens resolve through the hint table's `ROMIO_FSTYPE_FORCE` entry,
+//! falling back to a default (the plain PFS driver in ROMIO's case).
+
+use crate::driver::FsDriver;
+use crate::hints::{Hints, FSTYPE_KEY};
+use std::collections::HashMap;
+use std::sync::Arc;
+use univistor_sim::{SimError, SimResult};
+
+/// A set of selectable ADIO drivers.
+#[derive(Default)]
+pub struct DriverRegistry {
+    drivers: HashMap<&'static str, Arc<dyn FsDriver>>,
+    default: Option<&'static str>,
+}
+
+impl DriverRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a driver under its own name. The first registration also
+    /// becomes the default unless [`set_default`](Self::set_default) is
+    /// called.
+    pub fn register(&mut self, driver: Arc<dyn FsDriver>) -> &mut Self {
+        let name = driver.name();
+        if self.default.is_none() {
+            self.default = Some(name);
+        }
+        self.drivers.insert(name, driver);
+        self
+    }
+
+    /// Choose the fallback driver used when no `ROMIO_FSTYPE_FORCE` hint
+    /// is present.
+    pub fn set_default(&mut self, name: &'static str) -> SimResult<()> {
+        if !self.drivers.contains_key(name) {
+            return Err(SimError::InvalidConfig(format!(
+                "cannot default to unregistered driver '{name}'"
+            )));
+        }
+        self.default = Some(name);
+        Ok(())
+    }
+
+    /// Resolve the driver the given hints select.
+    pub fn select(&self, hints: &Hints) -> SimResult<Arc<dyn FsDriver>> {
+        let name = match hints.get(FSTYPE_KEY) {
+            Some(forced) => forced,
+            None => self.default.ok_or_else(|| {
+                SimError::InvalidConfig("no drivers registered".into())
+            })?,
+        };
+        self.drivers
+            .get(name)
+            .cloned()
+            .ok_or_else(|| SimError::InvalidConfig(format!("unknown file system type '{name}'")))
+    }
+
+    /// Registered driver names (sorted, for diagnostics).
+    pub fn names(&self) -> Vec<&'static str> {
+        let mut v: Vec<&'static str> = self.drivers.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemDriver;
+
+    #[test]
+    fn forced_selection_and_default() {
+        let mut reg = DriverRegistry::new();
+        reg.register(Arc::new(MemDriver::new()));
+        // Default falls back to the first registration.
+        let d = reg.select(&Hints::new()).unwrap();
+        assert_eq!(d.name(), "mem");
+        // Forcing the same name works; forcing an unknown one errors.
+        let d = reg.select(&Hints::new().with(FSTYPE_KEY, "mem")).unwrap();
+        assert_eq!(d.name(), "mem");
+        assert!(reg
+            .select(&Hints::new().with(FSTYPE_KEY, "UniviStor"))
+            .is_err());
+    }
+
+    #[test]
+    fn empty_registry_errors() {
+        let reg = DriverRegistry::new();
+        assert!(reg.select(&Hints::new()).is_err());
+    }
+
+    #[test]
+    fn set_default_validates() {
+        let mut reg = DriverRegistry::new();
+        reg.register(Arc::new(MemDriver::new()));
+        assert!(reg.set_default("nope").is_err());
+        assert!(reg.set_default("mem").is_ok());
+        assert_eq!(reg.names(), vec!["mem"]);
+    }
+}

@@ -1,0 +1,271 @@
+//! RAID-0 stripe layout: how Lustre maps a file offset onto OST objects.
+//!
+//! A file with stripe size `s` and stripe count `c` starting at OST index
+//! `start` places stripe unit `k = offset / s` on OST `start + (k mod c)`;
+//! within that OST's object the unit lands at object offset
+//! `(k div c) · s + (offset mod s)`. This is the exact mapping UniviStor's
+//! adaptive striping (§II-D) manipulates: it chooses `s`, `c`, and a
+//! distinct `start` per flushing server.
+
+use serde::{Deserialize, Serialize};
+
+/// One contiguous piece of a striped extent on a single OST.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripePiece {
+    /// Absolute OST index in the file system.
+    pub ost: usize,
+    /// Offset within that OST's object for this file.
+    pub object_offset: u64,
+    /// Offset within the logical file this piece starts at.
+    pub file_offset: u64,
+    /// Piece length in bytes.
+    pub len: u64,
+}
+
+/// A file's striping parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StripeLayout {
+    /// Bytes per stripe unit.
+    pub stripe_size: u64,
+    /// OSTs the file is striped across.
+    pub stripe_count: usize,
+    /// First OST index (Lustre chooses one; UniviStor sets it per server).
+    pub start_ost: usize,
+}
+
+impl StripeLayout {
+    /// Validate and construct.
+    pub fn new(stripe_size: u64, stripe_count: usize, start_ost: usize) -> Self {
+        assert!(stripe_size > 0, "stripe_size must be positive");
+        assert!(stripe_count > 0, "stripe_count must be positive");
+        StripeLayout {
+            stripe_size,
+            stripe_count,
+            start_ost,
+        }
+    }
+
+    /// A single-OST layout (stripe count 1).
+    pub fn single(ost: usize) -> Self {
+        StripeLayout::new(u64::MAX, 1, ost)
+    }
+
+    /// The OST holding the byte at `offset` (absolute index, pre-modulo;
+    /// callers reduce modulo the OST count of the actual file system).
+    pub fn ost_of(&self, offset: u64) -> usize {
+        let unit = (offset / self.stripe_size) as usize;
+        self.start_ost + (unit % self.stripe_count)
+    }
+
+    /// Decompose `[offset, offset + len)` into per-OST contiguous pieces in
+    /// file-offset order.
+    pub fn pieces(&self, offset: u64, len: u64) -> Vec<StripePiece> {
+        let mut out = Vec::new();
+        let mut cur = offset;
+        let end = offset.checked_add(len).expect("extent overflows u64");
+        while cur < end {
+            let unit = cur / self.stripe_size;
+            let within = cur % self.stripe_size;
+            let take = (self.stripe_size - within).min(end - cur);
+            let ost = self.start_ost + (unit % self.stripe_count as u64) as usize;
+            let object_offset = (unit / self.stripe_count as u64) * self.stripe_size + within;
+            out.push(StripePiece {
+                ost,
+                object_offset,
+                file_offset: cur,
+                len: take,
+            });
+            cur += take;
+        }
+        out
+    }
+
+    /// Total bytes each OST receives for extent `[offset, offset + len)`,
+    /// as (absolute OST index, bytes) pairs sorted by OST.
+    pub fn ost_loads(&self, offset: u64, len: u64) -> Vec<(usize, u64)> {
+        let mut loads = std::collections::BTreeMap::new();
+        for p in self.pieces(offset, len) {
+            *loads.entry(p.ost).or_insert(0u64) += p.len;
+        }
+        loads.into_iter().collect()
+    }
+}
+
+/// One file range with its own striping (the building block of UniviStor's
+/// adaptive striping, where each flushing server's contiguous range is
+/// striped over a distinct OST set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RangeLayout {
+    /// First logical file offset of the range (inclusive).
+    pub start: u64,
+    /// One past the last offset (exclusive).
+    pub end: u64,
+    /// How this range stripes. Offsets are striped relative to `start`, so
+    /// each range packs its OST objects independently.
+    pub layout: StripeLayout,
+}
+
+/// A whole file's layout: either one uniform striping (plain Lustre) or a
+/// sequence of independently striped ranges (UniviStor flush output,
+/// comparable to Lustre PFL / file joining \[29\]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FileLayout {
+    /// One striping for the whole file.
+    Uniform(StripeLayout),
+    /// Consecutive, non-overlapping ranges covering `[0, ∞)` in order; the
+    /// last range is open-ended (`end == u64::MAX`).
+    Composite(Vec<RangeLayout>),
+}
+
+impl From<StripeLayout> for FileLayout {
+    fn from(l: StripeLayout) -> Self {
+        FileLayout::Uniform(l)
+    }
+}
+
+impl FileLayout {
+    /// Build a composite layout from ordered ranges; validates coverage.
+    pub fn composite(ranges: Vec<RangeLayout>) -> Self {
+        assert!(!ranges.is_empty(), "composite layout needs ranges");
+        let mut expect = 0u64;
+        for r in &ranges {
+            assert_eq!(r.start, expect, "composite ranges must be contiguous");
+            assert!(r.end > r.start, "empty composite range");
+            expect = r.end;
+        }
+        assert_eq!(
+            ranges.last().expect("non-empty").end,
+            u64::MAX,
+            "last composite range must be open-ended"
+        );
+        FileLayout::Composite(ranges)
+    }
+
+    /// Decompose `[offset, offset + len)` into per-OST pieces.
+    ///
+    /// For composite layouts, each range's object space is made disjoint
+    /// from other ranges on the same OST by offsetting object addresses
+    /// with the range's start (ranges never reuse each other's object
+    /// bytes; a file offset maps to exactly one object location).
+    pub fn pieces(&self, offset: u64, len: u64) -> Vec<StripePiece> {
+        match self {
+            FileLayout::Uniform(l) => l.pieces(offset, len),
+            FileLayout::Composite(ranges) => {
+                let mut out = Vec::new();
+                let end = offset.checked_add(len).expect("extent overflows u64");
+                let mut cur = offset;
+                for r in ranges {
+                    if cur >= end {
+                        break;
+                    }
+                    if r.end <= cur || r.start >= end {
+                        continue;
+                    }
+                    let seg_start = cur.max(r.start);
+                    let seg_end = end.min(r.end);
+                    for mut p in r.layout.pieces(seg_start - r.start, seg_end - seg_start) {
+                        // Keep object spaces of different ranges disjoint.
+                        p.object_offset += r.start;
+                        p.file_offset += r.start;
+                        out.push(p);
+                    }
+                    cur = seg_end;
+                }
+                assert!(cur >= end, "composite layout did not cover extent");
+                out
+            }
+        }
+    }
+
+    /// Aggregate per-OST byte loads for an extent.
+    pub fn ost_loads(&self, offset: u64, len: u64) -> Vec<(usize, u64)> {
+        let mut loads = std::collections::BTreeMap::new();
+        for p in self.pieces(offset, len) {
+            *loads.entry(p.ost).or_insert(0u64) += p.len;
+        }
+        loads.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_stripe_unit_stays_on_one_ost() {
+        let l = StripeLayout::new(100, 4, 0);
+        let ps = l.pieces(10, 50);
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0].ost, 0);
+        assert_eq!(ps[0].object_offset, 10);
+        assert_eq!(ps[0].len, 50);
+    }
+
+    #[test]
+    fn extent_spanning_stripes_round_robins() {
+        let l = StripeLayout::new(100, 3, 5);
+        let ps = l.pieces(0, 350);
+        // Units 0,1,2,3 → OSTs 5,6,7,5.
+        let osts: Vec<usize> = ps.iter().map(|p| p.ost).collect();
+        assert_eq!(osts, vec![5, 6, 7, 5]);
+        // Unit 3 is the second unit on OST 5 → object offset 100.
+        assert_eq!(ps[3].object_offset, 100);
+        assert_eq!(ps[3].len, 50);
+        let total: u64 = ps.iter().map(|p| p.len).sum();
+        assert_eq!(total, 350);
+    }
+
+    #[test]
+    fn unaligned_start_offset() {
+        let l = StripeLayout::new(100, 2, 0);
+        let ps = l.pieces(150, 100);
+        // [150,200) on unit 1 (OST 1, object offset 50), [200,250) on unit 2
+        // (OST 0, object offset 100).
+        assert_eq!(ps.len(), 2);
+        assert_eq!((ps[0].ost, ps[0].object_offset, ps[0].len), (1, 50, 50));
+        assert_eq!((ps[1].ost, ps[1].object_offset, ps[1].len), (0, 100, 50));
+    }
+
+    #[test]
+    fn object_offsets_pack_consecutively() {
+        // All data for one OST packs densely in its object.
+        let l = StripeLayout::new(10, 4, 0);
+        let ps = l.pieces(0, 400);
+        let on_ost0: Vec<&StripePiece> = ps.iter().filter(|p| p.ost == 0).collect();
+        for (i, p) in on_ost0.iter().enumerate() {
+            assert_eq!(p.object_offset, i as u64 * 10);
+        }
+    }
+
+    #[test]
+    fn ost_loads_balance_for_aligned_extent() {
+        let l = StripeLayout::new(1 << 20, 8, 0);
+        let loads = l.ost_loads(0, 8 << 20);
+        assert_eq!(loads.len(), 8);
+        for (_, bytes) in loads {
+            assert_eq!(bytes, 1 << 20);
+        }
+    }
+
+    #[test]
+    fn single_layout_never_leaves_its_ost() {
+        let l = StripeLayout::single(17);
+        let ps = l.pieces(0, 1 << 40);
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0].ost, 17);
+    }
+
+    #[test]
+    fn ost_of_matches_pieces() {
+        let l = StripeLayout::new(64, 5, 2);
+        for offset in [0u64, 63, 64, 319, 320, 1000] {
+            assert_eq!(l.ost_of(offset), l.pieces(offset, 1)[0].ost);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stripe_size")]
+    fn zero_stripe_size_rejected() {
+        StripeLayout::new(0, 1, 0);
+    }
+}

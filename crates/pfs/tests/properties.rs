@@ -1,0 +1,116 @@
+//! Property-based tests for the Lustre model: stripe layouts must
+//! partition extents exactly, and the file system must behave like a flat
+//! byte array regardless of striping.
+
+use proptest::prelude::*;
+use univistor_pfs::{FileLayout, Lustre, RangeLayout, StripeLayout};
+use univistor_sim::{Payload, SparseBuffer};
+
+proptest! {
+    /// `pieces()` partitions any extent: pieces are in file order,
+    /// contiguous, sum to the length, and map to consistent OSTs.
+    #[test]
+    fn stripe_pieces_partition_extents(
+        stripe_size in 1u64..10_000,
+        stripe_count in 1usize..32,
+        start_ost in 0usize..300,
+        offset in 0u64..1_000_000,
+        len in 1u64..500_000,
+    ) {
+        let l = StripeLayout::new(stripe_size, stripe_count, start_ost);
+        let pieces = l.pieces(offset, len);
+        let mut cursor = offset;
+        for p in &pieces {
+            prop_assert_eq!(p.file_offset, cursor);
+            prop_assert!(p.len > 0 && p.len <= stripe_size);
+            prop_assert_eq!(p.ost, l.ost_of(p.file_offset));
+            cursor += p.len;
+        }
+        prop_assert_eq!(cursor, offset + len);
+    }
+
+    /// The same bytes never map to two places: pieces of disjoint extents
+    /// on the same OST have disjoint object ranges.
+    #[test]
+    fn object_mapping_is_injective(
+        stripe_size in 1u64..1000,
+        stripe_count in 1usize..8,
+        a in 0u64..50_000,
+        b in 0u64..50_000,
+        len in 1u64..2_000,
+    ) {
+        prop_assume!(a + len <= b || b + len <= a); // disjoint extents
+        let l = StripeLayout::new(stripe_size, stripe_count, 0);
+        let pa = l.pieces(a, len);
+        let pb = l.pieces(b, len);
+        for x in &pa {
+            for y in &pb {
+                if x.ost == y.ost {
+                    let overlap = x.object_offset < y.object_offset + y.len
+                        && y.object_offset < x.object_offset + x.len;
+                    prop_assert!(
+                        !overlap,
+                        "extents [{a},+{len}) and [{b},+{len}) collide in object space"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Composite layouts preserve the same partition property.
+    #[test]
+    fn composite_layout_covers_extents(
+        cut in 1u64..100_000,
+        offset in 0u64..150_000,
+        len in 1u64..100_000,
+    ) {
+        let layout = FileLayout::composite(vec![
+            RangeLayout {
+                start: 0,
+                end: cut,
+                layout: StripeLayout::new(700, 3, 0),
+            },
+            RangeLayout {
+                start: cut,
+                end: u64::MAX,
+                layout: StripeLayout::new(1300, 5, 16),
+            },
+        ]);
+        let pieces = layout.pieces(offset, len);
+        let mut cursor = offset;
+        for p in &pieces {
+            prop_assert_eq!(p.file_offset, cursor);
+            cursor += p.len;
+        }
+        prop_assert_eq!(cursor, offset + len);
+        let total: u64 = layout.ost_loads(offset, len).iter().map(|(_, b)| b).sum();
+        prop_assert_eq!(total, len);
+    }
+
+    /// A striped Lustre file behaves exactly like a flat byte array under
+    /// arbitrary overlapping writes, for any layout.
+    #[test]
+    fn lustre_matches_flat_model(
+        stripe_size in 1u64..4096,
+        stripe_count in 1usize..16,
+        writes in proptest::collection::vec((0u64..20_000, 1u64..3_000), 1..20),
+    ) {
+        let mut fs = Lustre::new(32);
+        fs.create("/f", StripeLayout::new(stripe_size, stripe_count, 7)).unwrap();
+        let mut model = SparseBuffer::new();
+        for (i, (offset, len)) in writes.iter().enumerate() {
+            let data = Payload::pattern(i as u64, *len);
+            fs.write("/f", *offset, data.clone(), i as u64 % 4).unwrap();
+            model.write(*offset, data);
+        }
+        let size = model.end_offset();
+        prop_assert_eq!(fs.file_size("/f").unwrap(), size);
+        // Compare every fully-written extent.
+        for (off, payload) in model.extents() {
+            let got = fs.read("/f", off, payload.len(), 99).unwrap();
+            prop_assert!(got.content_eq(payload), "extent at {off} corrupt");
+        }
+        // Byte conservation across OSTs.
+        prop_assert_eq!(fs.bytes_stored(), model.bytes_stored());
+    }
+}

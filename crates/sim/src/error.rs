@@ -1,0 +1,47 @@
+//! Error type shared by the substrate.
+
+use std::fmt;
+
+/// Errors produced by the simulation substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A resource id referenced a resource that was never registered.
+    UnknownResource(usize),
+    /// A resource was registered with a non-positive bandwidth.
+    InvalidBandwidth(f64),
+    /// A flow was submitted with an invalid parameter (negative size, etc.).
+    InvalidFlow(String),
+    /// A read touched a byte range with no data (hole in a sparse buffer)
+    /// where the caller required full coverage.
+    Hole { offset: u64, len: u64 },
+    /// Generic out-of-capacity condition (log full, tier full, ...).
+    OutOfCapacity { requested: u64, available: u64 },
+    /// A topology/config parameter was inconsistent.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownResource(id) => write!(f, "unknown resource id {id}"),
+            SimError::InvalidBandwidth(bw) => write!(f, "invalid bandwidth {bw}"),
+            SimError::InvalidFlow(msg) => write!(f, "invalid flow: {msg}"),
+            SimError::Hole { offset, len } => {
+                write!(f, "hole in data at offset {offset} (+{len} bytes)")
+            }
+            SimError::OutOfCapacity {
+                requested,
+                available,
+            } => write!(
+                f,
+                "out of capacity: requested {requested} bytes, {available} available"
+            ),
+            SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Convenience alias used throughout the substrate.
+pub type SimResult<T> = Result<T, SimError>;

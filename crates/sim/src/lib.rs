@@ -1,0 +1,48 @@
+//! # univistor-sim — simulated HPC platform substrate
+//!
+//! This crate is the foundation the UniviStor reproduction is built on. The
+//! original system ran on Cori (a Cray XC40 with per-node DRAM, a shared
+//! DataWarp burst buffer, and a 248-OST Lustre file system). None of that
+//! hardware is available here, so the substrate provides:
+//!
+//! * **A functional data plane** — [`payload::Payload`] (real bytes or
+//!   deterministic synthetic patterns) and [`buffer::SparseBuffer`] (extent
+//!   maps) let every storage tier store and return byte-accurate data while
+//!   allowing paper-scale experiments (terabytes of logical data) to run
+//!   without materializing the bytes.
+//! * **A timing plane** — [`flow::FlowSim`], a max–min-fair flow-level
+//!   discrete-event simulator. Every shared device (a NUMA socket's memory
+//!   system, a NIC, a burst-buffer node's SSD, a Lustre OST) is a
+//!   [`resource::Resource`] with a bandwidth; concurrent transfers share it
+//!   fairly and the simulator computes completion times under contention.
+//! * **Cluster topology** — [`topology::ClusterSpec`] describes a Cori-like
+//!   machine and registers its devices as flow resources.
+//! * **Core placement machinery** — [`cores`] models per-node CPU cores and
+//!   NUMA sockets, provides the CFS-like baseline placement policy, and
+//!   evaluates the memory-bandwidth contention a placement produces.
+//!   (UniviStor's interference-aware policy itself lives in `univistor-core`,
+//!   since it is part of the paper's contribution.)
+//! * **Latency models** — [`latency`] has simple analytic costs for RPCs and
+//!   MPI-style collectives.
+//! * **Calibration constants** — [`calibration`] centralizes the Cori-like
+//!   bandwidth/latency numbers every experiment uses.
+
+pub mod buffer;
+pub mod calibration;
+pub mod cores;
+pub mod error;
+pub mod flow;
+pub mod latency;
+pub mod payload;
+pub mod resource;
+pub mod rng;
+pub mod time;
+pub mod topology;
+
+pub use buffer::SparseBuffer;
+pub use error::{SimError, SimResult};
+pub use flow::{FlowId, FlowOutcome, FlowSim, FlowSpec};
+pub use payload::Payload;
+pub use resource::{Resource, ResourceId};
+pub use time::SimTime;
+pub use topology::{ClusterResources, ClusterSpec};

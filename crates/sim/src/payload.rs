@@ -1,0 +1,406 @@
+//! Data payloads.
+//!
+//! The UniviStor reproduction is *functional*: bytes written through the
+//! MPI-IO interface land in real log chunks / burst-buffer objects / OST
+//! objects and read back identical. But the paper's experiments move up to
+//! 2 TB of logical data per phase (8192 processes × 256 MB), which must not
+//! be materialized. [`Payload`] solves both needs:
+//!
+//! * [`Payload::Bytes`] — real, materialized bytes (used by tests, examples,
+//!   and any small-scale run).
+//! * [`Payload::Pattern`] — a deterministic pseudo-random byte sequence
+//!   identified by a seed and a window `[offset, offset + len)` into the
+//!   infinite stream that seed generates. Slicing, splitting and comparing
+//!   are O(1) in memory; any byte can be regenerated on demand.
+//! * [`Payload::Zeros`] — holes (unwritten ranges) when a caller asks for a
+//!   tolerant read.
+//! * [`Payload::Chain`] — a rope of the above, produced when a read gathers
+//!   segments from several places.
+//!
+//! All storage tiers store `Payload`s, so the *placement* of data is always
+//! exact even when the bytes themselves are virtual.
+
+use bytes::Bytes;
+use std::fmt;
+
+/// Maximum size `to_bytes` will materialize (1 GiB). Larger payloads are
+/// always synthetic at paper scale; materializing them indicates a bug.
+pub const MAX_MATERIALIZE: u64 = 1 << 30;
+
+/// A (possibly virtual) run of bytes. See module docs.
+#[derive(Clone, PartialEq, Eq)]
+pub enum Payload {
+    /// Real bytes.
+    Bytes(Bytes),
+    /// `len` bytes of the deterministic stream of `seed`, starting at
+    /// stream position `offset`.
+    Pattern { seed: u64, offset: u64, len: u64 },
+    /// A run of zero bytes (reads of holes).
+    Zeros { len: u64 },
+    /// Concatenation of parts. Invariants: no nested chains, no empty parts,
+    /// at least two parts.
+    Chain(Vec<Payload>),
+}
+
+/// SplitMix64 — small, fast, high-quality 64-bit mixer used for pattern data.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The pattern byte at stream position `pos` for `seed`.
+#[inline]
+pub fn pattern_byte(seed: u64, pos: u64) -> u8 {
+    let block = splitmix64(seed ^ (pos / 8));
+    (block >> (8 * (pos % 8))) as u8
+}
+
+impl Payload {
+    /// An empty payload.
+    pub fn empty() -> Payload {
+        Payload::Bytes(Bytes::new())
+    }
+
+    /// A synthetic payload of `len` bytes drawn from `seed`'s stream.
+    pub fn pattern(seed: u64, len: u64) -> Payload {
+        Payload::Pattern {
+            seed,
+            offset: 0,
+            len,
+        }
+    }
+
+    /// A payload of real bytes.
+    pub fn from_bytes(bytes: impl Into<Bytes>) -> Payload {
+        Payload::Bytes(bytes.into())
+    }
+
+    /// `len` zero bytes.
+    pub fn zeros(len: u64) -> Payload {
+        Payload::Zeros { len }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> u64 {
+        match self {
+            Payload::Bytes(b) => b.len() as u64,
+            Payload::Pattern { len, .. } | Payload::Zeros { len } => *len,
+            Payload::Chain(parts) => parts.iter().map(Payload::len).sum(),
+        }
+    }
+
+    /// True when the payload holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Concatenate parts into one payload, flattening chains and merging
+    /// adjacent compatible parts (contiguous pattern windows, zero runs).
+    pub fn chain(parts: impl IntoIterator<Item = Payload>) -> Payload {
+        let mut flat: Vec<Payload> = Vec::new();
+        for part in parts {
+            match part {
+                Payload::Chain(sub) => flat.extend(sub),
+                p if p.is_empty() => {}
+                p => flat.push(p),
+            }
+        }
+        // Merge adjacent parts where representation allows.
+        let mut merged: Vec<Payload> = Vec::with_capacity(flat.len());
+        for part in flat {
+            match (merged.last_mut(), part) {
+                (
+                    Some(Payload::Pattern { seed, offset, len }),
+                    Payload::Pattern {
+                        seed: s2,
+                        offset: o2,
+                        len: l2,
+                    },
+                ) if *seed == s2 && *offset + *len == o2 => *len += l2,
+                (Some(Payload::Zeros { len }), Payload::Zeros { len: l2 }) => *len += l2,
+                (_, part) => merged.push(part),
+            }
+        }
+        match merged.len() {
+            0 => Payload::empty(),
+            1 => merged.pop().expect("len checked"),
+            _ => Payload::Chain(merged),
+        }
+    }
+
+    /// The sub-payload `[start, start + len)`. Panics if out of range —
+    /// callers (tier stores) always hold the true extent bounds.
+    pub fn slice(&self, start: u64, len: u64) -> Payload {
+        let total = self.len();
+        assert!(
+            start.checked_add(len).is_some_and(|end| end <= total),
+            "slice [{start}, {start}+{len}) out of range for payload of {total} bytes"
+        );
+        if len == 0 {
+            return Payload::empty();
+        }
+        if start == 0 && len == total {
+            return self.clone();
+        }
+        match self {
+            Payload::Bytes(b) => Payload::Bytes(b.slice(start as usize..(start + len) as usize)),
+            Payload::Pattern { seed, offset, .. } => Payload::Pattern {
+                seed: *seed,
+                offset: offset + start,
+                len,
+            },
+            Payload::Zeros { .. } => Payload::Zeros { len },
+            Payload::Chain(parts) => {
+                let mut out = Vec::new();
+                let mut pos = 0u64;
+                let end = start + len;
+                for part in parts {
+                    let plen = part.len();
+                    let pstart = pos;
+                    let pend = pos + plen;
+                    pos = pend;
+                    if pend <= start {
+                        continue;
+                    }
+                    if pstart >= end {
+                        break;
+                    }
+                    let s = start.max(pstart) - pstart;
+                    let e = end.min(pend) - pstart;
+                    out.push(part.slice(s, e - s));
+                }
+                Payload::chain(out)
+            }
+        }
+    }
+
+    /// Split into `[0, mid)` and `[mid, len)`.
+    pub fn split_at(&self, mid: u64) -> (Payload, Payload) {
+        let len = self.len();
+        (self.slice(0, mid), self.slice(mid, len - mid))
+    }
+
+    /// The byte at position `pos`. O(depth) for chains, O(1) otherwise.
+    pub fn byte_at(&self, pos: u64) -> u8 {
+        assert!(pos < self.len(), "byte_at({pos}) out of range");
+        match self {
+            Payload::Bytes(b) => b[pos as usize],
+            Payload::Pattern { seed, offset, .. } => pattern_byte(*seed, offset + pos),
+            Payload::Zeros { .. } => 0,
+            Payload::Chain(parts) => {
+                let mut p = pos;
+                for part in parts {
+                    let l = part.len();
+                    if p < l {
+                        return part.byte_at(p);
+                    }
+                    p -= l;
+                }
+                unreachable!("pos bounds checked above")
+            }
+        }
+    }
+
+    /// Materialize to real bytes. Panics above [`MAX_MATERIALIZE`] — at
+    /// paper scale payloads stay virtual by design.
+    pub fn to_bytes(&self) -> Bytes {
+        let len = self.len();
+        assert!(
+            len <= MAX_MATERIALIZE,
+            "refusing to materialize {len} bytes (> {MAX_MATERIALIZE})"
+        );
+        match self {
+            Payload::Bytes(b) => b.clone(),
+            Payload::Zeros { len } => Bytes::from(vec![0u8; *len as usize]),
+            Payload::Pattern { seed, offset, len } => {
+                let mut v = Vec::with_capacity(*len as usize);
+                let mut pos = *offset;
+                let end = offset + len;
+                while pos < end {
+                    let block = splitmix64(seed ^ (pos / 8));
+                    let in_block = (pos % 8) as u32;
+                    let take = ((8 - in_block) as u64).min(end - pos) as u32;
+                    let shifted = block >> (8 * in_block);
+                    v.extend_from_slice(&shifted.to_le_bytes()[..take as usize]);
+                    pos += take as u64;
+                }
+                Bytes::from(v)
+            }
+            Payload::Chain(parts) => {
+                let mut v = Vec::with_capacity(len as usize);
+                for part in parts {
+                    v.extend_from_slice(&part.to_bytes());
+                }
+                Bytes::from(v)
+            }
+        }
+    }
+
+    /// Content equality (same bytes, regardless of representation).
+    /// O(len); intended for tests and small-scale verification.
+    pub fn content_eq(&self, other: &Payload) -> bool {
+        if self.len() != other.len() {
+            return false;
+        }
+        if self == other {
+            return true; // cheap structural fast path
+        }
+        self.to_bytes() == other.to_bytes()
+    }
+
+    /// FNV-1a checksum of the content. O(len); for verification at small
+    /// and medium scale.
+    pub fn content_checksum(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut h = FNV_OFFSET;
+        match self {
+            Payload::Chain(parts) => {
+                for part in parts {
+                    for b in part.to_bytes().iter() {
+                        h = (h ^ *b as u64).wrapping_mul(FNV_PRIME);
+                    }
+                }
+            }
+            _ => {
+                for b in self.to_bytes().iter() {
+                    h = (h ^ *b as u64).wrapping_mul(FNV_PRIME);
+                }
+            }
+        }
+        h
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Payload::Bytes(b) => write!(f, "Bytes({}B)", b.len()),
+            Payload::Pattern { seed, offset, len } => {
+                write!(f, "Pattern(seed={seed:#x}, off={offset}, {len}B)")
+            }
+            Payload::Zeros { len } => write!(f, "Zeros({len}B)"),
+            Payload::Chain(parts) => {
+                write!(f, "Chain[{}B; {} parts]", self.len(), parts.len())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_is_deterministic() {
+        let a = Payload::pattern(42, 1000);
+        let b = Payload::pattern(42, 1000);
+        assert_eq!(a.to_bytes(), b.to_bytes());
+        let c = Payload::pattern(43, 1000);
+        assert_ne!(a.to_bytes(), c.to_bytes());
+    }
+
+    #[test]
+    fn pattern_slice_matches_materialized_slice() {
+        let p = Payload::pattern(7, 4096);
+        let full = p.to_bytes();
+        for (start, len) in [(0u64, 4096u64), (1, 100), (4000, 96), (17, 0), (4095, 1)] {
+            let s = p.slice(start, len);
+            assert_eq!(
+                s.to_bytes(),
+                full.slice(start as usize..(start + len) as usize),
+                "slice [{start}, +{len})"
+            );
+        }
+    }
+
+    #[test]
+    fn pattern_byte_at_matches_stream() {
+        let p = Payload::pattern(99, 300);
+        let bytes = p.to_bytes();
+        for i in 0..300u64 {
+            assert_eq!(p.byte_at(i), bytes[i as usize]);
+        }
+    }
+
+    #[test]
+    fn chain_merges_adjacent_pattern_windows() {
+        let p = Payload::pattern(5, 1000);
+        let (a, b) = p.split_at(400);
+        let rejoined = Payload::chain([a, b]);
+        // Merged back into a single pattern — structural equality holds.
+        assert_eq!(rejoined, p);
+    }
+
+    #[test]
+    fn chain_of_mixed_parts_reads_correctly() {
+        let a = Payload::from_bytes(&b"hello "[..]);
+        let b = Payload::from_bytes(&b"world"[..]);
+        let c = Payload::chain([a, Payload::zeros(2), b]);
+        assert_eq!(c.len(), 13);
+        assert_eq!(&c.to_bytes()[..], b"hello \0\0world");
+        assert_eq!(c.byte_at(7), 0);
+        assert_eq!(c.byte_at(8), b'w');
+    }
+
+    #[test]
+    fn chain_slice_spanning_parts() {
+        let c = Payload::chain([
+            Payload::from_bytes(&b"abcd"[..]),
+            Payload::from_bytes(&b"efgh"[..]),
+            Payload::from_bytes(&b"ijkl"[..]),
+        ]);
+        assert_eq!(&c.slice(2, 8).to_bytes()[..], b"cdefghij");
+    }
+
+    #[test]
+    fn huge_payload_slicing_never_materializes() {
+        // 2 TB synthetic payload: all structural operations must be cheap.
+        let p = Payload::pattern(1, 2 << 40);
+        let s = p.slice(1 << 40, 1 << 20);
+        assert_eq!(s.len(), 1 << 20);
+        let (l, r) = p.split_at(1 << 39);
+        assert_eq!(l.len() + r.len(), p.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing to materialize")]
+    fn materializing_huge_payload_panics() {
+        let _ = Payload::pattern(1, 2 << 40).to_bytes();
+    }
+
+    #[test]
+    fn content_eq_across_representations() {
+        let p = Payload::pattern(3, 64);
+        let materialized = Payload::from_bytes(p.to_bytes());
+        assert!(p.content_eq(&materialized));
+        assert_ne!(p, materialized); // structurally different
+    }
+
+    #[test]
+    fn zeros_and_empty() {
+        assert!(Payload::empty().is_empty());
+        let z = Payload::zeros(16);
+        assert_eq!(z.to_bytes(), Bytes::from(vec![0u8; 16]));
+    }
+
+    #[test]
+    fn checksum_distinguishes_content() {
+        let a = Payload::pattern(1, 128);
+        let b = Payload::pattern(2, 128);
+        assert_ne!(a.content_checksum(), b.content_checksum());
+        assert_eq!(
+            a.content_checksum(),
+            Payload::from_bytes(a.to_bytes()).content_checksum()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slice_out_of_range_panics() {
+        Payload::pattern(1, 10).slice(5, 6);
+    }
+}

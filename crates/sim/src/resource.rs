@@ -1,0 +1,61 @@
+//! Shared devices with finite bandwidth.
+//!
+//! A [`Resource`] models one contended device: a NUMA socket's memory
+//! system, a NIC, an SSD on a burst-buffer node, a Lustre OST. Flows
+//! traversing a resource share its bandwidth max–min fairly (see
+//! [`crate::flow`]).
+
+use crate::error::{SimError, SimResult};
+use std::fmt;
+
+/// Index of a registered resource within a [`crate::flow::FlowSim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResourceId(pub usize);
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// A bandwidth-limited device.
+#[derive(Debug, Clone)]
+pub struct Resource {
+    /// Human-readable name for diagnostics ("node3.socket0.mem", "ost17").
+    pub name: String,
+    /// Bandwidth in bytes/second. Always positive and finite.
+    pub bandwidth: f64,
+}
+
+impl Resource {
+    /// Validate and construct a resource.
+    pub fn new(name: impl Into<String>, bandwidth: f64) -> SimResult<Self> {
+        if !(bandwidth.is_finite() && bandwidth > 0.0) {
+            return Err(SimError::InvalidBandwidth(bandwidth));
+        }
+        Ok(Resource {
+            name: name.into(),
+            bandwidth,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_resource() {
+        let r = Resource::new("ost0", 1.2e9).unwrap();
+        assert_eq!(r.name, "ost0");
+        assert_eq!(r.bandwidth, 1.2e9);
+    }
+
+    #[test]
+    fn rejects_bad_bandwidth() {
+        assert!(Resource::new("x", 0.0).is_err());
+        assert!(Resource::new("x", -1.0).is_err());
+        assert!(Resource::new("x", f64::INFINITY).is_err());
+        assert!(Resource::new("x", f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,169 @@
+//! Cluster topology: a Cori-like machine as flow resources.
+//!
+//! [`ClusterSpec`] describes the job's slice of the machine; [`build`]
+//! registers each contended device with a [`FlowSim`] and returns the
+//! resource ids experiments use to route flows:
+//!
+//! * one memory-system resource per NUMA socket per node,
+//! * one NIC resource per node,
+//! * one SSD resource per burst-buffer node,
+//! * one resource per Lustre OST.
+//!
+//! [`build`]: ClusterSpec::build
+
+use crate::calibration::Calibration;
+use crate::cores::NodeShape;
+use crate::error::{SimError, SimResult};
+use crate::flow::FlowSim;
+use crate::resource::ResourceId;
+
+/// The job's view of the machine.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Compute nodes allocated to the job.
+    pub nodes: usize,
+    /// Platform constants.
+    pub cal: Calibration,
+}
+
+impl ClusterSpec {
+    /// A Cori-like job of `nodes` Haswell nodes with default calibration.
+    pub fn cori_like(nodes: usize) -> Self {
+        ClusterSpec {
+            nodes,
+            cal: Calibration::default(),
+        }
+    }
+
+    /// Node geometry.
+    pub fn node_shape(&self) -> NodeShape {
+        NodeShape {
+            sockets: self.cal.sockets_per_node,
+            cores_per_socket: self.cal.cores_per_socket,
+        }
+    }
+
+    /// Burst-buffer nodes in this job's allocation.
+    pub fn bb_nodes(&self) -> usize {
+        self.cal.bb_nodes_for_job(self.nodes)
+    }
+
+    /// Register all devices with `sim`.
+    pub fn build(&self, sim: &mut FlowSim) -> SimResult<ClusterResources> {
+        if self.nodes == 0 {
+            return Err(SimError::InvalidConfig("cluster with 0 nodes".into()));
+        }
+        let mut socket_mem = Vec::with_capacity(self.nodes);
+        let mut nic = Vec::with_capacity(self.nodes);
+        for n in 0..self.nodes {
+            let mut sockets = Vec::with_capacity(self.cal.sockets_per_node);
+            for s in 0..self.cal.sockets_per_node {
+                sockets.push(sim.add_resource(
+                    format!("node{n}.socket{s}.mem"),
+                    self.cal.socket_mem_bw,
+                )?);
+            }
+            socket_mem.push(sockets);
+            nic.push(sim.add_resource(format!("node{n}.nic"), self.cal.nic_bw)?);
+        }
+        let bb = (0..self.bb_nodes())
+            .map(|b| sim.add_resource(format!("bb{b}.ssd"), self.cal.bb_node_bw))
+            .collect::<SimResult<Vec<_>>>()?;
+        let ost = (0..self.cal.ost_count)
+            .map(|o| sim.add_resource(format!("ost{o}"), self.cal.ost_bw))
+            .collect::<SimResult<Vec<_>>>()?;
+        Ok(ClusterResources {
+            socket_mem,
+            nic,
+            bb,
+            ost,
+        })
+    }
+}
+
+/// Resource ids of every registered device.
+#[derive(Debug, Clone)]
+pub struct ClusterResources {
+    /// `socket_mem[node][socket]` — per-socket memory systems.
+    pub socket_mem: Vec<Vec<ResourceId>>,
+    /// `nic[node]` — per-node NIC injection.
+    pub nic: Vec<ResourceId>,
+    /// `bb[i]` — per-burst-buffer-node SSD.
+    pub bb: Vec<ResourceId>,
+    /// `ost[i]` — per-OST disk bandwidth.
+    pub ost: Vec<ResourceId>,
+}
+
+impl ClusterResources {
+    /// The burst-buffer node a round-robin layout maps `index` to.
+    pub fn bb_for(&self, index: u64) -> ResourceId {
+        self.bb[(index % self.bb.len() as u64) as usize]
+    }
+
+    /// The OST resource with logical index `i` (mod count).
+    pub fn ost_for(&self, i: u64) -> ResourceId {
+        self.ost[(i % self.ost.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowSpec;
+    use crate::time::SimTime;
+
+    #[test]
+    fn build_registers_all_devices() {
+        let spec = ClusterSpec::cori_like(4);
+        let mut sim = FlowSim::new();
+        let res = spec.build(&mut sim).unwrap();
+        assert_eq!(res.socket_mem.len(), 4);
+        assert_eq!(res.socket_mem[0].len(), 2);
+        assert_eq!(res.nic.len(), 4);
+        assert_eq!(res.bb.len(), spec.bb_nodes());
+        assert_eq!(res.ost.len(), 248);
+        let expected = 4 * 2 + 4 + spec.bb_nodes() + 248;
+        assert_eq!(sim.resource_count(), expected);
+    }
+
+    #[test]
+    fn zero_nodes_rejected() {
+        let spec = ClusterSpec::cori_like(0);
+        assert!(spec.build(&mut FlowSim::new()).is_err());
+    }
+
+    #[test]
+    fn resources_are_usable_in_flows() {
+        let spec = ClusterSpec::cori_like(2);
+        let mut sim = FlowSim::new();
+        let res = spec.build(&mut sim).unwrap();
+        // Node 0 writes 1 GB over its NIC to OST 0.
+        sim.add_flow(FlowSpec::new(
+            SimTime::ZERO,
+            1e9,
+            vec![res.nic[0], res.ost[0]],
+        ))
+        .unwrap();
+        let out = sim.run();
+        // OST (1.2 GB/s) is the bottleneck, not the 9 GB/s NIC.
+        let expect = 1e9 / spec.cal.ost_bw;
+        assert!((out[0].finish.secs() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn round_robin_helpers_wrap() {
+        let spec = ClusterSpec::cori_like(2);
+        let mut sim = FlowSim::new();
+        let res = spec.build(&mut sim).unwrap();
+        let n = res.bb.len() as u64;
+        assert_eq!(res.bb_for(0), res.bb_for(n));
+        assert_eq!(res.ost_for(1), res.ost_for(1 + 248));
+    }
+
+    #[test]
+    fn node_shape_matches_calibration() {
+        let spec = ClusterSpec::cori_like(1);
+        let shape = spec.node_shape();
+        assert_eq!(shape.cores(), spec.cal.cores_per_node());
+    }
+}

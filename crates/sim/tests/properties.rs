@@ -1,0 +1,168 @@
+//! Property-based tests for the substrate's core data structures:
+//! the sparse buffer must behave like a flat byte array, payload slicing
+//! must commute with materialization, and the flow simulator must conserve
+//! work and respect capacity.
+
+use proptest::prelude::*;
+use univistor_sim::flow::FlowSpec;
+use univistor_sim::payload::Payload;
+use univistor_sim::{FlowSim, SimTime, SparseBuffer};
+
+const ARENA: usize = 512;
+
+#[derive(Debug, Clone)]
+struct WriteOp {
+    offset: usize,
+    data: Vec<u8>,
+}
+
+fn write_ops() -> impl Strategy<Value = Vec<WriteOp>> {
+    proptest::collection::vec(
+        (0usize..ARENA, proptest::collection::vec(any::<u8>(), 1..64)),
+        1..40,
+    )
+    .prop_map(|ops| {
+        ops.into_iter()
+            .map(|(offset, mut data)| {
+                data.truncate(ARENA - offset);
+                WriteOp { offset, data }
+            })
+            .filter(|op| !op.data.is_empty())
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn sparse_buffer_matches_flat_array(ops in write_ops()) {
+        let mut buf = SparseBuffer::new();
+        let mut model = vec![0u8; ARENA];
+        let mut written = vec![false; ARENA];
+
+        for op in &ops {
+            buf.write(op.offset as u64, Payload::from_bytes(op.data.clone()));
+            for (i, b) in op.data.iter().enumerate() {
+                model[op.offset + i] = *b;
+                written[op.offset + i] = true;
+            }
+        }
+
+        // Tolerant read of the full arena matches the model (holes = 0).
+        let got = buf.read(0, ARENA as u64).to_bytes();
+        prop_assert_eq!(&got[..], &model[..]);
+
+        // bytes_stored equals the number of written bytes.
+        let expect_stored = written.iter().filter(|w| **w).count() as u64;
+        prop_assert_eq!(buf.bytes_stored(), expect_stored);
+
+        // read_exact succeeds exactly on fully-written ranges.
+        for (start, len) in [(0usize, 16usize), (100, 50), (400, 112)] {
+            let fully = written[start..start + len].iter().all(|w| *w);
+            let r = buf.read_exact(start as u64, len as u64);
+            prop_assert_eq!(r.is_ok(), fully, "range [{}, +{})", start, len);
+        }
+    }
+
+    #[test]
+    fn payload_slice_commutes_with_materialize(
+        seed in any::<u64>(),
+        len in 1u64..2048,
+        cut in 0u64..2048,
+    ) {
+        let cut = cut.min(len);
+        let p = Payload::pattern(seed, len);
+        let (a, b) = p.split_at(cut);
+        let mut joined = a.to_bytes().to_vec();
+        joined.extend_from_slice(&b.to_bytes());
+        prop_assert_eq!(&joined[..], &p.to_bytes()[..]);
+    }
+
+    #[test]
+    fn flow_finish_times_respect_capacity(
+        sizes in proptest::collection::vec(1.0f64..1e6, 1..20),
+        bw in 1e3f64..1e9,
+    ) {
+        let mut sim = FlowSim::new();
+        let r = sim.add_resource("r", bw).unwrap();
+        for &s in &sizes {
+            sim.add_flow(FlowSpec::new(SimTime::ZERO, s, vec![r])).unwrap();
+        }
+        let out = sim.run();
+        let total: f64 = sizes.iter().sum();
+        let makespan = FlowSim::makespan(&out).secs();
+        // The device can never move data faster than its bandwidth …
+        prop_assert!(makespan >= total / bw * (1.0 - 1e-9));
+        // … and fair sharing of one resource is work-conserving: the last
+        // finisher leaves no idle time.
+        prop_assert!(makespan <= total / bw * (1.0 + 1e-6));
+        // No flow can beat its solo transfer time.
+        for (o, &s) in out.iter().zip(&sizes) {
+            prop_assert!(o.finish.secs() >= s / bw * (1.0 - 1e-9));
+        }
+    }
+
+    #[test]
+    fn flow_group_equivalence(
+        count in 1u64..64,
+        bytes in 1.0f64..1e6,
+        bw in 1e3f64..1e9,
+    ) {
+        // One group of `count` flows finishes exactly when `count`
+        // individual flows do.
+        let mut grouped = FlowSim::new();
+        let rg = grouped.add_resource("r", bw).unwrap();
+        grouped
+            .add_flow(FlowSpec::new(SimTime::ZERO, bytes, vec![rg]).with_count(count))
+            .unwrap();
+        let tg = FlowSim::makespan(&grouped.run()).secs();
+
+        let mut individual = FlowSim::new();
+        let ri = individual.add_resource("r", bw).unwrap();
+        for _ in 0..count {
+            individual
+                .add_flow(FlowSpec::new(SimTime::ZERO, bytes, vec![ri]))
+                .unwrap();
+        }
+        let ti = FlowSim::makespan(&individual.run()).secs();
+        prop_assert!((tg - ti).abs() < 1e-9 * ti.max(1.0));
+    }
+
+    #[test]
+    fn maxmin_rates_never_exceed_any_resource(
+        n_flows in 1usize..12,
+        bws in proptest::collection::vec(1e3f64..1e6, 2..5),
+    ) {
+        // Random bipartite flows over the resources; after run(), total
+        // bytes moved per unit time through each resource must be ≤ bw.
+        // We check the aggregate invariant: makespan ≥ per-resource load/bw.
+        let mut sim = FlowSim::new();
+        let rids: Vec<_> = bws
+            .iter()
+            .enumerate()
+            .map(|(i, &bw)| sim.add_resource(format!("r{i}"), bw).unwrap())
+            .collect();
+        let mut load = vec![0.0f64; rids.len()];
+        for i in 0..n_flows {
+            let a = i % rids.len();
+            let b = (i * 7 + 1) % rids.len();
+            let bytes = 1e5 + i as f64 * 1e4;
+            let mut path = vec![rids[a]];
+            if b != a {
+                path.push(rids[b]);
+            }
+            load[a] += bytes;
+            if b != a {
+                load[b] += bytes;
+            }
+            sim.add_flow(FlowSpec::new(SimTime::ZERO, bytes, path)).unwrap();
+        }
+        let makespan = FlowSim::makespan(&sim.run()).secs();
+        for (i, &l) in load.iter().enumerate() {
+            prop_assert!(
+                makespan >= l / bws[i] * (1.0 - 1e-9),
+                "resource {} overloaded: makespan {} < {}",
+                i, makespan, l / bws[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! BD-CATS-IO: the analysis reader (§III-A, §III-D).
+//!
+//! BD-CATS is a parallel clustering code; its I/O kernel "reads all eight
+//! properties of all particles" produced by VPIC. Reading is partitioned
+//! by particle: each analysis rank takes a contiguous particle range of
+//! every dataset. When the analysis runs with fewer ranks than the
+//! producer (the workflow experiments use half), each reader covers
+//! several producers' slabs — exercising the cross-process, cross-node and
+//! cross-tier read paths.
+
+use crate::layout::{VpicLayout, VPIC_VARS};
+use univistor_mpi::driver::{FileHandle, FsDriver, OpenContext, OpenMode};
+use univistor_mpi::Hints;
+use univistor_sim::{Payload, SimResult};
+
+/// The BD-CATS-IO kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct BdCatsIo {
+    /// Geometry of the file being analyzed (the *producer's* layout).
+    pub layout: VpicLayout,
+    /// Analysis ranks (may differ from the producer's rank count).
+    pub readers: usize,
+}
+
+impl BdCatsIo {
+    /// An analysis job of `readers` ranks over `layout`.
+    pub fn new(layout: VpicLayout, readers: usize) -> Self {
+        assert!(readers > 0);
+        BdCatsIo { layout, readers }
+    }
+
+    /// The byte range of dataset `var` that `reader` covers.
+    pub fn read_range(&self, var: usize, reader: usize) -> (u64, u64) {
+        let dataset = self.layout.dataset_bytes();
+        let base = dataset / self.readers as u64;
+        let rem = dataset % self.readers as u64;
+        let start: u64 = (0..reader as u64)
+            .map(|r| base + u64::from(r < rem))
+            .sum();
+        let len = base + u64::from((reader as u64) < rem);
+        let offset = self.layout.dataset_offset(var);
+        (offset + start, offset + start + len)
+    }
+
+    fn ctx(&self, path: &str, rank: usize) -> OpenContext {
+        OpenContext {
+            path: path.to_string(),
+            mode: OpenMode::Read,
+            rank,
+            nprocs: self.readers,
+            hints: Hints::new(),
+        }
+    }
+
+    /// Read one timestep back (rank loop). With `verify`, every byte is
+    /// checked against the producer's deterministic pattern (test scale
+    /// only — verification materializes the data).
+    pub fn read_step(&self, driver: &dyn FsDriver, step: usize, verify: bool) -> SimResult<()> {
+        let path = VpicLayout::file_path(step);
+        let handles: Vec<FileHandle> = (0..self.readers)
+            .map(|rank| driver.open(&self.ctx(&path, rank)))
+            .collect::<SimResult<_>>()?;
+        for (rank, h) in handles.iter().enumerate() {
+            for var in 0..VPIC_VARS.len() {
+                let (lo, hi) = self.read_range(var, rank);
+                if hi == lo {
+                    continue;
+                }
+                let got = driver.read_at(h, rank, lo, hi - lo)?;
+                if verify {
+                    let expect = self.expected(step, var, lo, hi - lo);
+                    assert!(
+                        got.content_eq(&expect),
+                        "reader {rank} var {var} range [{lo}, {hi}) corrupt"
+                    );
+                }
+            }
+        }
+        for (rank, h) in handles.iter().enumerate() {
+            driver.close(h, rank)?;
+        }
+        Ok(())
+    }
+
+    /// Read every timestep back.
+    pub fn read_all(&self, driver: &dyn FsDriver, steps: usize, verify: bool) -> SimResult<()> {
+        for step in 0..steps {
+            self.read_step(driver, step, verify)?;
+        }
+        Ok(())
+    }
+
+    /// Bytes each full-timestep read moves.
+    pub fn bytes_per_step(&self) -> u64 {
+        self.layout.dataset_bytes() * VPIC_VARS.len() as u64
+    }
+
+    /// The expected content of an absolute file range within dataset
+    /// `var` — stitched from the producers' slab payloads.
+    fn expected(&self, step: usize, var: usize, abs_offset: u64, len: u64) -> Payload {
+        let slab = self.layout.slab_bytes();
+        let ds_off = self.layout.dataset_offset(var);
+        let mut parts = Vec::new();
+        let mut cur = abs_offset - ds_off;
+        let end = cur + len;
+        while cur < end {
+            let producer = (cur / slab) as usize;
+            let within = cur % slab;
+            let take = (slab - within).min(end - cur);
+            parts.push(
+                self.layout
+                    .slab_payload(step, var, producer)
+                    .slice(within, take),
+            );
+            cur += take;
+        }
+        Payload::chain(parts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vpic::VpicIo;
+    use univistor_mpi::MemDriver;
+
+    #[test]
+    fn read_ranges_tile_each_dataset() {
+        let layout = VpicLayout::scaled(4, 100);
+        let b = BdCatsIo::new(layout, 3);
+        for var in 0..8 {
+            let mut cur = layout.dataset_offset(var);
+            for reader in 0..3 {
+                let (lo, hi) = b.read_range(var, reader);
+                assert_eq!(lo, cur);
+                cur = hi;
+            }
+            assert_eq!(cur, layout.dataset_offset(var) + layout.dataset_bytes());
+        }
+    }
+
+    #[test]
+    fn full_pipeline_verifies_with_half_readers() {
+        let d = MemDriver::new();
+        let v = VpicIo::scaled(4, 2, 64);
+        v.write_all(&d).unwrap();
+        // Half as many readers as writers, as in the workflow experiments.
+        let b = BdCatsIo::new(v.layout, 2);
+        b.read_all(&d, 2, true).unwrap();
+    }
+
+    #[test]
+    fn uneven_reader_counts_still_cover_everything() {
+        let d = MemDriver::new();
+        let v = VpicIo::scaled(4, 1, 50); // 200-byte datasets
+        v.write_all(&d).unwrap();
+        let b = BdCatsIo::new(v.layout, 3); // 200 % 3 != 0
+        b.read_all(&d, 1, true).unwrap();
+    }
+
+    #[test]
+    fn bytes_per_step_covers_all_vars() {
+        let layout = VpicLayout::scaled(4, 100);
+        let b = BdCatsIo::new(layout, 2);
+        assert_eq!(b.bytes_per_step(), 8 * 4 * 100 * 4);
+    }
+}

@@ -1,0 +1,208 @@
+//! An IOR-style parametric benchmark generator.
+//!
+//! The paper's micro-benchmark is the simplest IOR shape (one contiguous
+//! block per process). This module generalizes it the way the IOR tool
+//! does, which downstream users need for their own studies:
+//!
+//! * **transfer size** — the unit of each `write_at` call;
+//! * **block size** — the contiguous region a process owns per segment;
+//! * **segments** — repetitions of the block pattern;
+//! * **pattern** — `Segmented` (all of a process's blocks are adjacent:
+//!   `[p0 s0][p0 s1]…[p1 s0]…`) or `Strided` (segments interleave across
+//!   processes: `[p0 s0][p1 s0]…[p0 s1]…`), the classic N-to-1 contiguous
+//!   vs. interleaved distinction that drives PFS lock behaviour.
+
+use univistor_mpi::driver::{FileHandle, FsDriver, OpenContext, OpenMode};
+use univistor_mpi::Hints;
+use univistor_sim::payload::splitmix64;
+use univistor_sim::{Payload, SimResult};
+
+/// How blocks of different processes interleave in the shared file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPattern {
+    /// Each process's blocks are contiguous (IOR default, `-s` segments
+    /// appended per process).
+    Segmented,
+    /// Segment-major interleaving (IOR `-F 0` strided layout).
+    Strided,
+}
+
+/// A parametric IOR-like run.
+#[derive(Debug, Clone, Copy)]
+pub struct IorConfig {
+    /// Participating ranks.
+    pub procs: usize,
+    /// Contiguous bytes a rank owns per segment.
+    pub block_size: u64,
+    /// Bytes per I/O call (must divide `block_size`).
+    pub transfer_size: u64,
+    /// Segments (repetitions).
+    pub segments: usize,
+    /// Interleaving pattern.
+    pub pattern: AccessPattern,
+}
+
+impl IorConfig {
+    /// Validated constructor.
+    pub fn new(
+        procs: usize,
+        block_size: u64,
+        transfer_size: u64,
+        segments: usize,
+        pattern: AccessPattern,
+    ) -> Self {
+        assert!(procs > 0 && segments > 0);
+        assert!(transfer_size > 0 && block_size > 0);
+        assert!(
+            block_size % transfer_size == 0,
+            "transfer size must divide block size"
+        );
+        IorConfig {
+            procs,
+            block_size,
+            transfer_size,
+            segments,
+            pattern,
+        }
+    }
+
+    /// Total file size.
+    pub fn file_size(&self) -> u64 {
+        self.block_size * self.procs as u64 * self.segments as u64
+    }
+
+    /// File offset of `(rank, segment)`'s block.
+    pub fn block_offset(&self, rank: usize, segment: usize) -> u64 {
+        assert!(rank < self.procs && segment < self.segments);
+        match self.pattern {
+            AccessPattern::Segmented => {
+                (rank as u64 * self.segments as u64 + segment as u64) * self.block_size
+            }
+            AccessPattern::Strided => {
+                (segment as u64 * self.procs as u64 + rank as u64) * self.block_size
+            }
+        }
+    }
+
+    /// Deterministic content of `(rank, segment)`'s block.
+    pub fn block_payload(&self, rank: usize, segment: usize) -> Payload {
+        let seed = splitmix64(0x1012_5eed ^ ((rank as u64) << 24) ^ segment as u64);
+        Payload::pattern(seed, self.block_size)
+    }
+
+    fn ctx(&self, path: &str, mode: OpenMode, rank: usize) -> OpenContext {
+        OpenContext {
+            path: path.to_string(),
+            mode,
+            rank,
+            nprocs: self.procs,
+            hints: Hints::new(),
+        }
+    }
+
+    /// Write phase (rank loop): every rank writes every segment's block in
+    /// `transfer_size` calls, then the collective close runs.
+    pub fn write_phase(&self, driver: &dyn FsDriver, path: &str) -> SimResult<()> {
+        let handles: Vec<FileHandle> = (0..self.procs)
+            .map(|rank| driver.open(&self.ctx(path, OpenMode::Write, rank)))
+            .collect::<SimResult<_>>()?;
+        for segment in 0..self.segments {
+            for (rank, h) in handles.iter().enumerate() {
+                let base = self.block_offset(rank, segment);
+                let payload = self.block_payload(rank, segment);
+                let mut off = 0u64;
+                while off < self.block_size {
+                    driver.write_at(
+                        h,
+                        rank,
+                        base + off,
+                        payload.slice(off, self.transfer_size),
+                    )?;
+                    off += self.transfer_size;
+                }
+            }
+        }
+        for (rank, h) in handles.iter().enumerate() {
+            driver.close(h, rank)?;
+        }
+        Ok(())
+    }
+
+    /// Read phase; each rank reads the blocks of the *next* rank (IOR's
+    /// `-C` reorder, defeating client caches). `verify` checks content.
+    pub fn read_phase(&self, driver: &dyn FsDriver, path: &str, verify: bool) -> SimResult<()> {
+        let handles: Vec<FileHandle> = (0..self.procs)
+            .map(|rank| driver.open(&self.ctx(path, OpenMode::Read, rank)))
+            .collect::<SimResult<_>>()?;
+        for segment in 0..self.segments {
+            for (rank, h) in handles.iter().enumerate() {
+                let src = (rank + 1) % self.procs;
+                let base = self.block_offset(src, segment);
+                let got = driver.read_at(h, rank, base, self.block_size)?;
+                if verify {
+                    assert!(
+                        got.content_eq(&self.block_payload(src, segment)),
+                        "rank {rank} read corrupt block (src {src}, segment {segment})"
+                    );
+                }
+            }
+        }
+        for (rank, h) in handles.iter().enumerate() {
+            driver.close(h, rank)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use univistor_mpi::MemDriver;
+
+    #[test]
+    fn segmented_offsets_are_per_rank_contiguous() {
+        let c = IorConfig::new(3, 100, 50, 2, AccessPattern::Segmented);
+        assert_eq!(c.block_offset(0, 0), 0);
+        assert_eq!(c.block_offset(0, 1), 100);
+        assert_eq!(c.block_offset(1, 0), 200);
+        assert_eq!(c.file_size(), 600);
+    }
+
+    #[test]
+    fn strided_offsets_interleave() {
+        let c = IorConfig::new(3, 100, 50, 2, AccessPattern::Strided);
+        assert_eq!(c.block_offset(0, 0), 0);
+        assert_eq!(c.block_offset(1, 0), 100);
+        assert_eq!(c.block_offset(0, 1), 300);
+    }
+
+    #[test]
+    fn offsets_tile_the_file_exactly() {
+        for pattern in [AccessPattern::Segmented, AccessPattern::Strided] {
+            let c = IorConfig::new(4, 64, 32, 3, pattern);
+            let mut starts: Vec<u64> = (0..4)
+                .flat_map(|r| (0..3).map(move |s| c.block_offset(r, s)))
+                .collect();
+            starts.sort_unstable();
+            for (i, s) in starts.iter().enumerate() {
+                assert_eq!(*s, i as u64 * 64, "{pattern:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn both_patterns_roundtrip_on_mem_driver() {
+        for pattern in [AccessPattern::Segmented, AccessPattern::Strided] {
+            let d = MemDriver::new();
+            let c = IorConfig::new(4, 256, 64, 3, pattern);
+            c.write_phase(&d, "/ior").unwrap();
+            c.read_phase(&d, "/ior", true).unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn transfer_must_divide_block() {
+        IorConfig::new(2, 100, 30, 1, AccessPattern::Segmented);
+    }
+}

@@ -1,0 +1,168 @@
+//! Shared file layout of the VPIC/BD-CATS HDF5 files.
+//!
+//! Both kernels address the same shared per-timestep HDF5 file: a metadata
+//! region at the head (matching `univistor-h5`'s format) followed by eight
+//! contiguous datasets, one per particle property. Each process owns a
+//! contiguous slab of every dataset.
+
+use univistor_h5::format::{Superblock, META_REGION_SIZE};
+use univistor_sim::payload::splitmix64;
+use univistor_sim::Payload;
+
+/// The eight VPIC particle properties (32 bytes/particle total).
+pub const VPIC_VARS: [&str; 8] = ["x", "y", "z", "ux", "uy", "uz", "energy", "id"];
+
+/// Bytes per property value.
+pub const BYTES_PER_VALUE: u64 = 4;
+
+/// The paper's particle count per process (8 Mi → 256 MB/proc/step).
+pub const PAPER_PARTICLES_PER_PROC: u64 = 8 << 20;
+
+/// Geometry of one VPIC timestep file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VpicLayout {
+    /// MPI processes writing the file.
+    pub procs: usize,
+    /// Particles per process.
+    pub particles_per_proc: u64,
+}
+
+impl VpicLayout {
+    /// Paper-sized layout.
+    pub fn paper(procs: usize) -> Self {
+        VpicLayout {
+            procs,
+            particles_per_proc: PAPER_PARTICLES_PER_PROC,
+        }
+    }
+
+    /// Scaled-down layout for tests.
+    pub fn scaled(procs: usize, particles_per_proc: u64) -> Self {
+        VpicLayout {
+            procs,
+            particles_per_proc,
+        }
+    }
+
+    /// Bytes of one variable's slab for one process.
+    pub fn slab_bytes(&self) -> u64 {
+        self.particles_per_proc * BYTES_PER_VALUE
+    }
+
+    /// Bytes one process writes per step (all variables).
+    pub fn bytes_per_proc(&self) -> u64 {
+        self.slab_bytes() * VPIC_VARS.len() as u64
+    }
+
+    /// Total bytes of one variable's dataset.
+    pub fn dataset_bytes(&self) -> u64 {
+        self.slab_bytes() * self.procs as u64
+    }
+
+    /// Absolute file offset of variable `var`'s dataset.
+    pub fn dataset_offset(&self, var: usize) -> u64 {
+        assert!(var < VPIC_VARS.len());
+        META_REGION_SIZE + var as u64 * self.dataset_bytes()
+    }
+
+    /// Absolute file offset of `rank`'s slab of variable `var`.
+    pub fn slab_offset(&self, var: usize, rank: usize) -> u64 {
+        assert!(rank < self.procs);
+        self.dataset_offset(var) + rank as u64 * self.slab_bytes()
+    }
+
+    /// Total file size (metadata region + all datasets).
+    pub fn file_size(&self) -> u64 {
+        META_REGION_SIZE + self.dataset_bytes() * VPIC_VARS.len() as u64
+    }
+
+    /// The HDF5-lite superblock describing the datasets, stamped with the
+    /// provenance attributes VPIC writes (application name, timestep,
+    /// particle count).
+    pub fn superblock_for_step(&self, step: usize) -> Superblock {
+        let mut sb = Superblock::default();
+        for name in VPIC_VARS {
+            sb.allocate(name, self.dataset_bytes(), BYTES_PER_VALUE as u32)
+                .expect("static table fits");
+        }
+        sb.set_attr("", "application", b"VPIC".to_vec()).expect("valid");
+        sb.set_attr("", "timestep", (step as u64).to_le_bytes().to_vec())
+            .expect("valid");
+        sb.set_attr(
+            "",
+            "particles_per_proc",
+            self.particles_per_proc.to_le_bytes().to_vec(),
+        )
+        .expect("valid");
+        sb
+    }
+
+    /// The HDF5-lite superblock describing the datasets (step 0 stamp).
+    pub fn superblock(&self) -> Superblock {
+        self.superblock_for_step(0)
+    }
+
+    /// Deterministic payload of `rank`'s slab of `var` at time `step`.
+    pub fn slab_payload(&self, step: usize, var: usize, rank: usize) -> Payload {
+        let seed = splitmix64(
+            ((step as u64) << 48) ^ ((var as u64) << 40) ^ (rank as u64) ^ 0x9e37_79b9_7f4a_7c15,
+        );
+        Payload::pattern(seed, self.slab_bytes())
+    }
+
+    /// Path of the step's file.
+    pub fn file_path(step: usize) -> String {
+        format!("/vpic/step{step:04}.h5")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_are_disjoint_and_ordered() {
+        let l = VpicLayout::scaled(4, 1024);
+        let mut prev_end = META_REGION_SIZE;
+        for var in 0..8 {
+            assert_eq!(l.dataset_offset(var), prev_end);
+            for rank in 0..4 {
+                let o = l.slab_offset(var, rank);
+                assert_eq!(o, l.dataset_offset(var) + rank as u64 * l.slab_bytes());
+            }
+            prev_end += l.dataset_bytes();
+        }
+        assert_eq!(l.file_size(), prev_end);
+    }
+
+    #[test]
+    fn paper_sizes_match_the_text() {
+        // "each MPI process writes data related to eight million particles,
+        //  and each particle has eight ... properties with a total size of
+        //  32 bytes" → 256 MB/proc/step.
+        let l = VpicLayout::paper(64);
+        assert_eq!(l.bytes_per_proc(), 256 << 20);
+        // "total size of output data is n × 8 × 2^20 × 32"
+        assert_eq!(
+            l.file_size() - META_REGION_SIZE,
+            64 * 8 * (8 << 20) * BYTES_PER_VALUE
+        );
+    }
+
+    #[test]
+    fn payloads_differ_across_step_var_rank() {
+        let l = VpicLayout::scaled(2, 64);
+        let a = l.slab_payload(0, 0, 0);
+        assert_ne!(a, l.slab_payload(1, 0, 0));
+        assert_ne!(a, l.slab_payload(0, 1, 0));
+        assert_ne!(a, l.slab_payload(0, 0, 1));
+        assert_eq!(a, l.slab_payload(0, 0, 0));
+    }
+
+    #[test]
+    fn superblock_has_eight_datasets() {
+        let sb = VpicLayout::scaled(2, 64).superblock();
+        assert_eq!(sb.datasets.len(), 8);
+        assert_eq!(sb.dataset("energy").unwrap().elem_size, 4);
+    }
+}

@@ -1,0 +1,36 @@
+//! # univistor-workloads — the paper's I/O workload generators
+//!
+//! §III-A uses three workloads, all reproduced here as driver-agnostic
+//! generators (they run unchanged against UniviStor, Data Elevator, or
+//! direct Lustre through the [`univistor_mpi::FsDriver`] boundary):
+//!
+//! * **HDF5 micro-benchmark** ([`micro`]) — every process writes/reads an
+//!   independent but overall contiguous block of one shared file;
+//! * **VPIC-IO** ([`vpic`]) — the I/O kernel of a space-weather plasma
+//!   simulation: per time step, each process writes eight particle-field
+//!   variables, 8 Mi particles × 4 bytes each → 256 MB/process/step, into
+//!   a shared HDF5 file per step;
+//! * **BD-CATS-IO** ([`bdcats`]) — the matching analysis kernel: a
+//!   parallel clustering code reading *all eight* properties of *all*
+//!   particles back, each process taking a contiguous slab;
+//! * **IOR-style generator** ([`ior`]) — a parametric
+//!   transfer/block/segment benchmark with segmented and strided
+//!   interleavings, for studies beyond the paper's fixed shapes.
+//!
+//! Each generator offers a **rank-loop** executor (drives the driver one
+//! rank at a time — no threads, used at paper scale up to 8192 processes)
+//! and works equally under the threaded SPMD runtime at small scale.
+//! Generators produce deterministic per-(step, variable, rank) payload
+//! patterns so that any reader can verify any byte.
+
+pub mod bdcats;
+pub mod ior;
+pub mod layout;
+pub mod micro;
+pub mod vpic;
+
+pub use bdcats::BdCatsIo;
+pub use ior::{AccessPattern, IorConfig};
+pub use layout::VpicLayout;
+pub use micro::MicroIo;
+pub use vpic::VpicIo;

@@ -1,0 +1,144 @@
+//! The HDF5 micro-benchmark (§III-A): "each process creates a shared HDF5
+//! file and writes/reads an independent but overall contiguous block of
+//! data". The paper's runs use 256 MB per process.
+
+use univistor_mpi::driver::{FileHandle, FsDriver, OpenContext, OpenMode};
+use univistor_mpi::Hints;
+use univistor_sim::payload::splitmix64;
+use univistor_sim::{Payload, SimResult};
+
+/// The micro-benchmark: `procs` ranks, `bytes_per_proc` each, one shared
+/// file.
+#[derive(Debug, Clone, Copy)]
+pub struct MicroIo {
+    /// Participating ranks.
+    pub procs: usize,
+    /// Bytes each rank writes/reads.
+    pub bytes_per_proc: u64,
+}
+
+impl MicroIo {
+    /// The paper's configuration: 256 MB per process.
+    pub fn paper(procs: usize) -> Self {
+        MicroIo {
+            procs,
+            bytes_per_proc: 256 << 20,
+        }
+    }
+
+    /// Scaled-down configuration for tests.
+    pub fn scaled(procs: usize, bytes_per_proc: u64) -> Self {
+        MicroIo {
+            procs,
+            bytes_per_proc,
+        }
+    }
+
+    /// Total shared-file size.
+    pub fn file_size(&self) -> u64 {
+        self.bytes_per_proc * self.procs as u64
+    }
+
+    /// The block `rank` owns.
+    pub fn block_range(&self, rank: usize) -> (u64, u64) {
+        let start = rank as u64 * self.bytes_per_proc;
+        (start, start + self.bytes_per_proc)
+    }
+
+    /// Deterministic content of `rank`'s block.
+    pub fn block_payload(&self, rank: usize) -> Payload {
+        Payload::pattern(splitmix64(MICRO_SEED ^ rank as u64), self.bytes_per_proc)
+    }
+
+    fn ctx(&self, path: &str, mode: OpenMode, rank: usize) -> OpenContext {
+        OpenContext {
+            path: path.to_string(),
+            mode,
+            rank,
+            nprocs: self.procs,
+            hints: Hints::new(),
+        }
+    }
+
+    /// Open the shared file on all ranks (rank loop), returning handles.
+    pub fn open_all(
+        &self,
+        driver: &dyn FsDriver,
+        path: &str,
+        mode: OpenMode,
+    ) -> SimResult<Vec<FileHandle>> {
+        (0..self.procs)
+            .map(|rank| driver.open(&self.ctx(path, mode, rank)))
+            .collect()
+    }
+
+    /// Close on all ranks.
+    pub fn close_all(&self, driver: &dyn FsDriver, handles: &[FileHandle]) -> SimResult<()> {
+        for (rank, h) in handles.iter().enumerate() {
+            driver.close(h, rank)?;
+        }
+        Ok(())
+    }
+
+    /// Full write phase: open, per-rank block writes, close (which may
+    /// trigger the driver's flush).
+    pub fn write_phase(&self, driver: &dyn FsDriver, path: &str) -> SimResult<()> {
+        let handles = self.open_all(driver, path, OpenMode::Write)?;
+        for (rank, h) in handles.iter().enumerate() {
+            let (start, _) = self.block_range(rank);
+            driver.write_at(h, rank, start, self.block_payload(rank))?;
+        }
+        self.close_all(driver, &handles)
+    }
+
+    /// Full read phase; `verify` additionally checks the bytes (only at
+    /// test scale — verification materializes data).
+    pub fn read_phase(&self, driver: &dyn FsDriver, path: &str, verify: bool) -> SimResult<()> {
+        let handles = self.open_all(driver, path, OpenMode::Read)?;
+        for (rank, h) in handles.iter().enumerate() {
+            // Like BD-CATS on the micro data: read a neighbour's block so
+            // reads are not trivially local.
+            let src = (rank + 1) % self.procs;
+            let (start, _) = self.block_range(src);
+            let got = driver.read_at(h, rank, start, self.bytes_per_proc)?;
+            if verify {
+                assert!(
+                    got.content_eq(&self.block_payload(src)),
+                    "rank {rank} read corrupt block of rank {src}"
+                );
+            }
+        }
+        self.close_all(driver, &handles)
+    }
+}
+
+/// Base seed of the micro-benchmark's deterministic content.
+const MICRO_SEED: u64 = 0x4d31_4352_305e_77aa;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use univistor_mpi::MemDriver;
+
+    #[test]
+    fn blocks_tile_the_file() {
+        let m = MicroIo::scaled(4, 100);
+        assert_eq!(m.file_size(), 400);
+        assert_eq!(m.block_range(0), (0, 100));
+        assert_eq!(m.block_range(3), (300, 400));
+    }
+
+    #[test]
+    fn write_then_read_verifies_against_mem_driver() {
+        let d = MemDriver::new();
+        let m = MicroIo::scaled(8, 4096);
+        m.write_phase(&d, "/micro").unwrap();
+        m.read_phase(&d, "/micro", true).unwrap();
+    }
+
+    #[test]
+    fn payloads_are_rank_unique() {
+        let m = MicroIo::scaled(2, 64);
+        assert_ne!(m.block_payload(0), m.block_payload(1));
+    }
+}

@@ -1,0 +1,163 @@
+//! VPIC-IO: the checkpoint writer (§III-A, §III-C).
+//!
+//! "Scientific simulations such as VPIC typically progress in time steps.
+//! After one or more time steps of computations, all processes
+//! concurrently checkpoint data to the storage system." Each step writes
+//! one shared HDF5 file of eight particle-property datasets; every process
+//! contributes a contiguous slab per dataset. Between checkpoints the
+//! simulation computes (the paper emulates this with a 60 s sleep — in
+//! the reproduction the compute gap is a timing-plane parameter).
+
+use crate::layout::{VpicLayout, VPIC_VARS};
+use univistor_mpi::driver::{FileHandle, FsDriver, OpenContext, OpenMode};
+use univistor_mpi::Hints;
+use univistor_sim::{Payload, SimResult};
+
+/// The VPIC-IO kernel over an arbitrary ADIO driver.
+#[derive(Debug, Clone, Copy)]
+pub struct VpicIo {
+    /// File geometry.
+    pub layout: VpicLayout,
+    /// Time steps to checkpoint.
+    pub steps: usize,
+}
+
+impl VpicIo {
+    /// Paper-sized kernel.
+    pub fn paper(procs: usize, steps: usize) -> Self {
+        VpicIo {
+            layout: VpicLayout::paper(procs),
+            steps,
+        }
+    }
+
+    /// Scaled-down kernel for tests.
+    pub fn scaled(procs: usize, steps: usize, particles_per_proc: u64) -> Self {
+        VpicIo {
+            layout: VpicLayout::scaled(procs, particles_per_proc),
+            steps,
+        }
+    }
+
+    fn ctx(&self, path: &str, rank: usize) -> OpenContext {
+        OpenContext {
+            path: path.to_string(),
+            mode: OpenMode::Write,
+            rank,
+            nprocs: self.layout.procs,
+            hints: Hints::new(),
+        }
+    }
+
+    /// Write one timestep's checkpoint file through `driver` (rank loop):
+    /// collective create, root writes the HDF5 metadata region, every rank
+    /// writes its slab of each dataset, collective close (triggering the
+    /// driver's flush path).
+    pub fn write_step(&self, driver: &dyn FsDriver, step: usize) -> SimResult<()> {
+        let path = VpicLayout::file_path(step);
+        let handles: Vec<FileHandle> = (0..self.layout.procs)
+            .map(|rank| driver.open(&self.ctx(&path, rank)))
+            .collect::<SimResult<_>>()?;
+
+        // Root writes the metadata region (collective-metadata HDF5 mode,
+        // the default for all non-ablation experiments).
+        let sb_bytes = self.layout.superblock_for_step(step).to_bytes()?;
+        let pad = univistor_h5::format::META_REGION_SIZE - sb_bytes.len() as u64;
+        driver.write_at(
+            &handles[0],
+            0,
+            0,
+            Payload::chain([Payload::from_bytes(sb_bytes), Payload::zeros(pad)]),
+        )?;
+
+        for (rank, h) in handles.iter().enumerate() {
+            for var in 0..VPIC_VARS.len() {
+                driver.write_at(
+                    h,
+                    rank,
+                    self.layout.slab_offset(var, rank),
+                    self.layout.slab_payload(step, var, rank),
+                )?;
+            }
+        }
+        for (rank, h) in handles.iter().enumerate() {
+            driver.close(h, rank)?;
+        }
+        Ok(())
+    }
+
+    /// Write all timesteps.
+    pub fn write_all(&self, driver: &dyn FsDriver) -> SimResult<()> {
+        for step in 0..self.steps {
+            self.write_step(driver, step)?;
+        }
+        Ok(())
+    }
+
+    /// Bytes checkpointed per step across all ranks (excluding metadata).
+    pub fn bytes_per_step(&self) -> u64 {
+        self.layout.bytes_per_proc() * self.layout.procs as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use univistor_mpi::MemDriver;
+
+    #[test]
+    fn step_file_contains_every_slab() {
+        let d = MemDriver::new();
+        let v = VpicIo::scaled(3, 2, 64);
+        v.write_all(&d).unwrap();
+        // Verify step 1 via a read-only handle.
+        let path = VpicLayout::file_path(1);
+        let h = d
+            .open(&OpenContext {
+                path: path.clone(),
+                mode: OpenMode::Read,
+                rank: 0,
+                nprocs: 1,
+                hints: Hints::new(),
+            })
+            .unwrap();
+        for var in 0..8 {
+            for rank in 0..3 {
+                let got = d
+                    .read_at(&h, 0, v.layout.slab_offset(var, rank), v.layout.slab_bytes())
+                    .unwrap();
+                assert!(
+                    got.content_eq(&v.layout.slab_payload(1, var, rank)),
+                    "var {var} rank {rank}"
+                );
+            }
+        }
+        assert_eq!(d.file_size(&h).unwrap(), v.layout.file_size());
+    }
+
+    #[test]
+    fn metadata_region_parses_back() {
+        let d = MemDriver::new();
+        let v = VpicIo::scaled(2, 1, 16);
+        v.write_all(&d).unwrap();
+        let h = d
+            .open(&OpenContext {
+                path: VpicLayout::file_path(0),
+                mode: OpenMode::Read,
+                rank: 0,
+                nprocs: 1,
+                hints: Hints::new(),
+            })
+            .unwrap();
+        let head = d.read_at(&h, 0, 0, 512).unwrap().to_bytes();
+        let sb = univistor_h5::format::Superblock::from_bytes(&head).unwrap();
+        assert_eq!(sb.datasets.len(), 8);
+        assert_eq!(sb.dataset("ux").unwrap().size, v.layout.dataset_bytes());
+    }
+
+    #[test]
+    fn bytes_per_step_matches_layout() {
+        let v = VpicIo::paper(64, 5);
+        assert_eq!(v.bytes_per_step(), 64 * (256 << 20));
+    }
+}

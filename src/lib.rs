@@ -1,0 +1,15 @@
+//! # UniviStor — integrated hierarchical and distributed storage for HPC
+//!
+//! Facade crate re-exporting the whole workspace. See the README (rendered
+//! below) for a tour and `examples/` for runnable entry points. The README's
+//! code block is compiled and executed as a doctest.
+#![doc = include_str!("../README.md")]
+
+pub use univistor_baselines as baselines;
+pub use univistor_core as core;
+pub use univistor_h5 as h5;
+pub use univistor_kv as kv;
+pub use univistor_mpi as mpi;
+pub use univistor_pfs as pfs;
+pub use univistor_sim as sim;
+pub use univistor_workloads as workloads;

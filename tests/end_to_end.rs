@@ -1,0 +1,366 @@
+//! Cross-crate integration tests: full application → MPI-IO → UniviStor →
+//! tiers → flush → Lustre paths, against every storage system.
+
+use std::sync::Arc;
+use univistor::baselines::{DataElevator, LustreDirect};
+use univistor::core::config::{Features, UniviStorConfig};
+use univistor::core::driver::UniviStorDriver;
+use univistor::core::metadata::ClientId;
+use univistor::core::server::UniviStorJob;
+use univistor::core::va::Tier;
+use univistor::mpi::driver::OpenMode;
+use univistor::mpi::{Hints, MpiFile, World};
+use univistor::sim::calibration::Calibration;
+use univistor::sim::Payload;
+use univistor::workloads::{BdCatsIo, MicroIo, VpicIo, VpicLayout};
+
+fn uv_driver(procs: usize) -> UniviStorDriver {
+    let cfg = UniviStorConfig::paper(procs);
+    UniviStorDriver::new(Arc::new(UniviStorJob::new(cfg)), 0)
+}
+
+/// The same micro workload must produce byte-identical results through
+/// every driver: UniviStor, Data Elevator, and direct Lustre.
+#[test]
+fn micro_workload_is_driver_agnostic() {
+    let procs = 8;
+    let micro = MicroIo::scaled(procs, 64 << 10);
+
+    let uv = uv_driver(procs);
+    micro.write_phase(&uv, "/m").unwrap();
+    micro.read_phase(&uv, "/m", true).unwrap();
+
+    let geometry = univistor::core::config::JobGeometry::paper(procs);
+    let de = DataElevator::new(geometry, Calibration::default());
+    micro.write_phase(&de, "/m").unwrap();
+    micro.read_phase(&de, "/m", true).unwrap();
+
+    let lustre = LustreDirect::new(&Calibration::default());
+    micro.write_phase(&lustre, "/m").unwrap();
+    micro.read_phase(&lustre, "/m", true).unwrap();
+}
+
+/// UniviStor's flushed output must equal Data Elevator's flushed output
+/// byte for byte — two completely different cache layouts, one logical
+/// file.
+#[test]
+fn flushed_files_identical_across_systems() {
+    let procs = 4;
+    let micro = MicroIo::scaled(procs, 32 << 10);
+    let total = micro.file_size();
+
+    let uv = uv_driver(procs);
+    micro.write_phase(&uv, "/same").unwrap();
+    let uv_bytes = uv.job().lustre_read("/same", 0, total).unwrap();
+
+    let geometry = univistor::core::config::JobGeometry::paper(procs);
+    let de = DataElevator::new(geometry, Calibration::default());
+    micro.write_phase(&de, "/same").unwrap();
+    let de_bytes = de.pfs_read("/same", 0, total).unwrap();
+
+    assert!(uv_bytes.content_eq(&de_bytes));
+}
+
+/// Full VPIC → BD-CATS cycle through UniviStor with spill to the burst
+/// buffer, verified byte-exact, plus flushed files on Lustre.
+#[test]
+fn vpic_bdcats_cycle_with_spill() {
+    let procs = 8;
+    let steps = 4;
+    let mut cfg = UniviStorConfig::paper(procs);
+    cfg.chunk_size = 16 << 10;
+    cfg.segment_size = 16 << 10;
+    cfg.metadata_range_size = 256 << 10;
+    // Two steps fit in DRAM, the rest spill.
+    let particles = 4u64 << 10; // 128 KiB/step/proc
+    cfg.cal.dram_cache_capacity_per_node = 2 * cfg.geometry.procs_per_node as u64 * particles * 32;
+    let job = Arc::new(UniviStorJob::new(cfg));
+    let driver = UniviStorDriver::new(Arc::clone(&job), 0);
+
+    let vpic = VpicIo::scaled(procs, steps, particles);
+    vpic.write_all(&driver).unwrap();
+
+    // Spill actually happened.
+    let usage = job.tier_usage();
+    let bb = usage
+        .iter()
+        .find(|(t, _)| *t == Tier::SharedBurstBuffer)
+        .map(|(_, b)| *b)
+        .unwrap_or(0);
+    assert!(bb > 0, "expected BB spill, got {usage:?}");
+
+    // Analysis verifies every byte of every step from the cache.
+    let bdcats = BdCatsIo::new(vpic.layout, procs / 2);
+    bdcats.read_all(&driver, steps, true).unwrap();
+
+    // Every step file is also on Lustre, correct.
+    for step in 0..steps {
+        let path = VpicLayout::file_path(step);
+        assert_eq!(
+            job.lustre_file_size(&path).unwrap(),
+            vpic.layout.file_size()
+        );
+    }
+}
+
+/// Feature matrix: every combination of IA/COC/ADPT/location-aware reads
+/// must preserve correctness (they are performance features only).
+#[test]
+fn feature_matrix_preserves_correctness() {
+    let procs = 4;
+    let micro = MicroIo::scaled(procs, 16 << 10);
+    for bits in 0..16u32 {
+        let mut cfg = UniviStorConfig::paper(procs);
+        cfg.features = Features {
+            interference_aware: bits & 1 != 0,
+            collective_open_close: bits & 2 != 0,
+            adaptive_striping: bits & 4 != 0,
+            location_aware_reads: bits & 8 != 0,
+            workflow: false,
+            flush_on_close: true,
+        };
+        let driver = UniviStorDriver::new(Arc::new(UniviStorJob::new(cfg)), 0);
+        micro.write_phase(&driver, "/fm").unwrap();
+        micro.read_phase(&driver, "/fm", true).unwrap();
+        assert_eq!(
+            driver.job().lustre_file_size("/fm").unwrap(),
+            micro.file_size(),
+            "feature bits {bits:#06b}"
+        );
+    }
+}
+
+/// Tier configurations (DRAM / BB / Disk caches) all roundtrip.
+#[test]
+fn tier_configurations_roundtrip() {
+    let procs = 4;
+    let micro = MicroIo::scaled(procs, 16 << 10);
+    for (dram, bb) in [(true, true), (false, true), (false, false)] {
+        let mut cfg = UniviStorConfig::paper(procs);
+        cfg.enable_dram = dram;
+        cfg.enable_bb = bb;
+        let driver = UniviStorDriver::new(Arc::new(UniviStorJob::new(cfg)), 0);
+        micro.write_phase(&driver, "/t").unwrap();
+        micro.read_phase(&driver, "/t", true).unwrap();
+    }
+}
+
+/// HDF5-lite stacked on the UniviStor driver: the full library stack
+/// (H5File → MpiFile → ADIO driver → DHP/metadata/tiers).
+#[test]
+fn hdf5_on_univistor_stack() {
+    let procs = 4;
+    let cfg = UniviStorConfig::paper(procs);
+    let driver = UniviStorDriver::new(Arc::new(UniviStorJob::new(cfg)), 0);
+    let results = World::run(procs, |comm| {
+        let mut h5 = univistor::h5::H5File::create(&comm, &driver, "/exp.h5", Hints::new())
+            .expect("create");
+        let per = 4096u64;
+        h5.create_dataset("field", per * comm.size() as u64, 4)
+            .expect("dataset");
+        let rank = comm.rank() as u64;
+        h5.write("field", rank * per, Payload::pattern(rank, per))
+            .expect("write");
+        comm.barrier();
+        let prev = (rank + comm.size() as u64 - 1) % comm.size() as u64;
+        let got = h5.read("field", prev * per, per).expect("read");
+        let ok = got.content_eq(&Payload::pattern(prev, per));
+        h5.close().expect("close");
+        ok
+    });
+    assert_eq!(results, vec![true; procs]);
+    // The whole HDF5 file (metadata region + dataset) was flushed.
+    assert!(driver.job().lustre_file_size("/exp.h5").unwrap() > 0);
+}
+
+/// Concurrent producer/consumer coordination through the workflow state
+/// file — reader opens before the writer finishes; data is never partial.
+#[test]
+fn insitu_workflow_blocks_partial_reads() {
+    let procs = 3;
+    let mut cfg = UniviStorConfig::paper(procs * 2);
+    cfg.features = Features::all();
+    let job = Arc::new(UniviStorJob::new(cfg));
+    let producer = UniviStorDriver::new(Arc::clone(&job), 0);
+    let consumer = UniviStorDriver::new(Arc::clone(&job), 1);
+    let block = 8192u64;
+
+    let (_, oks) = World::run_coupled(
+        procs,
+        procs,
+        |comm| {
+            let f = MpiFile::open(&comm, &producer, "/wf", OpenMode::Write, Hints::new())
+                .expect("producer open");
+            // Simulate a slow writer so the consumer genuinely races.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            f.write_at_all(
+                comm.rank() as u64 * block,
+                Payload::pattern(comm.rank() as u64, block),
+            )
+            .expect("write");
+            f.close().expect("close");
+        },
+        |comm| {
+            let f = MpiFile::open(&comm, &consumer, "/wf", OpenMode::Read, Hints::new())
+                .expect("consumer open");
+            let r = comm.rank() as u64;
+            let got = f.read_at_all(r * block, block).expect("read");
+            let ok = got.content_eq(&Payload::pattern(r, block));
+            f.close().expect("close");
+            ok
+        },
+    );
+    assert_eq!(oks, vec![true; procs]);
+}
+
+/// Overwrites propagate through flush: the Lustre copy reflects the last
+/// write of every byte.
+#[test]
+fn overwrites_survive_to_pfs() {
+    let procs = 2;
+    let driver = uv_driver(procs);
+    World::run(procs, |comm| {
+        let f = MpiFile::open(&comm, &driver, "/ow", OpenMode::ReadWrite, Hints::new())
+            .expect("open");
+        let rank = comm.rank() as u64;
+        f.write_at_all(rank * 1024, Payload::pattern(rank, 1024))
+            .expect("first");
+        // Rank 0 overwrites the middle of rank 1's block.
+        if comm.is_root() {
+            f.write_at(1024 + 256, Payload::pattern(99, 512)).expect("overwrite");
+        }
+        comm.barrier();
+        f.close().expect("close");
+    });
+    let job = driver.job();
+    let expect = Payload::chain([
+        Payload::pattern(1, 1024).slice(0, 256),
+        Payload::pattern(99, 512),
+        Payload::pattern(1, 1024).slice(768, 256),
+    ]);
+    let got = job.lustre_read("/ow", 1024, 1024).unwrap();
+    assert!(got.content_eq(&expect), "overwrite lost on the PFS");
+}
+
+/// Four-layer DHP: with a node-local SSD enabled, writes spill
+/// DRAM → SSD → BB in order, and everything reads back.
+#[test]
+fn four_tier_chain_spills_in_order() {
+    let procs = 2;
+    let mut cfg = UniviStorConfig::test_small(1, 2);
+    cfg.chunk_size = 128;
+    cfg.segment_size = 128;
+    cfg.cal.dram_cache_capacity_per_node = 512; // 256 B/proc = 2 chunks
+    cfg.cal.node_local_capacity = Some(512); // another 2 chunks/proc
+    cfg.cal.bb_capacity_per_node = 1 << 20;
+    let job = Arc::new(UniviStorJob::new(cfg));
+    job.open("/4t", OpenMode::Write, ClientId::new(0, 0), procs, true)
+        .unwrap();
+    // Each proc writes 768 B = 6 segments: 2 DRAM + 2 SSD + 2 BB.
+    for rank in 0..procs as u32 {
+        job.write(
+            ClientId::new(0, rank),
+            "/4t",
+            rank as u64 * 768,
+            Payload::pattern(rank as u64, 768),
+        )
+        .unwrap();
+    }
+    let usage: std::collections::HashMap<Tier, u64> =
+        job.tier_usage().into_iter().collect();
+    assert_eq!(usage.get(&Tier::Dram), Some(&512));
+    assert_eq!(usage.get(&Tier::NodeLocal), Some(&512));
+    assert_eq!(usage.get(&Tier::SharedBurstBuffer), Some(&512));
+    // Byte-exact reads across all four layers.
+    for rank in 0..procs as u64 {
+        let got = job
+            .read(ClientId::new(0, 0), "/4t", rank * 768, 768)
+            .unwrap();
+        assert!(got.content_eq(&Payload::pattern(rank, 768)));
+    }
+    // Flush persists everything.
+    job.close("/4t", ClientId::new(0, 0), OpenMode::Write, procs, true)
+        .unwrap()
+        .expect("flush");
+    assert_eq!(job.lustre_file_size("/4t").unwrap(), 768 * procs as u64);
+}
+
+/// The IOR-style generator runs against UniviStor in both interleavings.
+#[test]
+fn ior_patterns_roundtrip_on_univistor() {
+    use univistor::workloads::{AccessPattern, IorConfig};
+    for pattern in [AccessPattern::Segmented, AccessPattern::Strided] {
+        let driver = uv_driver(4);
+        let ior = IorConfig::new(4, 8192, 2048, 3, pattern);
+        ior.write_phase(&driver, "/ior").unwrap();
+        ior.read_phase(&driver, "/ior", true).unwrap();
+        assert_eq!(
+            driver.job().lustre_file_size("/ior").unwrap(),
+            ior.file_size()
+        );
+    }
+}
+
+/// On direct Lustre, the strided interleaving provokes more extent-lock
+/// traffic than the segmented one — the contention DHP's file-per-process
+/// transformation removes entirely.
+#[test]
+fn strided_ior_contends_harder_on_lustre() {
+    use univistor::workloads::{AccessPattern, IorConfig};
+    let conflicts = |pattern| {
+        let lustre = LustreDirect::new(&Calibration::default());
+        // Sub-stripe transfers inside 1 MiB stripes.
+        let ior = IorConfig::new(8, 128 << 10, 32 << 10, 4, pattern);
+        ior.write_phase(&lustre, "/ior").unwrap();
+        lustre.lock_conflicts()
+    };
+    let segmented = conflicts(AccessPattern::Segmented);
+    let strided = conflicts(AccessPattern::Strided);
+    assert!(
+        strided > segmented,
+        "strided {strided} should out-conflict segmented {segmented}"
+    );
+
+    // UniviStor's file-per-process caching sidesteps both.
+    let driver = uv_driver(8);
+    let ior = IorConfig::new(8, 128 << 10, 32 << 10, 4, AccessPattern::Strided);
+    ior.write_phase(&driver, "/ior").unwrap();
+    ior.read_phase(&driver, "/ior", true).unwrap();
+}
+
+/// The full ROMIO_FSTYPE_FORCE flow: one registry holding all three
+/// storage systems; the hint string decides where an application's bytes
+/// go — with zero changes to the application loop.
+#[test]
+fn fstype_force_selects_the_storage_system() {
+    use univistor::mpi::{DriverRegistry, FSTYPE_KEY};
+    let geometry = univistor::core::config::JobGeometry::paper(4);
+    let uv = Arc::new(UniviStorJob::new(UniviStorConfig::paper(4)));
+    let mut registry = DriverRegistry::new();
+    registry
+        .register(Arc::new(LustreDirect::new(&Calibration::default())))
+        .register(Arc::new(DataElevator::new(geometry, Calibration::default())))
+        .register(Arc::new(UniviStorDriver::new(Arc::clone(&uv), 0)));
+    registry.set_default("lustre").unwrap();
+
+    let micro = MicroIo::scaled(4, 8192);
+    for forced in [None, Some("UniviStor"), Some("data-elevator"), Some("lustre")] {
+        let mut hints = Hints::new();
+        if let Some(name) = forced {
+            hints.set(FSTYPE_KEY, name);
+        }
+        let driver = registry.select(&hints).unwrap();
+        let path = format!("/sel-{}", forced.unwrap_or("default"));
+        // The identical application loop runs against whichever system the
+        // hint picked.
+        micro.write_phase(driver.as_ref(), &path).unwrap();
+        micro.read_phase(driver.as_ref(), &path, true).unwrap();
+    }
+    // The UniviStor-routed file ended up in UniviStor's unified space…
+    assert_eq!(
+        uv.lustre_file_size("/sel-UniviStor").unwrap(),
+        micro.file_size()
+    );
+    // …and never in the other namespaces.
+    assert!(uv.file_size("/sel-lustre").is_err());
+}
