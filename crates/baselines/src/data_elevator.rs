@@ -18,8 +18,8 @@
 //! DE cannot cache in DRAM and cannot serve node-local reads — only
 //! UniviStor unifies those layers.
 
-use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Mutex;
 use univistor_core::config::JobGeometry;
 use univistor_core::striping::server_ranges;
 use univistor_mpi::driver::{FileHandle, FsDriver, OpenContext};
@@ -102,22 +102,26 @@ impl DataElevator {
 
     /// Snapshot counters.
     pub fn stats(&self) -> DeStats {
-        self.state.lock().stats.clone()
+        self.state.lock().unwrap().stats.clone()
     }
 
     /// Lock revocations on the shared-file BB cache so far.
     pub fn bb_lock_conflicts(&self) -> u64 {
-        self.state.lock().bb.lock_conflicts()
+        self.state.lock().unwrap().bb.lock_conflicts()
     }
 
     /// Flushed file size on the PFS.
     pub fn pfs_file_size(&self, path: &str) -> SimResult<u64> {
-        self.state.lock().pfs.file_size(path)
+        self.state.lock().unwrap().pfs.file_size(path)
     }
 
     /// Read a flushed file back from the PFS (verification).
     pub fn pfs_read(&self, path: &str, offset: u64, len: u64) -> SimResult<Payload> {
-        self.state.lock().pfs.read(path, offset, len, u64::MAX)
+        self.state
+            .lock()
+            .unwrap()
+            .pfs
+            .read(path, offset, len, u64::MAX)
     }
 
     /// DE's flush: each server writes a contiguous range to Lustre with
@@ -172,7 +176,7 @@ impl FsDriver for DataElevator {
     }
 
     fn open(&self, ctx: &OpenContext) -> SimResult<FileHandle> {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         if !st.bb.exists(&ctx.path) {
             if !ctx.mode.writable() {
                 return Err(SimError::InvalidConfig(format!(
@@ -196,7 +200,7 @@ impl FsDriver for DataElevator {
     }
 
     fn write_at(&self, h: &FileHandle, rank: usize, offset: u64, data: Payload) -> SimResult<()> {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         st.stats.bb_bytes_written += data.len();
         st.bb.write(&h.path, offset, data, rank as u64)?;
         st.written.insert(h.path.clone(), true);
@@ -204,13 +208,13 @@ impl FsDriver for DataElevator {
     }
 
     fn read_at(&self, h: &FileHandle, rank: usize, offset: u64, len: u64) -> SimResult<Payload> {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         st.stats.bytes_read += len;
         st.bb.read(&h.path, offset, len, rank as u64)
     }
 
     fn close(&self, h: &FileHandle, _rank: usize) -> SimResult<()> {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         let count = st
             .open_counts
             .get_mut(&h.path)
@@ -226,7 +230,7 @@ impl FsDriver for DataElevator {
     }
 
     fn file_size(&self, h: &FileHandle) -> SimResult<u64> {
-        self.state.lock().bb.file_size(&h.path)
+        self.state.lock().unwrap().bb.file_size(&h.path)
     }
 }
 
@@ -251,8 +255,7 @@ mod tests {
     fn cache_then_flush_roundtrip() {
         let d = de();
         World::run(4, |comm| {
-            let f = MpiFile::open(&comm, &d, "/sim.h5", OpenMode::ReadWrite, Hints::new())
-                .unwrap();
+            let f = MpiFile::open(&comm, &d, "/sim.h5", OpenMode::ReadWrite, Hints::new()).unwrap();
             f.write_at_all(
                 comm.rank() as u64 * 4096,
                 Payload::pattern(comm.rank() as u64, 4096),

@@ -5,8 +5,8 @@
 //! functional [`Lustre`] with a typical tuned checkpoint layout (1 MiB
 //! stripes across all OSTs), paying shared-file lock contention in full.
 
-use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Mutex;
 use univistor_mpi::driver::{FileHandle, FsDriver, OpenContext};
 use univistor_pfs::{Lustre, StripeLayout};
 use univistor_sim::calibration::Calibration;
@@ -53,22 +53,22 @@ impl LustreDirect {
 
     /// Snapshot the counters.
     pub fn stats(&self) -> LustreDirectStats {
-        self.state.lock().stats
+        self.state.lock().unwrap().stats
     }
 
     /// Lock revocations on the PFS so far.
     pub fn lock_conflicts(&self) -> u64 {
-        self.state.lock().lustre.lock_conflicts()
+        self.state.lock().unwrap().lustre.lock_conflicts()
     }
 
     /// Per-OST byte loads.
     pub fn ost_loads(&self) -> Vec<u64> {
-        self.state.lock().lustre.ost_loads()
+        self.state.lock().unwrap().lustre.ost_loads()
     }
 
     /// File size on the PFS.
     pub fn pfs_file_size(&self, path: &str) -> SimResult<u64> {
-        self.state.lock().lustre.file_size(path)
+        self.state.lock().unwrap().lustre.file_size(path)
     }
 }
 
@@ -78,7 +78,7 @@ impl FsDriver for LustreDirect {
     }
 
     fn open(&self, ctx: &OpenContext) -> SimResult<FileHandle> {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         if !st.lustre.exists(&ctx.path) {
             if !ctx.mode.writable() {
                 return Err(univistor_sim::SimError::InvalidConfig(format!(
@@ -86,8 +86,10 @@ impl FsDriver for LustreDirect {
                     ctx.path
                 )));
             }
-            st.lustre
-                .create(&ctx.path, StripeLayout::new(self.stripe_size, self.ost_count, 0))?;
+            st.lustre.create(
+                &ctx.path,
+                StripeLayout::new(self.stripe_size, self.ost_count, 0),
+            )?;
         }
         *st.open_counts.entry(ctx.path.clone()).or_insert(0) += 1;
         Ok(FileHandle {
@@ -99,7 +101,7 @@ impl FsDriver for LustreDirect {
     }
 
     fn write_at(&self, h: &FileHandle, rank: usize, offset: u64, data: Payload) -> SimResult<()> {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         st.stats.bytes_written += data.len();
         st.stats.write_ops += 1;
         st.lustre.write(&h.path, offset, data, rank as u64)?;
@@ -107,13 +109,13 @@ impl FsDriver for LustreDirect {
     }
 
     fn read_at(&self, h: &FileHandle, rank: usize, offset: u64, len: u64) -> SimResult<Payload> {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         st.stats.bytes_read += len;
         st.lustre.read(&h.path, offset, len, rank as u64)
     }
 
     fn close(&self, h: &FileHandle, _rank: usize) -> SimResult<()> {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         if let Some(c) = st.open_counts.get_mut(&h.path) {
             *c = c.saturating_sub(1);
         }
@@ -121,7 +123,7 @@ impl FsDriver for LustreDirect {
     }
 
     fn file_size(&self, h: &FileHandle) -> SimResult<u64> {
-        self.state.lock().lustre.file_size(&h.path)
+        self.state.lock().unwrap().lustre.file_size(&h.path)
     }
 }
 
@@ -135,8 +137,7 @@ mod tests {
     fn shared_file_roundtrip() {
         let d = LustreDirect::new(&Calibration::default());
         let oks = World::run(4, |comm| {
-            let f = MpiFile::open(&comm, &d, "/ckpt", OpenMode::ReadWrite, Hints::new())
-                .unwrap();
+            let f = MpiFile::open(&comm, &d, "/ckpt", OpenMode::ReadWrite, Hints::new()).unwrap();
             f.write_at_all(
                 comm.rank() as u64 * 1024,
                 Payload::pattern(comm.rank() as u64, 1024),

@@ -10,8 +10,8 @@
 //!   1-server point of the sweep.
 
 use univistor_bench::cli::Options;
-use univistor_bench::report::rate_gbs;
-use univistor_bench::systems::{uv_job, uv_micro_write, UvMode};
+use univistor_bench::report::{emit_outputs, rate_gbs};
+use univistor_bench::systems::{accumulated_metrics, uv_job, uv_micro_write, UvMode};
 use univistor_bench::timing::Platform;
 use univistor_core::config::Features;
 use univistor_core::driver::UniviStorDriver;
@@ -67,12 +67,11 @@ fn main() {
         let mut md = MetadataService::new(64 << 20, servers, 8);
         for i in 0..records {
             md.insert(
-                SegKey { fid: 1, offset: i * (8 << 20) },
-                SegmentRecord::new(
-                    ClientId::new(0, (i % 512) as u32),
-                    VirtualAddr(i),
-                    8 << 20,
-                ),
+                SegKey {
+                    fid: 1,
+                    offset: i * (8 << 20),
+                },
+                SegmentRecord::new(ClientId::new(0, (i % 512) as u32), VirtualAddr(i), 8 << 20),
                 (i % 8) as usize,
             );
         }
@@ -91,4 +90,8 @@ fn main() {
         "\n(1 server = the paper's rejected centralized design: every record \
          and every lookup lands on one host.)"
     );
+
+    if let Some(dir) = &opts.csv_dir {
+        emit_outputs(&[], &accumulated_metrics(), dir);
+    }
 }

@@ -6,7 +6,10 @@ use univistor_bench::cli::Options;
 use univistor_bench::figures::{
     fig5_flush, fig5_write_read, fig6, fig7, fig8, fig_workflow, paper_scales,
 };
-use univistor_bench::report::{print_figure, print_speedup, print_speedup_times, save_figure_csv, Figure};
+use univistor_bench::report::{
+    print_figure, print_speedup, print_speedup_times, save_figure_csv, save_metrics_json, Figure,
+};
+use univistor_bench::systems::accumulated_metrics;
 
 fn main() {
     let opts = Options::from_env();
@@ -74,4 +77,13 @@ fn main() {
     emit(&f10);
     print_speedup_times("Fig10 vs BB", &f10.series[0], &f10.series[1]);
     print_speedup_times("Fig10 vs Disk", &f10.series[0], &f10.series[2]);
+
+    // The combined telemetry of every UniviStor job the run built, next
+    // to the figure CSVs.
+    if let Some(dir) = &opts.csv_dir {
+        match save_metrics_json(&accumulated_metrics(), dir) {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("metrics write failed: {e}"),
+        }
+    }
 }

@@ -3,7 +3,8 @@
 
 use univistor_bench::cli::Options;
 use univistor_bench::figures::{fig_workflow, paper_scales};
-use univistor_bench::report::{print_figure, print_speedup_times};
+use univistor_bench::report::{emit_outputs, print_figure, print_speedup_times};
+use univistor_bench::systems::accumulated_metrics;
 
 fn main() {
     let opts = Options::from_env();
@@ -13,4 +14,8 @@ fn main() {
     println!("Speedups (paper: DRAM+BB 1.5–2× over BB, 4–4.8× over Disk):");
     print_speedup_times("Fig10", &fig.series[0], &fig.series[1]);
     print_speedup_times("Fig10", &fig.series[0], &fig.series[2]);
+
+    if let Some(dir) = &opts.csv_dir {
+        emit_outputs(&[&fig], &accumulated_metrics(), dir);
+    }
 }

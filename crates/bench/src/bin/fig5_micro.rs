@@ -4,7 +4,8 @@
 
 use univistor_bench::cli::Options;
 use univistor_bench::figures::{fig5_flush, fig5_write_read, paper_scales};
-use univistor_bench::report::{print_figure, print_speedup};
+use univistor_bench::report::{emit_outputs, print_figure, print_speedup};
+use univistor_bench::systems::accumulated_metrics;
 
 fn main() {
     let opts = Options::from_env();
@@ -21,4 +22,8 @@ fn main() {
     let f = fig5_flush(&scales, opts.bytes_per_proc).expect("fig5c");
     print_figure(&f);
     print_speedup("Fig5c flush", &f.series[0], &f.series[3]);
+
+    if let Some(dir) = &opts.csv_dir {
+        emit_outputs(&[&w, &r, &f], &accumulated_metrics(), dir);
+    }
 }

@@ -3,7 +3,8 @@
 
 use univistor_bench::cli::Options;
 use univistor_bench::figures::{fig6, paper_scales};
-use univistor_bench::report::{print_figure, print_speedup};
+use univistor_bench::report::{emit_outputs, print_figure, print_speedup};
+use univistor_bench::systems::accumulated_metrics;
 
 fn main() {
     let opts = Options::from_env();
@@ -21,4 +22,8 @@ fn main() {
     print_speedup("Fig6b read", &r.series[0], &r.series[3]);
     print_speedup("Fig6c flush", &f.series[0], &f.series[2]);
     print_speedup("Fig6c flush", &f.series[1], &f.series[2]);
+
+    if let Some(dir) = &opts.csv_dir {
+        emit_outputs(&[&w, &r, &f], &accumulated_metrics(), dir);
+    }
 }

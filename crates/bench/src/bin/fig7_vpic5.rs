@@ -4,7 +4,8 @@
 
 use univistor_bench::cli::Options;
 use univistor_bench::figures::{fig7, paper_scales};
-use univistor_bench::report::{print_figure, Series};
+use univistor_bench::report::{emit_outputs, print_figure, Series};
+use univistor_bench::systems::accumulated_metrics;
 
 fn main() {
     let opts = Options::from_env();
@@ -19,4 +20,8 @@ fn main() {
     let bb = total(&fig.series[2], &fig.series[3]);
     let de = total(&fig.series[4], &fig.series[5]);
     println!("totals: UV/DRAM {dram:?}\n        UV/BB   {bb:?}\n        DE      {de:?}");
+
+    if let Some(dir) = &opts.csv_dir {
+        emit_outputs(&[&fig], &accumulated_metrics(), dir);
+    }
 }

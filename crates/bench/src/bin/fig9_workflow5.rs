@@ -3,7 +3,8 @@
 
 use univistor_bench::cli::Options;
 use univistor_bench::figures::{fig_workflow, paper_scales};
-use univistor_bench::report::{print_figure, print_speedup_times};
+use univistor_bench::report::{emit_outputs, print_figure, print_speedup_times};
+use univistor_bench::systems::accumulated_metrics;
 
 fn main() {
     let opts = Options::from_env();
@@ -16,4 +17,8 @@ fn main() {
     print_speedup_times("Fig9", &fig.series[1], &fig.series[4]);
     print_speedup_times("Fig9", &fig.series[3], &fig.series[4]);
     print_speedup_times("Fig9", &fig.series[1], &fig.series[5]);
+
+    if let Some(dir) = &opts.csv_dir {
+        emit_outputs(&[&fig], &accumulated_metrics(), dir);
+    }
 }

@@ -130,8 +130,15 @@ mod tests {
 
     #[test]
     fn explicit_flags() {
-        let o = parse(&["--max-procs", "1024", "--bytes-per-proc", "8M", "--compute-gap", "5"])
-            .unwrap();
+        let o = parse(&[
+            "--max-procs",
+            "1024",
+            "--bytes-per-proc",
+            "8M",
+            "--compute-gap",
+            "5",
+        ])
+        .unwrap();
         assert_eq!(o.max_procs, 1024);
         assert_eq!(o.bytes_per_proc, 8 << 20);
         assert_eq!(o.compute_gap, 5.0);
@@ -149,7 +156,10 @@ mod tests {
     #[test]
     fn csv_dir_flag() {
         let o = parse(&["--csv-dir", "/tmp/figs"]).unwrap();
-        assert_eq!(o.csv_dir.as_deref(), Some(std::path::Path::new("/tmp/figs")));
+        assert_eq!(
+            o.csv_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/figs"))
+        );
     }
 
     #[test]

@@ -64,8 +64,7 @@ pub fn fig5_write_read(scales: &[usize], bytes_per_proc: u64) -> SimResult<(Figu
         for &procs in scales {
             let platform = Platform::paper(procs);
             let features = features_for(ia, coc, true);
-            let driver =
-                UniviStorDriver::new(uv_job(&platform, UvMode::Dram, features), 0);
+            let driver = UniviStorDriver::new(uv_job(&platform, UvMode::Dram, features), 0);
             let micro = MicroIo::scaled(procs, bytes_per_proc);
             let w = uv_micro_write(&platform, &driver, &micro, "/micro")?;
             let r = uv_micro_read(&platform, &driver, &micro, "/micro")?;
@@ -104,8 +103,7 @@ pub fn fig5_flush(scales: &[usize], bytes_per_proc: u64) -> SimResult<Figure> {
         for &procs in scales {
             let platform = Platform::paper(procs);
             let features = features_for(ia, true, adpt);
-            let driver =
-                UniviStorDriver::new(uv_job(&platform, UvMode::Dram, features), 0);
+            let driver = UniviStorDriver::new(uv_job(&platform, UvMode::Dram, features), 0);
             let micro = MicroIo::scaled(procs, bytes_per_proc);
             let w = uv_micro_write(&platform, &driver, &micro, "/micro")?;
             rates.push(rate_gbs(micro.file_size(), w.flush_time));
@@ -146,8 +144,7 @@ pub fn fig6(scales: &[usize], bytes_per_proc: u64) -> SimResult<(Figure, Figure,
             (UvMode::Dram, &mut w_dram, &mut r_dram, &mut f_dram),
             (UvMode::Bb, &mut w_bb, &mut r_bb, &mut f_bb),
         ] {
-            let driver =
-                UniviStorDriver::new(uv_job(&platform, mode, Features::default()), 0);
+            let driver = UniviStorDriver::new(uv_job(&platform, mode, Features::default()), 0);
             let w = uv_micro_write(&platform, &driver, &micro, "/micro")?;
             let r = uv_micro_read(&platform, &driver, &micro, "/micro")?;
             w_out.push(rate_gbs(total, w.write_time));
@@ -238,7 +235,13 @@ fn uv_vpic(
 ) -> SimResult<VpicOutcome> {
     let driver = UniviStorDriver::new(uv_job(platform, mode, Features::default()), 0);
     let vpic = VpicIo::scaled(platform.procs(), steps, scale.particles_per_proc);
-    uv_vpic_run(platform, &driver, &vpic, scale.compute_gap, mode.flush_stall_factor())
+    uv_vpic_run(
+        platform,
+        &driver,
+        &vpic,
+        scale.compute_gap,
+        mode.flush_stall_factor(),
+    )
 }
 
 /// Fig. 7 — total I/O time of 5-timestep VPIC-IO across systems, with the
@@ -257,7 +260,10 @@ pub fn fig8(scales: &[usize], scale: VpicScale) -> SimResult<Figure> {
     ];
     for &procs in scales {
         let platform = Platform::paper(procs);
-        for (i, mode) in [UvMode::Dram, UvMode::Bb, UvMode::Disk].into_iter().enumerate() {
+        for (i, mode) in [UvMode::Dram, UvMode::Bb, UvMode::Disk]
+            .into_iter()
+            .enumerate()
+        {
             let out = uv_vpic(&platform, mode, 10, scale)?;
             series[i].values.push(out.total_io());
         }
@@ -383,7 +389,10 @@ pub fn fig_workflow(
 
     for &procs in scales {
         if tier_study {
-            for (i, mode) in [UvMode::Dram, UvMode::Bb, UvMode::Disk].into_iter().enumerate() {
+            for (i, mode) in [UvMode::Dram, UvMode::Bb, UvMode::Disk]
+                .into_iter()
+                .enumerate()
+            {
                 series[i]
                     .values
                     .push(uv_workflow(procs, mode, steps, scale, true)?);
@@ -421,9 +430,9 @@ pub fn fig_workflow(
             // starts, the flushed files' BB copies are being evicted and
             // BD-CATS reads them from Lustre.
             let de_reads = baseline_bdcats_times(&platform, &vpic.layout, steps, true);
-            series[4].values.push(
-                workflow_elapsed(&de_out.write_times, &de_reads, false) + de_out.stall_time,
-            );
+            series[4]
+                .values
+                .push(workflow_elapsed(&de_out.write_times, &de_reads, false) + de_out.stall_time);
 
             let lustre = LustreDirect::new(&platform.cal);
             let lu_out = lustre_vpic_run(&platform, &lustre, &vpic)?;

@@ -1,10 +1,8 @@
 //! Tabular reporting: every harness binary prints the same rows/series
 //! the paper plots, plus the derived speedups its text quotes.
 
-use serde::Serialize;
-
 /// One plotted series of a figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Legend label, matching the paper's.
     pub label: String,
@@ -23,7 +21,7 @@ impl Series {
 }
 
 /// A reproduced figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Figure {
     /// "Fig. 6a" etc.
     pub id: String,
@@ -95,6 +93,38 @@ pub fn save_figure_csv(fig: &Figure, dir: &std::path::Path) -> std::io::Result<s
     std::fs::create_dir_all(dir)?;
     std::fs::write(&path, figure_to_csv(fig))?;
     Ok(path)
+}
+
+/// Write a telemetry snapshot as `metrics.json` into the same directory
+/// the figure CSVs land in. Returns the path written.
+pub fn save_metrics_json(
+    snapshot: &univistor_core::MetricsSnapshot,
+    dir: &std::path::Path,
+) -> std::io::Result<std::path::PathBuf> {
+    let path = dir.join("metrics.json");
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(&path, snapshot.to_json())?;
+    Ok(path)
+}
+
+/// Honor `--csv-dir`: write each figure's CSV plus the run's combined
+/// telemetry as `metrics.json`, logging every path (or failure) to
+/// stderr. The harness binaries all funnel through this.
+pub fn emit_outputs(
+    figs: &[&Figure],
+    metrics: &univistor_core::MetricsSnapshot,
+    dir: &std::path::Path,
+) {
+    for fig in figs {
+        match save_figure_csv(fig, dir) {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("csv write failed for {}: {e}", fig.id),
+        }
+    }
+    match save_metrics_json(metrics, dir) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("metrics write failed: {e}"),
+    }
 }
 
 /// Print a figure as an aligned table.

@@ -2,12 +2,14 @@
 //! pair the receipts with the timing plane.
 
 use crate::timing::{Platform, TierBytes};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 use univistor_baselines::{DataElevator, LustreDirect};
 use univistor_core::config::{Features, UniviStorConfig};
 use univistor_core::driver::UniviStorDriver;
 use univistor_core::flush::FlushReceipt;
+use univistor_core::metrics::JobMetrics;
 use univistor_core::server::UniviStorJob;
+use univistor_core::MetricsSnapshot;
 use univistor_sim::SimResult;
 use univistor_workloads::{BdCatsIo, MicroIo, VpicIo, VpicLayout};
 
@@ -66,6 +68,28 @@ impl UvMode {
 /// and DE's flush queue shares the server processes.
 pub const DE_FLUSH_STALL: f64 = 0.3;
 
+/// Every UniviStor job built through [`uv_job`] leaves its telemetry
+/// panel here, so a harness binary can dump the combined counters of a
+/// whole run as `metrics.json`. Panels are `Arc`-held and monotonic:
+/// they outlive their jobs and are each absorbed exactly once per
+/// [`accumulated_metrics`] call.
+fn metrics_ledger() -> &'static Mutex<Vec<Arc<JobMetrics>>> {
+    static LEDGER: OnceLock<Mutex<Vec<Arc<JobMetrics>>>> = OnceLock::new();
+    LEDGER.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Combined telemetry of every UniviStor job this process has built —
+/// per-tier byte counters, read-path classification, flush histograms —
+/// merged across jobs with [`MetricsSnapshot::absorb`].
+pub fn accumulated_metrics() -> MetricsSnapshot {
+    let ledger = metrics_ledger().lock().expect("metrics ledger poisoned");
+    let mut total = MetricsSnapshot::default();
+    for panel in ledger.iter() {
+        total.absorb(&panel.snapshot());
+    }
+    total
+}
+
 /// Build the paper-configured UniviStor job.
 pub fn uv_job(platform: &Platform, mode: UvMode, features: Features) -> Arc<UniviStorJob> {
     let mut cfg = UniviStorConfig::paper(platform.procs());
@@ -73,7 +97,12 @@ pub fn uv_job(platform: &Platform, mode: UvMode, features: Features) -> Arc<Univ
     cfg.cal = platform.cal.clone();
     cfg.features = features;
     mode.apply(&mut cfg);
-    Arc::new(UniviStorJob::new(cfg))
+    let job = Arc::new(UniviStorJob::new(cfg));
+    metrics_ledger()
+        .lock()
+        .expect("metrics ledger poisoned")
+        .push(Arc::clone(job.metrics_handle()));
+    job
 }
 
 /// One measured write phase.
@@ -426,6 +455,30 @@ mod tests {
         assert!(out.total_io() > out.write_total());
         // With a 60 s gap and tiny data, flushes hide completely.
         assert_eq!(out.stall_time, 0.0);
+    }
+
+    #[test]
+    fn accumulated_metrics_cover_ledgered_jobs() {
+        let p = platform();
+        let before = accumulated_metrics().counter_total("univistor_segments_total");
+        let driver = UniviStorDriver::new(uv_job(&p, UvMode::Dram, Features::default()), 0);
+        let micro = MicroIo::scaled(64, 1 << 20);
+        uv_micro_write(&p, &driver, &micro, "/acc").unwrap();
+        // The job's panel feeds the process-wide accumulator even though
+        // take_stats() already reset the per-phase JobStats view.
+        let after = accumulated_metrics();
+        let placed = driver
+            .job()
+            .metrics()
+            .counter_total("univistor_segments_total");
+        assert!(placed > 0);
+        assert!(
+            after.counter_total("univistor_segments_total") >= before + placed,
+            "ledger lost this job's segments"
+        );
+        // The dump round-trips: this is exactly what metrics.json holds.
+        let back = univistor_core::MetricsSnapshot::from_json(&after.to_json()).unwrap();
+        assert_eq!(back, after);
     }
 
     #[test]

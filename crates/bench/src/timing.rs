@@ -135,7 +135,11 @@ impl Platform {
         let mut server_flush_rate: f64 = f64::INFINITY;
         // Under IA every node is identical; sample one. Under CFS, place
         // every node with its own seed.
-        let node_count = if interference_aware { 1 } else { self.geometry.nodes };
+        let node_count = if interference_aware {
+            1
+        } else {
+            self.geometry.nodes
+        };
         for node in 0..node_count {
             let assignment: CoreAssignment = if interference_aware {
                 InterferenceAwarePolicy::new().place(shape, &programs)
@@ -228,8 +232,7 @@ impl Platform {
         // Sub-phase 1b: node-local SSD — per-node device shared by the
         // node's clients, no network involved.
         let t_node_local = if per_proc.node_local > 0 {
-            let node_bytes =
-                per_proc.node_local * self.geometry.procs_per_node as u64;
+            let node_bytes = per_proc.node_local * self.geometry.procs_per_node as u64;
             (node_bytes as f64 / self.cal.node_local_bw)
                 .max(per_proc.node_local as f64 / profile.min_client_rate)
         } else {
@@ -273,11 +276,10 @@ impl Platform {
         // Metadata puts: distributed across all metadata servers; each
         // client's puts are pipelined with its writes — the residual cost
         // is one round trip per segment at the client.
-        let t_md = segments_per_proc as f64
-            * (2.0 * self.cal.net_latency + self.cal.rpc_service_time);
+        let t_md =
+            segments_per_proc as f64 * (2.0 * self.cal.net_latency + self.cal.rpc_service_time);
 
-        t_dram + t_node_local + t_bb + t_pfs + t_md
-            + 2.0 * self.open_close_cost(features)
+        t_dram + t_node_local + t_bb + t_pfs + t_md + 2.0 * self.open_close_cost(features)
     }
 
     /// Direct-Lustre shared-file write (the paper's "Lustre" series).
@@ -338,8 +340,8 @@ impl Platform {
         let t_via = if vs > 0.0 {
             let socket = 2.0 * profile.max_socket_clients as f64 * vs / self.cal.socket_mem_bw;
             let node_bytes = vs * self.geometry.procs_per_node as f64;
-            let server_cpu = node_bytes
-                / (self.geometry.servers_per_node as f64 * self.cal.per_proc_copy_bw);
+            let server_cpu =
+                node_bytes / (self.geometry.servers_per_node as f64 * self.cal.per_proc_copy_bw);
             socket.max(server_cpu).max(vs / profile.min_client_rate)
         } else {
             0.0
@@ -348,8 +350,7 @@ impl Platform {
         // Shared layers fetched directly (BB and PFS logs are globally
         // visible; the SSDs' read channel is independent of writes).
         let t_shared = if trace.shared_direct_bytes > 0 {
-            trace.shared_direct_bytes as f64
-                / self.bb_aggregate_bw().min(self.nic_aggregate_bw())
+            trace.shared_direct_bytes as f64 / self.bb_aggregate_bw().min(self.nic_aggregate_bw())
         } else {
             0.0
         };
@@ -374,8 +375,7 @@ impl Platform {
         let t_md = (trace.md_rpcs as f64 / servers) * self.cal.rpc_service_time
             + (trace.requests as f64 / p) * 2.0 * self.cal.net_latency;
 
-        t_local + t_via + t_shared + t_pfs + t_remote + t_md
-            + 2.0 * self.open_close_cost(features)
+        t_local + t_via + t_shared + t_pfs + t_remote + t_md + 2.0 * self.open_close_cost(features)
     }
 
     /// Data Elevator read (always from the shared BB file; shared-file
@@ -383,10 +383,8 @@ impl Platform {
     /// reads).
     pub fn de_read_time(&self, total_bytes: u64) -> f64 {
         let p = self.procs() as u64;
-        let read_eff = univistor_sim::calibration::shared_efficiency(
-            self.cal.bb_shared_contention / 2.0,
-            p,
-        );
+        let read_eff =
+            univistor_sim::calibration::shared_efficiency(self.cal.bb_shared_contention / 2.0, p);
         let bw = self
             .bb_aggregate_bw()
             .min(self.nic_aggregate_bw())
@@ -571,7 +569,10 @@ mod tests {
             / small.univistor_write_time(&features(true, true), per, 32);
         let l_gain = large.univistor_write_time(&features(true, false), per, 32)
             / large.univistor_write_time(&features(true, true), per, 32);
-        assert!(l_gain > s_gain, "COC gain must grow with scale: {s_gain} vs {l_gain}");
+        assert!(
+            l_gain > s_gain,
+            "COC gain must grow with scale: {s_gain} vs {l_gain}"
+        );
         assert!(l_gain > 1.1, "COC gain at 8192 procs too small: {l_gain}");
     }
 
@@ -581,12 +582,18 @@ mod tests {
         let f = Features::default();
         let dram = p.univistor_write_time(
             &f,
-            TierBytes { dram: 256 << 20, ..Default::default() },
+            TierBytes {
+                dram: 256 << 20,
+                ..Default::default()
+            },
             32,
         );
         let bb = p.univistor_write_time(
             &f,
-            TierBytes { bb: 256 << 20, ..Default::default() },
+            TierBytes {
+                bb: 256 << 20,
+                ..Default::default()
+            },
             32,
         );
         let de = p.de_write_time(256 << 20);
@@ -599,7 +606,10 @@ mod tests {
     #[test]
     fn dram_vs_lustre_gap_grows_toward_paper_band() {
         let f = Features::default();
-        let per = TierBytes { dram: 256 << 20, ..Default::default() };
+        let per = TierBytes {
+            dram: 256 << 20,
+            ..Default::default()
+        };
         let gap_small = {
             let p = Platform::paper(64);
             p.lustre_write_time(256 << 20) / p.univistor_write_time(&f, per, 32)
@@ -659,7 +669,10 @@ mod tests {
         let mut sim = FlowSim::new();
         // All nodes are identical under IA; simulate one node.
         let sockets: Vec<_> = (0..shape.sockets)
-            .map(|s| sim.add_resource(format!("s{s}"), p.cal.socket_mem_bw).unwrap())
+            .map(|s| {
+                sim.add_resource(format!("s{s}"), p.cal.socket_mem_bw)
+                    .unwrap()
+            })
             .collect();
         for r in model.proc_rates(&assignment, |s| s.program == 0) {
             sim.add_flow(

@@ -1,12 +1,11 @@
 //! Configuration: job geometry and the feature toggles the evaluation
 //! ablates (IA, COC, ADPT, workflow management, flush).
 
-use serde::{Deserialize, Serialize};
 use univistor_sim::calibration::Calibration;
 
 /// Which optimizations are enabled. Every evaluation figure toggles some
 /// subset of these; defaults are "everything on" (the shipping system).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Features {
     /// Interference-aware resource scheduling (§II-C).
     pub interference_aware: bool,
@@ -60,7 +59,7 @@ impl Features {
 }
 
 /// Shape of the job UniviStor serves.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct JobGeometry {
     /// Compute nodes allocated.
     pub nodes: usize,
@@ -102,7 +101,7 @@ impl JobGeometry {
 }
 
 /// Full UniviStor configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct UniviStorConfig {
     /// Job geometry.
     pub geometry: JobGeometry,

@@ -65,13 +65,12 @@ impl FsDriver for UniviStorDriver {
             0
         } else {
             let represents = if coc { ctx.nprocs } else { 1 };
-            self.job.open(
-                &ctx.path,
-                ctx.mode,
-                self.client(ctx.rank),
-                represents,
-                is_root,
-            )?
+            self.job
+                .open_file(&ctx.path)
+                .mode(ctx.mode)
+                .representing(represents)
+                .lock_holder(is_root)
+                .by(self.client(ctx.rank))?
         };
         Ok(FileHandle {
             fid,
@@ -82,11 +81,11 @@ impl FsDriver for UniviStorDriver {
     }
 
     fn write_at(&self, h: &FileHandle, rank: usize, offset: u64, data: Payload) -> SimResult<()> {
-        self.job.write(self.client(rank), &h.path, offset, data)
+        Ok(self.job.write(self.client(rank), &h.path, offset, data)?)
     }
 
     fn read_at(&self, h: &FileHandle, rank: usize, offset: u64, len: u64) -> SimResult<Payload> {
-        self.job.read(self.client(rank), &h.path, offset, len)
+        Ok(self.job.read(self.client(rank), &h.path, offset, len)?)
     }
 
     fn close(&self, h: &FileHandle, rank: usize) -> SimResult<()> {
@@ -105,7 +104,7 @@ impl FsDriver for UniviStorDriver {
     }
 
     fn file_size(&self, h: &FileHandle) -> SimResult<u64> {
-        self.job.file_size(&h.path)
+        Ok(self.job.file_size(&h.path)?)
     }
 }
 
@@ -127,14 +126,8 @@ mod tests {
         for coc in [false, true] {
             let d = driver(coc);
             let oks = World::run(4, |comm| {
-                let f = MpiFile::open(
-                    &comm,
-                    &d,
-                    "/exp",
-                    OpenMode::ReadWrite,
-                    Hints::new(),
-                )
-                .unwrap();
+                let f =
+                    MpiFile::open(&comm, &d, "/exp", OpenMode::ReadWrite, Hints::new()).unwrap();
                 let mine = Payload::pattern(comm.rank() as u64, 256);
                 f.write_at_all(comm.rank() as u64 * 256, mine).unwrap();
                 let next = (comm.rank() + 1) % comm.size();
@@ -153,15 +146,13 @@ mod tests {
     fn coc_sends_one_open_rpc_instead_of_nprocs() {
         let d_coc = driver(true);
         World::run(4, |comm| {
-            let f = MpiFile::open(&comm, &d_coc, "/f", OpenMode::Write, Hints::new())
-                .unwrap();
+            let f = MpiFile::open(&comm, &d_coc, "/f", OpenMode::Write, Hints::new()).unwrap();
             f.write_at(0, Payload::pattern(1, 64)).unwrap();
             f.close().unwrap();
         });
         let d_storm = driver(false);
         World::run(4, |comm| {
-            let f = MpiFile::open(&comm, &d_storm, "/f", OpenMode::Write, Hints::new())
-                .unwrap();
+            let f = MpiFile::open(&comm, &d_storm, "/f", OpenMode::Write, Hints::new()).unwrap();
             f.write_at(0, Payload::pattern(1, 64)).unwrap();
             f.close().unwrap();
         });
@@ -175,8 +166,7 @@ mod tests {
     fn connection_management_tracks_clients() {
         let d = driver(true);
         World::run(3, |comm| {
-            let f = MpiFile::open(&comm, &d, "/f", OpenMode::Write, Hints::new())
-                .unwrap();
+            let f = MpiFile::open(&comm, &d, "/f", OpenMode::Write, Hints::new()).unwrap();
             comm.barrier();
             f.close().unwrap();
         });

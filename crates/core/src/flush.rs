@@ -16,16 +16,16 @@
 
 use crate::config::UniviStorConfig;
 use crate::metadata::{ClientId, MetadataService};
+use crate::metrics::JobMetrics;
 use crate::placement::ProcChain;
 use crate::striping::{adaptive_plan, naive_plan, StripePlan};
 use crate::va::{Tier, VirtualAddr};
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 use univistor_pfs::Lustre;
 use univistor_sim::{SimError, SimResult};
 
 /// What one flush did.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FlushReceipt {
     /// Destination path on the PFS.
     pub dest: String,
@@ -48,7 +48,9 @@ pub struct FlushReceipt {
 /// Flush every byte of `fid` (logical size `file_size`) to `dest` on
 /// `lustre`, using the configuration's striping mode and server count.
 /// Segments whose primary node is in `failed_nodes` are flushed from
-/// their resilience replicas.
+/// their resilience replicas. A completed flush is accounted into
+/// `metrics` (drained/per-server histograms, source tiers, revocations)
+/// when a panel is given.
 #[allow(clippy::too_many_arguments)]
 pub fn flush_file(
     metadata: &mut MetadataService,
@@ -56,6 +58,7 @@ pub fn flush_file(
     lustre: &mut Lustre,
     cfg: &UniviStorConfig,
     failed_nodes: &HashSet<usize>,
+    metrics: Option<&JobMetrics>,
     fid: u64,
     file_size: u64,
     dest: &str,
@@ -130,7 +133,7 @@ pub fn flush_file(
 
     let mut source_tier_bytes: Vec<(Tier, u64)> = source_tiers.into_iter().collect();
     source_tier_bytes.sort_by_key(|(t, _)| *t);
-    Ok(FlushReceipt {
+    let receipt = FlushReceipt {
         dest: dest.to_string(),
         file_size,
         osts_per_server: plan.osts_per_server,
@@ -139,7 +142,11 @@ pub fn flush_file(
         per_ost_bytes,
         source_tier_bytes,
         lock_revocations: revocations,
-    })
+    };
+    if let Some(m) = metrics {
+        m.record_flush(&receipt);
+    }
+    Ok(receipt)
 }
 
 #[cfg(test)]
@@ -189,7 +196,10 @@ mod tests {
                 let logical = (rank as u64 * segs_per_client + i) * 64;
                 let placed = chain.append(Payload::pattern(logical, 64)).unwrap();
                 metadata.insert(
-                    SegKey { fid: 1, offset: logical },
+                    SegKey {
+                        fid: 1,
+                        offset: logical,
+                    },
                     SegmentRecord::new(client, placed.va, 64),
                     (rank / 2) as usize,
                 );
@@ -202,14 +212,26 @@ mod tests {
     fn flushed_file_reads_back_from_lustre() {
         let (mut md, mut chains, mut lustre, cfg) = setup();
         let size = populate(&mut md, &mut chains, 4);
-        let receipt =
-            flush_file(&mut md, &chains, &mut lustre, &cfg, &HashSet::new(), 1, size, "/pfs/f").unwrap();
+        let receipt = flush_file(
+            &mut md,
+            &chains,
+            &mut lustre,
+            &cfg,
+            &HashSet::new(),
+            None,
+            1,
+            size,
+            "/pfs/f",
+        )
+        .unwrap();
         assert_eq!(receipt.file_size, size);
         assert_eq!(lustre.file_size("/pfs/f").unwrap(), size);
         let whole = lustre.read("/pfs/f", 0, size, 999).unwrap();
         for s in 0..(size / 64) {
             assert!(
-                whole.slice(s * 64, 64).content_eq(&Payload::pattern(s * 64, 64)),
+                whole
+                    .slice(s * 64, 64)
+                    .content_eq(&Payload::pattern(s * 64, 64)),
                 "segment {s} corrupt on PFS"
             );
         }
@@ -219,7 +241,19 @@ mod tests {
     fn receipt_accounts_every_byte() {
         let (mut md, mut chains, mut lustre, cfg) = setup();
         let size = populate(&mut md, &mut chains, 4);
-        let r = flush_file(&mut md, &chains, &mut lustre, &cfg, &HashSet::new(), 1, size, "/pfs/f").unwrap();
+        let m = JobMetrics::new();
+        let r = flush_file(
+            &mut md,
+            &chains,
+            &mut lustre,
+            &cfg,
+            &HashSet::new(),
+            Some(&m),
+            1,
+            size,
+            "/pfs/f",
+        )
+        .unwrap();
         assert_eq!(r.per_server_bytes.iter().sum::<u64>(), size);
         assert_eq!(r.per_ost_bytes.iter().sum::<u64>(), size);
         let by_tier: u64 = r.source_tier_bytes.iter().map(|(_, b)| b).sum();
@@ -228,6 +262,18 @@ mod tests {
         let tiers: Vec<Tier> = r.source_tier_bytes.iter().map(|(t, _)| *t).collect();
         assert!(tiers.contains(&Tier::Dram));
         assert!(tiers.contains(&Tier::SharedBurstBuffer));
+        // The panel agrees with the receipt.
+        let snap = m.snapshot();
+        assert_eq!(
+            snap.counter_total("univistor_flush_source_bytes_total"),
+            size
+        );
+        assert_eq!(
+            snap.histogram("univistor_flush_drained_bytes", &[])
+                .expect("drained histogram")
+                .sum,
+            size as f64
+        );
     }
 
     #[test]
@@ -236,8 +282,18 @@ mod tests {
             let (mut md, mut chains, mut lustre, mut cfg) = setup();
             cfg.features.adaptive_striping = adaptive;
             let size = populate(&mut md, &mut chains, 2);
-            let r = flush_file(&mut md, &chains, &mut lustre, &cfg, &HashSet::new(), 1, size, "/pfs/f")
-                .unwrap();
+            let r = flush_file(
+                &mut md,
+                &chains,
+                &mut lustre,
+                &cfg,
+                &HashSet::new(),
+                None,
+                1,
+                size,
+                "/pfs/f",
+            )
+            .unwrap();
             let whole = lustre.read("/pfs/f", 0, size, 999).unwrap();
             assert_eq!(whole.len(), size, "adaptive={adaptive}");
             assert_eq!(r.file_size, size);
@@ -248,10 +304,32 @@ mod tests {
     fn reflush_overwrites_destination() {
         let (mut md, mut chains, mut lustre, cfg) = setup();
         let size = populate(&mut md, &mut chains, 2);
-        flush_file(&mut md, &chains, &mut lustre, &cfg, &HashSet::new(), 1, size, "/pfs/f").unwrap();
+        flush_file(
+            &mut md,
+            &chains,
+            &mut lustre,
+            &cfg,
+            &HashSet::new(),
+            None,
+            1,
+            size,
+            "/pfs/f",
+        )
+        .unwrap();
         // Flush again (e.g. the file was re-opened and appended — here
         // identical): destination is recreated, not corrupted.
-        flush_file(&mut md, &chains, &mut lustre, &cfg, &HashSet::new(), 1, size, "/pfs/f").unwrap();
+        flush_file(
+            &mut md,
+            &chains,
+            &mut lustre,
+            &cfg,
+            &HashSet::new(),
+            None,
+            1,
+            size,
+            "/pfs/f",
+        )
+        .unwrap();
         assert_eq!(lustre.file_size("/pfs/f").unwrap(), size);
     }
 
@@ -260,14 +338,35 @@ mod tests {
         let (mut md, mut chains, mut lustre, cfg) = setup();
         let size = populate(&mut md, &mut chains, 2);
         // Claim the file is bigger than what was written.
-        let err = flush_file(&mut md, &chains, &mut lustre, &cfg, &HashSet::new(), 1, size + 64, "/pfs/f")
-            .unwrap_err();
+        let err = flush_file(
+            &mut md,
+            &chains,
+            &mut lustre,
+            &cfg,
+            &HashSet::new(),
+            None,
+            1,
+            size + 64,
+            "/pfs/f",
+        )
+        .unwrap_err();
         assert!(matches!(err, SimError::InvalidFlow(_)));
     }
 
     #[test]
     fn empty_flush_rejected() {
         let (mut md, chains, mut lustre, cfg) = setup();
-        assert!(flush_file(&mut md, &chains, &mut lustre, &cfg, &HashSet::new(), 1, 0, "/pfs/f").is_err());
+        assert!(flush_file(
+            &mut md,
+            &chains,
+            &mut lustre,
+            &cfg,
+            &HashSet::new(),
+            None,
+            1,
+            0,
+            "/pfs/f"
+        )
+        .is_err());
     }
 }

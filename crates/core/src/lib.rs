@@ -21,6 +21,8 @@
 //! | [`workflow`] | §II-E | lightweight workflow management (state file + lock piggybacking) |
 //! | [`server`] | §II-A  | the UniviStor job: servers, tiers, connection management |
 //! | [`driver`] | §II-F  | the ADIO driver (`ROMIO_FSTYPE_FORCE=UniviStor`), COC optimization |
+//! | [`metrics`] | —     | the job telemetry panel over `univistor-obs` |
+//! | [`error`]  | —      | contextual error type wrapping the substrate's `SimError` |
 //!
 //! The data plane is functional: every byte written through the driver is
 //! stored in a log chunk on some tier and reads back exactly, including
@@ -29,9 +31,11 @@
 
 pub mod config;
 pub mod driver;
+pub mod error;
 pub mod flush;
 pub mod log;
 pub mod metadata;
+pub mod metrics;
 pub mod placement;
 pub mod read;
 pub mod sched;
@@ -42,6 +46,9 @@ pub mod workflow;
 
 pub use config::{Features, JobGeometry, UniviStorConfig};
 pub use driver::UniviStorDriver;
+pub use error::{Error, Result};
 pub use metadata::{ClientId, SegKey, SegmentRecord};
-pub use server::UniviStorJob;
+pub use metrics::JobMetrics;
+pub use server::{JobStats, OpenRequest, UniviStorJob};
+pub use univistor_obs::MetricsSnapshot;
 pub use va::{Tier, TierMap, VirtualAddr};

@@ -15,12 +15,11 @@
 //! layer — the per-process log *file* on the PFS — costs memory only for
 //! the chunks actually touched.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use univistor_sim::{Payload, SimError, SimResult, SparseBuffer};
 
 /// A segment's location within a log.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LogAddr(pub u64);
 
 /// One log file.
@@ -51,7 +50,9 @@ impl LogFile {
     /// unbounded log.
     pub fn new(capacity: u64, chunk_size: u64) -> SimResult<Self> {
         if chunk_size == 0 {
-            return Err(SimError::InvalidConfig("chunk_size must be positive".into()));
+            return Err(SimError::InvalidConfig(
+                "chunk_size must be positive".into(),
+            ));
         }
         let n_chunks = capacity / chunk_size;
         if n_chunks == 0 {
@@ -209,8 +210,14 @@ mod tests {
         let b = l.append(Payload::pattern(2, 100)).unwrap();
         assert_eq!(a, LogAddr(0));
         assert_eq!(b, LogAddr(100));
-        assert!(l.read(a, 100).unwrap().content_eq(&Payload::pattern(1, 100)));
-        assert!(l.read(b, 100).unwrap().content_eq(&Payload::pattern(2, 100)));
+        assert!(l
+            .read(a, 100)
+            .unwrap()
+            .content_eq(&Payload::pattern(1, 100)));
+        assert!(l
+            .read(b, 100)
+            .unwrap()
+            .content_eq(&Payload::pattern(2, 100)));
     }
 
     #[test]

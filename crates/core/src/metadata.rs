@@ -12,12 +12,11 @@
 //! without any server round trip.
 
 use crate::va::VirtualAddr;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 use univistor_kv::{DistKv, PartitionKey, ServerId};
 
 /// A client process: which coupled application and which global rank.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ClientId {
     /// Application index within the job (App 1, App 2, … of Fig. 1).
     pub app: u32,
@@ -33,7 +32,7 @@ impl ClientId {
 }
 
 /// Metadata key: file id + logical offset (Fig. 3's FID / offset columns).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SegKey {
     /// File id.
     pub fid: u64,
@@ -50,7 +49,7 @@ impl PartitionKey for SegKey {
 /// Metadata value: producing process + VA + length (Fig. 3's ProcID / VA),
 /// optionally with a resilience replica (the paper's future work: "adding
 /// resilience to data in volatile storage layers").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SegmentRecord {
     /// The producer.
     pub client: ClientId,
@@ -148,7 +147,10 @@ impl MetadataService {
         let range = self.kv.partitioner().range_size;
         let scan_lo = lo.saturating_sub(range);
         let (_, hits) = self.kv.range_scan_bounded(
-            &SegKey { fid, offset: scan_lo },
+            &SegKey {
+                fid,
+                offset: scan_lo,
+            },
             &SegKey { fid, offset: hi },
             scan_lo,
             hi,
@@ -180,10 +182,7 @@ impl MetadataService {
             // Right fragment survives.
             if seg_end > hi {
                 let skip = hi - k.offset;
-                let frag_key = SegKey {
-                    fid,
-                    offset: hi,
-                };
+                let frag_key = SegKey { fid, offset: hi };
                 let frag = SegmentRecord {
                     client: v.client,
                     va: VirtualAddr(v.va.0 + skip),
@@ -249,7 +248,10 @@ impl MetadataService {
         let range = self.kv.partitioner().range_size;
         let scan_lo = lo.saturating_sub(range);
         let (servers, hits) = self.kv.range_scan_bounded(
-            &SegKey { fid, offset: scan_lo },
+            &SegKey {
+                fid,
+                offset: scan_lo,
+            },
             &SegKey { fid, offset: hi },
             scan_lo,
             hi,
@@ -325,7 +327,14 @@ mod tests {
     fn insert_then_lookup() {
         let mut m = svc();
         m.insert(SegKey { fid: 1, offset: 0 }, rec(0, 0, 0, 100), 0);
-        m.insert(SegKey { fid: 1, offset: 100 }, rec(0, 1, 0, 100), 1);
+        m.insert(
+            SegKey {
+                fid: 1,
+                offset: 100,
+            },
+            rec(0, 1, 0, 100),
+            1,
+        );
         let (_, records) = m.lookup_range(1, 0, 200);
         assert_eq!(records.len(), 2);
         assert_eq!(records[0].0.offset, 0);
@@ -400,7 +409,10 @@ mod tests {
         let mut m = svc();
         for i in 0..4u64 {
             m.insert(
-                SegKey { fid: 1, offset: i * 50 },
+                SegKey {
+                    fid: 1,
+                    offset: i * 50,
+                },
                 rec(0, i as u32, i * 1000, 50),
                 0,
             );
@@ -433,7 +445,14 @@ mod tests {
         let mut m = MetadataService::new(64, 4, 1);
         // 64 segments of 64 bytes → 16 ranges round-robin over 4 servers.
         for i in 0..64u64 {
-            m.insert(SegKey { fid: 1, offset: i * 64 }, rec(0, 0, i * 64, 64), 0);
+            m.insert(
+                SegKey {
+                    fid: 1,
+                    offset: i * 64,
+                },
+                rec(0, 0, i * 64, 64),
+                0,
+            );
         }
         assert_eq!(m.shard_sizes(), vec![16, 16, 16, 16]);
     }

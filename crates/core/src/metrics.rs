@@ -1,0 +1,527 @@
+//! Job-wide telemetry: every hot path of the UniviStor runtime reports
+//! into one [`JobMetrics`] instrument panel backed by the lock-cheap
+//! `univistor-obs` registry.
+//!
+//! The panel caches one atomic handle per (family, label) pair at
+//! construction time, so recording from the data path is a single
+//! `fetch_add` — no lock, no allocation, no label lookup. Families:
+//!
+//! | family | kind | labels | fed by |
+//! |---|---|---|---|
+//! | `univistor_ops_total` | counter | `op` | open/close/write/read in `server` |
+//! | `univistor_md_rpcs_total` | counter | `op` | open/close storms, per-segment puts, read lookups |
+//! | `univistor_md_local_hits_total` | counter | — | shared-metadata-buffer hits in `read` |
+//! | `univistor_segments_total` | counter | — | DHP appends |
+//! | `univistor_cached_bytes_total` | counter | `tier` | bytes placed per layer (`placement`) |
+//! | `univistor_tier_spill_events_total` | counter | `tier` | segments that spilled past layer 0 |
+//! | `univistor_read_bytes_total` | counter | `path` | the read-service split (§II-B4) |
+//! | `univistor_read_replica_bytes_total` | counter | — | bytes served from resilience replicas |
+//! | `univistor_replicated_bytes_total` | counter | — | buddy-copy bytes written |
+//! | `univistor_promotions_total` | counter | — | adaptive promotions to DRAM |
+//! | `univistor_flushes_total` | counter | — | server-side flushes completed |
+//! | `univistor_flush_in_progress` | gauge | — | flush pipeline depth |
+//! | `univistor_flush_drained_bytes` | histogram | — | logical bytes moved per flush |
+//! | `univistor_flush_server_bytes` | histogram | — | bytes one server wrote in one flush |
+//! | `univistor_flush_source_bytes_total` | counter | `tier` | where flushed bytes were cached |
+//! | `univistor_flush_lock_revocations_total` | counter | — | Lustre lock revocations while flushing |
+//! | `univistor_sched_decisions_total` | counter | `decision` | placement/migration choices (`sched`) |
+//!
+//! [`UniviStorJob::metrics`](crate::server::UniviStorJob::metrics) snapshots
+//! the whole panel as a [`MetricsSnapshot`]; the legacy
+//! [`JobStats`](crate::server::JobStats) view is derived from these same
+//! counters (see `server::stats`), so the two can never disagree.
+
+use crate::flush::FlushReceipt;
+use crate::read::ReadTrace;
+use crate::va::Tier;
+use univistor_obs::{exponential_buckets, Counter, Gauge, Histogram, MetricsSnapshot, Registry};
+
+/// Stable label value for a tier (snake_case, unlike the display form).
+pub fn tier_label(tier: Tier) -> &'static str {
+    match tier {
+        Tier::Dram => "dram",
+        Tier::NodeLocal => "node_local",
+        Tier::SharedBurstBuffer => "burst_buffer",
+        Tier::Pfs => "pfs",
+    }
+}
+
+/// All tiers, in chain order; indexes the per-tier handle arrays.
+const TIERS: [Tier; 4] = [
+    Tier::Dram,
+    Tier::NodeLocal,
+    Tier::SharedBurstBuffer,
+    Tier::Pfs,
+];
+
+fn tier_index(tier: Tier) -> usize {
+    match tier {
+        Tier::Dram => 0,
+        Tier::NodeLocal => 1,
+        Tier::SharedBurstBuffer => 2,
+        Tier::Pfs => 3,
+    }
+}
+
+/// Cached scheduler counters handed to [`crate::sched`] so the placement
+/// policy can report without holding a registry reference.
+#[derive(Debug, Clone)]
+pub struct SchedCounters {
+    /// Processes placed on a free core.
+    pub free_core: Counter,
+    /// Processes stacked onto an occupied core (oversubscription).
+    pub stacked: Counter,
+    /// Client processes migrated off server cores for a flush.
+    pub flush_migrations: Counter,
+}
+
+/// The job's instrument panel. One per [`crate::server::UniviStorJob`]
+/// (shareable across jobs for fleet-wide aggregation).
+#[derive(Debug)]
+pub struct JobMetrics {
+    registry: Registry,
+
+    opens: Counter,
+    closes: Counter,
+    writes: Counter,
+    reads: Counter,
+
+    md_open_close: Counter,
+    md_write: Counter,
+    md_read: Counter,
+    md_local_hits: Counter,
+
+    segments: Counter,
+    cached_bytes: [Counter; 4],
+    spill_events: [Counter; 4],
+    replicated_bytes: Counter,
+    promotions: Counter,
+
+    read_local_hit: Counter,
+    read_local_via_server: Counter,
+    read_bb_direct: Counter,
+    read_pfs_direct: Counter,
+    read_remote_hop: Counter,
+    read_replica: Counter,
+
+    flushes: Counter,
+    flush_in_progress: Gauge,
+    flush_drained: Histogram,
+    flush_server_bytes: Histogram,
+    flush_source: [Counter; 4],
+    flush_revocations: Counter,
+
+    sched: SchedCounters,
+}
+
+impl Default for JobMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JobMetrics {
+    /// A fresh panel with every family registered and children cached.
+    pub fn new() -> Self {
+        let registry = Registry::new();
+        let ops = registry.counter_family("univistor_ops_total", "operations served by the job");
+        let md = registry.counter_family("univistor_md_rpcs_total", "metadata-server RPCs issued");
+        let md_local = registry.counter_family(
+            "univistor_md_local_hits_total",
+            "lookups satisfied by the node's shared metadata buffer (no RPC)",
+        );
+        let segments =
+            registry.counter_family("univistor_segments_total", "segments appended by DHP");
+        let cached = registry.counter_family(
+            "univistor_cached_bytes_total",
+            "bytes placed on each storage tier by DHP",
+        );
+        let spills = registry.counter_family(
+            "univistor_tier_spill_events_total",
+            "segments that spilled past the fastest layer, by destination tier",
+        );
+        let read_bytes = registry.counter_family(
+            "univistor_read_bytes_total",
+            "bytes delivered by the read service, split by path",
+        );
+        let read_replica = registry.counter_family(
+            "univistor_read_replica_bytes_total",
+            "bytes served from resilience replicas after node failures",
+        );
+        let replicated = registry.counter_family(
+            "univistor_replicated_bytes_total",
+            "bytes mirrored into buddy chains for resilience",
+        );
+        let promotions = registry.counter_family(
+            "univistor_promotions_total",
+            "segments promoted to DRAM by adaptive placement",
+        );
+        let flushes =
+            registry.counter_family("univistor_flushes_total", "server-side flushes completed");
+        let flush_gauge = registry.gauge_family(
+            "univistor_flush_in_progress",
+            "flushes currently draining (pipeline depth)",
+        );
+        // Flush sizes span bytes to tens of GiB: 4 KiB … 4 GiB, ×4.
+        let drained_bounds = exponential_buckets(4096.0, 4.0, 10);
+        let flush_drained = registry.histogram_family(
+            "univistor_flush_drained_bytes",
+            "logical bytes drained to the PFS per flush",
+            &drained_bounds,
+        );
+        let per_server_bounds = exponential_buckets(1024.0, 4.0, 10);
+        let flush_server = registry.histogram_family(
+            "univistor_flush_server_bytes",
+            "bytes one server wrote during one flush",
+            &per_server_bounds,
+        );
+        let flush_source = registry.counter_family(
+            "univistor_flush_source_bytes_total",
+            "tier each flushed byte was read from",
+        );
+        let flush_revocations = registry.counter_family(
+            "univistor_flush_lock_revocations_total",
+            "Lustre extent-lock revocations suffered while flushing",
+        );
+        let sched = registry.counter_family(
+            "univistor_sched_decisions_total",
+            "interference-aware scheduler placement decisions",
+        );
+
+        let per_tier = |family: &univistor_obs::CounterFamily| -> [Counter; 4] {
+            TIERS.map(|t| family.with(&[("tier", tier_label(t))]))
+        };
+
+        JobMetrics {
+            opens: ops.with(&[("op", "open")]),
+            closes: ops.with(&[("op", "close")]),
+            writes: ops.with(&[("op", "write")]),
+            reads: ops.with(&[("op", "read")]),
+            md_open_close: md.with(&[("op", "open_close")]),
+            md_write: md.with(&[("op", "write")]),
+            md_read: md.with(&[("op", "read")]),
+            md_local_hits: md_local.with(&[]),
+            segments: segments.with(&[]),
+            cached_bytes: per_tier(&cached),
+            spill_events: per_tier(&spills),
+            replicated_bytes: replicated.with(&[]),
+            promotions: promotions.with(&[]),
+            read_local_hit: read_bytes.with(&[("path", "local_hit")]),
+            read_local_via_server: read_bytes.with(&[("path", "local_via_server")]),
+            read_bb_direct: read_bytes.with(&[("path", "bb_direct")]),
+            read_pfs_direct: read_bytes.with(&[("path", "pfs_direct")]),
+            read_remote_hop: read_bytes.with(&[("path", "remote_hop")]),
+            read_replica: read_replica.with(&[]),
+            flushes: flushes.with(&[]),
+            flush_in_progress: flush_gauge.with(&[]),
+            flush_drained: flush_drained.with(&[]),
+            flush_server_bytes: flush_server.with(&[]),
+            flush_source: per_tier(&flush_source),
+            flush_revocations: flush_revocations.with(&[]),
+            sched: SchedCounters {
+                free_core: sched.with(&[("decision", "free_core")]),
+                stacked: sched.with(&[("decision", "stacked")]),
+                flush_migrations: sched.with(&[("decision", "flush_migration")]),
+            },
+            registry,
+        }
+    }
+
+    /// Point-in-time snapshot of every family.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// The underlying registry (for registering extra families alongside).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Cached scheduler counters for [`crate::sched`].
+    pub fn sched_counters(&self) -> SchedCounters {
+        self.sched.clone()
+    }
+
+    /// An open served (one metadata RPC against the file-name-hashed
+    /// server — the all-to-one storm without COC).
+    pub fn record_open(&self) {
+        self.opens.inc();
+        self.md_open_close.inc();
+    }
+
+    /// A close served (ditto).
+    pub fn record_close(&self) {
+        self.closes.inc();
+        self.md_open_close.inc();
+    }
+
+    /// A write call accepted (before segmentation).
+    pub fn record_write_call(&self) {
+        self.writes.inc();
+    }
+
+    /// One segment placed by DHP: `layer` is the chain index it landed on
+    /// (> 0 means the fastest layer was full — a spill event).
+    pub fn record_segment(&self, tier: Tier, layer: usize, len: u64) {
+        self.segments.inc();
+        self.md_write.inc();
+        self.cached_bytes[tier_index(tier)].add(len);
+        if layer > 0 {
+            self.spill_events[tier_index(tier)].inc();
+        }
+    }
+
+    /// Bytes mirrored into a buddy chain.
+    pub fn record_replication(&self, len: u64) {
+        self.replicated_bytes.add(len);
+    }
+
+    /// A read call's aggregated accounting.
+    pub fn record_read_trace(&self, t: &ReadTrace) {
+        self.reads.add(t.requests);
+        self.md_read.add(t.md_rpcs);
+        self.md_local_hits.add(t.local_md_hits);
+        self.read_local_hit.add(t.local_direct_bytes);
+        self.read_local_via_server.add(t.local_via_server_bytes);
+        self.read_bb_direct.add(t.shared_direct_bytes);
+        self.read_pfs_direct.add(t.pfs_direct_bytes);
+        self.read_remote_hop.add(t.remote_bytes);
+        self.read_replica.add(t.replica_bytes);
+    }
+
+    /// Segments promoted to DRAM.
+    pub fn record_promotions(&self, n: u64) {
+        self.promotions.add(n);
+    }
+
+    /// A flush entered the pipeline. Pair with [`Self::flush_finished`].
+    pub fn flush_started(&self) {
+        self.flush_in_progress.inc();
+    }
+
+    /// A flush left the pipeline (success or failure).
+    pub fn flush_finished(&self) {
+        self.flush_in_progress.dec();
+    }
+
+    /// Account a completed flush from its receipt.
+    pub fn record_flush(&self, receipt: &FlushReceipt) {
+        self.flushes.inc();
+        self.flush_drained.observe(receipt.file_size as f64);
+        for &bytes in &receipt.per_server_bytes {
+            if bytes > 0 {
+                self.flush_server_bytes.observe(bytes as f64);
+            }
+        }
+        for &(tier, bytes) in &receipt.source_tier_bytes {
+            self.flush_source[tier_index(tier)].add(bytes);
+        }
+        self.flush_revocations.add(receipt.lock_revocations);
+    }
+
+    /// Raw counter values backing the [`crate::server::JobStats`]
+    /// compatibility view.
+    pub(crate) fn scalars(&self) -> ScalarValues {
+        ScalarValues {
+            opens: self.opens.get(),
+            closes: self.closes.get(),
+            md_open_close: self.md_open_close.get(),
+            md_write: self.md_write.get(),
+            md_read: self.md_read.get(),
+            md_local_hits: self.md_local_hits.get(),
+            segments: self.segments.get(),
+            cached_bytes: self.cached_bytes.each_ref().map(Counter::get),
+            replicated_bytes: self.replicated_bytes.get(),
+            promotions: self.promotions.get(),
+            reads: self.reads.get(),
+            read_local_hit: self.read_local_hit.get(),
+            read_local_via_server: self.read_local_via_server.get(),
+            read_bb_direct: self.read_bb_direct.get(),
+            read_pfs_direct: self.read_pfs_direct.get(),
+            read_remote_hop: self.read_remote_hop.get(),
+            read_replica: self.read_replica.get(),
+        }
+    }
+}
+
+/// A flat copy of the monotonic counters that the legacy `JobStats` view
+/// is computed from. `stats()` reports `current - baseline`; `take_stats`
+/// advances the baseline — phase-delta semantics on top of counters that
+/// never reset.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct ScalarValues {
+    pub opens: u64,
+    pub closes: u64,
+    pub md_open_close: u64,
+    pub md_write: u64,
+    pub md_read: u64,
+    pub md_local_hits: u64,
+    pub segments: u64,
+    pub cached_bytes: [u64; 4],
+    pub replicated_bytes: u64,
+    pub promotions: u64,
+    pub reads: u64,
+    pub read_local_hit: u64,
+    pub read_local_via_server: u64,
+    pub read_bb_direct: u64,
+    pub read_pfs_direct: u64,
+    pub read_remote_hop: u64,
+    pub read_replica: u64,
+}
+
+impl ScalarValues {
+    /// Element-wise `self - base` (counters are monotonic, so this never
+    /// underflows for a baseline taken from the same panel).
+    pub fn since(&self, base: &ScalarValues) -> ScalarValues {
+        let mut tiers = [0u64; 4];
+        for (i, t) in tiers.iter_mut().enumerate() {
+            *t = self.cached_bytes[i] - base.cached_bytes[i];
+        }
+        ScalarValues {
+            opens: self.opens - base.opens,
+            closes: self.closes - base.closes,
+            md_open_close: self.md_open_close - base.md_open_close,
+            md_write: self.md_write - base.md_write,
+            md_read: self.md_read - base.md_read,
+            md_local_hits: self.md_local_hits - base.md_local_hits,
+            segments: self.segments - base.segments,
+            cached_bytes: tiers,
+            replicated_bytes: self.replicated_bytes - base.replicated_bytes,
+            promotions: self.promotions - base.promotions,
+            reads: self.reads - base.reads,
+            read_local_hit: self.read_local_hit - base.read_local_hit,
+            read_local_via_server: self.read_local_via_server - base.read_local_via_server,
+            read_bb_direct: self.read_bb_direct - base.read_bb_direct,
+            read_pfs_direct: self.read_pfs_direct - base.read_pfs_direct,
+            read_remote_hop: self.read_remote_hop - base.read_remote_hop,
+            read_replica: self.read_replica - base.read_replica,
+        }
+    }
+
+    /// Per-tier cached bytes as the map shape `JobStats` exposes, with
+    /// zero tiers omitted (matching the old lazily-populated map).
+    pub fn bytes_by_tier(&self) -> std::collections::BTreeMap<Tier, u64> {
+        TIERS
+            .iter()
+            .zip(self.cached_bytes)
+            .filter(|&(_, b)| b > 0)
+            .map(|(&t, b)| (t, b))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_segment_splits_by_tier_and_spill() {
+        let m = JobMetrics::new();
+        m.record_segment(Tier::Dram, 0, 100);
+        m.record_segment(Tier::SharedBurstBuffer, 1, 50);
+        m.record_segment(Tier::SharedBurstBuffer, 1, 50);
+        let snap = m.snapshot();
+        assert_eq!(
+            snap.counter("univistor_cached_bytes_total", &[("tier", "dram")]),
+            Some(100)
+        );
+        assert_eq!(
+            snap.counter("univistor_cached_bytes_total", &[("tier", "burst_buffer")]),
+            Some(100)
+        );
+        assert_eq!(
+            snap.counter(
+                "univistor_tier_spill_events_total",
+                &[("tier", "burst_buffer")]
+            ),
+            Some(2)
+        );
+        // Layer 0 never counts as a spill (the child exists at zero —
+        // the panel pre-registers every tier's handle).
+        assert_eq!(
+            snap.counter("univistor_tier_spill_events_total", &[("tier", "dram")]),
+            Some(0)
+        );
+        assert_eq!(snap.counter_total("univistor_segments_total"), 3);
+    }
+
+    #[test]
+    fn read_trace_maps_onto_path_labels() {
+        let m = JobMetrics::new();
+        m.record_read_trace(&ReadTrace {
+            local_direct_bytes: 10,
+            local_via_server_bytes: 20,
+            shared_direct_bytes: 30,
+            pfs_direct_bytes: 40,
+            remote_bytes: 50,
+            md_rpcs: 2,
+            local_md_hits: 3,
+            requests: 1,
+            replica_bytes: 5,
+        });
+        let snap = m.snapshot();
+        assert_eq!(
+            snap.counter("univistor_read_bytes_total", &[("path", "local_hit")]),
+            Some(10)
+        );
+        assert_eq!(
+            snap.counter("univistor_read_bytes_total", &[("path", "remote_hop")]),
+            Some(50)
+        );
+        assert_eq!(
+            snap.counter("univistor_md_rpcs_total", &[("op", "read")]),
+            Some(2)
+        );
+        assert_eq!(snap.counter_total("univistor_md_local_hits_total"), 3);
+    }
+
+    #[test]
+    fn scalar_baseline_diffs() {
+        let m = JobMetrics::new();
+        m.record_open();
+        m.record_segment(Tier::Dram, 0, 64);
+        let base = m.scalars();
+        m.record_open();
+        m.record_segment(Tier::Dram, 0, 64);
+        m.record_segment(Tier::Pfs, 1, 32);
+        let d = m.scalars().since(&base);
+        assert_eq!(d.opens, 1);
+        assert_eq!(d.segments, 2);
+        assert_eq!(
+            d.bytes_by_tier(),
+            [(Tier::Dram, 64), (Tier::Pfs, 32)].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn flush_receipt_feeds_histograms() {
+        let m = JobMetrics::new();
+        m.flush_started();
+        m.record_flush(&FlushReceipt {
+            dest: "/f".into(),
+            file_size: 4096,
+            plan: crate::striping::naive_plan(4096, 2, 4, 1024),
+            per_server_bytes: vec![2048, 2048],
+            per_ost_bytes: vec![1024; 4],
+            source_tier_bytes: vec![(Tier::Dram, 4096)],
+            lock_revocations: 3,
+            osts_per_server: 4,
+        });
+        m.flush_finished();
+        let snap = m.snapshot();
+        let h = snap
+            .histogram("univistor_flush_drained_bytes", &[])
+            .expect("histogram present");
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 4096.0);
+        let per_server = snap
+            .histogram("univistor_flush_server_bytes", &[])
+            .expect("per-server histogram");
+        assert_eq!(per_server.count, 2);
+        assert_eq!(snap.gauge("univistor_flush_in_progress", &[]), Some(0));
+        assert_eq!(
+            snap.counter("univistor_flush_lock_revocations_total", &[]),
+            Some(3)
+        );
+    }
+}

@@ -29,6 +29,14 @@ pub struct PlacedSegment {
     pub len: u64,
 }
 
+impl PlacedSegment {
+    /// True when the DHP could not keep this segment in the chain's top
+    /// layer and spilled it down the hierarchy.
+    pub fn spilled(&self) -> bool {
+        self.layer > 0
+    }
+}
+
 /// One process's cross-layer log chain.
 #[derive(Debug)]
 pub struct ProcChain {
@@ -45,7 +53,11 @@ impl ProcChain {
         let mut truncated = Vec::with_capacity(layer_caps.len());
         for (tier, cap) in layer_caps {
             let log = LogFile::new(cap, chunk_size)?;
-            let addressable = if cap == u64::MAX { u64::MAX } else { log.capacity() };
+            let addressable = if cap == u64::MAX {
+                u64::MAX
+            } else {
+                log.capacity()
+            };
             truncated.push((tier, addressable));
             logs.push(log);
         }
@@ -239,11 +251,8 @@ mod tests {
 
     #[test]
     fn segments_smaller_than_chunks_pack() {
-        let mut chain = ProcChain::new(
-            vec![(Tier::Dram, 256), (Tier::Pfs, u64::MAX)],
-            128,
-        )
-        .unwrap();
+        let mut chain =
+            ProcChain::new(vec![(Tier::Dram, 256), (Tier::Pfs, u64::MAX)], 128).unwrap();
         // Four 50-byte segments: two per 128-byte chunk (with 28 wasted),
         // all on DRAM.
         for i in 0..4u64 {

@@ -18,13 +18,12 @@
 use crate::config::JobGeometry;
 use crate::metadata::{ClientId, MetadataService, SegKey, SegmentRecord};
 use crate::placement::ProcChain;
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 use univistor_sim::{Payload, SimError, SimResult};
 
 /// Byte/RPC accounting of one (or many aggregated) read operations — the
 /// input of the timing plane.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ReadTrace {
     /// Bytes served from node-local storage with no server involvement
     /// (location-aware fast path).
@@ -41,6 +40,9 @@ pub struct ReadTrace {
     pub remote_bytes: u64,
     /// Metadata RPCs issued (distributed KV server visits).
     pub md_rpcs: u64,
+    /// Metadata records found in the node's shared metadata buffer —
+    /// lookups that never left the node (location-aware path only).
+    pub local_md_hits: u64,
     /// Read requests planned.
     pub requests: u64,
     /// Bytes served from resilience replicas because the primary's node
@@ -66,6 +68,7 @@ impl ReadTrace {
         self.pfs_direct_bytes += other.pfs_direct_bytes;
         self.remote_bytes += other.remote_bytes;
         self.md_rpcs += other.md_rpcs;
+        self.local_md_hits += other.local_md_hits;
         self.requests += other.requests;
         self.replica_bytes += other.replica_bytes;
     }
@@ -104,6 +107,7 @@ pub fn read_segments(
     if location_aware {
         // 1. Shared metadata buffer: free lookups for locally-produced data.
         let local_hits = metadata.lookup_local(my_node, fid, offset, end);
+        trace.local_md_hits += local_hits.len() as u64;
         // 2. Distributed lookup only for the uncovered remainder.
         let covered: u64 = local_hits
             .iter()
@@ -172,11 +176,14 @@ pub fn read_segments(
             trace.replica_bytes += clip_len;
             (rc, crate::va::VirtualAddr(rva.0 + (clip_lo - k.offset)))
         } else {
-            (r.client, crate::va::VirtualAddr(r.va.0 + (clip_lo - k.offset)))
+            (
+                r.client,
+                crate::va::VirtualAddr(r.va.0 + (clip_lo - k.offset)),
+            )
         };
-        let producer_chain = chains.get(&source).ok_or_else(|| {
-            SimError::InvalidConfig(format!("no chain for producer {source:?}"))
-        })?;
+        let producer_chain = chains
+            .get(&source)
+            .ok_or_else(|| SimError::InvalidConfig(format!("no chain for producer {source:?}")))?;
         let va = source_va;
         let payload = producer_chain.read(va, clip_len)?;
         parts.push(payload);
@@ -262,7 +269,10 @@ mod tests {
             let seed = logical; // deterministic content per offset
             let placed: PlacedSegment = chain.append(Payload::pattern(seed, 64)).unwrap();
             metadata.insert(
-                SegKey { fid: 1, offset: logical },
+                SegKey {
+                    fid: 1,
+                    offset: logical,
+                },
                 SegmentRecord::new(client, placed.va, 64),
                 geometry.node_of_rank(client.rank as usize),
             );
@@ -277,7 +287,15 @@ mod tests {
         }
         for aware in [false, true] {
             let (payload, trace, _) = read_segments(
-                &mut md, &chains, &geom, aware, &HashSet::new(), ClientId::new(0, 0), 1, 0, 16 * 64,
+                &mut md,
+                &chains,
+                &geom,
+                aware,
+                &HashSet::new(),
+                ClientId::new(0, 0),
+                1,
+                0,
+                16 * 64,
             )
             .unwrap();
             assert_eq!(payload.len(), 16 * 64);
@@ -298,7 +316,15 @@ mod tests {
         // Client 0 writes 2 segments, all on its DRAM log.
         write_segments(&mut md, &mut chains, &geom, ClientId::new(0, 0), 2);
         let (_, trace, _) = read_segments(
-            &mut md, &chains, &geom, true, &HashSet::new(), ClientId::new(0, 0), 1, 0, 128,
+            &mut md,
+            &chains,
+            &geom,
+            true,
+            &HashSet::new(),
+            ClientId::new(0, 0),
+            1,
+            0,
+            128,
         )
         .unwrap();
         assert_eq!(trace.local_direct_bytes, 128);
@@ -311,7 +337,15 @@ mod tests {
         let (mut md, mut chains, geom) = setup();
         write_segments(&mut md, &mut chains, &geom, ClientId::new(0, 0), 2);
         let (_, trace, _) = read_segments(
-            &mut md, &chains, &geom, false, &HashSet::new(), ClientId::new(0, 0), 1, 0, 128,
+            &mut md,
+            &chains,
+            &geom,
+            false,
+            &HashSet::new(),
+            ClientId::new(0, 0),
+            1,
+            0,
+            128,
         )
         .unwrap();
         assert_eq!(trace.local_via_server_bytes, 128);
@@ -324,7 +358,15 @@ mod tests {
         // Rank 1 (node 0) writes; rank 0 (node 0) reads.
         write_segments(&mut md, &mut chains, &geom, ClientId::new(0, 1), 2);
         let (_, trace, _) = read_segments(
-            &mut md, &chains, &geom, true, &HashSet::new(), ClientId::new(0, 0), 1, 2 * 64, 128,
+            &mut md,
+            &chains,
+            &geom,
+            true,
+            &HashSet::new(),
+            ClientId::new(0, 0),
+            1,
+            2 * 64,
+            128,
         )
         .unwrap();
         assert_eq!(trace.local_direct_bytes, 128);
@@ -336,7 +378,15 @@ mod tests {
         // Rank 2 (node 1) writes; rank 0 (node 0) reads.
         write_segments(&mut md, &mut chains, &geom, ClientId::new(0, 2), 2);
         let (_, trace, _) = read_segments(
-            &mut md, &chains, &geom, true, &HashSet::new(), ClientId::new(0, 0), 1, 4 * 64, 128,
+            &mut md,
+            &chains,
+            &geom,
+            true,
+            &HashSet::new(),
+            ClientId::new(0, 0),
+            1,
+            4 * 64,
+            128,
         )
         .unwrap();
         assert_eq!(trace.remote_bytes, 128);
@@ -350,12 +400,28 @@ mod tests {
         write_segments(&mut md, &mut chains, &geom, ClientId::new(0, 2), 4);
         // Rank 0 reads the spilled half.
         let (_, aware, _) = read_segments(
-            &mut md, &chains, &geom, true, &HashSet::new(), ClientId::new(0, 0), 1, 10 * 64, 128,
+            &mut md,
+            &chains,
+            &geom,
+            true,
+            &HashSet::new(),
+            ClientId::new(0, 0),
+            1,
+            10 * 64,
+            128,
         )
         .unwrap();
         assert_eq!(aware.shared_direct_bytes, 128, "{aware:?}");
         let (_, naive, _) = read_segments(
-            &mut md, &chains, &geom, false, &HashSet::new(), ClientId::new(0, 0), 1, 10 * 64, 128,
+            &mut md,
+            &chains,
+            &geom,
+            false,
+            &HashSet::new(),
+            ClientId::new(0, 0),
+            1,
+            10 * 64,
+            128,
         )
         .unwrap();
         assert_eq!(naive.remote_bytes, 128);
@@ -366,7 +432,15 @@ mod tests {
         let (mut md, mut chains, geom) = setup();
         write_segments(&mut md, &mut chains, &geom, ClientId::new(0, 0), 1);
         let err = read_segments(
-            &mut md, &chains, &geom, true, &HashSet::new(), ClientId::new(0, 0), 1, 0, 256,
+            &mut md,
+            &chains,
+            &geom,
+            true,
+            &HashSet::new(),
+            ClientId::new(0, 0),
+            1,
+            0,
+            256,
         )
         .unwrap_err();
         assert!(matches!(err, SimError::Hole { .. }));
@@ -377,7 +451,15 @@ mod tests {
         let (mut md, mut chains, geom) = setup();
         write_segments(&mut md, &mut chains, &geom, ClientId::new(0, 0), 2);
         let (payload, trace, _) = read_segments(
-            &mut md, &chains, &geom, true, &HashSet::new(), ClientId::new(0, 0), 1, 32, 64,
+            &mut md,
+            &chains,
+            &geom,
+            true,
+            &HashSet::new(),
+            ClientId::new(0, 0),
+            1,
+            32,
+            64,
         )
         .unwrap();
         assert_eq!(payload.len(), 64);
@@ -394,7 +476,15 @@ mod tests {
     fn zero_len_read_is_trivial() {
         let (mut md, chains, geom) = setup();
         let (p, t, _) = read_segments(
-            &mut md, &chains, &geom, true, &HashSet::new(), ClientId::new(0, 0), 1, 0, 0,
+            &mut md,
+            &chains,
+            &geom,
+            true,
+            &HashSet::new(),
+            ClientId::new(0, 0),
+            1,
+            0,
+            0,
         )
         .unwrap();
         assert!(p.is_empty());

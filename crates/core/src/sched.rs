@@ -14,16 +14,28 @@
 //!    a server core are migrated to other cores so servers flush without
 //!    interference; they move back afterwards.
 
+use crate::metrics::SchedCounters;
 use univistor_sim::cores::{CoreAssignment, NodeShape, PlacementPolicy, ProcSlot, SERVER_PROGRAM};
 
 /// The interference-aware placement policy.
 #[derive(Debug, Default)]
-pub struct InterferenceAwarePolicy;
+pub struct InterferenceAwarePolicy {
+    counters: Option<SchedCounters>,
+}
 
 impl InterferenceAwarePolicy {
-    /// New policy (stateless — placement is fully deterministic).
+    /// New policy (placement is fully deterministic).
     pub fn new() -> Self {
-        Self
+        Self::default()
+    }
+
+    /// New policy reporting each placement decision (free core vs.
+    /// stacked) into a job's telemetry panel — obtain the counters from
+    /// [`crate::metrics::JobMetrics::sched_counters`].
+    pub fn instrumented(counters: SchedCounters) -> Self {
+        Self {
+            counters: Some(counters),
+        }
     }
 }
 
@@ -51,13 +63,14 @@ impl PlacementPolicy for InterferenceAwarePolicy {
                 socket_load[socket] += share;
                 for _ in 0..share {
                     let core = pick_core(&assignment, shape, socket, program);
-                    assignment.assign(
-                        ProcSlot {
-                            program,
-                            index,
-                        },
-                        core,
-                    );
+                    if let Some(c) = &self.counters {
+                        if assignment.procs_on_core(core).is_empty() {
+                            c.free_core.inc();
+                        } else {
+                            c.stacked.inc();
+                        }
+                    }
+                    assignment.assign(ProcSlot { program, index }, core);
                     index += 1;
                 }
             }
@@ -73,12 +86,7 @@ impl PlacementPolicy for InterferenceAwarePolicy {
 ///    cores (state-aware, Fig. 4d) unless the program being placed *is*
 ///    the server program, which prefers client cores symmetric­ally;
 /// 3. ties broken by total occupancy, then core index.
-fn pick_core(
-    assignment: &CoreAssignment,
-    shape: NodeShape,
-    socket: usize,
-    program: u32,
-) -> usize {
+fn pick_core(assignment: &CoreAssignment, shape: NodeShape, socket: usize, program: u32) -> usize {
     shape
         .cores_of_socket(socket)
         .min_by_key(|&core| {
@@ -105,6 +113,14 @@ fn pick_core(
 /// (Fig. 4d, right). Returns the moved slots with their original cores so
 /// [`restore_after_flush`] can undo the migration.
 pub fn migrate_for_flush(assignment: &mut CoreAssignment) -> Vec<(ProcSlot, usize)> {
+    migrate_for_flush_counted(assignment, None)
+}
+
+/// [`migrate_for_flush`], reporting each migration into a telemetry panel.
+pub fn migrate_for_flush_counted(
+    assignment: &mut CoreAssignment,
+    counters: Option<&SchedCounters>,
+) -> Vec<(ProcSlot, usize)> {
     let shape = assignment.shape;
     let mut moved = Vec::new();
     for core in 0..shape.cores() {
@@ -126,9 +142,11 @@ pub fn migrate_for_flush(assignment: &mut CoreAssignment) -> Vec<(ProcSlot, usiz
                             .iter()
                             .any(|p| p.program == SERVER_PROGRAM)
                 });
-            if let Some(target) = candidates
-                .min_by_key(|&c| (assignment.procs_on_core(c).len(), c))
+            if let Some(target) = candidates.min_by_key(|&c| (assignment.procs_on_core(c).len(), c))
             {
+                if let Some(c) = counters {
+                    c.flush_migrations.inc();
+                }
                 moved.push((slot, core));
                 assignment.migrate(slot, target);
             }
@@ -213,7 +231,10 @@ mod tests {
             let procs = a.procs_on_core(core);
             let has_server = procs.iter().any(|p| p.program == SERVER_PROGRAM);
             let has_client = procs.iter().any(|p| p.program != SERVER_PROGRAM);
-            assert!(!(has_server && has_client), "core {core} mixed during flush");
+            assert!(
+                !(has_server && has_client),
+                "core {core} mixed during flush"
+            );
         }
         restore_after_flush(&mut a, moved);
         let after: Vec<Option<usize>> = a.slots().map(|s| a.core_of(s)).collect();
@@ -258,6 +279,41 @@ mod tests {
         assert!(
             cfs_better <= 2,
             "CFS matched IA on {cfs_better}/20 seeds — interference model broken"
+        );
+    }
+
+    #[test]
+    fn instrumented_policy_counts_decisions() {
+        use crate::metrics::JobMetrics;
+        // 8 procs on 6 cores: 6 land on free cores, 2 stack; the flush
+        // then migrates the 2 stacked clients off the server cores.
+        let m = JobMetrics::new();
+        let programs = [(0u32, 6usize), (SERVER_PROGRAM, 2)];
+        let mut a =
+            InterferenceAwarePolicy::instrumented(m.sched_counters()).place(SHAPE, &programs);
+        let counters = m.sched_counters();
+        let moved = migrate_for_flush_counted(&mut a, Some(&counters));
+        let snap = m.snapshot();
+        assert_eq!(
+            snap.counter(
+                "univistor_sched_decisions_total",
+                &[("decision", "free_core")]
+            ),
+            Some(6)
+        );
+        assert_eq!(
+            snap.counter(
+                "univistor_sched_decisions_total",
+                &[("decision", "stacked")]
+            ),
+            Some(2)
+        );
+        assert_eq!(
+            snap.counter(
+                "univistor_sched_decisions_total",
+                &[("decision", "flush_migration")]
+            ),
+            Some(moved.len() as u64)
         );
     }
 

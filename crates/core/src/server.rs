@@ -8,21 +8,34 @@
 //! metadata service, the destination Lustre file system, and the workflow
 //! state file. Client-side drivers (`crate::driver`) call into it; the
 //! bench harness calls the same methods rank-by-rank at paper scale.
+//!
+//! Every hot path reports into the job's [`JobMetrics`] panel;
+//! [`UniviStorJob::metrics`] snapshots it. The legacy [`JobStats`] view is
+//! *derived* from those same counters (plus the structured leftovers the
+//! panel cannot hold: flush receipts and the per-client byte map), so the
+//! two can never disagree.
 
 use crate::config::UniviStorConfig;
+use crate::error::{Error, Result};
 use crate::flush::{flush_file, FlushReceipt};
 use crate::metadata::{ClientId, MetadataService, SegKey, SegmentRecord};
+use crate::metrics::{JobMetrics, ScalarValues};
 use crate::placement::{layer_caps_with_node_local, ProcChain};
 use crate::read::{read_segments, ReadTrace};
 use crate::va::Tier;
 use crate::workflow::StateFile;
-use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::{Arc, Mutex};
 use univistor_mpi::driver::OpenMode;
+use univistor_obs::MetricsSnapshot;
 use univistor_pfs::Lustre;
 use univistor_sim::{Payload, SimError, SimResult};
 
 /// Aggregated operation counters — the timing plane's raw material.
+///
+/// This is a compatibility view computed from the job's [`JobMetrics`]
+/// panel; [`UniviStorJob::metrics`] exposes the full panel (including
+/// histograms and spill events this flat shape cannot carry).
 #[derive(Debug, Clone, Default)]
 pub struct JobStats {
     /// Metadata RPCs hitting the (single, file-name-hashed) server during
@@ -66,7 +79,12 @@ struct JobState {
     metadata: MetadataService,
     lustre: Lustre,
     connected: HashSet<ClientId>,
-    stats: JobStats,
+    /// Counter values at the last `take_stats` — `stats()` reports the
+    /// delta since this baseline over the monotonic metrics panel.
+    stats_base: ScalarValues,
+    /// Structured accounting the flat panel cannot hold.
+    flush_receipts: Vec<FlushReceipt>,
+    bytes_by_client_tier: HashMap<(ClientId, Tier), u64>,
     next_fid: u64,
     /// Nodes whose volatile storage has been lost (failure injection).
     failed_nodes: HashSet<usize>,
@@ -79,15 +97,94 @@ pub struct UniviStorJob {
     cfg: UniviStorConfig,
     state: Mutex<JobState>,
     state_file: StateFile,
+    metrics: Arc<JobMetrics>,
+}
+
+/// Builder for one open call, created by [`UniviStorJob::open_file`].
+///
+/// Defaults: read-only, representing one rank, holding the workflow lock.
+/// Finish with [`by`](OpenRequest::by):
+///
+/// ```ignore
+/// let fid = job.open_file("/ckpt").write().representing(nprocs).by(root)?;
+/// ```
+#[must_use = "an OpenRequest does nothing until .by(client) is called"]
+pub struct OpenRequest<'a> {
+    job: &'a UniviStorJob,
+    path: &'a str,
+    mode: OpenMode,
+    represents: usize,
+    lock_holder: bool,
+}
+
+impl<'a> OpenRequest<'a> {
+    /// Open read-only (`MPI_MODE_RDONLY`) — the default.
+    pub fn read(mut self) -> Self {
+        self.mode = OpenMode::Read;
+        self
+    }
+
+    /// Open write-only, creating the file if needed.
+    pub fn write(mut self) -> Self {
+        self.mode = OpenMode::Write;
+        self
+    }
+
+    /// Open read-write, creating the file if needed.
+    pub fn read_write(mut self) -> Self {
+        self.mode = OpenMode::ReadWrite;
+        self
+    }
+
+    /// Set the mode from an [`OpenMode`] value (driver plumbing).
+    pub fn mode(mut self, mode: OpenMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// How many ranks this call stands for: the full communicator under
+    /// COC, one (the default) otherwise.
+    pub fn representing(mut self, ranks: usize) -> Self {
+        self.represents = ranks;
+        self
+    }
+
+    /// Whether this caller piggybacks workflow locking (the root rank).
+    /// Defaults to true.
+    pub fn lock_holder(mut self, holder: bool) -> Self {
+        self.lock_holder = holder;
+        self
+    }
+
+    /// Perform the open on behalf of `client`, returning the file id.
+    pub fn by(self, client: ClientId) -> Result<u64> {
+        self.job
+            .open_impl(self.path, self.mode, self.represents, self.lock_holder)
+            .map_err(|e| {
+                Error::new("open", e)
+                    .with_path(self.path)
+                    .with_client(client)
+            })
+    }
 }
 
 impl UniviStorJob {
     /// Launch the service for a job with the given configuration.
     pub fn new(cfg: UniviStorConfig) -> Self {
+        Self::with_metrics(cfg, Arc::new(JobMetrics::new()))
+    }
+
+    /// Launch the service reporting into an existing metrics panel.
+    ///
+    /// Note that [`Self::stats`] reads phase deltas off the panel's
+    /// counters, so sharing one panel across concurrently *measured* jobs
+    /// mixes their stats; share only for passive fleet-wide aggregation.
+    pub fn with_metrics(cfg: UniviStorConfig, metrics: Arc<JobMetrics>) -> Self {
         let servers = cfg.geometry.total_servers();
         let metadata =
             MetadataService::new(cfg.metadata_range_size, servers.max(1), cfg.geometry.nodes);
         let lustre = Lustre::new(cfg.cal.ost_count);
+        let stats_base = metrics.scalars();
         UniviStorJob {
             cfg,
             state: Mutex::new(JobState {
@@ -96,12 +193,15 @@ impl UniviStorJob {
                 metadata,
                 lustre,
                 connected: HashSet::new(),
-                stats: JobStats::default(),
+                stats_base,
+                flush_receipts: Vec::new(),
+                bytes_by_client_tier: HashMap::new(),
                 next_fid: 1,
                 failed_nodes: HashSet::new(),
                 heat: HashMap::new(),
             }),
             state_file: StateFile::new(),
+            metrics,
         }
     }
 
@@ -113,6 +213,17 @@ impl UniviStorJob {
     /// The workflow state file (shared with tests/diagnostics).
     pub fn state_file(&self) -> &StateFile {
         &self.state_file
+    }
+
+    /// Snapshot the job's full telemetry panel.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// The live metrics panel (for wiring schedulers or sharing with
+    /// other jobs).
+    pub fn metrics_handle(&self) -> &Arc<JobMetrics> {
+        &self.metrics
     }
 
     /// Per-client layer capacities under the `c/p` rule, honoring the
@@ -138,30 +249,53 @@ impl UniviStorJob {
 
     /// Connection management: a client announced itself (`MPI_Init`).
     pub fn connect(&self, client: ClientId) {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         st.connected.insert(client);
     }
 
     /// A client departed (`MPI_Finalize`).
     pub fn disconnect(&self, client: ClientId) {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         st.connected.remove(&client);
     }
 
     /// Connected clients (servers terminate when this reaches zero after
     /// the last application exits).
     pub fn connected_count(&self) -> usize {
-        self.state.lock().connected.len()
+        self.state.lock().unwrap().connected.len()
+    }
+
+    /// Start building an open call for `path`. Defaults: read-only,
+    /// representing one rank, holding the workflow lock.
+    pub fn open_file<'a>(&'a self, path: &'a str) -> OpenRequest<'a> {
+        OpenRequest {
+            job: self,
+            path,
+            mode: OpenMode::Read,
+            represents: 1,
+            lock_holder: true,
+        }
     }
 
     /// Open a file. `represents` is how many ranks this call stands for
     /// (the full communicator under COC, one otherwise); `lock_holder`
     /// marks the root that piggybacks workflow locking.
+    #[deprecated(note = "use open_file(path).mode(..).representing(..).by(client)")]
     pub fn open(
         &self,
         path: &str,
         mode: OpenMode,
         _client: ClientId,
+        represents: usize,
+        lock_holder: bool,
+    ) -> SimResult<u64> {
+        self.open_impl(path, mode, represents, lock_holder)
+    }
+
+    fn open_impl(
+        &self,
+        path: &str,
+        mode: OpenMode,
         represents: usize,
         lock_holder: bool,
     ) -> SimResult<u64> {
@@ -173,7 +307,7 @@ impl UniviStorJob {
             } else {
                 // A reader of a not-yet-existing file is the in-situ case:
                 // wait until the producer has written it at least once.
-                let exists = self.state.lock().files.contains_key(path);
+                let exists = self.state.lock().unwrap().files.contains_key(path);
                 if exists {
                     self.state_file.acquire_read(path);
                 } else {
@@ -181,9 +315,9 @@ impl UniviStorJob {
                 }
             }
         }
-        let mut st = self.state.lock();
-        st.stats.open_close_md_rpcs += 1;
-        st.stats.opens += 1;
+        let mut st = self.state.lock().unwrap();
+        // The metadata RPC happened even if the open is then rejected.
+        self.metrics.record_open();
         if !st.files.contains_key(path) {
             if !mode.writable() {
                 return Err(SimError::InvalidConfig(format!("no such file '{path}'")));
@@ -216,7 +350,12 @@ impl UniviStorJob {
     /// Write `payload` at `offset` of `path` on behalf of `client`.
     /// The payload is split into segments (≤ `segment_size`, aligned to
     /// the logical segment grid) and placed by DHP.
-    pub fn write(
+    pub fn write(&self, client: ClientId, path: &str, offset: u64, payload: Payload) -> Result<()> {
+        self.write_impl(client, path, offset, payload)
+            .map_err(|e| Error::new("write", e).with_path(path).with_client(client))
+    }
+
+    fn write_impl(
         &self,
         client: ClientId,
         path: &str,
@@ -227,16 +366,17 @@ impl UniviStorJob {
         if len == 0 {
             return Ok(());
         }
-        let mut st = self.state.lock();
+        self.metrics.record_write_call();
+        let mut st = self.state.lock().unwrap();
         self.ensure_chain(&mut st, client);
-        let (fid, _) = {
+        let fid = {
             let entry = st
                 .files
                 .get_mut(path)
                 .ok_or_else(|| SimError::InvalidConfig(format!("write to unopened '{path}'")))?;
             entry.size = entry.size.max(offset + len);
             entry.written = true;
-            (entry.fid, ())
+            entry.fid
         };
         let seg = self.cfg.segment_size;
         let node = self.cfg.geometry.node_of_rank(client.rank as usize);
@@ -268,12 +408,14 @@ impl UniviStorJob {
                     // for this segment, it does not fail the write.
                     if let Ok(rplaced) = bchain.append(piece) {
                         record.replica = Some((buddy, rplaced.va));
-                        st.stats.replicated_bytes += piece_len;
+                        self.metrics.record_replication(piece_len);
                     }
                 }
             }
 
-            let (_, displaced) = st.metadata.insert(SegKey { fid, offset: cur }, record, node);
+            let (_, displaced) = st
+                .metadata
+                .insert(SegKey { fid, offset: cur }, record, node);
             // Free the log space of overwritten data (possibly owned by
             // other clients' chains), including replica copies.
             for d in displaced {
@@ -286,12 +428,9 @@ impl UniviStorJob {
                     }
                 }
             }
-            st.stats.segments += 1;
-            st.stats.write_md_rpcs += 1;
-            *st.stats.bytes_by_tier.entry(placed.tier).or_insert(0) += piece_len;
-            *st
-                .stats
-                .bytes_by_client_tier
+            self.metrics
+                .record_segment(placed.tier, placed.layer, piece_len);
+            *st.bytes_by_client_tier
                 .entry((client, placed.tier))
                 .or_insert(0) += piece_len;
             cur = piece_end;
@@ -300,14 +439,13 @@ impl UniviStorJob {
     }
 
     /// Read `[offset, offset + len)` of `path` on behalf of `client`.
-    pub fn read(
-        &self,
-        client: ClientId,
-        path: &str,
-        offset: u64,
-        len: u64,
-    ) -> SimResult<Payload> {
-        let mut st = self.state.lock();
+    pub fn read(&self, client: ClientId, path: &str, offset: u64, len: u64) -> Result<Payload> {
+        self.read_impl(client, path, offset, len)
+            .map_err(|e| Error::new("read", e).with_path(path).with_client(client))
+    }
+
+    fn read_impl(&self, client: ClientId, path: &str, offset: u64, len: u64) -> SimResult<Payload> {
+        let mut st = self.state.lock().unwrap();
         let fid = st
             .files
             .get(path)
@@ -325,7 +463,7 @@ impl UniviStorJob {
             offset,
             len,
         )?;
-        st.stats.read_trace.absorb(&trace);
+        self.metrics.record_read_trace(&trace);
         for key in touched {
             *st.heat.entry(key).or_insert(0) += 1;
         }
@@ -346,7 +484,7 @@ impl UniviStorJob {
     /// Failure injection: mark a node's volatile storage as lost. Reads
     /// of segments whose primary lived there are served from replicas.
     pub fn fail_node(&self, node: usize) {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         st.failed_nodes.insert(node);
     }
 
@@ -354,8 +492,13 @@ impl UniviStorJob {
     /// every segment read at least `min_reads` times from a slower layer
     /// into its producer's DRAM log, space permitting. Returns the number
     /// of segments promoted.
-    pub fn promote_hot(&self, min_reads: u32) -> SimResult<usize> {
-        let mut st = self.state.lock();
+    pub fn promote_hot(&self, min_reads: u32) -> Result<usize> {
+        self.promote_hot_impl(min_reads)
+            .map_err(|e| Error::new("promote", e).with_tier(Tier::Dram))
+    }
+
+    fn promote_hot_impl(&self, min_reads: u32) -> SimResult<usize> {
+        let mut st = self.state.lock().unwrap();
         let st = &mut *st;
         let hot: Vec<SegKey> = st
             .heat
@@ -395,7 +538,7 @@ impl UniviStorJob {
                 }
             }
             st.heat.remove(&key);
-            st.stats.promotions += 1;
+            self.metrics.record_promotions(1);
             promoted += 1;
         }
         Ok(promoted)
@@ -407,15 +550,25 @@ impl UniviStorJob {
     pub fn close(
         &self,
         path: &str,
-        _client: ClientId,
+        client: ClientId,
+        mode: OpenMode,
+        represents: usize,
+        lock_holder: bool,
+    ) -> Result<Option<FlushReceipt>> {
+        self.close_impl(path, mode, represents, lock_holder)
+            .map_err(|e| Error::new("close", e).with_path(path).with_client(client))
+    }
+
+    fn close_impl(
+        &self,
+        path: &str,
         mode: OpenMode,
         represents: usize,
         lock_holder: bool,
     ) -> SimResult<Option<FlushReceipt>> {
         let (should_flush, fid, size) = {
-            let mut st = self.state.lock();
-            st.stats.open_close_md_rpcs += 1;
-            st.stats.closes += 1;
+            let mut st = self.state.lock().unwrap();
+            self.metrics.record_close();
             let entry = st
                 .files
                 .get_mut(path)
@@ -448,8 +601,9 @@ impl UniviStorJob {
         if self.cfg.features.workflow {
             self.state_file.begin_flush(path);
         }
-        let receipt = {
-            let mut st = self.state.lock();
+        self.metrics.flush_started();
+        let result = {
+            let mut st = self.state.lock().unwrap();
             let st = &mut *st;
             flush_file(
                 &mut st.metadata,
@@ -457,31 +611,37 @@ impl UniviStorJob {
                 &mut st.lustre,
                 &self.cfg,
                 &st.failed_nodes,
+                Some(&self.metrics),
                 fid,
                 size,
                 path,
-            )?
+            )
         };
+        self.metrics.flush_finished();
+        let receipt = result?;
         if self.cfg.features.workflow {
             self.state_file.end_flush(path);
         }
-        let mut st = self.state.lock();
-        st.stats.flush_receipts.push(receipt.clone());
+        let mut st = self.state.lock().unwrap();
+        st.flush_receipts.push(receipt.clone());
         Ok(Some(receipt))
     }
 
     /// Logical size of a cached file.
-    pub fn file_size(&self, path: &str) -> SimResult<u64> {
-        let st = self.state.lock();
-        st.files
-            .get(path)
-            .map(|e| e.size)
-            .ok_or_else(|| SimError::InvalidConfig(format!("no such file '{path}'")))
+    pub fn file_size(&self, path: &str) -> Result<u64> {
+        let st = self.state.lock().unwrap();
+        st.files.get(path).map(|e| e.size).ok_or_else(|| {
+            Error::new(
+                "stat",
+                SimError::InvalidConfig(format!("no such file '{path}'")),
+            )
+            .with_path(path)
+        })
     }
 
     /// Live cached bytes per tier across all clients.
     pub fn tier_usage(&self) -> Vec<(Tier, u64)> {
-        let st = self.state.lock();
+        let st = self.state.lock().unwrap();
         let mut agg: BTreeMap<Tier, u64> = BTreeMap::new();
         for chain in st.chains.values() {
             for (tier, bytes) in chain.live_by_layer() {
@@ -493,7 +653,7 @@ impl UniviStorJob {
 
     /// Verify a flushed file: compare the PFS copy byte-for-byte against
     /// the cached data (materializes the file — small/medium scale only).
-    pub fn verify_flush(&self, client: ClientId, path: &str) -> SimResult<bool> {
+    pub fn verify_flush(&self, client: ClientId, path: &str) -> Result<bool> {
         let size = self.file_size(path)?;
         let cached = self.read(client, path, 0, size)?;
         let on_pfs = self.lustre_read(path, 0, size)?;
@@ -501,30 +661,75 @@ impl UniviStorJob {
     }
 
     /// Read back a flushed file from the PFS (verification).
-    pub fn lustre_read(&self, path: &str, offset: u64, len: u64) -> SimResult<Payload> {
-        let mut st = self.state.lock();
-        st.lustre.read(path, offset, len, u64::MAX)
+    pub fn lustre_read(&self, path: &str, offset: u64, len: u64) -> Result<Payload> {
+        let mut st = self.state.lock().unwrap();
+        st.lustre.read(path, offset, len, u64::MAX).map_err(|e| {
+            Error::new("pfs_read", e)
+                .with_path(path)
+                .with_tier(Tier::Pfs)
+        })
     }
 
     /// Size of a flushed file on the PFS.
-    pub fn lustre_file_size(&self, path: &str) -> SimResult<u64> {
-        let st = self.state.lock();
-        st.lustre.file_size(path)
+    pub fn lustre_file_size(&self, path: &str) -> Result<u64> {
+        let st = self.state.lock().unwrap();
+        st.lustre.file_size(path).map_err(|e| {
+            Error::new("pfs_stat", e)
+                .with_path(path)
+                .with_tier(Tier::Pfs)
+        })
     }
 
     /// Per-OST cumulative byte loads on the PFS.
     pub fn ost_loads(&self) -> Vec<u64> {
-        self.state.lock().lustre.ost_loads()
+        self.state.lock().unwrap().lustre.ost_loads()
     }
 
-    /// Snapshot of the counters.
+    /// Build the legacy flat view from the panel delta + structured state.
+    fn stats_view(&self, st: &JobState) -> JobStats {
+        let d = self.metrics.scalars().since(&st.stats_base);
+        JobStats {
+            open_close_md_rpcs: d.md_open_close,
+            opens: d.opens,
+            closes: d.closes,
+            segments: d.segments,
+            bytes_by_tier: d.bytes_by_tier(),
+            bytes_by_client_tier: st.bytes_by_client_tier.clone(),
+            write_md_rpcs: d.md_write,
+            read_trace: ReadTrace {
+                local_direct_bytes: d.read_local_hit,
+                local_via_server_bytes: d.read_local_via_server,
+                shared_direct_bytes: d.read_bb_direct,
+                pfs_direct_bytes: d.read_pfs_direct,
+                remote_bytes: d.read_remote_hop,
+                md_rpcs: d.md_read,
+                local_md_hits: d.md_local_hits,
+                requests: d.reads,
+                replica_bytes: d.read_replica,
+            },
+            flush_receipts: st.flush_receipts.clone(),
+            replicated_bytes: d.replicated_bytes,
+            promotions: d.promotions,
+        }
+    }
+
+    /// Snapshot of the counters (since construction or the last
+    /// [`Self::take_stats`]).
     pub fn stats(&self) -> JobStats {
-        self.state.lock().stats.clone()
+        let st = self.state.lock().unwrap();
+        self.stats_view(&st)
     }
 
     /// Take and reset the counters (phase boundaries in experiments).
+    /// The underlying metrics panel is monotonic and unaffected; only the
+    /// baseline this view diffs against advances.
     pub fn take_stats(&self) -> JobStats {
-        std::mem::take(&mut self.state.lock().stats)
+        let mut st = self.state.lock().unwrap();
+        let out = self.stats_view(&st);
+        st.stats_base = self.metrics.scalars();
+        st.flush_receipts = Vec::new();
+        st.bytes_by_client_tier = HashMap::new();
+        out
     }
 }
 
@@ -544,7 +749,10 @@ mod tests {
     fn open_write_read_close_roundtrip() {
         let j = job();
         let total_ranks = 4;
-        j.open("/f", OpenMode::Write, client(0), total_ranks, true)
+        j.open_file("/f")
+            .write()
+            .representing(total_ranks)
+            .by(client(0))
             .unwrap();
         for rank in 0..4u32 {
             // Each rank writes 512 B at its block offset.
@@ -571,9 +779,30 @@ mod tests {
     }
 
     #[test]
+    fn deprecated_positional_open_still_works() {
+        let j = job();
+        #[allow(deprecated)]
+        let fid = j.open("/f", OpenMode::Write, client(0), 2, true).unwrap();
+        // Same file through the builder: same fid, open counts add up.
+        let fid2 = j
+            .open_file("/f")
+            .write()
+            .representing(2)
+            .by(client(1))
+            .unwrap();
+        assert_eq!(fid, fid2);
+        j.write(client(0), "/f", 0, Payload::pattern(1, 64))
+            .unwrap();
+        assert!(j
+            .close("/f", client(0), OpenMode::Write, 4, true)
+            .unwrap()
+            .is_some());
+    }
+
+    #[test]
     fn writes_spill_across_tiers() {
         let j = job();
-        j.open("/big", OpenMode::Write, client(0), 1, true).unwrap();
+        j.open_file("/big").write().by(client(0)).unwrap();
         // DRAM per proc: 1024/2 = 512 B (2 chunks of 256); write 2 KiB.
         j.write(client(0), "/big", 0, Payload::pattern(9, 2048))
             .unwrap();
@@ -590,6 +819,12 @@ mod tests {
             .unwrap_or(0);
         assert_eq!(dram, 512, "usage: {usage:?}");
         assert!(bb > 0, "no spill: {usage:?}");
+        // The panel saw the spills too.
+        let snap = j.metrics();
+        assert!(
+            snap.counter_total("univistor_tier_spill_events_total") > 0,
+            "spill events not recorded"
+        );
         // Everything still reads back.
         let got = j.read(client(0), "/big", 0, 2048).unwrap();
         assert!(got.content_eq(&Payload::pattern(9, 2048)));
@@ -598,10 +833,12 @@ mod tests {
     #[test]
     fn overwrite_releases_and_replaces() {
         let j = job();
-        j.open("/f", OpenMode::Write, client(0), 1, true).unwrap();
-        j.write(client(0), "/f", 0, Payload::pattern(1, 512)).unwrap();
+        j.open_file("/f").write().by(client(0)).unwrap();
+        j.write(client(0), "/f", 0, Payload::pattern(1, 512))
+            .unwrap();
         let before = j.tier_usage().iter().map(|(_, b)| *b).sum::<u64>();
-        j.write(client(0), "/f", 0, Payload::pattern(2, 512)).unwrap();
+        j.write(client(0), "/f", 0, Payload::pattern(2, 512))
+            .unwrap();
         let after = j.tier_usage().iter().map(|(_, b)| *b).sum::<u64>();
         assert_eq!(before, after, "overwrite must not grow live bytes");
         let got = j.read(client(0), "/f", 0, 512).unwrap();
@@ -611,8 +848,13 @@ mod tests {
     #[test]
     fn flush_only_on_last_close() {
         let j = job();
-        j.open("/f", OpenMode::Write, client(0), 2, true).unwrap();
-        j.write(client(0), "/f", 0, Payload::pattern(1, 128)).unwrap();
+        j.open_file("/f")
+            .write()
+            .representing(2)
+            .by(client(0))
+            .unwrap();
+        j.write(client(0), "/f", 0, Payload::pattern(1, 128))
+            .unwrap();
         let r = j.close("/f", client(0), OpenMode::Write, 1, false).unwrap();
         assert!(r.is_none(), "flush before last close");
         let r = j.close("/f", client(1), OpenMode::Write, 1, true).unwrap();
@@ -622,10 +864,11 @@ mod tests {
     #[test]
     fn read_only_close_does_not_flush() {
         let j = job();
-        j.open("/f", OpenMode::Write, client(0), 1, true).unwrap();
-        j.write(client(0), "/f", 0, Payload::pattern(1, 128)).unwrap();
+        j.open_file("/f").write().by(client(0)).unwrap();
+        j.write(client(0), "/f", 0, Payload::pattern(1, 128))
+            .unwrap();
         j.close("/f", client(0), OpenMode::Write, 1, true).unwrap();
-        j.open("/f", OpenMode::Read, client(1), 1, true).unwrap();
+        j.open_file("/f").read().by(client(1)).unwrap();
         let flushes_before = j.stats().flush_receipts.len();
         j.close("/f", client(1), OpenMode::Read, 1, true).unwrap();
         assert_eq!(j.stats().flush_receipts.len(), flushes_before);
@@ -636,8 +879,9 @@ mod tests {
         let mut cfg = UniviStorConfig::test_small(1, 1);
         cfg.features.flush_on_close = false;
         let j = UniviStorJob::new(cfg);
-        j.open("/f", OpenMode::Write, client(0), 1, true).unwrap();
-        j.write(client(0), "/f", 0, Payload::pattern(1, 64)).unwrap();
+        j.open_file("/f").write().by(client(0)).unwrap();
+        j.write(client(0), "/f", 0, Payload::pattern(1, 64))
+            .unwrap();
         assert!(j
             .close("/f", client(0), OpenMode::Write, 1, true)
             .unwrap()
@@ -646,9 +890,14 @@ mod tests {
     }
 
     #[test]
-    fn open_missing_for_read_fails() {
+    fn open_missing_for_read_fails_with_context() {
         let j = job();
-        assert!(j.open("/nope", OpenMode::Read, client(0), 1, true).is_err());
+        let err = j.open_file("/nope").read().by(client(0)).unwrap_err();
+        assert_eq!(err.op(), "open");
+        assert_eq!(err.path(), Some("/nope"));
+        assert_eq!(err.client(), Some(client(0)));
+        // The wrapper still round-trips to the substrate's variant.
+        assert!(matches!(SimError::from(err), SimError::InvalidConfig(_)));
     }
 
     #[test]
@@ -666,8 +915,9 @@ mod tests {
     #[test]
     fn stats_accumulate_and_reset() {
         let j = job();
-        j.open("/f", OpenMode::Write, client(0), 1, true).unwrap();
-        j.write(client(0), "/f", 0, Payload::pattern(1, 512)).unwrap();
+        j.open_file("/f").write().by(client(0)).unwrap();
+        j.write(client(0), "/f", 0, Payload::pattern(1, 512))
+            .unwrap();
         j.read(client(0), "/f", 0, 512).unwrap();
         let s = j.stats();
         assert!(s.segments >= 4); // 512 B in 128 B segments
@@ -675,21 +925,73 @@ mod tests {
         assert_eq!(s.opens, 1);
         j.take_stats();
         assert_eq!(j.stats().segments, 0);
+        // The panel is monotonic: take_stats must not reset it.
+        assert_eq!(j.metrics().counter_total("univistor_segments_total"), 4);
+    }
+
+    #[test]
+    fn stats_view_agrees_with_metrics_panel() {
+        let j = job();
+        j.open_file("/f").write().by(client(0)).unwrap();
+        j.write(client(0), "/f", 0, Payload::pattern(7, 640))
+            .unwrap();
+        j.read(client(0), "/f", 0, 640).unwrap();
+        let s = j.stats();
+        let snap = j.metrics();
+        assert_eq!(s.segments, snap.counter_total("univistor_segments_total"));
+        assert_eq!(
+            s.bytes_by_tier.values().sum::<u64>(),
+            snap.counter_total("univistor_cached_bytes_total")
+        );
+        assert_eq!(
+            s.read_trace.total_bytes(),
+            snap.counter_total("univistor_read_bytes_total")
+        );
+        assert_eq!(
+            s.open_close_md_rpcs,
+            snap.counter("univistor_md_rpcs_total", &[("op", "open_close")])
+                .unwrap_or(0)
+        );
     }
 
     #[test]
     fn verify_flush_detects_integrity() {
         let j = job();
-        j.open("/v", OpenMode::Write, client(0), 1, true).unwrap();
-        j.write(client(0), "/v", 0, Payload::pattern(3, 700)).unwrap();
+        j.open_file("/v").write().by(client(0)).unwrap();
+        j.write(client(0), "/v", 0, Payload::pattern(3, 700))
+            .unwrap();
         j.close("/v", client(0), OpenMode::Write, 1, true)
             .unwrap()
             .expect("flush");
         assert!(j.verify_flush(client(0), "/v").unwrap());
         // Mutate the cache after the flush: verification now fails.
-        j.open("/v", OpenMode::Write, client(0), 1, true).unwrap();
-        j.write(client(0), "/v", 0, Payload::pattern(4, 128)).unwrap();
+        j.open_file("/v").write().by(client(0)).unwrap();
+        j.write(client(0), "/v", 0, Payload::pattern(4, 128))
+            .unwrap();
         assert!(!j.verify_flush(client(0), "/v").unwrap());
+    }
+
+    #[test]
+    fn flush_updates_panel_histograms() {
+        let j = job();
+        j.open_file("/h").write().by(client(0)).unwrap();
+        j.write(client(0), "/h", 0, Payload::pattern(5, 1024))
+            .unwrap();
+        j.close("/h", client(0), OpenMode::Write, 1, true)
+            .unwrap()
+            .expect("flush");
+        let snap = j.metrics();
+        assert_eq!(snap.counter_total("univistor_flushes_total"), 1);
+        let h = snap
+            .histogram("univistor_flush_drained_bytes", &[])
+            .expect("drained histogram");
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 1024.0);
+        assert_eq!(
+            snap.counter_total("univistor_flush_source_bytes_total"),
+            1024
+        );
+        assert_eq!(snap.gauge("univistor_flush_in_progress", &[]), Some(0));
     }
 
     #[test]
@@ -699,8 +1001,9 @@ mod tests {
         let j = job();
         let producer = ClientId::new(0, 0);
         let consumer = ClientId::new(1, 0);
-        j.open("/shared", OpenMode::Write, producer, 1, true).unwrap();
-        j.write(producer, "/shared", 0, Payload::pattern(5, 256)).unwrap();
+        j.open_file("/shared").write().by(producer).unwrap();
+        j.write(producer, "/shared", 0, Payload::pattern(5, 256))
+            .unwrap();
         let got = j.read(consumer, "/shared", 0, 256).unwrap();
         assert!(got.content_eq(&Payload::pattern(5, 256)));
     }

@@ -23,11 +23,10 @@
 //! a fixed default stripe size, so every server synchronizes with every
 //! OST and per-OST load depends on luck.
 
-use serde::{Deserialize, Serialize};
 use univistor_pfs::{FileLayout, RangeLayout, StripeLayout};
 
 /// Which regime Eq. 2–6 selected.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StripeCase {
     /// Servers < OSTs: distinct OST sets per server.
     DistinctSets,
@@ -36,7 +35,7 @@ pub enum StripeCase {
 }
 
 /// A complete flush striping decision.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct StripePlan {
     /// Which case applied.
     pub case: StripeCase,
@@ -93,8 +92,7 @@ pub fn adaptive_plan(
         // Case 1: distinct OST sets.
         let per = c_per_server(osts, servers, alpha);
         // Eq. 3 (floor'd, at least one byte).
-        let stripe_size = (file_size / (servers as u64 * per as u64))
-            .clamp(1, max_stripe);
+        let stripe_size = (file_size / (servers as u64 * per as u64)).clamp(1, max_stripe);
         let mut layout_ranges = Vec::with_capacity(servers);
         for (i, &(start, end)) in ranges.iter().enumerate() {
             let open_end = if i == servers - 1 { u64::MAX } else { end };
@@ -132,12 +130,7 @@ pub fn adaptive_plan(
 
 /// The non-adaptive baseline: stripe everything across all OSTs with the
 /// system default stripe size (what `lfs setstripe -c -1` gives you).
-pub fn naive_plan(
-    file_size: u64,
-    servers: usize,
-    osts: usize,
-    default_stripe: u64,
-) -> StripePlan {
+pub fn naive_plan(file_size: u64, servers: usize, osts: usize, default_stripe: u64) -> StripePlan {
     assert!(servers > 0 && osts > 0 && default_stripe > 0 && file_size > 0);
     let ranges = server_ranges(file_size, servers);
     let range_len = ranges.first().map(|r| r.1 - r.0).unwrap_or(0);

@@ -13,11 +13,10 @@
 //! Fig. 2's example: with layer capacities (2, 3, …), segment D4 at
 //! physical address 1 of its second-layer log has VA = 2 + 1 = 3.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A storage layer in the DHP chain, ordered fastest-first.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Tier {
     /// Node-local DRAM (mmap'd shared memory managed by the servers).
     Dram,
@@ -50,12 +49,12 @@ impl fmt::Display for Tier {
 }
 
 /// A virtual address within one process's cross-layer log chain.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct VirtualAddr(pub u64);
 
 /// The ordered per-process log capacities of each layer, with Eq. 1
 /// encode/decode.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TierMap {
     /// (tier, per-process log capacity in bytes), fastest first. The final
     /// layer may be unbounded (`u64::MAX`), conventionally the PFS.

@@ -14,13 +14,12 @@
 //! variable waiting, usable from the threaded SPMD runtime so a reader
 //! genuinely blocks until its producer closes the file.
 
-use parking_lot::{Condvar, Mutex};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
 /// Per-file workflow states, exactly the paper's set.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FileState {
     /// Never touched (implicit initial state).
     Idle,
@@ -74,7 +73,7 @@ impl StateFile {
     }
 
     fn wait_until(&self, path: &str, ready: impl Fn(&Entry) -> bool) -> bool {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         let mut waited = false;
         loop {
             let entry = inner.files.entry(path.to_string()).or_default();
@@ -83,11 +82,15 @@ impl StateFile {
             }
             waited = true;
             inner.waits += 1;
-            let timed_out = self
+            let (guard, timeout) = self
                 .cond
-                .wait_for(&mut inner, WAIT_TIMEOUT)
-                .timed_out();
-            assert!(!timed_out, "workflow wait on '{path}' timed out — deadlock?");
+                .wait_timeout(inner, WAIT_TIMEOUT)
+                .expect("state file lock poisoned");
+            inner = guard;
+            assert!(
+                !timeout.timed_out(),
+                "workflow wait on '{path}' timed out — deadlock?"
+            );
         }
     }
 
@@ -95,10 +98,9 @@ impl StateFile {
     /// flushed; then marks WRITING. Returns true if the caller had to wait.
     pub fn acquire_write(&self, path: &str) -> bool {
         let waited = self.wait_until(path, |e| {
-            !matches!(e.state(), FileState::Writing | FileState::Flushing)
-                && e.readers == 0
+            !matches!(e.state(), FileState::Writing | FileState::Flushing) && e.readers == 0
         });
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         let entry = inner.files.entry(path.to_string()).or_default();
         entry.state = Some(FileState::Writing);
         waited
@@ -106,7 +108,7 @@ impl StateFile {
 
     /// Writer unlock: WRITING → WRITE_DONE, wake waiters.
     pub fn release_write(&self, path: &str) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         let entry = inner.files.entry(path.to_string()).or_default();
         assert_eq!(
             entry.state(),
@@ -122,7 +124,7 @@ impl StateFile {
     /// reader group (concurrent readers share). Returns true if it waited.
     pub fn acquire_read(&self, path: &str) -> bool {
         let waited = self.wait_until(path, |e| e.state() != FileState::Writing);
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         let entry = inner.files.entry(path.to_string()).or_default();
         entry.readers += 1;
         entry.state = Some(FileState::Reading);
@@ -136,7 +138,7 @@ impl StateFile {
         let waited = self.wait_until(path, |e| {
             !matches!(e.state(), FileState::Idle | FileState::Writing)
         });
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         let entry = inner.files.entry(path.to_string()).or_default();
         entry.readers += 1;
         entry.state = Some(FileState::Reading);
@@ -145,9 +147,12 @@ impl StateFile {
 
     /// Reader unlock: last reader sets READ_DONE.
     pub fn release_read(&self, path: &str) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         let entry = inner.files.entry(path.to_string()).or_default();
-        assert!(entry.readers > 0, "release_read without read lock on '{path}'");
+        assert!(
+            entry.readers > 0,
+            "release_read without read lock on '{path}'"
+        );
         entry.readers -= 1;
         if entry.readers == 0 {
             entry.state = Some(FileState::ReadDone);
@@ -160,7 +165,7 @@ impl StateFile {
     /// Concurrent readers are fine — they read the still-cached data.
     pub fn begin_flush(&self, path: &str) -> bool {
         let waited = self.wait_until(path, |e| e.state() != FileState::Writing);
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         let entry = inner.files.entry(path.to_string()).or_default();
         entry.state = Some(FileState::Flushing);
         waited
@@ -168,7 +173,7 @@ impl StateFile {
 
     /// Flush end: FLUSHING → FLUSH_DONE.
     pub fn end_flush(&self, path: &str) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         let entry = inner.files.entry(path.to_string()).or_default();
         assert_eq!(
             entry.state(),
@@ -182,7 +187,7 @@ impl StateFile {
 
     /// Current state of a file.
     pub fn state_of(&self, path: &str) -> FileState {
-        let inner = self.inner.lock();
+        let inner = self.inner.lock().unwrap();
         inner
             .files
             .get(path)
@@ -192,7 +197,7 @@ impl StateFile {
 
     /// Total blocking waits so far.
     pub fn wait_count(&self) -> u64 {
-        self.inner.lock().waits
+        self.inner.lock().unwrap().waits
     }
 }
 
@@ -235,7 +240,10 @@ mod tests {
         std::thread::sleep(Duration::from_millis(50));
         writer_done.store(true, Ordering::SeqCst);
         sf.release_write("/data");
-        assert!(reader.join().expect("reader panicked"), "reader never waited");
+        assert!(
+            reader.join().expect("reader panicked"),
+            "reader never waited"
+        );
     }
 
     #[test]
@@ -275,7 +283,7 @@ mod tests {
         // Re-enter flushing state (release_read overwrote it) to verify a
         // writer genuinely blocks on FLUSHING.
         {
-            let mut inner = sf.inner.lock();
+            let mut inner = sf.inner.lock().unwrap();
             inner.files.get_mut("/f").expect("exists").state = Some(FileState::Flushing);
         }
         let sf2 = Arc::clone(&sf);

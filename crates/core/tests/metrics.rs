@@ -1,0 +1,197 @@
+//! Telemetry integration: the counters behind `UniviStorJob::metrics()`
+//! observed through real workloads — spill writes, classified reads,
+//! close-time flushes — plus a JSON round trip of a populated snapshot.
+
+use std::sync::Arc;
+use univistor_core::config::UniviStorConfig;
+use univistor_core::metadata::ClientId;
+use univistor_core::server::UniviStorJob;
+use univistor_core::MetricsSnapshot;
+use univistor_mpi::driver::OpenMode;
+use univistor_sim::Payload;
+
+/// A write that overflows the DRAM layer shows up in the per-tier byte
+/// and spill-event counters exactly.
+#[test]
+fn spill_write_updates_tier_and_spill_counters() {
+    // 1 node × 2 procs: 1024 B DRAM/node → 512 B per proc, 128 B segments.
+    let cfg = UniviStorConfig::test_small(1, 2);
+    let job = UniviStorJob::new(cfg);
+    let c = ClientId::new(0, 0);
+    job.open_file("/spill").write().by(c).unwrap();
+
+    // 2048 B = 16 segments: 4 fill this proc's DRAM share, 12 spill to BB.
+    job.write(c, "/spill", 0, Payload::pattern(7, 2048))
+        .unwrap();
+
+    let snap = job.metrics();
+    assert_eq!(
+        snap.counter("univistor_cached_bytes_total", &[("tier", "dram")]),
+        Some(512)
+    );
+    assert_eq!(
+        snap.counter("univistor_cached_bytes_total", &[("tier", "burst_buffer")]),
+        Some(1536)
+    );
+    assert_eq!(
+        snap.counter(
+            "univistor_tier_spill_events_total",
+            &[("tier", "burst_buffer")]
+        ),
+        Some(12)
+    );
+    assert_eq!(
+        snap.counter("univistor_tier_spill_events_total", &[("tier", "dram")]),
+        Some(0),
+        "landing on the chain head is not a spill"
+    );
+    assert_eq!(snap.counter_total("univistor_tier_spill_events_total"), 12);
+    assert_eq!(snap.counter_total("univistor_segments_total"), 16);
+    assert_eq!(
+        snap.counter("univistor_ops_total", &[("op", "open")]),
+        Some(1)
+    );
+    assert_eq!(
+        snap.counter("univistor_ops_total", &[("op", "write")]),
+        Some(1)
+    );
+    // One metadata insert per placed segment.
+    assert_eq!(
+        snap.counter("univistor_md_rpcs_total", &[("op", "write")]),
+        Some(16)
+    );
+
+    // Reading the spilled range back: the BB is globally visible, so the
+    // location-aware client fetches it directly, and the producer's own
+    // node resolves all metadata from the shared local buffer.
+    job.read(c, "/spill", 512, 1536).unwrap();
+    let snap = job.metrics();
+    assert_eq!(
+        snap.counter("univistor_read_bytes_total", &[("path", "bb_direct")]),
+        Some(1536)
+    );
+    assert_eq!(snap.counter_total("univistor_md_local_hits_total"), 12);
+    assert_eq!(
+        snap.counter("univistor_md_rpcs_total", &[("op", "read")]),
+        Some(0),
+        "local metadata buffer should cover a self-read"
+    );
+}
+
+/// Reads are classified per path: a same-node read is a local hit, a
+/// cross-node DRAM read is a remote server hop.
+#[test]
+fn read_paths_split_local_hit_and_remote_hop() {
+    // 2 nodes × 2 procs: rank 0 lives on node 0, rank 2 on node 1.
+    let cfg = UniviStorConfig::test_small(2, 2);
+    let job = UniviStorJob::new(cfg);
+    let reader = ClientId::new(0, 0);
+    let remote_writer = ClientId::new(0, 2);
+    job.open_file("/r")
+        .read_write()
+        .representing(4)
+        .by(reader)
+        .unwrap();
+
+    // 256 B each — well inside both procs' DRAM shares, so the remote
+    // bytes genuinely sit in another node's volatile tier.
+    job.write(remote_writer, "/r", 0, Payload::pattern(1, 256))
+        .unwrap();
+    job.write(reader, "/r", 256, Payload::pattern(2, 256))
+        .unwrap();
+
+    job.read(reader, "/r", 256, 256).unwrap(); // own data: local hit
+    job.read(reader, "/r", 0, 256).unwrap(); // node 1's DRAM: remote hop
+
+    let snap = job.metrics();
+    assert_eq!(
+        snap.counter("univistor_read_bytes_total", &[("path", "local_hit")]),
+        Some(256)
+    );
+    assert_eq!(
+        snap.counter("univistor_read_bytes_total", &[("path", "remote_hop")]),
+        Some(256)
+    );
+    assert_eq!(
+        snap.counter_total("univistor_md_local_hits_total"),
+        2,
+        "the local read's two records came from the shared buffer"
+    );
+    let remote_md = snap
+        .counter("univistor_md_rpcs_total", &[("op", "read")])
+        .unwrap();
+    assert!(remote_md >= 1, "the remote read must visit the KV servers");
+    assert_eq!(
+        snap.counter("univistor_ops_total", &[("op", "read")]),
+        Some(2)
+    );
+}
+
+/// Close-time flush feeds the flush counters and histograms from the
+/// receipt, and the in-progress gauge returns to zero.
+#[test]
+fn flush_populates_histograms_and_settles_gauge() {
+    let cfg = UniviStorConfig::test_small(1, 2);
+    let job = UniviStorJob::new(cfg);
+    let c = ClientId::new(0, 0);
+    job.open_file("/fl").write().by(c).unwrap();
+    job.write(c, "/fl", 0, Payload::pattern(3, 1024)).unwrap();
+    job.close("/fl", c, OpenMode::Write, 1, true)
+        .unwrap()
+        .expect("flush receipt");
+
+    let snap = job.metrics();
+    assert_eq!(snap.counter_total("univistor_flushes_total"), 1);
+    assert_eq!(snap.gauge("univistor_flush_in_progress", &[]), Some(0));
+    let drained = snap
+        .histogram("univistor_flush_drained_bytes", &[])
+        .expect("drained histogram");
+    assert_eq!(drained.count, 1);
+    assert_eq!(drained.sum, 1024.0);
+    // Every flushed byte is attributed to the tier it was drained from.
+    let per_tier: u64 = ["dram", "node_local", "burst_buffer", "pfs"]
+        .iter()
+        .filter_map(|t| snap.counter("univistor_flush_source_bytes_total", &[("tier", t)]))
+        .sum();
+    assert_eq!(per_tier, 1024);
+}
+
+/// A populated snapshot survives the JSON round trip bit-exactly —
+/// counters, gauges, and histogram buckets.
+#[test]
+fn snapshot_json_round_trip_preserves_everything() {
+    let cfg = UniviStorConfig::test_small(2, 2);
+    let job = Arc::new(UniviStorJob::new(cfg));
+    let c = ClientId::new(0, 0);
+    job.open_file("/j")
+        .read_write()
+        .representing(4)
+        .by(c)
+        .unwrap();
+    // Touch every family: spill writes, classified reads, a flush.
+    job.write(c, "/j", 0, Payload::pattern(9, 2048)).unwrap();
+    job.write(ClientId::new(0, 2), "/j", 2048, Payload::pattern(10, 256))
+        .unwrap();
+    job.read(c, "/j", 0, 2304).unwrap();
+    job.close("/j", c, OpenMode::ReadWrite, 4, true)
+        .unwrap()
+        .expect("flush");
+
+    let snap = job.metrics();
+    assert!(snap.counter_total("univistor_segments_total") > 0);
+    assert!(snap.counter_total("univistor_read_bytes_total") > 0);
+    assert_eq!(snap.counter_total("univistor_flushes_total"), 1);
+
+    let text = snap.to_json();
+    let back = MetricsSnapshot::from_json(&text).expect("parse our own JSON");
+    assert_eq!(back, snap);
+    // Spot-check through the accessor layer too, not just PartialEq.
+    assert_eq!(
+        back.counter_total("univistor_cached_bytes_total"),
+        snap.counter_total("univistor_cached_bytes_total")
+    );
+    assert_eq!(
+        back.histogram("univistor_flush_drained_bytes", &[]),
+        snap.histogram("univistor_flush_drained_bytes", &[])
+    );
+}

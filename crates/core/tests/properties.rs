@@ -1,6 +1,7 @@
-//! Property-based tests for UniviStor's core invariants.
+//! Randomized-property tests for UniviStor's core invariants, driven by
+//! the substrate's deterministic RNG (the workspace builds without
+//! external crates, so no proptest).
 
-use proptest::prelude::*;
 use std::collections::HashMap;
 use std::sync::Arc;
 use univistor_core::config::UniviStorConfig;
@@ -10,41 +11,46 @@ use univistor_core::server::UniviStorJob;
 use univistor_core::striping::{adaptive_plan, ost_loads, StripeCase};
 use univistor_core::va::{Tier, TierMap};
 use univistor_mpi::driver::OpenMode;
+use univistor_sim::rng::DetRng;
 use univistor_sim::{Payload, SparseBuffer};
 
-proptest! {
-    /// Eq. 1 is a bijection between (layer, address) pairs and VAs for
-    /// any layer geometry.
-    #[test]
-    fn va_encode_decode_roundtrips(
-        caps in proptest::collection::vec(1u64..1_000_000, 1..5),
-        picks in proptest::collection::vec((0usize..5, 0u64..1_000_000), 1..50),
-    ) {
-        let tiers = [Tier::Dram, Tier::NodeLocal, Tier::SharedBurstBuffer, Tier::Pfs];
-        let layers: Vec<(Tier, u64)> = caps
-            .iter()
-            .enumerate()
-            .map(|(i, &c)| (tiers[i % 4], c))
+/// Eq. 1 is a bijection between (layer, address) pairs and VAs for
+/// any layer geometry.
+#[test]
+fn va_encode_decode_roundtrips() {
+    let mut rng = DetRng::seed(0xc04e_0001);
+    for _trial in 0..200 {
+        let tiers = [
+            Tier::Dram,
+            Tier::NodeLocal,
+            Tier::SharedBurstBuffer,
+            Tier::Pfs,
+        ];
+        let n_layers = 1 + rng.below(4);
+        let layers: Vec<(Tier, u64)> = (0..n_layers)
+            .map(|i| (tiers[i % 4], 1 + rng.below(999_999) as u64))
             .collect();
         let map = TierMap::new(layers.clone());
-        for (layer, addr) in picks {
-            let layer = layer % layers.len();
-            let addr = addr % layers[layer].1;
+        for _ in 0..50 {
+            let layer = rng.below(layers.len());
+            let addr = rng.below(layers[layer].1 as usize) as u64;
             let va = map.encode(layer, addr);
             let (l2, t2, a2) = map.decode(va);
-            prop_assert_eq!(l2, layer);
-            prop_assert_eq!(a2, addr);
-            prop_assert_eq!(t2, layers[layer].0);
+            assert_eq!(l2, layer);
+            assert_eq!(a2, addr);
+            assert_eq!(t2, layers[layer].0);
         }
     }
+}
 
-    /// A DHP chain never corrupts data: every appended segment reads back
-    /// exactly, VAs are unique, and the live-byte accounting balances —
-    /// under arbitrary interleavings of appends and releases.
-    #[test]
-    fn proc_chain_appends_and_releases_balance(
-        ops in proptest::collection::vec((1u64..64, any::<bool>()), 1..60),
-    ) {
+/// A DHP chain never corrupts data: every appended segment reads back
+/// exactly, VAs are unique, and the live-byte accounting balances —
+/// under arbitrary interleavings of appends and releases.
+#[test]
+fn proc_chain_appends_and_releases_balance() {
+    let mut rng = DetRng::seed(0xc04e_0002);
+    for _trial in 0..100 {
+        let n_ops = 1 + rng.below(59);
         let mut chain = ProcChain::new(
             vec![
                 (Tier::Dram, 256),
@@ -57,7 +63,9 @@ proptest! {
         let mut live: Vec<(u64, univistor_core::va::VirtualAddr, u64)> = Vec::new();
         let mut seed = 0u64;
         let mut expected_bytes = 0u64;
-        for (len, release) in ops {
+        for _ in 0..n_ops {
+            let len = 1 + rng.below(63) as u64;
+            let release = rng.chance(0.5);
             if release && !live.is_empty() {
                 let (_, va, l) = live.swap_remove(0);
                 chain.release(va, l);
@@ -65,43 +73,45 @@ proptest! {
             } else {
                 seed += 1;
                 let placed = chain.append(Payload::pattern(seed, len)).unwrap();
-                prop_assert!(
+                assert!(
                     live.iter().all(|(_, va, _)| *va != placed.va),
                     "duplicate VA"
                 );
                 live.push((seed, placed.va, len));
                 expected_bytes += len;
             }
-            prop_assert_eq!(chain.live_bytes(), expected_bytes);
+            assert_eq!(chain.live_bytes(), expected_bytes);
             // Every live segment still reads back correctly.
             for (s, va, l) in &live {
                 let got = chain.read(*va, *l).unwrap();
-                prop_assert!(got.content_eq(&Payload::pattern(*s, *l)));
+                assert!(got.content_eq(&Payload::pattern(*s, *l)));
             }
         }
     }
+}
 
-    /// Adaptive striping invariants for arbitrary sizes/server counts:
-    /// server ranges tile the file, per-OST loads sum to the file size,
-    /// and in the distinct-sets regime no OST is shared between servers.
-    #[test]
-    fn adaptive_plan_invariants(
-        file_size in 1u64..(1 << 40),
-        servers in 1usize..1024,
-        osts in 1usize..512,
-        alpha in 1usize..32,
-    ) {
+/// Adaptive striping invariants for arbitrary sizes/server counts:
+/// server ranges tile the file, per-OST loads sum to the file size,
+/// and in the distinct-sets regime no OST is shared between servers.
+#[test]
+fn adaptive_plan_invariants() {
+    let mut rng = DetRng::seed(0xc04e_0003);
+    for _trial in 0..300 {
+        let file_size = 1 + ((rng.below(1 << 30) as u64) << rng.below(11));
+        let servers = 1 + rng.below(1023);
+        let osts = 1 + rng.below(511);
+        let alpha = 1 + rng.below(31);
         let plan = adaptive_plan(file_size, servers, osts, alpha, 1 << 30);
         // Ranges tile [0, file_size).
         let mut cursor = 0u64;
         for &(s, e) in &plan.server_ranges {
-            prop_assert_eq!(s, cursor);
+            assert_eq!(s, cursor);
             cursor = e;
         }
-        prop_assert_eq!(cursor, file_size);
+        assert_eq!(cursor, file_size);
         // Loads conserve bytes.
         let loads = ost_loads(&plan, osts);
-        prop_assert_eq!(loads.iter().sum::<u64>(), file_size);
+        assert_eq!(loads.iter().sum::<u64>(), file_size);
         // Distinct sets never share OSTs.
         if plan.case == StripeCase::DistinctSets {
             let mut owner: HashMap<usize, usize> = HashMap::new();
@@ -109,90 +119,110 @@ proptest! {
                 if e > s {
                     for (ost, _) in plan.layout.ost_loads(s, e - s) {
                         let prev = owner.insert(ost % osts, i);
-                        prop_assert!(
+                        assert!(
                             prev.is_none() || prev == Some(i),
                             "OST {} shared by servers {:?} and {}",
-                            ost % osts, prev, i
+                            ost % osts,
+                            prev,
+                            i
                         );
                     }
                 }
             }
         }
     }
+}
 
-    /// End-to-end model equivalence: arbitrary (client, offset, data)
-    /// writes through the full UniviStor job behave exactly like a flat
-    /// sparse buffer — both for cache reads and for the flushed PFS copy.
-    #[test]
-    fn job_matches_flat_file_model(
-        writes in proptest::collection::vec(
-            (0u32..4, 0u64..2048, 1u64..300),
-            1..25
-        ),
-    ) {
+/// End-to-end model equivalence: arbitrary (client, offset, data)
+/// writes through the full UniviStor job behave exactly like a flat
+/// sparse buffer — both for cache reads and for the flushed PFS copy.
+#[test]
+fn job_matches_flat_file_model() {
+    let mut rng = DetRng::seed(0xc04e_0004);
+    for _trial in 0..60 {
         let mut cfg = UniviStorConfig::test_small(2, 2);
         cfg.cal.dram_cache_capacity_per_node = 2048; // force some spill
         let job = Arc::new(UniviStorJob::new(cfg));
-        job.open("/p", OpenMode::ReadWrite, ClientId::new(0, 0), 4, true).unwrap();
+        job.open_file("/p")
+            .read_write()
+            .representing(4)
+            .by(ClientId::new(0, 0))
+            .unwrap();
 
         let mut model = SparseBuffer::new();
         let mut seed = 100u64;
-        for (rank, offset, len) in writes {
+        let n_writes = 1 + rng.below(24);
+        for _ in 0..n_writes {
+            let rank = rng.below(4) as u32;
+            let offset = rng.below(2048) as u64;
+            let len = 1 + rng.below(299) as u64;
             seed += 1;
             let data = Payload::pattern(seed, len);
-            job.write(ClientId::new(0, rank), "/p", offset, data.clone()).unwrap();
+            job.write(ClientId::new(0, rank), "/p", offset, data.clone())
+                .unwrap();
             model.write(offset, data);
         }
         let size = model.end_offset();
-        prop_assert_eq!(job.file_size("/p").unwrap(), size);
+        assert_eq!(job.file_size("/p").unwrap(), size);
 
         // Cache reads: fully-written prefixes must match; read the whole
         // span where the model has no holes.
         if model.read_exact(0, size).is_ok() {
             let got = job.read(ClientId::new(0, 0), "/p", 0, size).unwrap();
-            prop_assert!(got.content_eq(&model.read(0, size)));
+            assert!(got.content_eq(&model.read(0, size)));
 
             // Flush on close; the PFS copy matches too.
             job.close("/p", ClientId::new(0, 0), OpenMode::ReadWrite, 4, true)
                 .unwrap()
                 .expect("flush");
             let pfs = job.lustre_read("/p", 0, size).unwrap();
-            prop_assert!(pfs.content_eq(&model.read(0, size)));
+            assert!(pfs.content_eq(&model.read(0, size)));
         }
     }
+}
 
-    /// Replication invariant: with `replicate_volatile`, any single node
-    /// failure preserves every byte.
-    #[test]
-    fn any_single_node_failure_is_survivable(
-        writes in proptest::collection::vec(
-            (0u32..4, 0u64..8, 1u64..128),
-            1..15
-        ),
-        failed in 0usize..2,
-    ) {
+/// Replication invariant: with `replicate_volatile`, any single node
+/// failure preserves every byte.
+#[test]
+fn any_single_node_failure_is_survivable() {
+    let mut rng = DetRng::seed(0xc04e_0005);
+    for _trial in 0..100 {
         let mut cfg = UniviStorConfig::test_small(2, 2);
         cfg.replicate_volatile = true;
         cfg.cal.dram_cache_capacity_per_node = 1 << 16;
         let job = Arc::new(UniviStorJob::new(cfg));
-        job.open("/r", OpenMode::ReadWrite, ClientId::new(0, 0), 4, true).unwrap();
+        job.open_file("/r")
+            .read_write()
+            .representing(4)
+            .by(ClientId::new(0, 0))
+            .unwrap();
 
         let mut model = SparseBuffer::new();
         let mut seed = 0u64;
-        for (rank, slot, len) in writes {
+        let n_writes = 1 + rng.below(14);
+        for _ in 0..n_writes {
+            let rank = rng.below(4) as u32;
+            let slot = rng.below(8) as u64;
+            let len = 1 + rng.below(127) as u64;
             seed += 1;
             // Slot-aligned writes keep the file hole-free enough to check.
             let offset = slot * 128;
             let data = Payload::pattern(seed, len);
-            job.write(ClientId::new(0, rank), "/r", offset, data.clone()).unwrap();
+            job.write(ClientId::new(0, rank), "/r", offset, data.clone())
+                .unwrap();
             model.write(offset, data);
         }
+        let failed = rng.below(2);
         job.fail_node(failed);
         let size = model.end_offset();
         if model.read_exact(0, size).is_ok() {
-            let survivor = if failed == 0 { ClientId::new(0, 2) } else { ClientId::new(0, 0) };
+            let survivor = if failed == 0 {
+                ClientId::new(0, 2)
+            } else {
+                ClientId::new(0, 0)
+            };
             let got = job.read(survivor, "/r", 0, size).unwrap();
-            prop_assert!(got.content_eq(&model.read(0, size)));
+            assert!(got.content_eq(&model.read(0, size)));
         }
     }
 }

@@ -1,8 +1,8 @@
 //! The HDF5-lite file object.
 
 use crate::format::{DatasetInfo, Superblock, META_REGION_SIZE};
-use univistor_mpi::OpenMode;
 use univistor_mpi::hints::HDF5_COLLECTIVE_KEY;
+use univistor_mpi::OpenMode;
 use univistor_mpi::{Comm, FsDriver, Hints, MpiFile};
 use univistor_sim::{Payload, SimError, SimResult};
 
@@ -91,14 +91,11 @@ impl<'d> H5File<'d> {
             Superblock::from_bytes(&payload.to_bytes())
         };
         if self.collective_md {
-            let root_result: Option<Result<Superblock, String>> = self
-                .comm
-                .is_root()
-                .then(|| {
-                    self.read_meta_region()
-                        .and_then(parse)
-                        .map_err(|e| e.to_string())
-                });
+            let root_result: Option<Result<Superblock, String>> = self.comm.is_root().then(|| {
+                self.read_meta_region()
+                    .and_then(parse)
+                    .map_err(|e| e.to_string())
+            });
             let shared = self.comm.bcast(0, root_result);
             self.superblock = shared.map_err(SimError::InvalidConfig)?;
         } else {
@@ -197,8 +194,7 @@ mod tests {
     fn create_write_read_roundtrip_spmd() {
         let driver = MemDriver::new();
         let checks = World::run(4, |comm| {
-            let mut h5 =
-                H5File::create(&comm, &driver, "/exp.h5", Hints::new()).unwrap();
+            let mut h5 = H5File::create(&comm, &driver, "/exp.h5", Hints::new()).unwrap();
             let per = 64u64;
             let total = per * comm.size() as u64;
             h5.create_dataset("energy", total, 4).unwrap();
@@ -227,8 +223,7 @@ mod tests {
             h5.close().unwrap();
         });
         World::run(3, |comm| {
-            let h5 = H5File::open(&comm, &driver, "/f.h5", OpenMode::Read, Hints::new())
-                .unwrap();
+            let h5 = H5File::open(&comm, &driver, "/f.h5", OpenMode::Read, Hints::new()).unwrap();
             assert_eq!(h5.datasets().len(), 2);
             let b = h5.dataset("b").unwrap();
             assert_eq!((b.size, b.elem_size), (200, 8));
@@ -253,8 +248,12 @@ mod tests {
             World::run(4, move |comm| {
                 let mut h5 = H5File::create(&comm, &driver, "/c.h5", h.clone()).unwrap();
                 h5.create_dataset("d", 256, 4).unwrap();
-                h5.write("d", comm.rank() as u64 * 64, Payload::pattern(comm.rank() as u64, 64))
-                    .unwrap();
+                h5.write(
+                    "d",
+                    comm.rank() as u64 * 64,
+                    Payload::pattern(comm.rank() as u64, 64),
+                )
+                .unwrap();
                 comm.barrier();
                 for r in 0..comm.size() as u64 {
                     assert!(h5
@@ -295,8 +294,7 @@ mod tests {
             h5.close().unwrap();
         });
         World::run(1, |comm| {
-            let h5 = H5File::open(&comm, &driver, "/a.h5", OpenMode::Read, Hints::new())
-                .unwrap();
+            let h5 = H5File::open(&comm, &driver, "/a.h5", OpenMode::Read, Hints::new()).unwrap();
             assert_eq!(h5.attribute("", "source"), Some(&b"VPIC"[..]));
             assert_eq!(h5.attribute("d", "units"), Some(&b"km/s"[..]));
             assert_eq!(h5.attribute("d", "missing"), None);
@@ -314,8 +312,7 @@ mod tests {
             // Writing data must not corrupt the parseable superblock.
             h5.write("d", 0, Payload::pattern(3, 10)).unwrap();
             h5.close().unwrap();
-            let h5 = H5File::open(&comm, &driver, "/g.h5", OpenMode::Read, Hints::new())
-                .unwrap();
+            let h5 = H5File::open(&comm, &driver, "/g.h5", OpenMode::Read, Hints::new()).unwrap();
             assert_eq!(h5.datasets().len(), 1);
             h5.close().unwrap();
         });

@@ -218,7 +218,11 @@ impl Superblock {
                 return Err(bad("attribute value exceeds table bytes"));
             }
             let value = take(&mut pos, vlen as usize)?.to_vec();
-            attributes.push(AttrEntry { target, name, value });
+            attributes.push(AttrEntry {
+                target,
+                name,
+                value,
+            });
         }
         Ok(Superblock {
             alloc_cursor,
@@ -290,9 +294,6 @@ mod tests {
             sb.allocate(&format!("dataset-with-a-long-name-{i:06}"), 1, 4)
                 .unwrap();
         }
-        assert!(matches!(
-            sb.to_bytes(),
-            Err(SimError::OutOfCapacity { .. })
-        ));
+        assert!(matches!(sb.to_bytes(), Err(SimError::OutOfCapacity { .. })));
     }
 }

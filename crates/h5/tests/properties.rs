@@ -1,64 +1,80 @@
-//! Property-based tests for the HDF5-lite format.
+//! Randomized-property tests for the HDF5-lite format, driven by the
+//! substrate's deterministic RNG (the workspace builds without external
+//! crates, so no proptest).
 
-use proptest::prelude::*;
 use univistor_h5::format::{Superblock, META_REGION_SIZE};
+use univistor_sim::rng::DetRng;
 
-fn name_strategy() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9_]{0,20}".prop_map(|s| s)
+fn gen_name(rng: &mut DetRng) -> String {
+    let len = 1 + rng.below(20);
+    let mut s = String::new();
+    s.push((b'a' + rng.below(26) as u8) as char);
+    for _ in 1..len {
+        let c = match rng.below(3) {
+            0 => b'a' + rng.below(26) as u8,
+            1 => b'0' + rng.below(10) as u8,
+            _ => b'_',
+        };
+        s.push(c as char);
+    }
+    s
 }
 
-proptest! {
-    /// Any superblock that serializes must parse back identically.
-    #[test]
-    fn superblock_roundtrips(
-        datasets in proptest::collection::vec(
-            (name_strategy(), 1u64..(1 << 40), 1u32..64),
-            0..50
-        ),
-    ) {
+/// Any superblock that serializes must parse back identically.
+#[test]
+fn superblock_roundtrips() {
+    let mut rng = DetRng::seed(0x45f0_0001);
+    for _trial in 0..200 {
+        let n = rng.below(50);
         let mut sb = Superblock::default();
         let mut inserted = std::collections::HashSet::new();
-        for (name, size, elem) in datasets {
+        for _ in 0..n {
+            let name = gen_name(&mut rng);
+            let size = 1 + (rng.below(1 << 30) as u64) * (1 + rng.below(1024) as u64);
+            let elem = 1 + rng.below(63) as u32;
             if inserted.insert(name.clone()) {
                 sb.allocate(&name, size, elem).unwrap();
             }
         }
         let bytes = match sb.to_bytes() {
             Ok(b) => b,
-            Err(_) => return Ok(()), // table legitimately too large
+            Err(_) => continue, // table legitimately too large
         };
-        prop_assert!(bytes.len() as u64 <= META_REGION_SIZE);
+        assert!(bytes.len() as u64 <= META_REGION_SIZE);
         let parsed = Superblock::from_bytes(&bytes).unwrap();
-        prop_assert_eq!(parsed, sb);
+        assert_eq!(parsed, sb);
     }
+}
 
-    /// Dataset allocations never overlap each other or the metadata
-    /// region, and the cursor equals the end of the last dataset.
-    #[test]
-    fn allocations_are_disjoint(
-        sizes in proptest::collection::vec(1u64..(1 << 30), 1..40),
-    ) {
+/// Dataset allocations never overlap each other or the metadata
+/// region, and the cursor equals the end of the last dataset.
+#[test]
+fn allocations_are_disjoint() {
+    let mut rng = DetRng::seed(0x45f0_0002);
+    for _trial in 0..200 {
+        let n = 1 + rng.below(39);
+        let sizes: Vec<u64> = (0..n).map(|_| 1 + rng.below(1 << 30) as u64).collect();
         let mut sb = Superblock::default();
         for (i, size) in sizes.iter().enumerate() {
             sb.allocate(&format!("d{i}"), *size, 4).unwrap();
         }
         let mut cursor = META_REGION_SIZE;
         for d in &sb.datasets {
-            prop_assert!(d.offset >= META_REGION_SIZE);
-            prop_assert_eq!(d.offset, cursor);
+            assert!(d.offset >= META_REGION_SIZE);
+            assert_eq!(d.offset, cursor);
             cursor += d.size;
         }
-        prop_assert_eq!(sb.alloc_cursor, cursor);
+        assert_eq!(sb.alloc_cursor, cursor);
     }
+}
 
-    /// Truncated or bit-flipped superblocks never parse as valid (and
-    /// never panic).
-    #[test]
-    fn corruption_is_rejected_gracefully(
-        n_datasets in 1usize..10,
-        truncate_at in 0usize..200,
-        flip in 0usize..200,
-    ) {
+/// Truncated or bit-flipped superblocks never parse as valid (and
+/// never panic).
+#[test]
+fn corruption_is_rejected_gracefully() {
+    let mut rng = DetRng::seed(0x45f0_0003);
+    for _trial in 0..200 {
+        let n_datasets = 1 + rng.below(9);
         let mut sb = Superblock::default();
         for i in 0..n_datasets {
             sb.allocate(&format!("var{i}"), 1 << 20, 4).unwrap();
@@ -66,19 +82,21 @@ proptest! {
         let bytes = sb.to_bytes().unwrap();
 
         // Truncation below the full length must fail.
+        let truncate_at = rng.below(200);
         if truncate_at < bytes.len() {
-            prop_assert!(Superblock::from_bytes(&bytes[..truncate_at]).is_err());
+            assert!(Superblock::from_bytes(&bytes[..truncate_at]).is_err());
         }
         // A flipped byte either fails or yields a *different* superblock —
         // flipping content can never panic. (Flips in name bytes can still
         // parse; equality to the original is what must break, unless the
         // flip landed in padding-free length fields that alter parse
         // boundaries — those error out.)
+        let flip = rng.below(200);
         if flip < bytes.len() {
             let mut corrupted = bytes.clone();
             corrupted[flip] ^= 0xFF;
             if let Ok(parsed) = Superblock::from_bytes(&corrupted) {
-                prop_assert_ne!(parsed, sb);
+                assert_ne!(parsed, sb);
             }
         }
     }

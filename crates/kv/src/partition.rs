@@ -1,10 +1,9 @@
 //! Offset-range partitioning with round-robin server assignment (Fig. 3).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of a metadata server.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ServerId(pub usize);
 
 impl fmt::Display for ServerId {
@@ -29,7 +28,7 @@ impl PartitionKey for u64 {
 /// Fixed-size ranges of the partition coordinate assigned to servers
 /// round-robin: range `r = point / range_size` goes to server
 /// `r % servers`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RangePartitioner {
     /// Width of one range in partition-coordinate units (bytes of logical
     /// offset for metadata).

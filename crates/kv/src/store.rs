@@ -172,10 +172,7 @@ impl<K: Ord + PartitionKey + Clone, V> DistKv<K, V> {
         let mut out: Vec<(K, &V)> = Vec::new();
         for s in &servers {
             self.stats.gets[s.0] += 1;
-            for (k, v) in self.shards[s.0]
-                .map
-                .range(lo_key.clone()..hi_key.clone())
-            {
+            for (k, v) in self.shards[s.0].map.range(lo_key.clone()..hi_key.clone()) {
                 let p = k.partition_point();
                 if p >= lo && p < hi && filter(k) {
                     out.push((k.clone(), v));

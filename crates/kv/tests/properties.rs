@@ -1,9 +1,29 @@
-//! Property-based tests: DistKv must behave exactly like a single ordered
+//! Randomized-model tests: DistKv must behave exactly like a single ordered
 //! map, regardless of how records are partitioned across servers.
+//!
+//! Cases are generated with a tiny seeded SplitMix64 generator (the
+//! workspace builds without external crates, so no proptest); each test
+//! runs a few hundred deterministic trials.
 
-use proptest::prelude::*;
 use std::collections::BTreeMap;
 use univistor_kv::{DistKv, PartitionKey};
+
+/// Minimal deterministic generator for test-case construction.
+struct TestRng(u64);
+
+impl TestRng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        ((self.next() as u128 * n as u128) >> 64) as u64
+    }
+}
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct SegKey {
@@ -17,96 +37,98 @@ impl PartitionKey for SegKey {
     }
 }
 
-#[derive(Debug, Clone)]
-enum Op {
-    Put(SegKey, u64),
-    Remove(SegKey),
-    Get(SegKey),
-    Scan { lo: u64, hi: u64, fid: u8 },
+fn gen_key(rng: &mut TestRng) -> SegKey {
+    SegKey {
+        fid: rng.below(3) as u8,
+        offset: rng.below(200),
+    }
 }
 
-fn key_strategy() -> impl Strategy<Value = SegKey> {
-    (0u8..3, 0u64..200).prop_map(|(fid, offset)| SegKey { fid, offset })
-}
-
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (key_strategy(), any::<u64>()).prop_map(|(k, v)| Op::Put(k, v)),
-        key_strategy().prop_map(Op::Remove),
-        key_strategy().prop_map(Op::Get),
-        (0u64..220, 0u64..220, 0u8..3).prop_map(|(a, b, fid)| Op::Scan {
-            lo: a.min(b),
-            hi: a.max(b),
-            fid
-        }),
-    ]
-}
-
-proptest! {
-    #[test]
-    fn distkv_matches_btreemap_model(
-        ops in proptest::collection::vec(op_strategy(), 1..200),
-        range_size in 1u64..64,
-        servers in 1usize..9,
-    ) {
+#[test]
+fn distkv_matches_btreemap_model() {
+    let mut rng = TestRng(0x0d15_7001);
+    for _trial in 0..200 {
+        let range_size = 1 + rng.below(63);
+        let servers = 1 + rng.below(8) as usize;
+        let n_ops = 1 + rng.below(199);
         let mut kv: DistKv<SegKey, u64> = DistKv::new(range_size, servers);
         let mut model: BTreeMap<SegKey, u64> = BTreeMap::new();
 
-        for op in ops {
-            match op {
-                Op::Put(k, v) => {
+        for _ in 0..n_ops {
+            match rng.below(4) {
+                0 => {
+                    let (k, v) = (gen_key(&mut rng), rng.next());
                     let (_, old) = kv.put(k, v);
-                    prop_assert_eq!(old, model.insert(k, v));
+                    assert_eq!(old, model.insert(k, v));
                 }
-                Op::Remove(k) => {
+                1 => {
+                    let k = gen_key(&mut rng);
                     let (_, removed) = kv.remove(&k);
-                    prop_assert_eq!(removed, model.remove(&k));
+                    assert_eq!(removed, model.remove(&k));
                 }
-                Op::Get(k) => {
+                2 => {
+                    let k = gen_key(&mut rng);
                     let (_, got) = kv.get(&k);
-                    prop_assert_eq!(got.copied(), model.get(&k).copied());
+                    assert_eq!(got.copied(), model.get(&k).copied());
                 }
-                Op::Scan { lo, hi, fid } => {
+                _ => {
+                    let (a, b) = (rng.below(220), rng.below(220));
+                    let (lo, hi) = (a.min(b), a.max(b));
+                    let fid = rng.below(3) as u8;
                     let (_, got) = kv.range_scan(lo, hi, |k| k.fid == fid);
                     let expect: Vec<(SegKey, u64)> = model
                         .iter()
                         .filter(|(k, _)| k.fid == fid && k.offset >= lo && k.offset < hi)
                         .map(|(k, v)| (*k, *v))
                         .collect();
-                    let got: Vec<(SegKey, u64)> =
-                        got.into_iter().map(|(k, v)| (k, *v)).collect();
-                    prop_assert_eq!(got, expect);
+                    let got: Vec<(SegKey, u64)> = got.into_iter().map(|(k, v)| (k, *v)).collect();
+                    assert_eq!(got, expect);
                 }
             }
         }
-        prop_assert_eq!(kv.len(), model.len());
+        assert_eq!(kv.len(), model.len());
     }
+}
 
-    #[test]
-    fn every_key_is_routed_to_exactly_one_server(
-        offsets in proptest::collection::vec(0u64..10_000, 1..100),
-        range_size in 1u64..128,
-        servers in 1usize..16,
-    ) {
+#[test]
+fn every_key_is_routed_to_exactly_one_server() {
+    let mut rng = TestRng(0x0d15_7002);
+    for _trial in 0..200 {
+        let range_size = 1 + rng.below(127);
+        let servers = 1 + rng.below(15) as usize;
+        let n = 1 + rng.below(99);
         let mut kv: DistKv<SegKey, u64> = DistKv::new(range_size, servers);
-        for &off in &offsets {
-            let k = SegKey { fid: 0, offset: off };
+        for _ in 0..n {
+            let off = rng.below(10_000);
+            let k = SegKey {
+                fid: 0,
+                offset: off,
+            };
             let (s_put, _) = kv.put(k, off);
             let (s_get, v) = kv.get(&k);
-            prop_assert_eq!(s_put, s_get);
-            prop_assert_eq!(v.copied(), Some(off));
+            assert_eq!(s_put, s_get);
+            assert_eq!(v.copied(), Some(off));
         }
     }
+}
 
-    #[test]
-    fn shard_sizes_sum_to_len(
-        offsets in proptest::collection::vec(0u64..1_000, 0..200),
-        servers in 1usize..8,
-    ) {
+#[test]
+fn shard_sizes_sum_to_len() {
+    let mut rng = TestRng(0x0d15_7003);
+    for _trial in 0..200 {
+        let servers = 1 + rng.below(7) as usize;
+        let n = rng.below(200);
         let mut kv: DistKv<SegKey, u64> = DistKv::new(16, servers);
-        for &off in &offsets {
-            kv.put(SegKey { fid: 1, offset: off }, off);
+        for _ in 0..n {
+            let off = rng.below(1_000);
+            kv.put(
+                SegKey {
+                    fid: 1,
+                    offset: off,
+                },
+                off,
+            );
         }
-        prop_assert_eq!(kv.shard_sizes().iter().sum::<usize>(), kv.len());
+        assert_eq!(kv.shard_sizes().iter().sum::<usize>(), kv.len());
     }
 }

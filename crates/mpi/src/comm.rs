@@ -11,8 +11,8 @@
 //! rank counts (up to 8192) are driven rank-by-rank by the bench harness
 //! without threads.
 
-use parking_lot::Mutex;
 use std::any::Any;
+use std::sync::Mutex;
 use std::sync::{Arc, Barrier};
 
 struct CommState {
@@ -59,11 +59,11 @@ impl Comm {
         assert!(root < self.size, "bcast root {root} out of range");
         if self.rank == root {
             let v = value.expect("bcast root must supply a value");
-            *self.state.slot.lock() = Some(Box::new(v));
+            *self.state.slot.lock().unwrap() = Some(Box::new(v));
         }
         self.barrier();
         let out = {
-            let guard = self.state.slot.lock();
+            let guard = self.state.slot.lock().unwrap();
             guard
                 .as_ref()
                 .expect("root stored the value before the barrier")
@@ -79,12 +79,12 @@ impl Comm {
     /// (MPI_Allgather).
     pub fn allgather<T: Clone + Send + 'static>(&self, value: T) -> Vec<T> {
         {
-            let mut slots = self.state.gather.lock();
+            let mut slots = self.state.gather.lock().unwrap();
             slots[self.rank] = Some(Box::new(value));
         }
         self.barrier();
         let out: Vec<T> = {
-            let slots = self.state.gather.lock();
+            let slots = self.state.gather.lock().unwrap();
             slots
                 .iter()
                 .map(|s| {

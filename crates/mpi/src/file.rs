@@ -7,8 +7,8 @@
 //! architecture: UniviStor slots in without application changes.
 
 use crate::comm::Comm;
-use crate::driver::{FileHandle, FsDriver, OpenContext};
 pub use crate::driver::OpenMode;
+use crate::driver::{FileHandle, FsDriver, OpenContext};
 use crate::hints::Hints;
 use univistor_sim::{Payload, SimError, SimResult};
 
@@ -143,8 +143,7 @@ mod tests {
     fn size_visible_across_ranks() {
         let driver = MemDriver::new();
         let sizes = World::run(2, |comm| {
-            let f = MpiFile::open(&comm, &driver, "/s", OpenMode::ReadWrite, Hints::new())
-                .unwrap();
+            let f = MpiFile::open(&comm, &driver, "/s", OpenMode::ReadWrite, Hints::new()).unwrap();
             if comm.is_root() {
                 f.write_at(100, Payload::zeros(28)).unwrap();
             }

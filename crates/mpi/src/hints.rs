@@ -48,12 +48,7 @@ impl Hints {
     /// anything else or absence is false.
     pub fn get_bool(&self, key: &str) -> bool {
         self.get(key)
-            .map(|v| {
-                matches!(
-                    v.to_ascii_lowercase().as_str(),
-                    "1" | "true" | "yes" | "on"
-                )
-            })
+            .map(|v| matches!(v.to_ascii_lowercase().as_str(), "1" | "true" | "yes" | "on"))
             .unwrap_or(false)
     }
 

@@ -6,8 +6,8 @@
 //! that is what `univistor-core` adds.
 
 use crate::driver::{FileHandle, FsDriver, OpenContext};
-use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Mutex;
 use univistor_sim::{Payload, SimError, SimResult, SparseBuffer};
 
 #[derive(Debug, Default)]
@@ -37,7 +37,7 @@ impl MemDriver {
 
     /// Number of files currently stored.
     pub fn file_count(&self) -> usize {
-        self.inner.lock().files.len()
+        self.inner.lock().unwrap().files.len()
     }
 }
 
@@ -47,7 +47,7 @@ impl FsDriver for MemDriver {
     }
 
     fn open(&self, ctx: &OpenContext) -> SimResult<FileHandle> {
-        let mut st = self.inner.lock();
+        let mut st = self.inner.lock().unwrap();
         if !st.files.contains_key(&ctx.path) {
             if !ctx.mode.writable() {
                 return Err(SimError::InvalidConfig(format!(
@@ -82,7 +82,7 @@ impl FsDriver for MemDriver {
                 h.path
             )));
         }
-        let mut st = self.inner.lock();
+        let mut st = self.inner.lock().unwrap();
         let f = st
             .files
             .get_mut(&h.path)
@@ -100,7 +100,7 @@ impl FsDriver for MemDriver {
                 h.path
             )));
         }
-        let st = self.inner.lock();
+        let st = self.inner.lock().unwrap();
         let f = st
             .files
             .get(&h.path)
@@ -113,7 +113,7 @@ impl FsDriver for MemDriver {
     }
 
     fn file_size(&self, h: &FileHandle) -> SimResult<u64> {
-        let st = self.inner.lock();
+        let st = self.inner.lock().unwrap();
         st.files
             .get(&h.path)
             .map(|f| f.size)
@@ -141,7 +141,8 @@ mod tests {
     fn write_read_roundtrip() {
         let d = MemDriver::new();
         let h = d.open(&ctx("/a", OpenMode::ReadWrite)).unwrap();
-        d.write_at(&h, 0, 5, Payload::from_bytes(&b"abc"[..])).unwrap();
+        d.write_at(&h, 0, 5, Payload::from_bytes(&b"abc"[..]))
+            .unwrap();
         let got = d.read_at(&h, 0, 5, 3).unwrap();
         assert_eq!(&got.to_bytes()[..], b"abc");
         assert_eq!(d.file_size(&h).unwrap(), 8);
@@ -157,7 +158,8 @@ mod tests {
     fn mode_enforcement() {
         let d = MemDriver::new();
         let hw = d.open(&ctx("/a", OpenMode::Write)).unwrap();
-        d.write_at(&hw, 0, 0, Payload::from_bytes(&b"x"[..])).unwrap();
+        d.write_at(&hw, 0, 0, Payload::from_bytes(&b"x"[..]))
+            .unwrap();
         assert!(d.read_at(&hw, 0, 0, 1).is_err());
         let hr = d.open(&ctx("/a", OpenMode::Read)).unwrap();
         assert!(d.write_at(&hr, 0, 0, Payload::zeros(1)).is_err());

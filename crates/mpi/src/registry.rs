@@ -53,9 +53,9 @@ impl DriverRegistry {
     pub fn select(&self, hints: &Hints) -> SimResult<Arc<dyn FsDriver>> {
         let name = match hints.get(FSTYPE_KEY) {
             Some(forced) => forced,
-            None => self.default.ok_or_else(|| {
-                SimError::InvalidConfig("no drivers registered".into())
-            })?,
+            None => self
+                .default
+                .ok_or_else(|| SimError::InvalidConfig("no drivers registered".into()))?,
         };
         self.drivers
             .get(name)

@@ -1,0 +1,447 @@
+//! Metric primitives and the registry that owns them.
+//!
+//! Counters and gauges are single atomics; histograms are a fixed array
+//! of atomic bucket counts plus an atomic bit-packed f64 sum. All handles
+//! are cheap clones sharing the underlying atomics, so instrumented code
+//! holds its handles and never touches a lock per operation.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::snapshot::{FamilyKind, FamilySnapshot, HistogramSnapshot, MetricsSnapshot, Sample};
+
+/// Canonical label set: sorted key→value pairs (BTreeMap keeps snapshots
+/// deterministic regardless of registration order).
+pub(crate) type Labels = BTreeMap<String, String>;
+
+fn labels_of(pairs: &[(&str, &str)]) -> Labels {
+    pairs
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A counter not attached to any registry (useful in tests).
+    pub fn detached() -> Self {
+        Self::default()
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// A gauge not attached to any registry (useful in tests).
+    pub fn detached() -> Self {
+        Self::default()
+    }
+
+    /// Set to an absolute value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Decrement by one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Upper bounds of the finite buckets; an implicit `+Inf` bucket
+    /// follows, so `counts.len() == bounds.len() + 1`.
+    bounds: Vec<f64>,
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum of observations, accumulated as f64 bits via CAS.
+    sum_bits: AtomicU64,
+}
+
+/// A fixed-bucket histogram of f64 observations (simulated seconds,
+/// bytes per flush, queue depths — whatever the family's unit is).
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Histogram {
+    pub(crate) fn with_bounds(bounds: &[f64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        let counts = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                bounds: bounds.to_vec(),
+                counts,
+                count: AtomicU64::new(0),
+                sum_bits: AtomicU64::new(0f64.to_bits()),
+            }),
+        }
+    }
+
+    /// A histogram not attached to any registry (useful in tests).
+    pub fn detached(bounds: &[f64]) -> Self {
+        Self::with_bounds(bounds)
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: f64) {
+        let idx = self
+            .inner
+            .bounds
+            .partition_point(|&b| b < v)
+            .min(self.inner.bounds.len());
+        self.inner.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.inner.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.inner.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.inner.sum_bits.load(Ordering::Relaxed))
+    }
+
+    fn snap(&self) -> HistogramSnapshot {
+        // Per-bucket counts; the final entry is the +Inf bucket.
+        let buckets = self
+            .inner
+            .bounds
+            .iter()
+            .copied()
+            .chain(std::iter::once(f64::INFINITY))
+            .zip(self.inner.counts.iter().map(|c| c.load(Ordering::Relaxed)))
+            .collect();
+        HistogramSnapshot {
+            buckets,
+            count: self.count(),
+            sum: self.sum(),
+        }
+    }
+}
+
+struct FamilyCore<M> {
+    name: String,
+    help: String,
+    children: Mutex<BTreeMap<Labels, M>>,
+}
+
+impl<M: Clone> FamilyCore<M> {
+    fn new(name: &str, help: &str) -> Self {
+        FamilyCore {
+            name: name.to_string(),
+            help: help.to_string(),
+            children: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    fn with(&self, pairs: &[(&str, &str)], make: impl FnOnce() -> M) -> M {
+        let labels = labels_of(pairs);
+        let mut children = self.children.lock().unwrap();
+        children.entry(labels).or_insert_with(make).clone()
+    }
+}
+
+/// A named family of counters, one child per label set.
+#[derive(Clone)]
+pub struct CounterFamily {
+    core: Arc<FamilyCore<Counter>>,
+}
+
+impl CounterFamily {
+    /// Get (or create) the child with these labels. Cache the returned
+    /// handle on hot paths — this takes the family lock.
+    pub fn with(&self, labels: &[(&str, &str)]) -> Counter {
+        self.core.with(labels, Counter::default)
+    }
+
+    fn snap(&self) -> FamilySnapshot {
+        let children = self.core.children.lock().unwrap();
+        FamilySnapshot {
+            name: self.core.name.clone(),
+            help: self.core.help.clone(),
+            kind: FamilyKind::Counter,
+            samples: children
+                .iter()
+                .map(|(labels, c)| Sample::counter(labels.clone(), c.get()))
+                .collect(),
+        }
+    }
+}
+
+/// A named family of gauges, one child per label set.
+#[derive(Clone)]
+pub struct GaugeFamily {
+    core: Arc<FamilyCore<Gauge>>,
+}
+
+impl GaugeFamily {
+    /// Get (or create) the child with these labels.
+    pub fn with(&self, labels: &[(&str, &str)]) -> Gauge {
+        self.core.with(labels, Gauge::default)
+    }
+
+    fn snap(&self) -> FamilySnapshot {
+        let children = self.core.children.lock().unwrap();
+        FamilySnapshot {
+            name: self.core.name.clone(),
+            help: self.core.help.clone(),
+            kind: FamilyKind::Gauge,
+            samples: children
+                .iter()
+                .map(|(labels, g)| Sample::gauge(labels.clone(), g.get()))
+                .collect(),
+        }
+    }
+}
+
+/// A named family of histograms sharing one bucket layout.
+#[derive(Clone)]
+pub struct HistogramFamily {
+    core: Arc<FamilyCore<Histogram>>,
+    bounds: Arc<Vec<f64>>,
+}
+
+impl HistogramFamily {
+    /// Get (or create) the child with these labels.
+    pub fn with(&self, labels: &[(&str, &str)]) -> Histogram {
+        let bounds = Arc::clone(&self.bounds);
+        self.core
+            .with(labels, move || Histogram::with_bounds(&bounds))
+    }
+
+    fn snap(&self) -> FamilySnapshot {
+        let children = self.core.children.lock().unwrap();
+        FamilySnapshot {
+            name: self.core.name.clone(),
+            help: self.core.help.clone(),
+            kind: FamilyKind::Histogram,
+            samples: children
+                .iter()
+                .map(|(labels, h)| Sample::histogram(labels.clone(), h.snap()))
+                .collect(),
+        }
+    }
+}
+
+enum AnyFamily {
+    Counter(CounterFamily),
+    Gauge(GaugeFamily),
+    Histogram(HistogramFamily),
+}
+
+impl AnyFamily {
+    fn snap(&self) -> FamilySnapshot {
+        match self {
+            AnyFamily::Counter(f) => f.snap(),
+            AnyFamily::Gauge(f) => f.snap(),
+            AnyFamily::Histogram(f) => f.snap(),
+        }
+    }
+}
+
+/// Owns every registered family; snapshots them all at once.
+///
+/// Families are registered once (typically at job construction) and the
+/// resulting handles cached; re-registering an existing name returns the
+/// same family, so independent components can share metrics by name.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<String, AnyFamily>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.families.lock().expect("registry poisoned").len();
+        f.debug_struct("Registry")
+            .field("families", &n)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or fetch) a counter family.
+    ///
+    /// # Panics
+    /// If `name` is already registered with a different metric kind.
+    pub fn counter_family(&self, name: &str, help: &str) -> CounterFamily {
+        let mut families = self.families.lock().unwrap();
+        match families.entry(name.to_string()).or_insert_with(|| {
+            AnyFamily::Counter(CounterFamily {
+                core: Arc::new(FamilyCore::new(name, help)),
+            })
+        }) {
+            AnyFamily::Counter(f) => f.clone(),
+            _ => panic!("metric family {name:?} already registered with another kind"),
+        }
+    }
+
+    /// Register (or fetch) a gauge family.
+    ///
+    /// # Panics
+    /// If `name` is already registered with a different metric kind.
+    pub fn gauge_family(&self, name: &str, help: &str) -> GaugeFamily {
+        let mut families = self.families.lock().unwrap();
+        match families.entry(name.to_string()).or_insert_with(|| {
+            AnyFamily::Gauge(GaugeFamily {
+                core: Arc::new(FamilyCore::new(name, help)),
+            })
+        }) {
+            AnyFamily::Gauge(f) => f.clone(),
+            _ => panic!("metric family {name:?} already registered with another kind"),
+        }
+    }
+
+    /// Register (or fetch) a histogram family with the given finite
+    /// bucket upper bounds (an `+Inf` bucket is appended automatically).
+    ///
+    /// # Panics
+    /// If `name` is already registered with a different metric kind.
+    pub fn histogram_family(&self, name: &str, help: &str, bounds: &[f64]) -> HistogramFamily {
+        let mut families = self.families.lock().unwrap();
+        match families.entry(name.to_string()).or_insert_with(|| {
+            AnyFamily::Histogram(HistogramFamily {
+                core: Arc::new(FamilyCore::new(name, help)),
+                bounds: Arc::new(bounds.to_vec()),
+            })
+        }) {
+            AnyFamily::Histogram(f) => f.clone(),
+            _ => panic!("metric family {name:?} already registered with another kind"),
+        }
+    }
+
+    /// Point-in-time snapshot of every family, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let families = self.families.lock().unwrap();
+        MetricsSnapshot {
+            families: families.values().map(AnyFamily::snap).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let reg = Registry::new();
+        let writes = reg.counter_family("writes", "write ops");
+        let c = writes.with(&[("tier", "Dram")]);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same labels → same child.
+        assert_eq!(writes.with(&[("tier", "Dram")]).get(), 5);
+        assert_eq!(writes.with(&[("tier", "Pfs")]).get(), 0);
+
+        let depth = reg.gauge_family("depth", "queue depth");
+        let g = depth.with(&[]);
+        g.add(3);
+        g.dec();
+        assert_eq!(g.get(), 2);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_free_and_correct() {
+        let h = Histogram::detached(&[1.0, 10.0, 100.0]);
+        for v in [0.5, 5.0, 5.0, 50.0, 500.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 560.5).abs() < 1e-9);
+        let snap = h.snap();
+        let counts: Vec<u64> = snap.buckets.iter().map(|&(_, c)| c).collect();
+        assert_eq!(counts, vec![1, 2, 1, 1]);
+        assert!(snap.buckets[3].0.is_infinite());
+    }
+
+    #[test]
+    fn boundary_observation_lands_in_its_bucket() {
+        let h = Histogram::detached(&[1.0, 2.0]);
+        h.observe(1.0); // `<= bound` semantics: bound 1.0 holds it
+        let counts: Vec<u64> = h.snap().buckets.iter().map(|&(_, c)| c).collect();
+        assert_eq!(counts, vec![1, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "another kind")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter_family("x", "");
+        reg.gauge_family("x", "");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let reg = Registry::new();
+        reg.counter_family("b_ops", "").with(&[]).inc();
+        reg.histogram_family("a_lat", "", &[1.0])
+            .with(&[])
+            .observe(0.5);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.families.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["a_lat", "b_ops"]);
+    }
+}

@@ -1,0 +1,78 @@
+//! Drop-guard timing into histograms.
+
+use std::time::Instant;
+
+use crate::metrics::Histogram;
+
+/// Observes the wall-clock seconds between construction and drop into a
+/// histogram. For simulated-time latencies (the analytic timing plane),
+/// call [`Histogram::observe`] with the computed seconds instead.
+#[derive(Debug)]
+pub struct ScopedTimer {
+    hist: Histogram,
+    start: Instant,
+    armed: bool,
+}
+
+impl ScopedTimer {
+    /// Start timing into `hist`.
+    pub fn new(hist: Histogram) -> Self {
+        ScopedTimer {
+            hist,
+            start: Instant::now(),
+            armed: true,
+        }
+    }
+
+    /// Record now and disarm the guard (idempotent with the drop).
+    pub fn observe_and_disarm(mut self) -> f64 {
+        let secs = self.start.elapsed().as_secs_f64();
+        self.hist.observe(secs);
+        self.armed = false;
+        secs
+    }
+
+    /// Disarm without recording (e.g. on an error path that should not
+    /// pollute the latency distribution).
+    pub fn cancel(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for ScopedTimer {
+    fn drop(&mut self) {
+        if self.armed {
+            self.hist.observe(self.start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_once_on_drop() {
+        let h = Histogram::detached(&[0.5, 1.0]);
+        {
+            let _t = ScopedTimer::new(h.clone());
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn cancel_records_nothing() {
+        let h = Histogram::detached(&[0.5]);
+        ScopedTimer::new(h.clone()).cancel();
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn observe_and_disarm_records_once() {
+        let h = Histogram::detached(&[0.5]);
+        let t = ScopedTimer::new(h.clone());
+        let secs = t.observe_and_disarm();
+        assert!(secs >= 0.0);
+        assert_eq!(h.count(), 1);
+    }
+}

@@ -7,8 +7,6 @@
 //! adaptive striping (§II-D) manipulates: it chooses `s`, `c`, and a
 //! distinct `start` per flushing server.
 
-use serde::{Deserialize, Serialize};
-
 /// One contiguous piece of a striped extent on a single OST.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StripePiece {
@@ -23,7 +21,7 @@ pub struct StripePiece {
 }
 
 /// A file's striping parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StripeLayout {
     /// Bytes per stripe unit.
     pub stripe_size: u64,
@@ -94,7 +92,7 @@ impl StripeLayout {
 /// One file range with its own striping (the building block of UniviStor's
 /// adaptive striping, where each flushing server's contiguous range is
 /// striped over a distinct OST set).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RangeLayout {
     /// First logical file offset of the range (inclusive).
     pub start: u64,
@@ -108,7 +106,7 @@ pub struct RangeLayout {
 /// A whole file's layout: either one uniform striping (plain Lustre) or a
 /// sequence of independently striped ranges (UniviStor flush output,
 /// comparable to Lustre PFL / file joining \[29\]).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FileLayout {
     /// One striping for the whole file.
     Uniform(StripeLayout),

@@ -277,7 +277,9 @@ mod tests {
     fn interleaved_writers_cause_conflicts_fpp_does_not() {
         // Shared file, two writers alternating stripe units.
         let mut shared = Lustre::new(4);
-        shared.create("/shared", StripeLayout::new(64, 1, 0)).unwrap();
+        shared
+            .create("/shared", StripeLayout::new(64, 1, 0))
+            .unwrap();
         for i in 0..16u64 {
             shared
                 .write("/shared", i * 64, Payload::pattern(i, 64), i % 2)
@@ -329,7 +331,8 @@ mod tests {
     fn paper_scale_virtual_write() {
         // 256 MB × 64 writers into one shared file: bytes stay virtual.
         let mut fs = Lustre::new(248);
-        fs.create("/big", StripeLayout::new(1 << 20, 248, 0)).unwrap();
+        fs.create("/big", StripeLayout::new(1 << 20, 248, 0))
+            .unwrap();
         let per = 256u64 << 20;
         for w in 0..64u64 {
             fs.write("/big", w * per, Payload::pattern(w, per), w)

@@ -1,45 +1,55 @@
-//! Property-based tests for the Lustre model: stripe layouts must
+//! Randomized-property tests for the Lustre model: stripe layouts must
 //! partition extents exactly, and the file system must behave like a flat
 //! byte array regardless of striping.
+//!
+//! Cases come from the substrate's deterministic RNG (the workspace
+//! builds without external crates, so no proptest); each test runs a few
+//! hundred seeded trials.
 
-use proptest::prelude::*;
 use univistor_pfs::{FileLayout, Lustre, RangeLayout, StripeLayout};
+use univistor_sim::rng::DetRng;
 use univistor_sim::{Payload, SparseBuffer};
 
-proptest! {
-    /// `pieces()` partitions any extent: pieces are in file order,
-    /// contiguous, sum to the length, and map to consistent OSTs.
-    #[test]
-    fn stripe_pieces_partition_extents(
-        stripe_size in 1u64..10_000,
-        stripe_count in 1usize..32,
-        start_ost in 0usize..300,
-        offset in 0u64..1_000_000,
-        len in 1u64..500_000,
-    ) {
+/// `pieces()` partitions any extent: pieces are in file order,
+/// contiguous, sum to the length, and map to consistent OSTs.
+#[test]
+fn stripe_pieces_partition_extents() {
+    let mut rng = DetRng::seed(0x9f5_0001);
+    for _trial in 0..300 {
+        let stripe_size = 1 + rng.below(9_999) as u64;
+        let stripe_count = 1 + rng.below(31);
+        let start_ost = rng.below(300);
+        let offset = rng.below(1_000_000) as u64;
+        let len = 1 + rng.below(499_999) as u64;
         let l = StripeLayout::new(stripe_size, stripe_count, start_ost);
         let pieces = l.pieces(offset, len);
         let mut cursor = offset;
         for p in &pieces {
-            prop_assert_eq!(p.file_offset, cursor);
-            prop_assert!(p.len > 0 && p.len <= stripe_size);
-            prop_assert_eq!(p.ost, l.ost_of(p.file_offset));
+            assert_eq!(p.file_offset, cursor);
+            assert!(p.len > 0 && p.len <= stripe_size);
+            assert_eq!(p.ost, l.ost_of(p.file_offset));
             cursor += p.len;
         }
-        prop_assert_eq!(cursor, offset + len);
+        assert_eq!(cursor, offset + len);
     }
+}
 
-    /// The same bytes never map to two places: pieces of disjoint extents
-    /// on the same OST have disjoint object ranges.
-    #[test]
-    fn object_mapping_is_injective(
-        stripe_size in 1u64..1000,
-        stripe_count in 1usize..8,
-        a in 0u64..50_000,
-        b in 0u64..50_000,
-        len in 1u64..2_000,
-    ) {
-        prop_assume!(a + len <= b || b + len <= a); // disjoint extents
+/// The same bytes never map to two places: pieces of disjoint extents
+/// on the same OST have disjoint object ranges.
+#[test]
+fn object_mapping_is_injective() {
+    let mut rng = DetRng::seed(0x9f5_0002);
+    let mut checked = 0;
+    while checked < 200 {
+        let stripe_size = 1 + rng.below(999) as u64;
+        let stripe_count = 1 + rng.below(7);
+        let a = rng.below(50_000) as u64;
+        let b = rng.below(50_000) as u64;
+        let len = 1 + rng.below(1_999) as u64;
+        if !(a + len <= b || b + len <= a) {
+            continue; // need disjoint extents
+        }
+        checked += 1;
         let l = StripeLayout::new(stripe_size, stripe_count, 0);
         let pa = l.pieces(a, len);
         let pb = l.pieces(b, len);
@@ -48,7 +58,7 @@ proptest! {
                 if x.ost == y.ost {
                     let overlap = x.object_offset < y.object_offset + y.len
                         && y.object_offset < x.object_offset + x.len;
-                    prop_assert!(
+                    assert!(
                         !overlap,
                         "extents [{a},+{len}) and [{b},+{len}) collide in object space"
                     );
@@ -56,14 +66,16 @@ proptest! {
             }
         }
     }
+}
 
-    /// Composite layouts preserve the same partition property.
-    #[test]
-    fn composite_layout_covers_extents(
-        cut in 1u64..100_000,
-        offset in 0u64..150_000,
-        len in 1u64..100_000,
-    ) {
+/// Composite layouts preserve the same partition property.
+#[test]
+fn composite_layout_covers_extents() {
+    let mut rng = DetRng::seed(0x9f5_0003);
+    for _trial in 0..300 {
+        let cut = 1 + rng.below(99_999) as u64;
+        let offset = rng.below(150_000) as u64;
+        let len = 1 + rng.below(99_999) as u64;
         let layout = FileLayout::composite(vec![
             RangeLayout {
                 start: 0,
@@ -79,38 +91,43 @@ proptest! {
         let pieces = layout.pieces(offset, len);
         let mut cursor = offset;
         for p in &pieces {
-            prop_assert_eq!(p.file_offset, cursor);
+            assert_eq!(p.file_offset, cursor);
             cursor += p.len;
         }
-        prop_assert_eq!(cursor, offset + len);
+        assert_eq!(cursor, offset + len);
         let total: u64 = layout.ost_loads(offset, len).iter().map(|(_, b)| b).sum();
-        prop_assert_eq!(total, len);
+        assert_eq!(total, len);
     }
+}
 
-    /// A striped Lustre file behaves exactly like a flat byte array under
-    /// arbitrary overlapping writes, for any layout.
-    #[test]
-    fn lustre_matches_flat_model(
-        stripe_size in 1u64..4096,
-        stripe_count in 1usize..16,
-        writes in proptest::collection::vec((0u64..20_000, 1u64..3_000), 1..20),
-    ) {
+/// A striped Lustre file behaves exactly like a flat byte array under
+/// arbitrary overlapping writes, for any layout.
+#[test]
+fn lustre_matches_flat_model() {
+    let mut rng = DetRng::seed(0x9f5_0004);
+    for _trial in 0..100 {
+        let stripe_size = 1 + rng.below(4_095) as u64;
+        let stripe_count = 1 + rng.below(15);
+        let n_writes = 1 + rng.below(19);
         let mut fs = Lustre::new(32);
-        fs.create("/f", StripeLayout::new(stripe_size, stripe_count, 7)).unwrap();
+        fs.create("/f", StripeLayout::new(stripe_size, stripe_count, 7))
+            .unwrap();
         let mut model = SparseBuffer::new();
-        for (i, (offset, len)) in writes.iter().enumerate() {
-            let data = Payload::pattern(i as u64, *len);
-            fs.write("/f", *offset, data.clone(), i as u64 % 4).unwrap();
-            model.write(*offset, data);
+        for i in 0..n_writes {
+            let offset = rng.below(20_000) as u64;
+            let len = 1 + rng.below(2_999) as u64;
+            let data = Payload::pattern(i as u64, len);
+            fs.write("/f", offset, data.clone(), i as u64 % 4).unwrap();
+            model.write(offset, data);
         }
         let size = model.end_offset();
-        prop_assert_eq!(fs.file_size("/f").unwrap(), size);
+        assert_eq!(fs.file_size("/f").unwrap(), size);
         // Compare every fully-written extent.
         for (off, payload) in model.extents() {
             let got = fs.read("/f", off, payload.len(), 99).unwrap();
-            prop_assert!(got.content_eq(payload), "extent at {off} corrupt");
+            assert!(got.content_eq(payload), "extent at {off} corrupt");
         }
         // Byte conservation across OSTs.
-        prop_assert_eq!(fs.bytes_stored(), model.bytes_stored());
+        assert_eq!(fs.bytes_stored(), model.bytes_stored());
     }
 }

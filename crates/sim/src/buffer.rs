@@ -164,7 +164,7 @@ impl SparseBuffer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bytes::Bytes;
+    use crate::bytes::Bytes;
 
     fn bp(s: &'static [u8]) -> Payload {
         Payload::from_bytes(Bytes::from_static(s))

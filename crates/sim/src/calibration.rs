@@ -14,11 +14,9 @@
 //! * metadata RPCs cost tens of microseconds, so all-to-one open/close
 //!   storms hurt only at scale (Fig. 5a/5b COC curves).
 
-use serde::{Deserialize, Serialize};
-
 /// Platform constants. `Calibration::default()` is the Cori-like setting
 /// used by every experiment; individual studies override fields.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Calibration {
     // --- Compute node ---
     /// NUMA sockets per compute node.

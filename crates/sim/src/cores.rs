@@ -241,8 +241,8 @@ impl ContentionModel {
             }
             // Timeslicing divides the core k ways; every context switch
             // also costs cache refill, modeled multiplicatively.
-            let cap = self.per_proc_copy_bw / k as f64
-                * self.ctx_switch_efficiency.powi(k as i32 - 1);
+            let cap =
+                self.per_proc_copy_bw / k as f64 * self.ctx_switch_efficiency.powi(k as i32 - 1);
             let socket = assignment.shape.socket_of(core);
             for slot in active_here {
                 rates.push(ProcRate {
@@ -267,7 +267,10 @@ mod tests {
     };
 
     fn slot(p: u32, i: u32) -> ProcSlot {
-        ProcSlot { program: p, index: i }
+        ProcSlot {
+            program: p,
+            index: i,
+        }
     }
 
     #[test]
@@ -356,8 +359,7 @@ mod tests {
         a.assign(slot(0, 1), 0); // stacked pair
         a.assign(slot(0, 2), 3); // alone
         let rates = model.proc_rates(&a, |_| true);
-        let by_slot: HashMap<ProcSlot, f64> =
-            rates.iter().map(|r| (r.slot, r.rate_cap)).collect();
+        let by_slot: HashMap<ProcSlot, f64> = rates.iter().map(|r| (r.slot, r.rate_cap)).collect();
         assert_eq!(by_slot[&slot(0, 2)], 2e9);
         assert!((by_slot[&slot(0, 0)] - 2e9 / 2.0 * 0.7).abs() < 1.0);
         assert_eq!(by_slot[&slot(0, 0)], by_slot[&slot(0, 1)]);

@@ -133,7 +133,11 @@ impl FlowSim {
     }
 
     /// Register a device. Returns its id for use in flow paths.
-    pub fn add_resource(&mut self, name: impl Into<String>, bandwidth: f64) -> SimResult<ResourceId> {
+    pub fn add_resource(
+        &mut self,
+        name: impl Into<String>,
+        bandwidth: f64,
+    ) -> SimResult<ResourceId> {
         let r = Resource::new(name, bandwidth)?;
         self.resources.push(r);
         Ok(ResourceId(self.resources.len() - 1))
@@ -141,7 +145,9 @@ impl FlowSim {
 
     /// Look up a registered resource.
     pub fn resource(&self, id: ResourceId) -> SimResult<&Resource> {
-        self.resources.get(id.0).ok_or(SimError::UnknownResource(id.0))
+        self.resources
+            .get(id.0)
+            .ok_or(SimError::UnknownResource(id.0))
     }
 
     /// Number of registered resources.
@@ -479,10 +485,8 @@ mod tests {
     fn rate_cap_binds_below_fair_share() {
         let mut sim = FlowSim::new();
         let r = sim.add_resource("r", 100.0).unwrap();
-        sim.add_flow(
-            FlowSpec::new(SimTime::ZERO, 100.0, vec![r]).with_rate_cap(10.0),
-        )
-        .unwrap();
+        sim.add_flow(FlowSpec::new(SimTime::ZERO, 100.0, vec![r]).with_rate_cap(10.0))
+            .unwrap();
         let out = sim.run();
         approx(out[0].finish.secs(), 10.0);
     }
@@ -505,10 +509,8 @@ mod tests {
     fn latency_delays_start() {
         let mut sim = FlowSim::new();
         let r = sim.add_resource("r", 100.0).unwrap();
-        sim.add_flow(
-            FlowSpec::new(SimTime::ZERO, 100.0, vec![r]).with_latency(2.0),
-        )
-        .unwrap();
+        sim.add_flow(FlowSpec::new(SimTime::ZERO, 100.0, vec![r]).with_latency(2.0))
+            .unwrap();
         let out = sim.run();
         approx(out[0].finish.secs(), 3.0);
     }
@@ -606,10 +608,8 @@ mod tests {
             .map(|i| sim.add_resource(format!("s{i}"), 60e9).unwrap())
             .collect();
         for s in &sockets {
-            sim.add_flow(
-                FlowSpec::new(SimTime::ZERO, 256e6, vec![*s]).with_count(16),
-            )
-            .unwrap();
+            sim.add_flow(FlowSpec::new(SimTime::ZERO, 256e6, vec![*s]).with_count(16))
+                .unwrap();
         }
         let out = sim.run();
         let t0 = out[0].finish.secs();

@@ -28,6 +28,7 @@
 //!   bandwidth/latency numbers every experiment uses.
 
 pub mod buffer;
+pub mod bytes;
 pub mod calibration;
 pub mod cores;
 pub mod error;
@@ -40,6 +41,7 @@ pub mod time;
 pub mod topology;
 
 pub use buffer::SparseBuffer;
+pub use bytes::Bytes;
 pub use error::{SimError, SimResult};
 pub use flow::{FlowId, FlowOutcome, FlowSim, FlowSpec};
 pub use payload::Payload;

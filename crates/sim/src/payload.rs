@@ -20,7 +20,7 @@
 //! All storage tiers store `Payload`s, so the *placement* of data is always
 //! exact even when the bytes themselves are virtual.
 
-use bytes::Bytes;
+use crate::bytes::Bytes;
 use std::fmt;
 
 /// Maximum size `to_bytes` will materialize (1 GiB). Larger payloads are

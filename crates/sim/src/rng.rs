@@ -2,35 +2,50 @@
 //!
 //! Every stochastic element of the substrate (CFS-like placement, random
 //! OST assignment) draws from a [`DetRng`] seeded explicitly, so that every
-//! experiment is reproducible bit-for-bit.
+//! experiment is reproducible bit-for-bit. The generator is a SplitMix64
+//! counter stream — tiny state, excellent mixing, and no external crates.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+/// One SplitMix64 mixing step.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// A seeded deterministic RNG with the small helper surface the
 /// substrate needs.
 #[derive(Debug, Clone)]
 pub struct DetRng {
-    inner: StdRng,
+    state: u64,
 }
 
 impl DetRng {
     /// Create from a 64-bit seed.
     pub fn seed(seed: u64) -> Self {
-        DetRng {
-            inner: StdRng::seed_from_u64(seed),
-        }
+        DetRng { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix(self.state)
     }
 
     /// Uniform integer in `[0, n)`. Panics if `n == 0`.
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "below(0)");
-        self.inner.random_range(0..n)
+        // Multiply-shift bounded draw (Lemire); the modulo bias for
+        // sub-2^64 ranges is far below anything these simulations can
+        // resolve, so no rejection loop is needed.
+        let n = n as u64;
+        (((self.next_u64() as u128 * n as u128) >> 64) as u64) as usize
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.random_range(0.0..1.0)
+        // 53 top bits → the standard [0, 1) double construction.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli draw.
@@ -48,7 +63,9 @@ impl DetRng {
 
     /// A fresh child RNG derived from this one (for per-node streams).
     pub fn fork(&mut self) -> DetRng {
-        DetRng::seed(self.inner.random())
+        // Re-mix the draw so the child's counter stream does not overlap
+        // the parent's.
+        DetRng::seed(mix(self.next_u64() ^ 0xA076_1D64_78BD_642F))
     }
 }
 
@@ -98,5 +115,27 @@ mod tests {
         let va: Vec<usize> = (0..10).map(|_| a.below(100)).collect();
         let vc: Vec<usize> = (0..10).map(|_| child.below(100)).collect();
         assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn unit_stays_in_range_and_fills_it() {
+        let mut rng = DetRng::seed(5);
+        let draws: Vec<f64> = (0..1000).map(|_| rng.unit()).collect();
+        assert!(draws.iter().all(|&x| (0.0..1.0).contains(&x)));
+        assert!(draws.iter().any(|&x| x < 0.1));
+        assert!(draws.iter().any(|&x| x > 0.9));
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut rng = DetRng::seed(6);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[rng.below(10)] += 1;
+        }
+        assert!(
+            counts.iter().all(|&c| (800..1200).contains(&c)),
+            "{counts:?}"
+        );
     }
 }

@@ -58,10 +58,9 @@ impl ClusterSpec {
         for n in 0..self.nodes {
             let mut sockets = Vec::with_capacity(self.cal.sockets_per_node);
             for s in 0..self.cal.sockets_per_node {
-                sockets.push(sim.add_resource(
-                    format!("node{n}.socket{s}.mem"),
-                    self.cal.socket_mem_bw,
-                )?);
+                sockets.push(
+                    sim.add_resource(format!("node{n}.socket{s}.mem"), self.cal.socket_mem_bw)?,
+                );
             }
             socket_mem.push(sockets);
             nic.push(sim.add_resource(format!("node{n}.nic"), self.cal.nic_bw)?);

@@ -1,11 +1,16 @@
-//! Property-based tests for the substrate's core data structures:
+//! Randomized-property tests for the substrate's core data structures:
 //! the sparse buffer must behave like a flat byte array, payload slicing
 //! must commute with materialization, and the flow simulator must conserve
 //! work and respect capacity.
+//!
+//! Cases are generated with the crate's own deterministic RNG (the
+//! workspace builds without external crates, so no proptest): each test
+//! runs a few hundred seeded trials, which covers the same input space
+//! reproducibly.
 
-use proptest::prelude::*;
 use univistor_sim::flow::FlowSpec;
 use univistor_sim::payload::Payload;
+use univistor_sim::rng::DetRng;
 use univistor_sim::{FlowSim, SimTime, SparseBuffer};
 
 const ARENA: usize = 512;
@@ -16,25 +21,26 @@ struct WriteOp {
     data: Vec<u8>,
 }
 
-fn write_ops() -> impl Strategy<Value = Vec<WriteOp>> {
-    proptest::collection::vec(
-        (0usize..ARENA, proptest::collection::vec(any::<u8>(), 1..64)),
-        1..40,
-    )
-    .prop_map(|ops| {
-        ops.into_iter()
-            .map(|(offset, mut data)| {
-                data.truncate(ARENA - offset);
-                WriteOp { offset, data }
-            })
-            .filter(|op| !op.data.is_empty())
-            .collect()
-    })
+fn gen_write_ops(rng: &mut DetRng) -> Vec<WriteOp> {
+    let count = 1 + rng.below(40);
+    (0..count)
+        .filter_map(|_| {
+            let offset = rng.below(ARENA);
+            let len = (1 + rng.below(63)).min(ARENA - offset);
+            if len == 0 {
+                return None;
+            }
+            let data = (0..len).map(|_| rng.below(256) as u8).collect();
+            Some(WriteOp { offset, data })
+        })
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn sparse_buffer_matches_flat_array(ops in write_ops()) {
+#[test]
+fn sparse_buffer_matches_flat_array() {
+    let mut rng = DetRng::seed(0x5bab_b1e5);
+    for _trial in 0..200 {
+        let ops = gen_write_ops(&mut rng);
         let mut buf = SparseBuffer::new();
         let mut model = vec![0u8; ARENA];
         let mut written = vec![false; ARENA];
@@ -49,66 +55,73 @@ proptest! {
 
         // Tolerant read of the full arena matches the model (holes = 0).
         let got = buf.read(0, ARENA as u64).to_bytes();
-        prop_assert_eq!(&got[..], &model[..]);
+        assert_eq!(&got[..], &model[..]);
 
         // bytes_stored equals the number of written bytes.
         let expect_stored = written.iter().filter(|w| **w).count() as u64;
-        prop_assert_eq!(buf.bytes_stored(), expect_stored);
+        assert_eq!(buf.bytes_stored(), expect_stored);
 
         // read_exact succeeds exactly on fully-written ranges.
         for (start, len) in [(0usize, 16usize), (100, 50), (400, 112)] {
             let fully = written[start..start + len].iter().all(|w| *w);
             let r = buf.read_exact(start as u64, len as u64);
-            prop_assert_eq!(r.is_ok(), fully, "range [{}, +{})", start, len);
+            assert_eq!(r.is_ok(), fully, "range [{start}, +{len})");
         }
     }
+}
 
-    #[test]
-    fn payload_slice_commutes_with_materialize(
-        seed in any::<u64>(),
-        len in 1u64..2048,
-        cut in 0u64..2048,
-    ) {
-        let cut = cut.min(len);
+#[test]
+fn payload_slice_commutes_with_materialize() {
+    let mut rng = DetRng::seed(0x5eed_cafe);
+    for _trial in 0..300 {
+        let seed = (rng.below(1 << 30) as u64) << 32 | rng.below(1 << 30) as u64;
+        let len = 1 + rng.below(2047) as u64;
+        let cut = (rng.below(2048) as u64).min(len);
         let p = Payload::pattern(seed, len);
         let (a, b) = p.split_at(cut);
         let mut joined = a.to_bytes().to_vec();
         joined.extend_from_slice(&b.to_bytes());
-        prop_assert_eq!(&joined[..], &p.to_bytes()[..]);
+        assert_eq!(&joined[..], &p.to_bytes()[..]);
     }
+}
 
-    #[test]
-    fn flow_finish_times_respect_capacity(
-        sizes in proptest::collection::vec(1.0f64..1e6, 1..20),
-        bw in 1e3f64..1e9,
-    ) {
+#[test]
+fn flow_finish_times_respect_capacity() {
+    let mut rng = DetRng::seed(0xf10a_0001);
+    for _trial in 0..150 {
+        let n = 1 + rng.below(19);
+        let sizes: Vec<f64> = (0..n).map(|_| 1.0 + rng.unit() * (1e6 - 1.0)).collect();
+        let bw = 1e3 + rng.unit() * (1e9 - 1e3);
         let mut sim = FlowSim::new();
         let r = sim.add_resource("r", bw).unwrap();
         for &s in &sizes {
-            sim.add_flow(FlowSpec::new(SimTime::ZERO, s, vec![r])).unwrap();
+            sim.add_flow(FlowSpec::new(SimTime::ZERO, s, vec![r]))
+                .unwrap();
         }
         let out = sim.run();
         let total: f64 = sizes.iter().sum();
         let makespan = FlowSim::makespan(&out).secs();
         // The device can never move data faster than its bandwidth …
-        prop_assert!(makespan >= total / bw * (1.0 - 1e-9));
+        assert!(makespan >= total / bw * (1.0 - 1e-9));
         // … and fair sharing of one resource is work-conserving: the last
         // finisher leaves no idle time.
-        prop_assert!(makespan <= total / bw * (1.0 + 1e-6));
+        assert!(makespan <= total / bw * (1.0 + 1e-6));
         // No flow can beat its solo transfer time.
         for (o, &s) in out.iter().zip(&sizes) {
-            prop_assert!(o.finish.secs() >= s / bw * (1.0 - 1e-9));
+            assert!(o.finish.secs() >= s / bw * (1.0 - 1e-9));
         }
     }
+}
 
-    #[test]
-    fn flow_group_equivalence(
-        count in 1u64..64,
-        bytes in 1.0f64..1e6,
-        bw in 1e3f64..1e9,
-    ) {
+#[test]
+fn flow_group_equivalence() {
+    let mut rng = DetRng::seed(0xf10a_0002);
+    for _trial in 0..150 {
         // One group of `count` flows finishes exactly when `count`
         // individual flows do.
+        let count = 1 + rng.below(63) as u64;
+        let bytes = 1.0 + rng.unit() * (1e6 - 1.0);
+        let bw = 1e3 + rng.unit() * (1e9 - 1e3);
         let mut grouped = FlowSim::new();
         let rg = grouped.add_resource("r", bw).unwrap();
         grouped
@@ -124,17 +137,20 @@ proptest! {
                 .unwrap();
         }
         let ti = FlowSim::makespan(&individual.run()).secs();
-        prop_assert!((tg - ti).abs() < 1e-9 * ti.max(1.0));
+        assert!((tg - ti).abs() < 1e-9 * ti.max(1.0));
     }
+}
 
-    #[test]
-    fn maxmin_rates_never_exceed_any_resource(
-        n_flows in 1usize..12,
-        bws in proptest::collection::vec(1e3f64..1e6, 2..5),
-    ) {
+#[test]
+fn maxmin_rates_never_exceed_any_resource() {
+    let mut rng = DetRng::seed(0xf10a_0003);
+    for _trial in 0..150 {
         // Random bipartite flows over the resources; after run(), total
         // bytes moved per unit time through each resource must be ≤ bw.
         // We check the aggregate invariant: makespan ≥ per-resource load/bw.
+        let n_flows = 1 + rng.below(11);
+        let n_res = 2 + rng.below(3);
+        let bws: Vec<f64> = (0..n_res).map(|_| 1e3 + rng.unit() * (1e6 - 1e3)).collect();
         let mut sim = FlowSim::new();
         let rids: Vec<_> = bws
             .iter()
@@ -154,14 +170,17 @@ proptest! {
             if b != a {
                 load[b] += bytes;
             }
-            sim.add_flow(FlowSpec::new(SimTime::ZERO, bytes, path)).unwrap();
+            sim.add_flow(FlowSpec::new(SimTime::ZERO, bytes, path))
+                .unwrap();
         }
         let makespan = FlowSim::makespan(&sim.run()).secs();
         for (i, &l) in load.iter().enumerate() {
-            prop_assert!(
+            assert!(
                 makespan >= l / bws[i] * (1.0 - 1e-9),
                 "resource {} overloaded: makespan {} < {}",
-                i, makespan, l / bws[i]
+                i,
+                makespan,
+                l / bws[i]
             );
         }
     }

@@ -34,9 +34,7 @@ impl BdCatsIo {
         let dataset = self.layout.dataset_bytes();
         let base = dataset / self.readers as u64;
         let rem = dataset % self.readers as u64;
-        let start: u64 = (0..reader as u64)
-            .map(|r| base + u64::from(r < rem))
-            .sum();
+        let start: u64 = (0..reader as u64).map(|r| base + u64::from(r < rem)).sum();
         let len = base + u64::from((reader as u64) < rem);
         let offset = self.layout.dataset_offset(var);
         (offset + start, offset + start + len)

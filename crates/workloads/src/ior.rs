@@ -54,7 +54,7 @@ impl IorConfig {
         assert!(procs > 0 && segments > 0);
         assert!(transfer_size > 0 && block_size > 0);
         assert!(
-            block_size % transfer_size == 0,
+            block_size.is_multiple_of(transfer_size),
             "transfer size must divide block size"
         );
         IorConfig {
@@ -112,12 +112,7 @@ impl IorConfig {
                 let payload = self.block_payload(rank, segment);
                 let mut off = 0u64;
                 while off < self.block_size {
-                    driver.write_at(
-                        h,
-                        rank,
-                        base + off,
-                        payload.slice(off, self.transfer_size),
-                    )?;
+                    driver.write_at(h, rank, base + off, payload.slice(off, self.transfer_size))?;
                     off += self.transfer_size;
                 }
             }

@@ -85,7 +85,8 @@ impl VpicLayout {
             sb.allocate(name, self.dataset_bytes(), BYTES_PER_VALUE as u32)
                 .expect("static table fits");
         }
-        sb.set_attr("", "application", b"VPIC".to_vec()).expect("valid");
+        sb.set_attr("", "application", b"VPIC".to_vec())
+            .expect("valid");
         sb.set_attr("", "timestep", (step as u64).to_le_bytes().to_vec())
             .expect("valid");
         sb.set_attr(

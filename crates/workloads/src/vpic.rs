@@ -124,7 +124,12 @@ mod tests {
         for var in 0..8 {
             for rank in 0..3 {
                 let got = d
-                    .read_at(&h, 0, v.layout.slab_offset(var, rank), v.layout.slab_bytes())
+                    .read_at(
+                        &h,
+                        0,
+                        v.layout.slab_offset(var, rank),
+                        v.layout.slab_bytes(),
+                    )
                     .unwrap();
                 assert!(
                     got.content_eq(&v.layout.slab_payload(1, var, rank)),

@@ -6,12 +6,7 @@
 //! Run with: `cargo run --example fault_tolerance`
 
 use std::sync::Arc;
-use univistor::core::config::UniviStorConfig;
-use univistor::core::metadata::ClientId;
-use univistor::core::server::UniviStorJob;
-use univistor::core::va::Tier;
-use univistor::mpi::driver::OpenMode;
-use univistor::sim::Payload;
+use univistor::prelude::*;
 
 fn tiers(job: &UniviStorJob) -> String {
     job.tier_usage()
@@ -33,7 +28,10 @@ fn main() {
     let job = Arc::new(UniviStorJob::new(cfg));
 
     println!("--- 1. replicated checkpoint ---");
-    job.open("/ckpt", OpenMode::Write, ClientId::new(0, 0), 8, true)
+    job.open_file("/ckpt")
+        .write()
+        .representing(8)
+        .by(ClientId::new(0, 0))
         .expect("open");
     let per_rank = 256u64 << 10;
     for rank in 0..8u32 {
@@ -77,7 +75,8 @@ fn main() {
     println!(
         "flushed to Lustre: {} KiB (verified: {})",
         job.lustre_file_size("/ckpt").expect("on PFS") >> 10,
-        job.verify_flush(ClientId::new(0, 4), "/ckpt").expect("verify"),
+        job.verify_flush(ClientId::new(0, 4), "/ckpt")
+            .expect("verify"),
     );
 
     println!("\n--- 3. adaptive promotion ---");
@@ -89,10 +88,17 @@ fn main() {
     cfg.cal.dram_cache_capacity_per_node = 256 << 10;
     cfg.cal.bb_capacity_per_node = 64 << 20;
     let job = Arc::new(UniviStorJob::new(cfg));
-    job.open("/hot", OpenMode::ReadWrite, ClientId::new(0, 0), 1, true)
+    job.open_file("/hot")
+        .read_write()
+        .by(ClientId::new(0, 0))
         .expect("open");
-    job.write(ClientId::new(0, 0), "/hot", 0, Payload::pattern(42, 512 << 10))
-        .expect("write");
+    job.write(
+        ClientId::new(0, 0),
+        "/hot",
+        0,
+        Payload::pattern(42, 512 << 10),
+    )
+    .expect("write");
     println!("after write: [{}]", tiers(&job));
 
     // The analysis keeps re-reading the spilled half…
@@ -101,10 +107,18 @@ fn main() {
             .expect("read");
     }
     // …and overwrites the cold half, freeing DRAM chunks.
-    job.write(ClientId::new(0, 0), "/hot", 0, Payload::pattern(43, 256 << 10))
-        .expect("overwrite");
+    job.write(
+        ClientId::new(0, 0),
+        "/hot",
+        0,
+        Payload::pattern(43, 256 << 10),
+    )
+    .expect("overwrite");
     let promoted = job.promote_hot(3).expect("promotion");
-    println!("promoted {promoted} hot segments to DRAM: [{}]", tiers(&job));
+    println!(
+        "promoted {promoted} hot segments to DRAM: [{}]",
+        tiers(&job)
+    );
     let dram_after = job
         .tier_usage()
         .iter()
@@ -117,7 +131,9 @@ fn main() {
     let got = job
         .read(ClientId::new(0, 0), "/hot", 0, 512 << 10)
         .expect("final read");
-    assert!(got.slice(0, 256 << 10).content_eq(&Payload::pattern(43, 256 << 10)));
+    assert!(got
+        .slice(0, 256 << 10)
+        .content_eq(&Payload::pattern(43, 256 << 10)));
     assert!(got
         .slice(256 << 10, 256 << 10)
         .content_eq(&Payload::pattern(42, 512 << 10).slice(256 << 10, 256 << 10)));

@@ -8,12 +8,8 @@
 //! Run with: `cargo run --example insitu_workflow`
 
 use std::sync::Arc;
-use univistor::core::config::{Features, UniviStorConfig};
-use univistor::core::driver::UniviStorDriver;
-use univistor::core::server::UniviStorJob;
-use univistor::mpi::driver::OpenMode;
 use univistor::mpi::{Hints, MpiFile, World};
-use univistor::sim::Payload;
+use univistor::prelude::*;
 
 fn main() {
     let procs_per_app = 4;
@@ -31,8 +27,7 @@ fn main() {
     let ana_driver = UniviStorDriver::new(Arc::clone(&job), 1);
 
     let step_path = |s: usize| format!("/insitu/step{s}.dat");
-    let step_payload =
-        |s: usize, rank: u64| Payload::pattern((s as u64) << 32 | rank, block);
+    let step_payload = |s: usize, rank: u64| Payload::pattern((s as u64) << 32 | rank, block);
 
     println!("running {procs_per_app}+{procs_per_app} coupled ranks over {steps} steps");
     let (_, waits) = World::run_coupled(

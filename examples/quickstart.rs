@@ -5,13 +5,8 @@
 //! Run with: `cargo run --example quickstart`
 
 use std::sync::Arc;
-use univistor::core::config::UniviStorConfig;
-use univistor::core::driver::UniviStorDriver;
-use univistor::core::server::UniviStorJob;
-use univistor::core::va::Tier;
-use univistor::mpi::driver::OpenMode;
 use univistor::mpi::{Hints, MpiFile, World};
-use univistor::sim::Payload;
+use univistor::prelude::*;
 
 fn main() {
     // A small job: 2 compute nodes, 4 client processes per node, and the
@@ -32,8 +27,14 @@ fn main() {
     // ROMIO_FSTYPE_FORCE=UniviStor in the paper.
     let block = 1u64 << 20; // 1 MiB per rank
     World::run(procs, |comm| {
-        let f = MpiFile::open(&comm, &driver, "/unified/data.bin", OpenMode::ReadWrite, Hints::new())
-            .expect("collective open");
+        let f = MpiFile::open(
+            &comm,
+            &driver,
+            "/unified/data.bin",
+            OpenMode::ReadWrite,
+            Hints::new(),
+        )
+        .expect("collective open");
         let rank = comm.rank() as u64;
 
         // Every rank writes its own 1 MiB block of the shared file.
@@ -72,7 +73,10 @@ fn main() {
             .expect("read from Lustre");
         assert!(got.content_eq(&Payload::pattern(rank, block)));
     }
-    println!("flushed {} MiB to Lustre — verified byte-identical ✓", on_pfs >> 20);
+    println!(
+        "flushed {} MiB to Lustre — verified byte-identical ✓",
+        on_pfs >> 20
+    );
 
     let stats = job.stats();
     println!(
@@ -81,4 +85,17 @@ fn main() {
         stats.open_close_md_rpcs,
         stats.flush_receipts.len()
     );
+
+    // The full telemetry panel behind those stats — every hot path is
+    // instrumented; dump it as Prometheus-style families.
+    let metrics = job.metrics();
+    println!(
+        "telemetry: {} segments placed, {} B read via local hits, {} spill events below DRAM",
+        metrics.counter_total("univistor_segments_total"),
+        metrics
+            .counter("univistor_read_bytes_total", &[("path", "local_hit")])
+            .unwrap_or(0),
+        metrics.counter_total("univistor_tier_spill_events_total"),
+    );
+    println!("metrics JSON: {} bytes", metrics.to_json().len());
 }

@@ -42,7 +42,10 @@ fn main() {
     // 16 records over 4 ranges, assigned round-robin to 4 servers.
     let mut md = MetadataService::new(4 * unit, 4, 2);
     for i in 0..16u64 {
-        let key = SegKey { fid: 1, offset: i * unit };
+        let key = SegKey {
+            fid: 1,
+            offset: i * unit,
+        };
         let (server, _) = md.insert(
             key,
             SegmentRecord::new(
@@ -81,7 +84,10 @@ fn main() {
     println!(
         "  naive baseline: every server touches {} OSTs (sync overhead ×{})",
         naive.osts_per_server,
-        naive.osts_per_server / adaptive_plan(512 * gb, 512, osts, 8, gb).osts_per_server.max(1)
+        naive.osts_per_server
+            / adaptive_plan(512 * gb, 512, osts, 8, gb)
+                .osts_per_server
+                .max(1)
     );
 
     println!("\n=== 4. The paper's Eq. 6 example ===");

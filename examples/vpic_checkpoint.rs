@@ -7,9 +7,7 @@
 //! Run with: `cargo run --example vpic_checkpoint`
 
 use std::sync::Arc;
-use univistor::core::config::UniviStorConfig;
-use univistor::core::driver::UniviStorDriver;
-use univistor::core::server::UniviStorJob;
+use univistor::prelude::*;
 use univistor::workloads::{BdCatsIo, VpicIo, VpicLayout};
 
 fn main() {
@@ -23,8 +21,7 @@ fn main() {
     cfg.segment_size = 64 << 10;
     cfg.metadata_range_size = 1 << 20;
     let particles_per_proc = 16 << 10; // 64 KiB/variable → 512 KiB/step/proc
-    let per_node_step_bytes =
-        cfg.geometry.procs_per_node as u64 * particles_per_proc * 32;
+    let per_node_step_bytes = cfg.geometry.procs_per_node as u64 * particles_per_proc * 32;
     cfg.cal.dram_cache_capacity_per_node = 3 * per_node_step_bytes;
 
     let job = Arc::new(UniviStorJob::new(cfg));

@@ -3,13 +3,8 @@
 
 use std::sync::Arc;
 use univistor::baselines::{DataElevator, LustreDirect};
-use univistor::core::config::{Features, UniviStorConfig};
-use univistor::core::driver::UniviStorDriver;
-use univistor::core::metadata::ClientId;
-use univistor::core::server::UniviStorJob;
-use univistor::core::va::Tier;
-use univistor::mpi::driver::OpenMode;
 use univistor::mpi::{Hints, MpiFile, World};
+use univistor::prelude::*;
 use univistor::sim::calibration::Calibration;
 use univistor::sim::Payload;
 use univistor::workloads::{BdCatsIo, MicroIo, VpicIo, VpicLayout};
@@ -153,8 +148,8 @@ fn hdf5_on_univistor_stack() {
     let cfg = UniviStorConfig::paper(procs);
     let driver = UniviStorDriver::new(Arc::new(UniviStorJob::new(cfg)), 0);
     let results = World::run(procs, |comm| {
-        let mut h5 = univistor::h5::H5File::create(&comm, &driver, "/exp.h5", Hints::new())
-            .expect("create");
+        let mut h5 =
+            univistor::h5::H5File::create(&comm, &driver, "/exp.h5", Hints::new()).expect("create");
         let per = 4096u64;
         h5.create_dataset("field", per * comm.size() as u64, 4)
             .expect("dataset");
@@ -220,14 +215,15 @@ fn overwrites_survive_to_pfs() {
     let procs = 2;
     let driver = uv_driver(procs);
     World::run(procs, |comm| {
-        let f = MpiFile::open(&comm, &driver, "/ow", OpenMode::ReadWrite, Hints::new())
-            .expect("open");
+        let f =
+            MpiFile::open(&comm, &driver, "/ow", OpenMode::ReadWrite, Hints::new()).expect("open");
         let rank = comm.rank() as u64;
         f.write_at_all(rank * 1024, Payload::pattern(rank, 1024))
             .expect("first");
         // Rank 0 overwrites the middle of rank 1's block.
         if comm.is_root() {
-            f.write_at(1024 + 256, Payload::pattern(99, 512)).expect("overwrite");
+            f.write_at(1024 + 256, Payload::pattern(99, 512))
+                .expect("overwrite");
         }
         comm.barrier();
         f.close().expect("close");
@@ -254,7 +250,10 @@ fn four_tier_chain_spills_in_order() {
     cfg.cal.node_local_capacity = Some(512); // another 2 chunks/proc
     cfg.cal.bb_capacity_per_node = 1 << 20;
     let job = Arc::new(UniviStorJob::new(cfg));
-    job.open("/4t", OpenMode::Write, ClientId::new(0, 0), procs, true)
+    job.open_file("/4t")
+        .write()
+        .representing(procs)
+        .by(ClientId::new(0, 0))
         .unwrap();
     // Each proc writes 768 B = 6 segments: 2 DRAM + 2 SSD + 2 BB.
     for rank in 0..procs as u32 {
@@ -266,8 +265,7 @@ fn four_tier_chain_spills_in_order() {
         )
         .unwrap();
     }
-    let usage: std::collections::HashMap<Tier, u64> =
-        job.tier_usage().into_iter().collect();
+    let usage: std::collections::HashMap<Tier, u64> = job.tier_usage().into_iter().collect();
     assert_eq!(usage.get(&Tier::Dram), Some(&512));
     assert_eq!(usage.get(&Tier::NodeLocal), Some(&512));
     assert_eq!(usage.get(&Tier::SharedBurstBuffer), Some(&512));
@@ -339,12 +337,20 @@ fn fstype_force_selects_the_storage_system() {
     let mut registry = DriverRegistry::new();
     registry
         .register(Arc::new(LustreDirect::new(&Calibration::default())))
-        .register(Arc::new(DataElevator::new(geometry, Calibration::default())))
+        .register(Arc::new(DataElevator::new(
+            geometry,
+            Calibration::default(),
+        )))
         .register(Arc::new(UniviStorDriver::new(Arc::clone(&uv), 0)));
     registry.set_default("lustre").unwrap();
 
     let micro = MicroIo::scaled(4, 8192);
-    for forced in [None, Some("UniviStor"), Some("data-elevator"), Some("lustre")] {
+    for forced in [
+        None,
+        Some("UniviStor"),
+        Some("data-elevator"),
+        Some("lustre"),
+    ] {
         let mut hints = Hints::new();
         if let Some(name) = forced {
             hints.set(FSTYPE_KEY, name);

@@ -3,12 +3,7 @@
 //! injection) and adaptive, usage-driven promotion of hot segments.
 
 use std::sync::Arc;
-use univistor::core::config::UniviStorConfig;
-use univistor::core::driver::UniviStorDriver;
-use univistor::core::metadata::ClientId;
-use univistor::core::server::UniviStorJob;
-use univistor::core::va::Tier;
-use univistor::sim::Payload;
+use univistor::prelude::*;
 
 /// Two nodes × two procs, tiny segments so everything is observable.
 fn job(replicate: bool) -> Arc<UniviStorJob> {
@@ -24,15 +19,19 @@ fn client(rank: u32) -> ClientId {
 }
 
 fn open_write(job: &UniviStorJob, path: &str) {
-    use univistor::mpi::driver::OpenMode;
-    job.open(path, OpenMode::Write, client(0), 4, true).unwrap();
+    job.open_file(path)
+        .write()
+        .representing(4)
+        .by(client(0))
+        .unwrap();
 }
 
 #[test]
 fn replication_doubles_cached_bytes() {
     let j = job(true);
     open_write(&j, "/f");
-    j.write(client(0), "/f", 0, Payload::pattern(1, 512)).unwrap();
+    j.write(client(0), "/f", 0, Payload::pattern(1, 512))
+        .unwrap();
     let live: u64 = j.tier_usage().iter().map(|(_, b)| b).sum();
     assert_eq!(live, 1024, "primary + replica");
     assert_eq!(j.stats().replicated_bytes, 512);
@@ -69,8 +68,11 @@ fn reads_survive_node_failure() {
 #[test]
 fn flush_survives_node_failure() {
     let j = job(true);
-    use univistor::mpi::driver::OpenMode;
-    j.open("/f", OpenMode::Write, client(0), 4, true).unwrap();
+    j.open_file("/f")
+        .write()
+        .representing(4)
+        .by(client(0))
+        .unwrap();
     for rank in 0..4u32 {
         j.write(
             client(rank),
@@ -133,11 +135,13 @@ fn double_failure_is_detected() {
 fn overwrite_releases_replica_space_too() {
     let j = job(true);
     open_write(&j, "/f");
-    j.write(client(0), "/f", 0, Payload::pattern(1, 512)).unwrap();
+    j.write(client(0), "/f", 0, Payload::pattern(1, 512))
+        .unwrap();
     let before: u64 = j.tier_usage().iter().map(|(_, b)| b).sum();
     // Overwrite the same range repeatedly: live bytes must not grow.
     for seed in 2..6u64 {
-        j.write(client(0), "/f", 0, Payload::pattern(seed, 512)).unwrap();
+        j.write(client(0), "/f", 0, Payload::pattern(seed, 512))
+            .unwrap();
     }
     let after: u64 = j.tier_usage().iter().map(|(_, b)| b).sum();
     assert_eq!(before, after, "replica space leaked on overwrite");
@@ -151,11 +155,11 @@ fn hot_segments_get_promoted_to_dram() {
     cfg.chunk_size = 256;
     cfg.segment_size = 256;
     let j = Arc::new(UniviStorJob::new(cfg));
-    use univistor::mpi::driver::OpenMode;
-    j.open("/f", OpenMode::ReadWrite, client(0), 1, true).unwrap();
+    j.open_file("/f").read_write().by(client(0)).unwrap();
 
     // 1 KiB write: 512 B to DRAM, 512 B spills to the BB.
-    j.write(client(0), "/f", 0, Payload::pattern(7, 1024)).unwrap();
+    j.write(client(0), "/f", 0, Payload::pattern(7, 1024))
+        .unwrap();
     let dram = |j: &UniviStorJob| {
         j.tier_usage()
             .iter()
@@ -176,7 +180,8 @@ fn hot_segments_get_promoted_to_dram() {
     // segment spills to the BB, displacing an old DRAM record — and the
     // *second* new segment immediately reuses the freed chunk (write-time
     // spill recovery). That leaves exactly one free DRAM chunk.
-    j.write(client(0), "/f", 0, Payload::pattern(8, 512)).unwrap();
+    j.write(client(0), "/f", 0, Payload::pattern(8, 512))
+        .unwrap();
     // Heat accounting survives; one hot BB segment can move up now.
     let promoted = j.promote_hot(3).unwrap();
     assert_eq!(promoted, 1, "one 256 B segment fits the freed DRAM chunk");
@@ -204,9 +209,9 @@ fn promotion_skips_already_fast_segments() {
     let mut cfg = UniviStorConfig::test_small(1, 1);
     cfg.cal.dram_cache_capacity_per_node = 4096;
     let j = Arc::new(UniviStorJob::new(cfg));
-    use univistor::mpi::driver::OpenMode;
-    j.open("/f", OpenMode::ReadWrite, client(0), 1, true).unwrap();
-    j.write(client(0), "/f", 0, Payload::pattern(1, 512)).unwrap();
+    j.open_file("/f").read_write().by(client(0)).unwrap();
+    j.write(client(0), "/f", 0, Payload::pattern(1, 512))
+        .unwrap();
     for _ in 0..5 {
         j.read(client(0), "/f", 0, 512).unwrap();
     }

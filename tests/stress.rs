@@ -1,13 +1,9 @@
 //! Medium-scale stress and determinism tests (beyond the proptest sizes).
 
 use std::sync::Arc;
-use univistor::core::config::UniviStorConfig;
-use univistor::core::driver::UniviStorDriver;
-use univistor::core::metadata::ClientId;
-use univistor::core::server::UniviStorJob;
-use univistor::mpi::driver::OpenMode;
+use univistor::prelude::*;
 use univistor::sim::rng::DetRng;
-use univistor::sim::{Payload, SparseBuffer};
+use univistor::sim::SparseBuffer;
 
 fn medium_cfg() -> UniviStorConfig {
     let mut cfg = UniviStorConfig::test_small(4, 8);
@@ -24,7 +20,10 @@ fn medium_cfg() -> UniviStorConfig {
 #[test]
 fn randomized_write_storm_matches_model() {
     let job = Arc::new(UniviStorJob::new(medium_cfg()));
-    job.open("/storm", OpenMode::ReadWrite, ClientId::new(0, 0), 32, true)
+    job.open_file("/storm")
+        .read_write()
+        .representing(32)
+        .by(ClientId::new(0, 0))
         .unwrap();
     let mut rng = DetRng::seed(0xbeef);
     let mut model = SparseBuffer::new();
@@ -91,7 +90,10 @@ fn fifty_files_cycle_cleanly() {
     let job = Arc::new(UniviStorJob::new(medium_cfg()));
     for i in 0..50u64 {
         let path = format!("/f{i:02}");
-        job.open(&path, OpenMode::Write, ClientId::new(0, 0), 4, true)
+        job.open_file(&path)
+            .write()
+            .representing(4)
+            .by(ClientId::new(0, 0))
             .unwrap();
         for rank in 0..4u32 {
             job.write(
@@ -122,15 +124,16 @@ fn fifty_files_cycle_cleanly() {
 fn reopen_append_reflush() {
     let job = Arc::new(UniviStorJob::new(medium_cfg()));
     let c = ClientId::new(0, 0);
-    job.open("/grow", OpenMode::Write, c, 1, true).unwrap();
+    job.open_file("/grow").write().by(c).unwrap();
     job.write(c, "/grow", 0, Payload::pattern(1, 4096)).unwrap();
     job.close("/grow", c, OpenMode::Write, 1, true)
         .unwrap()
         .expect("first flush");
     assert_eq!(job.lustre_file_size("/grow").unwrap(), 4096);
 
-    job.open("/grow", OpenMode::Write, c, 1, true).unwrap();
-    job.write(c, "/grow", 4096, Payload::pattern(2, 4096)).unwrap();
+    job.open_file("/grow").write().by(c).unwrap();
+    job.write(c, "/grow", 4096, Payload::pattern(2, 4096))
+        .unwrap();
     job.close("/grow", c, OpenMode::Write, 1, true)
         .unwrap()
         .expect("second flush");
