@@ -15,13 +15,13 @@
 //! Run with `cargo bench -p univistor-bench`. Pass a substring argument
 //! to filter groups, e.g. `cargo bench -p univistor-bench -- metadata`.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::hint::black_box;
 use std::time::Instant;
 use univistor_core::config::JobGeometry;
 use univistor_core::log::LogFile;
 use univistor_core::metadata::{ClientId, MetadataService, SegKey, SegmentRecord};
-use univistor_core::placement::ProcChain;
+use univistor_core::placement::{ChainSet, ProcChain};
 use univistor_core::read::read_segments;
 use univistor_core::striping::{adaptive_plan, naive_plan};
 use univistor_core::va::{Tier, TierMap, VirtualAddr};
@@ -123,7 +123,7 @@ fn bench_metadata(filter: &Option<String>) {
 
     for n in [1_000u64, 10_000] {
         bench(filter, &format!("metadata/distributed_insert/{n}"), || {
-            let mut md = MetadataService::new(1 << 20, 64, 8);
+            let md = MetadataService::new(1 << 20, 64, 8);
             for i in 0..n {
                 md.insert(
                     SegKey {
@@ -152,7 +152,7 @@ fn bench_metadata(filter: &Option<String>) {
     }
 
     // Range lookups over a populated store.
-    let mut md = MetadataService::new(1 << 20, 64, 8);
+    let md = MetadataService::new(1 << 20, 64, 8);
     for i in 0..100_000u64 {
         md.insert(
             SegKey {
@@ -191,16 +191,21 @@ fn bench_read_path(filter: &Option<String>) {
         procs_per_node: 8,
         servers_per_node: 2,
     };
-    let mut md = MetadataService::new(16 << 20, 8, 4);
-    let mut chains: HashMap<ClientId, ProcChain> = HashMap::new();
+    let md = MetadataService::new(16 << 20, 8, 4);
+    let chains = ChainSet::new();
     let seg = 64u64 << 10;
     for rank in 0..32u32 {
         let client = ClientId::new(0, rank);
-        let mut chain =
-            ProcChain::new(vec![(Tier::Dram, 32 * seg), (Tier::Pfs, u64::MAX)], seg).unwrap();
+        chains
+            .ensure(client, || {
+                ProcChain::new(vec![(Tier::Dram, 32 * seg), (Tier::Pfs, u64::MAX)], seg)
+            })
+            .unwrap();
         for i in 0..32u64 {
             let logical = (rank as u64 * 32 + i) * seg;
-            let placed = chain.append(Payload::pattern(logical, seg)).unwrap();
+            let placed = chains
+                .append(client, Payload::pattern(logical, seg))
+                .unwrap();
             md.insert(
                 SegKey {
                     fid: 1,
@@ -210,7 +215,6 @@ fn bench_read_path(filter: &Option<String>) {
                 geometry.node_of_rank(rank as usize),
             );
         }
-        chains.insert(client, chain);
     }
     for (name, aware) in [
         ("read_path/location_aware", true),
@@ -220,7 +224,7 @@ fn bench_read_path(filter: &Option<String>) {
         bench(filter, name, || {
             cursor = (cursor + 7) % 960;
             let (payload, _, _) = read_segments(
-                &mut md,
+                &md,
                 &chains,
                 &geometry,
                 aware,

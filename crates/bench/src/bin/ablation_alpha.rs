@@ -64,7 +64,7 @@ fn main() {
     );
     let records = 100_000u64;
     for servers in [1usize, 4, 16, 64, 256, 1024] {
-        let mut md = MetadataService::new(64 << 20, servers, 8);
+        let md = MetadataService::new(64 << 20, servers, 8);
         for i in 0..records {
             md.insert(
                 SegKey {

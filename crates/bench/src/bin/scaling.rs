@@ -1,0 +1,129 @@
+//! Thread-scaling bench: measured (wall-clock) aggregate throughput of
+//! mixed cache writes + reads through `UniviStorJob` at 1/2/4/8 client
+//! threads.
+//!
+//! Unlike the figure binaries — which model paper-scale platforms with
+//! the analytic timing plane and therefore stay on the deterministic
+//! rank loop — this bench times the *real* code under OS-thread
+//! concurrency. It exists to quantify what the sharded job locks buy:
+//! every thread acts as a distinct client writing and reading its own
+//! file, so with per-chain, per-KV-shard, and read-mostly-table locking
+//! the threads' hot paths share no exclusive lock. Results are written
+//! to `BENCH_scaling.json` so later PRs have a baseline to beat.
+//!
+//! Numbers are hardware-dependent: on a single-CPU container the speedup
+//! at 8 threads is ~1× by physics (there is one core to share); the
+//! `cpus` field records what the run had available.
+
+use std::time::Instant;
+use univistor_bench::cli::Options;
+use univistor_core::config::UniviStorConfig;
+use univistor_core::metadata::ClientId;
+use univistor_core::server::UniviStorJob;
+use univistor_mpi::driver::OpenMode;
+use univistor_obs::Json;
+use univistor_sim::Payload;
+use univistor_workloads::for_each_rank;
+
+/// Blocks each thread cycles over (bounds live bytes; overwrites past the
+/// window exercise the punch/displacement path under contention).
+const WINDOW_BLOCKS: u64 = 64;
+
+/// One timed run: `threads` clients, each doing `ops` write+read pairs of
+/// `block`-byte blocks on its own file, straight against the job API
+/// (each thread is its own independent client — no collective
+/// open/close, which would route every rank through one root).
+/// Returns elapsed seconds.
+fn run_once(threads: usize, ops: usize, block: u64) -> f64 {
+    let mut cfg = UniviStorConfig::paper(threads.max(2));
+    // Pure cache-path benchmark: no flush on close, no replication.
+    cfg.features.flush_on_close = false;
+    let job = UniviStorJob::new(cfg);
+
+    let start = Instant::now();
+    for_each_rank::<univistor_core::error::Error>(threads, threads, |t| {
+        let client = ClientId::new(0, t as u32);
+        let path = format!("/scaling/f{t}");
+        job.connect(client);
+        job.open_file(&path).read_write().by(client)?;
+        for i in 0..ops {
+            let offset = (i as u64 % WINDOW_BLOCKS) * block;
+            job.write(client, &path, offset, Payload::pattern(i as u64, block))?;
+            let got = job.read(client, &path, offset, block)?;
+            assert_eq!(got.len(), block);
+        }
+        job.close(&path, client, OpenMode::ReadWrite, 1, true)?;
+        job.disconnect(client);
+        Ok(())
+    })
+    .expect("scaling workload failed");
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let opts = Options::from_env();
+    // --quick shrinks the op count; --threads extends the sweep past 8.
+    let ops = if opts.max_procs <= 512 { 2_000 } else { 20_000 };
+    let block = 4096u64;
+    let mut sweep = vec![1usize, 2, 4, 8];
+    if opts.threads > 8 {
+        sweep.push(opts.threads);
+    }
+
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("scaling bench: {ops} write+read pairs/thread, {block} B blocks, {cpus} CPU(s)");
+    println!(
+        "{:>8} {:>12} {:>16} {:>12}",
+        "threads", "elapsed s", "agg ops/sec", "speedup"
+    );
+
+    let mut base_ops_per_sec = 0.0f64;
+    let mut rows = Vec::new();
+    for &threads in &sweep {
+        // Best of 3 to damp scheduler noise.
+        let elapsed = (0..3)
+            .map(|_| run_once(threads, ops, block))
+            .fold(f64::INFINITY, f64::min);
+        let total_ops = (threads * ops * 2) as f64;
+        let ops_per_sec = total_ops / elapsed;
+        if threads == 1 {
+            base_ops_per_sec = ops_per_sec;
+        }
+        let speedup = ops_per_sec / base_ops_per_sec;
+        println!("{threads:>8} {elapsed:>12.4} {ops_per_sec:>16.0} {speedup:>11.2}x");
+        rows.push(Json::object([
+            ("threads", Json::Number(threads as f64)),
+            ("elapsed_s", Json::Number(elapsed)),
+            ("agg_ops_per_sec", Json::Number(ops_per_sec)),
+            ("speedup_vs_1_thread", Json::Number(speedup)),
+        ]));
+    }
+
+    let doc = Json::object([
+        ("bench", Json::string("scaling")),
+        (
+            "workload",
+            Json::string(
+                "per-thread file: write block then read it back, cycling a 64-block window",
+            ),
+        ),
+        ("ops_per_thread", Json::Number(ops as f64)),
+        ("block_bytes", Json::Number(block as f64)),
+        ("cpus_available", Json::Number(cpus as f64)),
+        ("results", Json::Array(rows)),
+        (
+            "note",
+            Json::string(
+                "speedup is bounded by cpus_available: on a 1-CPU host \
+                 threads time-slice one core and the curve is flat by \
+                 physics; re-run on a multi-core host to measure the \
+                 sharded-lock scaling headroom",
+            ),
+        ),
+    ]);
+    let out = "BENCH_scaling.json";
+    std::fs::write(out, doc.render() + "\n").expect("write BENCH_scaling.json");
+    println!("wrote {out}");
+}

@@ -6,6 +6,9 @@
 //!   accepts suffixes K/M/G);
 //! * `--compute-gap S`    — seconds of emulated computation between VPIC
 //!   checkpoints (default 60, the paper's sleep);
+//! * `--threads N`        — OS threads driving ranks concurrently
+//!   (default 1, the deterministic rank loop; figure benches stay at 1 so
+//!   their CSVs are reproducible — only the `scaling` bench sweeps this);
 //! * `--quick`            — shorthand for `--max-procs 512
 //!   --bytes-per-proc 16M` (fast smoke runs).
 
@@ -20,6 +23,8 @@ pub struct Options {
     pub bytes_per_proc: u64,
     /// VPIC compute gap in seconds.
     pub compute_gap: f64,
+    /// OS threads driving ranks concurrently (1 = rank loop).
+    pub threads: usize,
     /// Directory to also write per-figure CSV files into.
     pub csv_dir: Option<std::path::PathBuf>,
 }
@@ -30,6 +35,7 @@ impl Default for Options {
             max_procs: 8192,
             bytes_per_proc: 256 << 20,
             compute_gap: 60.0,
+            threads: 1,
             csv_dir: None,
         }
     }
@@ -58,12 +64,19 @@ impl Options {
                     let v = args.next().ok_or("--compute-gap needs a value")?;
                     opts.compute_gap = v.parse().map_err(|e| format!("--compute-gap: {e}"))?;
                 }
+                "--threads" => {
+                    let v = args.next().ok_or("--threads needs a value")?;
+                    opts.threads = v.parse().map_err(|e| format!("--threads: {e}"))?;
+                    if opts.threads == 0 {
+                        return Err("--threads must be at least 1".into());
+                    }
+                }
                 "--csv-dir" => {
                     let v = args.next().ok_or("--csv-dir needs a value")?;
                     opts.csv_dir = Some(std::path::PathBuf::from(v));
                 }
                 "--help" | "-h" => {
-                    return Err("usage: [--quick] [--max-procs N] [--bytes-per-proc N[K|M|G]] [--compute-gap SECONDS] [--csv-dir DIR]".into());
+                    return Err("usage: [--quick] [--max-procs N] [--bytes-per-proc N[K|M|G]] [--compute-gap SECONDS] [--threads N] [--csv-dir DIR]".into());
                 }
                 other => return Err(format!("unknown flag '{other}'")),
             }
@@ -165,6 +178,14 @@ mod tests {
     #[test]
     fn unknown_flag_rejected() {
         assert!(parse(&["--bogus"]).is_err());
+    }
+
+    #[test]
+    fn threads_flag() {
+        assert_eq!(parse(&[]).unwrap().threads, 1);
+        assert_eq!(parse(&["--threads", "8"]).unwrap().threads, 8);
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--threads"]).is_err());
     }
 
     #[test]

@@ -15,12 +15,13 @@
 //! came from, stripe-synchronization fan-out, and lock revocations.
 
 use crate::config::UniviStorConfig;
-use crate::metadata::{ClientId, MetadataService};
+use crate::metadata::MetadataService;
 use crate::metrics::JobMetrics;
-use crate::placement::ProcChain;
+use crate::placement::ChainSet;
 use crate::striping::{adaptive_plan, naive_plan, StripePlan};
 use crate::va::{Tier, VirtualAddr};
 use std::collections::{HashMap, HashSet};
+use std::sync::RwLock;
 use univistor_pfs::Lustre;
 use univistor_sim::{SimError, SimResult};
 
@@ -51,11 +52,15 @@ pub struct FlushReceipt {
 /// their resilience replicas. A completed flush is accounted into
 /// `metrics` (drained/per-server histograms, source tiers, revocations)
 /// when a panel is given.
+///
+/// `lustre` is locked exclusively only around the individual
+/// create/delete/write calls, so a long flush does not starve concurrent
+/// `lustre_read`s; segment gathering takes shared chain/metadata locks.
 #[allow(clippy::too_many_arguments)]
 pub fn flush_file(
-    metadata: &mut MetadataService,
-    chains: &HashMap<ClientId, ProcChain>,
-    lustre: &mut Lustre,
+    metadata: &MetadataService,
+    chains: &ChainSet,
+    lustre: &RwLock<Lustre>,
     cfg: &UniviStorConfig,
     failed_nodes: &HashSet<usize>,
     metrics: Option<&JobMetrics>,
@@ -67,7 +72,7 @@ pub fn flush_file(
         return Err(SimError::InvalidFlow("flush of empty file".into()));
     }
     let servers = cfg.geometry.total_servers();
-    let osts = lustre.ost_count();
+    let osts = lustre.read().expect("lustre poisoned").ost_count();
     let plan = if cfg.features.adaptive_striping {
         adaptive_plan(file_size, servers, osts, cfg.alpha, cfg.cal.max_stripe_size)
     } else {
@@ -75,10 +80,13 @@ pub fn flush_file(
     };
 
     // (Re-)create the destination with the chosen layout.
-    if lustre.exists(dest) {
-        lustre.delete(dest)?;
+    {
+        let mut pfs = lustre.write().expect("lustre poisoned");
+        if pfs.exists(dest) {
+            pfs.delete(dest)?;
+        }
+        pfs.create(dest, plan.layout.clone())?;
     }
-    lustre.create(dest, plan.layout.clone())?;
 
     let mut per_server_bytes = vec![0u64; servers];
     let mut per_ost_bytes = vec![0u64; osts];
@@ -109,13 +117,15 @@ pub fn flush_file(
             } else {
                 (rec.client, rec.va)
             };
-            let chain = chains.get(&source).ok_or_else(|| {
-                SimError::InvalidConfig(format!("no chain for producer {source:?}"))
-            })?;
             let va = VirtualAddr(base_va.0 + (clip_lo - key.offset));
-            let payload = chain.read(va, clip_len)?;
-            *source_tiers.entry(chain.tier_of(va)).or_insert(0) += clip_len;
-            let receipt = lustre.write(dest, clip_lo, payload, server as u64)?;
+            let (payload, tier) = chains.read_at(source, va, clip_len)?;
+            *source_tiers.entry(tier).or_insert(0) += clip_len;
+            let receipt = lustre.write().expect("lustre poisoned").write(
+                dest,
+                clip_lo,
+                payload,
+                server as u64,
+            )?;
             revocations += receipt.lock_revocations;
             for (ost, bytes) in receipt.ost_bytes() {
                 per_ost_bytes[ost] += bytes;
@@ -152,49 +162,43 @@ pub fn flush_file(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::metadata::{SegKey, SegmentRecord};
+    use crate::metadata::{ClientId, SegKey, SegmentRecord};
+    use crate::placement::ProcChain;
     use univistor_sim::Payload;
 
     /// 2 nodes × 2 clients; 128 B DRAM + 128 B BB per-proc logs, 64 B
     /// chunks/segments; 4 servers.
-    fn setup() -> (
-        MetadataService,
-        HashMap<ClientId, ProcChain>,
-        Lustre,
-        UniviStorConfig,
-    ) {
+    fn setup() -> (MetadataService, ChainSet, RwLock<Lustre>, UniviStorConfig) {
         let mut cfg = UniviStorConfig::test_small(2, 2);
         cfg.geometry.servers_per_node = 2;
         let metadata = MetadataService::new(256, 4, 2);
-        let mut chains = HashMap::new();
-        for rank in 0..4u32 {
-            chains.insert(
-                ClientId::new(0, rank),
-                ProcChain::new(
-                    vec![
-                        (Tier::Dram, 128),
-                        (Tier::SharedBurstBuffer, 128),
-                        (Tier::Pfs, u64::MAX),
-                    ],
-                    64,
+        let chains: ChainSet = (0..4u32)
+            .map(|rank| {
+                (
+                    ClientId::new(0, rank),
+                    ProcChain::new(
+                        vec![
+                            (Tier::Dram, 128),
+                            (Tier::SharedBurstBuffer, 128),
+                            (Tier::Pfs, u64::MAX),
+                        ],
+                        64,
+                    )
+                    .unwrap(),
                 )
-                .unwrap(),
-            );
-        }
-        (metadata, chains, Lustre::new(8), cfg)
+            })
+            .collect();
+        (metadata, chains, RwLock::new(Lustre::new(8)), cfg)
     }
 
-    fn populate(
-        metadata: &mut MetadataService,
-        chains: &mut HashMap<ClientId, ProcChain>,
-        segs_per_client: u64,
-    ) -> u64 {
+    fn populate(metadata: &MetadataService, chains: &ChainSet, segs_per_client: u64) -> u64 {
         for rank in 0..4u32 {
             let client = ClientId::new(0, rank);
-            let chain = chains.get_mut(&client).expect("chain");
             for i in 0..segs_per_client {
                 let logical = (rank as u64 * segs_per_client + i) * 64;
-                let placed = chain.append(Payload::pattern(logical, 64)).unwrap();
+                let placed = chains
+                    .append(client, Payload::pattern(logical, 64))
+                    .unwrap();
                 metadata.insert(
                     SegKey {
                         fid: 1,
@@ -210,12 +214,12 @@ mod tests {
 
     #[test]
     fn flushed_file_reads_back_from_lustre() {
-        let (mut md, mut chains, mut lustre, cfg) = setup();
-        let size = populate(&mut md, &mut chains, 4);
+        let (md, chains, lustre, cfg) = setup();
+        let size = populate(&md, &chains, 4);
         let receipt = flush_file(
-            &mut md,
+            &md,
             &chains,
-            &mut lustre,
+            &lustre,
             &cfg,
             &HashSet::new(),
             None,
@@ -225,6 +229,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(receipt.file_size, size);
+        let lustre = lustre.read().unwrap();
         assert_eq!(lustre.file_size("/pfs/f").unwrap(), size);
         let whole = lustre.read("/pfs/f", 0, size, 999).unwrap();
         for s in 0..(size / 64) {
@@ -239,13 +244,13 @@ mod tests {
 
     #[test]
     fn receipt_accounts_every_byte() {
-        let (mut md, mut chains, mut lustre, cfg) = setup();
-        let size = populate(&mut md, &mut chains, 4);
+        let (md, chains, lustre, cfg) = setup();
+        let size = populate(&md, &chains, 4);
         let m = JobMetrics::new();
         let r = flush_file(
-            &mut md,
+            &md,
             &chains,
-            &mut lustre,
+            &lustre,
             &cfg,
             &HashSet::new(),
             Some(&m),
@@ -279,13 +284,13 @@ mod tests {
     #[test]
     fn adaptive_and_naive_both_produce_correct_files() {
         for adaptive in [true, false] {
-            let (mut md, mut chains, mut lustre, mut cfg) = setup();
+            let (md, chains, lustre, mut cfg) = setup();
             cfg.features.adaptive_striping = adaptive;
-            let size = populate(&mut md, &mut chains, 2);
+            let size = populate(&md, &chains, 2);
             let r = flush_file(
-                &mut md,
+                &md,
                 &chains,
-                &mut lustre,
+                &lustre,
                 &cfg,
                 &HashSet::new(),
                 None,
@@ -294,7 +299,7 @@ mod tests {
                 "/pfs/f",
             )
             .unwrap();
-            let whole = lustre.read("/pfs/f", 0, size, 999).unwrap();
+            let whole = lustre.read().unwrap().read("/pfs/f", 0, size, 999).unwrap();
             assert_eq!(whole.len(), size, "adaptive={adaptive}");
             assert_eq!(r.file_size, size);
         }
@@ -302,12 +307,12 @@ mod tests {
 
     #[test]
     fn reflush_overwrites_destination() {
-        let (mut md, mut chains, mut lustre, cfg) = setup();
-        let size = populate(&mut md, &mut chains, 2);
+        let (md, chains, lustre, cfg) = setup();
+        let size = populate(&md, &chains, 2);
         flush_file(
-            &mut md,
+            &md,
             &chains,
-            &mut lustre,
+            &lustre,
             &cfg,
             &HashSet::new(),
             None,
@@ -319,9 +324,9 @@ mod tests {
         // Flush again (e.g. the file was re-opened and appended — here
         // identical): destination is recreated, not corrupted.
         flush_file(
-            &mut md,
+            &md,
             &chains,
-            &mut lustre,
+            &lustre,
             &cfg,
             &HashSet::new(),
             None,
@@ -330,18 +335,18 @@ mod tests {
             "/pfs/f",
         )
         .unwrap();
-        assert_eq!(lustre.file_size("/pfs/f").unwrap(), size);
+        assert_eq!(lustre.read().unwrap().file_size("/pfs/f").unwrap(), size);
     }
 
     #[test]
     fn flush_with_holes_fails() {
-        let (mut md, mut chains, mut lustre, cfg) = setup();
-        let size = populate(&mut md, &mut chains, 2);
+        let (md, chains, lustre, cfg) = setup();
+        let size = populate(&md, &chains, 2);
         // Claim the file is bigger than what was written.
         let err = flush_file(
-            &mut md,
+            &md,
             &chains,
-            &mut lustre,
+            &lustre,
             &cfg,
             &HashSet::new(),
             None,
@@ -355,11 +360,11 @@ mod tests {
 
     #[test]
     fn empty_flush_rejected() {
-        let (mut md, chains, mut lustre, cfg) = setup();
+        let (md, chains, lustre, cfg) = setup();
         assert!(flush_file(
-            &mut md,
+            &md,
             &chains,
-            &mut lustre,
+            &lustre,
             &cfg,
             &HashSet::new(),
             None,

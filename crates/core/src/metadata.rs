@@ -10,9 +10,18 @@
 //! records produced on its own node (§II-B4): the location-aware read
 //! service consults it first so that locally-resident data is served
 //! without any server round trip.
+//!
+//! The service is internally synchronized: the KV shards carry their own
+//! locks and each node buffer has an `RwLock`, so every method takes
+//! `&self` and lookups by different clients proceed in parallel. Writers
+//! targeting the same byte range concurrently are the caller's problem
+//! (MPI leaves overlapping unsynchronized writes undefined); displacement
+//! is claimed per record with a compare-and-delete so each displaced span
+//! is released exactly once.
 
 use crate::va::VirtualAddr;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::RwLock;
 use univistor_kv::{DistKv, PartitionKey, ServerId};
 
 /// A client process: which coupled application and which global rank.
@@ -92,7 +101,7 @@ pub struct Displaced {
 pub struct MetadataService {
     kv: DistKv<SegKey, SegmentRecord>,
     /// Per node: fid → offset → record, for records produced on that node.
-    local: Vec<HashMap<u64, BTreeMap<u64, SegmentRecord>>>,
+    local: Vec<RwLock<HashMap<u64, BTreeMap<u64, SegmentRecord>>>>,
 }
 
 impl MetadataService {
@@ -100,7 +109,7 @@ impl MetadataService {
     pub fn new(range_size: u64, servers: usize, nodes: usize) -> Self {
         MetadataService {
             kv: DistKv::new(range_size, servers),
-            local: vec![HashMap::new(); nodes],
+            local: (0..nodes).map(|_| RwLock::new(HashMap::new())).collect(),
         }
     }
 
@@ -109,7 +118,7 @@ impl MetadataService {
     /// records are trimmed/removed; the displaced spans are returned so
     /// the caller can release log space.
     pub fn insert(
-        &mut self,
+        &self,
         key: SegKey,
         record: SegmentRecord,
         producer_node: usize,
@@ -125,6 +134,8 @@ impl MetadataService {
         let displaced = self.punch(key.fid, key.offset, key.offset + record.len);
         let (server, _) = self.kv.put(key, record);
         self.local[producer_node]
+            .write()
+            .expect("node buffer poisoned")
             .entry(key.fid)
             .or_default()
             .insert(key.offset, record);
@@ -132,8 +143,11 @@ impl MetadataService {
     }
 
     /// Remove every byte of `[lo, hi)` of `fid` from the index, trimming
-    /// partially-overlapped records. Returns the displaced spans.
-    pub fn punch(&mut self, fid: u64, lo: u64, hi: u64) -> Vec<Displaced> {
+    /// partially-overlapped records. Returns the displaced spans. Each
+    /// overlapped record is claimed with a compare-and-delete, so when two
+    /// punches race over the same record only one of them reports (and
+    /// later releases) its span.
+    pub fn punch(&self, fid: u64, lo: u64, hi: u64) -> Vec<Displaced> {
         if lo >= hi {
             return Vec::new();
         }
@@ -158,13 +172,15 @@ impl MetadataService {
         );
         let overlapping: Vec<(SegKey, SegmentRecord)> = hits
             .into_iter()
-            .map(|(k, v)| (k, *v))
             .filter(|(k, v)| k.offset < hi && k.offset + v.len > lo)
             .collect();
 
         let mut displaced = Vec::new();
         for (k, v) in overlapping {
-            self.kv.remove(&k);
+            if !self.kv.remove_if_eq(&k, &v).1 {
+                // A racing punch already claimed (or replaced) this record.
+                continue;
+            }
             self.remove_local(k);
             let seg_end = k.offset + v.len;
             // Left fragment survives.
@@ -206,15 +222,16 @@ impl MetadataService {
         displaced
     }
 
-    fn remove_local(&mut self, key: SegKey) {
-        for node in &mut self.local {
+    fn remove_local(&self, key: SegKey) {
+        for node in &self.local {
+            let mut node = node.write().expect("node buffer poisoned");
             if let Some(per_fid) = node.get_mut(&key.fid) {
                 per_fid.remove(&key.offset);
             }
         }
     }
 
-    fn relocal(&mut self, key: SegKey, record: SegmentRecord) {
+    fn relocal(&self, key: SegKey, record: SegmentRecord) {
         // The fragment inherits the original record's producer node; we do
         // not track it separately, so refresh every node buffer that held
         // the parent. Fragments are only created on the producer's node
@@ -222,7 +239,8 @@ impl MetadataService {
         // lookup: the caller's insert() path re-caches fresh records, and
         // fragments keep the same producer — cache on every node that held
         // the parent is equivalent to caching on the producer's node.
-        for node in &mut self.local {
+        for node in &self.local {
+            let mut node = node.write().expect("node buffer poisoned");
             if node.contains_key(&key.fid) {
                 // Only nodes already tracking this fid are candidates; the
                 // producer's node is among them.
@@ -232,15 +250,39 @@ impl MetadataService {
     }
 
     /// Point lookup of one record (one metadata-server RPC).
-    pub fn get(&mut self, key: &SegKey) -> (ServerId, Option<&SegmentRecord>) {
+    pub fn get(&self, key: &SegKey) -> (ServerId, Option<SegmentRecord>) {
         self.kv.get(key)
+    }
+
+    /// Compare-and-swap a record: replace `key`'s value with `new` only if
+    /// it still equals `expected`, refreshing the producer node's buffer on
+    /// success. The promotion path uses this so a record overwritten
+    /// between its read and its rewrite is left alone.
+    pub fn replace_if_current(
+        &self,
+        key: SegKey,
+        expected: &SegmentRecord,
+        new: SegmentRecord,
+        producer_node: usize,
+    ) -> (ServerId, bool) {
+        let (server, swapped) = self.kv.replace_if_eq(&key, expected, new);
+        if swapped {
+            self.remove_local(key);
+            self.local[producer_node]
+                .write()
+                .expect("node buffer poisoned")
+                .entry(key.fid)
+                .or_default()
+                .insert(key.offset, new);
+        }
+        (server, swapped)
     }
 
     /// Distributed lookup of all records intersecting `[lo, hi)` of `fid`,
     /// sorted by offset. Returns the metadata servers visited (each visit
-    /// is an RPC in the timing plane).
+    /// is an RPC in the timing plane). Takes only shared shard locks.
     pub fn lookup_range(
-        &mut self,
+        &self,
         fid: u64,
         lo: u64,
         hi: u64,
@@ -259,14 +301,13 @@ impl MetadataService {
         );
         let records = hits
             .into_iter()
-            .map(|(k, v)| (k, *v))
             .filter(|(k, v)| k.offset < hi && k.offset + v.len > lo)
             .collect();
         (servers, records)
     }
 
     /// Node-local lookup in the shared metadata buffer: records produced on
-    /// `node` intersecting `[lo, hi)`. No server RPC.
+    /// `node` intersecting `[lo, hi)`. No server RPC, shared lock only.
     pub fn lookup_local(
         &self,
         node: usize,
@@ -274,7 +315,8 @@ impl MetadataService {
         lo: u64,
         hi: u64,
     ) -> Vec<(SegKey, SegmentRecord)> {
-        let Some(per_fid) = self.local[node].get(&fid) else {
+        let node = self.local[node].read().expect("node buffer poisoned");
+        let Some(per_fid) = node.get(&fid) else {
             return Vec::new();
         };
         // Start one record earlier in case it overlaps from the left.
@@ -325,7 +367,7 @@ mod tests {
 
     #[test]
     fn insert_then_lookup() {
-        let mut m = svc();
+        let m = svc();
         m.insert(SegKey { fid: 1, offset: 0 }, rec(0, 0, 0, 100), 0);
         m.insert(
             SegKey {
@@ -343,7 +385,7 @@ mod tests {
 
     #[test]
     fn lookup_is_fid_scoped() {
-        let mut m = svc();
+        let m = svc();
         m.insert(SegKey { fid: 1, offset: 0 }, rec(0, 0, 0, 10), 0);
         m.insert(SegKey { fid: 2, offset: 0 }, rec(0, 1, 0, 10), 0);
         let (_, records) = m.lookup_range(1, 0, 100);
@@ -353,7 +395,7 @@ mod tests {
 
     #[test]
     fn lookup_catches_left_overlapping_record() {
-        let mut m = svc();
+        let m = svc();
         // Record starts at 50, spans into the queried range [100, 150).
         m.insert(SegKey { fid: 1, offset: 50 }, rec(0, 0, 0, 60), 0);
         let (_, records) = m.lookup_range(1, 100, 150);
@@ -363,7 +405,7 @@ mod tests {
 
     #[test]
     fn exact_overwrite_displaces_whole_record() {
-        let mut m = svc();
+        let m = svc();
         m.insert(SegKey { fid: 1, offset: 0 }, rec(0, 0, 7, 100), 0);
         let (_, displaced) = m.insert(SegKey { fid: 1, offset: 0 }, rec(0, 1, 200, 100), 1);
         assert_eq!(
@@ -382,7 +424,7 @@ mod tests {
 
     #[test]
     fn partial_overwrite_trims_record() {
-        let mut m = svc();
+        let m = svc();
         // Old record covers [0, 100) at VA 1000.
         m.insert(SegKey { fid: 1, offset: 0 }, rec(0, 0, 1000, 100), 0);
         // New write covers [30, 60).
@@ -406,7 +448,7 @@ mod tests {
 
     #[test]
     fn overwrite_spanning_multiple_records() {
-        let mut m = svc();
+        let m = svc();
         for i in 0..4u64 {
             m.insert(
                 SegKey {
@@ -428,7 +470,7 @@ mod tests {
 
     #[test]
     fn local_buffer_serves_producer_node_records() {
-        let mut m = svc();
+        let m = svc();
         m.insert(SegKey { fid: 1, offset: 0 }, rec(0, 0, 0, 64), 0);
         m.insert(SegKey { fid: 1, offset: 64 }, rec(0, 32, 0, 64), 1);
         // Node 0 sees only its own production.
@@ -442,7 +484,7 @@ mod tests {
 
     #[test]
     fn records_distribute_across_servers_round_robin() {
-        let mut m = MetadataService::new(64, 4, 1);
+        let m = MetadataService::new(64, 4, 1);
         // 64 segments of 64 bytes → 16 ranges round-robin over 4 servers.
         for i in 0..64u64 {
             m.insert(
@@ -459,9 +501,28 @@ mod tests {
 
     #[test]
     fn punch_empty_range_is_noop() {
-        let mut m = svc();
+        let m = svc();
         m.insert(SegKey { fid: 1, offset: 0 }, rec(0, 0, 0, 10), 0);
         assert!(m.punch(1, 5, 5).is_empty());
         assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn replace_if_current_is_a_cas() {
+        let m = svc();
+        let old = rec(0, 0, 0, 64);
+        m.insert(SegKey { fid: 1, offset: 0 }, old, 0);
+        let new = rec(0, 0, 4096, 64);
+        assert!(
+            m.replace_if_current(SegKey { fid: 1, offset: 0 }, &old, new, 0)
+                .1
+        );
+        // Stale expectation no longer matches.
+        assert!(
+            !m.replace_if_current(SegKey { fid: 1, offset: 0 }, &old, new, 0)
+                .1
+        );
+        let (_, got) = m.get(&SegKey { fid: 1, offset: 0 });
+        assert_eq!(got, Some(new));
     }
 }

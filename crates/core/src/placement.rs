@@ -13,8 +13,11 @@
 //! that node, and for shared layers the totals across the job.
 
 use crate::log::LogFile;
+use crate::metadata::ClientId;
 use crate::va::{Tier, TierMap, VirtualAddr};
-use univistor_sim::{Payload, SimResult};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, RwLock};
+use univistor_sim::{Payload, SimError, SimResult};
 
 /// Where an appended segment landed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,6 +122,139 @@ impl ProcChain {
     /// Total live bytes across layers.
     pub fn live_bytes(&self) -> u64 {
         self.logs.iter().map(LogFile::live_bytes).sum()
+    }
+}
+
+/// The job's set of per-client log chains, each behind its own lock so
+/// different clients append/read/release concurrently — DHP's whole point
+/// (writes never cross clients). The map itself is read-mostly (a chain is
+/// inserted once per client at first open) and guarded by an `RwLock`;
+/// per-chain locks nest strictly inside the map lock and at most one chain
+/// lock is held at a time (replica appends and displacement releases take
+/// the owners' locks sequentially, never together).
+#[derive(Debug, Default)]
+pub struct ChainSet {
+    chains: RwLock<HashMap<ClientId, Arc<RwLock<ProcChain>>>>,
+}
+
+impl ChainSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        ChainSet::default()
+    }
+
+    /// True when `client` already owns a chain.
+    pub fn contains(&self, client: ClientId) -> bool {
+        self.read_map().contains_key(&client)
+    }
+
+    /// Number of chains.
+    pub fn len(&self) -> usize {
+        self.read_map().len()
+    }
+
+    /// True when no client owns a chain yet.
+    pub fn is_empty(&self) -> bool {
+        self.read_map().is_empty()
+    }
+
+    fn read_map(
+        &self,
+    ) -> std::sync::RwLockReadGuard<'_, HashMap<ClientId, Arc<RwLock<ProcChain>>>> {
+        self.chains.read().expect("chain map poisoned")
+    }
+
+    fn chain(&self, client: ClientId) -> SimResult<Arc<RwLock<ProcChain>>> {
+        self.read_map()
+            .get(&client)
+            .cloned()
+            .ok_or_else(|| SimError::InvalidConfig(format!("no chain for producer {client:?}")))
+    }
+
+    /// Insert `client`'s chain if absent, building it with `make`.
+    pub fn ensure(
+        &self,
+        client: ClientId,
+        make: impl FnOnce() -> SimResult<ProcChain>,
+    ) -> SimResult<()> {
+        if self.contains(client) {
+            return Ok(());
+        }
+        let chain = make()?;
+        let mut map = self.chains.write().expect("chain map poisoned");
+        map.entry(client)
+            .or_insert_with(|| Arc::new(RwLock::new(chain)));
+        Ok(())
+    }
+
+    /// Append one segment to `client`'s chain (exclusive chain lock).
+    pub fn append(&self, client: ClientId, payload: Payload) -> SimResult<PlacedSegment> {
+        let chain = self.chain(client)?;
+        let mut chain = chain.write().expect("chain poisoned");
+        chain.append(payload)
+    }
+
+    /// Read `len` bytes at `va` of `client`'s chain plus the tier they
+    /// reside on. Takes only shared locks — concurrent readers of
+    /// different (or the same) chains never block each other.
+    pub fn read_at(
+        &self,
+        client: ClientId,
+        va: VirtualAddr,
+        len: u64,
+    ) -> SimResult<(Payload, Tier)> {
+        let chain = self.chain(client)?;
+        let chain = chain.read().expect("chain poisoned");
+        let payload = chain.read(va, len)?;
+        Ok((payload, chain.tier_of(va)))
+    }
+
+    /// Release `len` bytes at `va` of `client`'s chain. A missing chain is
+    /// a no-op (the displaced owner may never have connected — e.g. a
+    /// replica whose buddy is gone).
+    pub fn release(&self, client: ClientId, va: VirtualAddr, len: u64) {
+        if let Ok(chain) = self.chain(client) {
+            chain.write().expect("chain poisoned").release(va, len);
+        }
+    }
+
+    /// Aggregate live bytes per tier across every chain (shared locks).
+    pub fn live_by_tier(&self) -> BTreeMap<Tier, u64> {
+        let mut usage = BTreeMap::new();
+        for chain in self.read_map().values() {
+            let chain = chain.read().expect("chain poisoned");
+            for (tier, bytes) in chain.live_by_layer() {
+                *usage.entry(tier).or_insert(0) += bytes;
+            }
+        }
+        usage
+    }
+
+    /// Total live bytes across all chains.
+    pub fn live_bytes(&self) -> u64 {
+        self.read_map()
+            .values()
+            .map(|c| c.read().expect("chain poisoned").live_bytes())
+            .sum()
+    }
+
+    /// Run `f` with shared access to `client`'s chain.
+    pub fn with<R>(&self, client: ClientId, f: impl FnOnce(&ProcChain) -> R) -> SimResult<R> {
+        let chain = self.chain(client)?;
+        let chain = chain.read().expect("chain poisoned");
+        Ok(f(&chain))
+    }
+}
+
+impl FromIterator<(ClientId, ProcChain)> for ChainSet {
+    fn from_iter<I: IntoIterator<Item = (ClientId, ProcChain)>>(iter: I) -> Self {
+        ChainSet {
+            chains: RwLock::new(
+                iter.into_iter()
+                    .map(|(c, chain)| (c, Arc::new(RwLock::new(chain))))
+                    .collect(),
+            ),
+        }
     }
 }
 

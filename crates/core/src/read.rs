@@ -17,8 +17,8 @@
 
 use crate::config::JobGeometry;
 use crate::metadata::{ClientId, MetadataService, SegKey, SegmentRecord};
-use crate::placement::ProcChain;
-use std::collections::{HashMap, HashSet};
+use crate::placement::ChainSet;
+use std::collections::HashSet;
 use univistor_sim::{Payload, SimError, SimResult};
 
 /// Byte/RPC accounting of one (or many aggregated) read operations — the
@@ -79,10 +79,13 @@ impl ReadTrace {
 /// metadata keys touched (for access-pattern tracking). When a producer's
 /// node is in `failed_nodes`, the segment is served from its resilience
 /// replica (if one exists).
+///
+/// The whole path takes only shared locks (metadata shards, node buffers,
+/// producer chains), so concurrent readers never serialize on each other.
 #[allow(clippy::too_many_arguments)]
 pub fn read_segments(
-    metadata: &mut MetadataService,
-    chains: &HashMap<ClientId, ProcChain>,
+    metadata: &MetadataService,
+    chains: &ChainSet,
     geometry: &JobGeometry,
     location_aware: bool,
     failed_nodes: &HashSet<usize>,
@@ -181,14 +184,10 @@ pub fn read_segments(
                 crate::va::VirtualAddr(r.va.0 + (clip_lo - k.offset)),
             )
         };
-        let producer_chain = chains
-            .get(&source)
-            .ok_or_else(|| SimError::InvalidConfig(format!("no chain for producer {source:?}")))?;
         let va = source_va;
-        let payload = producer_chain.read(va, clip_len)?;
+        let (payload, tier) = chains.read_at(source, va, clip_len)?;
         parts.push(payload);
 
-        let tier = producer_chain.tier_of(va);
         let producer_node = geometry.node_of_rank(source.rank as usize);
         if tier.node_local() {
             if producer_node == my_node {
@@ -229,45 +228,45 @@ mod tests {
 
     /// Two nodes × two clients each; tiny tiers: 128 B DRAM log, 128 B BB
     /// log, then PFS. Chunk = 64 B, segments = 64 B.
-    fn setup() -> (MetadataService, HashMap<ClientId, ProcChain>, JobGeometry) {
+    fn setup() -> (MetadataService, ChainSet, JobGeometry) {
         let geometry = JobGeometry {
             nodes: 2,
             procs_per_node: 2,
             servers_per_node: 1,
         };
         let metadata = MetadataService::new(256, 2, 2);
-        let mut chains = HashMap::new();
-        for rank in 0..4u32 {
-            chains.insert(
-                ClientId::new(0, rank),
-                ProcChain::new(
-                    vec![
-                        (Tier::Dram, 128),
-                        (Tier::SharedBurstBuffer, 128),
-                        (Tier::Pfs, u64::MAX),
-                    ],
-                    64,
+        let chains: ChainSet = (0..4u32)
+            .map(|rank| {
+                (
+                    ClientId::new(0, rank),
+                    crate::placement::ProcChain::new(
+                        vec![
+                            (Tier::Dram, 128),
+                            (Tier::SharedBurstBuffer, 128),
+                            (Tier::Pfs, u64::MAX),
+                        ],
+                        64,
+                    )
+                    .unwrap(),
                 )
-                .unwrap(),
-            );
-        }
+            })
+            .collect();
         (metadata, chains, geometry)
     }
 
     /// Writer helper: client writes `n` 64-byte segments of a shared file,
     /// at logical offset = (rank * n + i) * 64.
     fn write_segments(
-        metadata: &mut MetadataService,
-        chains: &mut HashMap<ClientId, ProcChain>,
+        metadata: &MetadataService,
+        chains: &ChainSet,
         geometry: &JobGeometry,
         client: ClientId,
         n: u64,
     ) {
-        let chain = chains.get_mut(&client).expect("chain exists");
         for i in 0..n {
             let logical = (client.rank as u64 * n + i) * 64;
             let seed = logical; // deterministic content per offset
-            let placed: PlacedSegment = chain.append(Payload::pattern(seed, 64)).unwrap();
+            let placed: PlacedSegment = chains.append(client, Payload::pattern(seed, 64)).unwrap();
             metadata.insert(
                 SegKey {
                     fid: 1,
@@ -281,13 +280,13 @@ mod tests {
 
     #[test]
     fn full_file_reads_back_exactly() {
-        let (mut md, mut chains, geom) = setup();
+        let (md, chains, geom) = setup();
         for rank in 0..4 {
-            write_segments(&mut md, &mut chains, &geom, ClientId::new(0, rank), 4);
+            write_segments(&md, &chains, &geom, ClientId::new(0, rank), 4);
         }
         for aware in [false, true] {
             let (payload, trace, _) = read_segments(
-                &mut md,
+                &md,
                 &chains,
                 &geom,
                 aware,
@@ -312,11 +311,11 @@ mod tests {
 
     #[test]
     fn location_aware_serves_local_data_without_rpcs() {
-        let (mut md, mut chains, geom) = setup();
+        let (md, chains, geom) = setup();
         // Client 0 writes 2 segments, all on its DRAM log.
-        write_segments(&mut md, &mut chains, &geom, ClientId::new(0, 0), 2);
+        write_segments(&md, &chains, &geom, ClientId::new(0, 0), 2);
         let (_, trace, _) = read_segments(
-            &mut md,
+            &md,
             &chains,
             &geom,
             true,
@@ -334,10 +333,10 @@ mod tests {
 
     #[test]
     fn naive_pays_server_copy_for_local_data() {
-        let (mut md, mut chains, geom) = setup();
-        write_segments(&mut md, &mut chains, &geom, ClientId::new(0, 0), 2);
+        let (md, chains, geom) = setup();
+        write_segments(&md, &chains, &geom, ClientId::new(0, 0), 2);
         let (_, trace, _) = read_segments(
-            &mut md,
+            &md,
             &chains,
             &geom,
             false,
@@ -354,11 +353,11 @@ mod tests {
 
     #[test]
     fn same_node_neighbor_counts_as_local() {
-        let (mut md, mut chains, geom) = setup();
+        let (md, chains, geom) = setup();
         // Rank 1 (node 0) writes; rank 0 (node 0) reads.
-        write_segments(&mut md, &mut chains, &geom, ClientId::new(0, 1), 2);
+        write_segments(&md, &chains, &geom, ClientId::new(0, 1), 2);
         let (_, trace, _) = read_segments(
-            &mut md,
+            &md,
             &chains,
             &geom,
             true,
@@ -374,11 +373,11 @@ mod tests {
 
     #[test]
     fn cross_node_dram_data_is_remote() {
-        let (mut md, mut chains, geom) = setup();
+        let (md, chains, geom) = setup();
         // Rank 2 (node 1) writes; rank 0 (node 0) reads.
-        write_segments(&mut md, &mut chains, &geom, ClientId::new(0, 2), 2);
+        write_segments(&md, &chains, &geom, ClientId::new(0, 2), 2);
         let (_, trace, _) = read_segments(
-            &mut md,
+            &md,
             &chains,
             &geom,
             true,
@@ -395,12 +394,12 @@ mod tests {
 
     #[test]
     fn bb_resident_data_fetched_directly_when_aware() {
-        let (mut md, mut chains, geom) = setup();
+        let (md, chains, geom) = setup();
         // Rank 2 writes 4 segments: 2 fill DRAM, 2 spill to BB.
-        write_segments(&mut md, &mut chains, &geom, ClientId::new(0, 2), 4);
+        write_segments(&md, &chains, &geom, ClientId::new(0, 2), 4);
         // Rank 0 reads the spilled half.
         let (_, aware, _) = read_segments(
-            &mut md,
+            &md,
             &chains,
             &geom,
             true,
@@ -413,7 +412,7 @@ mod tests {
         .unwrap();
         assert_eq!(aware.shared_direct_bytes, 128, "{aware:?}");
         let (_, naive, _) = read_segments(
-            &mut md,
+            &md,
             &chains,
             &geom,
             false,
@@ -429,10 +428,10 @@ mod tests {
 
     #[test]
     fn hole_in_file_is_an_error() {
-        let (mut md, mut chains, geom) = setup();
-        write_segments(&mut md, &mut chains, &geom, ClientId::new(0, 0), 1);
+        let (md, chains, geom) = setup();
+        write_segments(&md, &chains, &geom, ClientId::new(0, 0), 1);
         let err = read_segments(
-            &mut md,
+            &md,
             &chains,
             &geom,
             true,
@@ -448,10 +447,10 @@ mod tests {
 
     #[test]
     fn unaligned_read_clips_segments() {
-        let (mut md, mut chains, geom) = setup();
-        write_segments(&mut md, &mut chains, &geom, ClientId::new(0, 0), 2);
+        let (md, chains, geom) = setup();
+        write_segments(&md, &chains, &geom, ClientId::new(0, 0), 2);
         let (payload, trace, _) = read_segments(
-            &mut md,
+            &md,
             &chains,
             &geom,
             true,
@@ -474,9 +473,9 @@ mod tests {
 
     #[test]
     fn zero_len_read_is_trivial() {
-        let (mut md, chains, geom) = setup();
+        let (md, chains, geom) = setup();
         let (p, t, _) = read_segments(
-            &mut md,
+            &md,
             &chains,
             &geom,
             true,

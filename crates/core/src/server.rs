@@ -9,6 +9,16 @@
 //! state file. Client-side drivers (`crate::driver`) call into it; the
 //! bench harness calls the same methods rank-by-rank at paper scale.
 //!
+//! The job state is decomposed into independently locked shards so that
+//! operations by different clients proceed in parallel — the in-process
+//! analogue of the contention avoidance the paper builds at system scale
+//! (per-process logs, range-partitioned metadata servers): the file table
+//! and connection set are `RwLock`ed and read-mostly, file ids come from an
+//! atomic, every client's chain has its own lock ([`ChainSet`]), the
+//! metadata KV locks per shard, and Lustre sits behind one `RwLock` whose
+//! read path takes only the shared side. See DESIGN.md §"Concurrency
+//! model" for the shard map and the lock acquisition order.
+//!
 //! Every hot path reports into the job's [`JobMetrics`] panel;
 //! [`UniviStorJob::metrics`] snapshots it. The legacy [`JobStats`] view is
 //! *derived* from those same counters (plus the structured leftovers the
@@ -20,12 +30,13 @@ use crate::error::{Error, Result};
 use crate::flush::{flush_file, FlushReceipt};
 use crate::metadata::{ClientId, MetadataService, SegKey, SegmentRecord};
 use crate::metrics::{JobMetrics, ScalarValues};
-use crate::placement::{layer_caps_with_node_local, ProcChain};
+use crate::placement::{layer_caps_with_node_local, ChainSet, ProcChain};
 use crate::read::{read_segments, ReadTrace};
 use crate::va::Tier;
 use crate::workflow::StateFile;
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 use univistor_mpi::driver::OpenMode;
 use univistor_obs::MetricsSnapshot;
 use univistor_pfs::Lustre;
@@ -64,38 +75,47 @@ pub struct JobStats {
     pub promotions: u64,
 }
 
+/// One cached file. `size`/`written` are atomics so the data path updates
+/// them under the file table's *shared* lock; `open_count` changes only in
+/// open/close, which hold the exclusive lock anyway.
 #[derive(Debug)]
 struct FileEntry {
     fid: u64,
-    size: u64,
+    size: AtomicU64,
     open_count: usize,
-    written: bool,
+    written: AtomicBool,
 }
 
+/// Structured accounting the flat metrics panel cannot hold, plus the
+/// baseline `stats()` diffs against. Cold-path only (flush completions,
+/// stats snapshots), so a plain mutex.
 #[derive(Debug)]
-struct JobState {
-    files: HashMap<String, FileEntry>,
-    chains: HashMap<ClientId, ProcChain>,
-    metadata: MetadataService,
-    lustre: Lustre,
-    connected: HashSet<ClientId>,
+struct Accounting {
     /// Counter values at the last `take_stats` — `stats()` reports the
     /// delta since this baseline over the monotonic metrics panel.
     stats_base: ScalarValues,
-    /// Structured accounting the flat panel cannot hold.
     flush_receipts: Vec<FlushReceipt>,
     bytes_by_client_tier: HashMap<(ClientId, Tier), u64>,
-    next_fid: u64,
-    /// Nodes whose volatile storage has been lost (failure injection).
-    failed_nodes: HashSet<usize>,
-    /// Per-segment read counts driving adaptive promotion.
-    heat: HashMap<SegKey, u32>,
 }
 
 /// The running UniviStor service for one job.
 pub struct UniviStorJob {
     cfg: UniviStorConfig,
-    state: Mutex<JobState>,
+    /// path → file entry. Read-mostly: exclusive only in open/close.
+    files: RwLock<HashMap<String, FileEntry>>,
+    /// Per-client DHP log chains, individually locked.
+    chains: ChainSet,
+    /// Internally synchronized (per-KV-shard + per-node-buffer locks).
+    metadata: MetadataService,
+    /// Destination PFS; reads take the shared side.
+    lustre: RwLock<Lustre>,
+    connected: RwLock<HashSet<ClientId>>,
+    next_fid: AtomicU64,
+    /// Nodes whose volatile storage has been lost (failure injection).
+    failed_nodes: RwLock<HashSet<usize>>,
+    /// Per-segment read counts driving adaptive promotion.
+    heat: Mutex<HashMap<SegKey, u32>>,
+    accounting: Mutex<Accounting>,
     state_file: StateFile,
     metrics: Arc<JobMetrics>,
 }
@@ -187,18 +207,18 @@ impl UniviStorJob {
         let stats_base = metrics.scalars();
         UniviStorJob {
             cfg,
-            state: Mutex::new(JobState {
-                files: HashMap::new(),
-                chains: HashMap::new(),
-                metadata,
-                lustre,
-                connected: HashSet::new(),
+            files: RwLock::new(HashMap::new()),
+            chains: ChainSet::new(),
+            metadata,
+            lustre: RwLock::new(lustre),
+            connected: RwLock::new(HashSet::new()),
+            next_fid: AtomicU64::new(1),
+            failed_nodes: RwLock::new(HashSet::new()),
+            heat: Mutex::new(HashMap::new()),
+            accounting: Mutex::new(Accounting {
                 stats_base,
                 flush_receipts: Vec::new(),
                 bytes_by_client_tier: HashMap::new(),
-                next_fid: 1,
-                failed_nodes: HashSet::new(),
-                heat: HashMap::new(),
             }),
             state_file: StateFile::new(),
             metrics,
@@ -249,20 +269,25 @@ impl UniviStorJob {
 
     /// Connection management: a client announced itself (`MPI_Init`).
     pub fn connect(&self, client: ClientId) {
-        let mut st = self.state.lock().unwrap();
-        st.connected.insert(client);
+        self.connected
+            .write()
+            .expect("connected poisoned")
+            .insert(client);
     }
 
     /// A client departed (`MPI_Finalize`).
     pub fn disconnect(&self, client: ClientId) {
-        let mut st = self.state.lock().unwrap();
-        st.connected.remove(&client);
+        self.connected
+            .write()
+            .expect("connected poisoned")
+            .remove(&client);
     }
 
     /// Connected clients (servers terminate when this reaches zero after
-    /// the last application exits).
+    /// the last application exits). Shared lock — never contends with
+    /// other readers or the data path.
     pub fn connected_count(&self) -> usize {
-        self.state.lock().unwrap().connected.len()
+        self.connected.read().expect("connected poisoned").len()
     }
 
     /// Start building an open call for `path`. Defaults: read-only,
@@ -300,14 +325,18 @@ impl UniviStorJob {
         lock_holder: bool,
     ) -> SimResult<u64> {
         // Workflow locking happens *before* touching job state and without
-        // holding the lock — it may block.
+        // holding any lock — it may block.
         if lock_holder && self.cfg.features.workflow {
             if mode.writable() {
                 self.state_file.acquire_write(path);
             } else {
                 // A reader of a not-yet-existing file is the in-situ case:
                 // wait until the producer has written it at least once.
-                let exists = self.state.lock().unwrap().files.contains_key(path);
+                let exists = self
+                    .files
+                    .read()
+                    .expect("file table poisoned")
+                    .contains_key(path);
                 if exists {
                     self.state_file.acquire_read(path);
                 } else {
@@ -315,36 +344,33 @@ impl UniviStorJob {
                 }
             }
         }
-        let mut st = self.state.lock().unwrap();
+        let mut files = self.files.write().expect("file table poisoned");
         // The metadata RPC happened even if the open is then rejected.
         self.metrics.record_open();
-        if !st.files.contains_key(path) {
+        if !files.contains_key(path) {
             if !mode.writable() {
                 return Err(SimError::InvalidConfig(format!("no such file '{path}'")));
             }
-            let fid = st.next_fid;
-            st.next_fid += 1;
-            st.files.insert(
+            let fid = self.next_fid.fetch_add(1, Ordering::Relaxed);
+            files.insert(
                 path.to_string(),
                 FileEntry {
                     fid,
-                    size: 0,
+                    size: AtomicU64::new(0),
                     open_count: 0,
-                    written: false,
+                    written: AtomicBool::new(false),
                 },
             );
         }
-        let entry = st.files.get_mut(path).expect("just ensured");
+        let entry = files.get_mut(path).expect("just ensured");
         entry.open_count += represents;
         Ok(entry.fid)
     }
 
-    fn ensure_chain(&self, st: &mut JobState, client: ClientId) {
-        if let std::collections::hash_map::Entry::Vacant(slot) = st.chains.entry(client) {
-            let chain = ProcChain::new(self.layer_caps(), self.cfg.chunk_size)
-                .expect("layer capacities validated at config time");
-            slot.insert(chain);
-        }
+    fn ensure_chain(&self, client: ClientId) -> SimResult<()> {
+        self.chains.ensure(client, || {
+            ProcChain::new(self.layer_caps(), self.cfg.chunk_size)
+        })
     }
 
     /// Write `payload` at `offset` of `path` on behalf of `client`.
@@ -367,17 +393,18 @@ impl UniviStorJob {
             return Ok(());
         }
         self.metrics.record_write_call();
-        let mut st = self.state.lock().unwrap();
-        self.ensure_chain(&mut st, client);
+        // Shared file-table lock: size/written are atomics, so concurrent
+        // writers to different (or the same) file don't serialize here.
         let fid = {
-            let entry = st
-                .files
-                .get_mut(path)
+            let files = self.files.read().expect("file table poisoned");
+            let entry = files
+                .get(path)
                 .ok_or_else(|| SimError::InvalidConfig(format!("write to unopened '{path}'")))?;
-            entry.size = entry.size.max(offset + len);
-            entry.written = true;
+            entry.size.fetch_max(offset + len, Ordering::Relaxed);
+            entry.written.store(true, Ordering::Relaxed);
             entry.fid
         };
+        self.ensure_chain(client)?;
         let seg = self.cfg.segment_size;
         let node = self.cfg.geometry.node_of_rank(client.rank as usize);
 
@@ -391,9 +418,7 @@ impl UniviStorJob {
             let piece_len = piece_end - cur;
             let piece = payload.slice(cur - offset, piece_len);
 
-            let st = &mut *st;
-            let chain = st.chains.get_mut(&client).expect("ensured above");
-            let placed = chain.append(piece.clone())?;
+            let placed = self.chains.append(client, piece.clone())?;
 
             // Resilience (future work of the paper): mirror segments that
             // landed on volatile layers into a buddy process's chain on
@@ -402,35 +427,38 @@ impl UniviStorJob {
             if self.cfg.replicate_volatile && placed.tier != Tier::Pfs {
                 let buddy = self.buddy_of(client);
                 if buddy != client {
-                    self.ensure_chain(st, buddy);
-                    let bchain = st.chains.get_mut(&buddy).expect("ensured");
+                    self.ensure_chain(buddy)?;
                     // Best-effort: a full buddy chain degrades resilience
-                    // for this segment, it does not fail the write.
-                    if let Ok(rplaced) = bchain.append(piece) {
+                    // for this segment, it does not fail the write. The
+                    // buddy's chain lock is taken after releasing ours —
+                    // never two chain locks at once.
+                    if let Ok(rplaced) = self.chains.append(buddy, piece) {
                         record.replica = Some((buddy, rplaced.va));
                         self.metrics.record_replication(piece_len);
                     }
                 }
             }
 
-            let (_, displaced) = st
+            let (_, displaced) = self
                 .metadata
                 .insert(SegKey { fid, offset: cur }, record, node);
             // Free the log space of overwritten data (possibly owned by
-            // other clients' chains), including replica copies.
+            // other clients' chains), including replica copies. Each
+            // displaced span was claimed exactly once by the punch, so it
+            // is released exactly once here.
             for d in displaced {
-                if let Some(owner) = st.chains.get_mut(&d.client) {
-                    owner.release(d.va, d.len);
-                }
+                self.chains.release(d.client, d.va, d.len);
                 if let Some((rc, rva)) = d.replica {
-                    if let Some(owner) = st.chains.get_mut(&rc) {
-                        owner.release(rva, d.len);
-                    }
+                    self.chains.release(rc, rva, d.len);
                 }
             }
             self.metrics
                 .record_segment(placed.tier, placed.layer, piece_len);
-            *st.bytes_by_client_tier
+            *self
+                .accounting
+                .lock()
+                .expect("accounting poisoned")
+                .bytes_by_client_tier
                 .entry((client, placed.tier))
                 .or_insert(0) += piece_len;
             cur = piece_end;
@@ -445,29 +473,52 @@ impl UniviStorJob {
     }
 
     fn read_impl(&self, client: ClientId, path: &str, offset: u64, len: u64) -> SimResult<Payload> {
-        let mut st = self.state.lock().unwrap();
-        let fid = st
+        let fid = self
             .files
+            .read()
+            .expect("file table poisoned")
             .get(path)
             .ok_or_else(|| SimError::InvalidConfig(format!("read of unopened '{path}'")))?
             .fid;
-        let st = &mut *st;
+        let failed = self
+            .failed_nodes
+            .read()
+            .expect("failed set poisoned")
+            .clone();
+        // Shared locks only from here: metadata shards, node buffers, and
+        // producer chains — concurrent readers never block each other.
         let (payload, trace, touched) = read_segments(
-            &mut st.metadata,
-            &st.chains,
+            &self.metadata,
+            &self.chains,
             &self.cfg.geometry,
             self.cfg.features.location_aware_reads,
-            &st.failed_nodes,
+            &failed,
             client,
             fid,
             offset,
             len,
         )?;
         self.metrics.record_read_trace(&trace);
+        let mut heat = self.heat.lock().expect("heat poisoned");
         for key in touched {
-            *st.heat.entry(key).or_insert(0) += 1;
+            *heat.entry(key).or_insert(0) += 1;
         }
         Ok(payload)
+    }
+
+    /// Run `f` while holding a *shared* lock on `client`'s chain — the
+    /// concurrency probe for tests: with the old whole-job mutex any job
+    /// operation from inside `f` (on any thread) would deadlock; with the
+    /// sharded layout reads of that same chain proceed in parallel.
+    ///
+    /// `f` must not perform *exclusive* operations on `client`'s own chain
+    /// (writes by `client`, displacing overwrites of its segments) from
+    /// the calling thread — std `RwLock` readers may block behind a queued
+    /// writer.
+    pub fn with_shared_read_view<R>(&self, client: ClientId, f: impl FnOnce() -> R) -> Result<R> {
+        self.chains
+            .with(client, |_| f())
+            .map_err(|e| Error::new("read_view", e).with_client(client))
     }
 
     /// The replica buddy of `client`: the same-index process on the next
@@ -484,8 +535,10 @@ impl UniviStorJob {
     /// Failure injection: mark a node's volatile storage as lost. Reads
     /// of segments whose primary lived there are served from replicas.
     pub fn fail_node(&self, node: usize) {
-        let mut st = self.state.lock().unwrap();
-        st.failed_nodes.insert(node);
+        self.failed_nodes
+            .write()
+            .expect("failed set poisoned")
+            .insert(node);
     }
 
     /// Adaptive, proactive placement (future work of the paper): promote
@@ -498,48 +551,53 @@ impl UniviStorJob {
     }
 
     fn promote_hot_impl(&self, min_reads: u32) -> SimResult<usize> {
-        let mut st = self.state.lock().unwrap();
-        let st = &mut *st;
-        let hot: Vec<SegKey> = st
-            .heat
-            .iter()
-            .filter(|(_, n)| **n >= min_reads)
-            .map(|(k, _)| *k)
-            .collect();
+        let hot: Vec<SegKey> = {
+            let heat = self.heat.lock().expect("heat poisoned");
+            heat.iter()
+                .filter(|(_, n)| **n >= min_reads)
+                .map(|(k, _)| *k)
+                .collect()
+        };
         let mut promoted = 0usize;
         for key in hot {
-            let record = match st.metadata.get(&key) {
-                (_, Some(r)) => *r,
+            let record = match self.metadata.get(&key) {
+                (_, Some(r)) => r,
                 (_, None) => continue, // overwritten since it was read
             };
-            let Some(chain) = st.chains.get_mut(&record.client) else {
-                continue;
+            // Copy the segment into the producer chain's DRAM log.
+            let Ok((payload, tier)) = self.chains.read_at(record.client, record.va, record.len)
+            else {
+                continue; // producer never connected here
             };
-            if chain.tier_of(record.va) == Tier::Dram {
+            if tier == Tier::Dram {
                 continue; // already on the fastest layer
             }
-            let payload = chain.read(record.va, record.len)?;
-            let placed = chain.append(payload)?;
+            let placed = self.chains.append(record.client, payload)?;
             if placed.tier != Tier::Dram {
                 // No DRAM space after all: undo the copy.
-                chain.release(placed.va, record.len);
+                self.chains.release(record.client, placed.va, record.len);
                 continue;
             }
-            let node = self.cfg.geometry.node_of_rank(record.client.rank as usize);
             let mut new_record = record;
             new_record.va = placed.va;
-            // Re-inserting displaces exactly the old record; release its
-            // primary span. The replica copy is unchanged and stays
-            // referenced by the new record, so it must NOT be released.
-            let (_, displaced) = st.metadata.insert(key, new_record, node);
-            for d in displaced {
-                if let Some(owner) = st.chains.get_mut(&d.client) {
-                    owner.release(d.va, d.len);
-                }
+            let node = self.cfg.geometry.node_of_rank(record.client.rank as usize);
+            // Swap the index entry only if nobody overwrote it meanwhile;
+            // on success the old primary span is dead and released here.
+            // The replica copy is unchanged and stays referenced by the
+            // new record, so it must NOT be released.
+            if self
+                .metadata
+                .replace_if_current(key, &record, new_record, node)
+                .1
+            {
+                self.chains.release(record.client, record.va, record.len);
+                self.heat.lock().expect("heat poisoned").remove(&key);
+                self.metrics.record_promotions(1);
+                promoted += 1;
+            } else {
+                // Lost the race: drop the DRAM copy instead.
+                self.chains.release(record.client, placed.va, record.len);
             }
-            st.heat.remove(&key);
-            self.metrics.record_promotions(1);
-            promoted += 1;
         }
         Ok(promoted)
     }
@@ -567,10 +625,9 @@ impl UniviStorJob {
         lock_holder: bool,
     ) -> SimResult<Option<FlushReceipt>> {
         let (should_flush, fid, size) = {
-            let mut st = self.state.lock().unwrap();
+            let mut files = self.files.write().expect("file table poisoned");
             self.metrics.record_close();
-            let entry = st
-                .files
+            let entry = files
                 .get_mut(path)
                 .ok_or_else(|| SimError::InvalidConfig(format!("close of unopened '{path}'")))?;
             assert!(
@@ -579,10 +636,10 @@ impl UniviStorJob {
             );
             entry.open_count -= represents;
             let trigger = entry.open_count == 0
-                && entry.written
+                && entry.written.load(Ordering::Relaxed)
                 && mode.writable()
                 && self.cfg.features.flush_on_close;
-            (trigger, entry.fid, entry.size)
+            (trigger, entry.fid, entry.size.load(Ordering::Relaxed))
         };
 
         // Release the workflow lock before flushing: readers may proceed
@@ -602,53 +659,57 @@ impl UniviStorJob {
             self.state_file.begin_flush(path);
         }
         self.metrics.flush_started();
-        let result = {
-            let mut st = self.state.lock().unwrap();
-            let st = &mut *st;
-            flush_file(
-                &mut st.metadata,
-                &st.chains,
-                &mut st.lustre,
-                &self.cfg,
-                &st.failed_nodes,
-                Some(&self.metrics),
-                fid,
-                size,
-                path,
-            )
-        };
+        let failed = self
+            .failed_nodes
+            .read()
+            .expect("failed set poisoned")
+            .clone();
+        // No job-wide lock during the flush: other clients keep writing
+        // and reading other files while this one drains to Lustre.
+        let result = flush_file(
+            &self.metadata,
+            &self.chains,
+            &self.lustre,
+            &self.cfg,
+            &failed,
+            Some(&self.metrics),
+            fid,
+            size,
+            path,
+        );
         self.metrics.flush_finished();
         let receipt = result?;
         if self.cfg.features.workflow {
             self.state_file.end_flush(path);
         }
-        let mut st = self.state.lock().unwrap();
-        st.flush_receipts.push(receipt.clone());
+        self.accounting
+            .lock()
+            .expect("accounting poisoned")
+            .flush_receipts
+            .push(receipt.clone());
         Ok(Some(receipt))
     }
 
-    /// Logical size of a cached file.
+    /// Logical size of a cached file. Shared file-table lock only.
     pub fn file_size(&self, path: &str) -> Result<u64> {
-        let st = self.state.lock().unwrap();
-        st.files.get(path).map(|e| e.size).ok_or_else(|| {
-            Error::new(
-                "stat",
-                SimError::InvalidConfig(format!("no such file '{path}'")),
-            )
-            .with_path(path)
-        })
+        self.files
+            .read()
+            .expect("file table poisoned")
+            .get(path)
+            .map(|e| e.size.load(Ordering::Relaxed))
+            .ok_or_else(|| {
+                Error::new(
+                    "stat",
+                    SimError::InvalidConfig(format!("no such file '{path}'")),
+                )
+                .with_path(path)
+            })
     }
 
-    /// Live cached bytes per tier across all clients.
+    /// Live cached bytes per tier across all clients. Takes each chain's
+    /// shared lock in turn — never the whole job.
     pub fn tier_usage(&self) -> Vec<(Tier, u64)> {
-        let st = self.state.lock().unwrap();
-        let mut agg: BTreeMap<Tier, u64> = BTreeMap::new();
-        for chain in st.chains.values() {
-            for (tier, bytes) in chain.live_by_layer() {
-                *agg.entry(tier).or_insert(0) += bytes;
-            }
-        }
-        agg.into_iter().collect()
+        self.chains.live_by_tier().into_iter().collect()
     }
 
     /// Verify a flushed file: compare the PFS copy byte-for-byte against
@@ -660,41 +721,48 @@ impl UniviStorJob {
         Ok(cached.content_eq(&on_pfs))
     }
 
-    /// Read back a flushed file from the PFS (verification).
+    /// Read back a flushed file from the PFS (verification). Shared
+    /// Lustre lock — concurrent with other PFS reads.
     pub fn lustre_read(&self, path: &str, offset: u64, len: u64) -> Result<Payload> {
-        let mut st = self.state.lock().unwrap();
-        st.lustre.read(path, offset, len, u64::MAX).map_err(|e| {
-            Error::new("pfs_read", e)
-                .with_path(path)
-                .with_tier(Tier::Pfs)
-        })
+        self.lustre
+            .read()
+            .expect("lustre poisoned")
+            .read(path, offset, len, u64::MAX)
+            .map_err(|e| {
+                Error::new("pfs_read", e)
+                    .with_path(path)
+                    .with_tier(Tier::Pfs)
+            })
     }
 
     /// Size of a flushed file on the PFS.
     pub fn lustre_file_size(&self, path: &str) -> Result<u64> {
-        let st = self.state.lock().unwrap();
-        st.lustre.file_size(path).map_err(|e| {
-            Error::new("pfs_stat", e)
-                .with_path(path)
-                .with_tier(Tier::Pfs)
-        })
+        self.lustre
+            .read()
+            .expect("lustre poisoned")
+            .file_size(path)
+            .map_err(|e| {
+                Error::new("pfs_stat", e)
+                    .with_path(path)
+                    .with_tier(Tier::Pfs)
+            })
     }
 
-    /// Per-OST cumulative byte loads on the PFS.
+    /// Per-OST cumulative byte loads on the PFS. Shared lock only.
     pub fn ost_loads(&self) -> Vec<u64> {
-        self.state.lock().unwrap().lustre.ost_loads()
+        self.lustre.read().expect("lustre poisoned").ost_loads()
     }
 
     /// Build the legacy flat view from the panel delta + structured state.
-    fn stats_view(&self, st: &JobState) -> JobStats {
-        let d = self.metrics.scalars().since(&st.stats_base);
+    fn stats_view(&self, acct: &Accounting) -> JobStats {
+        let d = self.metrics.scalars().since(&acct.stats_base);
         JobStats {
             open_close_md_rpcs: d.md_open_close,
             opens: d.opens,
             closes: d.closes,
             segments: d.segments,
             bytes_by_tier: d.bytes_by_tier(),
-            bytes_by_client_tier: st.bytes_by_client_tier.clone(),
+            bytes_by_client_tier: acct.bytes_by_client_tier.clone(),
             write_md_rpcs: d.md_write,
             read_trace: ReadTrace {
                 local_direct_bytes: d.read_local_hit,
@@ -707,7 +775,7 @@ impl UniviStorJob {
                 requests: d.reads,
                 replica_bytes: d.read_replica,
             },
-            flush_receipts: st.flush_receipts.clone(),
+            flush_receipts: acct.flush_receipts.clone(),
             replicated_bytes: d.replicated_bytes,
             promotions: d.promotions,
         }
@@ -716,19 +784,19 @@ impl UniviStorJob {
     /// Snapshot of the counters (since construction or the last
     /// [`Self::take_stats`]).
     pub fn stats(&self) -> JobStats {
-        let st = self.state.lock().unwrap();
-        self.stats_view(&st)
+        let acct = self.accounting.lock().expect("accounting poisoned");
+        self.stats_view(&acct)
     }
 
     /// Take and reset the counters (phase boundaries in experiments).
     /// The underlying metrics panel is monotonic and unaffected; only the
     /// baseline this view diffs against advances.
     pub fn take_stats(&self) -> JobStats {
-        let mut st = self.state.lock().unwrap();
-        let out = self.stats_view(&st);
-        st.stats_base = self.metrics.scalars();
-        st.flush_receipts = Vec::new();
-        st.bytes_by_client_tier = HashMap::new();
+        let mut acct = self.accounting.lock().expect("accounting poisoned");
+        let out = self.stats_view(&acct);
+        acct.stats_base = self.metrics.scalars();
+        acct.flush_receipts = Vec::new();
+        acct.bytes_by_client_tier = HashMap::new();
         out
     }
 }
@@ -1006,5 +1074,24 @@ mod tests {
             .unwrap();
         let got = j.read(consumer, "/shared", 0, 256).unwrap();
         assert!(got.content_eq(&Payload::pattern(5, 256)));
+    }
+
+    #[test]
+    fn shared_read_view_does_not_block_readers() {
+        // With the old single job mutex, reading from inside the view (on
+        // another thread) would deadlock; sharded locks make it concurrent.
+        let j = job();
+        j.open_file("/f").write().by(client(0)).unwrap();
+        j.write(client(0), "/f", 0, Payload::pattern(1, 256))
+            .unwrap();
+        let got = j
+            .with_shared_read_view(client(0), || {
+                std::thread::scope(|s| {
+                    let h = s.spawn(|| j.read(client(1), "/f", 0, 256).unwrap());
+                    h.join().unwrap()
+                })
+            })
+            .unwrap();
+        assert!(got.content_eq(&Payload::pattern(1, 256)));
     }
 }

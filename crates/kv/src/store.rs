@@ -1,7 +1,16 @@
 //! The distributed store and its centralized ablation baseline.
+//!
+//! [`DistKv`] is internally synchronized: each server shard carries its own
+//! `RwLock` and the per-server operation counters are atomics, so clients on
+//! different threads whose keys land on different shards never contend — the
+//! in-process analogue of the paper's independent metadata servers (§II-B3).
+//! Every method therefore takes `&self`; lookups return owned values so no
+//! shard lock outlives the call.
 
 use crate::partition::{PartitionKey, RangePartitioner, ServerId};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 
 /// Per-server operation counters, used both for load-balance assertions in
 /// tests and by the timing plane to charge RPC costs.
@@ -14,13 +23,6 @@ pub struct KvStats {
 }
 
 impl KvStats {
-    fn with_servers(n: usize) -> Self {
-        KvStats {
-            puts: vec![0; n],
-            gets: vec![0; n],
-        }
-    }
-
     /// Total operations across servers.
     pub fn total_ops(&self) -> u64 {
         self.puts.iter().sum::<u64>() + self.gets.iter().sum::<u64>()
@@ -44,7 +46,8 @@ impl KvStats {
     }
 }
 
-/// One server's shard: an ordered map.
+/// One server's shard: an ordered map. Used directly by the centralized
+/// baseline; `DistKv` wraps one per server in an `RwLock`.
 #[derive(Debug, Clone)]
 pub struct KvShard<K: Ord, V> {
     map: BTreeMap<K, V>,
@@ -75,22 +78,25 @@ impl<K: Ord, V> KvShard<K, V> {
     }
 }
 
-/// The distributed KV store: `servers` shards with range partitioning.
-#[derive(Debug, Clone)]
+/// The distributed KV store: `servers` shards with range partitioning, each
+/// shard behind its own `RwLock`.
+#[derive(Debug)]
 pub struct DistKv<K: Ord + PartitionKey, V> {
     partitioner: RangePartitioner,
-    shards: Vec<KvShard<K, V>>,
-    stats: KvStats,
+    shards: Vec<RwLock<BTreeMap<K, V>>>,
+    puts: Vec<AtomicU64>,
+    gets: Vec<AtomicU64>,
 }
 
-impl<K: Ord + PartitionKey + Clone, V> DistKv<K, V> {
+impl<K: Ord + PartitionKey + Clone, V: Clone> DistKv<K, V> {
     /// A store with `servers` shards and the given range width.
     pub fn new(range_size: u64, servers: usize) -> Self {
         let partitioner = RangePartitioner::new(range_size, servers);
         DistKv {
             partitioner,
-            shards: (0..servers).map(|_| KvShard::default()).collect(),
-            stats: KvStats::with_servers(servers),
+            shards: (0..servers).map(|_| RwLock::new(BTreeMap::new())).collect(),
+            puts: (0..servers).map(|_| AtomicU64::new(0)).collect(),
+            gets: (0..servers).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
@@ -104,49 +110,98 @@ impl<K: Ord + PartitionKey + Clone, V> DistKv<K, V> {
         self.shards.len()
     }
 
+    fn shard(&self, s: ServerId) -> std::sync::RwLockReadGuard<'_, BTreeMap<K, V>> {
+        self.shards[s.0].read().expect("kv shard poisoned")
+    }
+
+    fn shard_mut(&self, s: ServerId) -> std::sync::RwLockWriteGuard<'_, BTreeMap<K, V>> {
+        self.shards[s.0].write().expect("kv shard poisoned")
+    }
+
     /// Insert, returning the servicing server and any displaced value.
-    pub fn put(&mut self, key: K, value: V) -> (ServerId, Option<V>) {
+    pub fn put(&self, key: K, value: V) -> (ServerId, Option<V>) {
         let server = self.partitioner.server_for(key.partition_point());
-        self.stats.puts[server.0] += 1;
-        let old = self.shards[server.0].map.insert(key, value);
+        self.puts[server.0].fetch_add(1, Ordering::Relaxed);
+        let old = self.shard_mut(server).insert(key, value);
         (server, old)
     }
 
-    /// Look up a key, returning the value and the servicing server.
-    pub fn get(&mut self, key: &K) -> (ServerId, Option<&V>) {
+    /// Look up a key, returning a copy of the value and the servicing server.
+    pub fn get(&self, key: &K) -> (ServerId, Option<V>) {
         let server = self.partitioner.server_for(key.partition_point());
-        self.stats.gets[server.0] += 1;
-        (server, self.shards[server.0].map.get(key))
+        self.gets[server.0].fetch_add(1, Ordering::Relaxed);
+        (server, self.shard(server).get(key).cloned())
     }
 
     /// Remove a key.
-    pub fn remove(&mut self, key: &K) -> (ServerId, Option<V>) {
+    pub fn remove(&self, key: &K) -> (ServerId, Option<V>) {
         let server = self.partitioner.server_for(key.partition_point());
-        self.stats.puts[server.0] += 1;
-        (server, self.shards[server.0].map.remove(key))
+        self.puts[server.0].fetch_add(1, Ordering::Relaxed);
+        (server, self.shard_mut(server).remove(key))
+    }
+
+    /// Remove `key` only if its current value equals `expected` — a
+    /// compare-and-delete claim. Concurrent displacement paths use this so a
+    /// record observed by two threads is released by exactly one of them.
+    pub fn remove_if_eq(&self, key: &K, expected: &V) -> (ServerId, bool)
+    where
+        V: PartialEq,
+    {
+        let server = self.partitioner.server_for(key.partition_point());
+        self.puts[server.0].fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard_mut(server);
+        let claimed = match shard.get(key) {
+            Some(v) if v == expected => {
+                shard.remove(key);
+                true
+            }
+            _ => false,
+        };
+        (server, claimed)
+    }
+
+    /// Replace `key`'s value with `new` only if it currently equals
+    /// `expected` — a compare-and-swap. Returns whether the swap happened.
+    pub fn replace_if_eq(&self, key: &K, expected: &V, new: V) -> (ServerId, bool)
+    where
+        V: PartialEq,
+    {
+        let server = self.partitioner.server_for(key.partition_point());
+        self.puts[server.0].fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard_mut(server);
+        let swapped = match shard.get_mut(key) {
+            Some(v) if v == expected => {
+                *v = new;
+                true
+            }
+            _ => false,
+        };
+        (server, swapped)
     }
 
     /// Scan all records whose partition point lies in `[lo, hi)` and whose
     /// key satisfies `filter`. Returns the records sorted by key, plus the
-    /// servers visited (for RPC accounting).
+    /// servers visited (for RPC accounting). Each shard is locked shared for
+    /// the duration of its scan only — the result set is a snapshot, not a
+    /// consistent cut across shards.
     ///
     /// This walks every record of each visited shard — fine for modest
     /// stores; hot paths with ordered keys should use
     /// [`range_scan_bounded`](Self::range_scan_bounded).
     pub fn range_scan(
-        &mut self,
+        &self,
         lo: u64,
         hi: u64,
         filter: impl Fn(&K) -> bool,
-    ) -> (Vec<ServerId>, Vec<(K, &V)>) {
+    ) -> (Vec<ServerId>, Vec<(K, V)>) {
         let servers = self.partitioner.servers_for_span(lo, hi);
-        let mut out: Vec<(K, &V)> = Vec::new();
+        let mut out: Vec<(K, V)> = Vec::new();
         for s in &servers {
-            self.stats.gets[s.0] += 1;
-            for (k, v) in self.shards[s.0].map.iter() {
+            self.gets[s.0].fetch_add(1, Ordering::Relaxed);
+            for (k, v) in self.shard(*s).iter() {
                 let p = k.partition_point();
                 if p >= lo && p < hi && filter(k) {
-                    out.push((k.clone(), v));
+                    out.push((k.clone(), v.clone()));
                 }
             }
         }
@@ -161,21 +216,21 @@ impl<K: Ord + PartitionKey + Clone, V> DistKv<K, V> {
     /// with an O(log n + hits) ordered-map range, which keeps million-
     /// record stores fast.
     pub fn range_scan_bounded(
-        &mut self,
+        &self,
         lo_key: &K,
         hi_key: &K,
         lo: u64,
         hi: u64,
         filter: impl Fn(&K) -> bool,
-    ) -> (Vec<ServerId>, Vec<(K, &V)>) {
+    ) -> (Vec<ServerId>, Vec<(K, V)>) {
         let servers = self.partitioner.servers_for_span(lo, hi);
-        let mut out: Vec<(K, &V)> = Vec::new();
+        let mut out: Vec<(K, V)> = Vec::new();
         for s in &servers {
-            self.stats.gets[s.0] += 1;
-            for (k, v) in self.shards[s.0].map.range(lo_key.clone()..hi_key.clone()) {
+            self.gets[s.0].fetch_add(1, Ordering::Relaxed);
+            for (k, v) in self.shard(*s).range(lo_key.clone()..hi_key.clone()) {
                 let p = k.partition_point();
                 if p >= lo && p < hi && filter(k) {
-                    out.push((k.clone(), v));
+                    out.push((k.clone(), v.clone()));
                 }
             }
         }
@@ -185,12 +240,15 @@ impl<K: Ord + PartitionKey + Clone, V> DistKv<K, V> {
 
     /// Records per server (distribution inspection).
     pub fn shard_sizes(&self) -> Vec<usize> {
-        self.shards.iter().map(KvShard::len).collect()
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("kv shard poisoned").len())
+            .collect()
     }
 
     /// Total records.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(KvShard::len).sum()
+        self.shard_sizes().iter().sum()
     }
 
     /// True when no records are stored.
@@ -198,9 +256,20 @@ impl<K: Ord + PartitionKey + Clone, V> DistKv<K, V> {
         self.len() == 0
     }
 
-    /// Operation counters.
-    pub fn stats(&self) -> &KvStats {
-        &self.stats
+    /// Snapshot of the operation counters.
+    pub fn stats(&self) -> KvStats {
+        KvStats {
+            puts: self
+                .puts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            gets: self
+                .gets
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+        }
     }
 }
 
@@ -290,18 +359,18 @@ mod tests {
 
     #[test]
     fn put_get_roundtrip() {
-        let mut kv: DistKv<SegKey, &str> = DistKv::new(16, 4);
+        let kv: DistKv<SegKey, &str> = DistKv::new(16, 4);
         kv.put(key(1, 0), "a");
         kv.put(key(1, 100), "b");
-        assert_eq!(kv.get(&key(1, 0)).1, Some(&"a"));
-        assert_eq!(kv.get(&key(1, 100)).1, Some(&"b"));
+        assert_eq!(kv.get(&key(1, 0)).1, Some("a"));
+        assert_eq!(kv.get(&key(1, 100)).1, Some("b"));
         assert_eq!(kv.get(&key(2, 0)).1, None);
         assert_eq!(kv.len(), 2);
     }
 
     #[test]
     fn put_returns_displaced_value() {
-        let mut kv: DistKv<SegKey, u32> = DistKv::new(16, 2);
+        let kv: DistKv<SegKey, u32> = DistKv::new(16, 2);
         assert_eq!(kv.put(key(1, 5), 10).1, None);
         assert_eq!(kv.put(key(1, 5), 20).1, Some(10));
         assert_eq!(kv.len(), 1);
@@ -309,7 +378,7 @@ mod tests {
 
     #[test]
     fn remove_works() {
-        let mut kv: DistKv<SegKey, u32> = DistKv::new(16, 2);
+        let kv: DistKv<SegKey, u32> = DistKv::new(16, 2);
         kv.put(key(1, 5), 10);
         assert_eq!(kv.remove(&key(1, 5)).1, Some(10));
         assert_eq!(kv.get(&key(1, 5)).1, None);
@@ -317,10 +386,29 @@ mod tests {
     }
 
     #[test]
+    fn remove_if_eq_claims_exactly_once() {
+        let kv: DistKv<SegKey, u32> = DistKv::new(16, 2);
+        kv.put(key(1, 5), 10);
+        assert!(!kv.remove_if_eq(&key(1, 5), &99).1); // wrong value
+        assert!(kv.remove_if_eq(&key(1, 5), &10).1); // claims
+        assert!(!kv.remove_if_eq(&key(1, 5), &10).1); // already gone
+        assert!(kv.is_empty());
+    }
+
+    #[test]
+    fn replace_if_eq_is_a_cas() {
+        let kv: DistKv<SegKey, u32> = DistKv::new(16, 2);
+        kv.put(key(1, 5), 10);
+        assert!(kv.replace_if_eq(&key(1, 5), &10, 11).1);
+        assert!(!kv.replace_if_eq(&key(1, 5), &10, 12).1); // stale expectation
+        assert_eq!(kv.get(&key(1, 5)).1, Some(11));
+    }
+
+    #[test]
     fn records_distribute_round_robin() {
         // 64 records at offsets 0..64, range width 4, 4 servers → each
         // server owns exactly 4 ranges × 4 records.
-        let mut kv: DistKv<SegKey, u64> = DistKv::new(4, 4);
+        let kv: DistKv<SegKey, u64> = DistKv::new(4, 4);
         for off in 0..64 {
             kv.put(key(1, off), off);
         }
@@ -332,16 +420,16 @@ mod tests {
     fn same_offset_different_fid_coexist() {
         // Segments from different source processes can share a VA/offset —
         // the composite key keeps them distinct.
-        let mut kv: DistKv<SegKey, &str> = DistKv::new(16, 2);
+        let kv: DistKv<SegKey, &str> = DistKv::new(16, 2);
         kv.put(key(1, 42), "file1");
         kv.put(key(2, 42), "file2");
-        assert_eq!(kv.get(&key(1, 42)).1, Some(&"file1"));
-        assert_eq!(kv.get(&key(2, 42)).1, Some(&"file2"));
+        assert_eq!(kv.get(&key(1, 42)).1, Some("file1"));
+        assert_eq!(kv.get(&key(2, 42)).1, Some("file2"));
     }
 
     #[test]
     fn range_scan_returns_sorted_and_filtered() {
-        let mut kv: DistKv<SegKey, u64> = DistKv::new(8, 3);
+        let kv: DistKv<SegKey, u64> = DistKv::new(8, 3);
         for off in (0..100).step_by(10) {
             kv.put(key(1, off), off);
             kv.put(key(2, off), off + 1000);
@@ -360,7 +448,7 @@ mod tests {
 
     #[test]
     fn range_scan_empty_span() {
-        let mut kv: DistKv<SegKey, u64> = DistKv::new(8, 3);
+        let kv: DistKv<SegKey, u64> = DistKv::new(8, 3);
         kv.put(key(1, 5), 5);
         let (servers, records) = kv.range_scan(100, 100, |_| true);
         assert!(servers.is_empty());
@@ -368,9 +456,30 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_puts_on_distinct_shards_all_land() {
+        use std::sync::Arc;
+        let kv: Arc<DistKv<SegKey, u64>> = Arc::new(DistKv::new(16, 4));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let kv = Arc::clone(&kv);
+                scope.spawn(move || {
+                    // Each thread owns one partition range stride.
+                    for i in 0..256u64 {
+                        let off = (i * 4 + t) * 16; // lands on server (i*4+t)%4 == t
+                        kv.put(key(t as u32, off), off);
+                    }
+                });
+            }
+        });
+        assert_eq!(kv.len(), 4 * 256);
+        let stats = kv.stats();
+        assert_eq!(stats.puts, vec![256; 4]);
+    }
+
+    #[test]
     fn centralized_funnels_everything_to_one_server() {
         let mut central: CentralizedKv<SegKey, u64> = CentralizedKv::new();
-        let mut dist: DistKv<SegKey, u64> = DistKv::new(4, 8);
+        let dist: DistKv<SegKey, u64> = DistKv::new(4, 8);
         for off in 0..800 {
             central.put(key(1, off), off);
             dist.put(key(1, off), off);

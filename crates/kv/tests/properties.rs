@@ -51,7 +51,7 @@ fn distkv_matches_btreemap_model() {
         let range_size = 1 + rng.below(63);
         let servers = 1 + rng.below(8) as usize;
         let n_ops = 1 + rng.below(199);
-        let mut kv: DistKv<SegKey, u64> = DistKv::new(range_size, servers);
+        let kv: DistKv<SegKey, u64> = DistKv::new(range_size, servers);
         let mut model: BTreeMap<SegKey, u64> = BTreeMap::new();
 
         for _ in 0..n_ops {
@@ -69,7 +69,7 @@ fn distkv_matches_btreemap_model() {
                 2 => {
                     let k = gen_key(&mut rng);
                     let (_, got) = kv.get(&k);
-                    assert_eq!(got.copied(), model.get(&k).copied());
+                    assert_eq!(got, model.get(&k).copied());
                 }
                 _ => {
                     let (a, b) = (rng.below(220), rng.below(220));
@@ -81,7 +81,6 @@ fn distkv_matches_btreemap_model() {
                         .filter(|(k, _)| k.fid == fid && k.offset >= lo && k.offset < hi)
                         .map(|(k, v)| (*k, *v))
                         .collect();
-                    let got: Vec<(SegKey, u64)> = got.into_iter().map(|(k, v)| (k, *v)).collect();
                     assert_eq!(got, expect);
                 }
             }
@@ -97,7 +96,7 @@ fn every_key_is_routed_to_exactly_one_server() {
         let range_size = 1 + rng.below(127);
         let servers = 1 + rng.below(15) as usize;
         let n = 1 + rng.below(99);
-        let mut kv: DistKv<SegKey, u64> = DistKv::new(range_size, servers);
+        let kv: DistKv<SegKey, u64> = DistKv::new(range_size, servers);
         for _ in 0..n {
             let off = rng.below(10_000);
             let k = SegKey {
@@ -107,7 +106,7 @@ fn every_key_is_routed_to_exactly_one_server() {
             let (s_put, _) = kv.put(k, off);
             let (s_get, v) = kv.get(&k);
             assert_eq!(s_put, s_get);
-            assert_eq!(v.copied(), Some(off));
+            assert_eq!(v, Some(off));
         }
     }
 }
@@ -118,7 +117,7 @@ fn shard_sizes_sum_to_len() {
     for _trial in 0..200 {
         let servers = 1 + rng.below(7) as usize;
         let n = rng.below(200);
-        let mut kv: DistKv<SegKey, u64> = DistKv::new(16, servers);
+        let kv: DistKv<SegKey, u64> = DistKv::new(16, servers);
         for _ in 0..n {
             let off = rng.below(1_000);
             kv.put(

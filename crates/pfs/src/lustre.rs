@@ -4,6 +4,7 @@ use crate::layout::{FileLayout, StripePiece};
 use crate::locks::{ExtentLockManager, LockMode};
 use crate::ost::Ost;
 use std::collections::HashMap;
+use std::sync::Mutex;
 use univistor_sim::{Payload, SimError, SimResult};
 
 /// Everything a write did, for the timing plane: which OSTs received how
@@ -37,12 +38,15 @@ struct FileMeta {
 }
 
 /// A functional Lustre: `ost_count` OSTs, named files with per-file stripe
-/// layouts, extent locks.
+/// layouts, extent locks. The lock manager sits behind its own `Mutex` so
+/// the read path — which only *acquires* extent locks and touches no file
+/// or OST state — works through `&self` and can run under a shared
+/// outer lock.
 #[derive(Debug)]
 pub struct Lustre {
     osts: Vec<Ost>,
     files: HashMap<String, FileMeta>,
-    locks: ExtentLockManager,
+    locks: Mutex<ExtentLockManager>,
     next_fid: u64,
 }
 
@@ -53,7 +57,7 @@ impl Lustre {
         Lustre {
             osts: (0..ost_count).map(|_| Ost::new()).collect(),
             files: HashMap::new(),
-            locks: ExtentLockManager::new(),
+            locks: Mutex::new(ExtentLockManager::new()),
             next_fid: 1,
         }
     }
@@ -130,7 +134,7 @@ impl Lustre {
         let mut cache_hits = 0u64;
         for mut piece in layout.pieces(offset, len) {
             piece.ost %= n_osts;
-            let out = self.locks.acquire(
+            let out = self.locks.lock().expect("lock manager poisoned").acquire(
                 fid,
                 piece.ost,
                 piece.object_offset,
@@ -154,7 +158,9 @@ impl Lustre {
     }
 
     /// Read `[offset, offset + len)` on behalf of `reader`; errors on holes.
-    pub fn read(&mut self, path: &str, offset: u64, len: u64, reader: u64) -> SimResult<Payload> {
+    /// `&self`: file metadata and OST objects are only read, and the lock
+    /// manager synchronizes itself.
+    pub fn read(&self, path: &str, offset: u64, len: u64, reader: u64) -> SimResult<Payload> {
         let (fid, layout) = {
             let m = self.meta(path)?;
             (m.fid, m.layout.clone())
@@ -163,7 +169,7 @@ impl Lustre {
         let mut parts = Vec::new();
         for mut piece in layout.pieces(offset, len) {
             piece.ost %= n_osts;
-            self.locks.acquire(
+            self.locks.lock().expect("lock manager poisoned").acquire(
                 fid,
                 piece.ost,
                 piece.object_offset,
@@ -185,7 +191,10 @@ impl Lustre {
         for ost in &mut self.osts {
             ost.delete(m.fid);
         }
-        self.locks.drop_file(m.fid);
+        self.locks
+            .lock()
+            .expect("lock manager poisoned")
+            .drop_file(m.fid);
         Ok(())
     }
 
@@ -201,12 +210,15 @@ impl Lustre {
 
     /// Total lock revocations so far.
     pub fn lock_conflicts(&self) -> u64 {
-        self.locks.conflicts()
+        self.locks
+            .lock()
+            .expect("lock manager poisoned")
+            .conflicts()
     }
 
     /// Access the lock manager (tests, diagnostics).
-    pub fn locks(&self) -> &ExtentLockManager {
-        &self.locks
+    pub fn locks(&self) -> std::sync::MutexGuard<'_, ExtentLockManager> {
+        self.locks.lock().expect("lock manager poisoned")
     }
 }
 

@@ -8,6 +8,7 @@
 //! several producers' slabs — exercising the cross-process, cross-node and
 //! cross-tier read paths.
 
+use crate::exec::for_each_rank;
 use crate::layout::{VpicLayout, VPIC_VARS};
 use univistor_mpi::driver::{FileHandle, FsDriver, OpenContext, OpenMode};
 use univistor_mpi::Hints;
@@ -54,17 +55,29 @@ impl BdCatsIo {
     /// checked against the producer's deterministic pattern (test scale
     /// only — verification materializes the data).
     pub fn read_step(&self, driver: &dyn FsDriver, step: usize, verify: bool) -> SimResult<()> {
+        self.read_step_threaded(driver, step, verify, 1)
+    }
+
+    /// [`Self::read_step`] with the per-reader range reads spread over
+    /// `threads` OS threads (opens/closes stay collective rank loops).
+    pub fn read_step_threaded(
+        &self,
+        driver: &dyn FsDriver,
+        step: usize,
+        verify: bool,
+        threads: usize,
+    ) -> SimResult<()> {
         let path = VpicLayout::file_path(step);
         let handles: Vec<FileHandle> = (0..self.readers)
             .map(|rank| driver.open(&self.ctx(&path, rank)))
             .collect::<SimResult<_>>()?;
-        for (rank, h) in handles.iter().enumerate() {
+        for_each_rank(self.readers, threads, |rank| {
             for var in 0..VPIC_VARS.len() {
                 let (lo, hi) = self.read_range(var, rank);
                 if hi == lo {
                     continue;
                 }
-                let got = driver.read_at(h, rank, lo, hi - lo)?;
+                let got = driver.read_at(&handles[rank], rank, lo, hi - lo)?;
                 if verify {
                     let expect = self.expected(step, var, lo, hi - lo);
                     assert!(
@@ -73,7 +86,8 @@ impl BdCatsIo {
                     );
                 }
             }
-        }
+            Ok(())
+        })?;
         for (rank, h) in handles.iter().enumerate() {
             driver.close(h, rank)?;
         }
@@ -84,6 +98,20 @@ impl BdCatsIo {
     pub fn read_all(&self, driver: &dyn FsDriver, steps: usize, verify: bool) -> SimResult<()> {
         for step in 0..steps {
             self.read_step(driver, step, verify)?;
+        }
+        Ok(())
+    }
+
+    /// Read every timestep back, `threads`-wide per step.
+    pub fn read_all_threaded(
+        &self,
+        driver: &dyn FsDriver,
+        steps: usize,
+        verify: bool,
+        threads: usize,
+    ) -> SimResult<()> {
+        for step in 0..steps {
+            self.read_step_threaded(driver, step, verify, threads)?;
         }
         Ok(())
     }
@@ -144,6 +172,17 @@ mod tests {
         v.write_all(&d).unwrap();
         // Half as many readers as writers, as in the workflow experiments.
         let b = BdCatsIo::new(v.layout, 2);
+        b.read_all(&d, 2, true).unwrap();
+    }
+
+    #[test]
+    fn threaded_pipeline_verifies_against_threaded_writer() {
+        let d = MemDriver::new();
+        let v = VpicIo::scaled(4, 2, 64);
+        v.write_all_threaded(&d, 4).unwrap();
+        let b = BdCatsIo::new(v.layout, 4);
+        b.read_all_threaded(&d, 2, true, 4).unwrap();
+        // The rank loop agrees byte-for-byte.
         b.read_all(&d, 2, true).unwrap();
     }
 

@@ -12,6 +12,7 @@
 //!   processes: `[p0 s0][p1 s0]…[p0 s1]…`), the classic N-to-1 contiguous
 //!   vs. interleaved distinction that drives PFS lock behaviour.
 
+use crate::exec::for_each_rank;
 use univistor_mpi::driver::{FileHandle, FsDriver, OpenContext, OpenMode};
 use univistor_mpi::Hints;
 use univistor_sim::payload::splitmix64;
@@ -103,20 +104,39 @@ impl IorConfig {
     /// Write phase (rank loop): every rank writes every segment's block in
     /// `transfer_size` calls, then the collective close runs.
     pub fn write_phase(&self, driver: &dyn FsDriver, path: &str) -> SimResult<()> {
+        self.write_phase_threaded(driver, path, 1)
+    }
+
+    /// Write phase over `threads` OS threads. Each rank writes all of its
+    /// segments' blocks (rank-major rather than the rank loop's
+    /// segment-major order — the blocks are disjoint, so the resulting
+    /// file is identical).
+    pub fn write_phase_threaded(
+        &self,
+        driver: &dyn FsDriver,
+        path: &str,
+        threads: usize,
+    ) -> SimResult<()> {
         let handles: Vec<FileHandle> = (0..self.procs)
             .map(|rank| driver.open(&self.ctx(path, OpenMode::Write, rank)))
             .collect::<SimResult<_>>()?;
-        for segment in 0..self.segments {
-            for (rank, h) in handles.iter().enumerate() {
+        for_each_rank(self.procs, threads, |rank| {
+            for segment in 0..self.segments {
                 let base = self.block_offset(rank, segment);
                 let payload = self.block_payload(rank, segment);
                 let mut off = 0u64;
                 while off < self.block_size {
-                    driver.write_at(h, rank, base + off, payload.slice(off, self.transfer_size))?;
+                    driver.write_at(
+                        &handles[rank],
+                        rank,
+                        base + off,
+                        payload.slice(off, self.transfer_size),
+                    )?;
                     off += self.transfer_size;
                 }
             }
-        }
+            Ok(())
+        })?;
         for (rank, h) in handles.iter().enumerate() {
             driver.close(h, rank)?;
         }
@@ -126,14 +146,25 @@ impl IorConfig {
     /// Read phase; each rank reads the blocks of the *next* rank (IOR's
     /// `-C` reorder, defeating client caches). `verify` checks content.
     pub fn read_phase(&self, driver: &dyn FsDriver, path: &str, verify: bool) -> SimResult<()> {
+        self.read_phase_threaded(driver, path, verify, 1)
+    }
+
+    /// Read phase over `threads` OS threads.
+    pub fn read_phase_threaded(
+        &self,
+        driver: &dyn FsDriver,
+        path: &str,
+        verify: bool,
+        threads: usize,
+    ) -> SimResult<()> {
         let handles: Vec<FileHandle> = (0..self.procs)
             .map(|rank| driver.open(&self.ctx(path, OpenMode::Read, rank)))
             .collect::<SimResult<_>>()?;
-        for segment in 0..self.segments {
-            for (rank, h) in handles.iter().enumerate() {
+        for_each_rank(self.procs, threads, |rank| {
+            for segment in 0..self.segments {
                 let src = (rank + 1) % self.procs;
                 let base = self.block_offset(src, segment);
-                let got = driver.read_at(h, rank, base, self.block_size)?;
+                let got = driver.read_at(&handles[rank], rank, base, self.block_size)?;
                 if verify {
                     assert!(
                         got.content_eq(&self.block_payload(src, segment)),
@@ -141,7 +172,8 @@ impl IorConfig {
                     );
                 }
             }
-        }
+            Ok(())
+        })?;
         for (rank, h) in handles.iter().enumerate() {
             driver.close(h, rank)?;
         }
@@ -191,6 +223,17 @@ mod tests {
             let d = MemDriver::new();
             let c = IorConfig::new(4, 256, 64, 3, pattern);
             c.write_phase(&d, "/ior").unwrap();
+            c.read_phase(&d, "/ior", true).unwrap();
+        }
+    }
+
+    #[test]
+    fn threaded_phases_match_rank_loop() {
+        for pattern in [AccessPattern::Segmented, AccessPattern::Strided] {
+            let d = MemDriver::new();
+            let c = IorConfig::new(6, 256, 64, 3, pattern);
+            c.write_phase_threaded(&d, "/ior", 3).unwrap();
+            c.read_phase_threaded(&d, "/ior", true, 3).unwrap();
             c.read_phase(&d, "/ior", true).unwrap();
         }
     }

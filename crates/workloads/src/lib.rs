@@ -18,18 +18,24 @@
 //!   interleavings, for studies beyond the paper's fixed shapes.
 //!
 //! Each generator offers a **rank-loop** executor (drives the driver one
-//! rank at a time — no threads, used at paper scale up to 8192 processes)
-//! and works equally under the threaded SPMD runtime at small scale.
-//! Generators produce deterministic per-(step, variable, rank) payload
-//! patterns so that any reader can verify any byte.
+//! rank at a time — no threads, used at paper scale up to 8192 processes
+//! and by the figure benches, whose CSVs must be deterministic) and a
+//! **threaded** variant (`*_threaded(…, threads)`, built on
+//! [`exec::for_each_rank`]) that runs the per-rank data phases on a pool
+//! of OS threads against the same shared driver — the mode that actually
+//! exercises the sharded job locks. Generators produce deterministic
+//! per-(step, variable, rank) payload patterns so that any reader can
+//! verify any byte regardless of execution mode.
 
 pub mod bdcats;
+pub mod exec;
 pub mod ior;
 pub mod layout;
 pub mod micro;
 pub mod vpic;
 
 pub use bdcats::BdCatsIo;
+pub use exec::for_each_rank;
 pub use ior::{AccessPattern, IorConfig};
 pub use layout::VpicLayout;
 pub use micro::MicroIo;

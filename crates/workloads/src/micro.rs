@@ -2,6 +2,7 @@
 //! file and writes/reads an independent but overall contiguous block of
 //! data". The paper's runs use 256 MB per process.
 
+use crate::exec::for_each_rank;
 use univistor_mpi::driver::{FileHandle, FsDriver, OpenContext, OpenMode};
 use univistor_mpi::Hints;
 use univistor_sim::payload::splitmix64;
@@ -83,31 +84,55 @@ impl MicroIo {
     /// Full write phase: open, per-rank block writes, close (which may
     /// trigger the driver's flush).
     pub fn write_phase(&self, driver: &dyn FsDriver, path: &str) -> SimResult<()> {
+        self.write_phase_threaded(driver, path, 1)
+    }
+
+    /// Write phase with the block writes spread over `threads` OS threads
+    /// (opens and closes stay collective rank loops). `threads <= 1` is
+    /// the rank loop.
+    pub fn write_phase_threaded(
+        &self,
+        driver: &dyn FsDriver,
+        path: &str,
+        threads: usize,
+    ) -> SimResult<()> {
         let handles = self.open_all(driver, path, OpenMode::Write)?;
-        for (rank, h) in handles.iter().enumerate() {
+        for_each_rank(self.procs, threads, |rank| {
             let (start, _) = self.block_range(rank);
-            driver.write_at(h, rank, start, self.block_payload(rank))?;
-        }
+            driver.write_at(&handles[rank], rank, start, self.block_payload(rank))
+        })?;
         self.close_all(driver, &handles)
     }
 
     /// Full read phase; `verify` additionally checks the bytes (only at
     /// test scale — verification materializes data).
     pub fn read_phase(&self, driver: &dyn FsDriver, path: &str, verify: bool) -> SimResult<()> {
+        self.read_phase_threaded(driver, path, verify, 1)
+    }
+
+    /// Read phase over `threads` OS threads.
+    pub fn read_phase_threaded(
+        &self,
+        driver: &dyn FsDriver,
+        path: &str,
+        verify: bool,
+        threads: usize,
+    ) -> SimResult<()> {
         let handles = self.open_all(driver, path, OpenMode::Read)?;
-        for (rank, h) in handles.iter().enumerate() {
+        for_each_rank(self.procs, threads, |rank| {
             // Like BD-CATS on the micro data: read a neighbour's block so
             // reads are not trivially local.
             let src = (rank + 1) % self.procs;
             let (start, _) = self.block_range(src);
-            let got = driver.read_at(h, rank, start, self.bytes_per_proc)?;
+            let got = driver.read_at(&handles[rank], rank, start, self.bytes_per_proc)?;
             if verify {
                 assert!(
                     got.content_eq(&self.block_payload(src)),
                     "rank {rank} read corrupt block of rank {src}"
                 );
             }
-        }
+            Ok(())
+        })?;
         self.close_all(driver, &handles)
     }
 }
@@ -133,6 +158,17 @@ mod tests {
         let d = MemDriver::new();
         let m = MicroIo::scaled(8, 4096);
         m.write_phase(&d, "/micro").unwrap();
+        m.read_phase(&d, "/micro", true).unwrap();
+    }
+
+    #[test]
+    fn threaded_phases_match_rank_loop_results() {
+        let d = MemDriver::new();
+        let m = MicroIo::scaled(8, 4096);
+        m.write_phase_threaded(&d, "/micro", 4).unwrap();
+        // Threaded readers verify bytes written by threaded writers.
+        m.read_phase_threaded(&d, "/micro", true, 4).unwrap();
+        // And the rank loop sees the identical file.
         m.read_phase(&d, "/micro", true).unwrap();
     }
 

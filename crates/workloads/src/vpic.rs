@@ -8,6 +8,7 @@
 //! simulation computes (the paper emulates this with a 60 s sleep — in
 //! the reproduction the compute gap is a timing-plane parameter).
 
+use crate::exec::for_each_rank;
 use crate::layout::{VpicLayout, VPIC_VARS};
 use univistor_mpi::driver::{FileHandle, FsDriver, OpenContext, OpenMode};
 use univistor_mpi::Hints;
@@ -54,6 +55,19 @@ impl VpicIo {
     /// writes its slab of each dataset, collective close (triggering the
     /// driver's flush path).
     pub fn write_step(&self, driver: &dyn FsDriver, step: usize) -> SimResult<()> {
+        self.write_step_threaded(driver, step, 1)
+    }
+
+    /// [`Self::write_step`] with the slab writes spread over `threads` OS
+    /// threads. The root's metadata write still happens first, alone (it
+    /// is the collective-metadata barrier), and opens/closes stay
+    /// collective rank loops.
+    pub fn write_step_threaded(
+        &self,
+        driver: &dyn FsDriver,
+        step: usize,
+        threads: usize,
+    ) -> SimResult<()> {
         let path = VpicLayout::file_path(step);
         let handles: Vec<FileHandle> = (0..self.layout.procs)
             .map(|rank| driver.open(&self.ctx(&path, rank)))
@@ -70,16 +84,17 @@ impl VpicIo {
             Payload::chain([Payload::from_bytes(sb_bytes), Payload::zeros(pad)]),
         )?;
 
-        for (rank, h) in handles.iter().enumerate() {
+        for_each_rank(self.layout.procs, threads, |rank| {
             for var in 0..VPIC_VARS.len() {
                 driver.write_at(
-                    h,
+                    &handles[rank],
                     rank,
                     self.layout.slab_offset(var, rank),
                     self.layout.slab_payload(step, var, rank),
                 )?;
             }
-        }
+            Ok(())
+        })?;
         for (rank, h) in handles.iter().enumerate() {
             driver.close(h, rank)?;
         }
@@ -90,6 +105,15 @@ impl VpicIo {
     pub fn write_all(&self, driver: &dyn FsDriver) -> SimResult<()> {
         for step in 0..self.steps {
             self.write_step(driver, step)?;
+        }
+        Ok(())
+    }
+
+    /// Write all timesteps, `threads`-wide per step (steps stay ordered —
+    /// checkpoints are sequential in time).
+    pub fn write_all_threaded(&self, driver: &dyn FsDriver, threads: usize) -> SimResult<()> {
+        for step in 0..self.steps {
+            self.write_step_threaded(driver, step, threads)?;
         }
         Ok(())
     }

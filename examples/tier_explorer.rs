@@ -40,7 +40,7 @@ fn main() {
 
     println!("\n=== 2. Distributed metadata service (Fig. 3) ===");
     // 16 records over 4 ranges, assigned round-robin to 4 servers.
-    let mut md = MetadataService::new(4 * unit, 4, 2);
+    let md = MetadataService::new(4 * unit, 4, 2);
     for i in 0..16u64 {
         let key = SegKey {
             fid: 1,
