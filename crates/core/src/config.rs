@@ -58,6 +58,23 @@ impl Features {
     }
 }
 
+/// Which write-path implementation [`write`](crate::server::UniviStorJob::write)
+/// uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WritePipeline {
+    /// Batched pipeline: plan all grid-aligned pieces up front, place the
+    /// run under one chain-lock acquisition, commit metadata with a single
+    /// punch and partition-grouped puts, coalesce VA-contiguous same-layer
+    /// pieces into one record (capped at `metadata_range_size`), and touch
+    /// the node buffer and accounting mutex once per write call.
+    #[default]
+    Batched,
+    /// Reference implementation: one chain-lock / punch / KV put /
+    /// node-buffer and accounting acquisition per segment piece. Kept for
+    /// differential tests and as the `write_batch` bench baseline.
+    PerPiece,
+}
+
 /// Shape of the job UniviStor serves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct JobGeometry {
@@ -127,6 +144,8 @@ pub struct UniviStorConfig {
     /// Mirror volatile-layer segments to a buddy process on another node
     /// (the paper's future work: resilience for data in volatile layers).
     pub replicate_volatile: bool,
+    /// Which write-path implementation to use (batched by default).
+    pub write_pipeline: WritePipeline,
 }
 
 impl UniviStorConfig {
@@ -143,6 +162,7 @@ impl UniviStorConfig {
             enable_dram: true,
             enable_bb: true,
             replicate_volatile: false,
+            write_pipeline: WritePipeline::default(),
         }
     }
 
@@ -164,6 +184,7 @@ impl UniviStorConfig {
             enable_dram: true,
             enable_bb: true,
             replicate_volatile: false,
+            write_pipeline: WritePipeline::default(),
         };
         // Tiny tiers so tests exercise spilling: 1 KiB DRAM per node,
         // 4 KiB per BB node.

@@ -160,27 +160,40 @@ impl LogFile {
         self.data.read_exact(addr.0, len)
     }
 
-    /// Release a previously appended segment (logical overwrite/delete).
-    /// When a chunk's live bytes reach zero, its id returns to the free
-    /// stack for reuse.
+    /// Release a previously appended span (logical overwrite/delete).
+    /// The span may cross chunk boundaries — coalesced records merge
+    /// address-adjacent appends, so their displaced spans can cover the
+    /// seam between two exactly-filled chunks; each covered chunk is
+    /// debited for its own bytes. When a chunk's live bytes reach zero,
+    /// its id returns to the free stack for reuse. Chunks are processed
+    /// highest-first so a multi-chunk release pushes ids onto the stack in
+    /// descending order and the next appends pop them back ascending —
+    /// freed runs are reused front to back, address-contiguously.
     pub fn release(&mut self, addr: LogAddr, len: u64) {
-        let chunk = addr.0 / self.chunk_size;
-        assert!(chunk < self.n_chunks, "release beyond log");
-        let live = self
-            .live
-            .get_mut(&chunk)
-            .expect("release of never-written chunk");
-        assert!(*live >= len, "releasing more than live bytes in chunk");
-        *live -= len;
-        self.live_total -= len;
-        if *live == 0 {
-            // Reset fill cursor and recycle the chunk id.
-            self.live.remove(&chunk);
-            self.fill.remove(&chunk);
-            if self.active == Some(chunk) {
-                self.active = None;
+        let start = addr.0;
+        let mut end = start + len;
+        while end > start {
+            let chunk = (end - 1) / self.chunk_size;
+            assert!(chunk < self.n_chunks, "release beyond log");
+            let span_start = (chunk * self.chunk_size).max(start);
+            let n = end - span_start;
+            let live = self
+                .live
+                .get_mut(&chunk)
+                .expect("release of never-written chunk");
+            assert!(*live >= n, "releasing more than live bytes in chunk");
+            *live -= n;
+            self.live_total -= n;
+            if *live == 0 {
+                // Reset fill cursor and recycle the chunk id.
+                self.live.remove(&chunk);
+                self.fill.remove(&chunk);
+                if self.active == Some(chunk) {
+                    self.active = None;
+                }
+                self.recycled.push(chunk);
             }
-            self.recycled.push(chunk);
+            end = span_start;
         }
     }
 
@@ -266,6 +279,37 @@ mod tests {
         // Chunk 0 still has 100 live bytes.
         assert_eq!(l.live_bytes(), 100);
         assert_eq!(l.free_chunks(), 3);
+    }
+
+    #[test]
+    fn release_spanning_exactly_filled_chunks() {
+        let mut l = log();
+        // Two 256-byte appends fill chunks 0 and 1 back to back, so their
+        // addresses are contiguous — the shape a coalesced record merges.
+        let a = l.append(Payload::pattern(1, 256)).unwrap();
+        let b = l.append(Payload::pattern(2, 256)).unwrap();
+        assert_eq!(b.0, a.0 + 256);
+        // One release over the merged span frees both chunks.
+        l.release(a, 512);
+        assert_eq!(l.live_bytes(), 0);
+        assert_eq!(l.free_chunks(), 4);
+        // The freed run is handed back front to back: new appends reuse it
+        // address-contiguously.
+        assert_eq!(l.append(Payload::pattern(3, 256)).unwrap(), LogAddr(0));
+        assert_eq!(l.append(Payload::pattern(4, 256)).unwrap(), LogAddr(256));
+    }
+
+    #[test]
+    fn release_straddling_a_chunk_seam_debits_each_side() {
+        let mut l = log();
+        let a = l.append(Payload::pattern(1, 256)).unwrap();
+        l.append(Payload::pattern(2, 256)).unwrap();
+        // Release the middle 256 bytes of the merged 512-byte span: the
+        // tail half of chunk 0 plus the head half of chunk 1.
+        l.release(LogAddr(a.0 + 128), 256);
+        assert_eq!(l.live_bytes(), 256);
+        // Neither chunk is empty yet, so nothing recycles.
+        assert_eq!(l.free_chunks(), 2);
     }
 
     #[test]

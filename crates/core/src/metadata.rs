@@ -96,6 +96,27 @@ pub struct Displaced {
     pub replica: Option<(ClientId, VirtualAddr)>,
 }
 
+/// Lock-acquisition accounting for one batched metadata commit, reported so
+/// the write pipeline can expose per-call lock costs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommitStats {
+    /// KV shard lock acquisitions: shared scan visits plus exclusive
+    /// claim/fragment/record groups.
+    pub kv_shard_acquisitions: u64,
+    /// Node shared-metadata-buffer write-lock acquisitions.
+    pub node_buffer_acquisitions: u64,
+}
+
+/// Result of [`MetadataService::insert_batch`]: the spans trimmed out of the
+/// index (for the caller to release) plus the lock accounting for the commit.
+#[derive(Debug, Clone, Default)]
+pub struct BatchOutcome {
+    /// Spans displaced by the punch over the batch's full range.
+    pub displaced: Vec<Displaced>,
+    /// Lock acquisitions spent on the whole commit.
+    pub locks: CommitStats,
+}
+
 /// The distributed metadata service plus per-node shared metadata buffers.
 #[derive(Debug)]
 pub struct MetadataService {
@@ -148,6 +169,19 @@ impl MetadataService {
     /// punches race over the same record only one of them reports (and
     /// later releases) its span.
     pub fn punch(&self, fid: u64, lo: u64, hi: u64) -> Vec<Displaced> {
+        let mut locks = CommitStats::default();
+        self.punch_inner(fid, lo, hi, &mut locks)
+    }
+
+    /// The punch implementation, shared with [`insert_batch`](Self::insert_batch).
+    /// Batched end to end: one borrowing scan collects the overlapping
+    /// records, one grouped compare-and-delete claims them, one grouped put
+    /// reinserts the surviving fragments, and a single pass over the node
+    /// buffers (one write-lock acquisition each) drops the claimed keys and
+    /// re-caches the fragments — versus one full node-buffer sweep per
+    /// record on the old per-record path. Lock acquisitions are added to
+    /// `locks`.
+    fn punch_inner(&self, fid: u64, lo: u64, hi: u64, locks: &mut CommitStats) -> Vec<Displaced> {
         if lo >= hi {
             return Vec::new();
         }
@@ -160,7 +194,8 @@ impl MetadataService {
         // [lo.saturating_sub(range), hi).
         let range = self.kv.partitioner().range_size;
         let scan_lo = lo.saturating_sub(range);
-        let (_, hits) = self.kv.range_scan_bounded(
+        let mut overlapping: Vec<(SegKey, SegmentRecord)> = Vec::new();
+        let servers = self.kv.for_each_in_range(
             &SegKey {
                 fid,
                 offset: scan_lo,
@@ -168,20 +203,31 @@ impl MetadataService {
             &SegKey { fid, offset: hi },
             scan_lo,
             hi,
-            |k| k.fid == fid,
+            |k, v| {
+                if k.fid == fid && k.offset < hi && k.offset + v.len > lo {
+                    overlapping.push((*k, *v));
+                }
+            },
         );
-        let overlapping: Vec<(SegKey, SegmentRecord)> = hits
-            .into_iter()
-            .filter(|(k, v)| k.offset < hi && k.offset + v.len > lo)
-            .collect();
+        locks.kv_shard_acquisitions += servers.len() as u64;
+        if overlapping.is_empty() {
+            return Vec::new();
+        }
+        overlapping.sort_by_key(|(k, _)| *k);
+
+        // Claim every overlapped record in one grouped compare-and-delete;
+        // records a racing punch already claimed (or replaced) stay put.
+        let (claims, claim_acq) = self.kv.remove_if_eq_batch(&overlapping);
+        locks.kv_shard_acquisitions += claim_acq;
 
         let mut displaced = Vec::new();
-        for (k, v) in overlapping {
-            if !self.kv.remove_if_eq(&k, &v).1 {
-                // A racing punch already claimed (or replaced) this record.
+        let mut removed: Vec<SegKey> = Vec::new();
+        let mut fragments: Vec<(SegKey, SegmentRecord)> = Vec::new();
+        for ((k, v), claimed) in overlapping.into_iter().zip(claims) {
+            if !claimed {
                 continue;
             }
-            self.remove_local(k);
+            removed.push(k);
             let seg_end = k.offset + v.len;
             // Left fragment survives.
             if k.offset < lo {
@@ -192,21 +238,19 @@ impl MetadataService {
                     len: keep,
                     replica: v.replica,
                 };
-                self.kv.put(k, frag);
-                self.relocal(k, frag);
+                fragments.push((k, frag));
             }
-            // Right fragment survives.
+            // Right fragment survives. (At most one record extends past
+            // `hi`, so the fragment key `{fid, hi}` is unique.)
             if seg_end > hi {
                 let skip = hi - k.offset;
-                let frag_key = SegKey { fid, offset: hi };
                 let frag = SegmentRecord {
                     client: v.client,
                     va: VirtualAddr(v.va.0 + skip),
                     len: seg_end - hi,
                     replica: v.replica.map(|(c, rva)| (c, VirtualAddr(rva.0 + skip))),
                 };
-                self.kv.put(frag_key, frag);
-                self.relocal(frag_key, frag);
+                fragments.push((SegKey { fid, offset: hi }, frag));
             }
             // Displaced middle.
             let cut_lo = lo.max(k.offset);
@@ -219,7 +263,85 @@ impl MetadataService {
                 replica: v.replica.map(|(c, rva)| (c, VirtualAddr(rva.0 + off))),
             });
         }
+        if removed.is_empty() {
+            return displaced;
+        }
+        locks.kv_shard_acquisitions += self.kv.put_batch(fragments.iter().cloned());
+
+        // One pass over the node buffers: drop every claimed key, then
+        // re-cache the surviving fragments on nodes tracking the fid (the
+        // producer's node is among them) — same final state as the old
+        // per-record remove_local/relocal sequence, at one lock acquisition
+        // per node instead of one per node per record.
+        for node in &self.local {
+            let mut node = node.write().expect("node buffer poisoned");
+            locks.node_buffer_acquisitions += 1;
+            if let Some(per_fid) = node.get_mut(&fid) {
+                for k in &removed {
+                    per_fid.remove(&k.offset);
+                }
+            }
+            if node.contains_key(&fid) {
+                for (k, frag) in &fragments {
+                    node.entry(k.fid).or_default().insert(k.offset, *frag);
+                }
+            }
+        }
         displaced
+    }
+
+    /// Commit the records of one batched write call: a single punch over
+    /// `[lo, hi)` (the full span the records cover) replaces per-record
+    /// punches, the records land via a partition-grouped `put_batch` (one
+    /// shard write-lock acquisition per partition touched), and the producer
+    /// node's shared metadata buffer is refreshed under one lock
+    /// acquisition. `records` are `(offset, record)` pairs that must be
+    /// offset-sorted, mutually disjoint, and lie within `[lo, hi)`; each
+    /// record obeys the coalescing cap `len <= range_size` (the
+    /// left-widened-scan invariant, as for [`insert`](Self::insert)).
+    pub fn insert_batch(
+        &self,
+        fid: u64,
+        lo: u64,
+        hi: u64,
+        records: &[(u64, SegmentRecord)],
+        producer_node: usize,
+    ) -> BatchOutcome {
+        let range = self.kv.partitioner().range_size;
+        for (offset, record) in records {
+            assert!(
+                record.len <= range,
+                "segment length {} exceeds metadata range size {range}",
+                record.len
+            );
+            assert!(
+                *offset >= lo && offset + record.len <= hi,
+                "record [{offset}, {}) outside batch span [{lo}, {hi})",
+                offset + record.len
+            );
+        }
+        let mut locks = CommitStats::default();
+        let displaced = self.punch_inner(fid, lo, hi, &mut locks);
+        locks.kv_shard_acquisitions += self.kv.put_batch(records.iter().map(|(offset, record)| {
+            (
+                SegKey {
+                    fid,
+                    offset: *offset,
+                },
+                *record,
+            )
+        }));
+        {
+            let mut node = self.local[producer_node]
+                .write()
+                .expect("node buffer poisoned");
+            locks.node_buffer_acquisitions += 1;
+            let per_fid = node.entry(fid).or_default();
+            for (offset, record) in records {
+                per_fid.insert(*offset, *record);
+            }
+        }
+        BatchOutcome { displaced, locks }
     }
 
     fn remove_local(&self, key: SegKey) {
@@ -227,24 +349,6 @@ impl MetadataService {
             let mut node = node.write().expect("node buffer poisoned");
             if let Some(per_fid) = node.get_mut(&key.fid) {
                 per_fid.remove(&key.offset);
-            }
-        }
-    }
-
-    fn relocal(&self, key: SegKey, record: SegmentRecord) {
-        // The fragment inherits the original record's producer node; we do
-        // not track it separately, so refresh every node buffer that held
-        // the parent. Fragments are only created on the producer's node
-        // buffer, which `remove_local` just cleared; find it by producer
-        // lookup: the caller's insert() path re-caches fresh records, and
-        // fragments keep the same producer — cache on every node that held
-        // the parent is equivalent to caching on the producer's node.
-        for node in &self.local {
-            let mut node = node.write().expect("node buffer poisoned");
-            if node.contains_key(&key.fid) {
-                // Only nodes already tracking this fid are candidates; the
-                // producer's node is among them.
-                node.entry(key.fid).or_default().insert(key.offset, record);
             }
         }
     }
@@ -280,7 +384,9 @@ impl MetadataService {
 
     /// Distributed lookup of all records intersecting `[lo, hi)` of `fid`,
     /// sorted by offset. Returns the metadata servers visited (each visit
-    /// is an RPC in the timing plane). Takes only shared shard locks.
+    /// is an RPC in the timing plane). Takes only shared shard locks; the
+    /// borrowing scan copies only the records that actually overlap instead
+    /// of cloning every key/value in the scanned span.
     pub fn lookup_range(
         &self,
         fid: u64,
@@ -289,7 +395,8 @@ impl MetadataService {
     ) -> (Vec<ServerId>, Vec<(SegKey, SegmentRecord)>) {
         let range = self.kv.partitioner().range_size;
         let scan_lo = lo.saturating_sub(range);
-        let (servers, hits) = self.kv.range_scan_bounded(
+        let mut records: Vec<(SegKey, SegmentRecord)> = Vec::new();
+        let servers = self.kv.for_each_in_range(
             &SegKey {
                 fid,
                 offset: scan_lo,
@@ -297,12 +404,13 @@ impl MetadataService {
             &SegKey { fid, offset: hi },
             scan_lo,
             hi,
-            |k| k.fid == fid,
+            |k, v| {
+                if k.fid == fid && k.offset < hi && k.offset + v.len > lo {
+                    records.push((*k, *v));
+                }
+            },
         );
-        let records = hits
-            .into_iter()
-            .filter(|(k, v)| k.offset < hi && k.offset + v.len > lo)
-            .collect();
+        records.sort_by_key(|(k, _)| *k);
         (servers, records)
     }
 

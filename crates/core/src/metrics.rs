@@ -25,6 +25,9 @@
 //! | `univistor_flush_source_bytes_total` | counter | `tier` | where flushed bytes were cached |
 //! | `univistor_flush_lock_revocations_total` | counter | — | Lustre lock revocations while flushing |
 //! | `univistor_sched_decisions_total` | counter | `decision` | placement/migration choices (`sched`) |
+//! | `univistor_write_pieces_total` | counter | — | segment-grid pieces planned by write calls |
+//! | `univistor_write_records_total` | counter | — | metadata records committed by write calls (post-coalescing) |
+//! | `univistor_write_lock_acquisitions_total` | counter | `lock` | lock round-trips spent by write calls |
 //!
 //! [`UniviStorJob::metrics`](crate::server::UniviStorJob::metrics) snapshots
 //! the whole panel as a [`MetricsSnapshot`]; the legacy
@@ -111,7 +114,27 @@ pub struct JobMetrics {
     flush_source: [Counter; 4],
     flush_revocations: Counter,
 
+    write_pieces: Counter,
+    write_records: Counter,
+    /// Indexed as chain / kv_shard / node_buffer / accounting.
+    write_locks: [Counter; 4],
+
     sched: SchedCounters,
+}
+
+/// Lock-acquisition counts of one write call, by lock category. The write
+/// pipelines fill one of these per call so the batch-vs-per-piece cost is
+/// visible in `univistor_write_lock_acquisitions_total`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriteLockCounts {
+    /// Exclusive log-chain acquisitions (appends + displaced releases).
+    pub chain: u64,
+    /// KV shard acquisitions (scans, claims, fragment and record puts).
+    pub kv_shard: u64,
+    /// Shared-metadata-buffer acquisitions across nodes.
+    pub node_buffer: u64,
+    /// Accounting-mutex acquisitions.
+    pub accounting: u64,
 }
 
 impl Default for JobMetrics {
@@ -187,6 +210,18 @@ impl JobMetrics {
             "univistor_sched_decisions_total",
             "interference-aware scheduler placement decisions",
         );
+        let write_pieces = registry.counter_family(
+            "univistor_write_pieces_total",
+            "segment-grid pieces planned by write calls",
+        );
+        let write_records = registry.counter_family(
+            "univistor_write_records_total",
+            "metadata records committed by write calls (after coalescing)",
+        );
+        let write_locks = registry.counter_family(
+            "univistor_write_lock_acquisitions_total",
+            "lock round-trips spent by write calls, by lock category",
+        );
 
         let per_tier = |family: &univistor_obs::CounterFamily| -> [Counter; 4] {
             TIERS.map(|t| family.with(&[("tier", tier_label(t))]))
@@ -218,6 +253,14 @@ impl JobMetrics {
             flush_server_bytes: flush_server.with(&[]),
             flush_source: per_tier(&flush_source),
             flush_revocations: flush_revocations.with(&[]),
+            write_pieces: write_pieces.with(&[]),
+            write_records: write_records.with(&[]),
+            write_locks: [
+                write_locks.with(&[("lock", "chain")]),
+                write_locks.with(&[("lock", "kv_shard")]),
+                write_locks.with(&[("lock", "node_buffer")]),
+                write_locks.with(&[("lock", "accounting")]),
+            ],
             sched: SchedCounters {
                 free_core: sched.with(&[("decision", "free_core")]),
                 stacked: sched.with(&[("decision", "stacked")]),
@@ -274,6 +317,18 @@ impl JobMetrics {
     /// Bytes mirrored into a buddy chain.
     pub fn record_replication(&self, len: u64) {
         self.replicated_bytes.add(len);
+    }
+
+    /// One write call's pipeline accounting: how many grid pieces were
+    /// planned, how many metadata records they coalesced into, and the lock
+    /// round-trips spent. The coalescing ratio is `pieces / records`.
+    pub fn record_write_batch(&self, pieces: u64, records: u64, locks: WriteLockCounts) {
+        self.write_pieces.add(pieces);
+        self.write_records.add(records);
+        self.write_locks[0].add(locks.chain);
+        self.write_locks[1].add(locks.kv_shard);
+        self.write_locks[2].add(locks.node_buffer);
+        self.write_locks[3].add(locks.accounting);
     }
 
     /// A read call's aggregated accounting.

@@ -194,6 +194,34 @@ impl ChainSet {
         chain.append(payload)
     }
 
+    /// Append a run of segments to `client`'s chain under ONE exclusive
+    /// chain-lock acquisition — the batched write pipeline's piece run,
+    /// versus one acquisition per piece through [`append`](Self::append).
+    /// Placement is identical to appending the payloads one at a time. On
+    /// error every segment already placed is rolled back (released) before
+    /// returning, so a failed batch leaves the chain unchanged.
+    pub fn append_many(
+        &self,
+        client: ClientId,
+        payloads: Vec<Payload>,
+    ) -> SimResult<Vec<PlacedSegment>> {
+        let chain = self.chain(client)?;
+        let mut chain = chain.write().expect("chain poisoned");
+        let mut placed = Vec::with_capacity(payloads.len());
+        for payload in payloads {
+            match chain.append(payload) {
+                Ok(p) => placed.push(p),
+                Err(e) => {
+                    for p in &placed {
+                        chain.release(p.va, p.len);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(placed)
+    }
+
     /// Read `len` bytes at `va` of `client`'s chain plus the tier they
     /// reside on. Takes only shared locks — concurrent readers of
     /// different (or the same) chains never block each other.
@@ -216,6 +244,33 @@ impl ChainSet {
         if let Ok(chain) = self.chain(client) {
             chain.write().expect("chain poisoned").release(va, len);
         }
+    }
+
+    /// Release a run of `(owner, va, len)` spans, taking each owner's chain
+    /// lock once per consecutive same-owner group (callers sort spans by
+    /// owner so each chain costs one acquisition). Missing chains are
+    /// skipped, as for [`release`](Self::release). Releases within a chain
+    /// happen in input order. Returns the number of chain-lock acquisitions
+    /// taken.
+    pub fn release_many(&self, spans: &[(ClientId, VirtualAddr, u64)]) -> u64 {
+        let mut acquisitions = 0u64;
+        let mut i = 0;
+        while i < spans.len() {
+            let client = spans[i].0;
+            let mut j = i;
+            while j < spans.len() && spans[j].0 == client {
+                j += 1;
+            }
+            if let Ok(chain) = self.chain(client) {
+                let mut chain = chain.write().expect("chain poisoned");
+                acquisitions += 1;
+                for &(_, va, len) in &spans[i..j] {
+                    chain.release(va, len);
+                }
+            }
+            i = j;
+        }
+        acquisitions
     }
 
     /// Aggregate live bytes per tier across every chain (shared locks).

@@ -25,14 +25,14 @@
 //! panel cannot hold: flush receipts and the per-client byte map), so the
 //! two can never disagree.
 
-use crate::config::UniviStorConfig;
+use crate::config::{UniviStorConfig, WritePipeline};
 use crate::error::{Error, Result};
 use crate::flush::{flush_file, FlushReceipt};
 use crate::metadata::{ClientId, MetadataService, SegKey, SegmentRecord};
-use crate::metrics::{JobMetrics, ScalarValues};
+use crate::metrics::{JobMetrics, ScalarValues, WriteLockCounts};
 use crate::placement::{layer_caps_with_node_local, ChainSet, ProcChain};
 use crate::read::{read_segments, ReadTrace};
-use crate::va::Tier;
+use crate::va::{Tier, VirtualAddr};
 use crate::workflow::StateFile;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -405,20 +405,47 @@ impl UniviStorJob {
             entry.fid
         };
         self.ensure_chain(client)?;
-        let seg = self.cfg.segment_size;
         let node = self.cfg.geometry.node_of_rank(client.rank as usize);
+        match self.cfg.write_pipeline {
+            WritePipeline::Batched => self.write_batched(client, fid, node, offset, payload),
+            WritePipeline::PerPiece => self.write_per_piece(client, fid, node, offset, payload),
+        }
+    }
 
-        let mut cur = offset;
+    /// Split `[offset, offset + len)` on the logical segment grid, so
+    /// overwrites displace whole records where possible. Returns
+    /// `(logical offset, length)` per piece.
+    fn plan_pieces(&self, offset: u64, len: u64) -> Vec<(u64, u64)> {
+        let seg = self.cfg.segment_size;
         let end = offset + len;
+        let mut pieces = Vec::with_capacity((len / seg) as usize + 2);
+        let mut cur = offset;
         while cur < end {
-            // Align pieces to the segment grid so overwrites displace
-            // whole records where possible.
-            let grid_next = (cur / seg + 1) * seg;
-            let piece_end = grid_next.min(end);
-            let piece_len = piece_end - cur;
-            let piece = payload.slice(cur - offset, piece_len);
+            let piece_end = ((cur / seg + 1) * seg).min(end);
+            pieces.push((cur, piece_end - cur));
+            cur = piece_end;
+        }
+        pieces
+    }
 
+    /// Reference write path: one chain-lock, punch, KV commit, node-buffer
+    /// sweep, and accounting acquisition per grid piece — the pre-batch
+    /// implementation, selected by [`WritePipeline::PerPiece`] for
+    /// differential tests and as the `write_batch` bench baseline.
+    fn write_per_piece(
+        &self,
+        client: ClientId,
+        fid: u64,
+        node: usize,
+        offset: u64,
+        payload: Payload,
+    ) -> SimResult<()> {
+        let mut locks = WriteLockCounts::default();
+        let pieces = self.plan_pieces(offset, payload.len());
+        for &(cur, piece_len) in &pieces {
+            let piece = payload.slice(cur - offset, piece_len);
             let placed = self.chains.append(client, piece.clone())?;
+            locks.chain += 1;
 
             // Resilience (future work of the paper): mirror segments that
             // landed on volatile layers into a buddy process's chain on
@@ -432,6 +459,7 @@ impl UniviStorJob {
                     // for this segment, it does not fail the write. The
                     // buddy's chain lock is taken after releasing ours —
                     // never two chain locks at once.
+                    locks.chain += 1;
                     if let Ok(rplaced) = self.chains.append(buddy, piece) {
                         record.replica = Some((buddy, rplaced.va));
                         self.metrics.record_replication(piece_len);
@@ -439,17 +467,21 @@ impl UniviStorJob {
                 }
             }
 
-            let (_, displaced) = self
-                .metadata
-                .insert(SegKey { fid, offset: cur }, record, node);
+            let outcome =
+                self.metadata
+                    .insert_batch(fid, cur, cur + piece_len, &[(cur, record)], node);
+            locks.kv_shard += outcome.locks.kv_shard_acquisitions;
+            locks.node_buffer += outcome.locks.node_buffer_acquisitions;
             // Free the log space of overwritten data (possibly owned by
             // other clients' chains), including replica copies. Each
             // displaced span was claimed exactly once by the punch, so it
             // is released exactly once here.
-            for d in displaced {
+            for d in outcome.displaced {
                 self.chains.release(d.client, d.va, d.len);
+                locks.chain += 1;
                 if let Some((rc, rva)) = d.replica {
                     self.chains.release(rc, rva, d.len);
+                    locks.chain += 1;
                 }
             }
             self.metrics
@@ -461,8 +493,148 @@ impl UniviStorJob {
                 .bytes_by_client_tier
                 .entry((client, placed.tier))
                 .or_insert(0) += piece_len;
-            cur = piece_end;
+            locks.accounting += 1;
         }
+        self.metrics
+            .record_write_batch(pieces.len() as u64, pieces.len() as u64, locks);
+        Ok(())
+    }
+
+    /// Batched write pipeline (the default): plan every grid piece up
+    /// front, place the run under one chain-lock acquisition
+    /// ([`ChainSet::append_many`]), replicate volatile pieces with one
+    /// buddy-chain acquisition, coalesce VA-contiguous same-layer pieces
+    /// into single records (capped at the metadata range size), commit them
+    /// with one punch over the full `[offset, end)` span plus
+    /// partition-grouped puts ([`MetadataService::insert_batch`]), release
+    /// displaced spans grouped by owning chain, and take the accounting
+    /// mutex once for the whole call.
+    fn write_batched(
+        &self,
+        client: ClientId,
+        fid: u64,
+        node: usize,
+        offset: u64,
+        payload: Payload,
+    ) -> SimResult<()> {
+        let len = payload.len();
+        let end = offset + len;
+        let pieces = self.plan_pieces(offset, len);
+        let payloads: Vec<Payload> = pieces
+            .iter()
+            .map(|&(cur, plen)| payload.slice(cur - offset, plen))
+            .collect();
+        let mut locks = WriteLockCounts::default();
+
+        let placed = self.chains.append_many(client, payloads.clone())?;
+        locks.chain += 1;
+
+        // Resilience (future work of the paper): mirror the pieces that
+        // landed on volatile layers into the buddy's chain — the whole run
+        // under one buddy chain-lock acquisition, taken after ours is
+        // released (never two chain locks at once). Best-effort: a failed
+        // buddy run degrades resilience, it does not fail the write.
+        let mut replicas: Vec<Option<(ClientId, VirtualAddr, usize)>> = vec![None; pieces.len()];
+        if self.cfg.replicate_volatile {
+            let buddy = self.buddy_of(client);
+            if buddy != client {
+                let volatile: Vec<usize> = placed
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.tier != Tier::Pfs)
+                    .map(|(i, _)| i)
+                    .collect();
+                if !volatile.is_empty() {
+                    self.ensure_chain(buddy)?;
+                    locks.chain += 1;
+                    let copies: Vec<Payload> =
+                        volatile.iter().map(|&i| payloads[i].clone()).collect();
+                    if let Ok(rplaced) = self.chains.append_many(buddy, copies) {
+                        for (&i, rp) in volatile.iter().zip(&rplaced) {
+                            replicas[i] = Some((buddy, rp.va, rp.layer));
+                            self.metrics.record_replication(pieces[i].1);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Coalesce: merge a piece into the previous record when both sit
+        // on the same chain layer at adjacent VAs (and their replica spans
+        // line up likewise, on one buddy layer), keeping every record
+        // within the metadata range size so the left-widened overlap scans
+        // stay correct. Layer equality matters because a VA seam between
+        // two layers can also be address-adjacent.
+        let range = self.cfg.metadata_range_size;
+        let mut records: Vec<(u64, SegmentRecord)> = Vec::with_capacity(pieces.len());
+        let mut tail_layer = 0usize;
+        let mut tail_replica_layer = 0usize;
+        for (i, p) in placed.iter().enumerate() {
+            let (off, plen) = pieces[i];
+            self.metrics.record_segment(p.tier, p.layer, plen);
+            if let Some((_, last)) = records.last_mut() {
+                let replica_ok = match (last.replica, replicas[i]) {
+                    (None, None) => true,
+                    (Some((lc, lva)), Some((rc, rva, rlayer))) => {
+                        lc == rc && lva.0 + last.len == rva.0 && rlayer == tail_replica_layer
+                    }
+                    _ => false,
+                };
+                if p.layer == tail_layer
+                    && last.va.0 + last.len == p.va.0
+                    && replica_ok
+                    && last.len + plen <= range
+                {
+                    last.len += plen;
+                    continue;
+                }
+            }
+            records.push((
+                off,
+                SegmentRecord {
+                    client,
+                    va: p.va,
+                    len: plen,
+                    replica: replicas[i].map(|(c, va, _)| (c, va)),
+                },
+            ));
+            tail_layer = p.layer;
+            tail_replica_layer = replicas[i].map(|(_, _, l)| l).unwrap_or(0);
+        }
+
+        // Commit the run: one punch over the full span, partition-grouped
+        // record puts, one producer node-buffer refresh.
+        let outcome = self.metadata.insert_batch(fid, offset, end, &records, node);
+        locks.kv_shard += outcome.locks.kv_shard_acquisitions;
+        locks.node_buffer += outcome.locks.node_buffer_acquisitions;
+
+        // Free the log space of overwritten data (possibly owned by other
+        // clients' chains), including replica copies. Each displaced span
+        // was claimed exactly once by the punch and is released exactly
+        // once here, grouped so each owning chain's lock is taken once
+        // (the stable sort keeps punch order within an owner).
+        let mut spans: Vec<(ClientId, VirtualAddr, u64)> = Vec::new();
+        for d in &outcome.displaced {
+            spans.push((d.client, d.va, d.len));
+            if let Some((rc, rva)) = d.replica {
+                spans.push((rc, rva, d.len));
+            }
+        }
+        spans.sort_by_key(|&(c, _, _)| c);
+        locks.chain += self.chains.release_many(&spans);
+
+        {
+            let mut acct = self.accounting.lock().expect("accounting poisoned");
+            locks.accounting += 1;
+            for (i, p) in placed.iter().enumerate() {
+                *acct
+                    .bytes_by_client_tier
+                    .entry((client, p.tier))
+                    .or_insert(0) += pieces[i].1;
+            }
+        }
+        self.metrics
+            .record_write_batch(pieces.len() as u64, records.len() as u64, locks);
         Ok(())
     }
 
@@ -572,12 +744,31 @@ impl UniviStorJob {
             if tier == Tier::Dram {
                 continue; // already on the fastest layer
             }
-            let placed = self.chains.append(record.client, payload)?;
-            if placed.tier != Tier::Dram {
-                // No DRAM space after all: undo the copy.
-                self.chains.release(record.client, placed.va, record.len);
+            // A coalesced record can exceed one log chunk, so copy it in
+            // chunk-sized sub-appends — the record stays one span only if
+            // every copy lands on DRAM at address-adjacent VAs; otherwise
+            // undo and leave the segment where it is.
+            let chunk = self.cfg.chunk_size;
+            let mut sub = Vec::with_capacity((record.len / chunk) as usize + 1);
+            let mut pos = 0u64;
+            while pos < record.len {
+                let n = chunk.min(record.len - pos);
+                sub.push(payload.slice(pos, n));
+                pos += n;
+            }
+            let placements = self.chains.append_many(record.client, sub)?;
+            let one_dram_span = placements.iter().all(|p| p.tier == Tier::Dram)
+                && placements
+                    .windows(2)
+                    .all(|w| w[0].va.0 + w[0].len == w[1].va.0);
+            if !one_dram_span {
+                // No DRAM space (or a fragmented copy) after all: undo.
+                for p in &placements {
+                    self.chains.release(record.client, p.va, p.len);
+                }
                 continue;
             }
+            let placed = placements[0];
             let mut new_record = record;
             new_record.va = placed.va;
             let node = self.cfg.geometry.node_of_rank(record.client.rank as usize);
@@ -710,6 +901,31 @@ impl UniviStorJob {
     /// shared lock in turn — never the whole job.
     pub fn tier_usage(&self) -> Vec<(Tier, u64)> {
         self.chains.live_by_tier().into_iter().collect()
+    }
+
+    /// Total records in the distributed metadata index, across all files —
+    /// the index size coalescing shrinks (reported by the `write_batch`
+    /// bench).
+    pub fn metadata_records(&self) -> usize {
+        self.metadata.len()
+    }
+
+    /// All index records of `path`, offset-sorted: each record's logical
+    /// span, producer, VA, and replica. Diagnostics and verification only
+    /// (shared locks, but scans the file's whole index).
+    pub fn index_of(&self, path: &str) -> Result<Vec<(SegKey, SegmentRecord)>> {
+        let (fid, size) = {
+            let files = self.files.read().expect("file table poisoned");
+            let entry = files.get(path).ok_or_else(|| {
+                Error::new(
+                    "index",
+                    SimError::InvalidConfig(format!("no such file '{path}'")),
+                )
+                .with_path(path)
+            })?;
+            (entry.fid, entry.size.load(Ordering::Relaxed))
+        };
+        Ok(self.metadata.lookup_range(fid, 0, size).1)
     }
 
     /// Verify a flushed file: compare the PFS copy byte-for-byte against

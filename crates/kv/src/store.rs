@@ -238,6 +238,91 @@ impl<K: Ord + PartitionKey + Clone, V: Clone> DistKv<K, V> {
         (servers, out)
     }
 
+    /// Borrowing variant of [`range_scan_bounded`](Self::range_scan_bounded):
+    /// visit every record whose partition point lies in `[lo, hi)` and whose
+    /// key lies in `[lo_key, hi_key)` without cloning keys or values. Shards
+    /// are visited in first-touch server order and each shard's records in
+    /// key order, so the overall visit order is **not** globally key-sorted —
+    /// callers that need order collect and sort what they keep. The visitor
+    /// runs under the shard's read lock and must not reenter the store.
+    /// Returns the servers visited (each visit is one get for accounting,
+    /// exactly as for the cloning scans).
+    pub fn for_each_in_range(
+        &self,
+        lo_key: &K,
+        hi_key: &K,
+        lo: u64,
+        hi: u64,
+        mut visit: impl FnMut(&K, &V),
+    ) -> Vec<ServerId> {
+        let servers = self.partitioner.servers_for_span(lo, hi);
+        for s in &servers {
+            self.gets[s.0].fetch_add(1, Ordering::Relaxed);
+            for (k, v) in self.shard(*s).range(lo_key.clone()..hi_key.clone()) {
+                let p = k.partition_point();
+                if p >= lo && p < hi {
+                    visit(k, v);
+                }
+            }
+        }
+        servers
+    }
+
+    /// Insert a run of records, taking each shard's write lock once per
+    /// consecutive same-server group rather than once per record. Callers
+    /// pass key-sorted runs so that each partition touched costs exactly one
+    /// lock round-trip (range partitioning maps sorted keys to grouped
+    /// servers). Per-server put counters advance once per record, as for
+    /// [`put`](Self::put). Returns the number of shard write-lock
+    /// acquisitions taken.
+    pub fn put_batch(&self, items: impl IntoIterator<Item = (K, V)>) -> u64 {
+        let mut acquisitions = 0u64;
+        let mut held: Option<(ServerId, std::sync::RwLockWriteGuard<'_, BTreeMap<K, V>>)> = None;
+        for (k, v) in items {
+            let server = self.partitioner.server_for(k.partition_point());
+            if !matches!(&held, Some((s, _)) if *s == server) {
+                held = Some((server, self.shard_mut(server)));
+                acquisitions += 1;
+            }
+            self.puts[server.0].fetch_add(1, Ordering::Relaxed);
+            held.as_mut().expect("guard just installed").1.insert(k, v);
+        }
+        acquisitions
+    }
+
+    /// Compare-and-delete a run of `(key, expected)` pairs, grouping
+    /// consecutive same-server items under one shard write-lock acquisition.
+    /// Each item has the exact semantics of
+    /// [`remove_if_eq`](Self::remove_if_eq), including its per-attempt put
+    /// accounting. Returns the per-item claim flags (in input order) and the
+    /// number of shard write-lock acquisitions taken.
+    pub fn remove_if_eq_batch(&self, items: &[(K, V)]) -> (Vec<bool>, u64)
+    where
+        V: PartialEq,
+    {
+        let mut claimed = Vec::with_capacity(items.len());
+        let mut acquisitions = 0u64;
+        let mut held: Option<(ServerId, std::sync::RwLockWriteGuard<'_, BTreeMap<K, V>>)> = None;
+        for (k, expected) in items {
+            let server = self.partitioner.server_for(k.partition_point());
+            if !matches!(&held, Some((s, _)) if *s == server) {
+                held = Some((server, self.shard_mut(server)));
+                acquisitions += 1;
+            }
+            self.puts[server.0].fetch_add(1, Ordering::Relaxed);
+            let shard = &mut held.as_mut().expect("guard just installed").1;
+            let ok = match shard.get(k) {
+                Some(v) if v == expected => {
+                    shard.remove(k);
+                    true
+                }
+                _ => false,
+            };
+            claimed.push(ok);
+        }
+        (claimed, acquisitions)
+    }
+
     /// Records per server (distribution inspection).
     pub fn shard_sizes(&self) -> Vec<usize> {
         self.shards
@@ -453,6 +538,69 @@ mod tests {
         let (servers, records) = kv.range_scan(100, 100, |_| true);
         assert!(servers.is_empty());
         assert!(records.is_empty());
+    }
+
+    #[test]
+    fn for_each_in_range_matches_cloning_scan() {
+        let kv: DistKv<SegKey, u64> = DistKv::new(8, 3);
+        for off in (0..100).step_by(10) {
+            kv.put(key(1, off), off);
+            kv.put(key(2, off), off + 1000);
+        }
+        let gets_before = kv.stats().gets.iter().sum::<u64>();
+        let (scan_servers, scan_records) =
+            kv.range_scan_bounded(&key(1, 20), &key(1, 60), 20, 60, |k| k.fid == 1);
+        let mut visited: Vec<(SegKey, u64)> = Vec::new();
+        let visit_servers = kv.for_each_in_range(&key(1, 20), &key(1, 60), 20, 60, |k, v| {
+            if k.fid == 1 {
+                visited.push((*k, *v));
+            }
+        });
+        visited.sort_by_key(|(k, _)| *k);
+        assert_eq!(visit_servers, scan_servers);
+        assert_eq!(visited, scan_records);
+        // Both scans charge one get per visited server.
+        let gets_after = kv.stats().gets.iter().sum::<u64>();
+        assert_eq!(gets_after - gets_before, 2 * scan_servers.len() as u64);
+    }
+
+    #[test]
+    fn put_batch_groups_sorted_runs_by_server() {
+        // Range width 4, 4 servers: offsets 0..16 span 4 partitions, so a
+        // sorted run of 16 records costs exactly 4 write-lock acquisitions.
+        let kv: DistKv<SegKey, u64> = DistKv::new(4, 4);
+        let items: Vec<(SegKey, u64)> = (0..16).map(|off| (key(1, off), off)).collect();
+        let acquisitions = kv.put_batch(items);
+        assert_eq!(acquisitions, 4);
+        assert_eq!(kv.len(), 16);
+        assert_eq!(kv.shard_sizes(), vec![4, 4, 4, 4]);
+        // Put accounting matches the one-at-a-time path: one per record.
+        assert_eq!(kv.stats().puts, vec![4; 4]);
+        for off in 0..16 {
+            assert_eq!(kv.get(&key(1, off)).1, Some(off));
+        }
+    }
+
+    #[test]
+    fn remove_if_eq_batch_claims_like_singles() {
+        let kv: DistKv<SegKey, u64> = DistKv::new(4, 2);
+        kv.put(key(1, 0), 10);
+        kv.put(key(1, 1), 20);
+        kv.put(key(1, 4), 30);
+        let items = vec![
+            (key(1, 0), 10u64), // matches → claimed
+            (key(1, 1), 99),    // stale expectation → left alone
+            (key(1, 4), 30),    // matches → claimed
+            (key(1, 5), 40),    // absent → not claimed
+        ];
+        let (claims, acquisitions) = kv.remove_if_eq_batch(&items);
+        assert_eq!(claims, vec![true, false, true, false]);
+        // Offsets 0/1 share partition 0 (server 0), 4/5 share partition 1
+        // (server 1): two grouped acquisitions for four items.
+        assert_eq!(acquisitions, 2);
+        assert_eq!(kv.get(&key(1, 0)).1, None);
+        assert_eq!(kv.get(&key(1, 1)).1, Some(20));
+        assert_eq!(kv.get(&key(1, 4)).1, None);
     }
 
     #[test]

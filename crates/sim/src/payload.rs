@@ -212,11 +212,24 @@ impl Payload {
             len <= MAX_MATERIALIZE,
             "refusing to materialize {len} bytes (> {MAX_MATERIALIZE})"
         );
+        if let Payload::Bytes(b) = self {
+            return b.clone();
+        }
+        let mut v = Vec::with_capacity(len as usize);
+        self.materialize_into(&mut v);
+        Bytes::from(v)
+    }
+
+    /// Append this payload's bytes to `out` in one pass. Chains recurse
+    /// part by part into the same buffer, so a rope fills one pre-sized
+    /// allocation instead of materializing every part into a temporary
+    /// that is then copied again. Callers enforce [`MAX_MATERIALIZE`]
+    /// (as [`to_bytes`](Self::to_bytes) does).
+    pub fn materialize_into(&self, out: &mut Vec<u8>) {
         match self {
-            Payload::Bytes(b) => b.clone(),
-            Payload::Zeros { len } => Bytes::from(vec![0u8; *len as usize]),
+            Payload::Bytes(b) => out.extend_from_slice(b),
+            Payload::Zeros { len } => out.resize(out.len() + *len as usize, 0),
             Payload::Pattern { seed, offset, len } => {
-                let mut v = Vec::with_capacity(*len as usize);
                 let mut pos = *offset;
                 let end = offset + len;
                 while pos < end {
@@ -224,17 +237,14 @@ impl Payload {
                     let in_block = (pos % 8) as u32;
                     let take = ((8 - in_block) as u64).min(end - pos) as u32;
                     let shifted = block >> (8 * in_block);
-                    v.extend_from_slice(&shifted.to_le_bytes()[..take as usize]);
+                    out.extend_from_slice(&shifted.to_le_bytes()[..take as usize]);
                     pos += take as u64;
                 }
-                Bytes::from(v)
             }
             Payload::Chain(parts) => {
-                let mut v = Vec::with_capacity(len as usize);
                 for part in parts {
-                    v.extend_from_slice(&part.to_bytes());
+                    part.materialize_into(out);
                 }
-                Bytes::from(v)
             }
         }
     }
@@ -344,6 +354,27 @@ mod tests {
         assert_eq!(&c.to_bytes()[..], b"hello \0\0world");
         assert_eq!(c.byte_at(7), 0);
         assert_eq!(c.byte_at(8), b'w');
+    }
+
+    #[test]
+    fn materialize_into_matches_to_bytes_for_every_shape() {
+        let shapes = [
+            Payload::from_bytes(&b"hello"[..]),
+            Payload::zeros(17),
+            Payload::pattern(42, 100).slice(3, 90),
+            Payload::chain([
+                Payload::from_bytes(&b"abcd"[..]),
+                Payload::zeros(3),
+                Payload::pattern(7, 50),
+                Payload::chain([Payload::pattern(9, 10), Payload::from_bytes(&b"xy"[..])]),
+            ]),
+        ];
+        for p in shapes {
+            let mut out = b"prefix".to_vec();
+            p.materialize_into(&mut out);
+            assert_eq!(&out[..6], b"prefix");
+            assert_eq!(&out[6..], &p.to_bytes()[..]);
+        }
     }
 
     #[test]

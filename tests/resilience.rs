@@ -176,15 +176,18 @@ fn hot_segments_get_promoted_to_dram() {
     // No DRAM space yet: nothing can be promoted.
     assert_eq!(j.promote_hot(3).unwrap(), 0);
 
-    // Overwrite the cold DRAM-resident half; with DRAM full the first new
-    // segment spills to the BB, displacing an old DRAM record — and the
-    // *second* new segment immediately reuses the freed chunk (write-time
-    // spill recovery). That leaves exactly one free DRAM chunk.
+    // Overwrite the cold DRAM-resident half. The batched pipeline appends
+    // the whole run before releasing displaced spans, so with DRAM full
+    // both new segments land on the BB and the punch then frees both DRAM
+    // chunks.
     j.write(client(0), "/f", 0, Payload::pattern(8, 512))
         .unwrap();
-    // Heat accounting survives; one hot BB segment can move up now.
+    // Heat accounting survives; the hot BB record can move up now.
     let promoted = j.promote_hot(3).unwrap();
-    assert_eq!(promoted, 1, "one 256 B segment fits the freed DRAM chunk");
+    assert_eq!(
+        promoted, 1,
+        "the hot 512 B coalesced record fits the freed DRAM chunks"
+    );
     assert_eq!(j.stats().promotions, 1);
 
     // The whole file still reads correctly after all the shuffling.
@@ -193,14 +196,15 @@ fn hot_segments_get_promoted_to_dram() {
     assert!(got
         .slice(512, 512)
         .content_eq(&Payload::pattern(7, 1024).slice(512, 512)));
-    // And the promoted segment is now served from DRAM.
+    // And the promoted record (the coalesced 512 B span) is now served
+    // entirely from DRAM.
     let before = j.stats().read_trace;
     j.read(client(0), "/f", 512, 512).unwrap();
     let after = j.stats().read_trace;
     assert_eq!(
         after.local_direct_bytes - before.local_direct_bytes,
-        256,
-        "promoted segment should be node-local now"
+        512,
+        "promoted record should be node-local now"
     );
 }
 
