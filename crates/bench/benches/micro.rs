@@ -15,14 +15,13 @@
 //! Run with `cargo bench -p univistor-bench`. Pass a substring argument
 //! to filter groups, e.g. `cargo bench -p univistor-bench -- metadata`.
 
-use std::collections::HashSet;
 use std::hint::black_box;
 use std::time::Instant;
 use univistor_core::config::JobGeometry;
 use univistor_core::log::LogFile;
 use univistor_core::metadata::{ClientId, MetadataService, SegKey, SegmentRecord};
 use univistor_core::placement::{ChainSet, ProcChain};
-use univistor_core::read::read_segments;
+use univistor_core::read::ReadService;
 use univistor_core::striping::{adaptive_plan, naive_plan};
 use univistor_core::va::{Tier, TierMap, VirtualAddr};
 use univistor_kv::CentralizedKv;
@@ -220,22 +219,14 @@ fn bench_read_path(filter: &Option<String>) {
         ("read_path/location_aware", true),
         ("read_path/naive", false),
     ] {
+        let svc = ReadService::new(&md, &chains, &geometry).location_aware(aware);
         let mut cursor = 0u64;
         bench(filter, name, || {
             cursor = (cursor + 7) % 960;
-            let (payload, _, _) = read_segments(
-                &md,
-                &chains,
-                &geometry,
-                aware,
-                &HashSet::new(),
-                ClientId::new(0, 0),
-                1,
-                cursor * seg,
-                8 * seg,
-            )
-            .unwrap();
-            payload.len()
+            let out = svc
+                .read(ClientId::new(0, 0), 1, cursor * seg, 8 * seg)
+                .unwrap();
+            out.payload.len()
         });
     }
 }

@@ -75,6 +75,22 @@ pub enum WritePipeline {
     PerPiece,
 }
 
+/// Which read-path implementation [`read`](crate::server::UniviStorJob::read)
+/// uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadPipeline {
+    /// Batched pipeline: plan every clipped fragment up front (replica
+    /// rerouting resolved in the plan), group fragments by producer chain,
+    /// and fetch each group under one shared chain-lock acquisition
+    /// ([`ChainSet::read_at_many`](crate::placement::ChainSet::read_at_many)).
+    #[default]
+    Batched,
+    /// Reference implementation: one chain-lock acquisition per overlapping
+    /// fragment, fetched while walking the record list. Kept for
+    /// differential tests and as the `read_batch` bench baseline.
+    PerRecord,
+}
+
 /// Shape of the job UniviStor serves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct JobGeometry {
@@ -146,6 +162,18 @@ pub struct UniviStorConfig {
     pub replicate_volatile: bool,
     /// Which write-path implementation to use (batched by default).
     pub write_pipeline: WritePipeline,
+    /// Which read-path implementation to use (batched by default).
+    pub read_pipeline: ReadPipeline,
+    /// Forward reads by one `(client, fid)` pair whose start matches the
+    /// previous read's end before readahead kicks in. Streak detection is
+    /// per client+file, so interleaved streams don't defeat it.
+    pub readahead_min_streak: u32,
+    /// Bytes of extra metadata lookup issued past a sequential read's end;
+    /// the widened window lands in the node's read record cache, so the
+    /// following reads of the scan are served without metadata RPCs.
+    /// `0` disables readahead (the default for the figure configurations,
+    /// whose timing plane charges per metadata RPC).
+    pub readahead_window: u64,
 }
 
 impl UniviStorConfig {
@@ -163,6 +191,9 @@ impl UniviStorConfig {
             enable_bb: true,
             replicate_volatile: false,
             write_pipeline: WritePipeline::default(),
+            read_pipeline: ReadPipeline::default(),
+            readahead_min_streak: 2,
+            readahead_window: 0,
         }
     }
 
@@ -185,6 +216,9 @@ impl UniviStorConfig {
             enable_bb: true,
             replicate_volatile: false,
             write_pipeline: WritePipeline::default(),
+            read_pipeline: ReadPipeline::default(),
+            readahead_min_streak: 2,
+            readahead_window: 0,
         };
         // Tiny tiers so tests exercise spilling: 1 KiB DRAM per node,
         // 4 KiB per BB node.

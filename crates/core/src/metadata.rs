@@ -117,12 +117,39 @@ pub struct BatchOutcome {
     pub locks: CommitStats,
 }
 
+/// One cached lookup window in a node's read record cache: the records
+/// that intersected `[lo, hi)` of a fid at generation `gen` (the BTreeMap
+/// key is `lo`).
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    /// Exclusive end of the cached window.
+    hi: u64,
+    /// The fid's generation when the window was fetched; a mismatch at
+    /// hit time means an intervening mutation and the entry is dead.
+    gen: u64,
+    /// Records intersecting the window, offset-sorted.
+    records: Vec<(SegKey, SegmentRecord)>,
+}
+
+/// Cached windows kept per `(node, fid)` before the whole fid map is
+/// dropped — a safety valve for pathological random-read patterns, not a
+/// tuned working-set size.
+const READ_CACHE_WINDOWS_PER_FID: usize = 128;
+
 /// The distributed metadata service plus per-node shared metadata buffers.
 #[derive(Debug)]
 pub struct MetadataService {
     kv: DistKv<SegKey, SegmentRecord>,
     /// Per node: fid → offset → record, for records produced on that node.
     local: Vec<RwLock<HashMap<u64, BTreeMap<u64, SegmentRecord>>>>,
+    /// Per node: fid → window lo → cached lookup result (the read record
+    /// cache). Entries are validated against `generations` at hit time,
+    /// so mutators only bump a counter instead of chasing cached copies.
+    read_cache: Vec<RwLock<HashMap<u64, BTreeMap<u64, CacheEntry>>>>,
+    /// Per fid: mutation generation. Bumped after every index mutation
+    /// (`insert`, `insert_batch`, `punch`, `replace_if_current`), which
+    /// atomically invalidates every cached window of the fid.
+    generations: RwLock<HashMap<u64, u64>>,
 }
 
 impl MetadataService {
@@ -131,7 +158,32 @@ impl MetadataService {
         MetadataService {
             kv: DistKv::new(range_size, servers),
             local: (0..nodes).map(|_| RwLock::new(HashMap::new())).collect(),
+            read_cache: (0..nodes).map(|_| RwLock::new(HashMap::new())).collect(),
+            generations: RwLock::new(HashMap::new()),
         }
+    }
+
+    /// The fid's current mutation generation (0 if never mutated).
+    pub fn generation(&self, fid: u64) -> u64 {
+        self.generations
+            .read()
+            .expect("generations poisoned")
+            .get(&fid)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Invalidate every cached read window of `fid`. Called after a
+    /// mutation has fully landed in the KV and node buffers, so a reader
+    /// that captured the old generation before the mutation can never
+    /// install (or keep trusting) a pre-mutation window.
+    fn bump_generation(&self, fid: u64) {
+        *self
+            .generations
+            .write()
+            .expect("generations poisoned")
+            .entry(fid)
+            .or_insert(0) += 1;
     }
 
     /// Insert a record for a fresh segment, also caching it in the
@@ -152,7 +204,8 @@ impl MetadataService {
             record.len,
             self.kv.partitioner().range_size
         );
-        let displaced = self.punch(key.fid, key.offset, key.offset + record.len);
+        let mut locks = CommitStats::default();
+        let displaced = self.punch_inner(key.fid, key.offset, key.offset + record.len, &mut locks);
         let (server, _) = self.kv.put(key, record);
         self.local[producer_node]
             .write()
@@ -160,6 +213,7 @@ impl MetadataService {
             .entry(key.fid)
             .or_default()
             .insert(key.offset, record);
+        self.bump_generation(key.fid);
         (server, displaced)
     }
 
@@ -170,7 +224,11 @@ impl MetadataService {
     /// later releases) its span.
     pub fn punch(&self, fid: u64, lo: u64, hi: u64) -> Vec<Displaced> {
         let mut locks = CommitStats::default();
-        self.punch_inner(fid, lo, hi, &mut locks)
+        let displaced = self.punch_inner(fid, lo, hi, &mut locks);
+        if !displaced.is_empty() {
+            self.bump_generation(fid);
+        }
+        displaced
     }
 
     /// The punch implementation, shared with [`insert_batch`](Self::insert_batch).
@@ -341,6 +399,7 @@ impl MetadataService {
                 per_fid.insert(*offset, *record);
             }
         }
+        self.bump_generation(fid);
         BatchOutcome { displaced, locks }
     }
 
@@ -378,6 +437,7 @@ impl MetadataService {
                 .entry(key.fid)
                 .or_default()
                 .insert(key.offset, new);
+            self.bump_generation(key.fid);
         }
         (server, swapped)
     }
@@ -412,6 +472,73 @@ impl MetadataService {
         );
         records.sort_by_key(|(k, _)| *k);
         (servers, records)
+    }
+
+    /// [`lookup_range`](Self::lookup_range) through `node`'s read record
+    /// cache. A cached window containing `[lo, hi)` whose generation still
+    /// matches the fid's answers with **zero** metadata RPCs (a *hit*, the
+    /// third return value `true`); otherwise the distributed lookup runs
+    /// over the possibly wider `[lo, fetch_hi)` — readahead passes
+    /// `fetch_hi > hi` to pre-populate the cache for a sequential scan —
+    /// and the result is installed unless the generation moved while the
+    /// lookup was in flight (a racing mutation; the records are still
+    /// returned, matching `lookup_range`'s racing semantics, they just
+    /// aren't cached). Hits take only the cache's shared lock; the one
+    /// exclusive acquisition on this path is the miss-time install.
+    pub fn lookup_range_cached(
+        &self,
+        node: usize,
+        fid: u64,
+        lo: u64,
+        hi: u64,
+        fetch_hi: u64,
+    ) -> (Vec<ServerId>, Vec<(SegKey, SegmentRecord)>, bool) {
+        debug_assert!(fetch_hi >= hi);
+        let gen = self.generation(fid);
+        {
+            let cache = self.read_cache[node].read().expect("read cache poisoned");
+            if let Some(per_fid) = cache.get(&fid) {
+                if let Some((_, entry)) = per_fid.range(..=lo).next_back() {
+                    if entry.gen == gen && entry.hi >= hi {
+                        // Records overlapping [lo, hi) are a subset of the
+                        // window's: [lo, hi) ⊆ [window lo, window hi).
+                        let records = entry
+                            .records
+                            .iter()
+                            .filter(|(k, r)| k.offset < hi && k.offset + r.len > lo)
+                            .copied()
+                            .collect();
+                        return (Vec::new(), records, true);
+                    }
+                }
+            }
+        }
+        let (servers, records) = self.lookup_range(fid, lo, fetch_hi);
+        // Re-check before installing: if a mutation landed (and bumped)
+        // while we scanned, the window may mix old and new state — serve
+        // it once but never cache it.
+        if self.generation(fid) == gen {
+            let mut cache = self.read_cache[node].write().expect("read cache poisoned");
+            let per_fid = cache.entry(fid).or_default();
+            if per_fid.len() >= READ_CACHE_WINDOWS_PER_FID {
+                per_fid.clear();
+            }
+            per_fid.insert(
+                lo,
+                CacheEntry {
+                    hi: fetch_hi,
+                    gen,
+                    records: records.clone(),
+                },
+            );
+        }
+        (servers, records, false)
+    }
+
+    /// The metadata partition (KV server index) owning logical `offset` —
+    /// the shard map the job's heat counters reuse for routing.
+    pub fn partition_of(&self, offset: u64) -> usize {
+        self.kv.partitioner().server_for(offset).0
     }
 
     /// Node-local lookup in the shared metadata buffer: records produced on
@@ -613,6 +740,113 @@ mod tests {
         m.insert(SegKey { fid: 1, offset: 0 }, rec(0, 0, 0, 10), 0);
         assert!(m.punch(1, 5, 5).is_empty());
         assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn cached_lookup_hits_without_rpcs_until_invalidated() {
+        let m = svc();
+        m.insert(SegKey { fid: 1, offset: 0 }, rec(0, 0, 0, 100), 0);
+        let (servers, records, hit) = m.lookup_range_cached(0, 1, 0, 100, 100);
+        assert!(!hit);
+        assert!(!servers.is_empty());
+        assert_eq!(records.len(), 1);
+        // Second identical lookup: served by the cache, zero RPCs.
+        let (servers, records, hit) = m.lookup_range_cached(0, 1, 0, 100, 100);
+        assert!(hit);
+        assert!(servers.is_empty());
+        assert_eq!(records.len(), 1);
+        // A narrower window inside the cached one also hits.
+        let (_, records, hit) = m.lookup_range_cached(0, 1, 20, 80, 80);
+        assert!(hit);
+        assert_eq!(records.len(), 1);
+        // An overwrite bumps the generation: next lookup misses and sees
+        // the new record, never the stale VA.
+        m.insert(SegKey { fid: 1, offset: 0 }, rec(0, 1, 500, 100), 0);
+        let (_, records, hit) = m.lookup_range_cached(0, 1, 0, 100, 100);
+        assert!(!hit, "overwrite must invalidate the cached window");
+        assert_eq!(records[0].1.va, VirtualAddr(500));
+        // …and the fresh result is cached again.
+        let (_, _, hit) = m.lookup_range_cached(0, 1, 0, 100, 100);
+        assert!(hit);
+    }
+
+    #[test]
+    fn punch_and_cas_invalidate_cached_windows() {
+        let m = svc();
+        let old = rec(0, 0, 0, 64);
+        m.insert(SegKey { fid: 1, offset: 0 }, old, 0);
+        m.lookup_range_cached(0, 1, 0, 64, 64);
+        m.punch(1, 0, 32);
+        let (_, records, hit) = m.lookup_range_cached(0, 1, 0, 64, 64);
+        assert!(!hit);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].0.offset, 32);
+        let trimmed = records[0].1;
+        m.lookup_range_cached(0, 1, 0, 64, 64);
+        let promoted = rec(0, 0, 900, 32);
+        assert!(
+            m.replace_if_current(SegKey { fid: 1, offset: 32 }, &trimmed, promoted, 0)
+                .1
+        );
+        let (_, records, hit) = m.lookup_range_cached(0, 1, 0, 64, 64);
+        assert!(!hit, "CAS must invalidate the cached window");
+        assert_eq!(records[0].1.va, VirtualAddr(900));
+    }
+
+    #[test]
+    fn cache_windows_are_per_node_and_capped() {
+        let m = svc();
+        m.insert(SegKey { fid: 1, offset: 0 }, rec(0, 0, 0, 10), 0);
+        m.lookup_range_cached(0, 1, 0, 10, 10);
+        // Node 1 has its own cache: same window misses there.
+        let (_, _, hit) = m.lookup_range_cached(1, 1, 0, 10, 10);
+        assert!(!hit);
+        // Overflowing the per-fid cap clears the node's windows instead of
+        // growing without bound; disjoint windows past the first entry's
+        // end each miss and install, eventually tripping the clear.
+        for i in 0..(READ_CACHE_WINDOWS_PER_FID as u64 + 4) {
+            let lo = 1000 + i;
+            m.lookup_range_cached(0, 1, lo, lo + 1, lo + 1);
+        }
+        let (_, _, hit) = m.lookup_range_cached(0, 1, 0, 10, 10);
+        assert!(!hit, "the original window should have been evicted");
+    }
+
+    #[test]
+    fn readahead_fetch_widens_the_cached_window() {
+        let m = svc();
+        for i in 0..4u64 {
+            m.insert(
+                SegKey {
+                    fid: 1,
+                    offset: i * 50,
+                },
+                rec(0, i as u32, i * 1000, 50),
+                0,
+            );
+        }
+        // Ask for [0, 50) but fetch through 200: the wide window is cached.
+        let (_, records, hit) = m.lookup_range_cached(0, 1, 0, 50, 200);
+        assert!(!hit);
+        assert_eq!(records.len(), 4, "fetch covers the widened window");
+        // The rest of the scan hits without RPCs.
+        for i in 1..4u64 {
+            let (servers, records, hit) =
+                m.lookup_range_cached(0, 1, i * 50, i * 50 + 50, i * 50 + 50);
+            assert!(hit, "window {i} should be prefetched");
+            assert!(servers.is_empty());
+            assert_eq!(records.len(), 1);
+            assert_eq!(records[0].0.offset, i * 50);
+        }
+    }
+
+    #[test]
+    fn partition_of_matches_round_robin_ranges() {
+        let m = MetadataService::new(64, 4, 1);
+        assert_eq!(m.partition_of(0), 0);
+        assert_eq!(m.partition_of(63), 0);
+        assert_eq!(m.partition_of(64), 1);
+        assert_eq!(m.partition_of(64 * 4), 0);
     }
 
     #[test]

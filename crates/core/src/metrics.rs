@@ -28,6 +28,10 @@
 //! | `univistor_write_pieces_total` | counter | — | segment-grid pieces planned by write calls |
 //! | `univistor_write_records_total` | counter | — | metadata records committed by write calls (post-coalescing) |
 //! | `univistor_write_lock_acquisitions_total` | counter | `lock` | lock round-trips spent by write calls |
+//! | `univistor_read_lock_acquisitions_total` | counter | `lock` | shared chain-lock round-trips spent by read calls |
+//! | `univistor_read_md_cache_hits_total` | counter | — | distributed lookups served by the node's read record cache |
+//! | `univistor_read_md_cache_misses_total` | counter | — | distributed lookups that visited the KV servers |
+//! | `univistor_read_readahead_bytes_total` | counter | — | lookup-window bytes issued past request ends by readahead |
 //!
 //! [`UniviStorJob::metrics`](crate::server::UniviStorJob::metrics) snapshots
 //! the whole panel as a [`MetricsSnapshot`]; the legacy
@@ -35,7 +39,7 @@
 //! counters (see `server::stats`), so the two can never disagree.
 
 use crate::flush::FlushReceipt;
-use crate::read::ReadTrace;
+use crate::read::{ReadLockCounts, ReadTrace};
 use crate::va::Tier;
 use univistor_obs::{exponential_buckets, Counter, Gauge, Histogram, MetricsSnapshot, Registry};
 
@@ -118,6 +122,11 @@ pub struct JobMetrics {
     write_records: Counter,
     /// Indexed as chain / kv_shard / node_buffer / accounting.
     write_locks: [Counter; 4],
+
+    read_locks_chain: Counter,
+    read_md_cache_hits: Counter,
+    read_md_cache_misses: Counter,
+    read_readahead_bytes: Counter,
 
     sched: SchedCounters,
 }
@@ -222,6 +231,22 @@ impl JobMetrics {
             "univistor_write_lock_acquisitions_total",
             "lock round-trips spent by write calls, by lock category",
         );
+        let read_locks = registry.counter_family(
+            "univistor_read_lock_acquisitions_total",
+            "shared lock round-trips spent by read calls, by lock category",
+        );
+        let read_cache_hits = registry.counter_family(
+            "univistor_read_md_cache_hits_total",
+            "distributed lookups served by the node's read record cache",
+        );
+        let read_cache_misses = registry.counter_family(
+            "univistor_read_md_cache_misses_total",
+            "distributed lookups that missed the cache and visited the KV servers",
+        );
+        let readahead_bytes = registry.counter_family(
+            "univistor_read_readahead_bytes_total",
+            "lookup-window bytes issued past request ends by sequential readahead",
+        );
 
         let per_tier = |family: &univistor_obs::CounterFamily| -> [Counter; 4] {
             TIERS.map(|t| family.with(&[("tier", tier_label(t))]))
@@ -261,6 +286,10 @@ impl JobMetrics {
                 write_locks.with(&[("lock", "node_buffer")]),
                 write_locks.with(&[("lock", "accounting")]),
             ],
+            read_locks_chain: read_locks.with(&[("lock", "chain")]),
+            read_md_cache_hits: read_cache_hits.with(&[]),
+            read_md_cache_misses: read_cache_misses.with(&[]),
+            read_readahead_bytes: readahead_bytes.with(&[]),
             sched: SchedCounters {
                 free_core: sched.with(&[("decision", "free_core")]),
                 stacked: sched.with(&[("decision", "stacked")]),
@@ -342,6 +371,16 @@ impl JobMetrics {
         self.read_pfs_direct.add(t.pfs_direct_bytes);
         self.read_remote_hop.add(t.remote_bytes);
         self.read_replica.add(t.replica_bytes);
+        self.read_md_cache_hits.add(t.md_cache_hits);
+        self.read_md_cache_misses.add(t.md_cache_misses);
+        self.read_readahead_bytes.add(t.readahead_bytes);
+    }
+
+    /// A read call's lock accounting: shared chain-lock round-trips spent
+    /// fetching fragments (one per fragment on the per-record pipeline, one
+    /// per producer group on the batched one).
+    pub fn record_read_locks(&self, locks: ReadLockCounts) {
+        self.read_locks_chain.add(locks.chain);
     }
 
     /// Segments promoted to DRAM.
@@ -395,6 +434,9 @@ impl JobMetrics {
             read_pfs_direct: self.read_pfs_direct.get(),
             read_remote_hop: self.read_remote_hop.get(),
             read_replica: self.read_replica.get(),
+            read_md_cache_hits: self.read_md_cache_hits.get(),
+            read_md_cache_misses: self.read_md_cache_misses.get(),
+            read_readahead_bytes: self.read_readahead_bytes.get(),
         }
     }
 }
@@ -422,6 +464,9 @@ pub(crate) struct ScalarValues {
     pub read_pfs_direct: u64,
     pub read_remote_hop: u64,
     pub read_replica: u64,
+    pub read_md_cache_hits: u64,
+    pub read_md_cache_misses: u64,
+    pub read_readahead_bytes: u64,
 }
 
 impl ScalarValues {
@@ -450,6 +495,9 @@ impl ScalarValues {
             read_pfs_direct: self.read_pfs_direct - base.read_pfs_direct,
             read_remote_hop: self.read_remote_hop - base.read_remote_hop,
             read_replica: self.read_replica - base.read_replica,
+            read_md_cache_hits: self.read_md_cache_hits - base.read_md_cache_hits,
+            read_md_cache_misses: self.read_md_cache_misses - base.read_md_cache_misses,
+            read_readahead_bytes: self.read_readahead_bytes - base.read_readahead_bytes,
         }
     }
 
@@ -513,7 +561,11 @@ mod tests {
             local_md_hits: 3,
             requests: 1,
             replica_bytes: 5,
+            md_cache_hits: 4,
+            md_cache_misses: 6,
+            readahead_bytes: 7,
         });
+        m.record_read_locks(ReadLockCounts { chain: 9 });
         let snap = m.snapshot();
         assert_eq!(
             snap.counter("univistor_read_bytes_total", &[("path", "local_hit")]),
@@ -528,6 +580,22 @@ mod tests {
             Some(2)
         );
         assert_eq!(snap.counter_total("univistor_md_local_hits_total"), 3);
+        assert_eq!(snap.counter_total("univistor_read_md_cache_hits_total"), 4);
+        assert_eq!(
+            snap.counter_total("univistor_read_md_cache_misses_total"),
+            6
+        );
+        assert_eq!(
+            snap.counter_total("univistor_read_readahead_bytes_total"),
+            7
+        );
+        assert_eq!(
+            snap.counter(
+                "univistor_read_lock_acquisitions_total",
+                &[("lock", "chain")]
+            ),
+            Some(9)
+        );
     }
 
     #[test]

@@ -237,6 +237,26 @@ impl ChainSet {
         Ok((payload, chain.tier_of(va)))
     }
 
+    /// Read every `(va, len)` request from `client`'s chain under a
+    /// **single** shared lock acquisition — the batched read pipeline's
+    /// grouped fetch, mirroring `append_many` on the write side. Results
+    /// come back in request order.
+    pub fn read_at_many(
+        &self,
+        client: ClientId,
+        requests: &[(VirtualAddr, u64)],
+    ) -> SimResult<Vec<(Payload, Tier)>> {
+        let chain = self.chain(client)?;
+        let chain = chain.read().expect("chain poisoned");
+        requests
+            .iter()
+            .map(|&(va, len)| {
+                let payload = chain.read(va, len)?;
+                Ok((payload, chain.tier_of(va)))
+            })
+            .collect()
+    }
+
     /// Release `len` bytes at `va` of `client`'s chain. A missing chain is
     /// a no-op (the displaced owner may never have connected — e.g. a
     /// replica whose buddy is gone).
@@ -461,6 +481,27 @@ mod tests {
         assert_eq!(caps[0].1, (44u64 << 30) / 32);
         assert_eq!(caps[1].1, (100u64 << 30) / 8192);
         assert_eq!(caps[2].1, u64::MAX);
+    }
+
+    #[test]
+    fn read_at_many_matches_per_request_reads() {
+        let chains: ChainSet = [(ClientId::new(0, 0), fig2_chain())].into_iter().collect();
+        let client = ClientId::new(0, 0);
+        let placed: Vec<PlacedSegment> = (0..8u64)
+            .map(|i| chains.append(client, Payload::pattern(i, 64)).unwrap())
+            .collect();
+        // One grouped fetch over all segments, in a shuffled order.
+        let requests: Vec<(VirtualAddr, u64)> = [3usize, 0, 7, 5, 1, 6, 2, 4]
+            .iter()
+            .map(|&i| (placed[i].va, 64))
+            .collect();
+        let batch = chains.read_at_many(client, &requests).unwrap();
+        assert_eq!(batch.len(), requests.len());
+        for (&(va, len), (payload, tier)) in requests.iter().zip(&batch) {
+            let (single, single_tier) = chains.read_at(client, va, len).unwrap();
+            assert!(payload.content_eq(&single));
+            assert_eq!(*tier, single_tier);
+        }
     }
 
     #[test]

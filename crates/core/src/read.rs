@@ -1,4 +1,5 @@
-//! Read service: naive vs. location-aware (§II-B4).
+//! Read service: naive vs. location-aware (§II-B4), with a batched
+//! fetch pipeline.
 //!
 //! The baseline read path directs every request to the UniviStor server
 //! co-located with the requester, which looks up the metadata and either
@@ -14,11 +15,32 @@
 //!   fetches segments that live on globally visible layers (shared burst
 //!   buffer, PFS) directly, without bouncing through the producers'
 //!   servers.
+//!
+//! [`ReadService`] executes one request in four stages:
+//! 1. **gather** the covering metadata records — local buffer first, then
+//!    the distributed KV through the node's read record cache
+//!    ([`MetadataService::lookup_range_cached`]), optionally widened by
+//!    sequential readahead ([`ReadState`]);
+//! 2. **plan** every clipped fragment up front, resolving replica
+//!    rerouting around failed nodes in the plan;
+//! 3. **fetch** the fragments — [`ReadPipeline::Batched`] groups them by
+//!    producer chain and takes one shared chain-lock acquisition per
+//!    group ([`ChainSet::read_at_many`]); [`ReadPipeline::PerRecord`]
+//!    takes one per fragment (the reference implementation);
+//! 4. **assemble** the payload in logical order and classify each
+//!    fragment for the timing plane.
+//!
+//! Stages 1, 2, and 4 are shared between the pipelines, so the
+//! [`ReadTrace`] accounting is identical by construction; only the
+//! chain-lock acquisition count ([`ReadLockCounts`]) differs.
 
-use crate::config::JobGeometry;
+use crate::config::{JobGeometry, ReadPipeline};
 use crate::metadata::{ClientId, MetadataService, SegKey, SegmentRecord};
 use crate::placement::ChainSet;
-use std::collections::HashSet;
+use crate::va::{Tier, VirtualAddr};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::RwLock;
 use univistor_sim::{Payload, SimError, SimResult};
 
 /// Byte/RPC accounting of one (or many aggregated) read operations — the
@@ -48,6 +70,15 @@ pub struct ReadTrace {
     /// Bytes served from resilience replicas because the primary's node
     /// had failed.
     pub replica_bytes: u64,
+    /// Distributed lookups answered by the node's read record cache —
+    /// no metadata RPC issued (location-aware path only).
+    pub md_cache_hits: u64,
+    /// Distributed lookups that missed the cache and visited the KV
+    /// servers.
+    pub md_cache_misses: u64,
+    /// Extra lookup-window bytes issued past the request's end by
+    /// sequential readahead (pre-populating the read record cache).
+    pub readahead_bytes: u64,
 }
 
 impl ReadTrace {
@@ -71,160 +102,505 @@ impl ReadTrace {
         self.local_md_hits += other.local_md_hits;
         self.requests += other.requests;
         self.replica_bytes += other.replica_bytes;
+        self.md_cache_hits += other.md_cache_hits;
+        self.md_cache_misses += other.md_cache_misses;
+        self.readahead_bytes += other.readahead_bytes;
     }
 }
 
-/// Plan and execute one read of `[offset, offset + len)` from `fid` on
-/// behalf of `client`. Returns the assembled payload, the trace, and the
-/// metadata keys touched (for access-pattern tracking). When a producer's
-/// node is in `failed_nodes`, the segment is served from its resilience
-/// replica (if one exists).
-///
-/// The whole path takes only shared locks (metadata shards, node buffers,
-/// producer chains), so concurrent readers never serialize on each other.
-#[allow(clippy::too_many_arguments)]
-pub fn read_segments(
-    metadata: &MetadataService,
-    chains: &ChainSet,
-    geometry: &JobGeometry,
-    location_aware: bool,
-    failed_nodes: &HashSet<usize>,
-    client: ClientId,
-    fid: u64,
-    offset: u64,
-    len: u64,
-) -> SimResult<(Payload, ReadTrace, Vec<SegKey>)> {
-    let mut trace = ReadTrace {
-        requests: 1,
-        ..ReadTrace::default()
-    };
-    if len == 0 {
-        return Ok((Payload::empty(), trace, Vec::new()));
-    }
-    let my_node = geometry.node_of_rank(client.rank as usize);
-    let end = offset + len;
+/// Lock-acquisition accounting of one read call. Kept out of
+/// [`ReadTrace`] because the two pipelines legitimately differ here while
+/// their traces must stay identical; feeds
+/// `univistor_read_lock_acquisitions_total`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadLockCounts {
+    /// Shared chain-lock acquisitions: one per fragment on the
+    /// per-record path, one per producer group on the batched path.
+    pub chain: u64,
+}
 
-    // Records covering the request, with the location-aware local
-    // shortcut where enabled.
-    let mut records: Vec<(SegKey, SegmentRecord)> = Vec::new();
-    if location_aware {
-        // 1. Shared metadata buffer: free lookups for locally-produced data.
-        let local_hits = metadata.lookup_local(my_node, fid, offset, end);
-        trace.local_md_hits += local_hits.len() as u64;
-        // 2. Distributed lookup only for the uncovered remainder.
-        let covered: u64 = local_hits
-            .iter()
-            .map(|(k, r)| {
-                let lo = k.offset.max(offset);
-                let hi = (k.offset + r.len).min(end);
-                hi.saturating_sub(lo)
-            })
-            .sum();
-        records.extend(local_hits.iter().copied());
-        if covered < len {
-            let (servers, remote_hits) = metadata.lookup_range(fid, offset, end);
-            trace.md_rpcs += servers.len() as u64;
-            for (k, r) in remote_hits {
-                if !records.iter().any(|(k2, _)| k2 == &k) {
-                    records.push((k, r));
-                }
+/// Everything one read call produced: the assembled bytes, the timing
+/// plane's accounting, the metadata keys touched (for access-pattern
+/// tracking), and the lock costs.
+#[derive(Debug)]
+pub struct ReadOutcome {
+    /// The assembled payload, exactly `len` bytes.
+    pub payload: Payload,
+    /// Byte/RPC accounting.
+    pub trace: ReadTrace,
+    /// Metadata keys of every record a fragment was read from.
+    pub touched: Vec<SegKey>,
+    /// Lock acquisitions spent fetching.
+    pub locks: ReadLockCounts,
+}
+
+/// Per-`(client, fid)` forward-scan detector driving sequential
+/// readahead. The cursors live behind a shared lock with atomic fields,
+/// so the steady state of a scan costs no exclusive acquisition; only the
+/// first read of a brand-new `(client, fid)` stream takes the write lock
+/// to install its cursor (the `ensure_chain` pattern).
+#[derive(Debug, Default)]
+pub struct ReadState {
+    cursors: RwLock<HashMap<(ClientId, u64), SeqCursor>>,
+}
+
+#[derive(Debug, Default)]
+struct SeqCursor {
+    last_end: AtomicU64,
+    streak: AtomicU32,
+}
+
+impl SeqCursor {
+    /// Record a read of `[offset, end)`; true when the forward streak has
+    /// reached `min_streak`.
+    fn advance(&self, offset: u64, end: u64, min_streak: u32) -> bool {
+        if self.last_end.swap(end, Ordering::Relaxed) == offset {
+            let streak = self
+                .streak
+                .fetch_add(1, Ordering::Relaxed)
+                .saturating_add(1);
+            streak >= min_streak
+        } else {
+            self.streak.store(0, Ordering::Relaxed);
+            false
+        }
+    }
+}
+
+impl ReadState {
+    /// An empty detector.
+    pub fn new() -> Self {
+        ReadState::default()
+    }
+
+    /// Record `client` reading `[offset, end)` of `fid`; true when the
+    /// stream has sustained a forward scan for at least `min_streak`
+    /// consecutive reads (each starting where the previous ended).
+    pub fn advance(
+        &self,
+        client: ClientId,
+        fid: u64,
+        offset: u64,
+        end: u64,
+        min_streak: u32,
+    ) -> bool {
+        let key = (client, fid);
+        {
+            let cursors = self.cursors.read().expect("read state poisoned");
+            if let Some(cursor) = cursors.get(&key) {
+                return cursor.advance(offset, end, min_streak);
             }
         }
-    } else {
-        // Naive path: the co-located server performs the distributed
-        // lookup on the client's behalf.
-        let (servers, hits) = metadata.lookup_range(fid, offset, end);
-        trace.md_rpcs += servers.len() as u64;
-        records = hits;
+        self.cursors
+            .write()
+            .expect("read state poisoned")
+            .entry(key)
+            .or_default()
+            .advance(offset, end, min_streak)
     }
-    records.sort_by_key(|(k, _)| k.offset);
+}
 
-    // Gather payloads, clipping records to the requested window and
-    // classifying each fragment for the timing plane.
-    let mut parts: Vec<Payload> = Vec::new();
-    let mut touched: Vec<SegKey> = Vec::new();
-    let mut cursor = offset;
-    for (k, r) in records {
-        let seg_end = k.offset + r.len;
-        if seg_end <= cursor || k.offset >= end {
-            continue;
+/// One clipped fragment of the read plan: `len` bytes at `va` of
+/// `source`'s chain (the replica owner when the primary's node failed —
+/// rerouting is resolved at plan time, not per fetch).
+#[derive(Debug, Clone, Copy)]
+struct Fragment {
+    source: ClientId,
+    va: VirtualAddr,
+    len: u64,
+}
+
+/// The read path's execution context: borrow the job's shared structures
+/// once, then serve any number of requests through [`read`](Self::read).
+///
+/// The whole path takes only shared locks in steady state (metadata
+/// shards, node buffers, read caches, producer chains); the exceptions
+/// are first-touch installs (a new `(client, fid)` readahead cursor) and
+/// the one exclusive node-cache acquisition a cache *miss* pays to
+/// install its window — cache hits never write. Concurrent readers never
+/// serialize on each other.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadService<'a> {
+    metadata: &'a MetadataService,
+    chains: &'a ChainSet,
+    geometry: &'a JobGeometry,
+    location_aware: bool,
+    pipeline: ReadPipeline,
+    readahead_min_streak: u32,
+    readahead_window: u64,
+    state: Option<&'a ReadState>,
+    failed_nodes: Option<&'a HashSet<usize>>,
+}
+
+impl<'a> ReadService<'a> {
+    /// A service over the job's metadata, chains, and geometry. Defaults:
+    /// location-aware, batched pipeline, readahead off, no failed nodes.
+    pub fn new(
+        metadata: &'a MetadataService,
+        chains: &'a ChainSet,
+        geometry: &'a JobGeometry,
+    ) -> Self {
+        ReadService {
+            metadata,
+            chains,
+            geometry,
+            location_aware: true,
+            pipeline: ReadPipeline::default(),
+            readahead_min_streak: 2,
+            readahead_window: 0,
+            state: None,
+            failed_nodes: None,
         }
-        if k.offset > cursor {
-            return Err(SimError::Hole {
-                offset: cursor,
-                len: k.offset - cursor,
+    }
+
+    /// Toggle the location-aware path (§II-B4). The naive path performs
+    /// a raw distributed lookup per request — no node buffer, no cache,
+    /// no readahead — exactly the baseline the figures ablate.
+    pub fn location_aware(mut self, aware: bool) -> Self {
+        self.location_aware = aware;
+        self
+    }
+
+    /// Select the fetch pipeline.
+    pub fn pipeline(mut self, pipeline: ReadPipeline) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+
+    /// Configure sequential readahead: widen distributed lookups by
+    /// `window` bytes once a `(client, fid)` stream has read forward for
+    /// `min_streak` consecutive requests. `window == 0` disables it.
+    /// Requires [`with_state`](Self::with_state) to take effect.
+    pub fn readahead(mut self, min_streak: u32, window: u64) -> Self {
+        self.readahead_min_streak = min_streak;
+        self.readahead_window = window;
+        self
+    }
+
+    /// Attach the scan detector readahead persists its cursors in.
+    pub fn with_state(mut self, state: &'a ReadState) -> Self {
+        self.state = Some(state);
+        self
+    }
+
+    /// Route around these failed nodes via resilience replicas.
+    pub fn with_failed_nodes(mut self, failed: &'a HashSet<usize>) -> Self {
+        self.failed_nodes = Some(failed);
+        self
+    }
+
+    /// Plan and execute one read of `[offset, offset + len)` from `fid`
+    /// on behalf of `client`.
+    pub fn read(
+        &self,
+        client: ClientId,
+        fid: u64,
+        offset: u64,
+        len: u64,
+    ) -> SimResult<ReadOutcome> {
+        let mut trace = ReadTrace {
+            requests: 1,
+            ..ReadTrace::default()
+        };
+        let mut locks = ReadLockCounts::default();
+        if len == 0 {
+            return Ok(ReadOutcome {
+                payload: Payload::empty(),
+                trace,
+                touched: Vec::new(),
+                locks,
             });
         }
-        let clip_lo = cursor.max(k.offset);
-        let clip_hi = end.min(seg_end);
-        let clip_len = clip_hi - clip_lo;
-        touched.push(k);
+        let my_node = self.geometry.node_of_rank(client.rank as usize);
+        let end = offset + len;
 
-        // Route around failed producers using the resilience replica.
-        let primary_node = geometry.node_of_rank(r.client.rank as usize);
-        let (source, source_va) = if failed_nodes.contains(&primary_node) {
-            let (rc, rva) = r.replica.ok_or_else(|| {
-                SimError::InvalidConfig(format!(
-                    "segment at offset {} lost: node {primary_node} failed and no replica",
-                    k.offset
-                ))
-            })?;
-            let replica_node = geometry.node_of_rank(rc.rank as usize);
-            if failed_nodes.contains(&replica_node) {
-                return Err(SimError::InvalidConfig(format!(
-                    "segment at offset {} lost: primary and replica nodes both failed",
-                    k.offset
-                )));
-            }
-            trace.replica_bytes += clip_len;
-            (rc, crate::va::VirtualAddr(rva.0 + (clip_lo - k.offset)))
-        } else {
-            (
-                r.client,
-                crate::va::VirtualAddr(r.va.0 + (clip_lo - k.offset)),
-            )
+        let records = self.gather_records(client, my_node, fid, offset, end, len, &mut trace);
+        let (fragments, touched) = self.plan_fragments(&records, offset, end, &mut trace)?;
+        let fetched = match self.pipeline {
+            ReadPipeline::Batched => self.fetch_batched(&fragments, &mut locks)?,
+            ReadPipeline::PerRecord => self.fetch_per_record(&fragments, &mut locks)?,
         };
-        let va = source_va;
-        let (payload, tier) = chains.read_at(source, va, clip_len)?;
-        parts.push(payload);
 
-        let producer_node = geometry.node_of_rank(source.rank as usize);
+        let mut parts = Vec::with_capacity(fetched.len());
+        for (fragment, (payload, tier)) in fragments.iter().zip(fetched) {
+            self.classify(fragment, tier, my_node, &mut trace);
+            parts.push(payload);
+        }
+        Ok(ReadOutcome {
+            payload: Payload::chain(parts),
+            trace,
+            touched,
+            locks,
+        })
+    }
+
+    /// Stage 1: the records covering `[offset, end)`, offset-sorted and
+    /// deduplicated. Shared between the pipelines, so every [`ReadTrace`]
+    /// field it feeds (RPCs, buffer/cache hits, readahead) is
+    /// pipeline-invariant.
+    #[allow(clippy::too_many_arguments)]
+    fn gather_records(
+        &self,
+        client: ClientId,
+        my_node: usize,
+        fid: u64,
+        offset: u64,
+        end: u64,
+        len: u64,
+        trace: &mut ReadTrace,
+    ) -> Vec<(SegKey, SegmentRecord)> {
+        let mut records: Vec<(SegKey, SegmentRecord)> = Vec::new();
+        if self.location_aware {
+            // Every location-aware read advances the scan detector (even
+            // ones the node buffer fully covers), so a stream stays "hot"
+            // when it transitions from local to remote data.
+            let readahead_active = match (self.state, self.readahead_window) {
+                (Some(state), window) if window > 0 => {
+                    state.advance(client, fid, offset, end, self.readahead_min_streak)
+                }
+                _ => false,
+            };
+            // 1. Shared metadata buffer: free lookups for locally-produced
+            //    data.
+            let local_hits = self.metadata.lookup_local(my_node, fid, offset, end);
+            trace.local_md_hits += local_hits.len() as u64;
+            let covered: u64 = local_hits
+                .iter()
+                .map(|(k, r)| {
+                    let lo = k.offset.max(offset);
+                    let hi = (k.offset + r.len).min(end);
+                    hi.saturating_sub(lo)
+                })
+                .sum();
+            records.extend(local_hits.iter().copied());
+            // 2. Distributed lookup only for the uncovered remainder,
+            //    through the node's read record cache; a sequential scan
+            //    widens the fetch window so following reads become hits.
+            if covered < len {
+                let fetch_hi = if readahead_active {
+                    end.saturating_add(self.readahead_window)
+                } else {
+                    end
+                };
+                let (servers, remote_hits, hit) = self
+                    .metadata
+                    .lookup_range_cached(my_node, fid, offset, end, fetch_hi);
+                trace.md_rpcs += servers.len() as u64;
+                if hit {
+                    trace.md_cache_hits += 1;
+                } else {
+                    trace.md_cache_misses += 1;
+                    trace.readahead_bytes += fetch_hi - end;
+                }
+                let mut seen: HashSet<SegKey> = records.iter().map(|(k, _)| *k).collect();
+                for (k, r) in remote_hits {
+                    // Readahead overshoot stays in the cache but out of
+                    // this request's plan.
+                    if k.offset >= end || k.offset + r.len <= offset {
+                        continue;
+                    }
+                    if seen.insert(k) {
+                        records.push((k, r));
+                    }
+                }
+            }
+        } else {
+            // Naive path: the co-located server performs a raw
+            // distributed lookup on the client's behalf.
+            let (servers, hits) = self.metadata.lookup_range(fid, offset, end);
+            trace.md_rpcs += servers.len() as u64;
+            records = hits;
+        }
+        records.sort_by_key(|(k, _)| k.offset);
+        records
+    }
+
+    /// Stage 2: clip every record to the requested window, verify there
+    /// are no holes, and resolve replica rerouting around failed nodes —
+    /// the full fetch plan, before any chain lock is taken.
+    fn plan_fragments(
+        &self,
+        records: &[(SegKey, SegmentRecord)],
+        offset: u64,
+        end: u64,
+        trace: &mut ReadTrace,
+    ) -> SimResult<(Vec<Fragment>, Vec<SegKey>)> {
+        let no_failures = HashSet::new();
+        let failed = self.failed_nodes.unwrap_or(&no_failures);
+        let mut fragments = Vec::with_capacity(records.len());
+        let mut touched = Vec::with_capacity(records.len());
+        let mut cursor = offset;
+        for &(k, r) in records {
+            let seg_end = k.offset + r.len;
+            if seg_end <= cursor || k.offset >= end {
+                continue;
+            }
+            if k.offset > cursor {
+                return Err(SimError::Hole {
+                    offset: cursor,
+                    len: k.offset - cursor,
+                });
+            }
+            let clip_lo = cursor.max(k.offset);
+            let clip_hi = end.min(seg_end);
+            let clip_len = clip_hi - clip_lo;
+            touched.push(k);
+
+            // Route around failed producers using the resilience replica.
+            let primary_node = self.geometry.node_of_rank(r.client.rank as usize);
+            let (source, va) = if failed.contains(&primary_node) {
+                let (rc, rva) = r.replica.ok_or_else(|| {
+                    SimError::InvalidConfig(format!(
+                        "segment at offset {} lost: node {primary_node} failed and no replica",
+                        k.offset
+                    ))
+                })?;
+                let replica_node = self.geometry.node_of_rank(rc.rank as usize);
+                if failed.contains(&replica_node) {
+                    return Err(SimError::InvalidConfig(format!(
+                        "segment at offset {} lost: primary and replica nodes both failed",
+                        k.offset
+                    )));
+                }
+                trace.replica_bytes += clip_len;
+                (rc, VirtualAddr(rva.0 + (clip_lo - k.offset)))
+            } else {
+                (r.client, VirtualAddr(r.va.0 + (clip_lo - k.offset)))
+            };
+            fragments.push(Fragment {
+                source,
+                va,
+                len: clip_len,
+            });
+            cursor = clip_hi;
+        }
+        if cursor < end {
+            return Err(SimError::Hole {
+                offset: cursor,
+                len: end - cursor,
+            });
+        }
+        Ok((fragments, touched))
+    }
+
+    /// Stage 3, reference flavor: one shared chain-lock acquisition per
+    /// fragment, in plan order.
+    fn fetch_per_record(
+        &self,
+        fragments: &[Fragment],
+        locks: &mut ReadLockCounts,
+    ) -> SimResult<Vec<(Payload, Tier)>> {
+        let mut fetched = Vec::with_capacity(fragments.len());
+        for f in fragments {
+            fetched.push(self.chains.read_at(f.source, f.va, f.len)?);
+            locks.chain += 1;
+        }
+        Ok(fetched)
+    }
+
+    /// Stage 3, batched flavor: group fragments by producer chain (first
+    /// appearance order) and fetch each group under one shared
+    /// acquisition. Payloads come back in plan order regardless.
+    fn fetch_batched(
+        &self,
+        fragments: &[Fragment],
+        locks: &mut ReadLockCounts,
+    ) -> SimResult<Vec<(Payload, Tier)>> {
+        // Group fragments by producer with a counting sort. Reads span a
+        // handful of producers, so a linear probe over a small vec beats
+        // hashing, and the flat slot buffer avoids per-group Vecs.
+        let n = fragments.len();
+        let mut groups: Vec<(ClientId, u32)> = Vec::new();
+        let mut group_of: Vec<u32> = Vec::with_capacity(n);
+        for f in fragments {
+            let g = match groups.iter().position(|&(source, _)| source == f.source) {
+                Some(g) => {
+                    groups[g].1 += 1;
+                    g
+                }
+                None => {
+                    groups.push((f.source, 1));
+                    groups.len() - 1
+                }
+            };
+            group_of.push(g as u32);
+        }
+        if let [(source, _)] = groups[..] {
+            // Single producer: the plan order is already the group order.
+            let requests: Vec<(VirtualAddr, u64)> =
+                fragments.iter().map(|f| (f.va, f.len)).collect();
+            let fetched = self.chains.read_at_many(source, &requests)?;
+            locks.chain += 1;
+            return Ok(fetched);
+        }
+        // Prefix sums give each group a slot range in the flat buffer.
+        let mut next: Vec<u32> = Vec::with_capacity(groups.len());
+        let mut acc = 0u32;
+        for &(_, count) in &groups {
+            next.push(acc);
+            acc += count;
+        }
+        let mut slot: Vec<u32> = Vec::with_capacity(n);
+        let mut requests: Vec<(VirtualAddr, u64)> = vec![(VirtualAddr(0), 0); n];
+        for (f, &g) in fragments.iter().zip(&group_of) {
+            let s = next[g as usize];
+            next[g as usize] = s + 1;
+            requests[s as usize] = (f.va, f.len);
+            slot.push(s);
+        }
+        // One shared chain-lock acquisition per producer group.
+        let mut grouped: Vec<Option<(Payload, Tier)>> = Vec::with_capacity(n);
+        let mut start = 0usize;
+        for &(source, count) in &groups {
+            let end = start + count as usize;
+            grouped.extend(
+                self.chains
+                    .read_at_many(source, &requests[start..end])?
+                    .into_iter()
+                    .map(Some),
+            );
+            locks.chain += 1;
+            start = end;
+        }
+        // Restore plan order.
+        let mut fetched = Vec::with_capacity(n);
+        for &s in &slot {
+            fetched.push(grouped[s as usize].take().expect("each slot taken once"));
+        }
+        Ok(fetched)
+    }
+
+    /// Stage 4 helper: attribute one fetched fragment to its timing-plane
+    /// bucket.
+    fn classify(&self, fragment: &Fragment, tier: Tier, my_node: usize, trace: &mut ReadTrace) {
+        let producer_node = self.geometry.node_of_rank(fragment.source.rank as usize);
         if tier.node_local() {
             if producer_node == my_node {
-                if location_aware {
-                    trace.local_direct_bytes += clip_len;
+                if self.location_aware {
+                    trace.local_direct_bytes += fragment.len;
                 } else {
-                    trace.local_via_server_bytes += clip_len;
+                    trace.local_via_server_bytes += fragment.len;
                 }
             } else {
-                trace.remote_bytes += clip_len;
+                trace.remote_bytes += fragment.len;
             }
-        } else if location_aware {
-            if tier == crate::va::Tier::Pfs {
-                trace.pfs_direct_bytes += clip_len;
+        } else if self.location_aware {
+            if tier == Tier::Pfs {
+                trace.pfs_direct_bytes += fragment.len;
             } else {
-                trace.shared_direct_bytes += clip_len;
+                trace.shared_direct_bytes += fragment.len;
             }
         } else {
             // Naive: even globally visible data bounces via servers.
-            trace.remote_bytes += clip_len;
+            trace.remote_bytes += fragment.len;
         }
-        cursor = clip_hi;
     }
-    if cursor < end {
-        return Err(SimError::Hole {
-            offset: cursor,
-            len: end - cursor,
-        });
-    }
-    Ok((Payload::chain(parts), trace, touched))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::placement::PlacedSegment;
-    use crate::va::Tier;
 
     /// Two nodes × two clients each; tiny tiers: 128 B DRAM log, 128 B BB
     /// log, then PFS. Chunk = 64 B, segments = 64 B.
@@ -278,6 +654,15 @@ mod tests {
         }
     }
 
+    fn svc<'a>(
+        md: &'a MetadataService,
+        chains: &'a ChainSet,
+        geom: &'a JobGeometry,
+        aware: bool,
+    ) -> ReadService<'a> {
+        ReadService::new(md, chains, geom).location_aware(aware)
+    }
+
     #[test]
     fn full_file_reads_back_exactly() {
         let (md, chains, geom) = setup();
@@ -285,28 +670,48 @@ mod tests {
             write_segments(&md, &chains, &geom, ClientId::new(0, rank), 4);
         }
         for aware in [false, true] {
-            let (payload, trace, _) = read_segments(
-                &md,
-                &chains,
-                &geom,
-                aware,
-                &HashSet::new(),
-                ClientId::new(0, 0),
-                1,
-                0,
-                16 * 64,
-            )
-            .unwrap();
-            assert_eq!(payload.len(), 16 * 64);
-            assert_eq!(trace.total_bytes(), 16 * 64);
-            for s in 0..16u64 {
-                let expect = Payload::pattern(s * 64, 64);
-                assert!(
-                    payload.slice(s * 64, 64).content_eq(&expect),
-                    "segment {s} corrupt (aware={aware})"
-                );
+            for pipeline in [ReadPipeline::PerRecord, ReadPipeline::Batched] {
+                let out = svc(&md, &chains, &geom, aware)
+                    .pipeline(pipeline)
+                    .read(ClientId::new(0, 0), 1, 0, 16 * 64)
+                    .unwrap();
+                assert_eq!(out.payload.len(), 16 * 64);
+                assert_eq!(out.trace.total_bytes(), 16 * 64);
+                for s in 0..16u64 {
+                    let expect = Payload::pattern(s * 64, 64);
+                    assert!(
+                        out.payload.slice(s * 64, 64).content_eq(&expect),
+                        "segment {s} corrupt (aware={aware}, {pipeline:?})"
+                    );
+                }
             }
         }
+    }
+
+    #[test]
+    fn batched_groups_chain_locks_per_producer() {
+        // One fresh world per pipeline so cache state matches too (within
+        // one world, the first read would warm the cache for the second).
+        let run = |pipeline: ReadPipeline| {
+            let (md, chains, geom) = setup();
+            for rank in 0..4 {
+                write_segments(&md, &chains, &geom, ClientId::new(0, rank), 4);
+            }
+            svc(&md, &chains, &geom, true)
+                .pipeline(pipeline)
+                .read(ClientId::new(0, 0), 1, 0, 16 * 64)
+                .unwrap()
+        };
+        let per_record = run(ReadPipeline::PerRecord);
+        let batched = run(ReadPipeline::Batched);
+        // 16 fragments from 4 producers: 16 acquisitions per-record,
+        // 4 batched — the ≥2× the read_batch bench pins at scale.
+        assert_eq!(per_record.locks.chain, 16);
+        assert_eq!(batched.locks.chain, 4);
+        // Everything else is pipeline-invariant.
+        assert!(batched.payload.content_eq(&per_record.payload));
+        assert_eq!(batched.trace, per_record.trace);
+        assert_eq!(batched.touched, per_record.touched);
     }
 
     #[test]
@@ -314,41 +719,28 @@ mod tests {
         let (md, chains, geom) = setup();
         // Client 0 writes 2 segments, all on its DRAM log.
         write_segments(&md, &chains, &geom, ClientId::new(0, 0), 2);
-        let (_, trace, _) = read_segments(
-            &md,
-            &chains,
-            &geom,
-            true,
-            &HashSet::new(),
-            ClientId::new(0, 0),
-            1,
-            0,
-            128,
-        )
-        .unwrap();
-        assert_eq!(trace.local_direct_bytes, 128);
-        assert_eq!(trace.md_rpcs, 0, "local metadata buffer should cover this");
-        assert_eq!(trace.remote_bytes, 0);
+        let out = svc(&md, &chains, &geom, true)
+            .read(ClientId::new(0, 0), 1, 0, 128)
+            .unwrap();
+        assert_eq!(out.trace.local_direct_bytes, 128);
+        assert_eq!(
+            out.trace.md_rpcs, 0,
+            "local metadata buffer should cover this"
+        );
+        assert_eq!(out.trace.remote_bytes, 0);
     }
 
     #[test]
     fn naive_pays_server_copy_for_local_data() {
         let (md, chains, geom) = setup();
         write_segments(&md, &chains, &geom, ClientId::new(0, 0), 2);
-        let (_, trace, _) = read_segments(
-            &md,
-            &chains,
-            &geom,
-            false,
-            &HashSet::new(),
-            ClientId::new(0, 0),
-            1,
-            0,
-            128,
-        )
-        .unwrap();
-        assert_eq!(trace.local_via_server_bytes, 128);
-        assert!(trace.md_rpcs > 0);
+        let out = svc(&md, &chains, &geom, false)
+            .read(ClientId::new(0, 0), 1, 0, 128)
+            .unwrap();
+        assert_eq!(out.trace.local_via_server_bytes, 128);
+        assert!(out.trace.md_rpcs > 0);
+        // The naive path never touches the read record cache.
+        assert_eq!(out.trace.md_cache_hits + out.trace.md_cache_misses, 0);
     }
 
     #[test]
@@ -356,19 +748,10 @@ mod tests {
         let (md, chains, geom) = setup();
         // Rank 1 (node 0) writes; rank 0 (node 0) reads.
         write_segments(&md, &chains, &geom, ClientId::new(0, 1), 2);
-        let (_, trace, _) = read_segments(
-            &md,
-            &chains,
-            &geom,
-            true,
-            &HashSet::new(),
-            ClientId::new(0, 0),
-            1,
-            2 * 64,
-            128,
-        )
-        .unwrap();
-        assert_eq!(trace.local_direct_bytes, 128);
+        let out = svc(&md, &chains, &geom, true)
+            .read(ClientId::new(0, 0), 1, 2 * 64, 128)
+            .unwrap();
+        assert_eq!(out.trace.local_direct_bytes, 128);
     }
 
     #[test]
@@ -376,20 +759,53 @@ mod tests {
         let (md, chains, geom) = setup();
         // Rank 2 (node 1) writes; rank 0 (node 0) reads.
         write_segments(&md, &chains, &geom, ClientId::new(0, 2), 2);
-        let (_, trace, _) = read_segments(
-            &md,
-            &chains,
-            &geom,
-            true,
-            &HashSet::new(),
-            ClientId::new(0, 0),
-            1,
-            4 * 64,
-            128,
-        )
-        .unwrap();
-        assert_eq!(trace.remote_bytes, 128);
-        assert!(trace.md_rpcs > 0);
+        let out = svc(&md, &chains, &geom, true)
+            .read(ClientId::new(0, 0), 1, 4 * 64, 128)
+            .unwrap();
+        assert_eq!(out.trace.remote_bytes, 128);
+        assert!(out.trace.md_rpcs > 0);
+        assert_eq!(out.trace.md_cache_misses, 1);
+    }
+
+    #[test]
+    fn repeated_remote_lookup_hits_the_cache() {
+        let (md, chains, geom) = setup();
+        write_segments(&md, &chains, &geom, ClientId::new(0, 2), 2);
+        let service = svc(&md, &chains, &geom, true);
+        let first = service.read(ClientId::new(0, 0), 1, 4 * 64, 128).unwrap();
+        assert_eq!(first.trace.md_cache_misses, 1);
+        assert!(first.trace.md_rpcs > 0);
+        let second = service.read(ClientId::new(0, 0), 1, 4 * 64, 128).unwrap();
+        assert_eq!(second.trace.md_cache_hits, 1);
+        assert_eq!(second.trace.md_rpcs, 0, "cache hit must not issue RPCs");
+        assert!(second.payload.content_eq(&first.payload));
+    }
+
+    #[test]
+    fn readahead_widens_then_serves_the_scan_from_cache() {
+        let (md, chains, geom) = setup();
+        // Rank 2 (node 1) produces 4 segments; rank 0 (node 0) scans them
+        // sequentially in 64 B reads.
+        write_segments(&md, &chains, &geom, ClientId::new(0, 2), 4);
+        let state = ReadState::new();
+        let service = svc(&md, &chains, &geom, true)
+            .readahead(2, 256)
+            .with_state(&state);
+        let base = 8 * 64;
+        let mut trace = ReadTrace::default();
+        for i in 0..4u64 {
+            let out = service
+                .read(ClientId::new(0, 0), 1, base + i * 64, 64)
+                .unwrap();
+            assert!(out.payload.content_eq(&Payload::pattern(base + i * 64, 64)));
+            trace.absorb(&out.trace);
+        }
+        // Reads 0 and 1 miss un-widened (the streak needs two contiguous
+        // pairs), read 2 misses but fetches the widened window [640, 960),
+        // and read 3 is served from the prefetched cache.
+        assert_eq!(trace.md_cache_misses, 3);
+        assert_eq!(trace.md_cache_hits, 1);
+        assert_eq!(trace.readahead_bytes, 256);
     }
 
     #[test]
@@ -398,95 +814,68 @@ mod tests {
         // Rank 2 writes 4 segments: 2 fill DRAM, 2 spill to BB.
         write_segments(&md, &chains, &geom, ClientId::new(0, 2), 4);
         // Rank 0 reads the spilled half.
-        let (_, aware, _) = read_segments(
-            &md,
-            &chains,
-            &geom,
-            true,
-            &HashSet::new(),
-            ClientId::new(0, 0),
-            1,
-            10 * 64,
-            128,
-        )
-        .unwrap();
-        assert_eq!(aware.shared_direct_bytes, 128, "{aware:?}");
-        let (_, naive, _) = read_segments(
-            &md,
-            &chains,
-            &geom,
-            false,
-            &HashSet::new(),
-            ClientId::new(0, 0),
-            1,
-            10 * 64,
-            128,
-        )
-        .unwrap();
-        assert_eq!(naive.remote_bytes, 128);
+        let aware = svc(&md, &chains, &geom, true)
+            .read(ClientId::new(0, 0), 1, 10 * 64, 128)
+            .unwrap();
+        assert_eq!(aware.trace.shared_direct_bytes, 128, "{:?}", aware.trace);
+        let naive = svc(&md, &chains, &geom, false)
+            .read(ClientId::new(0, 0), 1, 10 * 64, 128)
+            .unwrap();
+        assert_eq!(naive.trace.remote_bytes, 128);
     }
 
     #[test]
     fn hole_in_file_is_an_error() {
         let (md, chains, geom) = setup();
         write_segments(&md, &chains, &geom, ClientId::new(0, 0), 1);
-        let err = read_segments(
-            &md,
-            &chains,
-            &geom,
-            true,
-            &HashSet::new(),
-            ClientId::new(0, 0),
-            1,
-            0,
-            256,
-        )
-        .unwrap_err();
-        assert!(matches!(err, SimError::Hole { .. }));
+        for pipeline in [ReadPipeline::PerRecord, ReadPipeline::Batched] {
+            let err = svc(&md, &chains, &geom, true)
+                .pipeline(pipeline)
+                .read(ClientId::new(0, 0), 1, 0, 256)
+                .unwrap_err();
+            assert!(matches!(err, SimError::Hole { .. }));
+        }
     }
 
     #[test]
     fn unaligned_read_clips_segments() {
         let (md, chains, geom) = setup();
         write_segments(&md, &chains, &geom, ClientId::new(0, 0), 2);
-        let (payload, trace, _) = read_segments(
-            &md,
-            &chains,
-            &geom,
-            true,
-            &HashSet::new(),
-            ClientId::new(0, 0),
-            1,
-            32,
-            64,
-        )
-        .unwrap();
-        assert_eq!(payload.len(), 64);
-        assert_eq!(trace.total_bytes(), 64);
+        let out = svc(&md, &chains, &geom, true)
+            .read(ClientId::new(0, 0), 1, 32, 64)
+            .unwrap();
+        assert_eq!(out.payload.len(), 64);
+        assert_eq!(out.trace.total_bytes(), 64);
         // Bytes must match the two halves of adjacent segments.
         let expect = Payload::chain([
             Payload::pattern(0, 64).slice(32, 32),
             Payload::pattern(64, 64).slice(0, 32),
         ]);
-        assert!(payload.content_eq(&expect));
+        assert!(out.payload.content_eq(&expect));
     }
 
     #[test]
     fn zero_len_read_is_trivial() {
         let (md, chains, geom) = setup();
-        let (p, t, _) = read_segments(
-            &md,
-            &chains,
-            &geom,
-            true,
-            &HashSet::new(),
-            ClientId::new(0, 0),
-            1,
-            0,
-            0,
-        )
-        .unwrap();
-        assert!(p.is_empty());
-        assert_eq!(t.total_bytes(), 0);
+        let out = svc(&md, &chains, &geom, true)
+            .read(ClientId::new(0, 0), 1, 0, 0)
+            .unwrap();
+        assert!(out.payload.is_empty());
+        assert_eq!(out.trace.total_bytes(), 0);
+        assert_eq!(out.locks.chain, 0);
+    }
+
+    #[test]
+    fn scan_detector_requires_contiguous_forward_reads() {
+        let state = ReadState::new();
+        let c = ClientId::new(0, 0);
+        assert!(!state.advance(c, 1, 64, 128, 2), "fresh stream");
+        assert!(!state.advance(c, 1, 128, 192, 2), "streak 1 of 2");
+        assert!(state.advance(c, 1, 192, 256, 2), "streak reached 2");
+        // A backward jump resets the streak.
+        assert!(!state.advance(c, 1, 0, 64, 2));
+        assert!(!state.advance(c, 1, 64, 128, 2));
+        // Streams are independent per (client, fid).
+        assert!(!state.advance(ClientId::new(0, 1), 1, 128, 256, 2));
     }
 }

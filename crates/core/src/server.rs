@@ -31,11 +31,11 @@ use crate::flush::{flush_file, FlushReceipt};
 use crate::metadata::{ClientId, MetadataService, SegKey, SegmentRecord};
 use crate::metrics::{JobMetrics, ScalarValues, WriteLockCounts};
 use crate::placement::{layer_caps_with_node_local, ChainSet, ProcChain};
-use crate::read::{read_segments, ReadTrace};
+use crate::read::{ReadService, ReadState, ReadTrace};
 use crate::va::{Tier, VirtualAddr};
 use crate::workflow::StateFile;
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use univistor_mpi::driver::OpenMode;
 use univistor_obs::MetricsSnapshot;
@@ -113,8 +113,17 @@ pub struct UniviStorJob {
     next_fid: AtomicU64,
     /// Nodes whose volatile storage has been lost (failure injection).
     failed_nodes: RwLock<HashSet<usize>>,
-    /// Per-segment read counts driving adaptive promotion.
-    heat: Mutex<HashMap<SegKey, u32>>,
+    /// Whether `failed_nodes` is non-empty. Reads check this atomic and
+    /// skip the failed-set lock entirely in the (overwhelmingly common)
+    /// no-failure case.
+    failed_any: AtomicBool,
+    /// Per-segment read counts driving adaptive promotion, sharded by the
+    /// metadata KV's range partitioning so concurrent readers touching
+    /// different partitions never contend; each counter is atomic, so the
+    /// steady-state bump is a shared lock + `fetch_add`.
+    heat: Vec<RwLock<HashMap<SegKey, AtomicU32>>>,
+    /// Sequential-scan detector feeding the read pipeline's readahead.
+    read_state: ReadState,
     accounting: Mutex<Accounting>,
     state_file: StateFile,
     metrics: Arc<JobMetrics>,
@@ -204,6 +213,7 @@ impl UniviStorJob {
         let metadata =
             MetadataService::new(cfg.metadata_range_size, servers.max(1), cfg.geometry.nodes);
         let lustre = Lustre::new(cfg.cal.ost_count);
+        let heat_shards = metadata.servers().max(1);
         let stats_base = metrics.scalars();
         UniviStorJob {
             cfg,
@@ -214,7 +224,11 @@ impl UniviStorJob {
             connected: RwLock::new(HashSet::new()),
             next_fid: AtomicU64::new(1),
             failed_nodes: RwLock::new(HashSet::new()),
-            heat: Mutex::new(HashMap::new()),
+            failed_any: AtomicBool::new(false),
+            heat: (0..heat_shards)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+            read_state: ReadState::new(),
             accounting: Mutex::new(Accounting {
                 stats_base,
                 flush_receipts: Vec::new(),
@@ -652,30 +666,59 @@ impl UniviStorJob {
             .get(path)
             .ok_or_else(|| SimError::InvalidConfig(format!("read of unopened '{path}'")))?
             .fid;
-        let failed = self
-            .failed_nodes
-            .read()
-            .expect("failed set poisoned")
-            .clone();
-        // Shared locks only from here: metadata shards, node buffers, and
-        // producer chains — concurrent readers never block each other.
-        let (payload, trace, touched) = read_segments(
-            &self.metadata,
-            &self.chains,
-            &self.cfg.geometry,
-            self.cfg.features.location_aware_reads,
-            &failed,
-            client,
-            fid,
-            offset,
-            len,
-        )?;
-        self.metrics.record_read_trace(&trace);
-        let mut heat = self.heat.lock().expect("heat poisoned");
-        for key in touched {
-            *heat.entry(key).or_insert(0) += 1;
+        // No failure injected (the overwhelmingly common case): skip the
+        // failed-set lock and its clone entirely; otherwise pass the read
+        // guard down — the plan resolves replica routes while holding it.
+        let no_failures = HashSet::new();
+        let guard;
+        let failed: &HashSet<usize> = if self.failed_any.load(Ordering::Acquire) {
+            guard = self.failed_nodes.read().expect("failed set poisoned");
+            &guard
+        } else {
+            &no_failures
+        };
+        // Shared locks only from here: metadata shards, node buffers, read
+        // caches, and producer chains — concurrent readers never block
+        // each other.
+        let out = ReadService::new(&self.metadata, &self.chains, &self.cfg.geometry)
+            .location_aware(self.cfg.features.location_aware_reads)
+            .pipeline(self.cfg.read_pipeline)
+            .readahead(self.cfg.readahead_min_streak, self.cfg.readahead_window)
+            .with_state(&self.read_state)
+            .with_failed_nodes(failed)
+            .read(client, fid, offset, len)?;
+        self.metrics.record_read_trace(&out.trace);
+        self.metrics.record_read_locks(out.locks);
+        for key in out.touched {
+            self.bump_heat(key);
         }
-        Ok(payload)
+        Ok(out.payload)
+    }
+
+    /// The heat shard owning `key` — sharded like the metadata KV's range
+    /// partitioning, so readers of different partitions never contend.
+    fn heat_shard(&self, key: &SegKey) -> &RwLock<HashMap<SegKey, AtomicU32>> {
+        &self.heat[self.metadata.partition_of(key.offset) % self.heat.len()]
+    }
+
+    /// Count one read of `key`: shared shard lock + atomic increment in
+    /// steady state; only a key's first touch takes the shard's write
+    /// lock, to install the counter.
+    fn bump_heat(&self, key: SegKey) {
+        let shard = self.heat_shard(&key);
+        {
+            let shard = shard.read().expect("heat poisoned");
+            if let Some(n) = shard.get(&key) {
+                n.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        shard
+            .write()
+            .expect("heat poisoned")
+            .entry(key)
+            .or_insert_with(|| AtomicU32::new(0))
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Run `f` while holding a *shared* lock on `client`'s chain — the
@@ -711,6 +754,9 @@ impl UniviStorJob {
             .write()
             .expect("failed set poisoned")
             .insert(node);
+        // After the set is populated, so a reader seeing the flag finds
+        // the node in the set.
+        self.failed_any.store(true, Ordering::Release);
     }
 
     /// Adaptive, proactive placement (future work of the paper): promote
@@ -723,13 +769,18 @@ impl UniviStorJob {
     }
 
     fn promote_hot_impl(&self, min_reads: u32) -> SimResult<usize> {
-        let hot: Vec<SegKey> = {
-            let heat = self.heat.lock().expect("heat poisoned");
-            heat.iter()
-                .filter(|(_, n)| **n >= min_reads)
-                .map(|(k, _)| *k)
-                .collect()
-        };
+        let hot: Vec<SegKey> = self
+            .heat
+            .iter()
+            .flat_map(|shard| {
+                let shard = shard.read().expect("heat poisoned");
+                shard
+                    .iter()
+                    .filter(|(_, n)| n.load(Ordering::Relaxed) >= min_reads)
+                    .map(|(k, _)| *k)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
         let mut promoted = 0usize;
         for key in hot {
             let record = match self.metadata.get(&key) {
@@ -782,7 +833,10 @@ impl UniviStorJob {
                 .1
             {
                 self.chains.release(record.client, record.va, record.len);
-                self.heat.lock().expect("heat poisoned").remove(&key);
+                self.heat_shard(&key)
+                    .write()
+                    .expect("heat poisoned")
+                    .remove(&key);
                 self.metrics.record_promotions(1);
                 promoted += 1;
             } else {
@@ -990,6 +1044,9 @@ impl UniviStorJob {
                 local_md_hits: d.md_local_hits,
                 requests: d.reads,
                 replica_bytes: d.read_replica,
+                md_cache_hits: d.read_md_cache_hits,
+                md_cache_misses: d.read_md_cache_misses,
+                readahead_bytes: d.read_readahead_bytes,
             },
             flush_receipts: acct.flush_receipts.clone(),
             replicated_bytes: d.replicated_bytes,
