@@ -1,6 +1,7 @@
 //! Configuration: job geometry and the feature toggles the evaluation
 //! ablates (IA, COC, ADPT, workflow management, flush).
 
+use crate::fault::{FaultConfig, RetryPolicy};
 use univistor_sim::calibration::Calibration;
 
 /// Which optimizations are enabled. Every evaluation figure toggles some
@@ -174,6 +175,14 @@ pub struct UniviStorConfig {
     /// `0` disables readahead (the default for the figure configurations,
     /// whose timing plane charges per metadata RPC).
     pub readahead_window: u64,
+    /// Retry budget for transient I/O faults (injected or environmental).
+    /// Only consulted when an operation actually fails transiently, so
+    /// the default policy costs nothing on healthy runs.
+    pub retry: RetryPolicy,
+    /// Deterministic fault-injection schedule. `None` (the default)
+    /// constructs no injector at all: the hot paths pay only an
+    /// `Option` check.
+    pub fault: Option<FaultConfig>,
 }
 
 impl UniviStorConfig {
@@ -194,6 +203,8 @@ impl UniviStorConfig {
             read_pipeline: ReadPipeline::default(),
             readahead_min_streak: 2,
             readahead_window: 0,
+            retry: RetryPolicy::default(),
+            fault: None,
         }
     }
 
@@ -219,6 +230,8 @@ impl UniviStorConfig {
             read_pipeline: ReadPipeline::default(),
             readahead_min_streak: 2,
             readahead_window: 0,
+            retry: RetryPolicy::default(),
+            fault: None,
         };
         // Tiny tiers so tests exercise spilling: 1 KiB DRAM per node,
         // 4 KiB per BB node.

@@ -78,6 +78,31 @@ impl Error {
         self.tier
     }
 
+    /// Whether the underlying failure is a transient fault that is safe
+    /// to retry (see [`SimError::Transient`]).
+    pub fn is_transient(&self) -> bool {
+        matches!(self.source, SimError::Transient { .. })
+    }
+
+    /// How many attempts a transient failure survived before being
+    /// surfaced, when the source is transient (0 = failed on the first
+    /// try, no retry loop involved).
+    pub fn attempts(&self) -> Option<u64> {
+        match &self.source {
+            SimError::Transient { attempt, .. } => Some(*attempt),
+            _ => None,
+        }
+    }
+
+    /// Rewrite the attempt count of a transient source (used by retry
+    /// loops when they exhaust their budget). No-op for other sources.
+    pub fn with_attempts(mut self, attempts: u64) -> Self {
+        if let SimError::Transient { attempt, .. } = &mut self.source {
+            *attempt = attempts;
+        }
+        self
+    }
+
     /// The underlying simulation error.
     pub fn source_err(&self) -> &SimError {
         &self.source
@@ -169,5 +194,29 @@ mod tests {
         let err = Error::new("open", SimError::InvalidConfig("bad".into()));
         let src = std::error::Error::source(&err).expect("source");
         assert!(src.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn transient_errors_expose_and_rewrite_attempts() {
+        let err = Error::new(
+            "write",
+            SimError::Transient {
+                site: "chain_append".into(),
+                attempt: 0,
+            },
+        )
+        .with_client(ClientId::new(0, 3));
+        assert!(err.is_transient());
+        assert_eq!(err.attempts(), Some(0));
+        let err = err.with_attempts(4);
+        assert_eq!(err.attempts(), Some(4));
+        let text = err.to_string();
+        assert!(text.contains("chain_append"), "{text}");
+        assert!(text.contains("attempt 4"), "{text}");
+
+        let solid = Error::new("open", SimError::InvalidConfig("x".into()));
+        assert!(!solid.is_transient());
+        assert_eq!(solid.attempts(), None);
+        assert_eq!(solid.clone().with_attempts(9), solid);
     }
 }

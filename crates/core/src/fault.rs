@@ -1,0 +1,437 @@
+//! Deterministic fault injection and retry machinery.
+//!
+//! UniviStor's resilience story needs failures it can rehearse: the
+//! [`FaultInjector`] turns a seed plus a [`FaultConfig`] into a fully
+//! reproducible fault schedule — permanent node losses at fixed
+//! operation counts, transient per-tier I/O errors with a configured
+//! probability, and optional per-operation latency. Every injection
+//! decision is a pure function of `(seed, op_index)`, so a chaos run
+//! replays bit-for-bit under the same seed regardless of which thread
+//! happens to issue which operation first (the op index itself is a
+//! single atomic counter, so interleaving shifts *which* op draws a
+//! fault but a single-threaded workload is exactly reproducible).
+//!
+//! Transient faults surface as [`SimError::Transient`] and are meant to
+//! be absorbed by [`with_retries`], a capped-exponential-backoff loop
+//! driven by the [`RetryPolicy`] in the job config. Exhausted budgets
+//! rewrite the error's `attempt` field so callers (and tests) can see
+//! how hard the operation tried before giving up.
+//!
+//! The injector is deliberately lock-free: an `AtomicU64` op counter,
+//! an `AtomicUsize` cursor over the sorted node-failure schedule, and a
+//! `OnceLock` for the metric handles. When `UniviStorConfig::fault` is
+//! `None` (the default) none of this is constructed and the hot path
+//! pays only an `Option` check.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use univistor_sim::rng::DetRng;
+use univistor_sim::{SimError, SimResult};
+
+use crate::error::Error;
+use crate::metrics::{FaultCounters, JobMetrics};
+use crate::va::Tier;
+
+/// Golden-ratio increment used to decorrelate per-op RNG streams.
+const OP_STREAM: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Declarative fault schedule, carried in `UniviStorConfig::fault`.
+///
+/// All fields default to "no faults"; a config with `fault: Some(..)`
+/// but every knob at zero behaves identically to `fault: None` except
+/// for the per-op atomic increment.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultConfig {
+    /// Seed for the injection RNG. Two runs with the same seed and the
+    /// same (single-threaded) operation order draw identical faults.
+    pub seed: u64,
+    /// Permanent node losses: `(op_index, node)` pairs. When the global
+    /// operation counter passes `op_index`, `node` is reported by
+    /// [`FaultInjector::due_node_failures`] exactly once.
+    pub fail_node_at: Vec<(u64, usize)>,
+    /// Probability in `[0, 1]` that any instrumented operation fails
+    /// with a transient error. Applied when no per-tier override
+    /// matches.
+    pub transient_prob: f64,
+    /// Per-tier overrides for `transient_prob`; first match wins.
+    pub tier_transient_prob: Vec<(Tier, f64)>,
+    /// Latency added to every instrumented operation, in microseconds.
+    /// Real `thread::sleep`, so keep it small in tests.
+    pub op_latency_us: u64,
+}
+
+impl FaultConfig {
+    /// Probability applying to an operation on `tier` (or the generic
+    /// probability when the tier is unknown or has no override).
+    fn prob_for(&self, tier: Option<Tier>) -> f64 {
+        if let Some(t) = tier {
+            for &(ot, p) in &self.tier_transient_prob {
+                if ot == t {
+                    return p;
+                }
+            }
+        }
+        self.transient_prob
+    }
+}
+
+/// Deterministic, lock-free fault injector shared by the chain, KV,
+/// and flush layers.
+#[derive(Debug)]
+pub struct FaultInjector {
+    cfg: FaultConfig,
+    /// Global operation counter; each instrumented call claims one
+    /// index, which seeds that call's private RNG stream.
+    ops: AtomicU64,
+    /// `fail_node_at` sorted by op index; `next_failure` is the cursor
+    /// over it, advanced by CAS so each failure fires exactly once.
+    failures: Vec<(u64, usize)>,
+    next_failure: AtomicUsize,
+    counters: OnceLock<FaultCounters>,
+}
+
+impl FaultInjector {
+    pub fn new(cfg: FaultConfig) -> Self {
+        let mut failures = cfg.fail_node_at.clone();
+        failures.sort_unstable();
+        FaultInjector {
+            cfg,
+            ops: AtomicU64::new(0),
+            failures,
+            next_failure: AtomicUsize::new(0),
+            counters: OnceLock::new(),
+        }
+    }
+
+    /// Wire up the injected-fault counters. Idempotent; before this is
+    /// called injections simply go uncounted.
+    pub fn install_counters(&self, counters: FaultCounters) {
+        let _ = self.counters.set(counters);
+    }
+
+    /// Operations instrumented so far.
+    pub fn ops_seen(&self) -> u64 {
+        self.ops.load(Ordering::Relaxed)
+    }
+
+    /// One instrumented operation: advance the op counter, apply the
+    /// configured latency, and either succeed or return a
+    /// [`SimError::Transient`] tagged with `site`.
+    pub fn inject(&self, site: &'static str, tier: Option<Tier>) -> SimResult<()> {
+        let op = self.ops.fetch_add(1, Ordering::Relaxed);
+        if self.cfg.op_latency_us > 0 {
+            std::thread::sleep(Duration::from_micros(self.cfg.op_latency_us));
+            if let Some(c) = self.counters.get() {
+                c.latency.inc();
+            }
+        }
+        let prob = self.cfg.prob_for(tier);
+        if prob > 0.0 {
+            // A private stream per op index: deterministic in (seed, op)
+            // and uncorrelated across consecutive ops.
+            let draw = DetRng::seed(self.cfg.seed ^ op.wrapping_mul(OP_STREAM)).unit();
+            if draw < prob {
+                if let Some(c) = self.counters.get() {
+                    c.transient.inc();
+                }
+                return Err(SimError::Transient {
+                    site: site.to_string(),
+                    attempt: 0,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Node losses whose op threshold has been reached since the last
+    /// call. Each scheduled loss is returned exactly once, even with
+    /// concurrent pollers (the cursor advances by CAS).
+    pub fn due_node_failures(&self) -> Vec<usize> {
+        let seen = self.ops.load(Ordering::Relaxed);
+        let mut due = Vec::new();
+        loop {
+            let idx = self.next_failure.load(Ordering::Relaxed);
+            match self.failures.get(idx) {
+                Some(&(at, node)) if at <= seen => {
+                    if self
+                        .next_failure
+                        .compare_exchange(idx, idx + 1, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_ok()
+                    {
+                        if let Some(c) = self.counters.get() {
+                            c.node_loss.inc();
+                        }
+                        due.push(node);
+                    }
+                    // CAS failure: another poller claimed this entry;
+                    // re-read the cursor and keep scanning.
+                }
+                _ => break,
+            }
+        }
+        due
+    }
+}
+
+/// Retry budget for transient faults, carried in
+/// `UniviStorConfig::retry`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). `1` disables retries.
+    pub max_attempts: u64,
+    /// Backoff before the first retry, in microseconds; doubles per
+    /// subsequent retry.
+    pub backoff_base_us: u64,
+    /// Upper bound on any single backoff sleep, in microseconds.
+    pub backoff_cap_us: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            backoff_base_us: 100,
+            backoff_cap_us: 5_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `retry` (1-based), capped.
+    fn backoff_us(&self, retry: u64) -> u64 {
+        let shift = (retry - 1).min(63) as u32;
+        // A doubling that would shift bits out of the base has certainly
+        // passed any cap; `checked_shl` alone misses that (it only guards
+        // the shift count, not value overflow).
+        let grown = if shift >= self.backoff_base_us.leading_zeros() {
+            u64::MAX
+        } else {
+            self.backoff_base_us << shift
+        };
+        grown.min(self.backoff_cap_us)
+    }
+}
+
+/// Run `op`, retrying transient failures under `policy` with capped
+/// exponential backoff. Non-transient errors pass straight through.
+/// On exhaustion the transient error is returned with its `attempt`
+/// count rewritten to the number of attempts actually made.
+pub fn with_retries<T>(
+    policy: &RetryPolicy,
+    metrics: Option<&JobMetrics>,
+    mut op: impl FnMut() -> SimResult<T>,
+) -> SimResult<T> {
+    let mut attempt: u64 = 0;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(SimError::Transient { site, .. }) => {
+                attempt += 1;
+                if attempt >= policy.max_attempts.max(1) {
+                    if let Some(m) = metrics {
+                        m.record_retry_exhausted();
+                    }
+                    return Err(SimError::Transient { site, attempt });
+                }
+                if let Some(m) = metrics {
+                    m.record_retry();
+                }
+                let us = policy.backoff_us(attempt);
+                if us > 0 {
+                    std::thread::sleep(Duration::from_micros(us));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// [`with_retries`] for operations returning the crate-level [`Error`]:
+/// only transient sources are retried, and exhaustion rewrites the
+/// embedded attempt count.
+pub fn with_retries_ctx<T>(
+    policy: &RetryPolicy,
+    metrics: Option<&JobMetrics>,
+    mut op: impl FnMut() -> Result<T, Error>,
+) -> Result<T, Error> {
+    let mut attempt: u64 = 0;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_transient() => {
+                attempt += 1;
+                if attempt >= policy.max_attempts.max(1) {
+                    if let Some(m) = metrics {
+                        m.record_retry_exhausted();
+                    }
+                    return Err(e.with_attempts(attempt));
+                }
+                if let Some(m) = metrics {
+                    m.record_retry();
+                }
+                let us = policy.backoff_us(attempt);
+                if us > 0 {
+                    std::thread::sleep(Duration::from_micros(us));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn always(prob: f64) -> FaultInjector {
+        FaultInjector::new(FaultConfig {
+            seed: 7,
+            transient_prob: prob,
+            ..FaultConfig::default()
+        })
+    }
+
+    #[test]
+    fn zero_probability_never_faults() {
+        let inj = always(0.0);
+        for _ in 0..1000 {
+            inj.inject("noop", None).unwrap();
+        }
+        assert_eq!(inj.ops_seen(), 1000);
+    }
+
+    #[test]
+    fn unit_probability_always_faults() {
+        let inj = always(1.0);
+        for _ in 0..100 {
+            let err = inj.inject("chain_append", Some(Tier::Dram)).unwrap_err();
+            match err {
+                SimError::Transient { site, attempt } => {
+                    assert_eq!(site, "chain_append");
+                    assert_eq!(attempt, 0);
+                }
+                other => panic!("expected transient, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_fault_schedule() {
+        let schedule = |seed: u64| -> Vec<bool> {
+            let inj = FaultInjector::new(FaultConfig {
+                seed,
+                transient_prob: 0.3,
+                ..FaultConfig::default()
+            });
+            (0..200).map(|_| inj.inject("x", None).is_err()).collect()
+        };
+        assert_eq!(schedule(42), schedule(42));
+        assert_ne!(schedule(42), schedule(43), "different seeds should differ");
+        let hits = schedule(42).iter().filter(|&&b| b).count();
+        assert!((30..=90).contains(&hits), "p=0.3 over 200 draws: {hits}");
+    }
+
+    #[test]
+    fn tier_override_beats_generic_probability() {
+        let inj = FaultInjector::new(FaultConfig {
+            seed: 1,
+            transient_prob: 1.0,
+            tier_transient_prob: vec![(Tier::Pfs, 0.0)],
+            ..FaultConfig::default()
+        });
+        // PFS ops are exempt, everything else always faults.
+        inj.inject("flush", Some(Tier::Pfs)).unwrap();
+        assert!(inj.inject("append", Some(Tier::Dram)).is_err());
+        assert!(inj.inject("append", None).is_err());
+    }
+
+    #[test]
+    fn node_failures_fire_once_at_their_threshold() {
+        let inj = FaultInjector::new(FaultConfig {
+            seed: 0,
+            fail_node_at: vec![(5, 1), (2, 0)],
+            ..FaultConfig::default()
+        });
+        assert!(inj.due_node_failures().is_empty(), "no ops yet");
+        for _ in 0..2 {
+            inj.inject("w", None).unwrap();
+        }
+        assert_eq!(inj.due_node_failures(), vec![0]);
+        assert!(inj.due_node_failures().is_empty(), "node 0 already fired");
+        for _ in 0..3 {
+            inj.inject("w", None).unwrap();
+        }
+        assert_eq!(inj.due_node_failures(), vec![1]);
+        assert!(inj.due_node_failures().is_empty());
+    }
+
+    #[test]
+    fn retries_absorb_a_bounded_fault_streak() {
+        let mut failures_left = 2;
+        let out = with_retries(&RetryPolicy::default(), None, || {
+            if failures_left > 0 {
+                failures_left -= 1;
+                Err(SimError::Transient {
+                    site: "kv".into(),
+                    attempt: 0,
+                })
+            } else {
+                Ok(99)
+            }
+        });
+        assert_eq!(out.unwrap(), 99);
+    }
+
+    #[test]
+    fn exhausted_retries_report_the_attempt_count() {
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            backoff_base_us: 0,
+            backoff_cap_us: 0,
+        };
+        let mut calls = 0;
+        let out: SimResult<()> = with_retries(&policy, None, || {
+            calls += 1;
+            Err(SimError::Transient {
+                site: "chain_read".into(),
+                attempt: 0,
+            })
+        });
+        assert_eq!(calls, 3, "max_attempts bounds total tries");
+        match out.unwrap_err() {
+            SimError::Transient { site, attempt } => {
+                assert_eq!(site, "chain_read");
+                assert_eq!(attempt, 3);
+            }
+            other => panic!("expected transient, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_transient_errors_pass_straight_through() {
+        let mut calls = 0;
+        let out: SimResult<()> = with_retries(&RetryPolicy::default(), None, || {
+            calls += 1;
+            Err(SimError::InvalidConfig("permanent".into()))
+        });
+        assert_eq!(calls, 1);
+        assert!(matches!(out.unwrap_err(), SimError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            backoff_base_us: 100,
+            backoff_cap_us: 450,
+        };
+        assert_eq!(p.backoff_us(1), 100);
+        assert_eq!(p.backoff_us(2), 200);
+        assert_eq!(p.backoff_us(3), 400);
+        assert_eq!(p.backoff_us(4), 450, "capped");
+        assert_eq!(p.backoff_us(60), 450);
+        assert_eq!(p.backoff_us(64), 450, "shift overflow saturates to cap");
+    }
+}

@@ -15,6 +15,7 @@
 //! came from, stripe-synchronization fan-out, and lock revocations.
 
 use crate::config::UniviStorConfig;
+use crate::fault::{with_retries, FaultInjector};
 use crate::metadata::MetadataService;
 use crate::metrics::JobMetrics;
 use crate::placement::ChainSet;
@@ -44,6 +45,20 @@ pub struct FlushReceipt {
     pub lock_revocations: u64,
     /// Distinct OSTs each server contacted (sync overhead driver).
     pub osts_per_server: usize,
+    /// Spans this flush could not move because primary and replica were
+    /// both on failed nodes (degraded-mode accounting).
+    pub lost: FlushReport,
+}
+
+/// Degraded-mode accounting of one flush: the spans skipped because no
+/// healthy copy existed. A fully healthy flush reports all zeros.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlushReport {
+    /// Clipped spans skipped (a record clipped by several server ranges
+    /// counts once per range).
+    pub lost_segments: u64,
+    /// Bytes skipped.
+    pub lost_bytes: u64,
 }
 
 /// Flush every byte of `fid` (logical size `file_size`) to `dest` on
@@ -52,6 +67,15 @@ pub struct FlushReceipt {
 /// their resilience replicas. A completed flush is accounted into
 /// `metrics` (drained/per-server histograms, source tiers, revocations)
 /// when a panel is given.
+///
+/// The flush **degrades gracefully**: a span whose primary *and* replica
+/// (or a replica-less span whose primary) sit on failed nodes is skipped
+/// rather than aborting the pass — every healthy byte still lands on the
+/// PFS, and the skipped spans are reported in the receipt's
+/// [`FlushReport`] (feeding `univistor_flush_skipped_lost_bytes_total`).
+/// A shortfall *not* explained by lost spans (a genuine hole) is still an
+/// error. Transient faults from `injector` on the lookup and
+/// chain-read steps are retried under `cfg.retry`.
 ///
 /// `lustre` is locked exclusively only around the individual
 /// create/delete/write calls, so a long flush does not starve concurrent
@@ -64,6 +88,7 @@ pub fn flush_file(
     cfg: &UniviStorConfig,
     failed_nodes: &HashSet<usize>,
     metrics: Option<&JobMetrics>,
+    injector: Option<&FaultInjector>,
     fid: u64,
     file_size: u64,
     dest: &str,
@@ -92,10 +117,16 @@ pub fn flush_file(
     let mut per_ost_bytes = vec![0u64; osts];
     let mut source_tiers: HashMap<Tier, u64> = HashMap::new();
     let mut revocations = 0u64;
+    let mut lost = FlushReport::default();
 
     for (server, &(start, end)) in plan.server_ranges.iter().enumerate() {
         if end <= start {
             continue;
+        }
+        // One instrumented metadata fetch per server range; transient
+        // faults are absorbed by the retry budget.
+        if let Some(inj) = injector {
+            with_retries(&cfg.retry, metrics, || inj.inject("flush_lookup", None))?;
         }
         let (_, records) = metadata.lookup_range(fid, start, end);
         for (key, rec) in records {
@@ -107,18 +138,24 @@ pub fn flush_file(
             }
             let clip_len = clip_hi - clip_lo;
             let primary_node = cfg.geometry.node_of_rank(rec.client.rank as usize);
-            let (source, base_va) = if failed_nodes.contains(&primary_node) {
-                rec.replica.ok_or_else(|| {
-                    SimError::InvalidConfig(format!(
-                        "cannot flush offset {}: node {primary_node} failed, no replica",
-                        key.offset
-                    ))
-                })?
+            // Prefer the primary; fall back to a replica on a healthy
+            // node; with neither, the span is lost — skip it and account
+            // it instead of aborting the whole pass.
+            let healthy_source = if !failed_nodes.contains(&primary_node) {
+                Some((rec.client, rec.va))
             } else {
-                (rec.client, rec.va)
+                rec.replica.filter(|(rc, _)| {
+                    !failed_nodes.contains(&cfg.geometry.node_of_rank(rc.rank as usize))
+                })
+            };
+            let Some((source, base_va)) = healthy_source else {
+                lost.lost_segments += 1;
+                lost.lost_bytes += clip_len;
+                continue;
             };
             let va = VirtualAddr(base_va.0 + (clip_lo - key.offset));
-            let (payload, tier) = chains.read_at(source, va, clip_len)?;
+            let (payload, tier) =
+                with_retries(&cfg.retry, metrics, || chains.read_at(source, va, clip_len))?;
             *source_tiers.entry(tier).or_insert(0) += clip_len;
             let receipt = lustre.write().expect("lustre poisoned").write(
                 dest,
@@ -135,9 +172,10 @@ pub fn flush_file(
     }
 
     let flushed: u64 = per_server_bytes.iter().sum();
-    if flushed != file_size {
+    if flushed + lost.lost_bytes != file_size {
         return Err(SimError::InvalidFlow(format!(
-            "flush moved {flushed} of {file_size} bytes — holes in '{dest}'?"
+            "flush moved {flushed} of {file_size} bytes ({} lost to failures) — holes in '{dest}'?",
+            lost.lost_bytes
         )));
     }
 
@@ -152,6 +190,7 @@ pub fn flush_file(
         per_ost_bytes,
         source_tier_bytes,
         lock_revocations: revocations,
+        lost,
     };
     if let Some(m) = metrics {
         m.record_flush(&receipt);
@@ -223,6 +262,7 @@ mod tests {
             &cfg,
             &HashSet::new(),
             None,
+            None,
             1,
             size,
             "/pfs/f",
@@ -254,6 +294,7 @@ mod tests {
             &cfg,
             &HashSet::new(),
             Some(&m),
+            None,
             1,
             size,
             "/pfs/f",
@@ -294,6 +335,7 @@ mod tests {
                 &cfg,
                 &HashSet::new(),
                 None,
+                None,
                 1,
                 size,
                 "/pfs/f",
@@ -316,6 +358,7 @@ mod tests {
             &cfg,
             &HashSet::new(),
             None,
+            None,
             1,
             size,
             "/pfs/f",
@@ -329,6 +372,7 @@ mod tests {
             &lustre,
             &cfg,
             &HashSet::new(),
+            None,
             None,
             1,
             size,
@@ -350,12 +394,101 @@ mod tests {
             &cfg,
             &HashSet::new(),
             None,
+            None,
             1,
             size + 64,
             "/pfs/f",
         )
         .unwrap_err();
         assert!(matches!(err, SimError::InvalidFlow(_)));
+    }
+
+    #[test]
+    fn degraded_flush_skips_lost_spans_and_reports_them() {
+        let (md, chains, lustre, cfg) = setup();
+        let size = populate(&md, &chains, 2);
+        // No replicas were written, and node 0 (ranks 0 and 1, logical
+        // [0, 256)) fails: that half is lost, the other half must still
+        // land on the PFS.
+        let failed: HashSet<usize> = [0].into_iter().collect();
+        let m = JobMetrics::new();
+        let r = flush_file(
+            &md,
+            &chains,
+            &lustre,
+            &cfg,
+            &failed,
+            Some(&m),
+            None,
+            1,
+            size,
+            "/pfs/f",
+        )
+        .unwrap();
+        assert_eq!(r.lost.lost_bytes, size / 2);
+        assert!(r.lost.lost_segments >= 4, "{:?}", r.lost);
+        assert_eq!(r.per_server_bytes.iter().sum::<u64>(), size / 2);
+        // The healthy half is byte-identical on Lustre.
+        let pfs = lustre.read().unwrap();
+        for s in (size / 2 / 64)..(size / 64) {
+            let got = pfs.read("/pfs/f", s * 64, 64, 999).unwrap();
+            assert!(got.content_eq(&Payload::pattern(s * 64, 64)), "segment {s}");
+        }
+        drop(pfs);
+        // The skipped bytes feed the telemetry counter.
+        assert_eq!(
+            m.snapshot()
+                .counter_total("univistor_flush_skipped_lost_bytes_total"),
+            size / 2
+        );
+    }
+
+    #[test]
+    fn flush_retries_exhaust_on_persistent_transient_faults() {
+        use crate::fault::{FaultConfig, FaultInjector};
+        let (md, chains, lustre, mut cfg) = setup();
+        let size = populate(&md, &chains, 2);
+        cfg.retry.backoff_base_us = 0;
+        cfg.retry.backoff_cap_us = 0;
+        let inj = FaultInjector::new(FaultConfig {
+            seed: 3,
+            transient_prob: 1.0,
+            ..FaultConfig::default()
+        });
+        let err = flush_file(
+            &md,
+            &chains,
+            &lustre,
+            &cfg,
+            &HashSet::new(),
+            None,
+            Some(&inj),
+            1,
+            size,
+            "/pfs/f",
+        )
+        .unwrap_err();
+        match err {
+            SimError::Transient { attempt, .. } => {
+                assert_eq!(attempt, cfg.retry.max_attempts)
+            }
+            other => panic!("expected exhausted transient, got {other:?}"),
+        }
+        // A fault-free injector changes nothing about a healthy flush.
+        let quiet = FaultInjector::new(FaultConfig::default());
+        flush_file(
+            &md,
+            &chains,
+            &lustre,
+            &cfg,
+            &HashSet::new(),
+            None,
+            Some(&quiet),
+            1,
+            size,
+            "/pfs/f",
+        )
+        .unwrap();
     }
 
     #[test]
@@ -367,6 +500,7 @@ mod tests {
             &lustre,
             &cfg,
             &HashSet::new(),
+            None,
             None,
             1,
             0,

@@ -22,6 +22,8 @@
 //! | [`server`] | §II-A  | the UniviStor job: servers, tiers, connection management |
 //! | [`driver`] | §II-F  | the ADIO driver (`ROMIO_FSTYPE_FORCE=UniviStor`), COC optimization |
 //! | [`metrics`] | —     | the job telemetry panel over `univistor-obs` |
+//! | [`fault`]  | —      | deterministic fault injection and retry with capped backoff |
+//! | [`repair`] | —      | online re-replication of segments degraded by node loss |
 //! | [`error`]  | —      | contextual error type wrapping the substrate's `SimError` |
 //!
 //! The data plane is functional: every byte written through the driver is
@@ -32,12 +34,14 @@
 pub mod config;
 pub mod driver;
 pub mod error;
+pub mod fault;
 pub mod flush;
 pub mod log;
 pub mod metadata;
 pub mod metrics;
 pub mod placement;
 pub mod read;
+pub mod repair;
 pub mod sched;
 pub mod server;
 pub mod striping;
@@ -47,8 +51,11 @@ pub mod workflow;
 pub use config::{Features, JobGeometry, UniviStorConfig};
 pub use driver::UniviStorDriver;
 pub use error::{Error, Result};
+pub use fault::{FaultConfig, FaultInjector, RetryPolicy};
+pub use flush::FlushReport;
 pub use metadata::{ClientId, SegKey, SegmentRecord};
 pub use metrics::JobMetrics;
+pub use repair::RepairReport;
 pub use server::{JobStats, OpenRequest, UniviStorJob};
 pub use univistor_obs::MetricsSnapshot;
 pub use va::{Tier, TierMap, VirtualAddr};

@@ -19,10 +19,12 @@
 //! is claimed per record with a compare-and-delete so each displaced span
 //! is released exactly once.
 
+use crate::fault::FaultInjector;
 use crate::va::VirtualAddr;
 use std::collections::{BTreeMap, HashMap};
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 use univistor_kv::{DistKv, PartitionKey, ServerId};
+use univistor_sim::SimResult;
 
 /// A client process: which coupled application and which global rank.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -150,6 +152,9 @@ pub struct MetadataService {
     /// (`insert`, `insert_batch`, `punch`, `replace_if_current`), which
     /// atomically invalidates every cached window of the fid.
     generations: RwLock<HashMap<u64, u64>>,
+    /// Fault injector shared with the job; `None` (the default) costs the
+    /// KV entry points only this `Option` check.
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl MetadataService {
@@ -160,6 +165,21 @@ impl MetadataService {
             local: (0..nodes).map(|_| RwLock::new(HashMap::new())).collect(),
             read_cache: (0..nodes).map(|_| RwLock::new(HashMap::new())).collect(),
             generations: RwLock::new(HashMap::new()),
+            injector: None,
+        }
+    }
+
+    /// Install the fault injector (at job construction, before the service
+    /// is shared). Batched KV commits and cached lookups then draw from its
+    /// schedule, failing *before* any state is mutated so retries are safe.
+    pub fn set_injector(&mut self, injector: Arc<FaultInjector>) {
+        self.injector = Some(injector);
+    }
+
+    fn inject(&self, site: &'static str) -> SimResult<()> {
+        match &self.injector {
+            Some(inj) => inj.inject(site, None),
+            None => Ok(()),
         }
     }
 
@@ -357,6 +377,9 @@ impl MetadataService {
     /// offset-sorted, mutually disjoint, and lie within `[lo, hi)`; each
     /// record obeys the coalescing cap `len <= range_size` (the
     /// left-widened-scan invariant, as for [`insert`](Self::insert)).
+    ///
+    /// Fails only by fault injection, *before* touching any state, so a
+    /// failed commit leaves the index unchanged and is safe to retry.
     pub fn insert_batch(
         &self,
         fid: u64,
@@ -364,7 +387,8 @@ impl MetadataService {
         hi: u64,
         records: &[(u64, SegmentRecord)],
         producer_node: usize,
-    ) -> BatchOutcome {
+    ) -> SimResult<BatchOutcome> {
+        self.inject("kv_insert")?;
         let range = self.kv.partitioner().range_size;
         for (offset, record) in records {
             assert!(
@@ -400,7 +424,7 @@ impl MetadataService {
             }
         }
         self.bump_generation(fid);
-        BatchOutcome { displaced, locks }
+        Ok(BatchOutcome { displaced, locks })
     }
 
     fn remove_local(&self, key: SegKey) {
@@ -485,6 +509,10 @@ impl MetadataService {
     /// returned, matching `lookup_range`'s racing semantics, they just
     /// aren't cached). Hits take only the cache's shared lock; the one
     /// exclusive acquisition on this path is the miss-time install.
+    ///
+    /// Fails only by fault injection, before touching the cache, so a
+    /// failed lookup has no side effects and is safe to retry.
+    #[allow(clippy::type_complexity)]
     pub fn lookup_range_cached(
         &self,
         node: usize,
@@ -492,7 +520,8 @@ impl MetadataService {
         lo: u64,
         hi: u64,
         fetch_hi: u64,
-    ) -> (Vec<ServerId>, Vec<(SegKey, SegmentRecord)>, bool) {
+    ) -> SimResult<(Vec<ServerId>, Vec<(SegKey, SegmentRecord)>, bool)> {
+        self.inject("kv_lookup")?;
         debug_assert!(fetch_hi >= hi);
         let gen = self.generation(fid);
         {
@@ -508,7 +537,7 @@ impl MetadataService {
                             .filter(|(k, r)| k.offset < hi && k.offset + r.len > lo)
                             .copied()
                             .collect();
-                        return (Vec::new(), records, true);
+                        return Ok((Vec::new(), records, true));
                     }
                 }
             }
@@ -532,7 +561,7 @@ impl MetadataService {
                 },
             );
         }
-        (servers, records, false)
+        Ok((servers, records, false))
     }
 
     /// The metadata partition (KV server index) owning logical `offset` —
@@ -746,27 +775,27 @@ mod tests {
     fn cached_lookup_hits_without_rpcs_until_invalidated() {
         let m = svc();
         m.insert(SegKey { fid: 1, offset: 0 }, rec(0, 0, 0, 100), 0);
-        let (servers, records, hit) = m.lookup_range_cached(0, 1, 0, 100, 100);
+        let (servers, records, hit) = m.lookup_range_cached(0, 1, 0, 100, 100).unwrap();
         assert!(!hit);
         assert!(!servers.is_empty());
         assert_eq!(records.len(), 1);
         // Second identical lookup: served by the cache, zero RPCs.
-        let (servers, records, hit) = m.lookup_range_cached(0, 1, 0, 100, 100);
+        let (servers, records, hit) = m.lookup_range_cached(0, 1, 0, 100, 100).unwrap();
         assert!(hit);
         assert!(servers.is_empty());
         assert_eq!(records.len(), 1);
         // A narrower window inside the cached one also hits.
-        let (_, records, hit) = m.lookup_range_cached(0, 1, 20, 80, 80);
+        let (_, records, hit) = m.lookup_range_cached(0, 1, 20, 80, 80).unwrap();
         assert!(hit);
         assert_eq!(records.len(), 1);
         // An overwrite bumps the generation: next lookup misses and sees
         // the new record, never the stale VA.
         m.insert(SegKey { fid: 1, offset: 0 }, rec(0, 1, 500, 100), 0);
-        let (_, records, hit) = m.lookup_range_cached(0, 1, 0, 100, 100);
+        let (_, records, hit) = m.lookup_range_cached(0, 1, 0, 100, 100).unwrap();
         assert!(!hit, "overwrite must invalidate the cached window");
         assert_eq!(records[0].1.va, VirtualAddr(500));
         // …and the fresh result is cached again.
-        let (_, _, hit) = m.lookup_range_cached(0, 1, 0, 100, 100);
+        let (_, _, hit) = m.lookup_range_cached(0, 1, 0, 100, 100).unwrap();
         assert!(hit);
     }
 
@@ -775,20 +804,20 @@ mod tests {
         let m = svc();
         let old = rec(0, 0, 0, 64);
         m.insert(SegKey { fid: 1, offset: 0 }, old, 0);
-        m.lookup_range_cached(0, 1, 0, 64, 64);
+        m.lookup_range_cached(0, 1, 0, 64, 64).unwrap();
         m.punch(1, 0, 32);
-        let (_, records, hit) = m.lookup_range_cached(0, 1, 0, 64, 64);
+        let (_, records, hit) = m.lookup_range_cached(0, 1, 0, 64, 64).unwrap();
         assert!(!hit);
         assert_eq!(records.len(), 1);
         assert_eq!(records[0].0.offset, 32);
         let trimmed = records[0].1;
-        m.lookup_range_cached(0, 1, 0, 64, 64);
+        m.lookup_range_cached(0, 1, 0, 64, 64).unwrap();
         let promoted = rec(0, 0, 900, 32);
         assert!(
             m.replace_if_current(SegKey { fid: 1, offset: 32 }, &trimmed, promoted, 0)
                 .1
         );
-        let (_, records, hit) = m.lookup_range_cached(0, 1, 0, 64, 64);
+        let (_, records, hit) = m.lookup_range_cached(0, 1, 0, 64, 64).unwrap();
         assert!(!hit, "CAS must invalidate the cached window");
         assert_eq!(records[0].1.va, VirtualAddr(900));
     }
@@ -797,18 +826,18 @@ mod tests {
     fn cache_windows_are_per_node_and_capped() {
         let m = svc();
         m.insert(SegKey { fid: 1, offset: 0 }, rec(0, 0, 0, 10), 0);
-        m.lookup_range_cached(0, 1, 0, 10, 10);
+        m.lookup_range_cached(0, 1, 0, 10, 10).unwrap();
         // Node 1 has its own cache: same window misses there.
-        let (_, _, hit) = m.lookup_range_cached(1, 1, 0, 10, 10);
+        let (_, _, hit) = m.lookup_range_cached(1, 1, 0, 10, 10).unwrap();
         assert!(!hit);
         // Overflowing the per-fid cap clears the node's windows instead of
         // growing without bound; disjoint windows past the first entry's
         // end each miss and install, eventually tripping the clear.
         for i in 0..(READ_CACHE_WINDOWS_PER_FID as u64 + 4) {
             let lo = 1000 + i;
-            m.lookup_range_cached(0, 1, lo, lo + 1, lo + 1);
+            m.lookup_range_cached(0, 1, lo, lo + 1, lo + 1).unwrap();
         }
-        let (_, _, hit) = m.lookup_range_cached(0, 1, 0, 10, 10);
+        let (_, _, hit) = m.lookup_range_cached(0, 1, 0, 10, 10).unwrap();
         assert!(!hit, "the original window should have been evicted");
     }
 
@@ -826,13 +855,14 @@ mod tests {
             );
         }
         // Ask for [0, 50) but fetch through 200: the wide window is cached.
-        let (_, records, hit) = m.lookup_range_cached(0, 1, 0, 50, 200);
+        let (_, records, hit) = m.lookup_range_cached(0, 1, 0, 50, 200).unwrap();
         assert!(!hit);
         assert_eq!(records.len(), 4, "fetch covers the widened window");
         // The rest of the scan hits without RPCs.
         for i in 1..4u64 {
-            let (servers, records, hit) =
-                m.lookup_range_cached(0, 1, i * 50, i * 50 + 50, i * 50 + 50);
+            let (servers, records, hit) = m
+                .lookup_range_cached(0, 1, i * 50, i * 50 + 50, i * 50 + 50)
+                .unwrap();
             assert!(hit, "window {i} should be prefetched");
             assert!(servers.is_empty());
             assert_eq!(records.len(), 1);

@@ -32,6 +32,13 @@
 //! | `univistor_read_md_cache_hits_total` | counter | — | distributed lookups served by the node's read record cache |
 //! | `univistor_read_md_cache_misses_total` | counter | — | distributed lookups that visited the KV servers |
 //! | `univistor_read_readahead_bytes_total` | counter | — | lookup-window bytes issued past request ends by readahead |
+//! | `univistor_faults_injected_total` | counter | `kind` | fault injector firings: `transient`, `node_loss`, `latency` |
+//! | `univistor_retries_total` | counter | — | transient faults absorbed by a retry |
+//! | `univistor_retry_exhausted_total` | counter | — | operations that failed after the full retry budget |
+//! | `univistor_degraded_segments` | gauge | — | records whose primary or replica sits on a failed node |
+//! | `univistor_flush_skipped_lost_bytes_total` | counter | — | bytes a degraded flush skipped because primary and replica were lost |
+//! | `univistor_repaired_segments_total` | counter | `role` | records re-protected by `rebuild_degraded` (`primary`/`replica`) |
+//! | `univistor_repaired_bytes_total` | counter | — | bytes copied onto healthy chains by repair |
 //!
 //! [`UniviStorJob::metrics`](crate::server::UniviStorJob::metrics) snapshots
 //! the whole panel as a [`MetricsSnapshot`]; the legacy
@@ -82,6 +89,19 @@ pub struct SchedCounters {
     pub flush_migrations: Counter,
 }
 
+/// Cached fault-injection counters handed to
+/// [`crate::fault::FaultInjector::install_counters`] so the injector can
+/// report without holding a registry reference.
+#[derive(Debug, Clone)]
+pub struct FaultCounters {
+    /// Transient I/O errors injected.
+    pub transient: Counter,
+    /// Permanent node losses triggered by the schedule.
+    pub node_loss: Counter,
+    /// Operations delayed by injected latency.
+    pub latency: Counter,
+}
+
 /// The job's instrument panel. One per [`crate::server::UniviStorJob`]
 /// (shareable across jobs for fleet-wide aggregation).
 #[derive(Debug)]
@@ -127,6 +147,15 @@ pub struct JobMetrics {
     read_md_cache_hits: Counter,
     read_md_cache_misses: Counter,
     read_readahead_bytes: Counter,
+
+    faults: FaultCounters,
+    retries: Counter,
+    retry_exhausted: Counter,
+    degraded_segments: Gauge,
+    flush_skipped_lost_bytes: Counter,
+    repaired_primary: Counter,
+    repaired_replica: Counter,
+    repaired_bytes: Counter,
 
     sched: SchedCounters,
 }
@@ -247,6 +276,34 @@ impl JobMetrics {
             "univistor_read_readahead_bytes_total",
             "lookup-window bytes issued past request ends by sequential readahead",
         );
+        let faults = registry.counter_family(
+            "univistor_faults_injected_total",
+            "fault injector firings, by kind",
+        );
+        let retries = registry.counter_family(
+            "univistor_retries_total",
+            "transient faults absorbed by a retry",
+        );
+        let retry_exhausted = registry.counter_family(
+            "univistor_retry_exhausted_total",
+            "operations that failed after exhausting the retry budget",
+        );
+        let degraded = registry.gauge_family(
+            "univistor_degraded_segments",
+            "metadata records whose primary or replica sits on a failed node",
+        );
+        let flush_skipped = registry.counter_family(
+            "univistor_flush_skipped_lost_bytes_total",
+            "bytes a degraded flush skipped because primary and replica were both lost",
+        );
+        let repaired = registry.counter_family(
+            "univistor_repaired_segments_total",
+            "records re-protected by online repair, by repaired role",
+        );
+        let repaired_bytes = registry.counter_family(
+            "univistor_repaired_bytes_total",
+            "bytes copied onto healthy chains by online repair",
+        );
 
         let per_tier = |family: &univistor_obs::CounterFamily| -> [Counter; 4] {
             TIERS.map(|t| family.with(&[("tier", tier_label(t))]))
@@ -290,6 +347,18 @@ impl JobMetrics {
             read_md_cache_hits: read_cache_hits.with(&[]),
             read_md_cache_misses: read_cache_misses.with(&[]),
             read_readahead_bytes: readahead_bytes.with(&[]),
+            faults: FaultCounters {
+                transient: faults.with(&[("kind", "transient")]),
+                node_loss: faults.with(&[("kind", "node_loss")]),
+                latency: faults.with(&[("kind", "latency")]),
+            },
+            retries: retries.with(&[]),
+            retry_exhausted: retry_exhausted.with(&[]),
+            degraded_segments: degraded.with(&[]),
+            flush_skipped_lost_bytes: flush_skipped.with(&[]),
+            repaired_primary: repaired.with(&[("role", "primary")]),
+            repaired_replica: repaired.with(&[("role", "replica")]),
+            repaired_bytes: repaired_bytes.with(&[]),
             sched: SchedCounters {
                 free_core: sched.with(&[("decision", "free_core")]),
                 stacked: sched.with(&[("decision", "stacked")]),
@@ -312,6 +381,36 @@ impl JobMetrics {
     /// Cached scheduler counters for [`crate::sched`].
     pub fn sched_counters(&self) -> SchedCounters {
         self.sched.clone()
+    }
+
+    /// Cached fault-injection counters for
+    /// [`crate::fault::FaultInjector::install_counters`].
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.faults.clone()
+    }
+
+    /// A transient fault was absorbed by a retry.
+    pub fn record_retry(&self) {
+        self.retries.inc();
+    }
+
+    /// An operation failed after exhausting its retry budget.
+    pub fn record_retry_exhausted(&self) {
+        self.retry_exhausted.inc();
+    }
+
+    /// Publish the current count of degraded records (records whose
+    /// primary or replica sits on a failed node).
+    pub fn set_degraded_segments(&self, n: u64) {
+        self.degraded_segments.set(n.min(i64::MAX as u64) as i64);
+    }
+
+    /// Account a repair pass: records whose primary / replica were
+    /// re-protected, and the bytes copied onto healthy chains.
+    pub fn record_repair(&self, primary: u64, replica: u64, bytes: u64) {
+        self.repaired_primary.add(primary);
+        self.repaired_replica.add(replica);
+        self.repaired_bytes.add(bytes);
     }
 
     /// An open served (one metadata RPC against the file-name-hashed
@@ -411,6 +510,7 @@ impl JobMetrics {
             self.flush_source[tier_index(tier)].add(bytes);
         }
         self.flush_revocations.add(receipt.lock_revocations);
+        self.flush_skipped_lost_bytes.add(receipt.lost.lost_bytes);
     }
 
     /// Raw counter values backing the [`crate::server::JobStats`]
@@ -629,6 +729,10 @@ mod tests {
             source_tier_bytes: vec![(Tier::Dram, 4096)],
             lock_revocations: 3,
             osts_per_server: 4,
+            lost: crate::flush::FlushReport {
+                lost_segments: 1,
+                lost_bytes: 256,
+            },
         });
         m.flush_finished();
         let snap = m.snapshot();
@@ -645,6 +749,49 @@ mod tests {
         assert_eq!(
             snap.counter("univistor_flush_lock_revocations_total", &[]),
             Some(3)
+        );
+        assert_eq!(
+            snap.counter("univistor_flush_skipped_lost_bytes_total", &[]),
+            Some(256)
+        );
+    }
+
+    #[test]
+    fn fault_and_repair_families_record() {
+        let m = JobMetrics::new();
+        let faults = m.fault_counters();
+        faults.transient.inc();
+        faults.transient.inc();
+        faults.node_loss.inc();
+        m.record_retry();
+        m.record_retry_exhausted();
+        m.set_degraded_segments(7);
+        m.record_repair(3, 4, 2048);
+        let snap = m.snapshot();
+        assert_eq!(
+            snap.counter("univistor_faults_injected_total", &[("kind", "transient")]),
+            Some(2)
+        );
+        assert_eq!(
+            snap.counter("univistor_faults_injected_total", &[("kind", "node_loss")]),
+            Some(1)
+        );
+        assert_eq!(snap.counter_total("univistor_retries_total"), 1);
+        assert_eq!(snap.counter_total("univistor_retry_exhausted_total"), 1);
+        assert_eq!(snap.gauge("univistor_degraded_segments", &[]), Some(7));
+        assert_eq!(
+            snap.counter("univistor_repaired_segments_total", &[("role", "primary")]),
+            Some(3)
+        );
+        assert_eq!(
+            snap.counter("univistor_repaired_segments_total", &[("role", "replica")]),
+            Some(4)
+        );
+        assert_eq!(snap.counter_total("univistor_repaired_bytes_total"), 2048);
+        m.set_degraded_segments(0);
+        assert_eq!(
+            m.snapshot().gauge("univistor_degraded_segments", &[]),
+            Some(0)
         );
     }
 }

@@ -12,10 +12,12 @@
 //! node-local layers `c`/`p` are the node's capacity and the processes on
 //! that node, and for shared layers the totals across the job.
 
+use crate::config::JobGeometry;
+use crate::fault::FaultInjector;
 use crate::log::LogFile;
 use crate::metadata::ClientId;
 use crate::va::{Tier, TierMap, VirtualAddr};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::{Arc, RwLock};
 use univistor_sim::{Payload, SimError, SimResult};
 
@@ -135,12 +137,28 @@ impl ProcChain {
 #[derive(Debug, Default)]
 pub struct ChainSet {
     chains: RwLock<HashMap<ClientId, Arc<RwLock<ProcChain>>>>,
+    /// Fault injector shared with the job; `None` (the default) costs the
+    /// data ops only this `Option` check.
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl ChainSet {
     /// An empty set.
     pub fn new() -> Self {
         ChainSet::default()
+    }
+
+    /// Install the fault injector (at job construction, before the set is
+    /// shared). Chain appends and reads then draw from its schedule.
+    pub fn set_injector(&mut self, injector: Arc<FaultInjector>) {
+        self.injector = Some(injector);
+    }
+
+    fn inject(&self, site: &'static str, tier: Tier) -> SimResult<()> {
+        match &self.injector {
+            Some(inj) => inj.inject(site, Some(tier)),
+            None => Ok(()),
+        }
     }
 
     /// True when `client` already owns a chain.
@@ -188,10 +206,17 @@ impl ChainSet {
     }
 
     /// Append one segment to `client`'s chain (exclusive chain lock).
+    /// An injected transient fault rolls the placement back, so a failed
+    /// append leaves the chain unchanged and is safe to retry.
     pub fn append(&self, client: ClientId, payload: Payload) -> SimResult<PlacedSegment> {
         let chain = self.chain(client)?;
         let mut chain = chain.write().expect("chain poisoned");
-        chain.append(payload)
+        let placed = chain.append(payload)?;
+        if let Err(e) = self.inject("chain_append", placed.tier) {
+            chain.release(placed.va, placed.len);
+            return Err(e);
+        }
+        Ok(placed)
     }
 
     /// Append a run of segments to `client`'s chain under ONE exclusive
@@ -209,7 +234,20 @@ impl ChainSet {
         let mut chain = chain.write().expect("chain poisoned");
         let mut placed = Vec::with_capacity(payloads.len());
         for payload in payloads {
-            match chain.append(payload) {
+            // Each placed piece is one instrumented operation; a transient
+            // fault mid-run aborts (and rolls back) the whole batch,
+            // mirroring a real mid-batch I/O error.
+            let appended = match chain.append(payload) {
+                Ok(p) => match self.inject("chain_append", p.tier) {
+                    Ok(()) => Ok(p),
+                    Err(e) => {
+                        chain.release(p.va, p.len);
+                        Err(e)
+                    }
+                },
+                Err(e) => Err(e),
+            };
+            match appended {
                 Ok(p) => placed.push(p),
                 Err(e) => {
                     for p in &placed {
@@ -234,7 +272,9 @@ impl ChainSet {
         let chain = self.chain(client)?;
         let chain = chain.read().expect("chain poisoned");
         let payload = chain.read(va, len)?;
-        Ok((payload, chain.tier_of(va)))
+        let tier = chain.tier_of(va);
+        self.inject("chain_read", tier)?;
+        Ok((payload, tier))
     }
 
     /// Read every `(va, len)` request from `client`'s chain under a
@@ -252,7 +292,9 @@ impl ChainSet {
             .iter()
             .map(|&(va, len)| {
                 let payload = chain.read(va, len)?;
-                Ok((payload, chain.tier_of(va)))
+                let tier = chain.tier_of(va);
+                self.inject("chain_read", tier)?;
+                Ok((payload, tier))
             })
             .collect()
     }
@@ -329,8 +371,32 @@ impl FromIterator<(ClientId, ProcChain)> for ChainSet {
                     .map(|(c, chain)| (c, Arc::new(RwLock::new(chain))))
                     .collect(),
             ),
+            injector: None,
         }
     }
+}
+
+/// The first replication buddy for `client` whose node is healthy: walk
+/// the ranks one node-stride at a time (the classic buddy is the first
+/// hop) and skip the client's own node and every failed node. `None`
+/// when no healthy off-node buddy exists (single-node jobs, or every
+/// other node failed) — the caller then writes unreplicated, exactly as
+/// a single-node job always has.
+pub fn healthy_buddy(
+    geometry: &JobGeometry,
+    failed: &HashSet<usize>,
+    client: ClientId,
+) -> Option<ClientId> {
+    let total = geometry.total_procs() as u32;
+    let own_node = geometry.node_of_rank(client.rank as usize);
+    for hop in 1..geometry.nodes {
+        let rank = (client.rank + (hop * geometry.procs_per_node) as u32) % total;
+        let node = geometry.node_of_rank(rank as usize);
+        if node != own_node && !failed.contains(&node) {
+            return Some(ClientId::new(client.app, rank));
+        }
+    }
+    None
 }
 
 /// Compute the per-process log capacity of each layer for one client,
@@ -502,6 +568,68 @@ mod tests {
             assert!(payload.content_eq(&single));
             assert_eq!(*tier, single_tier);
         }
+    }
+
+    #[test]
+    fn healthy_buddy_skips_failed_nodes() {
+        let g = JobGeometry {
+            nodes: 4,
+            procs_per_node: 2,
+            servers_per_node: 2,
+        };
+        let client = ClientId::new(0, 1); // node 0
+        let none_failed = HashSet::new();
+        // Healthy cluster: the classic one-node-stride buddy.
+        assert_eq!(
+            healthy_buddy(&g, &none_failed, client),
+            Some(ClientId::new(0, 3))
+        );
+        // Buddy's node failed: walk one more stride.
+        let failed: HashSet<usize> = [1].into_iter().collect();
+        assert_eq!(
+            healthy_buddy(&g, &failed, client),
+            Some(ClientId::new(0, 5))
+        );
+        // Every other node failed: no buddy.
+        let all: HashSet<usize> = [1, 2, 3].into_iter().collect();
+        assert_eq!(healthy_buddy(&g, &all, client), None);
+        // The client's own failed node never disqualifies *other* nodes.
+        let own: HashSet<usize> = [0].into_iter().collect();
+        assert_eq!(healthy_buddy(&g, &own, client), Some(ClientId::new(0, 3)));
+    }
+
+    #[test]
+    fn healthy_buddy_single_node_has_none() {
+        let g = JobGeometry {
+            nodes: 1,
+            procs_per_node: 4,
+            servers_per_node: 2,
+        };
+        assert_eq!(
+            healthy_buddy(&g, &HashSet::new(), ClientId::new(0, 2)),
+            None
+        );
+    }
+
+    #[test]
+    fn injected_append_faults_roll_back_placement() {
+        use crate::fault::{FaultConfig, FaultInjector};
+        let mut chains: ChainSet = [(ClientId::new(0, 0), fig2_chain())].into_iter().collect();
+        chains.set_injector(Arc::new(FaultInjector::new(FaultConfig {
+            seed: 1,
+            transient_prob: 1.0,
+            ..FaultConfig::default()
+        })));
+        let client = ClientId::new(0, 0);
+        assert!(chains.append(client, Payload::pattern(0, 64)).is_err());
+        assert!(chains
+            .append_many(
+                client,
+                vec![Payload::pattern(1, 64), Payload::pattern(2, 64)]
+            )
+            .is_err());
+        // Every placement was rolled back: the chain holds no live bytes.
+        assert_eq!(chains.live_bytes(), 0);
     }
 
     #[test]

@@ -314,7 +314,7 @@ impl<'a> ReadService<'a> {
         let my_node = self.geometry.node_of_rank(client.rank as usize);
         let end = offset + len;
 
-        let records = self.gather_records(client, my_node, fid, offset, end, len, &mut trace);
+        let records = self.gather_records(client, my_node, fid, offset, end, len, &mut trace)?;
         let (fragments, touched) = self.plan_fragments(&records, offset, end, &mut trace)?;
         let fetched = match self.pipeline {
             ReadPipeline::Batched => self.fetch_batched(&fragments, &mut locks)?,
@@ -337,7 +337,9 @@ impl<'a> ReadService<'a> {
     /// Stage 1: the records covering `[offset, end)`, offset-sorted and
     /// deduplicated. Shared between the pipelines, so every [`ReadTrace`]
     /// field it feeds (RPCs, buffer/cache hits, readahead) is
-    /// pipeline-invariant.
+    /// pipeline-invariant. Fallible only under fault injection (the
+    /// cached distributed lookup can fail transiently before touching any
+    /// state).
     #[allow(clippy::too_many_arguments)]
     fn gather_records(
         &self,
@@ -348,7 +350,7 @@ impl<'a> ReadService<'a> {
         end: u64,
         len: u64,
         trace: &mut ReadTrace,
-    ) -> Vec<(SegKey, SegmentRecord)> {
+    ) -> SimResult<Vec<(SegKey, SegmentRecord)>> {
         let mut records: Vec<(SegKey, SegmentRecord)> = Vec::new();
         if self.location_aware {
             // Every location-aware read advances the scan detector (even
@@ -384,7 +386,7 @@ impl<'a> ReadService<'a> {
                 };
                 let (servers, remote_hits, hit) = self
                     .metadata
-                    .lookup_range_cached(my_node, fid, offset, end, fetch_hi);
+                    .lookup_range_cached(my_node, fid, offset, end, fetch_hi)?;
                 trace.md_rpcs += servers.len() as u64;
                 if hit {
                     trace.md_cache_hits += 1;
@@ -412,7 +414,7 @@ impl<'a> ReadService<'a> {
             records = hits;
         }
         records.sort_by_key(|(k, _)| k.offset);
-        records
+        Ok(records)
     }
 
     /// Stage 2: clip every record to the requested window, verify there

@@ -27,11 +27,13 @@
 
 use crate::config::{UniviStorConfig, WritePipeline};
 use crate::error::{Error, Result};
+use crate::fault::{with_retries, FaultInjector};
 use crate::flush::{flush_file, FlushReceipt};
 use crate::metadata::{ClientId, MetadataService, SegKey, SegmentRecord};
 use crate::metrics::{JobMetrics, ScalarValues, WriteLockCounts};
-use crate::placement::{layer_caps_with_node_local, ChainSet, ProcChain};
+use crate::placement::{healthy_buddy, layer_caps_with_node_local, ChainSet, ProcChain};
 use crate::read::{ReadService, ReadState, ReadTrace};
+use crate::repair::{repair_file, RepairReport};
 use crate::va::{Tier, VirtualAddr};
 use crate::workflow::StateFile;
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -127,6 +129,9 @@ pub struct UniviStorJob {
     accounting: Mutex<Accounting>,
     state_file: StateFile,
     metrics: Arc<JobMetrics>,
+    /// Deterministic fault schedule (`cfg.fault`); `None` — the default —
+    /// means the data path pays only this `Option` check.
+    injector: Option<Arc<FaultInjector>>,
 }
 
 /// Builder for one open call, created by [`UniviStorJob::open_file`].
@@ -210,15 +215,25 @@ impl UniviStorJob {
     /// mixes their stats; share only for passive fleet-wide aggregation.
     pub fn with_metrics(cfg: UniviStorConfig, metrics: Arc<JobMetrics>) -> Self {
         let servers = cfg.geometry.total_servers();
-        let metadata =
+        let mut metadata =
             MetadataService::new(cfg.metadata_range_size, servers.max(1), cfg.geometry.nodes);
         let lustre = Lustre::new(cfg.cal.ost_count);
         let heat_shards = metadata.servers().max(1);
         let stats_base = metrics.scalars();
+        let mut chains = ChainSet::new();
+        let injector = cfg
+            .fault
+            .clone()
+            .map(|schedule| Arc::new(FaultInjector::new(schedule)));
+        if let Some(inj) = &injector {
+            inj.install_counters(metrics.fault_counters());
+            chains.set_injector(inj.clone());
+            metadata.set_injector(inj.clone());
+        }
         UniviStorJob {
             cfg,
             files: RwLock::new(HashMap::new()),
-            chains: ChainSet::new(),
+            chains,
             metadata,
             lustre: RwLock::new(lustre),
             connected: RwLock::new(HashSet::new()),
@@ -236,6 +251,18 @@ impl UniviStorJob {
             }),
             state_file: StateFile::new(),
             metrics,
+            injector,
+        }
+    }
+
+    /// Fire any scheduled node failures whose operation threshold has
+    /// passed. A no-op without an injector; called on the data-path entry
+    /// points so a configured schedule advances with the workload.
+    fn poll_faults(&self) {
+        if let Some(inj) = &self.injector {
+            for node in inj.due_node_failures() {
+                self.fail_node(node);
+            }
         }
     }
 
@@ -407,6 +434,7 @@ impl UniviStorJob {
             return Ok(());
         }
         self.metrics.record_write_call();
+        self.poll_faults();
         // Shared file-table lock: size/written are atomics, so concurrent
         // writers to different (or the same) file don't serialize here.
         let fid = {
@@ -458,32 +486,37 @@ impl UniviStorJob {
         let pieces = self.plan_pieces(offset, payload.len());
         for &(cur, piece_len) in &pieces {
             let piece = payload.slice(cur - offset, piece_len);
-            let placed = self.chains.append(client, piece.clone())?;
+            let placed = with_retries(&self.cfg.retry, Some(&self.metrics), || {
+                self.chains.append(client, piece.clone())
+            })?;
             locks.chain += 1;
 
             // Resilience (future work of the paper): mirror segments that
             // landed on volatile layers into a buddy process's chain on
-            // the next node, so a node failure loses no data.
+            // the next (healthy) node, so a node failure loses no data.
             let mut record = SegmentRecord::new(client, placed.va, piece_len);
             if self.cfg.replicate_volatile && placed.tier != Tier::Pfs {
-                let buddy = self.buddy_of(client);
-                if buddy != client {
+                if let Some(buddy) = self.replica_buddy(client) {
                     self.ensure_chain(buddy)?;
                     // Best-effort: a full buddy chain degrades resilience
                     // for this segment, it does not fail the write. The
                     // buddy's chain lock is taken after releasing ours —
                     // never two chain locks at once.
                     locks.chain += 1;
-                    if let Ok(rplaced) = self.chains.append(buddy, piece) {
+                    let mirrored = with_retries(&self.cfg.retry, Some(&self.metrics), || {
+                        self.chains.append(buddy, piece.clone())
+                    });
+                    if let Ok(rplaced) = mirrored {
                         record.replica = Some((buddy, rplaced.va));
                         self.metrics.record_replication(piece_len);
                     }
                 }
             }
 
-            let outcome =
+            let outcome = with_retries(&self.cfg.retry, Some(&self.metrics), || {
                 self.metadata
-                    .insert_batch(fid, cur, cur + piece_len, &[(cur, record)], node);
+                    .insert_batch(fid, cur, cur + piece_len, &[(cur, record)], node)
+            })?;
             locks.kv_shard += outcome.locks.kv_shard_acquisitions;
             locks.node_buffer += outcome.locks.node_buffer_acquisitions;
             // Free the log space of overwritten data (possibly owned by
@@ -540,18 +573,19 @@ impl UniviStorJob {
             .collect();
         let mut locks = WriteLockCounts::default();
 
-        let placed = self.chains.append_many(client, payloads.clone())?;
+        let placed = with_retries(&self.cfg.retry, Some(&self.metrics), || {
+            self.chains.append_many(client, payloads.clone())
+        })?;
         locks.chain += 1;
 
         // Resilience (future work of the paper): mirror the pieces that
-        // landed on volatile layers into the buddy's chain — the whole run
-        // under one buddy chain-lock acquisition, taken after ours is
-        // released (never two chain locks at once). Best-effort: a failed
-        // buddy run degrades resilience, it does not fail the write.
+        // landed on volatile layers into a healthy buddy's chain — the
+        // whole run under one buddy chain-lock acquisition, taken after
+        // ours is released (never two chain locks at once). Best-effort: a
+        // failed buddy run degrades resilience, it does not fail the write.
         let mut replicas: Vec<Option<(ClientId, VirtualAddr, usize)>> = vec![None; pieces.len()];
         if self.cfg.replicate_volatile {
-            let buddy = self.buddy_of(client);
-            if buddy != client {
+            if let Some(buddy) = self.replica_buddy(client) {
                 let volatile: Vec<usize> = placed
                     .iter()
                     .enumerate()
@@ -563,7 +597,10 @@ impl UniviStorJob {
                     locks.chain += 1;
                     let copies: Vec<Payload> =
                         volatile.iter().map(|&i| payloads[i].clone()).collect();
-                    if let Ok(rplaced) = self.chains.append_many(buddy, copies) {
+                    let mirrored = with_retries(&self.cfg.retry, Some(&self.metrics), || {
+                        self.chains.append_many(buddy, copies.clone())
+                    });
+                    if let Ok(rplaced) = mirrored {
                         for (&i, rp) in volatile.iter().zip(&rplaced) {
                             replicas[i] = Some((buddy, rp.va, rp.layer));
                             self.metrics.record_replication(pieces[i].1);
@@ -618,7 +655,9 @@ impl UniviStorJob {
 
         // Commit the run: one punch over the full span, partition-grouped
         // record puts, one producer node-buffer refresh.
-        let outcome = self.metadata.insert_batch(fid, offset, end, &records, node);
+        let outcome = with_retries(&self.cfg.retry, Some(&self.metrics), || {
+            self.metadata.insert_batch(fid, offset, end, &records, node)
+        })?;
         locks.kv_shard += outcome.locks.kv_shard_acquisitions;
         locks.node_buffer += outcome.locks.node_buffer_acquisitions;
 
@@ -659,6 +698,7 @@ impl UniviStorJob {
     }
 
     fn read_impl(&self, client: ClientId, path: &str, offset: u64, len: u64) -> SimResult<Payload> {
+        self.poll_faults();
         let fid = self
             .files
             .read()
@@ -679,14 +719,17 @@ impl UniviStorJob {
         };
         // Shared locks only from here: metadata shards, node buffers, read
         // caches, and producer chains — concurrent readers never block
-        // each other.
-        let out = ReadService::new(&self.metadata, &self.chains, &self.cfg.geometry)
-            .location_aware(self.cfg.features.location_aware_reads)
-            .pipeline(self.cfg.read_pipeline)
-            .readahead(self.cfg.readahead_min_streak, self.cfg.readahead_window)
-            .with_state(&self.read_state)
-            .with_failed_nodes(failed)
-            .read(client, fid, offset, len)?;
+        // each other. Reads mutate nothing, so an injected transient fault
+        // anywhere in the plan is absorbed by replanning the whole read.
+        let out = with_retries(&self.cfg.retry, Some(&self.metrics), || {
+            ReadService::new(&self.metadata, &self.chains, &self.cfg.geometry)
+                .location_aware(self.cfg.features.location_aware_reads)
+                .pipeline(self.cfg.read_pipeline)
+                .readahead(self.cfg.readahead_min_streak, self.cfg.readahead_window)
+                .with_state(&self.read_state)
+                .with_failed_nodes(failed)
+                .read(client, fid, offset, len)
+        })?;
         self.metrics.record_read_trace(&out.trace);
         self.metrics.record_read_locks(out.locks);
         for key in out.touched {
@@ -747,16 +790,126 @@ impl UniviStorJob {
         )
     }
 
+    /// Where a replica of `client`'s data should go right now: the default
+    /// buddy while no failure is injected (no lock beyond the atomic
+    /// check), else the nearest buddy on a healthy node — a replica placed
+    /// on an already-dead node protects nothing. `None` in single-node
+    /// jobs or when every other node is down.
+    fn replica_buddy(&self, client: ClientId) -> Option<ClientId> {
+        if self.failed_any.load(Ordering::Acquire) {
+            let failed = self.failed_nodes.read().expect("failed set poisoned");
+            healthy_buddy(&self.cfg.geometry, &failed, client)
+        } else {
+            let buddy = self.buddy_of(client);
+            (buddy != client).then_some(buddy)
+        }
+    }
+
     /// Failure injection: mark a node's volatile storage as lost. Reads
     /// of segments whose primary lived there are served from replicas.
-    pub fn fail_node(&self, node: usize) {
-        self.failed_nodes
+    /// Idempotent; returns whether the node was newly failed.
+    pub fn fail_node(&self, node: usize) -> bool {
+        let fresh = self
+            .failed_nodes
             .write()
             .expect("failed set poisoned")
             .insert(node);
         // After the set is populated, so a reader seeing the flag finds
         // the node in the set.
         self.failed_any.store(true, Ordering::Release);
+        fresh
+    }
+
+    /// The inverse of [`fail_node`](Self::fail_node): a node came back
+    /// (its volatile contents are still gone — run
+    /// [`rebuild_degraded`](Self::rebuild_degraded) first to re-protect
+    /// what lived there). Returns whether the node was in the failed set;
+    /// when the set drains, the data path's failure flag clears and reads
+    /// stop consulting the set entirely.
+    pub fn restore_node(&self, node: usize) -> bool {
+        let mut failed = self.failed_nodes.write().expect("failed set poisoned");
+        let removed = failed.remove(&node);
+        if failed.is_empty() {
+            self.failed_any.store(false, Ordering::Release);
+        }
+        removed
+    }
+
+    /// Count the index records still referencing a failed node (as primary
+    /// or replica) and publish the `univistor_degraded_segments` gauge.
+    /// Cold path: scans every file's index.
+    pub fn degraded_segments(&self) -> u64 {
+        let failed = self
+            .failed_nodes
+            .read()
+            .expect("failed set poisoned")
+            .clone();
+        let mut n = 0u64;
+        if !failed.is_empty() {
+            let node_failed =
+                |c: ClientId| failed.contains(&self.cfg.geometry.node_of_rank(c.rank as usize));
+            for (fid, size) in self.file_spans() {
+                n += self
+                    .metadata
+                    .lookup_range(fid, 0, size)
+                    .1
+                    .iter()
+                    .filter(|(_, r)| {
+                        node_failed(r.client) || r.replica.is_some_and(|(rc, _)| node_failed(rc))
+                    })
+                    .count() as u64;
+            }
+        }
+        self.metrics.set_degraded_segments(n);
+        n
+    }
+
+    /// `(fid, size)` of every cached file — the repair scan's work list.
+    fn file_spans(&self) -> Vec<(u64, u64)> {
+        self.files
+            .read()
+            .expect("file table poisoned")
+            .values()
+            .map(|e| (e.fid, e.size.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Online repair: restore full redundancy for every record degraded by
+    /// node failures, file by file (see [`crate::repair`]). Safe to run
+    /// while clients keep writing and reading — a record overwritten
+    /// mid-repair is left to the overwrite. Refreshes the
+    /// `univistor_degraded_segments` gauge on the way out.
+    pub fn rebuild_degraded(&self) -> Result<RepairReport> {
+        self.rebuild_degraded_impl()
+            .map_err(|e| Error::new("repair", e))
+    }
+
+    fn rebuild_degraded_impl(&self) -> SimResult<RepairReport> {
+        let failed = self
+            .failed_nodes
+            .read()
+            .expect("failed set poisoned")
+            .clone();
+        let mut total = RepairReport::default();
+        if !failed.is_empty() {
+            for (fid, size) in self.file_spans() {
+                let report = repair_file(
+                    &self.metadata,
+                    &self.chains,
+                    &self.cfg.geometry,
+                    self.cfg.chunk_size,
+                    &failed,
+                    &self.cfg.retry,
+                    Some(&self.metrics),
+                    &|c| self.ensure_chain(c),
+                    fid,
+                    size,
+                )?;
+                total.absorb(report);
+            }
+        }
+        self.degraded_segments();
+        Ok(total)
     }
 
     /// Adaptive, proactive placement (future work of the paper): promote
@@ -918,6 +1071,7 @@ impl UniviStorJob {
             &self.cfg,
             &failed,
             Some(&self.metrics),
+            self.injector.as_deref(),
             fid,
             size,
             path,

@@ -18,6 +18,11 @@ pub enum SimError {
     OutOfCapacity { requested: u64, available: u64 },
     /// A topology/config parameter was inconsistent.
     InvalidConfig(String),
+    /// A transient I/O fault (injected or environmental): the operation
+    /// failed at `site` but is safe to retry. `attempt` is how many
+    /// attempts had been made when the error was surfaced (0 = first try;
+    /// retry loops rewrite it so an exhausted error carries the budget).
+    Transient { site: String, attempt: u64 },
 }
 
 impl fmt::Display for SimError {
@@ -37,6 +42,9 @@ impl fmt::Display for SimError {
                 "out of capacity: requested {requested} bytes, {available} available"
             ),
             SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::Transient { site, attempt } => {
+                write!(f, "transient fault at {site} (attempt {attempt})")
+            }
         }
     }
 }
@@ -45,3 +53,20 @@ impl std::error::Error for SimError {}
 
 /// Convenience alias used throughout the substrate.
 pub type SimResult<T> = Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_display_names_site_and_attempt() {
+        let e = SimError::Transient {
+            site: "chain_append".into(),
+            attempt: 3,
+        };
+        let text = e.to_string();
+        assert!(text.contains("transient"), "{text}");
+        assert!(text.contains("chain_append"), "{text}");
+        assert!(text.contains('3'), "{text}");
+    }
+}

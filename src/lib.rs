@@ -28,8 +28,11 @@ pub mod prelude {
     pub use univistor_core::config::{Features, JobGeometry, UniviStorConfig};
     pub use univistor_core::driver::UniviStorDriver;
     pub use univistor_core::error::{Error, Result};
+    pub use univistor_core::fault::{FaultConfig, RetryPolicy};
+    pub use univistor_core::flush::FlushReport;
     pub use univistor_core::metadata::ClientId;
     pub use univistor_core::metrics::JobMetrics;
+    pub use univistor_core::repair::RepairReport;
     pub use univistor_core::server::{JobStats, OpenRequest, UniviStorJob};
     pub use univistor_core::va::Tier;
     pub use univistor_mpi::driver::OpenMode;
