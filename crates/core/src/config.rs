@@ -2,6 +2,7 @@
 //! ablates (IA, COC, ADPT, workflow management, flush).
 
 use crate::fault::{FaultConfig, RetryPolicy};
+use crate::va::Tier;
 use univistor_sim::calibration::Calibration;
 
 /// Which optimizations are enabled. Every evaluation figure toggles some
@@ -90,6 +91,134 @@ pub enum ReadPipeline {
     /// fragment, fetched while walking the record list. Kept for
     /// differential tests and as the `read_batch` bench baseline.
     PerRecord,
+}
+
+/// Occupancy fractions steering the background spill of one tier
+/// (hysteresis pair: spill starts strictly above `high`, stops at or
+/// below `low`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TierWatermarks {
+    /// Spill engages when `live / capacity` exceeds this fraction.
+    pub high: f64,
+    /// Spill keeps moving cold segments down until `live / capacity`
+    /// is at or below this fraction.
+    pub low: f64,
+}
+
+impl Default for TierWatermarks {
+    fn default() -> Self {
+        TierWatermarks {
+            high: 0.85,
+            low: 0.60,
+        }
+    }
+}
+
+/// Unimem-style promotion policy: a segment moves up only when the
+/// expected read savings justify the migration traffic.
+///
+/// With per-byte access costs `c_src`/`c_dst` (relative units, DRAM = 1),
+/// a segment of heat `h` scores `h · (c_src − c_dst) / (c_src + c_dst)`
+/// — expected future read-byte savings over migration bytes (one read of
+/// the source plus one write of the destination). It is promoted when
+/// `h ≥ min_reads` **and** the score is at least `min_benefit`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PromotionPolicy {
+    /// Reads a segment must have absorbed before it is even considered.
+    pub min_reads: u32,
+    /// Minimum benefit/cost ratio (see the struct docs). `0.0` reduces
+    /// the policy to the legacy read-count threshold.
+    pub min_benefit: f64,
+}
+
+impl Default for PromotionPolicy {
+    fn default() -> Self {
+        PromotionPolicy {
+            min_reads: 3,
+            min_benefit: 1.0,
+        }
+    }
+}
+
+/// The background tiering controller's knobs, grouped into one typed
+/// sub-struct instead of more loose fields on [`UniviStorConfig`].
+///
+/// Disabled by default: with `enabled == false` the data path pays only a
+/// boolean check and behaves exactly as before this subsystem existed
+/// (figure results stay byte-identical). Enable via
+/// `UniviStorConfig::builder().tiering(TieringConfig::on()).build()` or by
+/// setting the field directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TieringConfig {
+    /// Master switch for the *automatic* triggers (write-path cadence and
+    /// the spawned daemon). Explicit `TieringHandle::drain_now()` calls
+    /// run regardless, so operators can tier manually on a disabled job.
+    pub enabled: bool,
+    /// Spill watermarks for the DRAM layer.
+    pub dram: TierWatermarks,
+    /// Spill watermarks for the node-local layer (when configured).
+    pub node_local: TierWatermarks,
+    /// Spill watermarks for the shared burst buffer.
+    pub burst_buffer: TierWatermarks,
+    /// Run one tiering pass on the writing client's node every this many
+    /// write calls (`0` = never from the data path; only the daemon clock
+    /// or explicit `drain_now()` calls advance the controller).
+    pub drain_cadence_ops: u64,
+    /// Wall-clock pause between a daemon actor's passes, in milliseconds.
+    pub daemon_interval_ms: u64,
+    /// Most segments one spill pass migrates per chain (bounds the work
+    /// an inline cadence pass can steal from a writer).
+    pub spill_batch: usize,
+    /// Most cold spans one pass drains to the PFS per node.
+    pub drain_batch: usize,
+    /// Upward-migration policy.
+    pub promotion: PromotionPolicy,
+    /// Halve every heat counter after this many passes (`0` disables
+    /// decay — the legacy behavior, where a once-hot segment pins the
+    /// fast tier forever).
+    pub heat_decay_passes: u64,
+    /// A span with at most this many recorded reads counts as cold for
+    /// the continuous PFS drain.
+    pub cold_max_reads: u32,
+}
+
+impl Default for TieringConfig {
+    fn default() -> Self {
+        TieringConfig {
+            enabled: false,
+            dram: TierWatermarks::default(),
+            node_local: TierWatermarks::default(),
+            burst_buffer: TierWatermarks::default(),
+            drain_cadence_ops: 64,
+            daemon_interval_ms: 5,
+            spill_batch: 32,
+            drain_batch: 64,
+            promotion: PromotionPolicy::default(),
+            heat_decay_passes: 16,
+            cold_max_reads: 0,
+        }
+    }
+}
+
+impl TieringConfig {
+    /// The default policy with the daemon switched on.
+    pub fn on() -> Self {
+        TieringConfig {
+            enabled: true,
+            ..TieringConfig::default()
+        }
+    }
+
+    /// The watermark pair governing `tier`, or `None` for the PFS (the
+    /// unbounded terminal layer never spills).
+    pub fn watermarks(&self, tier: Tier) -> Option<TierWatermarks> {
+        match tier {
+            Tier::Dram => Some(self.dram),
+            Tier::NodeLocal => Some(self.node_local),
+            Tier::SharedBurstBuffer => Some(self.burst_buffer),
+            Tier::Pfs => None,
+        }
+    }
 }
 
 /// Shape of the job UniviStor serves.
@@ -183,6 +312,10 @@ pub struct UniviStorConfig {
     /// constructs no injector at all: the hot paths pay only an
     /// `Option` check.
     pub fault: Option<FaultConfig>,
+    /// Background tiering controller (watermark spill, continuous PFS
+    /// drain, policy-driven promotion). Off by default: the data path
+    /// then pays only a boolean check.
+    pub tiering: TieringConfig,
 }
 
 impl UniviStorConfig {
@@ -205,6 +338,7 @@ impl UniviStorConfig {
             readahead_window: 0,
             retry: RetryPolicy::default(),
             fault: None,
+            tiering: TieringConfig::default(),
         }
     }
 
@@ -232,6 +366,7 @@ impl UniviStorConfig {
             readahead_window: 0,
             retry: RetryPolicy::default(),
             fault: None,
+            tiering: TieringConfig::default(),
         };
         // Tiny tiers so tests exercise spilling: 1 KiB DRAM per node,
         // 4 KiB per BB node.
@@ -240,6 +375,124 @@ impl UniviStorConfig {
         cfg.cal.bb_nodes_min = 1;
         cfg.cal.bb_nodes_per_compute_node = 0.5;
         cfg
+    }
+
+    /// Start a [`UniviStorConfigBuilder`] from the paper configuration
+    /// for a single 32-process node — set the geometry (and anything
+    /// else) through the builder:
+    ///
+    /// ```ignore
+    /// let cfg = UniviStorConfig::builder()
+    ///     .total_procs(128)
+    ///     .tiering(TieringConfig::on())
+    ///     .build();
+    /// ```
+    pub fn builder() -> UniviStorConfigBuilder {
+        UniviStorConfigBuilder {
+            cfg: UniviStorConfig::paper(32),
+        }
+    }
+
+    /// Continue building from this configuration (e.g. refine
+    /// [`test_small`](Self::test_small) with tiering knobs).
+    pub fn to_builder(self) -> UniviStorConfigBuilder {
+        UniviStorConfigBuilder { cfg: self }
+    }
+}
+
+/// Builder over [`UniviStorConfig`], so call sites compose the typed
+/// sub-structures (`TieringConfig`, `Features`, `RetryPolicy`, …) instead
+/// of mutating a growing flat field list. Created by
+/// [`UniviStorConfig::builder`] (paper defaults) or
+/// [`UniviStorConfig::to_builder`] (any base).
+#[derive(Debug, Clone)]
+pub struct UniviStorConfigBuilder {
+    cfg: UniviStorConfig,
+}
+
+impl UniviStorConfigBuilder {
+    /// Replace the geometry with the paper layout for `total_procs`
+    /// clients (32 procs/node, 2 servers/node).
+    pub fn total_procs(mut self, total_procs: usize) -> Self {
+        self.cfg.geometry = JobGeometry::paper(total_procs);
+        self
+    }
+
+    /// Set an explicit geometry.
+    pub fn geometry(mut self, geometry: JobGeometry) -> Self {
+        self.cfg.geometry = geometry;
+        self
+    }
+
+    /// Set the feature toggles.
+    pub fn features(mut self, features: Features) -> Self {
+        self.cfg.features = features;
+        self
+    }
+
+    /// Set the background tiering policy.
+    pub fn tiering(mut self, tiering: TieringConfig) -> Self {
+        self.cfg.tiering = tiering;
+        self
+    }
+
+    /// Set the write pipeline implementation.
+    pub fn write_pipeline(mut self, pipeline: WritePipeline) -> Self {
+        self.cfg.write_pipeline = pipeline;
+        self
+    }
+
+    /// Set the read pipeline implementation.
+    pub fn read_pipeline(mut self, pipeline: ReadPipeline) -> Self {
+        self.cfg.read_pipeline = pipeline;
+        self
+    }
+
+    /// Set the log chunk size.
+    pub fn chunk_size(mut self, bytes: u64) -> Self {
+        self.cfg.chunk_size = bytes;
+        self
+    }
+
+    /// Set the client segment size.
+    pub fn segment_size(mut self, bytes: u64) -> Self {
+        self.cfg.segment_size = bytes;
+        self
+    }
+
+    /// Set the transient-fault retry budget.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.cfg.retry = retry;
+        self
+    }
+
+    /// Install a deterministic fault-injection schedule.
+    pub fn fault(mut self, fault: FaultConfig) -> Self {
+        self.cfg.fault = Some(fault);
+        self
+    }
+
+    /// Toggle the DRAM cache layer.
+    pub fn enable_dram(mut self, on: bool) -> Self {
+        self.cfg.enable_dram = on;
+        self
+    }
+
+    /// Toggle the shared burst-buffer layer.
+    pub fn enable_bb(mut self, on: bool) -> Self {
+        self.cfg.enable_bb = on;
+        self
+    }
+
+    /// Toggle buddy replication of volatile-layer segments.
+    pub fn replicate_volatile(mut self, on: bool) -> Self {
+        self.cfg.replicate_volatile = on;
+        self
+    }
+
+    /// Finish: the assembled configuration.
+    pub fn build(self) -> UniviStorConfig {
+        self.cfg
     }
 }
 
@@ -271,6 +524,43 @@ mod tests {
         assert_eq!(g.node_of_rank(0), 0);
         assert_eq!(g.node_of_rank(31), 0);
         assert_eq!(g.node_of_rank(32), 1);
+    }
+
+    #[test]
+    fn tiering_defaults_are_off_and_sane() {
+        let t = TieringConfig::default();
+        assert!(!t.enabled, "tiering must default off (figure identity)");
+        assert!(TieringConfig::on().enabled);
+        for tier in [Tier::Dram, Tier::NodeLocal, Tier::SharedBurstBuffer] {
+            let w = t.watermarks(tier).expect("finite tiers have watermarks");
+            assert!(w.low < w.high && w.high <= 1.0);
+        }
+        assert!(t.watermarks(Tier::Pfs).is_none(), "the PFS never spills");
+        assert_eq!(UniviStorConfig::paper(64).tiering, t);
+    }
+
+    #[test]
+    fn builder_composes_typed_sections() {
+        let cfg = UniviStorConfig::builder()
+            .total_procs(128)
+            .tiering(TieringConfig::on())
+            .features(Features::all())
+            .replicate_volatile(true)
+            .build();
+        assert_eq!(cfg.geometry.total_procs(), 128);
+        assert!(cfg.tiering.enabled);
+        assert!(cfg.features.workflow);
+        assert!(cfg.replicate_volatile);
+        // A builder over an existing base only changes what it is told to.
+        let small = UniviStorConfig::test_small(2, 2)
+            .to_builder()
+            .tiering(TieringConfig {
+                drain_cadence_ops: 8,
+                ..TieringConfig::on()
+            })
+            .build();
+        assert_eq!(small.chunk_size, 256);
+        assert_eq!(small.tiering.drain_cadence_ops, 8);
     }
 
     #[test]

@@ -20,6 +20,7 @@ use crate::metadata::MetadataService;
 use crate::metrics::JobMetrics;
 use crate::placement::ChainSet;
 use crate::striping::{adaptive_plan, naive_plan, StripePlan};
+use crate::tiering::DrainLedger;
 use crate::va::{Tier, VirtualAddr};
 use std::collections::{HashMap, HashSet};
 use std::sync::RwLock;
@@ -48,6 +49,10 @@ pub struct FlushReceipt {
     /// Spans this flush could not move because primary and replica were
     /// both on failed nodes (degraded-mode accounting).
     pub lost: FlushReport,
+    /// Bytes this flush skipped because the background drain had already
+    /// copied them (and their records were still current) — the catch-up
+    /// saving. Always 0 without a resume ledger.
+    pub drained_ahead_bytes: u64,
 }
 
 /// Degraded-mode accounting of one flush: the spans skipped because no
@@ -80,6 +85,14 @@ pub struct FlushReport {
 /// `lustre` is locked exclusively only around the individual
 /// create/delete/write calls, so a long flush does not starve concurrent
 /// `lustre_read`s; segment gathering takes shared chain/metadata locks.
+///
+/// `resume` is the background drain's ledger for this file (see
+/// [`crate::tiering`]): spans whose ledger entry still matches the live
+/// record were already copied to `dest` and are skipped — the catch-up
+/// path that makes close-time flush cheap under a running daemon. The
+/// destination is then *not* recreated (it holds the drained bytes) and
+/// the ledger's striping plan is reused, with its last server range
+/// extended to cover growth since the plan was fixed.
 #[allow(clippy::too_many_arguments)]
 pub fn flush_file(
     metadata: &MetadataService,
@@ -92,20 +105,39 @@ pub fn flush_file(
     fid: u64,
     file_size: u64,
     dest: &str,
+    resume: Option<&DrainLedger>,
 ) -> SimResult<FlushReceipt> {
     if file_size == 0 {
         return Err(SimError::InvalidFlow("flush of empty file".into()));
     }
     let servers = cfg.geometry.total_servers();
     let osts = lustre.read().expect("lustre poisoned").ost_count();
-    let plan = if cfg.features.adaptive_striping {
-        adaptive_plan(file_size, servers, osts, cfg.alpha, cfg.cal.max_stripe_size)
-    } else {
-        naive_plan(file_size, servers, osts, cfg.cal.default_stripe_size)
+    // A ledger is only trustworthy while the destination it drained into
+    // still exists.
+    let resume = resume.filter(|_| lustre.read().expect("lustre poisoned").exists(dest));
+    let plan = match resume {
+        Some(ledger) => {
+            let mut plan = ledger.plan.clone();
+            // The file may have grown since the drain fixed the plan; the
+            // layout's last range is open-ended, so only the accounting
+            // ranges need stretching.
+            if let Some(last) = plan.server_ranges.last_mut() {
+                last.1 = last.1.max(file_size);
+            }
+            plan
+        }
+        None => {
+            if cfg.features.adaptive_striping {
+                adaptive_plan(file_size, servers, osts, cfg.alpha, cfg.cal.max_stripe_size)
+            } else {
+                naive_plan(file_size, servers, osts, cfg.cal.default_stripe_size)
+            }
+        }
     };
 
-    // (Re-)create the destination with the chosen layout.
-    {
+    // (Re-)create the destination with the chosen layout — unless a
+    // resume ledger vouches for the existing file's drained contents.
+    if resume.is_none() {
         let mut pfs = lustre.write().expect("lustre poisoned");
         if pfs.exists(dest) {
             pfs.delete(dest)?;
@@ -118,6 +150,7 @@ pub fn flush_file(
     let mut source_tiers: HashMap<Tier, u64> = HashMap::new();
     let mut revocations = 0u64;
     let mut lost = FlushReport::default();
+    let mut drained_ahead = 0u64;
 
     for (server, &(start, end)) in plan.server_ranges.iter().enumerate() {
         if end <= start {
@@ -137,6 +170,16 @@ pub fn flush_file(
                 continue;
             }
             let clip_len = clip_hi - clip_lo;
+            // Catch-up: the drain already copied this exact record's
+            // bytes to `dest`. Checked before the health split, so a
+            // drained span survives even when its source node has since
+            // failed.
+            if let Some(ledger) = resume {
+                if ledger.spans.get(&key.offset) == Some(&rec) {
+                    drained_ahead += clip_len;
+                    continue;
+                }
+            }
             let primary_node = cfg.geometry.node_of_rank(rec.client.rank as usize);
             // Prefer the primary; fall back to a replica on a healthy
             // node; with neither, the span is lost — skip it and account
@@ -172,9 +215,10 @@ pub fn flush_file(
     }
 
     let flushed: u64 = per_server_bytes.iter().sum();
-    if flushed + lost.lost_bytes != file_size {
+    if flushed + lost.lost_bytes + drained_ahead != file_size {
         return Err(SimError::InvalidFlow(format!(
-            "flush moved {flushed} of {file_size} bytes ({} lost to failures) — holes in '{dest}'?",
+            "flush moved {flushed} of {file_size} bytes ({} lost to failures, \
+             {drained_ahead} drained ahead) — holes in '{dest}'?",
             lost.lost_bytes
         )));
     }
@@ -191,6 +235,7 @@ pub fn flush_file(
         source_tier_bytes,
         lock_revocations: revocations,
         lost,
+        drained_ahead_bytes: drained_ahead,
     };
     if let Some(m) = metrics {
         m.record_flush(&receipt);
@@ -266,6 +311,7 @@ mod tests {
             1,
             size,
             "/pfs/f",
+            None,
         )
         .unwrap();
         assert_eq!(receipt.file_size, size);
@@ -298,6 +344,7 @@ mod tests {
             1,
             size,
             "/pfs/f",
+            None,
         )
         .unwrap();
         assert_eq!(r.per_server_bytes.iter().sum::<u64>(), size);
@@ -339,6 +386,7 @@ mod tests {
                 1,
                 size,
                 "/pfs/f",
+                None,
             )
             .unwrap();
             let whole = lustre.read().unwrap().read("/pfs/f", 0, size, 999).unwrap();
@@ -362,6 +410,7 @@ mod tests {
             1,
             size,
             "/pfs/f",
+            None,
         )
         .unwrap();
         // Flush again (e.g. the file was re-opened and appended — here
@@ -377,6 +426,7 @@ mod tests {
             1,
             size,
             "/pfs/f",
+            None,
         )
         .unwrap();
         assert_eq!(lustre.read().unwrap().file_size("/pfs/f").unwrap(), size);
@@ -398,6 +448,7 @@ mod tests {
             1,
             size + 64,
             "/pfs/f",
+            None,
         )
         .unwrap_err();
         assert!(matches!(err, SimError::InvalidFlow(_)));
@@ -423,6 +474,7 @@ mod tests {
             1,
             size,
             "/pfs/f",
+            None,
         )
         .unwrap();
         assert_eq!(r.lost.lost_bytes, size / 2);
@@ -466,6 +518,7 @@ mod tests {
             1,
             size,
             "/pfs/f",
+            None,
         )
         .unwrap_err();
         match err {
@@ -487,8 +540,212 @@ mod tests {
             1,
             size,
             "/pfs/f",
+            None,
         )
         .unwrap();
+    }
+
+    /// Build a drain ledger covering `fid`'s records in `[0, upto)`, as
+    /// if the background drain had copied them: a first full flush puts
+    /// the bytes on `dest` and fixes the plan, then the ledger remembers
+    /// the records.
+    fn ledger_after_flush(
+        md: &MetadataService,
+        chains: &ChainSet,
+        lustre: &RwLock<Lustre>,
+        cfg: &UniviStorConfig,
+        size: u64,
+        upto: u64,
+        dest: &str,
+    ) -> DrainLedger {
+        let receipt = flush_file(
+            md,
+            chains,
+            lustre,
+            cfg,
+            &HashSet::new(),
+            None,
+            None,
+            1,
+            size,
+            dest,
+            None,
+        )
+        .unwrap();
+        let (_, records) = md.lookup_range(1, 0, upto);
+        DrainLedger {
+            plan: receipt.plan,
+            spans: records
+                .into_iter()
+                .filter(|(k, _)| k.offset < upto)
+                .map(|(k, r)| (k.offset, r))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn resume_skips_drained_spans_and_accounts_them() {
+        let (md, chains, lustre, cfg) = setup();
+        let size = populate(&md, &chains, 4);
+        // Everything was drained ahead.
+        let ledger = ledger_after_flush(&md, &chains, &lustre, &cfg, size, size, "/pfs/f");
+        let m = JobMetrics::new();
+        let r = flush_file(
+            &md,
+            &chains,
+            &lustre,
+            &cfg,
+            &HashSet::new(),
+            Some(&m),
+            None,
+            1,
+            size,
+            "/pfs/f",
+            Some(&ledger),
+        )
+        .unwrap();
+        assert_eq!(r.drained_ahead_bytes, size);
+        assert_eq!(r.per_server_bytes.iter().sum::<u64>(), 0);
+        assert_eq!(
+            m.snapshot()
+                .counter_total("univistor_tiering_catchup_skipped_bytes_total"),
+            size
+        );
+        // The destination still reads back byte-identical.
+        let pfs = lustre.read().unwrap();
+        let whole = pfs.read("/pfs/f", 0, size, 999).unwrap();
+        for s in 0..(size / 64) {
+            assert!(
+                whole
+                    .slice(s * 64, 64)
+                    .content_eq(&Payload::pattern(s * 64, 64)),
+                "segment {s} corrupt after catch-up"
+            );
+        }
+    }
+
+    #[test]
+    fn resume_with_partial_ledger_flushes_only_the_rest() {
+        let (md, chains, lustre, cfg) = setup();
+        let size = populate(&md, &chains, 4);
+        // Only the first half was drained ahead.
+        let ledger = ledger_after_flush(&md, &chains, &lustre, &cfg, size, size / 2, "/pfs/f");
+        let r = flush_file(
+            &md,
+            &chains,
+            &lustre,
+            &cfg,
+            &HashSet::new(),
+            None,
+            None,
+            1,
+            size,
+            "/pfs/f",
+            Some(&ledger),
+        )
+        .unwrap();
+        assert_eq!(r.drained_ahead_bytes, size / 2);
+        assert_eq!(r.per_server_bytes.iter().sum::<u64>(), size / 2);
+        let whole = lustre.read().unwrap().read("/pfs/f", 0, size, 999).unwrap();
+        for s in 0..(size / 64) {
+            assert!(
+                whole
+                    .slice(s * 64, 64)
+                    .content_eq(&Payload::pattern(s * 64, 64)),
+                "segment {s} corrupt after partial catch-up"
+            );
+        }
+    }
+
+    #[test]
+    fn resume_ignores_stale_ledger_entries() {
+        let (md, chains, lustre, cfg) = setup();
+        let size = populate(&md, &chains, 4);
+        let mut ledger = ledger_after_flush(&md, &chains, &lustre, &cfg, size, size, "/pfs/f");
+        // One entry no longer matches the live record (as after an
+        // overwrite the invalidation hook missed): it must be re-flushed
+        // from the cache, not trusted.
+        let stale = ledger.spans.get_mut(&0).expect("span at 0");
+        stale.len = 32;
+        let r = flush_file(
+            &md,
+            &chains,
+            &lustre,
+            &cfg,
+            &HashSet::new(),
+            None,
+            None,
+            1,
+            size,
+            "/pfs/f",
+            Some(&ledger),
+        )
+        .unwrap();
+        assert_eq!(r.drained_ahead_bytes, size - 64);
+        assert_eq!(r.per_server_bytes.iter().sum::<u64>(), 64);
+    }
+
+    #[test]
+    fn drained_spans_survive_source_node_failure() {
+        let (md, chains, lustre, cfg) = setup();
+        let size = populate(&md, &chains, 2);
+        // The drain copied everything while all nodes were healthy; then
+        // node 0 (logical [0, 256), no replicas) died before close.
+        let ledger = ledger_after_flush(&md, &chains, &lustre, &cfg, size, size, "/pfs/f");
+        let failed: HashSet<usize> = [0].into_iter().collect();
+        let r = flush_file(
+            &md,
+            &chains,
+            &lustre,
+            &cfg,
+            &failed,
+            None,
+            None,
+            1,
+            size,
+            "/pfs/f",
+            Some(&ledger),
+        )
+        .unwrap();
+        // Nothing is lost: the drained copies stand in for the dead node.
+        assert_eq!(r.lost, FlushReport::default());
+        assert_eq!(r.drained_ahead_bytes, size);
+        let whole = lustre.read().unwrap().read("/pfs/f", 0, size, 999).unwrap();
+        for s in 0..(size / 64) {
+            assert!(
+                whole
+                    .slice(s * 64, 64)
+                    .content_eq(&Payload::pattern(s * 64, 64)),
+                "segment {s} corrupt after degraded catch-up"
+            );
+        }
+    }
+
+    #[test]
+    fn resume_without_destination_falls_back_to_full_flush() {
+        let (md, chains, lustre, cfg) = setup();
+        let size = populate(&md, &chains, 2);
+        let ledger = ledger_after_flush(&md, &chains, &lustre, &cfg, size, size, "/pfs/f");
+        // The destination vanished (e.g. an external delete): the ledger
+        // must be discarded, not trusted into a hole-ridden file.
+        lustre.write().unwrap().delete("/pfs/f").unwrap();
+        let r = flush_file(
+            &md,
+            &chains,
+            &lustre,
+            &cfg,
+            &HashSet::new(),
+            None,
+            None,
+            1,
+            size,
+            "/pfs/f",
+            Some(&ledger),
+        )
+        .unwrap();
+        assert_eq!(r.drained_ahead_bytes, 0);
+        assert_eq!(r.per_server_bytes.iter().sum::<u64>(), size);
+        assert_eq!(lustre.read().unwrap().file_size("/pfs/f").unwrap(), size);
     }
 
     #[test]
@@ -504,7 +761,8 @@ mod tests {
             None,
             1,
             0,
-            "/pfs/f"
+            "/pfs/f",
+            None
         )
         .is_err());
     }

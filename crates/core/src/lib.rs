@@ -24,6 +24,7 @@
 //! | [`metrics`] | —     | the job telemetry panel over `univistor-obs` |
 //! | [`fault`]  | —      | deterministic fault injection and retry with capped backoff |
 //! | [`repair`] | —      | online re-replication of segments degraded by node loss |
+//! | [`tiering`] | §7/Unimem | background watermark spill, continuous PFS drain, benefit/cost promotion |
 //! | [`error`]  | —      | contextual error type wrapping the substrate's `SimError` |
 //!
 //! The data plane is functional: every byte written through the driver is
@@ -45,17 +46,22 @@ pub mod repair;
 pub mod sched;
 pub mod server;
 pub mod striping;
+pub mod tiering;
 pub mod va;
 pub mod workflow;
 
-pub use config::{Features, JobGeometry, UniviStorConfig};
+pub use config::{
+    Features, JobGeometry, PromotionPolicy, TierWatermarks, TieringConfig, UniviStorConfig,
+    UniviStorConfigBuilder,
+};
 pub use driver::UniviStorDriver;
 pub use error::{Error, Result};
 pub use fault::{FaultConfig, FaultInjector, RetryPolicy};
-pub use flush::FlushReport;
+pub use flush::{FlushReceipt, FlushReport};
 pub use metadata::{ClientId, SegKey, SegmentRecord};
 pub use metrics::JobMetrics;
 pub use repair::RepairReport;
 pub use server::{JobStats, OpenRequest, UniviStorJob};
+pub use tiering::{TieringDaemon, TieringHandle, TieringPassReport, TieringStats};
 pub use univistor_obs::MetricsSnapshot;
 pub use va::{Tier, TierMap, VirtualAddr};

@@ -39,6 +39,16 @@
 //! | `univistor_flush_skipped_lost_bytes_total` | counter | — | bytes a degraded flush skipped because primary and replica were lost |
 //! | `univistor_repaired_segments_total` | counter | `role` | records re-protected by `rebuild_degraded` (`primary`/`replica`) |
 //! | `univistor_repaired_bytes_total` | counter | — | bytes copied onto healthy chains by repair |
+//! | `univistor_tiering_passes_total` | counter | — | background tiering passes run (all nodes) |
+//! | `univistor_tiering_spilled_segments_total` | counter | `tier` | segments spilled down a layer, by source tier |
+//! | `univistor_tiering_spilled_bytes_total` | counter | `tier` | bytes spilled down a layer, by source tier |
+//! | `univistor_tiering_drained_segments_total` | counter | — | cold segments copied ahead to the PFS by the drain phase |
+//! | `univistor_tiering_drained_bytes_total` | counter | — | bytes copied ahead to the PFS by the drain phase |
+//! | `univistor_tiering_promoted_segments_total` | counter | — | segments the benefit/cost policy promoted to the top layer |
+//! | `univistor_tiering_promoted_bytes_total` | counter | — | bytes moved up by promotions |
+//! | `univistor_tiering_heat_decays_total` | counter | — | periodic heat-counter halving ticks applied |
+//! | `univistor_tiering_paused` | gauge | — | 1 while the tiering engine is paused |
+//! | `univistor_tiering_catchup_skipped_bytes_total` | counter | — | bytes the close-time flush skipped because the daemon had drained them |
 //!
 //! [`UniviStorJob::metrics`](crate::server::UniviStorJob::metrics) snapshots
 //! the whole panel as a [`MetricsSnapshot`]; the legacy
@@ -156,6 +166,17 @@ pub struct JobMetrics {
     repaired_primary: Counter,
     repaired_replica: Counter,
     repaired_bytes: Counter,
+
+    tiering_passes: Counter,
+    tiering_spilled_segments: [Counter; 4],
+    tiering_spilled_bytes: [Counter; 4],
+    tiering_drained_segments: Counter,
+    tiering_drained_bytes: Counter,
+    tiering_promoted_segments: Counter,
+    tiering_promoted_bytes: Counter,
+    tiering_heat_decays: Counter,
+    tiering_paused: Gauge,
+    tiering_catchup_bytes: Counter,
 
     sched: SchedCounters,
 }
@@ -304,6 +325,46 @@ impl JobMetrics {
             "univistor_repaired_bytes_total",
             "bytes copied onto healthy chains by online repair",
         );
+        let tiering_passes = registry.counter_family(
+            "univistor_tiering_passes_total",
+            "background tiering passes run across all nodes",
+        );
+        let tiering_spilled_segments = registry.counter_family(
+            "univistor_tiering_spilled_segments_total",
+            "segments spilled down a layer by watermark pressure, by source tier",
+        );
+        let tiering_spilled_bytes = registry.counter_family(
+            "univistor_tiering_spilled_bytes_total",
+            "bytes spilled down a layer by watermark pressure, by source tier",
+        );
+        let tiering_drained_segments = registry.counter_family(
+            "univistor_tiering_drained_segments_total",
+            "cold segments copied ahead to the PFS by the drain phase",
+        );
+        let tiering_drained_bytes = registry.counter_family(
+            "univistor_tiering_drained_bytes_total",
+            "bytes copied ahead to the PFS by the drain phase",
+        );
+        let tiering_promoted_segments = registry.counter_family(
+            "univistor_tiering_promoted_segments_total",
+            "segments promoted to the top layer by the benefit/cost policy",
+        );
+        let tiering_promoted_bytes = registry.counter_family(
+            "univistor_tiering_promoted_bytes_total",
+            "bytes moved up by benefit/cost promotions",
+        );
+        let tiering_heat_decays = registry.counter_family(
+            "univistor_tiering_heat_decays_total",
+            "periodic heat-counter halving ticks applied",
+        );
+        let tiering_paused = registry.gauge_family(
+            "univistor_tiering_paused",
+            "1 while the tiering engine is paused",
+        );
+        let tiering_catchup = registry.counter_family(
+            "univistor_tiering_catchup_skipped_bytes_total",
+            "bytes the close-time flush skipped because the drain daemon had already copied them",
+        );
 
         let per_tier = |family: &univistor_obs::CounterFamily| -> [Counter; 4] {
             TIERS.map(|t| family.with(&[("tier", tier_label(t))]))
@@ -359,6 +420,16 @@ impl JobMetrics {
             repaired_primary: repaired.with(&[("role", "primary")]),
             repaired_replica: repaired.with(&[("role", "replica")]),
             repaired_bytes: repaired_bytes.with(&[]),
+            tiering_passes: tiering_passes.with(&[]),
+            tiering_spilled_segments: per_tier(&tiering_spilled_segments),
+            tiering_spilled_bytes: per_tier(&tiering_spilled_bytes),
+            tiering_drained_segments: tiering_drained_segments.with(&[]),
+            tiering_drained_bytes: tiering_drained_bytes.with(&[]),
+            tiering_promoted_segments: tiering_promoted_segments.with(&[]),
+            tiering_promoted_bytes: tiering_promoted_bytes.with(&[]),
+            tiering_heat_decays: tiering_heat_decays.with(&[]),
+            tiering_paused: tiering_paused.with(&[]),
+            tiering_catchup_bytes: tiering_catchup.with(&[]),
             sched: SchedCounters {
                 free_core: sched.with(&[("decision", "free_core")]),
                 stacked: sched.with(&[("decision", "stacked")]),
@@ -511,6 +582,43 @@ impl JobMetrics {
         }
         self.flush_revocations.add(receipt.lock_revocations);
         self.flush_skipped_lost_bytes.add(receipt.lost.lost_bytes);
+        self.tiering_catchup_bytes.add(receipt.drained_ahead_bytes);
+    }
+
+    /// One background tiering pass started on some node.
+    pub fn record_tiering_pass(&self) {
+        self.tiering_passes.inc();
+    }
+
+    /// One segment spilled down a layer; `tier` is the *source* tier it
+    /// left.
+    pub fn record_tiering_spill(&self, tier: Tier, len: u64) {
+        self.tiering_spilled_segments[tier_index(tier)].inc();
+        self.tiering_spilled_bytes[tier_index(tier)].add(len);
+    }
+
+    /// One cold segment copied ahead to the PFS by the drain phase.
+    pub fn record_tiering_drain(&self, len: u64) {
+        self.tiering_drained_segments.inc();
+        self.tiering_drained_bytes.add(len);
+    }
+
+    /// One segment promoted to the top layer by the benefit/cost policy
+    /// (pairs with [`Self::record_promotions`], which the legacy stats
+    /// view reads).
+    pub fn record_tiering_promotion(&self, len: u64) {
+        self.tiering_promoted_segments.inc();
+        self.tiering_promoted_bytes.add(len);
+    }
+
+    /// One periodic heat-halving tick applied.
+    pub fn record_tiering_decay(&self) {
+        self.tiering_heat_decays.inc();
+    }
+
+    /// Publish the engine's pause state.
+    pub fn set_tiering_paused(&self, paused: bool) {
+        self.tiering_paused.set(paused as i64);
     }
 
     /// Raw counter values backing the [`crate::server::JobStats`]
@@ -733,6 +841,7 @@ mod tests {
                 lost_segments: 1,
                 lost_bytes: 256,
             },
+            drained_ahead_bytes: 512,
         });
         m.flush_finished();
         let snap = m.snapshot();
@@ -754,6 +863,55 @@ mod tests {
             snap.counter("univistor_flush_skipped_lost_bytes_total", &[]),
             Some(256)
         );
+        assert_eq!(
+            snap.counter("univistor_tiering_catchup_skipped_bytes_total", &[]),
+            Some(512)
+        );
+    }
+
+    #[test]
+    fn tiering_families_record() {
+        let m = JobMetrics::new();
+        m.record_tiering_pass();
+        m.record_tiering_spill(Tier::Dram, 64);
+        m.record_tiering_spill(Tier::Dram, 64);
+        m.record_tiering_drain(128);
+        m.record_tiering_promotion(32);
+        m.record_tiering_decay();
+        m.set_tiering_paused(true);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter_total("univistor_tiering_passes_total"), 1);
+        assert_eq!(
+            snap.counter(
+                "univistor_tiering_spilled_segments_total",
+                &[("tier", "dram")]
+            ),
+            Some(2)
+        );
+        assert_eq!(
+            snap.counter("univistor_tiering_spilled_bytes_total", &[("tier", "dram")]),
+            Some(128)
+        );
+        assert_eq!(
+            snap.counter_total("univistor_tiering_drained_segments_total"),
+            1
+        );
+        assert_eq!(
+            snap.counter_total("univistor_tiering_drained_bytes_total"),
+            128
+        );
+        assert_eq!(
+            snap.counter_total("univistor_tiering_promoted_segments_total"),
+            1
+        );
+        assert_eq!(
+            snap.counter_total("univistor_tiering_promoted_bytes_total"),
+            32
+        );
+        assert_eq!(snap.counter_total("univistor_tiering_heat_decays_total"), 1);
+        assert_eq!(snap.gauge("univistor_tiering_paused", &[]), Some(1));
+        m.set_tiering_paused(false);
+        assert_eq!(m.snapshot().gauge("univistor_tiering_paused", &[]), Some(0));
     }
 
     #[test]

@@ -79,9 +79,19 @@ impl ProcChain {
 
     /// Append one segment, spilling to the first layer with room.
     pub fn append(&mut self, payload: Payload) -> SimResult<PlacedSegment> {
+        self.append_from(0, payload)
+    }
+
+    /// Append one segment considering only layers `min_layer` and below —
+    /// the background tiering controller's targeted placement: a spill
+    /// pass moving data *off* layer `l` appends from `l + 1`, so the copy
+    /// can never land back on the tier being relieved. `min_layer` is
+    /// clamped to the final (unbounded) layer.
+    pub fn append_from(&mut self, min_layer: usize, payload: Payload) -> SimResult<PlacedSegment> {
         let len = payload.len();
         let last = self.logs.len() - 1;
-        for (layer, log) in self.logs.iter_mut().enumerate() {
+        let first = min_layer.min(last);
+        for (layer, log) in self.logs.iter_mut().enumerate().skip(first) {
             if layer == last || log.fits(len) {
                 let addr = log.append(payload)?;
                 return Ok(PlacedSegment {
@@ -114,6 +124,22 @@ impl ProcChain {
             .enumerate()
             .map(|(i, l)| (self.tiers.tier(i), l.live_bytes()))
             .collect()
+    }
+
+    /// `(tier, live bytes, usable capacity)` per layer, in chain order —
+    /// the tiering controller's watermark probe. The final layer's
+    /// capacity saturates at `u64::MAX` (unbounded).
+    pub fn layer_usage(&self) -> Vec<(Tier, u64, u64)> {
+        self.logs
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (self.tiers.tier(i), l.live_bytes(), l.capacity()))
+            .collect()
+    }
+
+    /// Layers in the chain.
+    pub fn n_layers(&self) -> usize {
+        self.logs.len()
     }
 
     /// The tier a VA resides on.
@@ -174,6 +200,14 @@ impl ChainSet {
     /// True when no client owns a chain yet.
     pub fn is_empty(&self) -> bool {
         self.read_map().is_empty()
+    }
+
+    /// Every client owning a chain, sorted for deterministic iteration
+    /// (the tiering passes enumerate chains per node through this).
+    pub fn clients(&self) -> Vec<ClientId> {
+        let mut out: Vec<ClientId> = self.read_map().keys().copied().collect();
+        out.sort();
+        out
     }
 
     fn read_map(
@@ -238,6 +272,43 @@ impl ChainSet {
             // fault mid-run aborts (and rolls back) the whole batch,
             // mirroring a real mid-batch I/O error.
             let appended = match chain.append(payload) {
+                Ok(p) => match self.inject("chain_append", p.tier) {
+                    Ok(()) => Ok(p),
+                    Err(e) => {
+                        chain.release(p.va, p.len);
+                        Err(e)
+                    }
+                },
+                Err(e) => Err(e),
+            };
+            match appended {
+                Ok(p) => placed.push(p),
+                Err(e) => {
+                    for p in &placed {
+                        chain.release(p.va, p.len);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(placed)
+    }
+
+    /// [`append_many`](Self::append_many) restricted to layers `min_layer`
+    /// and below — the tiering controller's migration append. Same single
+    /// exclusive-lock acquisition, same per-piece fault instrumentation,
+    /// same full-batch rollback on error.
+    pub fn append_many_from(
+        &self,
+        client: ClientId,
+        min_layer: usize,
+        payloads: Vec<Payload>,
+    ) -> SimResult<Vec<PlacedSegment>> {
+        let chain = self.chain(client)?;
+        let mut chain = chain.write().expect("chain poisoned");
+        let mut placed = Vec::with_capacity(payloads.len());
+        for payload in payloads {
+            let appended = match chain.append_from(min_layer, payload) {
                 Ok(p) => match self.inject("chain_append", p.tier) {
                     Ok(()) => Ok(p),
                     Err(e) => {
@@ -630,6 +701,61 @@ mod tests {
             .is_err());
         // Every placement was rolled back: the chain holds no live bytes.
         assert_eq!(chains.live_bytes(), 0);
+    }
+
+    #[test]
+    fn append_from_skips_layers_above_the_floor() {
+        let mut chain = fig2_chain();
+        // Node-local has room, but a floor of layer 1 forces the BB.
+        let p = chain.append_from(1, Payload::pattern(0, 64)).unwrap();
+        assert_eq!(p.tier, Tier::SharedBurstBuffer);
+        // Floor past the last layer clamps to the PFS instead of panicking.
+        let p = chain.append_from(99, Payload::pattern(1, 64)).unwrap();
+        assert_eq!(p.tier, Tier::Pfs);
+        // Floor 0 is plain append: node-local is still free and is used.
+        let p = chain.append_from(0, Payload::pattern(2, 64)).unwrap();
+        assert_eq!(p.tier, Tier::NodeLocal);
+    }
+
+    #[test]
+    fn layer_usage_reports_live_and_capacity() {
+        let mut chain = fig2_chain();
+        for i in 0..3u64 {
+            chain.append(Payload::pattern(i, 64)).unwrap();
+        }
+        let usage = chain.layer_usage();
+        assert_eq!(chain.n_layers(), 3);
+        assert_eq!(usage[0], (Tier::NodeLocal, 128, 128));
+        assert_eq!(usage[1].0, Tier::SharedBurstBuffer);
+        assert_eq!(usage[1].1, 64);
+        assert_eq!(usage[1].2, 192);
+        assert_eq!(usage[2].0, Tier::Pfs);
+    }
+
+    #[test]
+    fn append_many_from_rolls_back_like_append_many() {
+        use crate::fault::{FaultConfig, FaultInjector};
+        let client = ClientId::new(0, 0);
+        let chains: ChainSet = [(client, fig2_chain())].into_iter().collect();
+        let placed = chains
+            .append_many_from(
+                client,
+                1,
+                vec![Payload::pattern(0, 64), Payload::pattern(1, 64)],
+            )
+            .unwrap();
+        assert!(placed.iter().all(|p| p.tier == Tier::SharedBurstBuffer));
+        // And under a certain transient fault, the batch rolls back whole.
+        let mut faulty: ChainSet = [(client, fig2_chain())].into_iter().collect();
+        faulty.set_injector(Arc::new(FaultInjector::new(FaultConfig {
+            seed: 7,
+            transient_prob: 1.0,
+            ..FaultConfig::default()
+        })));
+        assert!(faulty
+            .append_many_from(client, 1, vec![Payload::pattern(2, 64)])
+            .is_err());
+        assert_eq!(faulty.live_bytes(), 0);
     }
 
     #[test]

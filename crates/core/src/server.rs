@@ -34,6 +34,9 @@ use crate::metrics::{JobMetrics, ScalarValues, WriteLockCounts};
 use crate::placement::{healthy_buddy, layer_caps_with_node_local, ChainSet, ProcChain};
 use crate::read::{ReadService, ReadState, ReadTrace};
 use crate::repair::{repair_file, RepairReport};
+use crate::tiering::{
+    run_pass, PassCtx, PassOptions, TieringHandle, TieringPassReport, TieringState,
+};
 use crate::va::{Tier, VirtualAddr};
 use crate::workflow::StateFile;
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -132,6 +135,10 @@ pub struct UniviStorJob {
     /// Deterministic fault schedule (`cfg.fault`); `None` — the default —
     /// means the data path pays only this `Option` check.
     injector: Option<Arc<FaultInjector>>,
+    /// Background tiering engine state (drain ledgers, pass gates,
+    /// lifetime counters). With tiering disabled the write path pays one
+    /// relaxed atomic load against it.
+    tiering: TieringState,
 }
 
 /// Builder for one open call, created by [`UniviStorJob::open_file`].
@@ -252,6 +259,7 @@ impl UniviStorJob {
             state_file: StateFile::new(),
             metrics,
             injector,
+            tiering: TieringState::default(),
         }
     }
 
@@ -300,10 +308,17 @@ impl UniviStorJob {
             self.cfg.geometry.total_procs(),
         );
         all.into_iter()
-            .filter(|(tier, _)| match tier {
-                Tier::Dram => self.cfg.enable_dram,
-                Tier::SharedBurstBuffer => self.cfg.enable_bb,
-                _ => true,
+            .filter(|(tier, cap)| {
+                let enabled = match tier {
+                    Tier::Dram => self.cfg.enable_dram,
+                    Tier::SharedBurstBuffer => self.cfg.enable_bb,
+                    _ => true,
+                };
+                // A layer too small to hold one log chunk (e.g. a
+                // zero-capacity tier in the calibration) is dropped
+                // rather than poisoning chain construction; the PFS
+                // layer's unbounded capacity always stays.
+                enabled && (*cap == u64::MAX || *cap >= self.cfg.chunk_size)
             })
             .collect()
     }
@@ -449,9 +464,23 @@ impl UniviStorJob {
         self.ensure_chain(client)?;
         let node = self.cfg.geometry.node_of_rank(client.rank as usize);
         match self.cfg.write_pipeline {
-            WritePipeline::Batched => self.write_batched(client, fid, node, offset, payload),
-            WritePipeline::PerPiece => self.write_per_piece(client, fid, node, offset, payload),
+            WritePipeline::Batched => self.write_batched(client, fid, node, offset, payload)?,
+            WritePipeline::PerPiece => self.write_per_piece(client, fid, node, offset, payload)?,
         }
+        // The write superseded any drained-ahead copies it overlapped
+        // (one relaxed load when no ledger exists — the disabled-daemon
+        // fast path).
+        self.tiering.invalidate(fid, offset, offset + len);
+        let t = &self.cfg.tiering;
+        if t.enabled && t.drain_cadence_ops > 0 && !self.tiering.paused.load(Ordering::Acquire) {
+            let ops = self.tiering.write_ops.fetch_add(1, Ordering::Relaxed) + 1;
+            if ops.is_multiple_of(t.drain_cadence_ops) {
+                // Piggybacked pass on the writer's node; its errors never
+                // fail the write that triggered it.
+                let _ = self.tiering_pass(node, &PassOptions::full(&self.cfg));
+            }
+        }
+        Ok(())
     }
 
     /// Split `[offset, offset + len)` on the logical segment grid, so
@@ -916,88 +945,93 @@ impl UniviStorJob {
     /// every segment read at least `min_reads` times from a slower layer
     /// into its producer's DRAM log, space permitting. Returns the number
     /// of segments promoted.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use `job.tiering()` — `run_pass()` applies the configured benefit/cost \
+                promotion policy, `drain_now()`/`pause()`/`resume()`/`stats()` cover the rest"
+    )]
     pub fn promote_hot(&self, min_reads: u32) -> Result<usize> {
-        self.promote_hot_impl(min_reads)
-            .map_err(|e| Error::new("promote", e).with_tier(Tier::Dram))
+        // Thin shim over the tiering engine's promotion phase: the old
+        // `min_reads` threshold with no benefit floor, run on every node.
+        let opts = PassOptions::promote_only(crate::config::PromotionPolicy {
+            min_reads,
+            min_benefit: 0.0,
+        });
+        let report = self.tiering_pass_all(&opts)?;
+        Ok(report.promoted_segments as usize)
     }
 
-    fn promote_hot_impl(&self, min_reads: u32) -> SimResult<usize> {
-        let hot: Vec<SegKey> = self
-            .heat
-            .iter()
-            .flat_map(|shard| {
-                let shard = shard.read().expect("heat poisoned");
-                shard
-                    .iter()
-                    .filter(|(_, n)| n.load(Ordering::Relaxed) >= min_reads)
-                    .map(|(k, _)| *k)
-                    .collect::<Vec<_>>()
-            })
-            .collect();
-        let mut promoted = 0usize;
-        for key in hot {
-            let record = match self.metadata.get(&key) {
-                (_, Some(r)) => r,
-                (_, None) => continue, // overwritten since it was read
-            };
-            // Copy the segment into the producer chain's DRAM log.
-            let Ok((payload, tier)) = self.chains.read_at(record.client, record.va, record.len)
-            else {
-                continue; // producer never connected here
-            };
-            if tier == Tier::Dram {
-                continue; // already on the fastest layer
-            }
-            // A coalesced record can exceed one log chunk, so copy it in
-            // chunk-sized sub-appends — the record stays one span only if
-            // every copy lands on DRAM at address-adjacent VAs; otherwise
-            // undo and leave the segment where it is.
-            let chunk = self.cfg.chunk_size;
-            let mut sub = Vec::with_capacity((record.len / chunk) as usize + 1);
-            let mut pos = 0u64;
-            while pos < record.len {
-                let n = chunk.min(record.len - pos);
-                sub.push(payload.slice(pos, n));
-                pos += n;
-            }
-            let placements = self.chains.append_many(record.client, sub)?;
-            let one_dram_span = placements.iter().all(|p| p.tier == Tier::Dram)
-                && placements
-                    .windows(2)
-                    .all(|w| w[0].va.0 + w[0].len == w[1].va.0);
-            if !one_dram_span {
-                // No DRAM space (or a fragmented copy) after all: undo.
-                for p in &placements {
-                    self.chains.release(record.client, p.va, p.len);
-                }
-                continue;
-            }
-            let placed = placements[0];
-            let mut new_record = record;
-            new_record.va = placed.va;
-            let node = self.cfg.geometry.node_of_rank(record.client.rank as usize);
-            // Swap the index entry only if nobody overwrote it meanwhile;
-            // on success the old primary span is dead and released here.
-            // The replica copy is unchanged and stays referenced by the
-            // new record, so it must NOT be released.
-            if self
-                .metadata
-                .replace_if_current(key, &record, new_record, node)
-                .1
-            {
-                self.chains.release(record.client, record.va, record.len);
-                self.heat_shard(&key)
-                    .write()
-                    .expect("heat poisoned")
-                    .remove(&key);
-                self.metrics.record_promotions(1);
-                promoted += 1;
-            } else {
-                // Lost the race: drop the DRAM copy instead.
-                self.chains.release(record.client, placed.va, record.len);
-            }
+    /// The tiering control surface: pause/resume the background engine,
+    /// force a drain, run a full pass, read lifetime stats.
+    pub fn tiering(&self) -> TieringHandle<'_> {
+        TieringHandle::new(self)
+    }
+
+    /// The engine's shared state (ledgers, gates, counters).
+    pub(crate) fn tiering_state(&self) -> &TieringState {
+        &self.tiering
+    }
+
+    /// Run one tiering pass for `node` with the given phase selection.
+    pub(crate) fn tiering_pass(
+        &self,
+        node: usize,
+        opts: &PassOptions,
+    ) -> Result<TieringPassReport> {
+        let files: Vec<(u64, String, u64, bool)> = {
+            let files = self.files.read().expect("file table poisoned");
+            files
+                .iter()
+                .filter(|(_, e)| e.written.load(Ordering::Relaxed))
+                .map(|(path, e)| {
+                    (
+                        e.fid,
+                        path.clone(),
+                        e.size.load(Ordering::Relaxed),
+                        e.open_count > 0,
+                    )
+                })
+                .collect()
+        };
+        let failed = self
+            .failed_nodes
+            .read()
+            .expect("failed set poisoned")
+            .clone();
+        let is_open = |fid: u64| {
+            self.files
+                .read()
+                .expect("file table poisoned")
+                .values()
+                .any(|e| e.fid == fid && e.open_count > 0)
+        };
+        let ctx = PassCtx {
+            cfg: &self.cfg,
+            metadata: &self.metadata,
+            chains: &self.chains,
+            lustre: &self.lustre,
+            heat: &self.heat,
+            metrics: &self.metrics,
+            state: &self.tiering,
+            files,
+            failed,
+            is_open: &is_open,
+        };
+        run_pass(&ctx, node, opts).map_err(|e| Error::new("tiering", e))
+    }
+
+    /// Run one tiering pass on every node, aggregating the reports.
+    pub(crate) fn tiering_pass_all(&self, opts: &PassOptions) -> Result<TieringPassReport> {
+        let mut total = TieringPassReport {
+            // `absorb` ANDs this flag: the aggregate counts as skipped
+            // only when every node's pass was.
+            skipped: true,
+            ..TieringPassReport::default()
+        };
+        for node in 0..self.cfg.geometry.nodes {
+            total.absorb(&self.tiering_pass(node, opts)?);
         }
-        Ok(promoted)
+        Ok(total)
     }
 
     /// Close a file on behalf of `represents` ranks. The last close of a
@@ -1062,6 +1096,16 @@ impl UniviStorJob {
             .read()
             .expect("failed set poisoned")
             .clone();
+        // Serialize against the tiering daemon on this file: a pass that
+        // holds the gate finishes (or is skipped) before the flush reads
+        // the chains, so no drain write or migration release races the
+        // flush. Passes only `try_lock` the gate, so this cannot
+        // deadlock.
+        let gate = self.tiering.fid_gate(fid);
+        let _gate = gate.lock().expect("tiering gate poisoned");
+        // Consume the drain ledger: spans the daemon already copied (and
+        // that are still current) turn the flush into a catch-up.
+        let ledger = self.tiering.take_ledger(fid);
         // No job-wide lock during the flush: other clients keep writing
         // and reading other files while this one drains to Lustre.
         let result = flush_file(
@@ -1075,9 +1119,13 @@ impl UniviStorJob {
             fid,
             size,
             path,
+            ledger.as_ref(),
         );
         self.metrics.flush_finished();
         let receipt = result?;
+        self.tiering
+            .catchup_skipped_bytes
+            .fetch_add(receipt.drained_ahead_bytes, Ordering::Relaxed);
         if self.cfg.features.workflow {
             self.state_file.end_flush(path);
         }

@@ -1,0 +1,1139 @@
+//! Background tiering: the always-on, watermark-driven migration engine
+//! that turns the paper's one-shot close-time flush (§7) into continuous
+//! placement management. One logical actor per node runs three phases:
+//!
+//! 1. **Spill** — when a tier's live bytes cross its high watermark the
+//!    coldest segments move down the chain (DRAM → node-local → burst
+//!    buffer) until the low watermark is reached, so incoming writes keep
+//!    landing on the fastest layer.
+//! 2. **Drain** — cold coalesced spans of open files are copied ahead to
+//!    their Lustre destination while writes proceed. Each copied span is
+//!    remembered in a [`DrainLedger`]; the close-time flush then skips
+//!    every span whose ledger entry still matches the live index, making
+//!    close a fast catch-up instead of a stop-the-world event.
+//! 3. **Promote** — hot segments (per the sharded heat counters) move up
+//!    to the chain's top layer when the Unimem-style benefit/cost score
+//!    `heat × (c_src − c_dst) / (c_src + c_dst)` clears the policy's
+//!    threshold.
+//!
+//! All migrations reuse the repair path's discipline
+//! ([`crate::repair::place_copy`]): chunk-split sub-appends, a single
+//! contiguous same-layer span or full rollback, a metadata
+//! compare-and-swap, and release of exactly one copy. Drain additionally
+//! guards against A-B-A overwrites with a file-generation check, and a
+//! per-file gate serializes drain/flush so a close never reads spans the
+//! daemon is concurrently retiring.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
+
+use crate::config::{PromotionPolicy, UniviStorConfig};
+use crate::error::Result;
+use crate::fault::with_retries;
+use crate::metadata::{ClientId, MetadataService, SegKey, SegmentRecord};
+use crate::metrics::JobMetrics;
+use crate::placement::ChainSet;
+use crate::server::UniviStorJob;
+use crate::striping::{adaptive_plan, naive_plan, StripePlan};
+use crate::va::Tier;
+use univistor_pfs::Lustre;
+use univistor_sim::SimResult;
+
+/// Relative access cost of a tier, after Unimem's NVM/DRAM cost model:
+/// larger is slower. The absolute scale cancels out of the promotion
+/// score; only the ratios matter.
+pub fn tier_cost(tier: Tier) -> f64 {
+    match tier {
+        Tier::Dram => 1.0,
+        Tier::NodeLocal => 4.0,
+        Tier::SharedBurstBuffer => 8.0,
+        Tier::Pfs => 32.0,
+    }
+}
+
+/// Unimem-style benefit/cost score of moving a segment with `heat`
+/// recorded reads from `from` to `to`: expected read savings
+/// (`heat × (c_src − c_dst)`) normalized by the migration cost
+/// (`c_src + c_dst` — one read from the source plus one write to the
+/// destination). Positive only for upward moves.
+pub fn promotion_score(heat: u32, from: Tier, to: Tier) -> f64 {
+    let c_src = tier_cost(from);
+    let c_dst = tier_cost(to);
+    heat as f64 * (c_src - c_dst) / (c_src + c_dst)
+}
+
+/// Spans of one open file already copied ahead to the PFS destination.
+///
+/// `spans` maps segment offset → the exact [`SegmentRecord`] whose bytes
+/// were copied; the close-time flush skips a span only when the live
+/// index still holds that identical record (overwrites bump the file
+/// generation and invalidate entries eagerly, so a stale copy is never
+/// trusted). `plan` is the striping decision the destination was created
+/// with — the catch-up flush reuses it so drained and flushed bytes agree
+/// on layout and server attribution.
+#[derive(Debug, Clone)]
+pub struct DrainLedger {
+    /// Striping plan the destination file was created with.
+    pub(crate) plan: StripePlan,
+    /// Offset → record copied to the destination.
+    pub(crate) spans: BTreeMap<u64, SegmentRecord>,
+}
+
+/// Counters of one tiering pass on one node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TieringPassReport {
+    /// Segments spilled down a layer.
+    pub spilled_segments: u64,
+    /// Bytes spilled down a layer.
+    pub spilled_bytes: u64,
+    /// Cold segments copied ahead to the PFS.
+    pub drained_segments: u64,
+    /// Bytes copied ahead to the PFS.
+    pub drained_bytes: u64,
+    /// Segments promoted to the chain's top layer.
+    pub promoted_segments: u64,
+    /// Heat-counter entries halved by this pass's decay tick.
+    pub heat_entries_decayed: u64,
+    /// True when the pass was skipped because another pass for the same
+    /// node was already running.
+    pub skipped: bool,
+}
+
+impl TieringPassReport {
+    /// Fold `other` into `self` (multi-node aggregation).
+    pub fn absorb(&mut self, other: &TieringPassReport) {
+        self.spilled_segments += other.spilled_segments;
+        self.spilled_bytes += other.spilled_bytes;
+        self.drained_segments += other.drained_segments;
+        self.drained_bytes += other.drained_bytes;
+        self.promoted_segments += other.promoted_segments;
+        self.heat_entries_decayed += other.heat_entries_decayed;
+        self.skipped &= other.skipped;
+    }
+}
+
+/// Lifetime totals of the tiering engine, via [`TieringHandle::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TieringStats {
+    /// Passes run (manual and automatic, all nodes).
+    pub passes: u64,
+    /// Segments spilled down a layer.
+    pub spilled_segments: u64,
+    /// Bytes spilled down a layer.
+    pub spilled_bytes: u64,
+    /// Cold segments copied ahead to the PFS.
+    pub drained_segments: u64,
+    /// Bytes copied ahead to the PFS.
+    pub drained_bytes: u64,
+    /// Segments promoted to the chain's top layer.
+    pub promoted_segments: u64,
+    /// Heat-decay ticks applied.
+    pub heat_decays: u64,
+    /// Bytes the close-time flush skipped because the daemon had already
+    /// drained them.
+    pub catchup_skipped_bytes: u64,
+    /// Drained spans currently remembered (not yet consumed by a flush
+    /// or invalidated by an overwrite).
+    pub ledger_spans: u64,
+    /// True while the engine is paused.
+    pub paused: bool,
+}
+
+/// Which phases one invocation of the pass runs, and under which
+/// promotion policy.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PassOptions {
+    pub spill: bool,
+    pub drain: bool,
+    pub promote: bool,
+    pub decay: bool,
+    pub policy: PromotionPolicy,
+}
+
+impl PassOptions {
+    /// Everything the daemon runs on its cadence, policy from `cfg`.
+    pub(crate) fn full(cfg: &UniviStorConfig) -> Self {
+        PassOptions {
+            spill: true,
+            drain: true,
+            promote: true,
+            decay: true,
+            policy: cfg.tiering.promotion,
+        }
+    }
+
+    /// Drain only — [`TieringHandle::drain_now`].
+    pub(crate) fn drain_only() -> Self {
+        PassOptions {
+            spill: false,
+            drain: true,
+            promote: false,
+            decay: false,
+            policy: PromotionPolicy::default(),
+        }
+    }
+
+    /// Promotion only, under an explicit policy — the deprecated
+    /// `promote_hot` shim.
+    pub(crate) fn promote_only(policy: PromotionPolicy) -> Self {
+        PassOptions {
+            spill: false,
+            drain: false,
+            promote: true,
+            decay: false,
+            policy,
+        }
+    }
+}
+
+/// Shared mutable state of the tiering engine, owned by the job.
+#[derive(Debug, Default)]
+pub(crate) struct TieringState {
+    /// Pause flag ([`TieringHandle::pause`]); automatic passes check it,
+    /// explicit `drain_now`/`promote_hot` calls do not.
+    pub(crate) paused: AtomicBool,
+    /// Writes observed since open, for the drain cadence.
+    pub(crate) write_ops: AtomicU64,
+    /// Monotonic pass tick driving periodic heat decay.
+    pass_clock: AtomicU64,
+    /// Total spans across all drain ledgers — the write path's zero-cost
+    /// fast check before taking the ledger lock.
+    ledger_spans: AtomicU64,
+    /// fid → drained-ahead spans.
+    drain: Mutex<HashMap<u64, DrainLedger>>,
+    /// (fid, node) → file generation at the last drain sweep that saw
+    /// that node's whole cold set. While the generation is unchanged
+    /// (every write, punch, and CAS bumps it) the node's pass skips the
+    /// file's index scan outright, so steady-state passes over a quiet
+    /// file cost O(1). Keyed per node because each pass only sweeps the
+    /// records its own node holds. Heat decay clears the memo, since
+    /// cooling can make spans drainable without touching the generation.
+    drain_gen: Mutex<HashMap<(u64, usize), u64>>,
+    /// fid → gate serializing drain passes against the close-time flush.
+    gates: Mutex<HashMap<u64, Arc<Mutex<()>>>>,
+    /// node → gate ensuring at most one pass per node at a time.
+    node_gates: Mutex<HashMap<usize, Arc<Mutex<()>>>>,
+    // Lifetime counters (see TieringStats).
+    passes: AtomicU64,
+    spilled_segments: AtomicU64,
+    spilled_bytes: AtomicU64,
+    drained_segments: AtomicU64,
+    drained_bytes: AtomicU64,
+    promoted_segments: AtomicU64,
+    heat_decays: AtomicU64,
+    pub(crate) catchup_skipped_bytes: AtomicU64,
+}
+
+impl TieringState {
+    /// The per-file gate. A pass `try_lock`s it (skipping the file when
+    /// contended); the close-time flush blocks on it so no drain write
+    /// or migration release races the flush's chain reads.
+    pub(crate) fn fid_gate(&self, fid: u64) -> Arc<Mutex<()>> {
+        self.gates
+            .lock()
+            .expect("tiering gates poisoned")
+            .entry(fid)
+            .or_default()
+            .clone()
+    }
+
+    fn node_gate(&self, node: usize) -> Arc<Mutex<()>> {
+        self.node_gates
+            .lock()
+            .expect("tiering node gates poisoned")
+            .entry(node)
+            .or_default()
+            .clone()
+    }
+
+    /// Drop ledger entries overlapping `[lo, hi)` of `fid`. Called by the
+    /// write path after every committed write; the leading atomic check
+    /// keeps the disabled-daemon cost at one relaxed load.
+    pub(crate) fn invalidate(&self, fid: u64, lo: u64, hi: u64) {
+        if self.ledger_spans.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let mut drain = self.drain.lock().expect("drain ledger poisoned");
+        let Some(ledger) = drain.get_mut(&fid) else {
+            return;
+        };
+        // A span starting left of `lo` can still reach into the window.
+        let scan_from = ledger
+            .spans
+            .range(..lo)
+            .next_back()
+            .map(|(o, _)| *o)
+            .unwrap_or(lo);
+        let doomed: Vec<u64> = ledger
+            .spans
+            .range(scan_from..hi)
+            .filter(|(o, r)| **o + r.len > lo)
+            .map(|(o, _)| *o)
+            .collect();
+        for offset in doomed {
+            ledger.spans.remove(&offset);
+            self.ledger_spans.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Consume `fid`'s ledger for a catch-up flush. Call with the file's
+    /// gate held.
+    pub(crate) fn take_ledger(&self, fid: u64) -> Option<DrainLedger> {
+        if self.ledger_spans.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        self.drain_gen
+            .lock()
+            .expect("drain memo poisoned")
+            .retain(|(f, _), _| *f != fid);
+        let taken = self
+            .drain
+            .lock()
+            .expect("drain ledger poisoned")
+            .remove(&fid)?;
+        self.ledger_spans
+            .fetch_sub(taken.spans.len() as u64, Ordering::AcqRel);
+        Some(taken)
+    }
+
+    /// Current totals.
+    pub(crate) fn stats(&self) -> TieringStats {
+        TieringStats {
+            passes: self.passes.load(Ordering::Relaxed),
+            spilled_segments: self.spilled_segments.load(Ordering::Relaxed),
+            spilled_bytes: self.spilled_bytes.load(Ordering::Relaxed),
+            drained_segments: self.drained_segments.load(Ordering::Relaxed),
+            drained_bytes: self.drained_bytes.load(Ordering::Relaxed),
+            promoted_segments: self.promoted_segments.load(Ordering::Relaxed),
+            heat_decays: self.heat_decays.load(Ordering::Relaxed),
+            catchup_skipped_bytes: self.catchup_skipped_bytes.load(Ordering::Relaxed),
+            ledger_spans: self.ledger_spans.load(Ordering::Relaxed),
+            paused: self.paused.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A heat shard: offset-partitioned read counters (mirrors the job's
+/// layout).
+pub(crate) type HeatShard = RwLock<HashMap<SegKey, AtomicU32>>;
+
+/// One open or written file a pass may touch: fid, destination path,
+/// logical size, and whether a writer still has it open.
+pub(crate) type PassFile = (u64, String, u64, bool);
+
+/// One file's share of a pass's index scan: index into [`PassCtx::files`],
+/// the file generation captured just before the scan, and this node's
+/// records (offset-sorted).
+type ScannedFile = (usize, u64, Vec<(SegKey, SegmentRecord)>);
+
+/// Everything one pass needs, borrowed from the job.
+pub(crate) struct PassCtx<'a> {
+    pub cfg: &'a UniviStorConfig,
+    pub metadata: &'a MetadataService,
+    pub chains: &'a ChainSet,
+    pub lustre: &'a RwLock<Lustre>,
+    pub heat: &'a [HeatShard],
+    pub metrics: &'a JobMetrics,
+    pub state: &'a TieringState,
+    /// Written files visible to this pass.
+    pub files: Vec<PassFile>,
+    /// Nodes currently failed (drain sources must be healthy).
+    pub failed: HashSet<usize>,
+    /// Live open-state query against the job's file table. The `files`
+    /// snapshot goes stale the moment a close completes; the drain
+    /// re-checks through this while holding the file's gate (the close
+    /// decrements the open count *before* taking the gate, so a
+    /// gate-held true cannot be overtaken by a flush).
+    pub is_open: &'a (dyn Fn(u64) -> bool + Sync),
+}
+
+/// Run one tiering pass for `node`. Returns a skipped report when a pass
+/// for the same node is already running.
+pub(crate) fn run_pass(
+    ctx: &PassCtx<'_>,
+    node: usize,
+    opts: &PassOptions,
+) -> SimResult<TieringPassReport> {
+    let mut report = TieringPassReport::default();
+    let gate = ctx.state.node_gate(node);
+    let Ok(_node_gate) = gate.try_lock() else {
+        report.skipped = true;
+        return Ok(report);
+    };
+    ctx.state.passes.fetch_add(1, Ordering::Relaxed);
+    ctx.metrics.record_tiering_pass();
+
+    if opts.decay {
+        let every = ctx.cfg.tiering.heat_decay_passes;
+        if every > 0 {
+            let tick = ctx.state.pass_clock.fetch_add(1, Ordering::Relaxed) + 1;
+            if tick.is_multiple_of(every) {
+                report.heat_entries_decayed = decay_heat(ctx.heat);
+                ctx.state.heat_decays.fetch_add(1, Ordering::Relaxed);
+                ctx.metrics.record_tiering_decay();
+                // Cooling can turn hot spans drainable without bumping
+                // any file generation, so the skip memo is void.
+                ctx.state
+                    .drain_gen
+                    .lock()
+                    .expect("drain memo poisoned")
+                    .clear();
+            }
+        }
+    }
+
+    // One index scan shared by the spill and drain phases: this node's
+    // records per file, offset-sorted (lookup_range returns them
+    // sorted), with the file generation captured just before the scan.
+    // The scan is the expensive part of a pass — it clones records and
+    // briefly locks every metadata partition — so two gates keep the
+    // steady state cheap: spill scans only when some layer on this node
+    // is actually over its high watermark, and drain scans a file only
+    // when its generation moved since the last complete sweep.
+    let mut mine: Vec<ScannedFile> = Vec::new();
+    let spill_needed = opts.spill && spill_pressure(ctx, node);
+    if spill_needed || opts.drain {
+        for (i, (fid, _path, size, open)) in ctx.files.iter().enumerate() {
+            if *size == 0 {
+                continue;
+            }
+            let gen = ctx.metadata.generation(*fid);
+            let drain_wants = opts.drain
+                && *open
+                && ctx
+                    .state
+                    .drain_gen
+                    .lock()
+                    .expect("drain memo poisoned")
+                    .get(&(*fid, node))
+                    != Some(&gen);
+            if !spill_needed && !drain_wants {
+                continue;
+            }
+            let (_, records) = ctx.metadata.lookup_range(*fid, 0, *size);
+            let owned: Vec<_> = records
+                .into_iter()
+                .filter(|(_, r)| ctx.cfg.geometry.node_of_rank(r.client.rank as usize) == node)
+                .collect();
+            if !owned.is_empty() {
+                mine.push((i, gen, owned));
+            }
+        }
+    }
+
+    if spill_needed {
+        spill_phase(ctx, node, &mine, &mut report)?;
+    }
+    if opts.drain {
+        drain_phase(ctx, node, &mine, &mut report)?;
+    }
+    if opts.promote {
+        promote_phase(ctx, node, &opts.policy, &mut report)?;
+    }
+    Ok(report)
+}
+
+/// Halve every heat counter, dropping entries that reach zero. Returns
+/// the number of entries halved.
+fn decay_heat(heat: &[HeatShard]) -> u64 {
+    let mut decayed = 0u64;
+    for shard in heat {
+        let mut shard = shard.write().expect("heat poisoned");
+        shard.retain(|_, n| {
+            decayed += 1;
+            let halved = n.load(Ordering::Relaxed) / 2;
+            n.store(halved, Ordering::Relaxed);
+            halved > 0
+        });
+    }
+    decayed
+}
+
+/// Read `key`'s current heat (0 when never read or already decayed out).
+fn heat_of(ctx: &PassCtx<'_>, key: &SegKey) -> u32 {
+    let shard = &ctx.heat[ctx.metadata.partition_of(key.offset) % ctx.heat.len()];
+    shard
+        .read()
+        .expect("heat poisoned")
+        .get(key)
+        .map(|n| n.load(Ordering::Relaxed))
+        .unwrap_or(0)
+}
+
+/// True when any capped layer of any of `node`'s chains sits above its
+/// high watermark — the cheap pre-check that decides whether the spill
+/// phase needs the index scan at all.
+fn spill_pressure(ctx: &PassCtx<'_>, node: usize) -> bool {
+    ctx.chains
+        .clients()
+        .into_iter()
+        .filter(|c| ctx.cfg.geometry.node_of_rank(c.rank as usize) == node)
+        .any(|client| {
+            let Ok(usage) = ctx.chains.with(client, |c| c.layer_usage()) else {
+                return false;
+            };
+            usage
+                .iter()
+                .take(usage.len().saturating_sub(1))
+                .any(|&(tier, live, cap)| {
+                    cap != u64::MAX
+                        && ctx
+                            .cfg
+                            .tiering
+                            .watermarks(tier)
+                            .is_some_and(|wm| live > (cap as f64 * wm.high) as u64)
+                })
+        })
+}
+
+/// Spill phase: walk each of the node's chains top-down; any layer above
+/// its high watermark sheds its coldest segments to the next layer down
+/// until it reaches the low watermark (or the pass batch runs out). The
+/// trigger is strictly greater-than, so a tier sitting exactly at the
+/// watermark is left alone.
+fn spill_phase(
+    ctx: &PassCtx<'_>,
+    node: usize,
+    mine: &[ScannedFile],
+    report: &mut TieringPassReport,
+) -> SimResult<()> {
+    let mut budget = ctx.cfg.tiering.spill_batch;
+    let clients: Vec<ClientId> = ctx
+        .chains
+        .clients()
+        .into_iter()
+        .filter(|c| ctx.cfg.geometry.node_of_rank(c.rank as usize) == node)
+        .collect();
+    for client in clients {
+        if budget == 0 {
+            break;
+        }
+        let Ok((usage, tiers)) = ctx
+            .chains
+            .with(client, |c| (c.layer_usage(), c.tiers().clone()))
+        else {
+            continue;
+        };
+        // This client's segments with their current layer, for cold-first
+        // candidate selection.
+        let pool: Vec<(SegKey, SegmentRecord, usize, u32)> = mine
+            .iter()
+            .flat_map(|(_, _, records)| records.iter())
+            .filter(|(_, r)| r.client == client)
+            .map(|(k, r)| (*k, *r, tiers.decode(r.va).0, heat_of(ctx, k)))
+            .collect();
+        // The last layer (PFS) has nowhere to spill to.
+        let spillable = usage.len().saturating_sub(1);
+        for (layer, &(tier, live, cap)) in usage.iter().enumerate().take(spillable) {
+            if cap == u64::MAX {
+                continue;
+            }
+            let Some(wm) = ctx.cfg.tiering.watermarks(tier) else {
+                continue;
+            };
+            let high = (cap as f64 * wm.high) as u64;
+            if live <= high {
+                continue;
+            }
+            let floor = (cap as f64 * wm.low) as u64;
+            let mut need = live.saturating_sub(floor);
+            let mut cands: Vec<&(SegKey, SegmentRecord, usize, u32)> =
+                pool.iter().filter(|(_, _, l, _)| *l == layer).collect();
+            cands.sort_by_key(|(k, _, _, h)| (*h, k.offset));
+            for (key, scanned, _, _) in cands {
+                if need == 0 || budget == 0 {
+                    break;
+                }
+                let gate = ctx.state.fid_gate(key.fid);
+                let Ok(_gate) = gate.try_lock() else {
+                    continue; // a flush owns this file right now
+                };
+                // Refresh: the snapshot may be stale by now.
+                let (_, Some(current)) = ctx.metadata.get(key) else {
+                    continue;
+                };
+                if current != *scanned || tiers.decode(current.va).0 != layer {
+                    continue; // overwritten or already migrated
+                }
+                if migrate_record(ctx, *key, current, layer + 1, None)? {
+                    need = need.saturating_sub(current.len);
+                    budget -= 1;
+                    report.spilled_segments += 1;
+                    report.spilled_bytes += current.len;
+                    ctx.state.spilled_segments.fetch_add(1, Ordering::Relaxed);
+                    ctx.state
+                        .spilled_bytes
+                        .fetch_add(current.len, Ordering::Relaxed);
+                    ctx.metrics.record_tiering_spill(tier, current.len);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Drain phase: copy cold spans of *open* files ahead to their Lustre
+/// destination and remember them in the file's ledger. Only files still
+/// open for write are drained — after the close-time flush the
+/// destination holds the finished file, and recreating it here would
+/// clobber it.
+fn drain_phase(
+    ctx: &PassCtx<'_>,
+    node: usize,
+    mine: &[ScannedFile],
+    report: &mut TieringPassReport,
+) -> SimResult<()> {
+    for (file_idx, scan_gen, records) in mine {
+        let (fid, path, size, open) = &ctx.files[*file_idx];
+        if !*open || *size == 0 {
+            continue;
+        }
+        // The scan may have run for the spill phase's sake; skip files
+        // the memo says are already fully swept at this generation.
+        if ctx
+            .state
+            .drain_gen
+            .lock()
+            .expect("drain memo poisoned")
+            .get(&(*fid, node))
+            == Some(scan_gen)
+        {
+            continue;
+        }
+        let gate = ctx.state.fid_gate(*fid);
+        let Ok(_gate) = gate.try_lock() else {
+            continue; // close-time flush in progress
+        };
+        // The snapshot's open flag may have gone stale while this pass
+        // was running: a close-time flush could have already finished
+        // and draining now would recreate (and so wipe) the flushed
+        // destination. Re-check under the gate, which the close cannot
+        // overtake.
+        if !(ctx.is_open)(*fid) {
+            continue;
+        }
+        // Cold, healthy, not already drained; offset order up to the
+        // batch size. The heat and failed-node filters run outside the
+        // ledger mutex, and the already-drained check holds it only in
+        // short bursts — the write path's invalidation waits on the same
+        // mutex, and a long scan here would stall every concurrent
+        // write. A span invalidated between bursts is simply picked up
+        // again by a later pass.
+        let cold: Vec<&(SegKey, SegmentRecord)> = records
+            .iter()
+            .filter(|(k, r)| {
+                heat_of(ctx, k) <= ctx.cfg.tiering.cold_max_reads
+                    && !ctx
+                        .failed
+                        .contains(&ctx.cfg.geometry.node_of_rank(r.client.rank as usize))
+            })
+            .collect();
+        let mut candidates: Vec<&(SegKey, SegmentRecord)> = Vec::new();
+        for burst in cold.chunks(64) {
+            if candidates.len() >= ctx.cfg.tiering.drain_batch {
+                break;
+            }
+            let drain = ctx.state.drain.lock().expect("drain ledger poisoned");
+            let ledger = drain.get(fid);
+            for entry @ (k, r) in burst {
+                if candidates.len() >= ctx.cfg.tiering.drain_batch {
+                    break;
+                }
+                if ledger.is_none_or(|l| l.spans.get(&k.offset) != Some(r)) {
+                    candidates.push(entry);
+                }
+            }
+        }
+        // A sweep that saw the whole cold set (not cut off by the batch
+        // budget) and leaves nothing behind is recorded in the memo, so
+        // later passes skip this file until its generation moves.
+        let mut clean = candidates.len() < ctx.cfg.tiering.drain_batch;
+        if candidates.is_empty() {
+            if clean {
+                ctx.state
+                    .drain_gen
+                    .lock()
+                    .expect("drain memo poisoned")
+                    .insert((*fid, node), *scan_gen);
+            }
+            continue;
+        }
+        // First drain of this file: fix the striping plan and create the
+        // destination, exactly as the flush would.
+        let plan = {
+            let existing = ctx
+                .state
+                .drain
+                .lock()
+                .expect("drain ledger poisoned")
+                .get(fid)
+                .map(|l| l.plan.clone());
+            match existing {
+                Some(p) => p,
+                None => {
+                    let servers = ctx.cfg.geometry.total_servers();
+                    let osts = ctx.lustre.read().expect("lustre poisoned").ost_count();
+                    let plan = if ctx.cfg.features.adaptive_striping {
+                        adaptive_plan(
+                            *size,
+                            servers,
+                            osts,
+                            ctx.cfg.alpha,
+                            ctx.cfg.cal.max_stripe_size,
+                        )
+                    } else {
+                        naive_plan(*size, servers, osts, ctx.cfg.cal.default_stripe_size)
+                    };
+                    {
+                        let mut pfs = ctx.lustre.write().expect("lustre poisoned");
+                        if pfs.exists(path) {
+                            pfs.delete(path)?;
+                        }
+                        pfs.create(path, plan.layout.clone())?;
+                    }
+                    ctx.state
+                        .drain
+                        .lock()
+                        .expect("drain ledger poisoned")
+                        .insert(
+                            *fid,
+                            DrainLedger {
+                                plan: plan.clone(),
+                                spans: BTreeMap::new(),
+                            },
+                        );
+                    plan
+                }
+            }
+        };
+        for (key, _) in candidates {
+            // Generation fence: any write/punch/CAS on this file between
+            // here and the ledger commit bumps the generation, and the
+            // copy is discarded instead of remembered.
+            let gen0 = ctx.metadata.generation(*fid);
+            let (_, Some(rec)) = ctx.metadata.get(key) else {
+                continue;
+            };
+            let Ok((payload, _)) = with_retries(&ctx.cfg.retry, Some(ctx.metrics), || {
+                ctx.chains.read_at(rec.client, rec.va, rec.len)
+            }) else {
+                clean = false; // transient failure: retry on a later pass
+                continue;
+            };
+            if write_span_to_dest(ctx, path, &plan, key.offset, rec.len, &payload).is_err() {
+                clean = false;
+                continue;
+            }
+            let mut drain = ctx.state.drain.lock().expect("drain ledger poisoned");
+            let Some(ledger) = drain.get_mut(fid) else {
+                continue;
+            };
+            if ctx.metadata.generation(*fid) == gen0 {
+                if ledger.spans.insert(key.offset, rec).is_none() {
+                    ctx.state.ledger_spans.fetch_add(1, Ordering::AcqRel);
+                }
+                report.drained_segments += 1;
+                report.drained_bytes += rec.len;
+                ctx.state.drained_segments.fetch_add(1, Ordering::Relaxed);
+                ctx.state
+                    .drained_bytes
+                    .fetch_add(rec.len, Ordering::Relaxed);
+                ctx.metrics.record_tiering_drain(rec.len);
+            } else if ledger.spans.remove(&key.offset).is_some() {
+                // A racing write landed mid-copy; the bytes on the PFS
+                // may be stale, so forget them.
+                ctx.state.ledger_spans.fetch_sub(1, Ordering::AcqRel);
+            }
+        }
+        if clean {
+            ctx.state
+                .drain_gen
+                .lock()
+                .expect("drain memo poisoned")
+                .insert((*fid, node), *scan_gen);
+        }
+    }
+    Ok(())
+}
+
+/// Write one span's bytes to the destination file, split along the
+/// plan's per-server ranges so server attribution matches the flush
+/// (the last range is extended to cover growth past the plan's size).
+fn write_span_to_dest(
+    ctx: &PassCtx<'_>,
+    dest: &str,
+    plan: &StripePlan,
+    lo: u64,
+    len: u64,
+    payload: &univistor_sim::Payload,
+) -> SimResult<()> {
+    let hi = lo + len;
+    let last = plan.server_ranges.len() - 1;
+    for (server, &(start, end)) in plan.server_ranges.iter().enumerate() {
+        let end = if server == last { end.max(hi) } else { end };
+        let clip_lo = lo.max(start);
+        let clip_hi = hi.min(end);
+        if clip_hi <= clip_lo {
+            continue;
+        }
+        let part = payload.slice(clip_lo - lo, clip_hi - clip_lo);
+        ctx.lustre
+            .write()
+            .expect("lustre poisoned")
+            .write(dest, clip_lo, part, server as u64)?;
+    }
+    Ok(())
+}
+
+/// Promotion phase: move segments whose heat and benefit/cost score
+/// clear the policy up to the chain's top layer. Segments already on
+/// layer 0 are skipped (which also covers DRAM-less chains, where layer
+/// 0 is the node-local log).
+fn promote_phase(
+    ctx: &PassCtx<'_>,
+    node: usize,
+    policy: &PromotionPolicy,
+    report: &mut TieringPassReport,
+) -> SimResult<()> {
+    let hot: Vec<(SegKey, u32)> = ctx
+        .heat
+        .iter()
+        .flat_map(|shard| {
+            let shard = shard.read().expect("heat poisoned");
+            shard
+                .iter()
+                .map(|(k, n)| (*k, n.load(Ordering::Relaxed)))
+                .filter(|(_, n)| *n >= policy.min_reads)
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    for (key, heat) in hot {
+        let gate = ctx.state.fid_gate(key.fid);
+        let Ok(_gate) = gate.try_lock() else {
+            continue;
+        };
+        let (_, Some(rec)) = ctx.metadata.get(&key) else {
+            continue; // overwritten since it was read
+        };
+        if ctx.cfg.geometry.node_of_rank(rec.client.rank as usize) != node {
+            continue;
+        }
+        let Ok(tiers) = ctx.chains.with(rec.client, |c| c.tiers().clone()) else {
+            continue; // producer never connected here
+        };
+        let layer = tiers.decode(rec.va).0;
+        if layer == 0 {
+            continue; // already on the fastest layer
+        }
+        if promotion_score(heat, tiers.tier(layer), tiers.tier(0)) < policy.min_benefit {
+            continue; // not worth the migration bytes
+        }
+        if migrate_record(ctx, key, rec, 0, Some(0))? {
+            report.promoted_segments += 1;
+            ctx.state.promoted_segments.fetch_add(1, Ordering::Relaxed);
+            ctx.metrics.record_promotions(1);
+            ctx.metrics.record_tiering_promotion(rec.len);
+        }
+    }
+    Ok(())
+}
+
+/// Copy `rec`'s bytes into its producer chain at or below `min_layer`
+/// and swap the index entry — the repair path's discipline: chunk-split
+/// sub-appends, one contiguous same-layer span (landing exactly on
+/// `require_layer` when given) or full rollback, metadata CAS, then
+/// release of exactly one copy. Returns whether the migration committed;
+/// failures (no space, faults, lost races) leave the segment where it
+/// was.
+fn migrate_record(
+    ctx: &PassCtx<'_>,
+    key: SegKey,
+    rec: SegmentRecord,
+    min_layer: usize,
+    require_layer: Option<usize>,
+) -> SimResult<bool> {
+    let Ok((payload, _)) = with_retries(&ctx.cfg.retry, Some(ctx.metrics), || {
+        ctx.chains.read_at(rec.client, rec.va, rec.len)
+    }) else {
+        return Ok(false);
+    };
+    let chunk = ctx.cfg.chunk_size;
+    let mut sub = Vec::with_capacity((rec.len / chunk) as usize + 1);
+    let mut pos = 0u64;
+    while pos < rec.len {
+        let n = chunk.min(rec.len - pos);
+        sub.push(payload.slice(pos, n));
+        pos += n;
+    }
+    let placements = match with_retries(&ctx.cfg.retry, Some(ctx.metrics), || {
+        ctx.chains
+            .append_many_from(rec.client, min_layer, sub.clone())
+    }) {
+        Ok(p) => p,
+        Err(_) => return Ok(false), // out of space or fault budget
+    };
+    let first_layer = placements.first().map(|p| p.layer);
+    let one_span = require_layer.is_none_or(|r| first_layer == Some(r))
+        && placements.iter().all(|p| Some(p.layer) == first_layer)
+        && placements
+            .windows(2)
+            .all(|w| w[0].va.0 + w[0].len == w[1].va.0);
+    if !one_span {
+        for p in &placements {
+            ctx.chains.release(rec.client, p.va, p.len);
+        }
+        return Ok(false);
+    }
+    let placed = placements[0];
+    let new_record = SegmentRecord {
+        va: placed.va,
+        ..rec
+    };
+    let node = ctx.cfg.geometry.node_of_rank(rec.client.rank as usize);
+    // Swap only if nobody overwrote the entry meanwhile; the replica (if
+    // any) stays referenced by the new record and is never touched.
+    if ctx
+        .metadata
+        .replace_if_current(key, &rec, new_record, node)
+        .1
+    {
+        ctx.chains.release(rec.client, rec.va, rec.len);
+        Ok(true)
+    } else {
+        ctx.chains.release(rec.client, placed.va, rec.len);
+        Ok(false)
+    }
+}
+
+/// Control surface of the tiering engine, from [`UniviStorJob::tiering`].
+///
+/// `pause`/`resume` gate the *automatic* passes (daemon ticks and the
+/// write-cadence trigger); the explicit [`TieringHandle::drain_now`] and
+/// [`TieringHandle::run_pass`] calls always run.
+#[derive(Clone, Copy)]
+pub struct TieringHandle<'a> {
+    job: &'a UniviStorJob,
+}
+
+impl<'a> TieringHandle<'a> {
+    pub(crate) fn new(job: &'a UniviStorJob) -> Self {
+        TieringHandle { job }
+    }
+
+    /// Stop automatic passes until [`TieringHandle::resume`].
+    pub fn pause(&self) {
+        self.job
+            .tiering_state()
+            .paused
+            .store(true, Ordering::Release);
+        self.job.metrics_handle().set_tiering_paused(true);
+    }
+
+    /// Re-enable automatic passes.
+    pub fn resume(&self) {
+        self.job
+            .tiering_state()
+            .paused
+            .store(false, Ordering::Release);
+        self.job.metrics_handle().set_tiering_paused(false);
+    }
+
+    /// True while paused.
+    pub fn is_paused(&self) -> bool {
+        self.job.tiering_state().paused.load(Ordering::Acquire)
+    }
+
+    /// Run a drain-only pass on every node right now (even while paused
+    /// or with the daemon disabled), aggregating the per-node reports.
+    pub fn drain_now(&self) -> Result<TieringPassReport> {
+        self.job.tiering_pass_all(&PassOptions::drain_only())
+    }
+
+    /// Run one full pass (spill + drain + promote + decay tick) on every
+    /// node right now.
+    pub fn run_pass(&self) -> Result<TieringPassReport> {
+        self.job
+            .tiering_pass_all(&PassOptions::full(self.job.cfg()))
+    }
+
+    /// Lifetime totals.
+    pub fn stats(&self) -> TieringStats {
+        self.job.tiering_state().stats()
+    }
+}
+
+/// The background actors: one OS thread per node, each running the full
+/// pass every `daemon_interval_ms` until the daemon is stopped or
+/// dropped. With tiering disabled in the job's config, `spawn` starts no
+/// threads at all.
+#[derive(Debug)]
+pub struct TieringDaemon {
+    stop: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl TieringDaemon {
+    /// Start the per-node actors for `job`.
+    pub fn spawn(job: Arc<UniviStorJob>) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::new();
+        if job.cfg().tiering.enabled {
+            for node in 0..job.cfg().geometry.nodes {
+                let job = Arc::clone(&job);
+                let stop = Arc::clone(&stop);
+                threads.push(std::thread::spawn(move || {
+                    let interval = Duration::from_millis(job.cfg().tiering.daemon_interval_ms);
+                    let opts = PassOptions::full(job.cfg());
+                    while !stop.load(Ordering::Acquire) {
+                        if !job.tiering_state().paused.load(Ordering::Acquire) {
+                            // Pass errors are not fatal to the daemon:
+                            // the next tick retries from fresh state.
+                            let _ = job.tiering_pass(node, &opts);
+                        }
+                        std::thread::park_timeout(interval);
+                    }
+                }));
+            }
+        }
+        TieringDaemon { stop, threads }
+    }
+
+    /// Number of actor threads running (0 when tiering is disabled).
+    pub fn actors(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Signal all actors and wait for them to exit.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        for t in self.threads.drain(..) {
+            t.thread().unpark();
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TieringDaemon {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_costs_are_monotonic_down_the_hierarchy() {
+        assert!(tier_cost(Tier::Dram) < tier_cost(Tier::NodeLocal));
+        assert!(tier_cost(Tier::NodeLocal) < tier_cost(Tier::SharedBurstBuffer));
+        assert!(tier_cost(Tier::SharedBurstBuffer) < tier_cost(Tier::Pfs));
+    }
+
+    #[test]
+    fn promotion_score_rewards_heat_and_distance() {
+        // Hotter segments score higher.
+        assert!(
+            promotion_score(8, Tier::Pfs, Tier::Dram) > promotion_score(2, Tier::Pfs, Tier::Dram)
+        );
+        // Farther sources score higher at equal heat.
+        assert!(
+            promotion_score(4, Tier::Pfs, Tier::Dram)
+                > promotion_score(4, Tier::NodeLocal, Tier::Dram)
+        );
+        // Downward "promotion" is negative.
+        assert!(promotion_score(4, Tier::Dram, Tier::Pfs) < 0.0);
+        // Zero heat is never worth moving.
+        assert_eq!(promotion_score(0, Tier::Pfs, Tier::Dram), 0.0);
+    }
+
+    #[test]
+    fn ledger_invalidation_drops_overlaps_only() {
+        let state = TieringState::default();
+        let rec = |len| SegmentRecord {
+            client: ClientId::new(0, 0),
+            va: crate::va::VirtualAddr(0),
+            len,
+            replica: None,
+        };
+        {
+            let mut drain = state.drain.lock().unwrap();
+            let mut spans = BTreeMap::new();
+            spans.insert(0u64, rec(64));
+            spans.insert(64u64, rec(64));
+            spans.insert(128u64, rec(64));
+            drain.insert(
+                7,
+                DrainLedger {
+                    plan: naive_plan(192, 2, 4, 64),
+                    spans,
+                },
+            );
+        }
+        state.ledger_spans.store(3, Ordering::Release);
+
+        // A write over [60, 70) straddles the first two spans.
+        state.invalidate(7, 60, 70);
+        let drain = state.drain.lock().unwrap();
+        let spans = &drain.get(&7).unwrap().spans;
+        assert!(!spans.contains_key(&0));
+        assert!(!spans.contains_key(&64));
+        assert!(spans.contains_key(&128));
+        assert_eq!(state.ledger_spans.load(Ordering::Acquire), 1);
+    }
+
+    #[test]
+    fn take_ledger_consumes_and_accounts() {
+        let state = TieringState::default();
+        assert!(state.take_ledger(9).is_none());
+        {
+            let mut drain = state.drain.lock().unwrap();
+            let mut spans = BTreeMap::new();
+            spans.insert(
+                0u64,
+                SegmentRecord {
+                    client: ClientId::new(0, 0),
+                    va: crate::va::VirtualAddr(0),
+                    len: 32,
+                    replica: None,
+                },
+            );
+            drain.insert(
+                9,
+                DrainLedger {
+                    plan: naive_plan(32, 1, 1, 32),
+                    spans,
+                },
+            );
+        }
+        state.ledger_spans.store(1, Ordering::Release);
+        let taken = state.take_ledger(9).expect("ledger present");
+        assert_eq!(taken.spans.len(), 1);
+        assert_eq!(state.ledger_spans.load(Ordering::Acquire), 0);
+        assert!(state.take_ledger(9).is_none());
+    }
+
+    #[test]
+    fn heat_decay_halves_and_evicts() {
+        let shards: Vec<HeatShard> = (0..2).map(|_| RwLock::new(HashMap::new())).collect();
+        let key = |o| SegKey { fid: 1, offset: o };
+        shards[0].write().unwrap().insert(key(0), AtomicU32::new(5));
+        shards[1]
+            .write()
+            .unwrap()
+            .insert(key(64), AtomicU32::new(1));
+        assert_eq!(decay_heat(&shards), 2);
+        assert_eq!(
+            shards[0].read().unwrap()[&key(0)].load(Ordering::Relaxed),
+            2
+        );
+        // 1 / 2 == 0: the entry is evicted entirely.
+        assert!(shards[1].read().unwrap().get(&key(64)).is_none());
+    }
+}

@@ -198,6 +198,7 @@ fn readahead_cuts_metadata_rpcs_on_sequential_scans() {
 /// corrupt the index: after the dust settles, the last write wins, the
 /// index balances the live log bytes, and promotion still works.
 #[test]
+#[allow(deprecated)]
 fn promote_hot_races_concurrent_overwrites() {
     let job = Arc::new(UniviStorJob::new(UniviStorConfig::test_small(2, 2)));
     job.open_file("/h")

@@ -15,7 +15,10 @@
 //!   particles back, each process taking a contiguous slab;
 //! * **IOR-style generator** ([`ior`]) — a parametric
 //!   transfer/block/segment benchmark with segmented and strided
-//!   interleavings, for studies beyond the paper's fixed shapes.
+//!   interleavings, for studies beyond the paper's fixed shapes;
+//! * **Tier-pressure stream** ([`pressure`]) — a checkpoint-style
+//!   append stream sized past the fast tiers' watermarks, for the
+//!   background-tiering benchmarks.
 //!
 //! Each generator offers a **rank-loop** executor (drives the driver one
 //! rank at a time — no threads, used at paper scale up to 8192 processes
@@ -32,6 +35,7 @@ pub mod exec;
 pub mod ior;
 pub mod layout;
 pub mod micro;
+pub mod pressure;
 pub mod vpic;
 
 pub use bdcats::BdCatsIo;
@@ -39,4 +43,5 @@ pub use exec::for_each_rank;
 pub use ior::{AccessPattern, IorConfig};
 pub use layout::VpicLayout;
 pub use micro::MicroIo;
+pub use pressure::TierPressure;
 pub use vpic::VpicIo;

@@ -1,0 +1,192 @@
+//! Tier-pressure streaming workload: every rank appends a fresh batch of
+//! records each round, so the file grows monotonically and the fast
+//! tiers — sized well below the stream by the caller's calibration —
+//! stay above their watermarks for the whole run. This is the write side
+//! of a checkpoint stream: nothing is overwritten and nothing is read
+//! back until the end, which makes every span cold and eligible for the
+//! background drain. The generator is driver-agnostic like its siblings;
+//! benches time [`TierPressure::write_round`] per round and close
+//! separately so flush/catch-up costs are attributable.
+
+use univistor_mpi::driver::{FileHandle, FsDriver, OpenContext, OpenMode};
+use univistor_mpi::Hints;
+use univistor_sim::payload::splitmix64;
+use univistor_sim::{Payload, SimResult};
+
+/// The streaming pressure workload: `rounds` rounds in which each of
+/// `procs` ranks writes `slots_per_proc` records of `record` bytes into
+/// a fresh region of one shared file.
+#[derive(Debug, Clone, Copy)]
+pub struct TierPressure {
+    /// Participating ranks.
+    pub procs: usize,
+    /// Records each rank writes per round.
+    pub slots_per_proc: u64,
+    /// Bytes per record.
+    pub record: u64,
+    /// Rounds (checkpoint steps); each appends a fresh region.
+    pub rounds: u64,
+}
+
+impl TierPressure {
+    /// Bytes one round adds to the file.
+    pub fn round_bytes(&self) -> u64 {
+        self.procs as u64 * self.slots_per_proc * self.record
+    }
+
+    /// Final file size after all rounds.
+    pub fn file_size(&self) -> u64 {
+        self.rounds * self.round_bytes()
+    }
+
+    /// Offset of `rank`'s `slot`-th record in `round` (round-major, then
+    /// rank-major: each round is a contiguous region, each rank owns a
+    /// contiguous share of it).
+    pub fn offset(&self, round: u64, rank: usize, slot: u64) -> u64 {
+        round * self.round_bytes()
+            + rank as u64 * self.slots_per_proc * self.record
+            + slot * self.record
+    }
+
+    /// Deterministic content of that record.
+    pub fn payload(&self, round: u64, rank: usize, slot: u64) -> Payload {
+        let mix = round
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((rank as u64) << 20)
+            .wrapping_add(slot);
+        Payload::pattern(splitmix64(PRESSURE_SEED ^ mix), self.record)
+    }
+
+    fn ctx(&self, path: &str, mode: OpenMode, rank: usize) -> OpenContext {
+        OpenContext {
+            path: path.to_string(),
+            mode,
+            rank,
+            nprocs: self.procs,
+            hints: Hints::new(),
+        }
+    }
+
+    /// Open the shared file on all ranks.
+    pub fn open_all(
+        &self,
+        driver: &dyn FsDriver,
+        path: &str,
+        mode: OpenMode,
+    ) -> SimResult<Vec<FileHandle>> {
+        (0..self.procs)
+            .map(|rank| driver.open(&self.ctx(path, mode, rank)))
+            .collect()
+    }
+
+    /// Close on all ranks (the last close triggers the driver's flush).
+    pub fn close_all(&self, driver: &dyn FsDriver, handles: &[FileHandle]) -> SimResult<()> {
+        for (rank, h) in handles.iter().enumerate() {
+            driver.close(h, rank)?;
+        }
+        Ok(())
+    }
+
+    /// Write one round: every rank fills its share of the round's region.
+    pub fn write_round(
+        &self,
+        driver: &dyn FsDriver,
+        handles: &[FileHandle],
+        round: u64,
+    ) -> SimResult<()> {
+        for (rank, handle) in handles.iter().enumerate() {
+            for slot in 0..self.slots_per_proc {
+                driver.write_at(
+                    handle,
+                    rank,
+                    self.offset(round, rank, slot),
+                    self.payload(round, rank, slot),
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The whole stream: open, all rounds, close.
+    pub fn write_phase(&self, driver: &dyn FsDriver, path: &str) -> SimResult<()> {
+        let handles = self.open_all(driver, path, OpenMode::Write)?;
+        for round in 0..self.rounds {
+            self.write_round(driver, &handles, round)?;
+        }
+        self.close_all(driver, &handles)
+    }
+
+    /// Read every record back and check it against the pattern.
+    pub fn verify(&self, driver: &dyn FsDriver, path: &str) -> SimResult<()> {
+        let handles = self.open_all(driver, path, OpenMode::Read)?;
+        for round in 0..self.rounds {
+            for (rank, handle) in handles.iter().enumerate() {
+                for slot in 0..self.slots_per_proc {
+                    let off = self.offset(round, rank, slot);
+                    let got = driver.read_at(handle, rank, off, self.record)?;
+                    assert!(
+                        got.content_eq(&self.payload(round, rank, slot)),
+                        "round {round} rank {rank} slot {slot}: corrupt record"
+                    );
+                }
+            }
+        }
+        self.close_all(driver, &handles)
+    }
+}
+
+/// Base seed of the pressure stream's deterministic content.
+const PRESSURE_SEED: u64 = 0x7143_5052_3355_u64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use univistor_mpi::MemDriver;
+
+    #[test]
+    fn regions_tile_the_file_without_overlap() {
+        let w = TierPressure {
+            procs: 3,
+            slots_per_proc: 4,
+            record: 64,
+            rounds: 2,
+        };
+        assert_eq!(w.round_bytes(), 768);
+        assert_eq!(w.file_size(), 1536);
+        // Consecutive (round, rank, slot) triples are contiguous.
+        let mut expect = 0;
+        for round in 0..2 {
+            for rank in 0..3 {
+                for slot in 0..4 {
+                    assert_eq!(w.offset(round, rank, slot), expect);
+                    expect += 64;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stream_verifies_against_mem_driver() {
+        let d = MemDriver::new();
+        let w = TierPressure {
+            procs: 4,
+            slots_per_proc: 4,
+            record: 256,
+            rounds: 3,
+        };
+        w.write_phase(&d, "/pressure").unwrap();
+        w.verify(&d, "/pressure").unwrap();
+    }
+
+    #[test]
+    fn payloads_differ_across_rounds_and_ranks() {
+        let w = TierPressure {
+            procs: 2,
+            slots_per_proc: 1,
+            record: 64,
+            rounds: 2,
+        };
+        assert_ne!(w.payload(0, 0, 0), w.payload(1, 0, 0));
+        assert_ne!(w.payload(0, 0, 0), w.payload(0, 1, 0));
+    }
+}

@@ -114,6 +114,7 @@ fn main() {
         Payload::pattern(43, 256 << 10),
     )
     .expect("overwrite");
+    #[allow(deprecated)]
     let promoted = job.promote_hot(3).expect("promotion");
     println!(
         "promoted {promoted} hot segments to DRAM: [{}]",

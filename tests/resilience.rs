@@ -148,6 +148,7 @@ fn overwrite_releases_replica_space_too() {
 }
 
 #[test]
+#[allow(deprecated)]
 fn hot_segments_get_promoted_to_dram() {
     // 1 node × 1 proc, 512 B DRAM log (2 × 256 B chunks), spill to BB.
     let mut cfg = UniviStorConfig::test_small(1, 1);
@@ -209,6 +210,7 @@ fn hot_segments_get_promoted_to_dram() {
 }
 
 #[test]
+#[allow(deprecated)]
 fn promotion_skips_already_fast_segments() {
     let mut cfg = UniviStorConfig::test_small(1, 1);
     cfg.cal.dram_cache_capacity_per_node = 4096;
