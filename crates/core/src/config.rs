@@ -93,6 +93,23 @@ pub enum ReadPipeline {
     PerRecord,
 }
 
+/// Which server-core runtime [`UniviStorJob`](crate::server::UniviStorJob)
+/// executes its data plane on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Runtime {
+    /// Shared-state implementation: one set of library structures
+    /// (`ChainSet`, `MetadataService`, heat shards) guarded by sharded
+    /// `RwLock`s, mutated in place by the calling thread.
+    #[default]
+    Locked,
+    /// Shared-nothing implementation: a fixed set of partition workers,
+    /// each exclusively owning its slice of chains, KV partitions, node
+    /// buffers, and heat shards. Calls become routing layers that send
+    /// typed request messages over bounded mailboxes and await batched
+    /// replies; the steady-state data path takes zero counted locks.
+    Partitioned,
+}
+
 /// Occupancy fractions steering the background spill of one tier
 /// (hysteresis pair: spill starts strictly above `high`, stops at or
 /// below `low`).
@@ -316,6 +333,15 @@ pub struct UniviStorConfig {
     /// drain, policy-driven promotion). Off by default: the data path
     /// then pays only a boolean check.
     pub tiering: TieringConfig,
+    /// Which server-core runtime executes the data plane (locked by
+    /// default; the partitioned runtime is the shared-nothing
+    /// message-passing implementation).
+    pub runtime: Runtime,
+    /// Partition-worker count for [`Runtime::Partitioned`]. `0` (the
+    /// default) sizes the pool automatically: one worker per server,
+    /// capped at the host's available parallelism. Explicit values are
+    /// clamped to `[1, total_servers]`. Ignored under [`Runtime::Locked`].
+    pub partitions: usize,
 }
 
 impl UniviStorConfig {
@@ -339,11 +365,17 @@ impl UniviStorConfig {
             retry: RetryPolicy::default(),
             fault: None,
             tiering: TieringConfig::default(),
+            runtime: Runtime::default(),
+            partitions: 0,
         }
     }
 
     /// Small geometry for unit tests: `nodes` × `procs_per_node`, tiny
     /// chunks/segments so spill paths trigger with kilobytes.
+    ///
+    /// Honors `UNIVISTOR_RUNTIME=partitioned` so CI can sweep the whole
+    /// test suite under both runtimes; tests that pin runtime-specific
+    /// behavior should set `cfg.runtime` explicitly after construction.
     pub fn test_small(nodes: usize, procs_per_node: usize) -> Self {
         let mut cfg = UniviStorConfig {
             geometry: JobGeometry {
@@ -367,6 +399,8 @@ impl UniviStorConfig {
             retry: RetryPolicy::default(),
             fault: None,
             tiering: TieringConfig::default(),
+            runtime: Runtime::default(),
+            partitions: 0,
         };
         // Tiny tiers so tests exercise spilling: 1 KiB DRAM per node,
         // 4 KiB per BB node.
@@ -374,7 +408,26 @@ impl UniviStorConfig {
         cfg.cal.bb_capacity_per_node = 4096;
         cfg.cal.bb_nodes_min = 1;
         cfg.cal.bb_nodes_per_compute_node = 0.5;
+        if std::env::var("UNIVISTOR_RUNTIME").as_deref() == Ok("partitioned") {
+            cfg.runtime = Runtime::Partitioned;
+        }
         cfg
+    }
+
+    /// Worker count the partitioned runtime resolves `partitions` to:
+    /// auto (`0`) is one worker per server capped at the host's
+    /// available parallelism; explicit values clamp to
+    /// `[1, total_servers]`.
+    pub fn partition_workers(&self) -> usize {
+        let servers = self.geometry.total_servers().max(1);
+        if self.partitions == 0 {
+            let cores = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            servers.min(cores.max(1))
+        } else {
+            self.partitions.min(servers)
+        }
     }
 
     /// Start a [`UniviStorConfigBuilder`] from the paper configuration
@@ -445,6 +498,19 @@ impl UniviStorConfigBuilder {
     /// Set the read pipeline implementation.
     pub fn read_pipeline(mut self, pipeline: ReadPipeline) -> Self {
         self.cfg.read_pipeline = pipeline;
+        self
+    }
+
+    /// Select the server-core runtime.
+    pub fn runtime(mut self, runtime: Runtime) -> Self {
+        self.cfg.runtime = runtime;
+        self
+    }
+
+    /// Set the partition-worker count for [`Runtime::Partitioned`]
+    /// (`0` = auto-size).
+    pub fn partitions(mut self, partitions: usize) -> Self {
+        self.cfg.partitions = partitions;
         self
     }
 

@@ -43,6 +43,7 @@ pub mod metrics;
 pub mod placement;
 pub mod read;
 pub mod repair;
+pub(crate) mod runtime;
 pub mod sched;
 pub mod server;
 pub mod striping;
@@ -51,8 +52,8 @@ pub mod va;
 pub mod workflow;
 
 pub use config::{
-    Features, JobGeometry, PromotionPolicy, TierWatermarks, TieringConfig, UniviStorConfig,
-    UniviStorConfigBuilder,
+    Features, JobGeometry, PromotionPolicy, Runtime, TierWatermarks, TieringConfig,
+    UniviStorConfig, UniviStorConfigBuilder,
 };
 pub use driver::UniviStorDriver;
 pub use error::{Error, Result};

@@ -123,20 +123,73 @@ pub struct BatchOutcome {
 /// that intersected `[lo, hi)` of a fid at generation `gen` (the BTreeMap
 /// key is `lo`).
 #[derive(Debug, Clone)]
-struct CacheEntry {
+pub(crate) struct CacheEntry {
     /// Exclusive end of the cached window.
-    hi: u64,
+    pub(crate) hi: u64,
     /// The fid's generation when the window was fetched; a mismatch at
     /// hit time means an intervening mutation and the entry is dead.
-    gen: u64,
+    pub(crate) gen: u64,
     /// Records intersecting the window, offset-sorted.
-    records: Vec<(SegKey, SegmentRecord)>,
+    pub(crate) records: Vec<(SegKey, SegmentRecord)>,
 }
 
 /// Cached windows kept per `(node, fid)` before the whole fid map is
 /// dropped — a safety valve for pathological random-read patterns, not a
 /// tuned working-set size.
-const READ_CACHE_WINDOWS_PER_FID: usize = 128;
+pub(crate) const READ_CACHE_WINDOWS_PER_FID: usize = 128;
+
+/// The geometry of one record `(k, v)` overlapped by a punch of `[lo, hi)`:
+/// surviving left/right fragments plus the displaced middle. Shared between
+/// [`MetadataService::punch`]'s batched implementation and the partitioned
+/// runtime's `Punch` handler so both compute byte-identical fragment VAs.
+pub(crate) fn split_overlapped(
+    k: SegKey,
+    v: SegmentRecord,
+    lo: u64,
+    hi: u64,
+    fragments: &mut Vec<(SegKey, SegmentRecord)>,
+) -> Displaced {
+    let seg_end = k.offset + v.len;
+    // Left fragment survives.
+    if k.offset < lo {
+        let keep = lo - k.offset;
+        let frag = SegmentRecord {
+            client: v.client,
+            va: v.va,
+            len: keep,
+            replica: v.replica,
+        };
+        fragments.push((k, frag));
+    }
+    // Right fragment survives. (At most one record extends past `hi`, so
+    // the fragment key `{fid, hi}` is unique.)
+    if seg_end > hi {
+        let skip = hi - k.offset;
+        let frag = SegmentRecord {
+            client: v.client,
+            va: VirtualAddr(v.va.0 + skip),
+            len: seg_end - hi,
+            replica: v.replica.map(|(c, rva)| (c, VirtualAddr(rva.0 + skip))),
+        };
+        fragments.push((
+            SegKey {
+                fid: k.fid,
+                offset: hi,
+            },
+            frag,
+        ));
+    }
+    // Displaced middle.
+    let cut_lo = lo.max(k.offset);
+    let cut_hi = hi.min(seg_end);
+    let off = cut_lo - k.offset;
+    Displaced {
+        client: v.client,
+        va: VirtualAddr(v.va.0 + off),
+        len: cut_hi - cut_lo,
+        replica: v.replica.map(|(c, rva)| (c, VirtualAddr(rva.0 + off))),
+    }
+}
 
 /// The distributed metadata service plus per-node shared metadata buffers.
 #[derive(Debug)]
@@ -150,8 +203,10 @@ pub struct MetadataService {
     read_cache: Vec<RwLock<HashMap<u64, BTreeMap<u64, CacheEntry>>>>,
     /// Per fid: mutation generation. Bumped after every index mutation
     /// (`insert`, `insert_batch`, `punch`, `replace_if_current`), which
-    /// atomically invalidates every cached window of the fid.
-    generations: RwLock<HashMap<u64, u64>>,
+    /// atomically invalidates every cached window of the fid. Behind an
+    /// `Arc` so the partitioned runtime's router shares the same counters
+    /// with the service it periodically checks out.
+    generations: Arc<RwLock<HashMap<u64, u64>>>,
     /// Fault injector shared with the job; `None` (the default) costs the
     /// KV entry points only this `Option` check.
     injector: Option<Arc<FaultInjector>>,
@@ -164,9 +219,58 @@ impl MetadataService {
             kv: DistKv::new(range_size, servers),
             local: (0..nodes).map(|_| RwLock::new(HashMap::new())).collect(),
             read_cache: (0..nodes).map(|_| RwLock::new(HashMap::new())).collect(),
-            generations: RwLock::new(HashMap::new()),
+            generations: Arc::new(RwLock::new(HashMap::new())),
             injector: None,
         }
+    }
+
+    /// Reassemble a service from partition-owned state (the partitioned
+    /// runtime's checkout path). `generations` is the shared handle cloned
+    /// at construction, so cached-window validation survives round trips.
+    #[allow(clippy::type_complexity, clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        range_size: u64,
+        shards: Vec<BTreeMap<SegKey, SegmentRecord>>,
+        puts: Vec<u64>,
+        gets: Vec<u64>,
+        local: Vec<HashMap<u64, BTreeMap<u64, SegmentRecord>>>,
+        read_cache: Vec<HashMap<u64, BTreeMap<u64, CacheEntry>>>,
+        generations: Arc<RwLock<HashMap<u64, u64>>>,
+        injector: Option<Arc<FaultInjector>>,
+    ) -> Self {
+        MetadataService {
+            kv: DistKv::from_parts(range_size, shards, puts, gets),
+            local: local.into_iter().map(RwLock::new).collect(),
+            read_cache: read_cache.into_iter().map(RwLock::new).collect(),
+            generations,
+            injector,
+        }
+    }
+
+    /// Disassemble the service back into partition-owned state (end of a
+    /// checkout): KV shards + counters, node buffers, and read caches.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn into_parts(
+        self,
+    ) -> (
+        Vec<BTreeMap<SegKey, SegmentRecord>>,
+        Vec<u64>,
+        Vec<u64>,
+        Vec<HashMap<u64, BTreeMap<u64, SegmentRecord>>>,
+        Vec<HashMap<u64, BTreeMap<u64, CacheEntry>>>,
+    ) {
+        let (shards, puts, gets) = self.kv.into_parts();
+        let local = self
+            .local
+            .into_iter()
+            .map(|l| l.into_inner().expect("node buffer poisoned"))
+            .collect();
+        let read_cache = self
+            .read_cache
+            .into_iter()
+            .map(|c| c.into_inner().expect("read cache poisoned"))
+            .collect();
+        (shards, puts, gets, local, read_cache)
     }
 
     /// Install the fault injector (at job construction, before the service
@@ -197,7 +301,7 @@ impl MetadataService {
     /// mutation has fully landed in the KV and node buffers, so a reader
     /// that captured the old generation before the mutation can never
     /// install (or keep trusting) a pre-mutation window.
-    fn bump_generation(&self, fid: u64) {
+    pub(crate) fn bump_generation(&self, fid: u64) {
         *self
             .generations
             .write()
@@ -306,40 +410,7 @@ impl MetadataService {
                 continue;
             }
             removed.push(k);
-            let seg_end = k.offset + v.len;
-            // Left fragment survives.
-            if k.offset < lo {
-                let keep = lo - k.offset;
-                let frag = SegmentRecord {
-                    client: v.client,
-                    va: v.va,
-                    len: keep,
-                    replica: v.replica,
-                };
-                fragments.push((k, frag));
-            }
-            // Right fragment survives. (At most one record extends past
-            // `hi`, so the fragment key `{fid, hi}` is unique.)
-            if seg_end > hi {
-                let skip = hi - k.offset;
-                let frag = SegmentRecord {
-                    client: v.client,
-                    va: VirtualAddr(v.va.0 + skip),
-                    len: seg_end - hi,
-                    replica: v.replica.map(|(c, rva)| (c, VirtualAddr(rva.0 + skip))),
-                };
-                fragments.push((SegKey { fid, offset: hi }, frag));
-            }
-            // Displaced middle.
-            let cut_lo = lo.max(k.offset);
-            let cut_hi = hi.min(seg_end);
-            let off = cut_lo - k.offset;
-            displaced.push(Displaced {
-                client: v.client,
-                va: VirtualAddr(v.va.0 + off),
-                len: cut_hi - cut_lo,
-                replica: v.replica.map(|(c, rva)| (c, VirtualAddr(rva.0 + off))),
-            });
+            displaced.push(split_overlapped(k, v, lo, hi, &mut fragments));
         }
         if removed.is_empty() {
             return displaced;

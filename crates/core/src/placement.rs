@@ -427,10 +427,46 @@ impl ChainSet {
     }
 
     /// Run `f` with shared access to `client`'s chain.
+    ///
+    /// Acquisition avoids std `RwLock`'s writer-preferring blocking path:
+    /// `try_read` with a bounded spin, then a yielding loop. A queued
+    /// writer therefore never wedges a would-be reader behind it while an
+    /// existing shared view is held (the writer itself still waits its
+    /// turn, but readers keep flowing — see
+    /// `UniviStorJob::with_shared_read_view`).
     pub fn with<R>(&self, client: ClientId, f: impl FnOnce(&ProcChain) -> R) -> SimResult<R> {
         let chain = self.chain(client)?;
-        let chain = chain.read().expect("chain poisoned");
-        Ok(f(&chain))
+        let mut spins = 0u32;
+        loop {
+            match chain.try_read() {
+                Ok(chain) => return Ok(f(&chain)),
+                Err(std::sync::TryLockError::Poisoned(_)) => panic!("chain poisoned"),
+                Err(std::sync::TryLockError::WouldBlock) => {
+                    if spins < 64 {
+                        spins += 1;
+                        std::hint::spin_loop();
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Consume the set into its plain `(client, chain)` pairs — the
+    /// partitioned runtime's checkout disassembly. Panics if any chain is
+    /// still shared (checkout serializes all access, so none is).
+    pub(crate) fn into_chain_list(self) -> Vec<(ClientId, ProcChain)> {
+        self.chains
+            .into_inner()
+            .expect("chain map poisoned")
+            .into_iter()
+            .map(|(c, chain)| {
+                let chain =
+                    Arc::try_unwrap(chain).expect("chain still shared during checkout disassembly");
+                (c, chain.into_inner().expect("chain poisoned"))
+            })
+            .collect()
     }
 }
 

@@ -204,10 +204,111 @@ impl ReadState {
 /// `source`'s chain (the replica owner when the primary's node failed —
 /// rerouting is resolved at plan time, not per fetch).
 #[derive(Debug, Clone, Copy)]
-struct Fragment {
-    source: ClientId,
-    va: VirtualAddr,
-    len: u64,
+pub(crate) struct Fragment {
+    pub(crate) source: ClientId,
+    pub(crate) va: VirtualAddr,
+    pub(crate) len: u64,
+}
+
+/// Stage 2, shared with the partitioned runtime's router: clip every
+/// record to the requested window, verify there are no holes, and resolve
+/// replica rerouting around failed nodes — the full fetch plan, before any
+/// chain is touched.
+pub(crate) fn plan_fragments(
+    geometry: &JobGeometry,
+    failed: &HashSet<usize>,
+    records: &[(SegKey, SegmentRecord)],
+    offset: u64,
+    end: u64,
+    trace: &mut ReadTrace,
+) -> SimResult<(Vec<Fragment>, Vec<SegKey>)> {
+    let mut fragments = Vec::with_capacity(records.len());
+    let mut touched = Vec::with_capacity(records.len());
+    let mut cursor = offset;
+    for &(k, r) in records {
+        let seg_end = k.offset + r.len;
+        if seg_end <= cursor || k.offset >= end {
+            continue;
+        }
+        if k.offset > cursor {
+            return Err(SimError::Hole {
+                offset: cursor,
+                len: k.offset - cursor,
+            });
+        }
+        let clip_lo = cursor.max(k.offset);
+        let clip_hi = end.min(seg_end);
+        let clip_len = clip_hi - clip_lo;
+        touched.push(k);
+
+        // Route around failed producers using the resilience replica.
+        let primary_node = geometry.node_of_rank(r.client.rank as usize);
+        let (source, va) = if failed.contains(&primary_node) {
+            let (rc, rva) = r.replica.ok_or_else(|| {
+                SimError::InvalidConfig(format!(
+                    "segment at offset {} lost: node {primary_node} failed and no replica",
+                    k.offset
+                ))
+            })?;
+            let replica_node = geometry.node_of_rank(rc.rank as usize);
+            if failed.contains(&replica_node) {
+                return Err(SimError::InvalidConfig(format!(
+                    "segment at offset {} lost: primary and replica nodes both failed",
+                    k.offset
+                )));
+            }
+            trace.replica_bytes += clip_len;
+            (rc, VirtualAddr(rva.0 + (clip_lo - k.offset)))
+        } else {
+            (r.client, VirtualAddr(r.va.0 + (clip_lo - k.offset)))
+        };
+        fragments.push(Fragment {
+            source,
+            va,
+            len: clip_len,
+        });
+        cursor = clip_hi;
+    }
+    if cursor < end {
+        return Err(SimError::Hole {
+            offset: cursor,
+            len: end - cursor,
+        });
+    }
+    Ok((fragments, touched))
+}
+
+/// Stage 4 helper, shared with the partitioned runtime's router: attribute
+/// one fetched fragment to its timing-plane bucket.
+pub(crate) fn classify_fragment(
+    geometry: &JobGeometry,
+    location_aware: bool,
+    fragment: &Fragment,
+    tier: Tier,
+    my_node: usize,
+    trace: &mut ReadTrace,
+) {
+    let producer_node = geometry.node_of_rank(fragment.source.rank as usize);
+    if tier.node_local() {
+        if producer_node == my_node {
+            if location_aware {
+                trace.local_direct_bytes += fragment.len;
+            } else {
+                trace.local_via_server_bytes += fragment.len;
+            }
+        } else {
+            trace.remote_bytes += fragment.len;
+        }
+    } else if location_aware {
+        if tier == Tier::Pfs {
+            trace.pfs_direct_bytes += fragment.len;
+        } else {
+            trace.shared_direct_bytes += fragment.len;
+        }
+    } else {
+        // Naive: even globally visible data bounces via servers.
+        trace.remote_bytes += fragment.len;
+    }
 }
 
 /// The read path's execution context: borrow the job's shared structures
@@ -417,9 +518,7 @@ impl<'a> ReadService<'a> {
         Ok(records)
     }
 
-    /// Stage 2: clip every record to the requested window, verify there
-    /// are no holes, and resolve replica rerouting around failed nodes —
-    /// the full fetch plan, before any chain lock is taken.
+    /// Stage 2: delegate to the shared [`plan_fragments`] planner.
     fn plan_fragments(
         &self,
         records: &[(SegKey, SegmentRecord)],
@@ -429,60 +528,7 @@ impl<'a> ReadService<'a> {
     ) -> SimResult<(Vec<Fragment>, Vec<SegKey>)> {
         let no_failures = HashSet::new();
         let failed = self.failed_nodes.unwrap_or(&no_failures);
-        let mut fragments = Vec::with_capacity(records.len());
-        let mut touched = Vec::with_capacity(records.len());
-        let mut cursor = offset;
-        for &(k, r) in records {
-            let seg_end = k.offset + r.len;
-            if seg_end <= cursor || k.offset >= end {
-                continue;
-            }
-            if k.offset > cursor {
-                return Err(SimError::Hole {
-                    offset: cursor,
-                    len: k.offset - cursor,
-                });
-            }
-            let clip_lo = cursor.max(k.offset);
-            let clip_hi = end.min(seg_end);
-            let clip_len = clip_hi - clip_lo;
-            touched.push(k);
-
-            // Route around failed producers using the resilience replica.
-            let primary_node = self.geometry.node_of_rank(r.client.rank as usize);
-            let (source, va) = if failed.contains(&primary_node) {
-                let (rc, rva) = r.replica.ok_or_else(|| {
-                    SimError::InvalidConfig(format!(
-                        "segment at offset {} lost: node {primary_node} failed and no replica",
-                        k.offset
-                    ))
-                })?;
-                let replica_node = self.geometry.node_of_rank(rc.rank as usize);
-                if failed.contains(&replica_node) {
-                    return Err(SimError::InvalidConfig(format!(
-                        "segment at offset {} lost: primary and replica nodes both failed",
-                        k.offset
-                    )));
-                }
-                trace.replica_bytes += clip_len;
-                (rc, VirtualAddr(rva.0 + (clip_lo - k.offset)))
-            } else {
-                (r.client, VirtualAddr(r.va.0 + (clip_lo - k.offset)))
-            };
-            fragments.push(Fragment {
-                source,
-                va,
-                len: clip_len,
-            });
-            cursor = clip_hi;
-        }
-        if cursor < end {
-            return Err(SimError::Hole {
-                offset: cursor,
-                len: end - cursor,
-            });
-        }
-        Ok((fragments, touched))
+        plan_fragments(self.geometry, failed, records, offset, end, trace)
     }
 
     /// Stage 3, reference flavor: one shared chain-lock acquisition per
@@ -572,30 +618,16 @@ impl<'a> ReadService<'a> {
         Ok(fetched)
     }
 
-    /// Stage 4 helper: attribute one fetched fragment to its timing-plane
-    /// bucket.
+    /// Stage 4 helper: delegate to the shared [`classify_fragment`].
     fn classify(&self, fragment: &Fragment, tier: Tier, my_node: usize, trace: &mut ReadTrace) {
-        let producer_node = self.geometry.node_of_rank(fragment.source.rank as usize);
-        if tier.node_local() {
-            if producer_node == my_node {
-                if self.location_aware {
-                    trace.local_direct_bytes += fragment.len;
-                } else {
-                    trace.local_via_server_bytes += fragment.len;
-                }
-            } else {
-                trace.remote_bytes += fragment.len;
-            }
-        } else if self.location_aware {
-            if tier == Tier::Pfs {
-                trace.pfs_direct_bytes += fragment.len;
-            } else {
-                trace.shared_direct_bytes += fragment.len;
-            }
-        } else {
-            // Naive: even globally visible data bounces via servers.
-            trace.remote_bytes += fragment.len;
-        }
+        classify_fragment(
+            self.geometry,
+            self.location_aware,
+            fragment,
+            tier,
+            my_node,
+            trace,
+        );
     }
 }
 

@@ -1,0 +1,1450 @@
+//! Shared-nothing partitioned runtime ([`Runtime::Partitioned`]).
+//!
+//! The locked runtime keeps one set of library structures (`ChainSet`,
+//! `MetadataService`, heat shards) guarded by sharded locks and mutates
+//! them from whichever thread issued the call. This module implements the
+//! alternative: a fixed pool of **partition workers**, each an event loop
+//! that exclusively owns its slice of state —
+//!
+//! * KV partition `p` (and heat shard `p`) belong to worker `p % W`;
+//! * node `n`'s shared metadata buffer and read record cache belong to
+//!   worker `n % W`;
+//! * client `c`'s log chain belongs to the worker owning `c`'s node.
+//!
+//! Workers hold **plain** maps — no interior locks at all — and are fed
+//! typed request messages over bounded mailboxes. `UniviStorJob`'s data
+//! plane becomes a routing layer: it partitions a planned batch by owner,
+//! enqueues one message per touched worker, and awaits the batched
+//! replies. The steady-state write/read path therefore takes zero counted
+//! lock acquisitions end to end (the job-level tables that remain shared —
+//! file table, generation counters, failure set — are uncounted in the
+//! locked runtime too; see DESIGN.md §13).
+//!
+//! Every handler replicates its locked counterpart's semantics byte for
+//! byte, including the per-server `puts`/`gets` RPC accounting and the
+//! fault-injection draw order, so the differential tests in
+//! `tests/runtime.rs` can pin `Runtime::Locked` ≡ `Runtime::Partitioned`.
+//!
+//! Cold paths (tiering passes, flush, repair, stats probes) run through a
+//! **checkout**: the router parks every worker, collects their slices,
+//! reassembles the real locked-core structures ([`LockedCore`]), runs the
+//! legacy code against them, then disassembles and redistributes by
+//! ownership. Mailbox FIFO order makes a checkout interleaving with an
+//! in-flight routed operation equivalent to the locked runtime's
+//! stepwise (non-atomic) lock acquisitions.
+
+use crate::config::UniviStorConfig;
+use crate::fault::FaultInjector;
+use crate::metadata::{
+    split_overlapped, CacheEntry, ClientId, Displaced, MetadataService, SegKey, SegmentRecord,
+    READ_CACHE_WINDOWS_PER_FID,
+};
+use crate::metrics::{JobMetrics, PartitionMetrics};
+use crate::placement::{ChainSet, PlacedSegment, ProcChain};
+use crate::va::{Tier, VirtualAddr};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::AtomicU32;
+use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
+use univistor_kv::RangePartitioner;
+use univistor_sim::{Payload, SimError, SimResult};
+
+/// Bound on queued requests per worker mailbox. Routers block (applying
+/// natural backpressure) once a worker falls this far behind.
+const MAILBOX_DEPTH: usize = 1024;
+
+/// The locked-runtime core: the three library structures the legacy data
+/// plane mutates in place. Under [`Runtime::Locked`] the job owns one of
+/// these for its whole lifetime; under [`Runtime::Partitioned`] one is
+/// assembled transiently for each checkout.
+///
+/// [`Runtime::Locked`]: crate::config::Runtime::Locked
+/// [`Runtime::Partitioned`]: crate::config::Runtime::Partitioned
+#[derive(Debug)]
+pub(crate) struct LockedCore {
+    /// Per-client log chains.
+    pub(crate) chains: ChainSet,
+    /// Distributed metadata service (KV + node buffers + read caches).
+    pub(crate) metadata: MetadataService,
+    /// Per-KV-partition heat shards (segment read counters).
+    pub(crate) heat: Vec<RwLock<HashMap<SegKey, AtomicU32>>>,
+}
+
+/// What one [`Punch`](Req::Punch) (or a router-level merge of several)
+/// produced: the claimed keys, the displaced middles keyed by their
+/// original record so the router can restore the locked runtime's global
+/// key order, and the surviving edge fragments (not yet re-inserted — the
+/// router redistributes them so the removed-empty early-return matches
+/// `punch_inner`).
+#[derive(Debug, Default)]
+pub(crate) struct PunchOutcome {
+    /// Keys claimed out of the index.
+    pub(crate) removed: Vec<SegKey>,
+    /// Displaced middle spans, keyed by the record they were cut from.
+    pub(crate) displaced: Vec<(SegKey, Displaced)>,
+    /// Surviving left/right fragments to re-insert.
+    pub(crate) fragments: Vec<(SegKey, SegmentRecord)>,
+}
+
+/// A worker's entire owned state, detached for a checkout and re-installed
+/// afterwards. Byte accounting (`Worker::bytes`) deliberately stays
+/// resident in the worker: the locked core has no equivalent structure and
+/// workers are parked for the whole checkout, so it cannot drift.
+#[derive(Debug, Default)]
+struct Slice {
+    /// Owned KV partitions: partition → records.
+    kv: HashMap<usize, BTreeMap<SegKey, SegmentRecord>>,
+    /// Owned per-partition KV put counters.
+    puts: HashMap<usize, u64>,
+    /// Owned per-partition KV get (visit) counters.
+    gets: HashMap<usize, u64>,
+    /// Owned nodes' shared metadata buffers: node → fid → offset → record.
+    local: HashMap<usize, HashMap<u64, BTreeMap<u64, SegmentRecord>>>,
+    /// Owned nodes' read record caches: node → fid → window lo → entry.
+    read_cache: HashMap<usize, HashMap<u64, BTreeMap<u64, CacheEntry>>>,
+    /// Owned clients' log chains.
+    chains: Vec<(ClientId, ProcChain)>,
+    /// Owned heat shards: partition → key → read count.
+    heat: HashMap<usize, HashMap<SegKey, u32>>,
+}
+
+/// A typed request to one partition worker. Every variant that produces a
+/// result carries its own reply channel; [`Heat`](Req::Heat) is
+/// fire-and-forget and [`Shutdown`](Req::Shutdown) ends the event loop.
+enum Req {
+    /// Create `client`'s chain if absent (the worker builds it from its
+    /// precomputed layer caps).
+    EnsureChain {
+        client: ClientId,
+        reply: Sender<SimResult<()>>,
+    },
+    /// Fail exactly like a chain lookup would if `client` has no chain.
+    ChainExists {
+        client: ClientId,
+        reply: Sender<SimResult<()>>,
+    },
+    /// Append a payload run to `client`'s chain — `ChainSet::append_many`
+    /// semantics (per-piece fault draw, full-batch rollback). With
+    /// `account` set, successful placements are added to the worker's
+    /// per-(client, tier) byte ledger (the routed write path's replacement
+    /// for the router-side accounting mutex).
+    Append {
+        client: ClientId,
+        payloads: Vec<Payload>,
+        account: bool,
+        reply: Sender<SimResult<Vec<PlacedSegment>>>,
+    },
+    /// Claim every owned record overlapping `[lo, hi)` of `fid` —
+    /// `punch_inner`'s scan+claim restricted to this worker's partitions.
+    Punch {
+        fid: u64,
+        lo: u64,
+        hi: u64,
+        reply: Sender<PunchOutcome>,
+    },
+    /// Insert records into owned partitions (one `puts` bump per record,
+    /// matching `DistKv::put_batch`).
+    PutRecords {
+        items: Vec<(SegKey, SegmentRecord)>,
+        reply: Sender<()>,
+    },
+    /// Apply a punch's node-buffer sweep to every owned node: drop the
+    /// removed keys, re-cache the fragments on nodes tracking the fid.
+    BufferApply {
+        fid: u64,
+        removed: Vec<SegKey>,
+        fragments: Vec<(SegKey, SegmentRecord)>,
+        reply: Sender<()>,
+    },
+    /// Refresh the producer node's shared metadata buffer with a batch's
+    /// records (`insert_batch`'s final buffer pass).
+    BufferInsert {
+        node: usize,
+        fid: u64,
+        records: Vec<(u64, SegmentRecord)>,
+        reply: Sender<()>,
+    },
+    /// Release displaced spans on owned chains, in the given order.
+    /// Missing chains are skipped (`ChainSet::release` semantics).
+    Release {
+        spans: Vec<(ClientId, VirtualAddr, u64)>,
+        reply: Sender<()>,
+    },
+    /// Bump heat counters on owned shards. Fire-and-forget: the read path
+    /// never waits on it, and mailbox FIFO order still sequences it before
+    /// any later checkout.
+    Heat { keys: Vec<SegKey> },
+    /// `MetadataService::lookup_local` over an owned node's buffer.
+    LookupLocal {
+        node: usize,
+        fid: u64,
+        lo: u64,
+        hi: u64,
+        reply: Sender<Vec<(SegKey, SegmentRecord)>>,
+    },
+    /// Probe an owned node's read record cache for a window covering
+    /// `[lo, hi)` at generation `gen`. `None` is a miss.
+    CacheLookup {
+        node: usize,
+        fid: u64,
+        lo: u64,
+        hi: u64,
+        gen: u64,
+        reply: Sender<Option<Vec<(SegKey, SegmentRecord)>>>,
+    },
+    /// `lookup_range`'s scan restricted to this worker's partitions
+    /// (per-visited-server `gets` bump included).
+    Scan {
+        fid: u64,
+        lo: u64,
+        hi: u64,
+        reply: Sender<Vec<(SegKey, SegmentRecord)>>,
+    },
+    /// Install a fetched window into an owned node's read cache, unless
+    /// the fid's generation moved while the lookup was in flight.
+    CacheInstall {
+        node: usize,
+        fid: u64,
+        lo: u64,
+        fetch_hi: u64,
+        gen: u64,
+        records: Vec<(SegKey, SegmentRecord)>,
+        reply: Sender<()>,
+    },
+    /// Batched fragment fetch from `client`'s chain —
+    /// `ChainSet::read_at_many` semantics (in-order per-fragment fault
+    /// draws, fail-fast).
+    Fetch {
+        client: ClientId,
+        requests: Vec<(VirtualAddr, u64)>,
+        reply: Sender<SimResult<Vec<(Payload, Tier)>>>,
+    },
+    /// Report (and with `take`, reset) the worker's byte ledger.
+    CollectBytes {
+        take: bool,
+        reply: Sender<Vec<((ClientId, Tier), u64)>>,
+    },
+    /// Detach the worker's slice, park until the router checks it back in.
+    Checkout {
+        reply: Sender<Slice>,
+        checkin: Receiver<Slice>,
+    },
+    /// End the event loop. Messages enqueued earlier are drained first
+    /// (FIFO), so shutdown never drops queued work.
+    Shutdown,
+}
+
+/// A request stamped with its enqueue time, so the worker can observe
+/// mailbox wait latency on dequeue.
+struct Envelope {
+    at: Instant,
+    req: Req,
+}
+
+fn inject(
+    injector: &Option<Arc<FaultInjector>>,
+    site: &'static str,
+    tier: Option<Tier>,
+) -> SimResult<()> {
+    match injector {
+        Some(inj) => inj.inject(site, tier),
+        None => Ok(()),
+    }
+}
+
+/// One partition worker: the event loop plus everything it owns.
+struct Worker {
+    /// This worker's index.
+    id: usize,
+    /// Total workers (the modulus of the ownership map).
+    workers: usize,
+    partitioner: RangePartitioner,
+    /// Per-process layer capacities for chains built on demand.
+    layer_caps: Vec<(Tier, u64)>,
+    chunk_size: u64,
+    /// Shared per-fid generation table (cache validation), cloned from the
+    /// router so checkouts keep one coherent counter set.
+    generations: Arc<RwLock<HashMap<u64, u64>>>,
+    injector: Option<Arc<FaultInjector>>,
+    metrics: PartitionMetrics,
+    // ---- exclusively owned state (plain maps, no locks) ----
+    kv: HashMap<usize, BTreeMap<SegKey, SegmentRecord>>,
+    puts: HashMap<usize, u64>,
+    gets: HashMap<usize, u64>,
+    local: HashMap<usize, HashMap<u64, BTreeMap<u64, SegmentRecord>>>,
+    read_cache: HashMap<usize, HashMap<u64, BTreeMap<u64, CacheEntry>>>,
+    chains: HashMap<ClientId, ProcChain>,
+    heat: HashMap<usize, HashMap<SegKey, u32>>,
+    bytes: HashMap<(ClientId, Tier), u64>,
+}
+
+impl Worker {
+    fn run(mut self, rx: Receiver<Envelope>) {
+        while let Ok(env) = rx.recv() {
+            self.metrics.mailbox_depth.dec();
+            self.metrics
+                .wait_seconds
+                .observe(env.at.elapsed().as_secs_f64());
+            self.metrics.messages.inc();
+            match env.req {
+                Req::EnsureChain { client, reply } => {
+                    self.metrics.batched_ops.inc();
+                    let _ = reply.send(self.ensure_chain(client));
+                }
+                Req::ChainExists { client, reply } => {
+                    self.metrics.batched_ops.inc();
+                    let _ = reply.send(if self.chains.contains_key(&client) {
+                        Ok(())
+                    } else {
+                        Err(no_chain(client))
+                    });
+                }
+                Req::Append {
+                    client,
+                    payloads,
+                    account,
+                    reply,
+                } => {
+                    self.metrics.batched_ops.add(payloads.len() as u64);
+                    let _ = reply.send(self.append(client, payloads, account));
+                }
+                Req::Punch { fid, lo, hi, reply } => {
+                    self.metrics.batched_ops.inc();
+                    let _ = reply.send(self.punch(fid, lo, hi));
+                }
+                Req::PutRecords { items, reply } => {
+                    self.metrics.batched_ops.add(items.len() as u64);
+                    self.put_records(items);
+                    let _ = reply.send(());
+                }
+                Req::BufferApply {
+                    fid,
+                    removed,
+                    fragments,
+                    reply,
+                } => {
+                    self.metrics.batched_ops.inc();
+                    self.buffer_apply(fid, &removed, &fragments);
+                    let _ = reply.send(());
+                }
+                Req::BufferInsert {
+                    node,
+                    fid,
+                    records,
+                    reply,
+                } => {
+                    self.metrics.batched_ops.add(records.len() as u64);
+                    let per_fid = self.local.entry(node).or_default().entry(fid).or_default();
+                    for (offset, record) in records {
+                        per_fid.insert(offset, record);
+                    }
+                    let _ = reply.send(());
+                }
+                Req::Release { spans, reply } => {
+                    self.metrics.batched_ops.add(spans.len() as u64);
+                    for (client, va, len) in spans {
+                        if let Some(chain) = self.chains.get_mut(&client) {
+                            chain.release(va, len);
+                        }
+                    }
+                    let _ = reply.send(());
+                }
+                Req::Heat { keys } => {
+                    self.metrics.batched_ops.add(keys.len() as u64);
+                    for key in keys {
+                        let shard = self.partitioner.server_for(key.offset).0;
+                        *self.heat.entry(shard).or_default().entry(key).or_insert(0) += 1;
+                    }
+                }
+                Req::LookupLocal {
+                    node,
+                    fid,
+                    lo,
+                    hi,
+                    reply,
+                } => {
+                    self.metrics.batched_ops.inc();
+                    let _ = reply.send(self.lookup_local(node, fid, lo, hi));
+                }
+                Req::CacheLookup {
+                    node,
+                    fid,
+                    lo,
+                    hi,
+                    gen,
+                    reply,
+                } => {
+                    self.metrics.batched_ops.inc();
+                    let _ = reply.send(self.cache_lookup(node, fid, lo, hi, gen));
+                }
+                Req::Scan { fid, lo, hi, reply } => {
+                    self.metrics.batched_ops.inc();
+                    let _ = reply.send(self.scan(fid, lo, hi));
+                }
+                Req::CacheInstall {
+                    node,
+                    fid,
+                    lo,
+                    fetch_hi,
+                    gen,
+                    records,
+                    reply,
+                } => {
+                    self.metrics.batched_ops.inc();
+                    self.cache_install(node, fid, lo, fetch_hi, gen, records);
+                    let _ = reply.send(());
+                }
+                Req::Fetch {
+                    client,
+                    requests,
+                    reply,
+                } => {
+                    self.metrics.batched_ops.add(requests.len() as u64);
+                    let _ = reply.send(self.fetch(client, &requests));
+                }
+                Req::CollectBytes { take, reply } => {
+                    self.metrics.batched_ops.inc();
+                    let ledger: Vec<((ClientId, Tier), u64)> =
+                        self.bytes.iter().map(|(k, v)| (*k, *v)).collect();
+                    if take {
+                        self.bytes.clear();
+                    }
+                    let _ = reply.send(ledger);
+                }
+                Req::Checkout { reply, checkin } => {
+                    self.metrics.batched_ops.inc();
+                    let _ = reply.send(self.take_slice());
+                    match checkin.recv() {
+                        Ok(slice) => self.install_slice(slice),
+                        // Router dropped mid-checkout (it panicked): the
+                        // job is gone, so the worker exits too.
+                        Err(_) => break,
+                    }
+                }
+                Req::Shutdown => break,
+            }
+        }
+    }
+
+    fn ensure_chain(&mut self, client: ClientId) -> SimResult<()> {
+        if self.chains.contains_key(&client) {
+            return Ok(());
+        }
+        let chain = ProcChain::new(self.layer_caps.clone(), self.chunk_size)?;
+        self.chains.insert(client, chain);
+        Ok(())
+    }
+
+    fn append(
+        &mut self,
+        client: ClientId,
+        payloads: Vec<Payload>,
+        account: bool,
+    ) -> SimResult<Vec<PlacedSegment>> {
+        let injector = self.injector.clone();
+        let Some(chain) = self.chains.get_mut(&client) else {
+            return Err(no_chain(client));
+        };
+        let mut placed: Vec<PlacedSegment> = Vec::with_capacity(payloads.len());
+        for payload in payloads {
+            // Same fault-draw order and rollback as `ChainSet::append_many`:
+            // one draw per placed piece, a transient fault mid-run aborts
+            // (and releases) the whole batch.
+            let appended = match chain.append(payload) {
+                Ok(p) => match inject(&injector, "chain_append", Some(p.tier)) {
+                    Ok(()) => Ok(p),
+                    Err(e) => {
+                        chain.release(p.va, p.len);
+                        Err(e)
+                    }
+                },
+                Err(e) => Err(e),
+            };
+            match appended {
+                Ok(p) => placed.push(p),
+                Err(e) => {
+                    for p in &placed {
+                        chain.release(p.va, p.len);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        if account {
+            for p in &placed {
+                *self.bytes.entry((client, p.tier)).or_insert(0) += p.len;
+            }
+        }
+        Ok(placed)
+    }
+
+    /// Scan owned partitions of the punch span, bumping `gets` per owned
+    /// visited server exactly like `DistKv::for_each_in_range`, then claim
+    /// each overlapped record with a compare-and-delete (one `puts` bump
+    /// per attempt, like `remove_if_eq_batch`).
+    fn punch(&mut self, fid: u64, lo: u64, hi: u64) -> PunchOutcome {
+        let mut out = PunchOutcome::default();
+        if lo >= hi {
+            return out;
+        }
+        let scan_lo = lo.saturating_sub(self.partitioner.range_size);
+        let mut overlapping: Vec<(SegKey, SegmentRecord)> = Vec::new();
+        self.visit_span(fid, scan_lo, hi, lo, &mut overlapping);
+        if overlapping.is_empty() {
+            return out;
+        }
+        overlapping.sort_by_key(|(k, _)| *k);
+        for (k, v) in overlapping {
+            let server = self.partitioner.server_for(k.offset).0;
+            *self.puts.entry(server).or_insert(0) += 1;
+            let claimed = match self.kv.get_mut(&server) {
+                Some(shard) => match shard.get(&k) {
+                    Some(current) if *current == v => {
+                        shard.remove(&k);
+                        true
+                    }
+                    _ => false,
+                },
+                None => false,
+            };
+            if !claimed {
+                continue;
+            }
+            out.removed.push(k);
+            let displaced = split_overlapped(k, v, lo, hi, &mut out.fragments);
+            out.displaced.push((k, displaced));
+        }
+        out
+    }
+
+    /// The shared scan of `punch`/`scan`: visit each owned server of the
+    /// span `[scan_lo, hi)` in partitioner order, bump its `gets` counter
+    /// (even when nothing matches — a visit is a visit), and collect the
+    /// records actually overlapping `[lo, hi)`.
+    fn visit_span(
+        &mut self,
+        fid: u64,
+        scan_lo: u64,
+        hi: u64,
+        lo: u64,
+        into: &mut Vec<(SegKey, SegmentRecord)>,
+    ) {
+        let lo_key = SegKey {
+            fid,
+            offset: scan_lo,
+        };
+        let hi_key = SegKey { fid, offset: hi };
+        for server in self.partitioner.servers_for_span(scan_lo, hi) {
+            let server = server.0;
+            if server % self.workers != self.id {
+                continue;
+            }
+            *self.gets.entry(server).or_insert(0) += 1;
+            if let Some(shard) = self.kv.get(&server) {
+                for (k, v) in shard.range(lo_key..hi_key) {
+                    if k.fid == fid && k.offset < hi && k.offset + v.len > lo {
+                        into.push((*k, *v));
+                    }
+                }
+            }
+        }
+    }
+
+    fn put_records(&mut self, items: Vec<(SegKey, SegmentRecord)>) {
+        for (k, v) in items {
+            let server = self.partitioner.server_for(k.offset).0;
+            *self.puts.entry(server).or_insert(0) += 1;
+            self.kv.entry(server).or_default().insert(k, v);
+        }
+    }
+
+    fn buffer_apply(
+        &mut self,
+        fid: u64,
+        removed: &[SegKey],
+        fragments: &[(SegKey, SegmentRecord)],
+    ) {
+        for node in self.local.values_mut() {
+            if let Some(per_fid) = node.get_mut(&fid) {
+                for k in removed {
+                    per_fid.remove(&k.offset);
+                }
+            }
+            if node.contains_key(&fid) {
+                for (k, frag) in fragments {
+                    node.entry(k.fid).or_default().insert(k.offset, *frag);
+                }
+            }
+        }
+    }
+
+    fn lookup_local(
+        &self,
+        node: usize,
+        fid: u64,
+        lo: u64,
+        hi: u64,
+    ) -> Vec<(SegKey, SegmentRecord)> {
+        let Some(per_fid) = self.local.get(&node).and_then(|n| n.get(&fid)) else {
+            return Vec::new();
+        };
+        // Start one record earlier in case it overlaps from the left.
+        let start = per_fid
+            .range(..lo)
+            .next_back()
+            .map(|(o, _)| *o)
+            .unwrap_or(lo);
+        per_fid
+            .range(start..hi)
+            .filter(|(o, r)| **o < hi && **o + r.len > lo)
+            .map(|(o, r)| (SegKey { fid, offset: *o }, *r))
+            .collect()
+    }
+
+    fn cache_lookup(
+        &self,
+        node: usize,
+        fid: u64,
+        lo: u64,
+        hi: u64,
+        gen: u64,
+    ) -> Option<Vec<(SegKey, SegmentRecord)>> {
+        let per_fid = self.read_cache.get(&node)?.get(&fid)?;
+        let (_, entry) = per_fid.range(..=lo).next_back()?;
+        if entry.gen == gen && entry.hi >= hi {
+            // Records overlapping [lo, hi) are a subset of the window's.
+            Some(
+                entry
+                    .records
+                    .iter()
+                    .filter(|(k, r)| k.offset < hi && k.offset + r.len > lo)
+                    .copied()
+                    .collect(),
+            )
+        } else {
+            None
+        }
+    }
+
+    fn scan(&mut self, fid: u64, lo: u64, hi: u64) -> Vec<(SegKey, SegmentRecord)> {
+        let scan_lo = lo.saturating_sub(self.partitioner.range_size);
+        let mut records = Vec::new();
+        self.visit_span(fid, scan_lo, hi, lo, &mut records);
+        records
+    }
+
+    fn cache_install(
+        &mut self,
+        node: usize,
+        fid: u64,
+        lo: u64,
+        fetch_hi: u64,
+        gen: u64,
+        records: Vec<(SegKey, SegmentRecord)>,
+    ) {
+        // Same re-check as `lookup_range_cached`: a mutation that landed
+        // (and bumped) while the lookup was in flight may have produced a
+        // window mixing old and new state — never cache it.
+        let current = self
+            .generations
+            .read()
+            .expect("generations poisoned")
+            .get(&fid)
+            .copied()
+            .unwrap_or(0);
+        if current != gen {
+            return;
+        }
+        let per_fid = self
+            .read_cache
+            .entry(node)
+            .or_default()
+            .entry(fid)
+            .or_default();
+        if per_fid.len() >= READ_CACHE_WINDOWS_PER_FID {
+            per_fid.clear();
+        }
+        per_fid.insert(
+            lo,
+            CacheEntry {
+                hi: fetch_hi,
+                gen,
+                records,
+            },
+        );
+    }
+
+    fn fetch(
+        &self,
+        client: ClientId,
+        requests: &[(VirtualAddr, u64)],
+    ) -> SimResult<Vec<(Payload, Tier)>> {
+        let Some(chain) = self.chains.get(&client) else {
+            return Err(no_chain(client));
+        };
+        requests
+            .iter()
+            .map(|&(va, len)| {
+                let payload = chain.read(va, len)?;
+                let tier = chain.tier_of(va);
+                inject(&self.injector, "chain_read", Some(tier))?;
+                Ok((payload, tier))
+            })
+            .collect()
+    }
+
+    fn take_slice(&mut self) -> Slice {
+        Slice {
+            kv: std::mem::take(&mut self.kv),
+            puts: std::mem::take(&mut self.puts),
+            gets: std::mem::take(&mut self.gets),
+            local: std::mem::take(&mut self.local),
+            read_cache: std::mem::take(&mut self.read_cache),
+            chains: std::mem::take(&mut self.chains).into_iter().collect(),
+            heat: std::mem::take(&mut self.heat),
+        }
+    }
+
+    fn install_slice(&mut self, slice: Slice) {
+        self.kv = slice.kv;
+        self.puts = slice.puts;
+        self.gets = slice.gets;
+        self.local = slice.local;
+        self.read_cache = slice.read_cache;
+        self.chains = slice.chains.into_iter().collect();
+        self.heat = slice.heat;
+    }
+}
+
+fn no_chain(client: ClientId) -> SimError {
+    SimError::InvalidConfig(format!("no chain for producer {client:?}"))
+}
+
+/// The router's handle to one worker.
+struct WorkerHandle {
+    tx: SyncSender<Envelope>,
+    metrics: PartitionMetrics,
+    join: Option<JoinHandle<()>>,
+}
+
+impl WorkerHandle {
+    fn post(&self, req: Req) {
+        self.metrics.mailbox_depth.inc();
+        let _ = self.tx.send(Envelope {
+            at: Instant::now(),
+            req,
+        });
+    }
+}
+
+fn recv<T>(rx: Receiver<T>) -> T {
+    rx.recv().expect("partition worker died")
+}
+
+/// The partitioned runtime: worker pool, ownership map, and the shared
+/// job-level tables that stay with the router (generation counters; the
+/// checkout serializer).
+#[derive(Debug)]
+pub(crate) struct PartitionedCore {
+    workers: Vec<WorkerHandle>,
+    servers: usize,
+    nodes: usize,
+    procs_per_node: usize,
+    partitioner: RangePartitioner,
+    generations: Arc<RwLock<HashMap<u64, u64>>>,
+    injector: Option<Arc<FaultInjector>>,
+    /// Serializes checkouts: only one caller may hold the assembled
+    /// locked core at a time.
+    checkout: Mutex<()>,
+    /// Excludes checkouts for the span of one routed multi-step protocol
+    /// (a write's append → punch → put → buffer → generation sequence, a
+    /// read's scan → fetch). The locked runtime commits those steps under
+    /// one metadata lock; here they are separate messages, and a checkout
+    /// pass interleaving between them would see — and migrate against —
+    /// a half-committed index, then have its work clobbered by the
+    /// remaining steps (a stale node-buffer record pointing at released
+    /// chain space). Routed ops hold the read side; `with_checked_out`
+    /// takes the write side before parking the workers.
+    ops: RwLock<()>,
+}
+
+impl std::fmt::Debug for WorkerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerHandle").finish_non_exhaustive()
+    }
+}
+
+impl PartitionedCore {
+    /// Spawn `cfg.partition_workers()` event loops, each pre-populated
+    /// with its owned (initially empty) KV partitions, heat shards, node
+    /// buffers, and read caches.
+    pub(crate) fn new(
+        cfg: &UniviStorConfig,
+        metrics: &JobMetrics,
+        injector: Option<Arc<FaultInjector>>,
+        layer_caps: Vec<(Tier, u64)>,
+    ) -> Self {
+        let servers = cfg.geometry.total_servers().max(1);
+        let nodes = cfg.geometry.nodes;
+        let pool = cfg.partition_workers();
+        let partitioner = RangePartitioner::new(cfg.metadata_range_size, servers);
+        let generations = Arc::new(RwLock::new(HashMap::new()));
+        let mut workers = Vec::with_capacity(pool);
+        for id in 0..pool {
+            let (tx, rx) = mpsc::sync_channel(MAILBOX_DEPTH);
+            let handles = metrics.partition_handles(id);
+            let worker = Worker {
+                id,
+                workers: pool,
+                partitioner,
+                layer_caps: layer_caps.clone(),
+                chunk_size: cfg.chunk_size,
+                generations: Arc::clone(&generations),
+                injector: injector.clone(),
+                metrics: handles.clone(),
+                kv: (id..servers)
+                    .step_by(pool)
+                    .map(|p| (p, BTreeMap::new()))
+                    .collect(),
+                puts: (id..servers).step_by(pool).map(|p| (p, 0)).collect(),
+                gets: (id..servers).step_by(pool).map(|p| (p, 0)).collect(),
+                local: (id..nodes)
+                    .step_by(pool)
+                    .map(|n| (n, HashMap::new()))
+                    .collect(),
+                read_cache: (id..nodes)
+                    .step_by(pool)
+                    .map(|n| (n, HashMap::new()))
+                    .collect(),
+                chains: HashMap::new(),
+                heat: (id..servers)
+                    .step_by(pool)
+                    .map(|p| (p, HashMap::new()))
+                    .collect(),
+                bytes: HashMap::new(),
+            };
+            let join = std::thread::Builder::new()
+                .name(format!("univistor-part-{id}"))
+                .spawn(move || worker.run(rx))
+                .expect("spawn partition worker");
+            workers.push(WorkerHandle {
+                tx,
+                metrics: handles,
+                join: Some(join),
+            });
+        }
+        PartitionedCore {
+            workers,
+            servers,
+            nodes,
+            procs_per_node: cfg.geometry.procs_per_node.max(1),
+            partitioner,
+            generations,
+            injector,
+            checkout: Mutex::new(()),
+            ops: RwLock::new(()),
+        }
+    }
+
+    /// Workers in the pool.
+    pub(crate) fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn owner_of_partition(&self, partition: usize) -> usize {
+        partition % self.workers.len()
+    }
+
+    /// The worker owning compute node `node`'s buffers and caches.
+    pub(crate) fn owner_of_node(&self, node: usize) -> usize {
+        node % self.workers.len()
+    }
+
+    /// The worker owning `client`'s chain: the owner of its node.
+    fn owner_of_client(&self, client: ClientId) -> usize {
+        self.owner_of_node(client.rank as usize / self.procs_per_node)
+    }
+
+    /// The KV partition (server index) owning logical `offset` — the
+    /// router-side mirror of `MetadataService::partition_of`.
+    pub(crate) fn partition_of(&self, offset: u64) -> usize {
+        self.partitioner.server_for(offset).0
+    }
+
+    /// Metadata servers a `lookup_range(fid, lo, hi)` would visit — the
+    /// locked runtime charges one RPC per visited server, so the routed
+    /// read path computes the same count here.
+    pub(crate) fn rpc_servers(&self, lo: u64, hi: u64) -> usize {
+        let scan_lo = lo.saturating_sub(self.partitioner.range_size);
+        self.partitioner.servers_for_span(scan_lo, hi).len()
+    }
+
+    /// The fid's current mutation generation (0 if never mutated).
+    pub(crate) fn generation(&self, fid: u64) -> u64 {
+        self.generations
+            .read()
+            .expect("generations poisoned")
+            .get(&fid)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Invalidate every cached read window of `fid` (mirrors
+    /// `MetadataService::bump_generation`).
+    pub(crate) fn bump_generation(&self, fid: u64) {
+        *self
+            .generations
+            .write()
+            .expect("generations poisoned")
+            .entry(fid)
+            .or_insert(0) += 1;
+    }
+
+    /// Create `client`'s chain if absent.
+    pub(crate) fn ensure_chain(&self, client: ClientId) -> SimResult<()> {
+        let (tx, rx) = mpsc::channel();
+        self.workers[self.owner_of_client(client)].post(Req::EnsureChain { client, reply: tx });
+        recv(rx)
+    }
+
+    /// Error exactly like a chain lookup if `client` has no chain.
+    pub(crate) fn chain_exists(&self, client: ClientId) -> SimResult<()> {
+        let (tx, rx) = mpsc::channel();
+        self.workers[self.owner_of_client(client)].post(Req::ChainExists { client, reply: tx });
+        recv(rx)
+    }
+
+    /// Append a payload run to `client`'s chain (see [`Req::Append`]).
+    pub(crate) fn append(
+        &self,
+        client: ClientId,
+        payloads: Vec<Payload>,
+        account: bool,
+    ) -> SimResult<Vec<PlacedSegment>> {
+        let (tx, rx) = mpsc::channel();
+        self.workers[self.owner_of_client(client)].post(Req::Append {
+            client,
+            payloads,
+            account,
+            reply: tx,
+        });
+        recv(rx)
+    }
+
+    /// Punch `[lo, hi)` of `fid` across every owning worker and merge the
+    /// outcomes back into the locked runtime's global key order.
+    pub(crate) fn punch(&self, fid: u64, lo: u64, hi: u64) -> PunchOutcome {
+        let mut out = PunchOutcome::default();
+        if lo >= hi {
+            return out;
+        }
+        let scan_lo = lo.saturating_sub(self.partitioner.range_size);
+        let mut receivers = Vec::new();
+        for owner in self.span_owners(scan_lo, hi) {
+            let (tx, rx) = mpsc::channel();
+            self.workers[owner].post(Req::Punch {
+                fid,
+                lo,
+                hi,
+                reply: tx,
+            });
+            receivers.push(rx);
+        }
+        for rx in receivers {
+            let part = recv(rx);
+            out.removed.extend(part.removed);
+            out.displaced.extend(part.displaced);
+            out.fragments.extend(part.fragments);
+        }
+        // Per-owner replies concatenate in owner order; the locked punch
+        // claims (and therefore releases) in global key order. Restore it.
+        out.removed.sort();
+        out.displaced.sort_by_key(|(k, _)| *k);
+        out.fragments.sort_by_key(|(k, _)| *k);
+        out
+    }
+
+    /// Workers owning at least one server of the span, in first-touch
+    /// span order.
+    fn span_owners(&self, lo: u64, hi: u64) -> Vec<usize> {
+        let mut owners: Vec<usize> = Vec::new();
+        for server in self.partitioner.servers_for_span(lo, hi) {
+            let owner = self.owner_of_partition(server.0);
+            if !owners.contains(&owner) {
+                owners.push(owner);
+            }
+        }
+        owners
+    }
+
+    /// Insert records into their owning partitions (grouped per worker).
+    pub(crate) fn put_records(&self, items: Vec<(SegKey, SegmentRecord)>) {
+        let pool = self.workers.len();
+        let mut groups: Vec<Vec<(SegKey, SegmentRecord)>> = vec![Vec::new(); pool];
+        for (k, v) in items {
+            groups[self.owner_of_partition(self.partition_of(k.offset))].push((k, v));
+        }
+        let mut receivers = Vec::new();
+        for (owner, items) in groups.into_iter().enumerate() {
+            if items.is_empty() {
+                continue;
+            }
+            let (tx, rx) = mpsc::channel();
+            self.workers[owner].post(Req::PutRecords { items, reply: tx });
+            receivers.push(rx);
+        }
+        for rx in receivers {
+            recv(rx);
+        }
+    }
+
+    /// Run the punch's node-buffer sweep on every worker owning a node.
+    pub(crate) fn buffer_apply(
+        &self,
+        fid: u64,
+        removed: Vec<SegKey>,
+        fragments: Vec<(SegKey, SegmentRecord)>,
+    ) {
+        let mut receivers = Vec::new();
+        for owner in 0..self.workers.len().min(self.nodes) {
+            let (tx, rx) = mpsc::channel();
+            self.workers[owner].post(Req::BufferApply {
+                fid,
+                removed: removed.clone(),
+                fragments: fragments.clone(),
+                reply: tx,
+            });
+            receivers.push(rx);
+        }
+        for rx in receivers {
+            recv(rx);
+        }
+    }
+
+    /// Refresh the producer node's shared metadata buffer.
+    pub(crate) fn buffer_insert(&self, node: usize, fid: u64, records: Vec<(u64, SegmentRecord)>) {
+        let (tx, rx) = mpsc::channel();
+        self.workers[self.owner_of_node(node)].post(Req::BufferInsert {
+            node,
+            fid,
+            records,
+            reply: tx,
+        });
+        recv(rx)
+    }
+
+    /// Release displaced spans. `spans` must already be sorted by owner
+    /// client (the locked pipeline's order); grouping preserves each
+    /// chain's relative release order.
+    pub(crate) fn release_spans(&self, spans: Vec<(ClientId, VirtualAddr, u64)>) {
+        let pool = self.workers.len();
+        let mut groups: Vec<Vec<(ClientId, VirtualAddr, u64)>> = vec![Vec::new(); pool];
+        for span in spans {
+            groups[self.owner_of_client(span.0)].push(span);
+        }
+        let mut receivers = Vec::new();
+        for (owner, spans) in groups.into_iter().enumerate() {
+            if spans.is_empty() {
+                continue;
+            }
+            let (tx, rx) = mpsc::channel();
+            self.workers[owner].post(Req::Release { spans, reply: tx });
+            receivers.push(rx);
+        }
+        for rx in receivers {
+            recv(rx);
+        }
+    }
+
+    /// Bump heat for the touched keys (fire-and-forget).
+    pub(crate) fn bump_heat(&self, keys: Vec<SegKey>) {
+        let pool = self.workers.len();
+        let mut groups: Vec<Vec<SegKey>> = vec![Vec::new(); pool];
+        for key in keys {
+            groups[self.owner_of_partition(self.partition_of(key.offset))].push(key);
+        }
+        for (owner, keys) in groups.into_iter().enumerate() {
+            if !keys.is_empty() {
+                self.workers[owner].post(Req::Heat { keys });
+            }
+        }
+    }
+
+    /// Node-local lookup in `node`'s shared metadata buffer.
+    pub(crate) fn lookup_local(
+        &self,
+        node: usize,
+        fid: u64,
+        lo: u64,
+        hi: u64,
+    ) -> Vec<(SegKey, SegmentRecord)> {
+        let (tx, rx) = mpsc::channel();
+        self.workers[self.owner_of_node(node)].post(Req::LookupLocal {
+            node,
+            fid,
+            lo,
+            hi,
+            reply: tx,
+        });
+        recv(rx)
+    }
+
+    /// Probe `node`'s read record cache (`None` = miss).
+    pub(crate) fn cache_lookup(
+        &self,
+        node: usize,
+        fid: u64,
+        lo: u64,
+        hi: u64,
+        gen: u64,
+    ) -> Option<Vec<(SegKey, SegmentRecord)>> {
+        let (tx, rx) = mpsc::channel();
+        self.workers[self.owner_of_node(node)].post(Req::CacheLookup {
+            node,
+            fid,
+            lo,
+            hi,
+            gen,
+            reply: tx,
+        });
+        recv(rx)
+    }
+
+    /// Distributed lookup of records intersecting `[lo, hi)` of `fid`,
+    /// merged and offset-sorted like `MetadataService::lookup_range`.
+    pub(crate) fn scan(&self, fid: u64, lo: u64, hi: u64) -> Vec<(SegKey, SegmentRecord)> {
+        let scan_lo = lo.saturating_sub(self.partitioner.range_size);
+        let mut receivers = Vec::new();
+        for owner in self.span_owners(scan_lo, hi) {
+            let (tx, rx) = mpsc::channel();
+            self.workers[owner].post(Req::Scan {
+                fid,
+                lo,
+                hi,
+                reply: tx,
+            });
+            receivers.push(rx);
+        }
+        let mut records = Vec::new();
+        for rx in receivers {
+            records.extend(recv(rx));
+        }
+        records.sort_by_key(|(k, _)| *k);
+        records
+    }
+
+    /// Install a fetched window into `node`'s read cache.
+    pub(crate) fn cache_install(
+        &self,
+        node: usize,
+        fid: u64,
+        lo: u64,
+        fetch_hi: u64,
+        gen: u64,
+        records: Vec<(SegKey, SegmentRecord)>,
+    ) {
+        let (tx, rx) = mpsc::channel();
+        self.workers[self.owner_of_node(node)].post(Req::CacheInstall {
+            node,
+            fid,
+            lo,
+            fetch_hi,
+            gen,
+            records,
+            reply: tx,
+        });
+        recv(rx)
+    }
+
+    /// Batched fragment fetch from `client`'s chain.
+    pub(crate) fn fetch(
+        &self,
+        client: ClientId,
+        requests: Vec<(VirtualAddr, u64)>,
+    ) -> SimResult<Vec<(Payload, Tier)>> {
+        let (tx, rx) = mpsc::channel();
+        self.workers[self.owner_of_client(client)].post(Req::Fetch {
+            client,
+            requests,
+            reply: tx,
+        });
+        recv(rx)
+    }
+
+    /// Merge (and with `take`, reset) every worker's byte ledger — the
+    /// partitioned replacement for the locked accounting mutex.
+    pub(crate) fn collect_bytes(&self, take: bool) -> HashMap<(ClientId, Tier), u64> {
+        let mut receivers = Vec::new();
+        for worker in &self.workers {
+            let (tx, rx) = mpsc::channel();
+            worker.post(Req::CollectBytes { take, reply: tx });
+            receivers.push(rx);
+        }
+        let mut merged: HashMap<(ClientId, Tier), u64> = HashMap::new();
+        for rx in receivers {
+            for (key, bytes) in recv(rx) {
+                *merged.entry(key).or_insert(0) += bytes;
+            }
+        }
+        merged
+    }
+
+    /// Park every worker, assemble the full locked core from their slices,
+    /// run `f` against it, then disassemble and redistribute by ownership.
+    /// Chains or records `f` creates (e.g. repair's re-replication) land on
+    /// their correct owners. Serialized: one checkout at a time.
+    /// Hold off checkouts while a routed multi-step protocol is in
+    /// flight; see the `ops` field. Cheap and uncontended in steady
+    /// state — no checkout, no writer, shared acquisition only.
+    pub(crate) fn exclude_passes(&self) -> std::sync::RwLockReadGuard<'_, ()> {
+        self.ops.read().expect("pass-exclusion gate poisoned")
+    }
+
+    pub(crate) fn with_checked_out<R>(&self, f: impl FnOnce(&LockedCore) -> R) -> R {
+        let _serial = self.checkout.lock().expect("checkout serializer poisoned");
+        // Wait for in-flight routed protocols to finish their commit
+        // sequences; new ones queue on the gate until the checkin.
+        let _excl = self.ops.write().expect("pass-exclusion gate poisoned");
+        let mut checkins = Vec::with_capacity(self.workers.len());
+        let mut receivers = Vec::with_capacity(self.workers.len());
+        for worker in &self.workers {
+            let (reply_tx, reply_rx) = mpsc::channel();
+            let (checkin_tx, checkin_rx) = mpsc::channel();
+            worker.post(Req::Checkout {
+                reply: reply_tx,
+                checkin: checkin_rx,
+            });
+            checkins.push(checkin_tx);
+            receivers.push(reply_rx);
+        }
+        let slices: Vec<Slice> = receivers.into_iter().map(recv).collect();
+        let core = self.assemble(slices);
+        let result = f(&core);
+        for (checkin, slice) in checkins.into_iter().zip(self.disassemble(core)) {
+            let _ = checkin.send(slice);
+        }
+        result
+    }
+
+    fn assemble(&self, slices: Vec<Slice>) -> LockedCore {
+        let mut shards: Vec<BTreeMap<SegKey, SegmentRecord>> =
+            (0..self.servers).map(|_| BTreeMap::new()).collect();
+        let mut puts = vec![0u64; self.servers];
+        let mut gets = vec![0u64; self.servers];
+        let mut local: Vec<HashMap<u64, BTreeMap<u64, SegmentRecord>>> =
+            (0..self.nodes).map(|_| HashMap::new()).collect();
+        let mut read_cache: Vec<HashMap<u64, BTreeMap<u64, CacheEntry>>> =
+            (0..self.nodes).map(|_| HashMap::new()).collect();
+        let mut heat_maps: Vec<HashMap<SegKey, u32>> =
+            (0..self.servers).map(|_| HashMap::new()).collect();
+        let mut chain_list: Vec<(ClientId, ProcChain)> = Vec::new();
+        for slice in slices {
+            for (p, shard) in slice.kv {
+                shards[p] = shard;
+            }
+            for (p, n) in slice.puts {
+                puts[p] = n;
+            }
+            for (p, n) in slice.gets {
+                gets[p] = n;
+            }
+            for (n, buffer) in slice.local {
+                local[n] = buffer;
+            }
+            for (n, cache) in slice.read_cache {
+                read_cache[n] = cache;
+            }
+            for (p, shard) in slice.heat {
+                heat_maps[p] = shard;
+            }
+            chain_list.extend(slice.chains);
+        }
+        let mut chains: ChainSet = chain_list.into_iter().collect();
+        if let Some(inj) = &self.injector {
+            chains.set_injector(Arc::clone(inj));
+        }
+        let metadata = MetadataService::from_parts(
+            self.partitioner.range_size,
+            shards,
+            puts,
+            gets,
+            local,
+            read_cache,
+            Arc::clone(&self.generations),
+            self.injector.clone(),
+        );
+        let heat = heat_maps
+            .into_iter()
+            .map(|shard| {
+                RwLock::new(
+                    shard
+                        .into_iter()
+                        .map(|(k, n)| (k, AtomicU32::new(n)))
+                        .collect(),
+                )
+            })
+            .collect();
+        LockedCore {
+            chains,
+            metadata,
+            heat,
+        }
+    }
+
+    fn disassemble(&self, core: LockedCore) -> Vec<Slice> {
+        let LockedCore {
+            chains,
+            metadata,
+            heat,
+        } = core;
+        let pool = self.workers.len();
+        let mut slices: Vec<Slice> = (0..pool).map(|_| Slice::default()).collect();
+        let (shards, puts, gets, local, read_cache) = metadata.into_parts();
+        for (p, shard) in shards.into_iter().enumerate() {
+            slices[p % pool].kv.insert(p, shard);
+        }
+        for (p, n) in puts.into_iter().enumerate() {
+            slices[p % pool].puts.insert(p, n);
+        }
+        for (p, n) in gets.into_iter().enumerate() {
+            slices[p % pool].gets.insert(p, n);
+        }
+        for (n, buffer) in local.into_iter().enumerate() {
+            slices[n % pool].local.insert(n, buffer);
+        }
+        for (n, cache) in read_cache.into_iter().enumerate() {
+            slices[n % pool].read_cache.insert(n, cache);
+        }
+        for (p, shard) in heat.into_iter().enumerate() {
+            slices[p % pool].heat.insert(
+                p,
+                shard
+                    .into_inner()
+                    .expect("heat shard poisoned")
+                    .into_iter()
+                    .map(|(k, n)| (k, n.into_inner()))
+                    .collect(),
+            );
+        }
+        for (client, chain) in chains.into_chain_list() {
+            slices[self.owner_of_client(client)]
+                .chains
+                .push((client, chain));
+        }
+        slices
+    }
+}
+
+impl Drop for PartitionedCore {
+    fn drop(&mut self) {
+        for worker in &self.workers {
+            worker.post(Req::Shutdown);
+        }
+        for worker in &mut self.workers {
+            if let Some(join) = worker.join.take() {
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::UniviStorConfig;
+    use crate::placement::layer_caps_with_node_local;
+
+    fn core(nodes: usize, procs_per_node: usize, partitions: usize) -> PartitionedCore {
+        let mut cfg = UniviStorConfig::test_small(nodes, procs_per_node);
+        cfg.partitions = partitions;
+        let caps = layer_caps_with_node_local(
+            cfg.cal.dram_cache_capacity_per_node,
+            None,
+            cfg.geometry.procs_per_node,
+            4096,
+            cfg.geometry.total_procs(),
+        );
+        let metrics = JobMetrics::new();
+        PartitionedCore::new(&cfg, &metrics, None, caps)
+    }
+
+    #[test]
+    fn ownership_map_is_total_and_stable() {
+        let core = core(2, 2, 2);
+        assert_eq!(core.workers(), 2);
+        for p in 0..4 {
+            assert_eq!(core.owner_of_partition(p), p % 2);
+        }
+        // Clients of node 0 (ranks 0..2) and node 1 (ranks 2..4).
+        assert_eq!(core.owner_of_client(ClientId::new(0, 0)), 0);
+        assert_eq!(core.owner_of_client(ClientId::new(0, 1)), 0);
+        assert_eq!(core.owner_of_client(ClientId::new(0, 2)), 1);
+    }
+
+    #[test]
+    fn routed_append_and_fetch_roundtrip() {
+        let core = core(2, 2, 2);
+        let client = ClientId::new(0, 0);
+        assert!(core.fetch(client, vec![]).is_err(), "no chain yet");
+        core.ensure_chain(client).unwrap();
+        core.chain_exists(client).unwrap();
+        let placed = core
+            .append(client, vec![Payload::pattern(7, 64)], true)
+            .unwrap();
+        assert_eq!(placed.len(), 1);
+        let got = core
+            .fetch(client, vec![(placed[0].va, placed[0].len)])
+            .unwrap();
+        assert!(got[0].0.content_eq(&Payload::pattern(7, 64)));
+        let bytes = core.collect_bytes(false);
+        assert_eq!(bytes[&(client, placed[0].tier)], 64);
+    }
+
+    #[test]
+    fn punch_claims_and_fragments_like_the_locked_path() {
+        let core = core(2, 2, 2);
+        let client = ClientId::new(0, 0);
+        let rec = SegmentRecord::new(client, VirtualAddr(100), 100);
+        core.put_records(vec![(SegKey { fid: 1, offset: 0 }, rec)]);
+        // Punch the middle third: one claim, two surviving fragments.
+        let out = core.punch(1, 30, 60);
+        assert_eq!(out.removed, vec![SegKey { fid: 1, offset: 0 }]);
+        assert_eq!(out.displaced.len(), 1);
+        assert_eq!(out.displaced[0].1.va, VirtualAddr(130));
+        assert_eq!(out.displaced[0].1.len, 30);
+        assert_eq!(out.fragments.len(), 2);
+        assert_eq!(out.fragments[0].0.offset, 0);
+        assert_eq!(out.fragments[1].0.offset, 60);
+        // The claimed record is gone; a second punch finds nothing.
+        assert!(core.punch(1, 30, 60).removed.is_empty());
+    }
+
+    #[test]
+    fn checkout_roundtrip_preserves_worker_state() {
+        let core = core(2, 2, 2);
+        let client = ClientId::new(0, 2); // node 1 → worker 1
+        core.ensure_chain(client).unwrap();
+        let placed = core
+            .append(client, vec![Payload::pattern(3, 64)], false)
+            .unwrap();
+        let rec = SegmentRecord::new(client, placed[0].va, 64);
+        core.put_records(vec![(SegKey { fid: 9, offset: 0 }, rec)]);
+        core.buffer_insert(1, 9, vec![(0, rec)]);
+        // The assembled locked core sees everything the workers own …
+        let (len, local_hits, live) = core.with_checked_out(|locked| {
+            (
+                locked.metadata.len(),
+                locked.metadata.lookup_local(1, 9, 0, 64).len(),
+                locked.chains.live_bytes(),
+            )
+        });
+        assert_eq!((len, local_hits, live), (1, 1, 64));
+        // … and after check-in the workers still serve it.
+        let got = core.fetch(client, vec![(placed[0].va, 64)]).unwrap();
+        assert!(got[0].0.content_eq(&Payload::pattern(3, 64)));
+        assert_eq!(core.scan(9, 0, 64).len(), 1);
+        assert_eq!(core.lookup_local(1, 9, 0, 64).len(), 1);
+    }
+}

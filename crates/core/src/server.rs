@@ -9,15 +9,27 @@
 //! state file. Client-side drivers (`crate::driver`) call into it; the
 //! bench harness calls the same methods rank-by-rank at paper scale.
 //!
-//! The job state is decomposed into independently locked shards so that
-//! operations by different clients proceed in parallel — the in-process
-//! analogue of the contention avoidance the paper builds at system scale
-//! (per-process logs, range-partitioned metadata servers): the file table
-//! and connection set are `RwLock`ed and read-mostly, file ids come from an
-//! atomic, every client's chain has its own lock ([`ChainSet`]), the
-//! metadata KV locks per shard, and Lustre sits behind one `RwLock` whose
-//! read path takes only the shared side. See DESIGN.md §"Concurrency
-//! model" for the shard map and the lock acquisition order.
+//! The data plane comes in two interchangeable flavors, selected by
+//! [`Runtime`](crate::config::Runtime):
+//!
+//! * **Locked** (the default): the job state is decomposed into
+//!   independently locked shards so that operations by different clients
+//!   proceed in parallel — the in-process analogue of the contention
+//!   avoidance the paper builds at system scale (per-process logs,
+//!   range-partitioned metadata servers): the file table and connection
+//!   set are `RwLock`ed and read-mostly, file ids come from an atomic,
+//!   every client's chain has its own lock ([`ChainSet`]), the metadata
+//!   KV locks per shard, and Lustre sits behind one `RwLock` whose read
+//!   path takes only the shared side. See DESIGN.md §"Concurrency model"
+//!   for the shard map and the lock acquisition order.
+//! * **Partitioned**: a shared-nothing pool of partition workers
+//!   exclusively owns the same state sliced by ownership (KV partitions,
+//!   node buffers, chains, heat shards) with no interior locks; the write
+//!   and read paths below become routing layers that partition each
+//!   planned batch by owner and await batched replies over bounded
+//!   mailboxes (see [`crate::runtime`] and DESIGN.md §13). The two
+//!   runtimes are byte-identical by construction and pinned so by the
+//!   differential tests in `tests/runtime.rs`.
 //!
 //! Every hot path reports into the job's [`JobMetrics`] panel;
 //! [`UniviStorJob::metrics`] snapshots it. The legacy [`JobStats`] view is
@@ -25,15 +37,18 @@
 //! panel cannot hold: flush receipts and the per-client byte map), so the
 //! two can never disagree.
 
-use crate::config::{UniviStorConfig, WritePipeline};
+use crate::config::{Runtime, UniviStorConfig, WritePipeline};
 use crate::error::{Error, Result};
 use crate::fault::{with_retries, FaultInjector};
 use crate::flush::{flush_file, FlushReceipt};
 use crate::metadata::{ClientId, MetadataService, SegKey, SegmentRecord};
 use crate::metrics::{JobMetrics, ScalarValues, WriteLockCounts};
 use crate::placement::{healthy_buddy, layer_caps_with_node_local, ChainSet, ProcChain};
-use crate::read::{ReadService, ReadState, ReadTrace};
+use crate::read::{
+    classify_fragment, plan_fragments, ReadLockCounts, ReadService, ReadState, ReadTrace,
+};
 use crate::repair::{repair_file, RepairReport};
+use crate::runtime::{LockedCore, PartitionedCore};
 use crate::tiering::{
     run_pass, PassCtx, PassOptions, TieringHandle, TieringPassReport, TieringState,
 };
@@ -103,15 +118,48 @@ struct Accounting {
     bytes_by_client_tier: HashMap<(ClientId, Tier), u64>,
 }
 
+/// The job's data-plane state, selected by [`Runtime`]: the resident
+/// locked structures, or the shared-nothing partition-worker pool.
+enum Core {
+    Locked(LockedCore),
+    Partitioned(PartitionedCore),
+}
+
+/// Per-client layer capacities under the `c/p` rule, honoring the
+/// configuration's tier toggles.
+fn job_layer_caps(cfg: &UniviStorConfig) -> Vec<(Tier, u64)> {
+    let bb_total =
+        cfg.cal.bb_nodes_for_job(cfg.geometry.nodes) as u64 * cfg.cal.bb_capacity_per_node;
+    let all = layer_caps_with_node_local(
+        cfg.cal.dram_cache_capacity_per_node,
+        cfg.cal.node_local_capacity,
+        cfg.geometry.procs_per_node,
+        bb_total,
+        cfg.geometry.total_procs(),
+    );
+    all.into_iter()
+        .filter(|(tier, cap)| {
+            let enabled = match tier {
+                Tier::Dram => cfg.enable_dram,
+                Tier::SharedBurstBuffer => cfg.enable_bb,
+                _ => true,
+            };
+            // A layer too small to hold one log chunk (e.g. a
+            // zero-capacity tier in the calibration) is dropped rather
+            // than poisoning chain construction; the PFS layer's
+            // unbounded capacity always stays.
+            enabled && (*cap == u64::MAX || *cap >= cfg.chunk_size)
+        })
+        .collect()
+}
+
 /// The running UniviStor service for one job.
 pub struct UniviStorJob {
     cfg: UniviStorConfig,
     /// path → file entry. Read-mostly: exclusive only in open/close.
     files: RwLock<HashMap<String, FileEntry>>,
-    /// Per-client DHP log chains, individually locked.
-    chains: ChainSet,
-    /// Internally synchronized (per-KV-shard + per-node-buffer locks).
-    metadata: MetadataService,
+    /// Chains, metadata, and heat shards — locked or partitioned.
+    core: Core,
     /// Destination PFS; reads take the shared side.
     lustre: RwLock<Lustre>,
     connected: RwLock<HashSet<ClientId>>,
@@ -122,11 +170,6 @@ pub struct UniviStorJob {
     /// skip the failed-set lock entirely in the (overwhelmingly common)
     /// no-failure case.
     failed_any: AtomicBool,
-    /// Per-segment read counts driving adaptive promotion, sharded by the
-    /// metadata KV's range partitioning so concurrent readers touching
-    /// different partitions never contend; each counter is atomic, so the
-    /// steady-state bump is a shared lock + `fetch_add`.
-    heat: Vec<RwLock<HashMap<SegKey, AtomicU32>>>,
     /// Sequential-scan detector feeding the read pipeline's readahead.
     read_state: ReadState,
     accounting: Mutex<Accounting>,
@@ -221,35 +264,53 @@ impl UniviStorJob {
     /// counters, so sharing one panel across concurrently *measured* jobs
     /// mixes their stats; share only for passive fleet-wide aggregation.
     pub fn with_metrics(cfg: UniviStorConfig, metrics: Arc<JobMetrics>) -> Self {
-        let servers = cfg.geometry.total_servers();
-        let mut metadata =
-            MetadataService::new(cfg.metadata_range_size, servers.max(1), cfg.geometry.nodes);
         let lustre = Lustre::new(cfg.cal.ost_count);
-        let heat_shards = metadata.servers().max(1);
         let stats_base = metrics.scalars();
-        let mut chains = ChainSet::new();
         let injector = cfg
             .fault
             .clone()
             .map(|schedule| Arc::new(FaultInjector::new(schedule)));
         if let Some(inj) = &injector {
             inj.install_counters(metrics.fault_counters());
-            chains.set_injector(inj.clone());
-            metadata.set_injector(inj.clone());
         }
+        let core = match cfg.runtime {
+            Runtime::Locked => {
+                let servers = cfg.geometry.total_servers();
+                let mut metadata = MetadataService::new(
+                    cfg.metadata_range_size,
+                    servers.max(1),
+                    cfg.geometry.nodes,
+                );
+                let heat_shards = metadata.servers().max(1);
+                let mut chains = ChainSet::new();
+                if let Some(inj) = &injector {
+                    chains.set_injector(inj.clone());
+                    metadata.set_injector(inj.clone());
+                }
+                Core::Locked(LockedCore {
+                    chains,
+                    metadata,
+                    heat: (0..heat_shards)
+                        .map(|_| RwLock::new(HashMap::new()))
+                        .collect(),
+                })
+            }
+            Runtime::Partitioned => Core::Partitioned(PartitionedCore::new(
+                &cfg,
+                &metrics,
+                injector.clone(),
+                job_layer_caps(&cfg),
+            )),
+        };
         UniviStorJob {
             cfg,
             files: RwLock::new(HashMap::new()),
-            chains,
-            metadata,
+            core,
             lustre: RwLock::new(lustre),
             connected: RwLock::new(HashSet::new()),
             next_fid: AtomicU64::new(1),
             failed_nodes: RwLock::new(HashSet::new()),
             failed_any: AtomicBool::new(false),
-            heat: (0..heat_shards)
-                .map(|_| RwLock::new(HashMap::new()))
-                .collect(),
             read_state: ReadState::new(),
             accounting: Mutex::new(Accounting {
                 stats_base,
@@ -295,32 +356,33 @@ impl UniviStorJob {
         &self.metrics
     }
 
-    /// Per-client layer capacities under the `c/p` rule, honoring the
-    /// configuration's tier toggles.
+    /// Partition workers serving this job's data plane: the pool size
+    /// under [`Runtime::Partitioned`], 0 under [`Runtime::Locked`].
+    pub fn partition_workers(&self) -> usize {
+        match &self.core {
+            Core::Locked(_) => 0,
+            Core::Partitioned(core) => core.workers(),
+        }
+    }
+
+    /// Per-client layer capacities under the `c/p` rule.
     fn layer_caps(&self) -> Vec<(Tier, u64)> {
-        let bb_total = self.cfg.cal.bb_nodes_for_job(self.cfg.geometry.nodes) as u64
-            * self.cfg.cal.bb_capacity_per_node;
-        let all = layer_caps_with_node_local(
-            self.cfg.cal.dram_cache_capacity_per_node,
-            self.cfg.cal.node_local_capacity,
-            self.cfg.geometry.procs_per_node,
-            bb_total,
-            self.cfg.geometry.total_procs(),
-        );
-        all.into_iter()
-            .filter(|(tier, cap)| {
-                let enabled = match tier {
-                    Tier::Dram => self.cfg.enable_dram,
-                    Tier::SharedBurstBuffer => self.cfg.enable_bb,
-                    _ => true,
-                };
-                // A layer too small to hold one log chunk (e.g. a
-                // zero-capacity tier in the calibration) is dropped
-                // rather than poisoning chain construction; the PFS
-                // layer's unbounded capacity always stays.
-                enabled && (*cap == u64::MAX || *cap >= self.cfg.chunk_size)
-            })
-            .collect()
+        job_layer_caps(&self.cfg)
+    }
+
+    /// Run `f` against the locked-core structures: directly under
+    /// [`Runtime::Locked`]; under [`Runtime::Partitioned`] the workers are
+    /// parked and their slices assembled for the duration (a *checkout* —
+    /// see [`PartitionedCore::with_checked_out`]). Cold paths only
+    /// (tiering passes, flush, repair, diagnostics).
+    ///
+    /// `f` must not call back into routed job operations (they would wait
+    /// on the parked workers); operate on the provided core instead.
+    fn with_core<R>(&self, f: impl FnOnce(&LockedCore) -> R) -> R {
+        match &self.core {
+            Core::Locked(core) => f(core),
+            Core::Partitioned(core) => core.with_checked_out(f),
+        }
     }
 
     /// Connection management: a client announced itself (`MPI_Init`).
@@ -424,9 +486,12 @@ impl UniviStorJob {
     }
 
     fn ensure_chain(&self, client: ClientId) -> SimResult<()> {
-        self.chains.ensure(client, || {
-            ProcChain::new(self.layer_caps(), self.cfg.chunk_size)
-        })
+        match &self.core {
+            Core::Locked(core) => core.chains.ensure(client, || {
+                ProcChain::new(self.layer_caps(), self.cfg.chunk_size)
+            }),
+            Core::Partitioned(core) => core.ensure_chain(client),
+        }
     }
 
     /// Write `payload` at `offset` of `path` on behalf of `client`.
@@ -463,9 +528,20 @@ impl UniviStorJob {
         };
         self.ensure_chain(client)?;
         let node = self.cfg.geometry.node_of_rank(client.rank as usize);
-        match self.cfg.write_pipeline {
-            WritePipeline::Batched => self.write_batched(client, fid, node, offset, payload)?,
-            WritePipeline::PerPiece => self.write_per_piece(client, fid, node, offset, payload)?,
+        match &self.core {
+            Core::Locked(core) => match self.cfg.write_pipeline {
+                WritePipeline::Batched => {
+                    self.write_batched(core, client, fid, node, offset, payload)?
+                }
+                WritePipeline::PerPiece => {
+                    self.write_per_piece(core, client, fid, node, offset, payload)?
+                }
+            },
+            // The routed pipeline is inherently batched; the pipeline
+            // toggle selects locked-runtime reference flavors only.
+            Core::Partitioned(core) => {
+                self.write_routed(core, client, fid, node, offset, payload)?
+            }
         }
         // The write superseded any drained-ahead copies it overlapped
         // (one relaxed load when no ledger exists — the disabled-daemon
@@ -505,6 +581,7 @@ impl UniviStorJob {
     /// differential tests and as the `write_batch` bench baseline.
     fn write_per_piece(
         &self,
+        core: &LockedCore,
         client: ClientId,
         fid: u64,
         node: usize,
@@ -516,7 +593,7 @@ impl UniviStorJob {
         for &(cur, piece_len) in &pieces {
             let piece = payload.slice(cur - offset, piece_len);
             let placed = with_retries(&self.cfg.retry, Some(&self.metrics), || {
-                self.chains.append(client, piece.clone())
+                core.chains.append(client, piece.clone())
             })?;
             locks.chain += 1;
 
@@ -533,7 +610,7 @@ impl UniviStorJob {
                     // never two chain locks at once.
                     locks.chain += 1;
                     let mirrored = with_retries(&self.cfg.retry, Some(&self.metrics), || {
-                        self.chains.append(buddy, piece.clone())
+                        core.chains.append(buddy, piece.clone())
                     });
                     if let Ok(rplaced) = mirrored {
                         record.replica = Some((buddy, rplaced.va));
@@ -543,7 +620,7 @@ impl UniviStorJob {
             }
 
             let outcome = with_retries(&self.cfg.retry, Some(&self.metrics), || {
-                self.metadata
+                core.metadata
                     .insert_batch(fid, cur, cur + piece_len, &[(cur, record)], node)
             })?;
             locks.kv_shard += outcome.locks.kv_shard_acquisitions;
@@ -553,10 +630,10 @@ impl UniviStorJob {
             // displaced span was claimed exactly once by the punch, so it
             // is released exactly once here.
             for d in outcome.displaced {
-                self.chains.release(d.client, d.va, d.len);
+                core.chains.release(d.client, d.va, d.len);
                 locks.chain += 1;
                 if let Some((rc, rva)) = d.replica {
-                    self.chains.release(rc, rva, d.len);
+                    core.chains.release(rc, rva, d.len);
                     locks.chain += 1;
                 }
             }
@@ -587,6 +664,7 @@ impl UniviStorJob {
     /// mutex once for the whole call.
     fn write_batched(
         &self,
+        core: &LockedCore,
         client: ClientId,
         fid: u64,
         node: usize,
@@ -603,7 +681,7 @@ impl UniviStorJob {
         let mut locks = WriteLockCounts::default();
 
         let placed = with_retries(&self.cfg.retry, Some(&self.metrics), || {
-            self.chains.append_many(client, payloads.clone())
+            core.chains.append_many(client, payloads.clone())
         })?;
         locks.chain += 1;
 
@@ -627,7 +705,7 @@ impl UniviStorJob {
                     let copies: Vec<Payload> =
                         volatile.iter().map(|&i| payloads[i].clone()).collect();
                     let mirrored = with_retries(&self.cfg.retry, Some(&self.metrics), || {
-                        self.chains.append_many(buddy, copies.clone())
+                        core.chains.append_many(buddy, copies.clone())
                     });
                     if let Ok(rplaced) = mirrored {
                         for (&i, rp) in volatile.iter().zip(&rplaced) {
@@ -685,7 +763,7 @@ impl UniviStorJob {
         // Commit the run: one punch over the full span, partition-grouped
         // record puts, one producer node-buffer refresh.
         let outcome = with_retries(&self.cfg.retry, Some(&self.metrics), || {
-            self.metadata.insert_batch(fid, offset, end, &records, node)
+            core.metadata.insert_batch(fid, offset, end, &records, node)
         })?;
         locks.kv_shard += outcome.locks.kv_shard_acquisitions;
         locks.node_buffer += outcome.locks.node_buffer_acquisitions;
@@ -703,7 +781,7 @@ impl UniviStorJob {
             }
         }
         spans.sort_by_key(|&(c, _, _)| c);
-        locks.chain += self.chains.release_many(&spans);
+        locks.chain += core.chains.release_many(&spans);
 
         {
             let mut acct = self.accounting.lock().expect("accounting poisoned");
@@ -717,6 +795,165 @@ impl UniviStorJob {
         }
         self.metrics
             .record_write_batch(pieces.len() as u64, records.len() as u64, locks);
+        Ok(())
+    }
+
+    /// Routed write pipeline ([`Runtime::Partitioned`]): the same plan,
+    /// replication, coalescing, commit, and release steps as
+    /// [`write_batched`](Self::write_batched), but every state mutation is
+    /// a message to the owning partition worker instead of a lock
+    /// acquisition — the call takes **zero** counted locks. Byte ledgers
+    /// accumulate in the appending worker (`account`), replacing the
+    /// router-side accounting mutex.
+    fn write_routed(
+        &self,
+        core: &PartitionedCore,
+        client: ClientId,
+        fid: u64,
+        node: usize,
+        offset: u64,
+        payload: Payload,
+    ) -> SimResult<()> {
+        // The commit below is many messages; hold off tiering checkouts
+        // until the last one lands (see `PartitionedCore::exclude_passes`).
+        let _commit = core.exclude_passes();
+        let len = payload.len();
+        let end = offset + len;
+        let pieces = self.plan_pieces(offset, len);
+        let payloads: Vec<Payload> = pieces
+            .iter()
+            .map(|&(cur, plen)| payload.slice(cur - offset, plen))
+            .collect();
+
+        let placed = with_retries(&self.cfg.retry, Some(&self.metrics), || {
+            core.append(client, payloads.clone(), true)
+        })?;
+
+        // Replicate volatile pieces into a healthy buddy's chain —
+        // best-effort, one message, after the primary run completes
+        // (mirrors the locked pipeline's lock ordering: never two chains
+        // at once).
+        let mut replicas: Vec<Option<(ClientId, VirtualAddr, usize)>> = vec![None; pieces.len()];
+        if self.cfg.replicate_volatile {
+            if let Some(buddy) = self.replica_buddy(client) {
+                let volatile: Vec<usize> = placed
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.tier != Tier::Pfs)
+                    .map(|(i, _)| i)
+                    .collect();
+                if !volatile.is_empty() {
+                    core.ensure_chain(buddy)?;
+                    let copies: Vec<Payload> =
+                        volatile.iter().map(|&i| payloads[i].clone()).collect();
+                    let mirrored = with_retries(&self.cfg.retry, Some(&self.metrics), || {
+                        core.append(buddy, copies.clone(), false)
+                    });
+                    if let Ok(rplaced) = mirrored {
+                        for (&i, rp) in volatile.iter().zip(&rplaced) {
+                            replicas[i] = Some((buddy, rp.va, rp.layer));
+                            self.metrics.record_replication(pieces[i].1);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Coalesce exactly like the locked pipeline (see `write_batched`):
+        // same-layer VA-adjacent pieces with lined-up replicas merge, each
+        // record capped at the metadata range size.
+        let range = self.cfg.metadata_range_size;
+        let mut records: Vec<(u64, SegmentRecord)> = Vec::with_capacity(pieces.len());
+        let mut tail_layer = 0usize;
+        let mut tail_replica_layer = 0usize;
+        for (i, p) in placed.iter().enumerate() {
+            let (off, plen) = pieces[i];
+            self.metrics.record_segment(p.tier, p.layer, plen);
+            if let Some((_, last)) = records.last_mut() {
+                let replica_ok = match (last.replica, replicas[i]) {
+                    (None, None) => true,
+                    (Some((lc, lva)), Some((rc, rva, rlayer))) => {
+                        lc == rc && lva.0 + last.len == rva.0 && rlayer == tail_replica_layer
+                    }
+                    _ => false,
+                };
+                if p.layer == tail_layer
+                    && last.va.0 + last.len == p.va.0
+                    && replica_ok
+                    && last.len + plen <= range
+                {
+                    last.len += plen;
+                    continue;
+                }
+            }
+            records.push((
+                off,
+                SegmentRecord {
+                    client,
+                    va: p.va,
+                    len: plen,
+                    replica: replicas[i].map(|(c, va, _)| (c, va)),
+                },
+            ));
+            tail_layer = p.layer;
+            tail_replica_layer = replicas[i].map(|(_, _, l)| l).unwrap_or(0);
+        }
+
+        // Commit. `insert_batch` fails only by injection *before* touching
+        // state, so the router draws that fault alone under the retry
+        // loop; the commit messages themselves are infallible.
+        with_retries(&self.cfg.retry, Some(&self.metrics), || {
+            match &self.injector {
+                Some(inj) => inj.inject("kv_insert", None),
+                None => Ok(()),
+            }
+        })?;
+        for (off, record) in &records {
+            assert!(
+                record.len <= range,
+                "segment length {} exceeds metadata range size {range}",
+                record.len
+            );
+            assert!(
+                *off >= offset && off + record.len <= end,
+                "record [{off}, {}) outside batch span [{offset}, {end})",
+                off + record.len
+            );
+        }
+        let outcome = core.punch(fid, offset, end);
+        // `punch_inner` parity: with nothing claimed there are no
+        // fragments to re-insert and no node-buffer sweep to run.
+        if !outcome.removed.is_empty() {
+            core.put_records(outcome.fragments.clone());
+            core.buffer_apply(fid, outcome.removed.clone(), outcome.fragments.clone());
+        }
+        core.put_records(
+            records
+                .iter()
+                .map(|&(off, record)| (SegKey { fid, offset: off }, record))
+                .collect(),
+        );
+        core.buffer_insert(node, fid, records.clone());
+        core.bump_generation(fid);
+
+        // Free the log space of overwritten data, including replica
+        // copies, grouped by owning worker; the stable sort keeps punch
+        // order within an owner (the locked pipeline's release order).
+        let mut spans: Vec<(ClientId, VirtualAddr, u64)> = Vec::new();
+        for (_, d) in &outcome.displaced {
+            spans.push((d.client, d.va, d.len));
+            if let Some((rc, rva)) = d.replica {
+                spans.push((rc, rva, d.len));
+            }
+        }
+        spans.sort_by_key(|&(c, _, _)| c);
+        core.release_spans(spans);
+
+        self.metrics.record_write_batch(
+            pieces.len() as u64,
+            records.len() as u64,
+            WriteLockCounts::default(),
+        );
         Ok(())
     }
 
@@ -746,38 +983,193 @@ impl UniviStorJob {
         } else {
             &no_failures
         };
-        // Shared locks only from here: metadata shards, node buffers, read
-        // caches, and producer chains — concurrent readers never block
-        // each other. Reads mutate nothing, so an injected transient fault
-        // anywhere in the plan is absorbed by replanning the whole read.
-        let out = with_retries(&self.cfg.retry, Some(&self.metrics), || {
-            ReadService::new(&self.metadata, &self.chains, &self.cfg.geometry)
-                .location_aware(self.cfg.features.location_aware_reads)
-                .pipeline(self.cfg.read_pipeline)
-                .readahead(self.cfg.readahead_min_streak, self.cfg.readahead_window)
-                .with_state(&self.read_state)
-                .with_failed_nodes(failed)
-                .read(client, fid, offset, len)
-        })?;
-        self.metrics.record_read_trace(&out.trace);
-        self.metrics.record_read_locks(out.locks);
-        for key in out.touched {
-            self.bump_heat(key);
+        // Locked: shared locks only from here (metadata shards, node
+        // buffers, read caches, producer chains) — concurrent readers
+        // never block each other. Partitioned: messages to owning workers,
+        // no counted locks at all. Reads mutate nothing, so an injected
+        // transient fault anywhere in the plan is absorbed by replanning
+        // the whole read.
+        match &self.core {
+            Core::Locked(core) => {
+                let out = with_retries(&self.cfg.retry, Some(&self.metrics), || {
+                    ReadService::new(&core.metadata, &core.chains, &self.cfg.geometry)
+                        .location_aware(self.cfg.features.location_aware_reads)
+                        .pipeline(self.cfg.read_pipeline)
+                        .readahead(self.cfg.readahead_min_streak, self.cfg.readahead_window)
+                        .with_state(&self.read_state)
+                        .with_failed_nodes(failed)
+                        .read(client, fid, offset, len)
+                })?;
+                self.metrics.record_read_trace(&out.trace);
+                self.metrics.record_read_locks(out.locks);
+                for key in out.touched {
+                    Self::bump_heat(core, key);
+                }
+                Ok(out.payload)
+            }
+            Core::Partitioned(core) => {
+                let (payload, trace, touched) =
+                    with_retries(&self.cfg.retry, Some(&self.metrics), || {
+                        self.read_routed(core, client, fid, offset, len, failed)
+                    })?;
+                self.metrics.record_read_trace(&trace);
+                self.metrics.record_read_locks(ReadLockCounts::default());
+                // Fire-and-forget to the owning heat workers — the read
+                // never waits on access-pattern tracking.
+                core.bump_heat(touched);
+                Ok(payload)
+            }
         }
-        Ok(out.payload)
     }
 
-    /// The heat shard owning `key` — sharded like the metadata KV's range
-    /// partitioning, so readers of different partitions never contend.
-    fn heat_shard(&self, key: &SegKey) -> &RwLock<HashMap<SegKey, AtomicU32>> {
-        &self.heat[self.metadata.partition_of(key.offset) % self.heat.len()]
+    /// Routed read pipeline ([`Runtime::Partitioned`]): the same four
+    /// stages as [`ReadService`] — gather (node buffer, then the
+    /// generation-validated read cache, then a distributed scan), plan
+    /// ([`plan_fragments`]), fetch (one message per producer group, first
+    /// appearance order), classify ([`classify_fragment`]) — with every
+    /// shared-lock acquisition replaced by a message to the owning worker.
+    /// Trace accounting and fault-draw order match the locked service
+    /// field for field; the differential tests pin it.
+    #[allow(clippy::type_complexity)]
+    fn read_routed(
+        &self,
+        core: &PartitionedCore,
+        client: ClientId,
+        fid: u64,
+        offset: u64,
+        len: u64,
+        failed: &HashSet<usize>,
+    ) -> SimResult<(Payload, ReadTrace, Vec<SegKey>)> {
+        // A checkout pass between our scan and fetch could migrate a
+        // record and release the location we are about to read; exclude
+        // passes for the whole attempt.
+        let _view = core.exclude_passes();
+        let mut trace = ReadTrace {
+            requests: 1,
+            ..ReadTrace::default()
+        };
+        if len == 0 {
+            return Ok((Payload::empty(), trace, Vec::new()));
+        }
+        let my_node = self.cfg.geometry.node_of_rank(client.rank as usize);
+        let end = offset + len;
+
+        let mut records: Vec<(SegKey, SegmentRecord)> = Vec::new();
+        if self.cfg.features.location_aware_reads {
+            // Every location-aware read advances the scan detector (even
+            // ones the node buffer fully covers), so a stream stays "hot"
+            // when it transitions from local to remote data.
+            let readahead_active = self.cfg.readahead_window > 0
+                && self
+                    .read_state
+                    .advance(client, fid, offset, end, self.cfg.readahead_min_streak);
+            let local_hits = core.lookup_local(my_node, fid, offset, end);
+            trace.local_md_hits += local_hits.len() as u64;
+            let covered: u64 = local_hits
+                .iter()
+                .map(|(k, r)| {
+                    let lo = k.offset.max(offset);
+                    let hi = (k.offset + r.len).min(end);
+                    hi.saturating_sub(lo)
+                })
+                .sum();
+            records.extend(local_hits.iter().copied());
+            if covered < len {
+                let fetch_hi = if readahead_active {
+                    end.saturating_add(self.cfg.readahead_window)
+                } else {
+                    end
+                };
+                // `lookup_range_cached` parity: the fault is drawn first,
+                // before touching any state.
+                if let Some(inj) = &self.injector {
+                    inj.inject("kv_lookup", None)?;
+                }
+                let gen = core.generation(fid);
+                let remote_hits = match core.cache_lookup(my_node, fid, offset, end, gen) {
+                    Some(hits) => {
+                        trace.md_cache_hits += 1;
+                        hits
+                    }
+                    None => {
+                        let hits = core.scan(fid, offset, fetch_hi);
+                        trace.md_rpcs += core.rpc_servers(offset, fetch_hi) as u64;
+                        // The owning worker re-checks the generation
+                        // before caching (a mutation may have landed while
+                        // the scan was in flight).
+                        core.cache_install(my_node, fid, offset, fetch_hi, gen, hits.clone());
+                        trace.md_cache_misses += 1;
+                        trace.readahead_bytes += fetch_hi - end;
+                        hits
+                    }
+                };
+                let mut seen: HashSet<SegKey> = records.iter().map(|(k, _)| *k).collect();
+                for (k, r) in remote_hits {
+                    // Readahead overshoot stays in the cache but out of
+                    // this request's plan.
+                    if k.offset >= end || k.offset + r.len <= offset {
+                        continue;
+                    }
+                    if seen.insert(k) {
+                        records.push((k, r));
+                    }
+                }
+            }
+        } else {
+            // Naive path: a raw distributed lookup on the client's behalf.
+            records = core.scan(fid, offset, end);
+            trace.md_rpcs += core.rpc_servers(offset, end) as u64;
+        }
+        records.sort_by_key(|(k, _)| k.offset);
+
+        let (fragments, touched) = plan_fragments(
+            &self.cfg.geometry,
+            failed,
+            &records,
+            offset,
+            end,
+            &mut trace,
+        )?;
+        let n = fragments.len();
+        let mut groups: Vec<(ClientId, Vec<usize>)> = Vec::new();
+        for (i, f) in fragments.iter().enumerate() {
+            match groups.iter_mut().find(|(source, _)| *source == f.source) {
+                Some((_, idxs)) => idxs.push(i),
+                None => groups.push((f.source, vec![i])),
+            }
+        }
+        let mut fetched: Vec<Option<(Payload, Tier)>> = (0..n).map(|_| None).collect();
+        for (source, idxs) in &groups {
+            let requests: Vec<(VirtualAddr, u64)> = idxs
+                .iter()
+                .map(|&i| (fragments[i].va, fragments[i].len))
+                .collect();
+            for (&i, got) in idxs.iter().zip(core.fetch(*source, requests)?) {
+                fetched[i] = Some(got);
+            }
+        }
+        let mut parts = Vec::with_capacity(n);
+        for (fragment, got) in fragments.iter().zip(fetched) {
+            let (payload, tier) = got.expect("every fragment fetched");
+            classify_fragment(
+                &self.cfg.geometry,
+                self.cfg.features.location_aware_reads,
+                fragment,
+                tier,
+                my_node,
+                &mut trace,
+            );
+            parts.push(payload);
+        }
+        Ok((Payload::chain(parts), trace, touched))
     }
 
-    /// Count one read of `key`: shared shard lock + atomic increment in
-    /// steady state; only a key's first touch takes the shard's write
-    /// lock, to install the counter.
-    fn bump_heat(&self, key: SegKey) {
-        let shard = self.heat_shard(&key);
+    /// Count one read of `key` against the locked core's heat shards
+    /// (sharded like the metadata KV's range partitioning): shared shard
+    /// lock + atomic increment in steady state; only a key's first touch
+    /// takes the shard's write lock, to install the counter.
+    fn bump_heat(core: &LockedCore, key: SegKey) {
+        let shard = &core.heat[core.metadata.partition_of(key.offset) % core.heat.len()];
         {
             let shard = shard.read().expect("heat poisoned");
             if let Some(n) = shard.get(&key) {
@@ -793,19 +1185,34 @@ impl UniviStorJob {
             .fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Run `f` while holding a *shared* lock on `client`'s chain — the
+    /// Run `f` while holding a *shared* view of `client`'s chain — the
     /// concurrency probe for tests: with the old whole-job mutex any job
     /// operation from inside `f` (on any thread) would deadlock; with the
     /// sharded layout reads of that same chain proceed in parallel.
     ///
-    /// `f` must not perform *exclusive* operations on `client`'s own chain
-    /// (writes by `client`, displacing overwrites of its segments) from
-    /// the calling thread — std `RwLock` readers may block behind a queued
-    /// writer.
+    /// Under the locked runtime the view is a `try_read`-with-backoff
+    /// acquisition ([`ChainSet::with`]): the caller never parks in the
+    /// rwlock's reader queue, and while a writer is queued new views back
+    /// off until it has gone through — so a stream of views cannot starve
+    /// writers on the chain. `f` may run concurrent job operations, but
+    /// must not *wait* on another thread acquiring a view of the same
+    /// chain (with a writer queued, that view defers to the writer, which
+    /// in turn waits for `f` — a cycle), and exclusive operations on
+    /// `client`'s own chain from the calling thread deadlock by
+    /// definition. Under the partitioned runtime chains have no locks at
+    /// all — the view is a plain existence check.
     pub fn with_shared_read_view<R>(&self, client: ClientId, f: impl FnOnce() -> R) -> Result<R> {
-        self.chains
-            .with(client, |_| f())
-            .map_err(|e| Error::new("read_view", e).with_client(client))
+        match &self.core {
+            Core::Locked(core) => core
+                .chains
+                .with(client, |_| f())
+                .map_err(|e| Error::new("read_view", e).with_client(client)),
+            Core::Partitioned(core) => {
+                core.chain_exists(client)
+                    .map_err(|e| Error::new("read_view", e).with_client(client))?;
+                Ok(f())
+            }
+        }
     }
 
     /// The replica buddy of `client`: the same-index process on the next
@@ -877,17 +1284,23 @@ impl UniviStorJob {
         if !failed.is_empty() {
             let node_failed =
                 |c: ClientId| failed.contains(&self.cfg.geometry.node_of_rank(c.rank as usize));
-            for (fid, size) in self.file_spans() {
-                n += self
-                    .metadata
-                    .lookup_range(fid, 0, size)
-                    .1
+            let spans = self.file_spans();
+            n = self.with_core(|core| {
+                spans
                     .iter()
-                    .filter(|(_, r)| {
-                        node_failed(r.client) || r.replica.is_some_and(|(rc, _)| node_failed(rc))
+                    .map(|&(fid, size)| {
+                        core.metadata
+                            .lookup_range(fid, 0, size)
+                            .1
+                            .iter()
+                            .filter(|(_, r)| {
+                                node_failed(r.client)
+                                    || r.replica.is_some_and(|(rc, _)| node_failed(rc))
+                            })
+                            .count() as u64
                     })
-                    .count() as u64;
-            }
+                    .sum()
+            });
         }
         self.metrics.set_degraded_segments(n);
         n
@@ -921,21 +1334,32 @@ impl UniviStorJob {
             .clone();
         let mut total = RepairReport::default();
         if !failed.is_empty() {
-            for (fid, size) in self.file_spans() {
-                let report = repair_file(
-                    &self.metadata,
-                    &self.chains,
-                    &self.cfg.geometry,
-                    self.cfg.chunk_size,
-                    &failed,
-                    &self.cfg.retry,
-                    Some(&self.metrics),
-                    &|c| self.ensure_chain(c),
-                    fid,
-                    size,
-                )?;
-                total.absorb(report);
-            }
+            let spans = self.file_spans();
+            // Inside a checkout, chains must be ensured on the assembled
+            // core directly — routed `ensure_chain` would wait on the
+            // parked workers.
+            self.with_core(|core| {
+                let ensure = |c: ClientId| {
+                    core.chains
+                        .ensure(c, || ProcChain::new(self.layer_caps(), self.cfg.chunk_size))
+                };
+                for (fid, size) in spans {
+                    let report = repair_file(
+                        &core.metadata,
+                        &core.chains,
+                        &self.cfg.geometry,
+                        self.cfg.chunk_size,
+                        &failed,
+                        &self.cfg.retry,
+                        Some(&self.metrics),
+                        &ensure,
+                        fid,
+                        size,
+                    )?;
+                    total.absorb(report);
+                }
+                Ok::<(), SimError>(())
+            })?;
         }
         self.degraded_segments();
         Ok(total)
@@ -1005,19 +1429,22 @@ impl UniviStorJob {
                 .values()
                 .any(|e| e.fid == fid && e.open_count > 0)
         };
-        let ctx = PassCtx {
-            cfg: &self.cfg,
-            metadata: &self.metadata,
-            chains: &self.chains,
-            lustre: &self.lustre,
-            heat: &self.heat,
-            metrics: &self.metrics,
-            state: &self.tiering,
-            files,
-            failed,
-            is_open: &is_open,
-        };
-        run_pass(&ctx, node, opts).map_err(|e| Error::new("tiering", e))
+        self.with_core(|core| {
+            let ctx = PassCtx {
+                cfg: &self.cfg,
+                metadata: &core.metadata,
+                chains: &core.chains,
+                lustre: &self.lustre,
+                heat: &core.heat,
+                metrics: &self.metrics,
+                state: &self.tiering,
+                files,
+                failed,
+                is_open: &is_open,
+            };
+            run_pass(&ctx, node, opts)
+        })
+        .map_err(|e| Error::new("tiering", e))
     }
 
     /// Run one tiering pass on every node, aggregating the reports.
@@ -1096,31 +1523,38 @@ impl UniviStorJob {
             .read()
             .expect("failed set poisoned")
             .clone();
-        // Serialize against the tiering daemon on this file: a pass that
-        // holds the gate finishes (or is skipped) before the flush reads
-        // the chains, so no drain write or migration release races the
-        // flush. Passes only `try_lock` the gate, so this cannot
-        // deadlock.
-        let gate = self.tiering.fid_gate(fid);
-        let _gate = gate.lock().expect("tiering gate poisoned");
-        // Consume the drain ledger: spans the daemon already copied (and
-        // that are still current) turn the flush into a catch-up.
-        let ledger = self.tiering.take_ledger(fid);
-        // No job-wide lock during the flush: other clients keep writing
-        // and reading other files while this one drains to Lustre.
-        let result = flush_file(
-            &self.metadata,
-            &self.chains,
-            &self.lustre,
-            &self.cfg,
-            &failed,
-            Some(&self.metrics),
-            self.injector.as_deref(),
-            fid,
-            size,
-            path,
-            ledger.as_ref(),
-        );
+        // No job-wide lock during the flush under the locked runtime:
+        // other clients keep writing and reading other files while this
+        // one drains to Lustre. The partitioned runtime checks the core
+        // out for the duration instead (flush is the cold path).
+        let result = self.with_core(|core| {
+            // Serialize against the tiering daemon on this file: a pass
+            // that holds the gate finishes (or is skipped) before the
+            // flush reads the chains, so no drain write or migration
+            // release races the flush. Passes only `try_lock` the gate,
+            // so this cannot deadlock (and under the partitioned runtime
+            // the checkout serializer already excludes concurrent
+            // passes).
+            let gate = self.tiering.fid_gate(fid);
+            let _gate = gate.lock().expect("tiering gate poisoned");
+            // Consume the drain ledger: spans the daemon already copied
+            // (and that are still current) turn the flush into a
+            // catch-up.
+            let ledger = self.tiering.take_ledger(fid);
+            flush_file(
+                &core.metadata,
+                &core.chains,
+                &self.lustre,
+                &self.cfg,
+                &failed,
+                Some(&self.metrics),
+                self.injector.as_deref(),
+                fid,
+                size,
+                path,
+                ledger.as_ref(),
+            )
+        });
         self.metrics.flush_finished();
         let receipt = result?;
         self.tiering
@@ -1153,17 +1587,18 @@ impl UniviStorJob {
             })
     }
 
-    /// Live cached bytes per tier across all clients. Takes each chain's
-    /// shared lock in turn — never the whole job.
+    /// Live cached bytes per tier across all clients. Under the locked
+    /// runtime takes each chain's shared lock in turn — never the whole
+    /// job; under the partitioned runtime checks the core out.
     pub fn tier_usage(&self) -> Vec<(Tier, u64)> {
-        self.chains.live_by_tier().into_iter().collect()
+        self.with_core(|core| core.chains.live_by_tier().into_iter().collect())
     }
 
     /// Total records in the distributed metadata index, across all files —
     /// the index size coalescing shrinks (reported by the `write_batch`
     /// bench).
     pub fn metadata_records(&self) -> usize {
-        self.metadata.len()
+        self.with_core(|core| core.metadata.len())
     }
 
     /// All index records of `path`, offset-sorted: each record's logical
@@ -1181,7 +1616,7 @@ impl UniviStorJob {
             })?;
             (entry.fid, entry.size.load(Ordering::Relaxed))
         };
-        Ok(self.metadata.lookup_range(fid, 0, size).1)
+        Ok(self.with_core(|core| core.metadata.lookup_range(fid, 0, size).1))
     }
 
     /// Verify a flushed file: compare the PFS copy byte-for-byte against
@@ -1257,18 +1692,27 @@ impl UniviStorJob {
     }
 
     /// Snapshot of the counters (since construction or the last
-    /// [`Self::take_stats`]).
+    /// [`Self::take_stats`]). Under the partitioned runtime the
+    /// per-(client, tier) byte map is merged from the workers' ledgers.
     pub fn stats(&self) -> JobStats {
         let acct = self.accounting.lock().expect("accounting poisoned");
-        self.stats_view(&acct)
+        let mut out = self.stats_view(&acct);
+        if let Core::Partitioned(core) = &self.core {
+            out.bytes_by_client_tier = core.collect_bytes(false);
+        }
+        out
     }
 
     /// Take and reset the counters (phase boundaries in experiments).
     /// The underlying metrics panel is monotonic and unaffected; only the
-    /// baseline this view diffs against advances.
+    /// baseline this view diffs against advances (and, under the
+    /// partitioned runtime, the workers' byte ledgers drain).
     pub fn take_stats(&self) -> JobStats {
         let mut acct = self.accounting.lock().expect("accounting poisoned");
-        let out = self.stats_view(&acct);
+        let mut out = self.stats_view(&acct);
+        if let Core::Partitioned(core) = &self.core {
+            out.bytes_by_client_tier = core.collect_bytes(true);
+        }
         acct.stats_base = self.metrics.scalars();
         acct.flush_receipts = Vec::new();
         acct.bytes_by_client_tier = HashMap::new();

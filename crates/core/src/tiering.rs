@@ -797,7 +797,7 @@ fn promote_phase(
     policy: &PromotionPolicy,
     report: &mut TieringPassReport,
 ) -> SimResult<()> {
-    let hot: Vec<(SegKey, u32)> = ctx
+    let mut hot: Vec<(SegKey, u32)> = ctx
         .heat
         .iter()
         .flat_map(|shard| {
@@ -809,6 +809,11 @@ fn promote_phase(
                 .collect::<Vec<_>>()
         })
         .collect();
+    // Hottest first (key as tie-break): the scarce top layer goes to the
+    // most-read segments, and the order — hence the whole pass — is
+    // deterministic rather than at the mercy of shard iteration order,
+    // which the cross-runtime differential tests rely on.
+    hot.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     for (key, heat) in hot {
         let gate = ctx.state.fid_gate(key.fid);
         let Ok(_gate) = gate.try_lock() else {
@@ -956,6 +961,14 @@ impl<'a> TieringHandle<'a> {
     pub fn run_pass(&self) -> Result<TieringPassReport> {
         self.job
             .tiering_pass_all(&PassOptions::full(self.job.cfg()))
+    }
+
+    /// Run a promotion-only pass on every node right now under `policy`,
+    /// without spilling, draining, or ticking heat decay. This is the
+    /// replacement for the deprecated `UniviStorJob::promote_hot`.
+    pub fn promote_now(&self, policy: PromotionPolicy) -> Result<TieringPassReport> {
+        self.job
+            .tiering_pass_all(&PassOptions::promote_only(policy))
     }
 
     /// Lifetime totals.

@@ -8,7 +8,7 @@
 //! records.
 
 use std::sync::Arc;
-use univistor_core::config::{ReadPipeline, UniviStorConfig};
+use univistor_core::config::{PromotionPolicy, ReadPipeline, UniviStorConfig};
 use univistor_core::metadata::ClientId;
 use univistor_core::server::UniviStorJob;
 use univistor_sim::rng::DetRng;
@@ -194,12 +194,19 @@ fn readahead_cuts_metadata_rpcs_on_sequential_scans() {
     assert_eq!(on_trace.total_bytes(), off_trace.total_bytes());
 }
 
-/// `promote_hot` racing concurrent overwrites and reads must never
-/// corrupt the index: after the dust settles, the last write wins, the
-/// index balances the live log bytes, and promotion still works.
+/// Promotion racing concurrent overwrites and reads must never corrupt
+/// the index: after the dust settles, the last write wins, the index
+/// balances the live log bytes, and promotion still works.
 #[test]
-#[allow(deprecated)]
-fn promote_hot_races_concurrent_overwrites() {
+fn promotion_races_concurrent_overwrites() {
+    let promote = |j: &UniviStorJob| {
+        j.tiering()
+            .promote_now(PromotionPolicy {
+                min_reads: 1,
+                min_benefit: 0.0,
+            })
+            .unwrap()
+    };
     let job = Arc::new(UniviStorJob::new(UniviStorConfig::test_small(2, 2)));
     job.open_file("/h")
         .read_write()
@@ -235,7 +242,7 @@ fn promote_hot_races_concurrent_overwrites() {
         let promoter = job.clone();
         s.spawn(move || {
             for _ in 0..20 {
-                promoter.promote_hot(1).unwrap();
+                promote(&promoter);
             }
         });
     });
@@ -245,7 +252,7 @@ fn promote_hot_races_concurrent_overwrites() {
         .unwrap();
     let got = job.read(ClientId::new(0, 2), "/h", 0, span).unwrap();
     assert!(got.content_eq(&Payload::pattern(999, span)));
-    job.promote_hot(1).unwrap();
+    promote(&job);
     let got = job.read(ClientId::new(0, 2), "/h", 0, span).unwrap();
     assert!(got.content_eq(&Payload::pattern(999, span)));
     // The index accounts for every live log byte: no span leaked by a

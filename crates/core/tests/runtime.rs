@@ -1,0 +1,475 @@
+//! Partitioned-runtime pinning (DESIGN.md §13): the shared-nothing
+//! runtime must be observably identical to the locked reference — same
+//! bytes, same `ReadTrace` accounting, same placement statistics — while
+//! taking **zero** counted shared-lock acquisitions on the steady-state
+//! data path. Plus the routing edge cases: spans crossing every
+//! partition, a single-worker pool, `fail_node`/`restore_node` racing
+//! in-flight messages, and clean shutdown draining non-empty mailboxes,
+//! and the shared-read-view non-starvation regression.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use univistor_core::config::{Runtime, TieringConfig, UniviStorConfig};
+use univistor_core::fault::FaultConfig;
+use univistor_core::metadata::ClientId;
+use univistor_core::server::UniviStorJob;
+use univistor_core::tiering::TieringDaemon;
+use univistor_sim::rng::DetRng;
+use univistor_sim::{Payload, SparseBuffer};
+
+fn client(rank: u32) -> ClientId {
+    ClientId::new(0, rank)
+}
+
+/// 2 nodes × 2 procs with an explicit 4-worker pool, so the partition
+/// dimension is exercised even on a single-CPU host (where the
+/// `partitions == 0` default would resolve to one worker).
+fn cfg(runtime: Runtime) -> UniviStorConfig {
+    let mut cfg = UniviStorConfig::test_small(2, 2);
+    cfg.runtime = runtime;
+    cfg.partitions = 4;
+    cfg
+}
+
+/// The deterministic mixed workload both runtimes replay: four ranks
+/// tile a 4 KiB file, then random overwrites interleave with random
+/// reads. Every read is checked against the flat model *and* returned
+/// for cross-runtime comparison.
+fn mixed_workload(j: &UniviStorJob) -> (SparseBuffer, Vec<Payload>) {
+    let span = 4096u64;
+    let mut model = SparseBuffer::new();
+    let mut reads = Vec::new();
+    j.open_file("/d")
+        .read_write()
+        .representing(4)
+        .by(client(0))
+        .unwrap();
+    for rank in 0..4u64 {
+        let p = Payload::pattern(rank, 1024);
+        model.write(rank * 1024, p.clone());
+        j.write(client(rank as u32), "/d", rank * 1024, p).unwrap();
+    }
+    let mut rng = DetRng::seed(0x5eed);
+    for i in 0..60u64 {
+        let rank = rng.below(4) as u32;
+        if rng.chance(0.5) {
+            let offset = (rng.below(14) as u64) * 256;
+            let len = ((rng.below(4) + 1) as u64 * 256).min(span - offset);
+            let p = Payload::pattern(100 + i, len);
+            model.write(offset, p.clone());
+            j.write(client(rank), "/d", offset, p).unwrap();
+        } else {
+            let offset = (rng.below(15) as u64) * 256;
+            let len = ((rng.below(6) + 1) as u64 * 256).min(span - offset);
+            let got = j.read(client(rank), "/d", offset, len).unwrap();
+            assert!(
+                got.content_eq(&model.read(offset, len)),
+                "op {i}: read [{offset}, {}) diverged from the model",
+                offset + len
+            );
+            reads.push(got);
+        }
+    }
+    (model, reads)
+}
+
+/// The tentpole claim: a steady-state write + read on the partitioned
+/// runtime takes zero counted shared-lock acquisitions end to end, while
+/// the same operations on the locked runtime demonstrably feed those
+/// counters (so a regression cannot hide behind a dead metric).
+#[test]
+fn partitioned_steady_state_takes_no_counted_locks() {
+    let run = |runtime| {
+        let j = Arc::new(UniviStorJob::new(cfg(runtime)));
+        j.open_file("/z").read_write().by(client(0)).unwrap();
+        j.write(client(0), "/z", 0, Payload::pattern(1, 1024))
+            .unwrap();
+        let got = j.read(client(0), "/z", 0, 1024).unwrap();
+        assert!(got.content_eq(&Payload::pattern(1, 1024)));
+        j.metrics()
+    };
+
+    let part = run(Runtime::Partitioned);
+    assert_eq!(
+        part.counter_total("univistor_write_lock_acquisitions_total"),
+        0,
+        "partitioned write path must take no counted locks"
+    );
+    assert_eq!(
+        part.counter_total("univistor_read_lock_acquisitions_total"),
+        0,
+        "partitioned read path must take no counted locks"
+    );
+    // The work really went through the mailboxes…
+    assert!(part.counter_total("univistor_partition_messages_total") > 0);
+    assert!(part.counter_total("univistor_partition_batched_ops_total") > 0);
+
+    // …and the locked control run proves the counters are live.
+    let locked = run(Runtime::Locked);
+    assert!(locked.counter_total("univistor_write_lock_acquisitions_total") > 0);
+    assert!(
+        locked
+            .counter(
+                "univistor_read_lock_acquisitions_total",
+                &[("lock", "chain")]
+            )
+            .unwrap_or(0)
+            > 0
+    );
+    assert_eq!(
+        locked.counter_total("univistor_partition_messages_total"),
+        0,
+        "locked runtime routes nothing through mailboxes"
+    );
+}
+
+/// Byte-identity and accounting differential: the same deterministic
+/// mixed workload (tiling writes, random overwrites, random reads) on
+/// both runtimes produces identical bytes on every read, an identical
+/// aggregated `ReadTrace`, and identical placement statistics.
+#[test]
+fn runtimes_agree_on_bytes_traces_and_stats() {
+    let run = |runtime| {
+        let j = Arc::new(UniviStorJob::new(cfg(runtime)));
+        let (_, reads) = mixed_workload(&j);
+        (j, reads)
+    };
+    let (locked, locked_reads) = run(Runtime::Locked);
+    let (part, part_reads) = run(Runtime::Partitioned);
+
+    assert_eq!(locked_reads.len(), part_reads.len());
+    for (i, (a, b)) in locked_reads.iter().zip(&part_reads).enumerate() {
+        assert!(a.content_eq(b), "read {i} diverged between runtimes");
+    }
+
+    let (a, b) = (locked.stats(), part.stats());
+    assert_eq!(a.segments, b.segments);
+    assert_eq!(a.bytes_by_tier, b.bytes_by_tier);
+    assert_eq!(a.bytes_by_client_tier, b.bytes_by_client_tier);
+    assert_eq!(a.write_md_rpcs, b.write_md_rpcs);
+    assert_eq!(a.replicated_bytes, b.replicated_bytes);
+    assert_eq!(
+        a.read_trace, b.read_trace,
+        "ReadTrace accounting must be runtime-invariant"
+    );
+    assert_eq!(locked.tier_usage(), part.tier_usage());
+    assert_eq!(locked.metadata_records(), part.metadata_records());
+    assert_eq!(
+        locked.file_size("/d").unwrap(),
+        part.file_size("/d").unwrap()
+    );
+}
+
+/// Fault-injection differential: under a transient-fault drizzle plus a
+/// scheduled mid-workload node loss (with replication covering it), both
+/// runtimes still return exactly the model's bytes — the routed path's
+/// retry draws and degraded rerouting lose nothing.
+#[test]
+fn runtimes_agree_under_fault_injection() {
+    let run = |runtime| {
+        let mut cfg = UniviStorConfig::test_small(3, 2);
+        cfg.runtime = runtime;
+        cfg.partitions = 4;
+        cfg.replicate_volatile = true;
+        cfg.cal.dram_cache_capacity_per_node = 8192;
+        cfg.retry.backoff_base_us = 1;
+        cfg.retry.backoff_cap_us = 10;
+        cfg.fault = Some(FaultConfig {
+            seed: 42,
+            fail_node_at: vec![(30, 0)],
+            transient_prob: 0.05,
+            ..FaultConfig::default()
+        });
+        let ranks = 6u32;
+        let j = Arc::new(UniviStorJob::new(cfg));
+        j.open_file("/soak")
+            .write()
+            .representing(ranks as usize)
+            .by(client(0))
+            .unwrap();
+        let wave = ranks as u64 * 256;
+        for w in 0..2u64 {
+            for rank in 0..ranks {
+                j.write(
+                    client(rank),
+                    "/soak",
+                    w * wave + rank as u64 * 256,
+                    Payload::pattern(w * 100 + rank as u64, 256),
+                )
+                .unwrap();
+            }
+        }
+        j.read(client(ranks - 1), "/soak", 0, 2 * wave).unwrap()
+    };
+    let expected = {
+        let mut model = SparseBuffer::new();
+        for w in 0..2u64 {
+            for rank in 0..6u64 {
+                model.write(w * 1536 + rank * 256, Payload::pattern(w * 100 + rank, 256));
+            }
+        }
+        model.read(0, 3072)
+    };
+    let locked = run(Runtime::Locked);
+    let part = run(Runtime::Partitioned);
+    assert!(
+        locked.content_eq(&expected),
+        "locked degraded read diverged"
+    );
+    assert!(
+        part.content_eq(&expected),
+        "partitioned degraded read diverged"
+    );
+}
+
+/// Active-tiering differential: with the cadence trigger spilling and
+/// promoting mid-workload, both runtimes land on identical bytes and
+/// identical per-tier residency — the checkout pass sees the same heat.
+#[test]
+fn runtimes_agree_with_active_tiering() {
+    let run = |runtime| {
+        let mut c = cfg(runtime);
+        c.cal.dram_cache_capacity_per_node = 1024;
+        c.tiering = TieringConfig::on();
+        c.tiering.drain_cadence_ops = 8;
+        let j = Arc::new(UniviStorJob::new(c));
+        let (model, _) = mixed_workload(&j);
+        let got = j.read(client(0), "/d", 0, 4096).unwrap();
+        assert!(got.content_eq(&model.read(0, 4096)));
+        (j.tier_usage(), got)
+    };
+    let (locked_tiers, locked_bytes) = run(Runtime::Locked);
+    let (part_tiers, part_bytes) = run(Runtime::Partitioned);
+    assert!(locked_bytes.content_eq(&part_bytes));
+    assert_eq!(
+        locked_tiers, part_tiers,
+        "tiering decisions must be runtime-invariant on a serial workload"
+    );
+}
+
+/// The background daemon ticking over the partitioned runtime (checkout
+/// passes racing routed writes and reads from two threads) never
+/// corrupts data: the final patterns read back exactly.
+#[test]
+fn daemon_over_partitioned_runtime_preserves_bytes() {
+    let mut c = cfg(Runtime::Partitioned);
+    c.cal.dram_cache_capacity_per_node = 1024;
+    c.tiering = TieringConfig::on();
+    c.tiering.daemon_interval_ms = 1;
+    let j = Arc::new(UniviStorJob::new(c));
+    j.open_file("/bg")
+        .read_write()
+        .representing(2)
+        .by(client(0))
+        .unwrap();
+    let daemon = TieringDaemon::spawn(j.clone());
+    std::thread::scope(|s| {
+        for rank in 0..2u32 {
+            let j = j.clone();
+            s.spawn(move || {
+                for i in 0..30u64 {
+                    let base = rank as u64 * 2048;
+                    j.write(
+                        client(rank),
+                        "/bg",
+                        base + (i % 4) * 512,
+                        Payload::pattern(rank as u64 * 1000 + i, 512),
+                    )
+                    .unwrap();
+                    let _ = j.read(client(rank), "/bg", base, 2048);
+                }
+            });
+        }
+    });
+    daemon.shutdown();
+    for rank in 0..2u64 {
+        let base = rank * 2048;
+        for slot in 0..4u64 {
+            // Last writer to each slot: the largest i < 30 with i % 4 == slot.
+            let last = 29 - (29 - slot) % 4;
+            let want = Payload::pattern(rank * 1000 + last, 512);
+            let got = j
+                .read(client(rank as u32), "/bg", base + slot * 512, 512)
+                .unwrap();
+            if !got.content_eq(&want) {
+                for i in 0..30u64 {
+                    if got.content_eq(&Payload::pattern(rank * 1000 + i, 512)) {
+                        panic!("rank {rank} slot {slot}: expected write {last}, found write {i}");
+                    }
+                }
+                panic!("rank {rank} slot {slot}: expected write {last}, found garbage");
+            }
+        }
+    }
+}
+
+/// A single write/read pair spanning every metadata range drives traffic
+/// through **all four** partition workers, and the bytes survive the
+/// scatter-gather.
+#[test]
+fn spans_crossing_every_partition_route_correctly() {
+    let j = Arc::new(UniviStorJob::new(cfg(Runtime::Partitioned)));
+    assert_eq!(j.partition_workers(), 4);
+    j.open_file("/wide")
+        .read_write()
+        .representing(4)
+        .by(client(0))
+        .unwrap();
+    // 8 KiB from one client: eight 1 KiB metadata ranges → all four KV
+    // partitions; plus a rank on the second node so both node-buffer
+    // owners see traffic.
+    let wide = Payload::pattern(5, 8192);
+    j.write(client(0), "/wide", 0, wide.clone()).unwrap();
+    j.write(client(2), "/wide", 8192, Payload::pattern(6, 1024))
+        .unwrap();
+    let got = j.read(client(3), "/wide", 0, 9216).unwrap();
+    assert!(got.slice(0, 8192).content_eq(&wide));
+    assert!(got.slice(8192, 1024).content_eq(&Payload::pattern(6, 1024)));
+    let snap = j.metrics();
+    for p in 0..4 {
+        let label = p.to_string();
+        let n = snap
+            .counter(
+                "univistor_partition_messages_total",
+                &[("partition", label.as_str())],
+            )
+            .unwrap_or(0);
+        assert!(n > 0, "partition {p} saw no traffic for an all-span write");
+    }
+}
+
+/// `partitions = 1` collapses the pool to a single worker that owns
+/// everything — the degenerate routing case must still be exact.
+#[test]
+fn single_partition_pool_is_exact() {
+    let mut c = cfg(Runtime::Partitioned);
+    c.partitions = 1;
+    let j = Arc::new(UniviStorJob::new(c));
+    assert_eq!(j.partition_workers(), 1);
+    let (model, _) = mixed_workload(&j);
+    let got = j.read(client(0), "/d", 0, 4096).unwrap();
+    assert!(got.content_eq(&model.read(0, 4096)));
+}
+
+/// `fail_node`/`restore_node` flapping while writes and reads are in
+/// flight: individual operations may fail while a node is down, but
+/// nothing panics, no mailbox wedges, and after the last restore a fresh
+/// write reads back exactly.
+#[test]
+fn node_flapping_races_in_flight_messages() {
+    let mut c = cfg(Runtime::Partitioned);
+    c.replicate_volatile = true;
+    c.cal.dram_cache_capacity_per_node = 1 << 20;
+    let j = Arc::new(UniviStorJob::new(c));
+    j.open_file("/flap")
+        .read_write()
+        .representing(4)
+        .by(client(0))
+        .unwrap();
+    j.write(client(0), "/flap", 0, Payload::pattern(1, 4096))
+        .unwrap();
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let (j2, stop2) = (j.clone(), &stop);
+        s.spawn(move || {
+            let mut i = 0u64;
+            while !stop2.load(Ordering::Acquire) {
+                // Rank 1 lives on node 0, rank 2 on node 1: both sides of
+                // the flap stay under load. Errors while a node is down
+                // are expected; corruption or a hang is not.
+                let _ = j2.write(
+                    client(1 + (i % 2) as u32),
+                    "/flap",
+                    (i % 8) * 512,
+                    Payload::pattern(i, 512),
+                );
+                let _ = j2.read(client((i % 4) as u32), "/flap", (i % 8) * 512, 512);
+                i += 1;
+            }
+        });
+        for _ in 0..20 {
+            j.fail_node(1);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            j.restore_node(1);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        stop.store(true, Ordering::Release);
+    });
+    j.restore_node(1);
+    j.write(client(0), "/flap", 0, Payload::pattern(77, 4096))
+        .unwrap();
+    let got = j.read(client(3), "/flap", 0, 4096).unwrap();
+    assert!(got.content_eq(&Payload::pattern(77, 4096)));
+}
+
+/// Dropping the job drains every mailbox before the workers exit: the
+/// fire-and-forget heat bumps queued by reads are all processed (the
+/// depth gauge returns to zero) rather than thrown away mid-queue.
+#[test]
+fn shutdown_drains_queued_mailbox_messages() {
+    let metrics;
+    {
+        let j = Arc::new(UniviStorJob::new(cfg(Runtime::Partitioned)));
+        metrics = j.metrics_handle().clone();
+        j.open_file("/q").read_write().by(client(0)).unwrap();
+        j.write(client(0), "/q", 0, Payload::pattern(3, 4096))
+            .unwrap();
+        // Each read fires an asynchronous heat bump; drop immediately
+        // after so some are still queued when shutdown begins.
+        for i in 0..16u64 {
+            j.read(client(0), "/q", (i % 4) * 1024, 1024).unwrap();
+        }
+    }
+    // Workers joined: every post was matched by a dequeue.
+    let snap = metrics.snapshot();
+    let mut depth = 0i64;
+    for p in 0..4 {
+        let label = p.to_string();
+        depth += snap
+            .gauge(
+                "univistor_partition_mailbox_depth",
+                &[("partition", label.as_str())],
+            )
+            .unwrap_or(0);
+    }
+    assert_eq!(depth, 0, "shutdown left messages undrained");
+    assert!(snap.counter_total("univistor_partition_messages_total") > 0);
+}
+
+/// Regression for the shared-read-view writer-starvation hazard: the
+/// locked runtime's `ChainSet::with` acquires views by `try_read` with
+/// backoff instead of parking in the rwlock's reader queue, so a
+/// continuous stream of overlapping views from other threads cannot
+/// starve a writer on the same chain — every queued write completes
+/// while the views keep arriving.
+#[test]
+fn queued_writer_completes_under_read_view_stream() {
+    let mut c = cfg(Runtime::Locked);
+    c.partitions = 0;
+    let j = Arc::new(UniviStorJob::new(c));
+    j.open_file("/v").read_write().by(client(0)).unwrap();
+    j.write(client(0), "/v", 0, Payload::pattern(1, 512))
+        .unwrap();
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            let (j1, stop1) = (j.clone(), &stop);
+            s.spawn(move || {
+                while !stop1.load(Ordering::Acquire) {
+                    j1.with_shared_read_view(client(0), || std::hint::black_box(()))
+                        .unwrap();
+                }
+            });
+        }
+        // Every write needs the chain's exclusive lock; under a
+        // reader-preferring acquisition these could starve behind the
+        // view stream indefinitely. They must all complete.
+        for i in 0..50u64 {
+            j.write(client(0), "/v", 0, Payload::pattern(2 + i, 512))
+                .unwrap();
+        }
+        stop.store(true, Ordering::Release);
+    });
+    let got = j.read(client(0), "/v", 0, 512).unwrap();
+    assert!(got.content_eq(&Payload::pattern(51, 512)));
+}

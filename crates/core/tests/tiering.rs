@@ -5,7 +5,7 @@
 //! flush end to end — with byte-identity asserts throughout.
 
 use std::sync::Arc;
-use univistor_core::config::{TierWatermarks, TieringConfig, UniviStorConfig};
+use univistor_core::config::{PromotionPolicy, TierWatermarks, TieringConfig, UniviStorConfig};
 use univistor_core::fault::FaultConfig;
 use univistor_core::metadata::ClientId;
 use univistor_core::server::UniviStorJob;
@@ -194,7 +194,6 @@ fn daemon_races_flush_and_repair_under_faults() {
 /// to promotion after enough decay ticks, while an identical job without
 /// the decay passes still promotes it.
 #[test]
-#[allow(deprecated)]
 fn heat_decay_forgets_stale_hotness() {
     let mk = || {
         let mut cfg = UniviStorConfig::test_small(1, 1);
@@ -222,7 +221,16 @@ fn heat_decay_forgets_stale_hotness() {
 
     // Control: with no decay ticks the heat (3 reads) promotes at once.
     let control = mk();
-    assert_eq!(control.promote_hot(3).unwrap(), 1);
+    let promote = |j: &UniviStorJob, min_reads| {
+        j.tiering()
+            .promote_now(PromotionPolicy {
+                min_reads,
+                min_benefit: 0.0,
+            })
+            .unwrap()
+            .promoted_segments
+    };
+    assert_eq!(promote(&control, 3), 1);
 
     // Three decay ticks: 3 → 1 → 0 → entry evicted.
     let j = mk();
@@ -231,7 +239,7 @@ fn heat_decay_forgets_stale_hotness() {
     }
     assert_eq!(j.tiering().stats().heat_decays, 3);
     assert_eq!(
-        j.promote_hot(1).unwrap(),
+        promote(&j, 1),
         0,
         "decayed-out heat must no longer pin promotion"
     );

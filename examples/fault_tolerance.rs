@@ -114,8 +114,14 @@ fn main() {
         Payload::pattern(43, 256 << 10),
     )
     .expect("overwrite");
-    #[allow(deprecated)]
-    let promoted = job.promote_hot(3).expect("promotion");
+    let promoted = job
+        .tiering()
+        .promote_now(PromotionPolicy {
+            min_reads: 3,
+            min_benefit: 0.0,
+        })
+        .expect("promotion")
+        .promoted_segments;
     println!(
         "promoted {promoted} hot segments to DRAM: [{}]",
         tiers(&job)

@@ -25,7 +25,7 @@ pub use univistor_workloads as workloads;
 /// assert!(fid > 0);
 /// ```
 pub mod prelude {
-    pub use univistor_core::config::{Features, JobGeometry, UniviStorConfig};
+    pub use univistor_core::config::{Features, JobGeometry, PromotionPolicy, UniviStorConfig};
     pub use univistor_core::driver::UniviStorDriver;
     pub use univistor_core::error::{Error, Result};
     pub use univistor_core::fault::{FaultConfig, RetryPolicy};

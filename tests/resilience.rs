@@ -148,7 +148,6 @@ fn overwrite_releases_replica_space_too() {
 }
 
 #[test]
-#[allow(deprecated)]
 fn hot_segments_get_promoted_to_dram() {
     // 1 node × 1 proc, 512 B DRAM log (2 × 256 B chunks), spill to BB.
     let mut cfg = UniviStorConfig::test_small(1, 1);
@@ -175,7 +174,16 @@ fn hot_segments_get_promoted_to_dram() {
         j.read(client(0), "/f", 512, 512).unwrap();
     }
     // No DRAM space yet: nothing can be promoted.
-    assert_eq!(j.promote_hot(3).unwrap(), 0);
+    let promote = |j: &UniviStorJob| {
+        j.tiering()
+            .promote_now(PromotionPolicy {
+                min_reads: 3,
+                min_benefit: 0.0,
+            })
+            .unwrap()
+            .promoted_segments
+    };
+    assert_eq!(promote(&j), 0);
 
     // Overwrite the cold DRAM-resident half. The batched pipeline appends
     // the whole run before releasing displaced spans, so with DRAM full
@@ -184,7 +192,7 @@ fn hot_segments_get_promoted_to_dram() {
     j.write(client(0), "/f", 0, Payload::pattern(8, 512))
         .unwrap();
     // Heat accounting survives; the hot BB record can move up now.
-    let promoted = j.promote_hot(3).unwrap();
+    let promoted = promote(&j);
     assert_eq!(
         promoted, 1,
         "the hot 512 B coalesced record fits the freed DRAM chunks"
@@ -210,7 +218,6 @@ fn hot_segments_get_promoted_to_dram() {
 }
 
 #[test]
-#[allow(deprecated)]
 fn promotion_skips_already_fast_segments() {
     let mut cfg = UniviStorConfig::test_small(1, 1);
     cfg.cal.dram_cache_capacity_per_node = 4096;
@@ -221,7 +228,14 @@ fn promotion_skips_already_fast_segments() {
     for _ in 0..5 {
         j.read(client(0), "/f", 0, 512).unwrap();
     }
-    assert_eq!(j.promote_hot(3).unwrap(), 0, "DRAM data needs no promotion");
+    let report = j
+        .tiering()
+        .promote_now(PromotionPolicy {
+            min_reads: 3,
+            min_benefit: 0.0,
+        })
+        .unwrap();
+    assert_eq!(report.promoted_segments, 0, "DRAM data needs no promotion");
 }
 
 #[test]
