@@ -342,6 +342,12 @@ pub struct UniviStorConfig {
     /// capped at the host's available parallelism. Explicit values are
     /// clamped to `[1, total_servers]`. Ignored under [`Runtime::Locked`].
     pub partitions: usize,
+    /// Bound on queued requests per partition-worker mailbox under
+    /// [`Runtime::Partitioned`]. Routers block (natural backpressure)
+    /// once a worker falls this far behind; any depth ≥ 1 is
+    /// deadlock-free because workers never post to each other. Ignored
+    /// under [`Runtime::Locked`].
+    pub mailbox_depth: usize,
 }
 
 impl UniviStorConfig {
@@ -367,6 +373,7 @@ impl UniviStorConfig {
             tiering: TieringConfig::default(),
             runtime: Runtime::default(),
             partitions: 0,
+            mailbox_depth: 1024,
         }
     }
 
@@ -401,6 +408,7 @@ impl UniviStorConfig {
             tiering: TieringConfig::default(),
             runtime: Runtime::default(),
             partitions: 0,
+            mailbox_depth: 1024,
         };
         // Tiny tiers so tests exercise spilling: 1 KiB DRAM per node,
         // 4 KiB per BB node.
@@ -511,6 +519,13 @@ impl UniviStorConfigBuilder {
     /// (`0` = auto-size).
     pub fn partitions(mut self, partitions: usize) -> Self {
         self.cfg.partitions = partitions;
+        self
+    }
+
+    /// Set the per-worker mailbox bound for [`Runtime::Partitioned`]
+    /// (clamped to at least 1).
+    pub fn mailbox_depth(mut self, depth: usize) -> Self {
+        self.cfg.mailbox_depth = depth.max(1);
         self
     }
 

@@ -141,7 +141,12 @@ pub(crate) const READ_CACHE_WINDOWS_PER_FID: usize = 128;
 /// The geometry of one record `(k, v)` overlapped by a punch of `[lo, hi)`:
 /// surviving left/right fragments plus the displaced middle. Shared between
 /// [`MetadataService::punch`]'s batched implementation and the partitioned
-/// runtime's `Punch` handler so both compute byte-identical fragment VAs.
+/// runtime's `WriteCommit`/`WriteFused` handlers so both compute
+/// byte-identical fragment VAs. Note the fragment keys can never collide
+/// with the batch's new record keys: a left fragment keeps its original
+/// offset `< lo`, the right fragment sits exactly at `hi`, and new
+/// records lie in `[lo, hi)` — which is what lets the fused commit order
+/// fragment puts and record puts freely within one handler pass.
 pub(crate) fn split_overlapped(
     k: SegKey,
     v: SegmentRecord,

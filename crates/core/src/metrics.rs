@@ -53,6 +53,9 @@
 //! | `univistor_partition_wait_seconds` | histogram | `partition` | enqueue-to-dequeue latency of mailbox messages |
 //! | `univistor_partition_messages_total` | counter | `partition` | messages dequeued by a partition worker |
 //! | `univistor_partition_batched_ops_total` | counter | `partition` | logical batched ops carried by those messages |
+//! | `univistor_partition_round_trips_total` | counter | — | awaited request/reply round-trips issued by the routing layer |
+//! | `univistor_msgplane_reply_pool_hits_total` | counter | — | awaited requests served by a recycled reply slot |
+//! | `univistor_msgplane_reply_pool_misses_total` | counter | — | awaited requests that had to allocate a fresh reply slot |
 //!
 //! [`UniviStorJob::metrics`](crate::server::UniviStorJob::metrics) snapshots
 //! the whole panel as a [`MetricsSnapshot`]; the legacy
@@ -129,6 +132,19 @@ pub struct PartitionMetrics {
     /// Logical batched operations carried by those messages (an `Append`
     /// carrying 8 pieces counts 8).
     pub batched_ops: Counter,
+}
+
+/// Cached message-plane instruments of the partitioned runtime's routing
+/// layer: round-trip accounting plus reply-slot pool recycling.
+#[derive(Debug, Clone)]
+pub struct MsgPlaneMetrics {
+    /// Awaited request/reply round-trips issued by routers (fire-and-
+    /// forget messages are not round-trips and are excluded).
+    pub round_trips: Counter,
+    /// Awaited requests whose reply slot came from the recycle pool.
+    pub pool_hits: Counter,
+    /// Awaited requests that allocated a fresh reply slot.
+    pub pool_misses: Counter,
 }
 
 /// The job's instrument panel. One per [`crate::server::UniviStorJob`]
@@ -511,6 +527,29 @@ impl JobMetrics {
             wait_seconds: wait.with(labels),
             messages: messages.with(labels),
             batched_ops: batched.with(labels),
+        }
+    }
+
+    /// Cached message-plane instruments for the partitioned runtime's
+    /// routing layer. Idempotent, like
+    /// [`partition_handles`](Self::partition_handles).
+    pub fn msgplane_handles(&self) -> MsgPlaneMetrics {
+        let round_trips = self.registry.counter_family(
+            "univistor_partition_round_trips_total",
+            "awaited request/reply round-trips issued by the routing layer",
+        );
+        let hits = self.registry.counter_family(
+            "univistor_msgplane_reply_pool_hits_total",
+            "awaited requests served by a recycled reply slot",
+        );
+        let misses = self.registry.counter_family(
+            "univistor_msgplane_reply_pool_misses_total",
+            "awaited requests that allocated a fresh reply slot",
+        );
+        MsgPlaneMetrics {
+            round_trips: round_trips.with(&[]),
+            pool_hits: hits.with(&[]),
+            pool_misses: misses.with(&[]),
         }
     }
 

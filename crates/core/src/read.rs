@@ -33,6 +33,14 @@
 //! Stages 1, 2, and 4 are shared between the pipelines, so the
 //! [`ReadTrace`] accounting is identical by construction; only the
 //! chain-lock acquisition count ([`ReadLockCounts`]) differs.
+//!
+//! The partitioned runtime's routed read mirrors the same four stages
+//! with messages instead of locks: stage 1 opens with one fused
+//! `ReadPlan` round-trip to the node owner (buffer lookup + `kv_lookup`
+//! fault draw + generation-validated cache probe in a single handler
+//! pass), falling back to a distributed scan wave only on a cache miss;
+//! stages 2 and 4 reuse [`plan_fragments`] / [`classify_fragment`]
+//! directly, so the trace stays runtime-invariant field for field.
 
 use crate::config::{JobGeometry, ReadPipeline};
 use crate::metadata::{ClientId, MetadataService, SegKey, SegmentRecord};

@@ -13,12 +13,59 @@
 //!
 //! Workers hold **plain** maps — no interior locks at all — and are fed
 //! typed request messages over bounded mailboxes. `UniviStorJob`'s data
-//! plane becomes a routing layer: it partitions a planned batch by owner,
-//! enqueues one message per touched worker, and awaits the batched
-//! replies. The steady-state write/read path therefore takes zero counted
-//! lock acquisitions end to end (the job-level tables that remain shared —
-//! file table, generation counters, failure set — are uncounted in the
-//! locked runtime too; see DESIGN.md §13).
+//! plane becomes a routing layer; the steady-state write/read path takes
+//! zero counted lock acquisitions end to end.
+//!
+//! ## Fused commit protocol
+//!
+//! A write commits in at most two waves instead of the original 4–6
+//! (EnsureChain → Append → Punch → PutRecords → BufferApply →
+//! BufferInsert):
+//!
+//! 1. **Awaited**: [`Req::Append`] to the chain owner (chain creation is
+//!    fused in via its `ensure` flag), then one [`Req::WriteCommit`] per
+//!    span owner carrying that worker's record slice — each worker
+//!    punches its partitions and installs its records in one handler
+//!    pass, replying with its share of the punch outcome.
+//! 2. **Fire-and-forget**: one [`Req::WriteFinish`] per involved worker
+//!    with its fragment puts, node-buffer sweep, producer buffer refresh,
+//!    and chain releases. Finish stages are infallible (no fault sites)
+//!    and per-mailbox FIFO order sequences them before any later request
+//!    to the same worker, so observers never see them missing.
+//!
+//! When the whole widened span *and* the producer chain live on a single
+//! worker (and replication is off), the write collapses further into one
+//! [`Req::WriteFused`] message — one round-trip total — whose handler
+//! runs the entire locked commit order (ensure → append → kv draw →
+//! punch → fragment puts → sweep → record puts → buffer insert →
+//! generation bump → releases) with the retry loops *inside* the
+//! handler, preserving the locked pipeline's retry scoping (append and
+//! the kv-insert draw retry independently; a replayed message would
+//! double-append). Reads mirror this with [`Req::ReadPlan`]: node-buffer
+//! lookup, the `kv_lookup` fault draw, and the generation-validated
+//! cache probe fused into one message to the node owner.
+//!
+//! Ordering inside the protocol preserves the locked runtime's commit
+//! order where it is observable: the punch precedes record puts in the
+//! same worker (the CAS claim must not see the new records), the
+//! node-buffer sweep's fid-tracking check runs against *pre-insert*
+//! buffer state (the producer refresh rides the finish wave, after the
+//! sweep), and fragment keys never collide with record keys (left
+//! fragment offset < lo, right fragment offset = hi, records ∈ [lo,
+//! hi)), so their put order is free.
+//!
+//! ## Zero-allocation message plane
+//!
+//! Awaited requests carry a pooled, reusable [`ReplySlot`] instead of a
+//! fresh `mpsc::channel()` pair; the router recycles slots after each
+//! round-trip (`univistor_msgplane_reply_pool_{hits,misses}_total`).
+//! Broadcast payloads (the sweep's removed keys and fragments, the
+//! producer buffer refresh) are shared as `Arc<[T]>` across the fan-out
+//! instead of cloned per worker, scatter grouping reuses thread-local
+//! scratch buffers, and workers run an adaptive spin-then-park receive
+//! loop (busy-poll briefly while the router streams requests, park
+//! otherwise; disabled on single-core hosts). Awaited round-trips are
+//! counted in `univistor_partition_round_trips_total`.
 //!
 //! Every handler replicates its locked counterpart's semantics byte for
 //! byte, including the per-server `puts`/`gets` RPC accounting and the
@@ -34,26 +81,28 @@
 //! stepwise (non-atomic) lock acquisitions.
 
 use crate::config::UniviStorConfig;
-use crate::fault::FaultInjector;
+use crate::fault::{with_retries, FaultInjector, RetryPolicy};
 use crate::metadata::{
     split_overlapped, CacheEntry, ClientId, Displaced, MetadataService, SegKey, SegmentRecord,
     READ_CACHE_WINDOWS_PER_FID,
 };
-use crate::metrics::{JobMetrics, PartitionMetrics};
+use crate::metrics::{JobMetrics, MsgPlaneMetrics, PartitionMetrics};
 use crate::placement::{ChainSet, PlacedSegment, ProcChain};
 use crate::va::{Tier, VirtualAddr};
+use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::AtomicU32;
-use std::sync::mpsc::{Receiver, Sender, SyncSender};
-use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TryRecvError};
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 use univistor_kv::RangePartitioner;
 use univistor_sim::{Payload, SimError, SimResult};
 
-/// Bound on queued requests per worker mailbox. Routers block (applying
-/// natural backpressure) once a worker falls this far behind.
-const MAILBOX_DEPTH: usize = 1024;
+/// Iterations a worker busy-polls its mailbox before parking, and the
+/// router busy-polls a reply slot before blocking — on multi-core hosts
+/// only (a single core has nobody to spin against).
+const SPIN_CAP: u32 = 64;
 
 /// The locked-runtime core: the three library structures the legacy data
 /// plane mutates in place. Under [`Runtime::Locked`] the job owns one of
@@ -72,12 +121,12 @@ pub(crate) struct LockedCore {
     pub(crate) heat: Vec<RwLock<HashMap<SegKey, AtomicU32>>>,
 }
 
-/// What one [`Punch`](Req::Punch) (or a router-level merge of several)
-/// produced: the claimed keys, the displaced middles keyed by their
-/// original record so the router can restore the locked runtime's global
-/// key order, and the surviving edge fragments (not yet re-inserted — the
-/// router redistributes them so the removed-empty early-return matches
-/// `punch_inner`).
+/// What one [`WriteCommit`](Req::WriteCommit) punch (or a router-level
+/// merge of several) produced: the claimed keys, the displaced middles
+/// keyed by their original record so the router can restore the locked
+/// runtime's global key order, and the surviving edge fragments (not yet
+/// re-inserted — they ride the finish wave so the removed-empty
+/// early-return matches `punch_inner`).
 #[derive(Debug, Default)]
 pub(crate) struct PunchOutcome {
     /// Keys claimed out of the index.
@@ -86,6 +135,42 @@ pub(crate) struct PunchOutcome {
     pub(crate) displaced: Vec<(SegKey, Displaced)>,
     /// Surviving left/right fragments to re-insert.
     pub(crate) fragments: Vec<(SegKey, SegmentRecord)>,
+}
+
+/// What a [`WriteFused`](Req::WriteFused) handler committed, plus the
+/// leftovers it could not apply locally and hands back to the router.
+#[derive(Debug)]
+pub(crate) struct FusedReply {
+    /// Coalesced records installed (for the write-batch metric).
+    pub(crate) records: u64,
+    /// Keys the punch claimed (sweep input for other workers' nodes).
+    pub(crate) removed: Vec<SegKey>,
+    /// Surviving fragments (sweep re-cache input; own-partition copies
+    /// are already re-inserted).
+    pub(crate) fragments: Vec<(SegKey, SegmentRecord)>,
+    /// Fragments whose partition another worker owns (a block-aligned
+    /// right edge escapes even a single-owner span).
+    pub(crate) foreign_fragments: Vec<(SegKey, SegmentRecord)>,
+    /// Displaced spans owned by other workers' chains, in punch order.
+    pub(crate) foreign_spans: Vec<(ClientId, VirtualAddr, u64)>,
+}
+
+/// A read-cache probe result: `Some` hits, or `None` for a miss (the
+/// router falls back to a distributed scan).
+type CacheProbe = Option<Vec<(SegKey, SegmentRecord)>>;
+
+/// A producer node-buffer refresh: the node plus the committed records
+/// keyed by logical offset, shared across the finish fan-out.
+type BufferRefresh = (usize, Arc<[(u64, SegmentRecord)]>);
+
+/// What a [`ReadPlan`](Req::ReadPlan) handler gathered in one pass.
+#[derive(Debug)]
+pub(crate) struct PlanReply {
+    /// Node-buffer hits overlapping the request.
+    pub(crate) local: Vec<(SegKey, SegmentRecord)>,
+    /// `None` when the node buffer fully covered the request; otherwise
+    /// the generation observed and the read-cache probe result.
+    pub(crate) remote: Option<(u64, CacheProbe)>,
 }
 
 /// A worker's entire owned state, detached for a checkout and re-installed
@@ -110,100 +195,169 @@ struct Slice {
     heat: HashMap<usize, HashMap<SegKey, u32>>,
 }
 
+/// A typed reply, deposited into the request's [`ReplySlot`].
+enum Reply {
+    Chain(SimResult<()>),
+    Placed(SimResult<Vec<PlacedSegment>>),
+    Punch(PunchOutcome),
+    Records(Vec<(SegKey, SegmentRecord)>),
+    Fetched(SimResult<Vec<(Payload, Tier)>>),
+    Bytes(Vec<((ClientId, Tier), u64)>),
+    Fused(SimResult<FusedReply>),
+    Plan(SimResult<PlanReply>),
+}
+
+/// A reusable one-shot reply cell: the routing layer's replacement for a
+/// per-request `mpsc::channel()` pair. The router pops one from the pool
+/// (or allocates on a dry pool), clones the `Arc` into the request, and
+/// blocks in [`take`](ReplySlot::take); the worker deposits exactly one
+/// reply with [`fill`](ReplySlot::fill). After `take` the slot is empty
+/// again and returns to the pool.
+///
+/// The `filled` flag lets the router spin briefly without touching the
+/// mutex; the mutex + condvar make the blocking path race-free. A worker
+/// never touches the slot after `fill`, so recycling cannot observe a
+/// stale writer.
+struct ReplySlot {
+    filled: AtomicBool,
+    cell: Mutex<Option<Reply>>,
+    cv: Condvar,
+}
+
+impl std::fmt::Debug for ReplySlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplySlot").finish_non_exhaustive()
+    }
+}
+
+impl ReplySlot {
+    fn new() -> Self {
+        ReplySlot {
+            filled: AtomicBool::new(false),
+            cell: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn fill(&self, reply: Reply) {
+        let mut cell = self.cell.lock().expect("reply slot poisoned");
+        *cell = Some(reply);
+        self.filled.store(true, Ordering::Release);
+        self.cv.notify_one();
+    }
+
+    fn take(&self, spin: u32) -> Reply {
+        for _ in 0..spin {
+            if self.filled.load(Ordering::Acquire) {
+                break;
+            }
+            std::hint::spin_loop();
+        }
+        let mut cell = self.cell.lock().expect("reply slot poisoned");
+        while cell.is_none() {
+            cell = self.cv.wait(cell).expect("reply slot poisoned");
+        }
+        self.filled.store(false, Ordering::Relaxed);
+        cell.take().expect("just observed Some")
+    }
+}
+
 /// A typed request to one partition worker. Every variant that produces a
-/// result carries its own reply channel; [`Heat`](Req::Heat) is
-/// fire-and-forget and [`Shutdown`](Req::Shutdown) ends the event loop.
+/// result carries a pooled [`ReplySlot`]; [`Heat`](Req::Heat),
+/// [`WriteFinish`](Req::WriteFinish), and
+/// [`CacheInstall`](Req::CacheInstall) are fire-and-forget (infallible,
+/// and mailbox FIFO order sequences them before any later observer) and
+/// [`Shutdown`](Req::Shutdown) ends the event loop.
 enum Req {
-    /// Create `client`'s chain if absent (the worker builds it from its
-    /// precomputed layer caps).
-    EnsureChain {
-        client: ClientId,
-        reply: Sender<SimResult<()>>,
-    },
     /// Fail exactly like a chain lookup would if `client` has no chain.
     ChainExists {
         client: ClientId,
-        reply: Sender<SimResult<()>>,
+        reply: Arc<ReplySlot>,
     },
     /// Append a payload run to `client`'s chain — `ChainSet::append_many`
     /// semantics (per-piece fault draw, full-batch rollback). With
-    /// `account` set, successful placements are added to the worker's
-    /// per-(client, tier) byte ledger (the routed write path's replacement
-    /// for the router-side accounting mutex).
+    /// `ensure` set, the chain is created first if absent (the fused
+    /// replacement for a separate EnsureChain round-trip); with `account`
+    /// set, successful placements are added to the worker's per-(client,
+    /// tier) byte ledger (the routed write path's replacement for the
+    /// router-side accounting mutex).
     Append {
         client: ClientId,
         payloads: Vec<Payload>,
         account: bool,
-        reply: Sender<SimResult<Vec<PlacedSegment>>>,
+        ensure: bool,
+        reply: Arc<ReplySlot>,
     },
-    /// Claim every owned record overlapping `[lo, hi)` of `fid` —
-    /// `punch_inner`'s scan+claim restricted to this worker's partitions.
-    Punch {
+    /// First commit wave: claim every owned record overlapping `[lo, hi)`
+    /// of `fid` (`punch_inner`'s scan+claim restricted to this worker's
+    /// partitions), then install this worker's slice of the batch's new
+    /// records (one `puts` bump per record, matching `DistKv::put_batch`).
+    /// The punch precedes the puts so the CAS claim never sees a new
+    /// record at an overwritten offset.
+    WriteCommit {
         fid: u64,
         lo: u64,
         hi: u64,
-        reply: Sender<PunchOutcome>,
+        records: Vec<(SegKey, SegmentRecord)>,
+        reply: Arc<ReplySlot>,
     },
-    /// Insert records into owned partitions (one `puts` bump per record,
-    /// matching `DistKv::put_batch`).
-    PutRecords {
-        items: Vec<(SegKey, SegmentRecord)>,
-        reply: Sender<()>,
-    },
-    /// Apply a punch's node-buffer sweep to every owned node: drop the
-    /// removed keys, re-cache the fragments on nodes tracking the fid.
-    BufferApply {
+    /// Second commit wave (fire-and-forget): this worker's fragment puts,
+    /// node-buffer sweep (removed keys shared as `Arc<[_]>` across the
+    /// fan-out, posted only to workers whose nodes may track the fid),
+    /// producer buffer refresh (`reinsert`, ordered *after* the sweep so
+    /// the buffer ends up in the locked sweep-then-insert state), and
+    /// chain releases in punch order.
+    WriteFinish {
         fid: u64,
-        removed: Vec<SegKey>,
-        fragments: Vec<(SegKey, SegmentRecord)>,
-        reply: Sender<()>,
+        put_fragments: Vec<(SegKey, SegmentRecord)>,
+        removed: Arc<[SegKey]>,
+        fragments: Arc<[(SegKey, SegmentRecord)]>,
+        sweep: bool,
+        reinsert: Option<BufferRefresh>,
+        release: Vec<(ClientId, VirtualAddr, u64)>,
     },
-    /// Refresh the producer node's shared metadata buffer with a batch's
-    /// records (`insert_batch`'s final buffer pass).
-    BufferInsert {
+    /// Single-round-trip write: the entire commit (ensure → append →
+    /// kv-insert draw → punch → fragment puts → sweep → record puts →
+    /// buffer insert → generation bump → releases) applied atomically in
+    /// one handler pass, with the locked pipeline's retry scoping *inside*
+    /// the handler. Only valid when this worker owns the whole widened
+    /// span and the producer chain (the router gates on
+    /// [`PartitionedCore::fused_owner`]).
+    WriteFused {
+        client: ClientId,
+        fid: u64,
+        node: usize,
+        offset: u64,
+        end: u64,
+        payloads: Vec<Payload>,
+        pieces: Vec<(u64, u64)>,
+        reply: Arc<ReplySlot>,
+    },
+    /// Fused read plan: node-buffer lookup, and — only when the buffer
+    /// does not fully cover the request — the `kv_lookup` fault draw plus
+    /// the generation-validated read-cache probe, in one message.
+    ReadPlan {
         node: usize,
         fid: u64,
-        records: Vec<(u64, SegmentRecord)>,
-        reply: Sender<()>,
-    },
-    /// Release displaced spans on owned chains, in the given order.
-    /// Missing chains are skipped (`ChainSet::release` semantics).
-    Release {
-        spans: Vec<(ClientId, VirtualAddr, u64)>,
-        reply: Sender<()>,
+        lo: u64,
+        hi: u64,
+        reply: Arc<ReplySlot>,
     },
     /// Bump heat counters on owned shards. Fire-and-forget: the read path
     /// never waits on it, and mailbox FIFO order still sequences it before
     /// any later checkout.
     Heat { keys: Vec<SegKey> },
-    /// `MetadataService::lookup_local` over an owned node's buffer.
-    LookupLocal {
-        node: usize,
-        fid: u64,
-        lo: u64,
-        hi: u64,
-        reply: Sender<Vec<(SegKey, SegmentRecord)>>,
-    },
-    /// Probe an owned node's read record cache for a window covering
-    /// `[lo, hi)` at generation `gen`. `None` is a miss.
-    CacheLookup {
-        node: usize,
-        fid: u64,
-        lo: u64,
-        hi: u64,
-        gen: u64,
-        reply: Sender<Option<Vec<(SegKey, SegmentRecord)>>>,
-    },
     /// `lookup_range`'s scan restricted to this worker's partitions
     /// (per-visited-server `gets` bump included).
     Scan {
         fid: u64,
         lo: u64,
         hi: u64,
-        reply: Sender<Vec<(SegKey, SegmentRecord)>>,
+        reply: Arc<ReplySlot>,
     },
     /// Install a fetched window into an owned node's read cache, unless
     /// the fid's generation moved while the lookup was in flight.
+    /// Fire-and-forget: the read's answer never depends on it.
     CacheInstall {
         node: usize,
         fid: u64,
@@ -211,7 +365,6 @@ enum Req {
         fetch_hi: u64,
         gen: u64,
         records: Vec<(SegKey, SegmentRecord)>,
-        reply: Sender<()>,
     },
     /// Batched fragment fetch from `client`'s chain —
     /// `ChainSet::read_at_many` semantics (in-order per-fragment fault
@@ -219,14 +372,13 @@ enum Req {
     Fetch {
         client: ClientId,
         requests: Vec<(VirtualAddr, u64)>,
-        reply: Sender<SimResult<Vec<(Payload, Tier)>>>,
+        reply: Arc<ReplySlot>,
     },
     /// Report (and with `take`, reset) the worker's byte ledger.
-    CollectBytes {
-        take: bool,
-        reply: Sender<Vec<((ClientId, Tier), u64)>>,
-    },
+    CollectBytes { take: bool, reply: Arc<ReplySlot> },
     /// Detach the worker's slice, park until the router checks it back in.
+    /// The cold checkout path keeps plain `mpsc` channels — slices are
+    /// large and the exchange is rare, so pooling buys nothing.
     Checkout {
         reply: Sender<Slice>,
         checkin: Receiver<Slice>,
@@ -254,6 +406,26 @@ fn inject(
     }
 }
 
+/// Pull the next request: busy-poll up to `spin` iterations (growing the
+/// budget toward `spin_cap` on a hit, halving it before parking on a
+/// miss), then block. `None` means the router dropped the channel.
+fn next_request(rx: &Receiver<Envelope>, spin_cap: u32, spin: &mut u32) -> Option<Envelope> {
+    if spin_cap > 0 {
+        for _ in 0..*spin {
+            match rx.try_recv() {
+                Ok(env) => {
+                    *spin = (*spin * 2).clamp(1, spin_cap);
+                    return Some(env);
+                }
+                Err(TryRecvError::Empty) => std::hint::spin_loop(),
+                Err(TryRecvError::Disconnected) => return None,
+            }
+        }
+        *spin = (*spin / 2).max(1);
+    }
+    rx.recv().ok()
+}
+
 /// One partition worker: the event loop plus everything it owns.
 struct Worker {
     /// This worker's index.
@@ -264,11 +436,18 @@ struct Worker {
     /// Per-process layer capacities for chains built on demand.
     layer_caps: Vec<(Tier, u64)>,
     chunk_size: u64,
+    procs_per_node: usize,
     /// Shared per-fid generation table (cache validation), cloned from the
     /// router so checkouts keep one coherent counter set.
     generations: Arc<RwLock<HashMap<u64, u64>>>,
     injector: Option<Arc<FaultInjector>>,
+    /// Retry budget for the fused write's in-handler retry loops.
+    retry: RetryPolicy,
+    /// The job panel, for retry accounting and per-segment metrics on the
+    /// fused path (the router records them on the multi-wave path).
+    job_metrics: Arc<JobMetrics>,
     metrics: PartitionMetrics,
+    spin_cap: u32,
     // ---- exclusively owned state (plain maps, no locks) ----
     kv: HashMap<usize, BTreeMap<SegKey, SegmentRecord>>,
     puts: HashMap<usize, u64>,
@@ -282,74 +461,103 @@ struct Worker {
 
 impl Worker {
     fn run(mut self, rx: Receiver<Envelope>) {
-        while let Ok(env) = rx.recv() {
+        let mut spin: u32 = if self.spin_cap > 0 { 1 } else { 0 };
+        loop {
+            let Some(env) = next_request(&rx, self.spin_cap, &mut spin) else {
+                return; // router dropped the mailbox
+            };
             self.metrics.mailbox_depth.dec();
             self.metrics
                 .wait_seconds
                 .observe(env.at.elapsed().as_secs_f64());
             self.metrics.messages.inc();
             match env.req {
-                Req::EnsureChain { client, reply } => {
-                    self.metrics.batched_ops.inc();
-                    let _ = reply.send(self.ensure_chain(client));
-                }
                 Req::ChainExists { client, reply } => {
                     self.metrics.batched_ops.inc();
-                    let _ = reply.send(if self.chains.contains_key(&client) {
+                    reply.fill(Reply::Chain(if self.chains.contains_key(&client) {
                         Ok(())
                     } else {
                         Err(no_chain(client))
-                    });
+                    }));
                 }
                 Req::Append {
                     client,
                     payloads,
                     account,
+                    ensure,
                     reply,
                 } => {
                     self.metrics.batched_ops.add(payloads.len() as u64);
-                    let _ = reply.send(self.append(client, payloads, account));
+                    let result = if ensure {
+                        self.ensure_chain(client)
+                            .and_then(|()| self.append(client, payloads, account))
+                    } else {
+                        self.append(client, payloads, account)
+                    };
+                    reply.fill(Reply::Placed(result));
                 }
-                Req::Punch { fid, lo, hi, reply } => {
-                    self.metrics.batched_ops.inc();
-                    let _ = reply.send(self.punch(fid, lo, hi));
-                }
-                Req::PutRecords { items, reply } => {
-                    self.metrics.batched_ops.add(items.len() as u64);
-                    self.put_records(items);
-                    let _ = reply.send(());
-                }
-                Req::BufferApply {
+                Req::WriteCommit {
                     fid,
-                    removed,
-                    fragments,
-                    reply,
-                } => {
-                    self.metrics.batched_ops.inc();
-                    self.buffer_apply(fid, &removed, &fragments);
-                    let _ = reply.send(());
-                }
-                Req::BufferInsert {
-                    node,
-                    fid,
+                    lo,
+                    hi,
                     records,
                     reply,
                 } => {
-                    self.metrics.batched_ops.add(records.len() as u64);
-                    let per_fid = self.local.entry(node).or_default().entry(fid).or_default();
-                    for (offset, record) in records {
-                        per_fid.insert(offset, record);
-                    }
-                    let _ = reply.send(());
+                    self.metrics.batched_ops.add(1 + records.len() as u64);
+                    let out = self.punch(fid, lo, hi);
+                    self.put_records(records);
+                    reply.fill(Reply::Punch(out));
                 }
-                Req::Release { spans, reply } => {
-                    self.metrics.batched_ops.add(spans.len() as u64);
-                    for (client, va, len) in spans {
+                Req::WriteFinish {
+                    fid,
+                    put_fragments,
+                    removed,
+                    fragments,
+                    sweep,
+                    reinsert,
+                    release,
+                } => {
+                    self.metrics.batched_ops.inc();
+                    self.put_records(put_fragments);
+                    if sweep && !removed.is_empty() {
+                        self.buffer_apply(fid, &removed, &fragments);
+                    }
+                    if let Some((node, records)) = reinsert {
+                        let per_fid = self.local.entry(node).or_default().entry(fid).or_default();
+                        for &(offset, record) in records.iter() {
+                            per_fid.insert(offset, record);
+                        }
+                    }
+                    for (client, va, len) in release {
                         if let Some(chain) = self.chains.get_mut(&client) {
                             chain.release(va, len);
                         }
                     }
-                    let _ = reply.send(());
+                }
+                Req::WriteFused {
+                    client,
+                    fid,
+                    node,
+                    offset,
+                    end,
+                    payloads,
+                    pieces,
+                    reply,
+                } => {
+                    self.metrics.batched_ops.add(payloads.len() as u64);
+                    reply.fill(Reply::Fused(
+                        self.fused_write(client, fid, node, offset, end, payloads, pieces),
+                    ));
+                }
+                Req::ReadPlan {
+                    node,
+                    fid,
+                    lo,
+                    hi,
+                    reply,
+                } => {
+                    self.metrics.batched_ops.inc();
+                    reply.fill(Reply::Plan(self.read_plan(node, fid, lo, hi)));
                 }
                 Req::Heat { keys } => {
                     self.metrics.batched_ops.add(keys.len() as u64);
@@ -358,30 +566,9 @@ impl Worker {
                         *self.heat.entry(shard).or_default().entry(key).or_insert(0) += 1;
                     }
                 }
-                Req::LookupLocal {
-                    node,
-                    fid,
-                    lo,
-                    hi,
-                    reply,
-                } => {
-                    self.metrics.batched_ops.inc();
-                    let _ = reply.send(self.lookup_local(node, fid, lo, hi));
-                }
-                Req::CacheLookup {
-                    node,
-                    fid,
-                    lo,
-                    hi,
-                    gen,
-                    reply,
-                } => {
-                    self.metrics.batched_ops.inc();
-                    let _ = reply.send(self.cache_lookup(node, fid, lo, hi, gen));
-                }
                 Req::Scan { fid, lo, hi, reply } => {
                     self.metrics.batched_ops.inc();
-                    let _ = reply.send(self.scan(fid, lo, hi));
+                    reply.fill(Reply::Records(self.scan(fid, lo, hi)));
                 }
                 Req::CacheInstall {
                     node,
@@ -390,11 +577,9 @@ impl Worker {
                     fetch_hi,
                     gen,
                     records,
-                    reply,
                 } => {
                     self.metrics.batched_ops.inc();
                     self.cache_install(node, fid, lo, fetch_hi, gen, records);
-                    let _ = reply.send(());
                 }
                 Req::Fetch {
                     client,
@@ -402,7 +587,7 @@ impl Worker {
                     reply,
                 } => {
                     self.metrics.batched_ops.add(requests.len() as u64);
-                    let _ = reply.send(self.fetch(client, &requests));
+                    reply.fill(Reply::Fetched(self.fetch(client, &requests)));
                 }
                 Req::CollectBytes { take, reply } => {
                     self.metrics.batched_ops.inc();
@@ -411,7 +596,7 @@ impl Worker {
                     if take {
                         self.bytes.clear();
                     }
-                    let _ = reply.send(ledger);
+                    reply.fill(Reply::Bytes(ledger));
                 }
                 Req::Checkout { reply, checkin } => {
                     self.metrics.batched_ops.inc();
@@ -420,10 +605,10 @@ impl Worker {
                         Ok(slice) => self.install_slice(slice),
                         // Router dropped mid-checkout (it panicked): the
                         // job is gone, so the worker exits too.
-                        Err(_) => break,
+                        Err(_) => return,
                     }
                 }
-                Req::Shutdown => break,
+                Req::Shutdown => return,
             }
         }
     }
@@ -478,6 +663,166 @@ impl Worker {
             }
         }
         Ok(placed)
+    }
+
+    /// The single-round-trip write: the whole locked commit order in one
+    /// handler pass. The retry loops live *here* — the locked pipeline
+    /// retries the append and the kv-insert draw independently, so the
+    /// router must not replay the message (a replay would append twice).
+    #[allow(clippy::too_many_arguments)]
+    fn fused_write(
+        &mut self,
+        client: ClientId,
+        fid: u64,
+        node: usize,
+        offset: u64,
+        end: u64,
+        payloads: Vec<Payload>,
+        pieces: Vec<(u64, u64)>,
+    ) -> SimResult<FusedReply> {
+        debug_assert_eq!(node % self.workers, self.id, "fused write misrouted");
+        self.ensure_chain(client)?;
+        let retry = self.retry;
+        let jm = Arc::clone(&self.job_metrics);
+        let placed = with_retries(&retry, Some(&jm), || {
+            self.append(client, payloads.clone(), true)
+        })?;
+
+        // Coalesce exactly like the locked pipeline (`write_batched`):
+        // same-layer VA-adjacent pieces merge, capped at the metadata
+        // range size. The fused path never replicates (the router gates
+        // it off), so the replica alignment check is trivially true.
+        let range = self.partitioner.range_size;
+        let mut records: Vec<(u64, SegmentRecord)> = Vec::with_capacity(pieces.len());
+        let mut tail_layer = 0usize;
+        for (i, p) in placed.iter().enumerate() {
+            let (off, plen) = pieces[i];
+            jm.record_segment(p.tier, p.layer, plen);
+            if let Some((_, last)) = records.last_mut() {
+                if p.layer == tail_layer
+                    && last.va.0 + last.len == p.va.0
+                    && last.len + plen <= range
+                {
+                    last.len += plen;
+                    continue;
+                }
+            }
+            records.push((off, SegmentRecord::new(client, p.va, plen)));
+            tail_layer = p.layer;
+        }
+        for &(off, record) in &records {
+            assert!(
+                record.len <= range,
+                "segment length {} exceeds metadata range size {range}",
+                record.len
+            );
+            assert!(
+                off >= offset && off + record.len <= end,
+                "record [{off}, {}) outside batch span [{offset}, {end})",
+                off + record.len
+            );
+        }
+
+        // `insert_batch` fails only by injection *before* touching state;
+        // draw it alone under the retry loop (locked parity: placed
+        // survives and stays accounted on exhaustion).
+        let injector = self.injector.clone();
+        with_retries(&retry, Some(&jm), || inject(&injector, "kv_insert", None))?;
+
+        let outcome = self.punch(fid, offset, end);
+        // Locked commit order from here: fragment puts, node-buffer sweep
+        // (against pre-insert buffer state), record puts, producer buffer
+        // insert, generation bump, releases. A block-aligned right-edge
+        // fragment can land on a foreign partition even when the whole
+        // span is ours — hand those back to the router.
+        let mut own_fragments: Vec<(SegKey, SegmentRecord)> = Vec::new();
+        let mut foreign_fragments: Vec<(SegKey, SegmentRecord)> = Vec::new();
+        for &(k, v) in &outcome.fragments {
+            if self.partitioner.server_for(k.offset).0 % self.workers == self.id {
+                own_fragments.push((k, v));
+            } else {
+                foreign_fragments.push((k, v));
+            }
+        }
+        self.put_records(own_fragments);
+        if !outcome.removed.is_empty() {
+            self.buffer_apply(fid, &outcome.removed, &outcome.fragments);
+        }
+        let record_count = records.len() as u64;
+        self.put_records(
+            records
+                .iter()
+                .map(|&(off, record)| (SegKey { fid, offset: off }, record))
+                .collect(),
+        );
+        let per_fid = self.local.entry(node).or_default().entry(fid).or_default();
+        for &(off, record) in &records {
+            per_fid.insert(off, record);
+        }
+        *self
+            .generations
+            .write()
+            .expect("generations poisoned")
+            .entry(fid)
+            .or_insert(0) += 1;
+
+        // Releases in the locked order (stable sort by owning client,
+        // punch order within); foreign chains go back to the router.
+        let mut spans: Vec<(ClientId, VirtualAddr, u64)> = Vec::new();
+        for (_, d) in &outcome.displaced {
+            spans.push((d.client, d.va, d.len));
+            if let Some((rc, rva)) = d.replica {
+                spans.push((rc, rva, d.len));
+            }
+        }
+        spans.sort_by_key(|&(c, _, _)| c);
+        let mut foreign_spans: Vec<(ClientId, VirtualAddr, u64)> = Vec::new();
+        for (c, va, len) in spans {
+            if (c.rank as usize / self.procs_per_node) % self.workers == self.id {
+                if let Some(chain) = self.chains.get_mut(&c) {
+                    chain.release(va, len);
+                }
+            } else {
+                foreign_spans.push((c, va, len));
+            }
+        }
+        Ok(FusedReply {
+            records: record_count,
+            removed: outcome.removed,
+            fragments: outcome.fragments,
+            foreign_fragments,
+            foreign_spans,
+        })
+    }
+
+    /// The fused read plan: node-buffer lookup; only when it does not
+    /// cover the request, the `kv_lookup` fault draw (the locked
+    /// `lookup_range_cached` draws it before touching state) and the
+    /// generation-validated cache probe.
+    fn read_plan(&self, node: usize, fid: u64, lo: u64, hi: u64) -> SimResult<PlanReply> {
+        let local = self.lookup_local(node, fid, lo, hi);
+        let covered: u64 = local
+            .iter()
+            .map(|(k, r)| {
+                let a = k.offset.max(lo);
+                let b = (k.offset + r.len).min(hi);
+                b.saturating_sub(a)
+            })
+            .sum();
+        let remote = if covered < hi - lo {
+            inject(&self.injector, "kv_lookup", None)?;
+            let gen = self
+                .generations
+                .read()
+                .expect("generations poisoned")
+                .get(&fid)
+                .copied()
+                .unwrap_or(0);
+            Some((gen, self.cache_lookup(node, fid, lo, hi, gen)))
+        } else {
+            None
+        };
+        Ok(PlanReply { local, remote })
     }
 
     /// Scan owned partitions of the punch span, bumping `gets` per owned
@@ -732,6 +1077,18 @@ struct WorkerHandle {
 impl WorkerHandle {
     fn post(&self, req: Req) {
         self.metrics.mailbox_depth.inc();
+        self.tx
+            .send(Envelope {
+                at: Instant::now(),
+                req,
+            })
+            .expect("partition worker died");
+    }
+
+    /// Shutdown-path post: a worker that already exited must not panic
+    /// the `Drop` impl.
+    fn post_quiet(&self, req: Req) {
+        self.metrics.mailbox_depth.inc();
         let _ = self.tx.send(Envelope {
             at: Instant::now(),
             req,
@@ -743,9 +1100,26 @@ fn recv<T>(rx: Receiver<T>) -> T {
     rx.recv().expect("partition worker died")
 }
 
-/// The partitioned runtime: worker pool, ownership map, and the shared
-/// job-level tables that stay with the router (generation counters; the
-/// checkout serializer).
+thread_local! {
+    /// Span-owner scratch, reused across calls (the former `span_owners`
+    /// allocated a fresh `Vec` per punch/scan).
+    static OWNERS: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+    /// Awaited reply slots of one request wave.
+    static WAVE: RefCell<Vec<Arc<ReplySlot>>> = const { RefCell::new(Vec::new()) };
+    /// Per-owner record scatter groups (outer vec reused; the inner vecs
+    /// travel with the messages).
+    static REC_GROUPS: RefCell<Vec<Vec<(SegKey, SegmentRecord)>>> =
+        const { RefCell::new(Vec::new()) };
+    /// Per-owner span scatter groups for chain releases.
+    static SPAN_GROUPS: RefCell<Vec<Vec<(ClientId, VirtualAddr, u64)>>> =
+        const { RefCell::new(Vec::new()) };
+    /// Per-owner key scatter groups for heat bumps.
+    static KEY_GROUPS: RefCell<Vec<Vec<SegKey>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The partitioned runtime: worker pool, ownership map, the reply-slot
+/// pool, and the shared job-level tables that stay with the router
+/// (generation counters, the fid-tracking mask, the checkout serializer).
 #[derive(Debug)]
 pub(crate) struct PartitionedCore {
     workers: Vec<WorkerHandle>,
@@ -754,14 +1128,26 @@ pub(crate) struct PartitionedCore {
     procs_per_node: usize,
     partitioner: RangePartitioner,
     generations: Arc<RwLock<HashMap<u64, u64>>>,
+    /// fid → bitmask (bit `w & 63`) of workers whose nodes may track the
+    /// fid in their shared metadata buffers. Conservative-complete: every
+    /// buffer insert marks its owner, so a zero bit proves no tracking
+    /// (the sweep can skip the worker); a set bit may be stale or — past
+    /// 64 workers — aliased, costing only a no-op sweep. Rebuilt
+    /// wholesale at each checkout disassembly.
+    tracked: RwLock<HashMap<u64, u64>>,
     injector: Option<Arc<FaultInjector>>,
+    /// Message-plane instruments: round-trips and reply-pool recycling.
+    plane: MsgPlaneMetrics,
+    /// Recycled reply slots (see [`ReplySlot`]).
+    slots: Mutex<Vec<Arc<ReplySlot>>>,
+    spin_cap: u32,
     /// Serializes checkouts: only one caller may hold the assembled
     /// locked core at a time.
     checkout: Mutex<()>,
     /// Excludes checkouts for the span of one routed multi-step protocol
-    /// (a write's append → punch → put → buffer → generation sequence, a
-    /// read's scan → fetch). The locked runtime commits those steps under
-    /// one metadata lock; here they are separate messages, and a checkout
+    /// (a write's append → commit → finish sequence, a read's plan →
+    /// scan → fetch). The locked runtime commits those steps under one
+    /// metadata lock; here they are separate messages, and a checkout
     /// pass interleaving between them would see — and migrate against —
     /// a half-committed index, then have its work clobbered by the
     /// remaining steps (a stale node-buffer record pointing at released
@@ -779,21 +1165,28 @@ impl std::fmt::Debug for WorkerHandle {
 impl PartitionedCore {
     /// Spawn `cfg.partition_workers()` event loops, each pre-populated
     /// with its owned (initially empty) KV partitions, heat shards, node
-    /// buffers, and read caches.
+    /// buffers, and read caches. Mailboxes are bounded by
+    /// `cfg.mailbox_depth` (any depth ≥ 1 is deadlock-free: workers never
+    /// post to each other, so a full mailbox only blocks the router).
     pub(crate) fn new(
         cfg: &UniviStorConfig,
-        metrics: &JobMetrics,
+        metrics: &Arc<JobMetrics>,
         injector: Option<Arc<FaultInjector>>,
         layer_caps: Vec<(Tier, u64)>,
     ) -> Self {
         let servers = cfg.geometry.total_servers().max(1);
         let nodes = cfg.geometry.nodes;
         let pool = cfg.partition_workers();
+        let mailbox_depth = cfg.mailbox_depth.max(1);
         let partitioner = RangePartitioner::new(cfg.metadata_range_size, servers);
         let generations = Arc::new(RwLock::new(HashMap::new()));
+        let spin_cap = match std::thread::available_parallelism() {
+            Ok(n) if n.get() > 1 => SPIN_CAP,
+            _ => 0,
+        };
         let mut workers = Vec::with_capacity(pool);
         for id in 0..pool {
-            let (tx, rx) = mpsc::sync_channel(MAILBOX_DEPTH);
+            let (tx, rx) = mpsc::sync_channel(mailbox_depth);
             let handles = metrics.partition_handles(id);
             let worker = Worker {
                 id,
@@ -801,9 +1194,13 @@ impl PartitionedCore {
                 partitioner,
                 layer_caps: layer_caps.clone(),
                 chunk_size: cfg.chunk_size,
+                procs_per_node: cfg.geometry.procs_per_node.max(1),
                 generations: Arc::clone(&generations),
                 injector: injector.clone(),
+                retry: cfg.retry,
+                job_metrics: Arc::clone(metrics),
                 metrics: handles.clone(),
+                spin_cap,
                 kv: (id..servers)
                     .step_by(pool)
                     .map(|p| (p, BTreeMap::new()))
@@ -842,7 +1239,11 @@ impl PartitionedCore {
             procs_per_node: cfg.geometry.procs_per_node.max(1),
             partitioner,
             generations,
+            tracked: RwLock::new(HashMap::new()),
             injector,
+            plane: metrics.msgplane_handles(),
+            slots: Mutex::new(Vec::new()),
+            spin_cap,
             checkout: Mutex::new(()),
             ops: RwLock::new(()),
         }
@@ -881,16 +1282,6 @@ impl PartitionedCore {
         self.partitioner.servers_for_span(scan_lo, hi).len()
     }
 
-    /// The fid's current mutation generation (0 if never mutated).
-    pub(crate) fn generation(&self, fid: u64) -> u64 {
-        self.generations
-            .read()
-            .expect("generations poisoned")
-            .get(&fid)
-            .copied()
-            .unwrap_or(0)
-    }
-
     /// Invalidate every cached read window of `fid` (mirrors
     /// `MetadataService::bump_generation`).
     pub(crate) fn bump_generation(&self, fid: u64) {
@@ -902,18 +1293,96 @@ impl PartitionedCore {
             .or_insert(0) += 1;
     }
 
-    /// Create `client`'s chain if absent.
+    // ---- reply-slot pool ----
+
+    fn slot(&self) -> Arc<ReplySlot> {
+        match self.slots.lock().expect("reply pool poisoned").pop() {
+            Some(slot) => {
+                self.plane.pool_hits.inc();
+                slot
+            }
+            None => {
+                self.plane.pool_misses.inc();
+                Arc::new(ReplySlot::new())
+            }
+        }
+    }
+
+    fn release_slot(&self, slot: Arc<ReplySlot>) {
+        self.slots.lock().expect("reply pool poisoned").push(slot);
+    }
+
+    /// One awaited round-trip to `owner`: pooled slot out, request in,
+    /// reply back, slot recycled.
+    fn call(&self, owner: usize, make: impl FnOnce(Arc<ReplySlot>) -> Req) -> Reply {
+        let slot = self.slot();
+        self.workers[owner].post(make(Arc::clone(&slot)));
+        self.plane.round_trips.inc();
+        let reply = slot.take(self.spin_cap);
+        self.release_slot(slot);
+        reply
+    }
+
+    // ---- fid-tracking mask (node-buffer sweep targeting) ----
+
+    fn tracked_mask(&self, fid: u64) -> u64 {
+        self.tracked
+            .read()
+            .expect("tracked poisoned")
+            .get(&fid)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    fn mark_tracked(&self, fid: u64, worker: usize) {
+        let bit = 1u64 << (worker & 63);
+        if self.tracked_mask(fid) & bit != 0 {
+            return;
+        }
+        *self
+            .tracked
+            .write()
+            .expect("tracked poisoned")
+            .entry(fid)
+            .or_insert(0) |= bit;
+    }
+
+    /// Workers owning at least one server of the span, in first-touch
+    /// span order, written into the caller's reused scratch. A seen
+    /// bitmask replaces the former O(owners²) `Vec::contains` dedup; past
+    /// 64 workers an aliased bit falls back to the exact (rare) check.
+    fn span_owners_into(&self, lo: u64, hi: u64, owners: &mut Vec<usize>) {
+        owners.clear();
+        let pool = self.workers.len();
+        let mut seen: u64 = 0;
+        for server in self.partitioner.servers_for_span(lo, hi) {
+            let owner = server.0 % pool;
+            let bit = 1u64 << (owner & 63);
+            if seen & bit == 0 {
+                seen |= bit;
+                owners.push(owner);
+            } else if pool > 64 && !owners.contains(&owner) {
+                owners.push(owner);
+            }
+        }
+    }
+
+    // ---- routed protocol ----
+
+    /// Create `client`'s chain if absent (an ensure-only append).
     pub(crate) fn ensure_chain(&self, client: ClientId) -> SimResult<()> {
-        let (tx, rx) = mpsc::channel();
-        self.workers[self.owner_of_client(client)].post(Req::EnsureChain { client, reply: tx });
-        recv(rx)
+        self.append(client, Vec::new(), false, true).map(|_| ())
     }
 
     /// Error exactly like a chain lookup if `client` has no chain.
     pub(crate) fn chain_exists(&self, client: ClientId) -> SimResult<()> {
-        let (tx, rx) = mpsc::channel();
-        self.workers[self.owner_of_client(client)].post(Req::ChainExists { client, reply: tx });
-        recv(rx)
+        match self.call(self.owner_of_client(client), |reply| Req::ChainExists {
+            client,
+            reply,
+        }) {
+            Reply::Chain(r) => r,
+            _ => unreachable!("chain-exists reply"),
+        }
     }
 
     /// Append a payload run to `client`'s chain (see [`Req::Append`]).
@@ -922,42 +1391,76 @@ impl PartitionedCore {
         client: ClientId,
         payloads: Vec<Payload>,
         account: bool,
+        ensure: bool,
     ) -> SimResult<Vec<PlacedSegment>> {
-        let (tx, rx) = mpsc::channel();
-        self.workers[self.owner_of_client(client)].post(Req::Append {
+        match self.call(self.owner_of_client(client), |reply| Req::Append {
             client,
             payloads,
             account,
-            reply: tx,
-        });
-        recv(rx)
+            ensure,
+            reply,
+        }) {
+            Reply::Placed(r) => r,
+            _ => unreachable!("append reply"),
+        }
     }
 
-    /// Punch `[lo, hi)` of `fid` across every owning worker and merge the
-    /// outcomes back into the locked runtime's global key order.
-    pub(crate) fn punch(&self, fid: u64, lo: u64, hi: u64) -> PunchOutcome {
+    /// First commit wave: punch `[lo, hi)` of `fid` across every owning
+    /// worker, each installing its slice of the batch's new `records` in
+    /// the same message, and merge the outcomes back into the locked
+    /// runtime's global key order. Record offsets must lie in `[lo, hi)`,
+    /// so every record owner is a span owner.
+    pub(crate) fn write_commit(
+        &self,
+        fid: u64,
+        lo: u64,
+        hi: u64,
+        records: &[(u64, SegmentRecord)],
+    ) -> PunchOutcome {
         let mut out = PunchOutcome::default();
         if lo >= hi {
             return out;
         }
         let scan_lo = lo.saturating_sub(self.partitioner.range_size);
-        let mut receivers = Vec::new();
-        for owner in self.span_owners(scan_lo, hi) {
-            let (tx, rx) = mpsc::channel();
-            self.workers[owner].post(Req::Punch {
-                fid,
-                lo,
-                hi,
-                reply: tx,
+        OWNERS.with_borrow_mut(|owners| {
+            self.span_owners_into(scan_lo, hi, owners);
+            REC_GROUPS.with_borrow_mut(|groups| {
+                groups.resize_with(self.workers.len(), Vec::new);
+                for &(off, record) in records {
+                    groups[self.owner_of_partition(self.partition_of(off))]
+                        .push((SegKey { fid, offset: off }, record));
+                }
+                WAVE.with_borrow_mut(|wave| {
+                    for &owner in owners.iter() {
+                        let slot = self.slot();
+                        self.workers[owner].post(Req::WriteCommit {
+                            fid,
+                            lo,
+                            hi,
+                            records: std::mem::take(&mut groups[owner]),
+                            reply: Arc::clone(&slot),
+                        });
+                        wave.push(slot);
+                    }
+                    debug_assert!(
+                        groups.iter().all(Vec::is_empty),
+                        "record outside the punch span"
+                    );
+                    for slot in wave.drain(..) {
+                        self.plane.round_trips.inc();
+                        match slot.take(self.spin_cap) {
+                            Reply::Punch(part) => {
+                                out.removed.extend(part.removed);
+                                out.displaced.extend(part.displaced);
+                                out.fragments.extend(part.fragments);
+                            }
+                            _ => unreachable!("write-commit reply"),
+                        }
+                        self.release_slot(slot);
+                    }
+                });
             });
-            receivers.push(rx);
-        }
-        for rx in receivers {
-            let part = recv(rx);
-            out.removed.extend(part.removed);
-            out.displaced.extend(part.displaced);
-            out.fragments.extend(part.fragments);
-        }
+        });
         // Per-owner replies concatenate in owner order; the locked punch
         // claims (and therefore releases) in global key order. Restore it.
         out.removed.sort();
@@ -966,176 +1469,249 @@ impl PartitionedCore {
         out
     }
 
-    /// Workers owning at least one server of the span, in first-touch
-    /// span order.
-    fn span_owners(&self, lo: u64, hi: u64) -> Vec<usize> {
-        let mut owners: Vec<usize> = Vec::new();
-        for server in self.partitioner.servers_for_span(lo, hi) {
-            let owner = self.owner_of_partition(server.0);
-            if !owners.contains(&owner) {
-                owners.push(owner);
-            }
-        }
-        owners
-    }
-
-    /// Insert records into their owning partitions (grouped per worker).
-    pub(crate) fn put_records(&self, items: Vec<(SegKey, SegmentRecord)>) {
-        let pool = self.workers.len();
-        let mut groups: Vec<Vec<(SegKey, SegmentRecord)>> = vec![Vec::new(); pool];
-        for (k, v) in items {
-            groups[self.owner_of_partition(self.partition_of(k.offset))].push((k, v));
-        }
-        let mut receivers = Vec::new();
-        for (owner, items) in groups.into_iter().enumerate() {
-            if items.is_empty() {
-                continue;
-            }
-            let (tx, rx) = mpsc::channel();
-            self.workers[owner].post(Req::PutRecords { items, reply: tx });
-            receivers.push(rx);
-        }
-        for rx in receivers {
-            recv(rx);
-        }
-    }
-
-    /// Run the punch's node-buffer sweep on every worker owning a node.
-    pub(crate) fn buffer_apply(
+    /// Second commit wave, fire-and-forget: fragment puts grouped by
+    /// owner, the node-buffer sweep on workers whose nodes may track the
+    /// fid (one shared `Arc<[_]>` across the fan-out instead of
+    /// per-worker clones), the producer buffer refresh (after the sweep —
+    /// the locked sweep-then-insert order), and chain releases. `spans`
+    /// must already be sorted by owning client (the locked pipeline's
+    /// release order); grouping preserves each chain's relative order.
+    pub(crate) fn write_finish(
         &self,
         fid: u64,
-        removed: Vec<SegKey>,
-        fragments: Vec<(SegKey, SegmentRecord)>,
+        node: usize,
+        outcome: PunchOutcome,
+        records: &[(u64, SegmentRecord)],
+        spans: Vec<(ClientId, VirtualAddr, u64)>,
     ) {
-        let mut receivers = Vec::new();
-        for owner in 0..self.workers.len().min(self.nodes) {
-            let (tx, rx) = mpsc::channel();
-            self.workers[owner].post(Req::BufferApply {
-                fid,
-                removed: removed.clone(),
-                fragments: fragments.clone(),
-                reply: tx,
+        let pool = self.workers.len();
+        let producer = self.owner_of_node(node);
+        // The sweep mask reflects pre-insert tracking state — exactly the
+        // buffer state the locked sweep's fid check runs against.
+        let sweep_mask = if outcome.removed.is_empty() {
+            0
+        } else {
+            self.tracked_mask(fid)
+        };
+        let removed: Arc<[SegKey]> = outcome.removed.into();
+        let fragments: Arc<[(SegKey, SegmentRecord)]> = outcome.fragments.into();
+        let reinsert: Arc<[(u64, SegmentRecord)]> = Arc::from(records);
+        REC_GROUPS.with_borrow_mut(|frag_groups| {
+            frag_groups.resize_with(pool, Vec::new);
+            for &(k, v) in fragments.iter() {
+                frag_groups[self.owner_of_partition(self.partition_of(k.offset))].push((k, v));
+            }
+            SPAN_GROUPS.with_borrow_mut(|span_groups| {
+                span_groups.resize_with(pool, Vec::new);
+                for span in spans {
+                    span_groups[self.owner_of_client(span.0)].push(span);
+                }
+                for w in 0..pool {
+                    let put_fragments = std::mem::take(&mut frag_groups[w]);
+                    let release = std::mem::take(&mut span_groups[w]);
+                    let sweep = sweep_mask & (1u64 << (w & 63)) != 0;
+                    let reinsert = (w == producer).then(|| (node, Arc::clone(&reinsert)));
+                    if put_fragments.is_empty()
+                        && release.is_empty()
+                        && !sweep
+                        && reinsert.is_none()
+                    {
+                        continue;
+                    }
+                    self.workers[w].post(Req::WriteFinish {
+                        fid,
+                        put_fragments,
+                        removed: Arc::clone(&removed),
+                        fragments: Arc::clone(&fragments),
+                        sweep,
+                        reinsert,
+                        release,
+                    });
+                }
             });
-            receivers.push(rx);
-        }
-        for rx in receivers {
-            recv(rx);
-        }
+        });
+        self.mark_tracked(fid, producer);
     }
 
-    /// Refresh the producer node's shared metadata buffer.
-    pub(crate) fn buffer_insert(&self, node: usize, fid: u64, records: Vec<(u64, SegmentRecord)>) {
-        let (tx, rx) = mpsc::channel();
-        self.workers[self.owner_of_node(node)].post(Req::BufferInsert {
+    /// The single worker that can absorb a fused write of `[lo, hi)` by
+    /// `client` on `node`: every server of the widened punch span and the
+    /// producer chain must be owned by one worker. `None` routes the
+    /// write through the general two-wave protocol.
+    pub(crate) fn fused_owner(
+        &self,
+        client: ClientId,
+        node: usize,
+        lo: u64,
+        hi: u64,
+    ) -> Option<usize> {
+        let w = self.owner_of_node(node);
+        if self.owner_of_client(client) != w {
+            return None;
+        }
+        let scan_lo = lo.saturating_sub(self.partitioner.range_size);
+        OWNERS.with_borrow_mut(|owners| {
+            self.span_owners_into(scan_lo, hi, owners);
+            (owners.len() == 1 && owners[0] == w).then_some(w)
+        })
+    }
+
+    /// Single-round-trip write (gate with
+    /// [`fused_owner`](Self::fused_owner) first): one awaited message to
+    /// the owning worker, then fire-and-forget finish posts for the rare
+    /// leftovers (a foreign right-edge fragment, displaced spans on other
+    /// workers' chains, sweeps of other workers' tracked nodes). Returns
+    /// the coalesced record count. Do **not** wrap in a retry loop — the
+    /// handler retries internally (a replay would double-append).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn write_fused(
+        &self,
+        client: ClientId,
+        fid: u64,
+        node: usize,
+        offset: u64,
+        end: u64,
+        payloads: Vec<Payload>,
+        pieces: Vec<(u64, u64)>,
+    ) -> SimResult<u64> {
+        let w = self.owner_of_node(node);
+        let fused = match self.call(w, |reply| Req::WriteFused {
+            client,
+            fid,
+            node,
+            offset,
+            end,
+            payloads,
+            pieces,
+            reply,
+        }) {
+            Reply::Fused(r) => r,
+            _ => unreachable!("fused-write reply"),
+        }?;
+        let FusedReply {
+            records,
+            removed,
+            fragments,
+            foreign_fragments,
+            foreign_spans,
+        } = fused;
+        // Pre-insert mask, minus the fused worker (it already swept its
+        // own nodes in-handler).
+        let sweep_mask = if removed.is_empty() {
+            0
+        } else {
+            self.tracked_mask(fid) & !(1u64 << (w & 63))
+        };
+        if sweep_mask != 0 || !foreign_fragments.is_empty() || !foreign_spans.is_empty() {
+            let pool = self.workers.len();
+            let removed: Arc<[SegKey]> = removed.into();
+            let fragments: Arc<[(SegKey, SegmentRecord)]> = fragments.into();
+            REC_GROUPS.with_borrow_mut(|frag_groups| {
+                frag_groups.resize_with(pool, Vec::new);
+                for (k, v) in foreign_fragments {
+                    frag_groups[self.owner_of_partition(self.partition_of(k.offset))].push((k, v));
+                }
+                SPAN_GROUPS.with_borrow_mut(|span_groups| {
+                    span_groups.resize_with(pool, Vec::new);
+                    for span in foreign_spans {
+                        span_groups[self.owner_of_client(span.0)].push(span);
+                    }
+                    for v in 0..pool {
+                        let put_fragments = std::mem::take(&mut frag_groups[v]);
+                        let release = std::mem::take(&mut span_groups[v]);
+                        let sweep = v != w && sweep_mask & (1u64 << (v & 63)) != 0;
+                        if put_fragments.is_empty() && release.is_empty() && !sweep {
+                            continue;
+                        }
+                        self.workers[v].post(Req::WriteFinish {
+                            fid,
+                            put_fragments,
+                            removed: Arc::clone(&removed),
+                            fragments: Arc::clone(&fragments),
+                            sweep,
+                            reinsert: None,
+                            release,
+                        });
+                    }
+                });
+            });
+        }
+        self.mark_tracked(fid, w);
+        Ok(records)
+    }
+
+    /// Fused read plan against `node`'s owner (see [`Req::ReadPlan`]).
+    pub(crate) fn read_plan(
+        &self,
+        node: usize,
+        fid: u64,
+        lo: u64,
+        hi: u64,
+    ) -> SimResult<PlanReply> {
+        match self.call(self.owner_of_node(node), |reply| Req::ReadPlan {
             node,
             fid,
-            records,
-            reply: tx,
-        });
-        recv(rx)
-    }
-
-    /// Release displaced spans. `spans` must already be sorted by owner
-    /// client (the locked pipeline's order); grouping preserves each
-    /// chain's relative release order.
-    pub(crate) fn release_spans(&self, spans: Vec<(ClientId, VirtualAddr, u64)>) {
-        let pool = self.workers.len();
-        let mut groups: Vec<Vec<(ClientId, VirtualAddr, u64)>> = vec![Vec::new(); pool];
-        for span in spans {
-            groups[self.owner_of_client(span.0)].push(span);
-        }
-        let mut receivers = Vec::new();
-        for (owner, spans) in groups.into_iter().enumerate() {
-            if spans.is_empty() {
-                continue;
-            }
-            let (tx, rx) = mpsc::channel();
-            self.workers[owner].post(Req::Release { spans, reply: tx });
-            receivers.push(rx);
-        }
-        for rx in receivers {
-            recv(rx);
+            lo,
+            hi,
+            reply,
+        }) {
+            Reply::Plan(r) => r,
+            _ => unreachable!("read-plan reply"),
         }
     }
 
     /// Bump heat for the touched keys (fire-and-forget).
     pub(crate) fn bump_heat(&self, keys: Vec<SegKey>) {
         let pool = self.workers.len();
-        let mut groups: Vec<Vec<SegKey>> = vec![Vec::new(); pool];
-        for key in keys {
-            groups[self.owner_of_partition(self.partition_of(key.offset))].push(key);
-        }
-        for (owner, keys) in groups.into_iter().enumerate() {
-            if !keys.is_empty() {
-                self.workers[owner].post(Req::Heat { keys });
+        KEY_GROUPS.with_borrow_mut(|groups| {
+            groups.resize_with(pool, Vec::new);
+            for key in keys {
+                groups[self.owner_of_partition(self.partition_of(key.offset))].push(key);
             }
-        }
-    }
-
-    /// Node-local lookup in `node`'s shared metadata buffer.
-    pub(crate) fn lookup_local(
-        &self,
-        node: usize,
-        fid: u64,
-        lo: u64,
-        hi: u64,
-    ) -> Vec<(SegKey, SegmentRecord)> {
-        let (tx, rx) = mpsc::channel();
-        self.workers[self.owner_of_node(node)].post(Req::LookupLocal {
-            node,
-            fid,
-            lo,
-            hi,
-            reply: tx,
+            for (owner, group) in groups.iter_mut().enumerate() {
+                if !group.is_empty() {
+                    self.workers[owner].post(Req::Heat {
+                        keys: std::mem::take(group),
+                    });
+                }
+            }
         });
-        recv(rx)
-    }
-
-    /// Probe `node`'s read record cache (`None` = miss).
-    pub(crate) fn cache_lookup(
-        &self,
-        node: usize,
-        fid: u64,
-        lo: u64,
-        hi: u64,
-        gen: u64,
-    ) -> Option<Vec<(SegKey, SegmentRecord)>> {
-        let (tx, rx) = mpsc::channel();
-        self.workers[self.owner_of_node(node)].post(Req::CacheLookup {
-            node,
-            fid,
-            lo,
-            hi,
-            gen,
-            reply: tx,
-        });
-        recv(rx)
     }
 
     /// Distributed lookup of records intersecting `[lo, hi)` of `fid`,
     /// merged and offset-sorted like `MetadataService::lookup_range`.
     pub(crate) fn scan(&self, fid: u64, lo: u64, hi: u64) -> Vec<(SegKey, SegmentRecord)> {
         let scan_lo = lo.saturating_sub(self.partitioner.range_size);
-        let mut receivers = Vec::new();
-        for owner in self.span_owners(scan_lo, hi) {
-            let (tx, rx) = mpsc::channel();
-            self.workers[owner].post(Req::Scan {
-                fid,
-                lo,
-                hi,
-                reply: tx,
-            });
-            receivers.push(rx);
-        }
         let mut records = Vec::new();
-        for rx in receivers {
-            records.extend(recv(rx));
-        }
+        OWNERS.with_borrow_mut(|owners| {
+            self.span_owners_into(scan_lo, hi, owners);
+            WAVE.with_borrow_mut(|wave| {
+                for &owner in owners.iter() {
+                    let slot = self.slot();
+                    self.workers[owner].post(Req::Scan {
+                        fid,
+                        lo,
+                        hi,
+                        reply: Arc::clone(&slot),
+                    });
+                    wave.push(slot);
+                }
+                for slot in wave.drain(..) {
+                    self.plane.round_trips.inc();
+                    match slot.take(self.spin_cap) {
+                        Reply::Records(part) => records.extend(part),
+                        _ => unreachable!("scan reply"),
+                    }
+                    self.release_slot(slot);
+                }
+            });
+        });
         records.sort_by_key(|(k, _)| *k);
         records
     }
 
-    /// Install a fetched window into `node`'s read cache.
+    /// Install a fetched window into `node`'s read cache. Fire-and-forget:
+    /// the read's answer never depends on the install landing, and FIFO
+    /// order sequences it before any later probe of the same node.
     pub(crate) fn cache_install(
         &self,
         node: usize,
@@ -1145,7 +1721,6 @@ impl PartitionedCore {
         gen: u64,
         records: Vec<(SegKey, SegmentRecord)>,
     ) {
-        let (tx, rx) = mpsc::channel();
         self.workers[self.owner_of_node(node)].post(Req::CacheInstall {
             node,
             fid,
@@ -1153,9 +1728,7 @@ impl PartitionedCore {
             fetch_hi,
             gen,
             records,
-            reply: tx,
         });
-        recv(rx)
     }
 
     /// Batched fragment fetch from `client`'s chain.
@@ -1164,30 +1737,42 @@ impl PartitionedCore {
         client: ClientId,
         requests: Vec<(VirtualAddr, u64)>,
     ) -> SimResult<Vec<(Payload, Tier)>> {
-        let (tx, rx) = mpsc::channel();
-        self.workers[self.owner_of_client(client)].post(Req::Fetch {
+        match self.call(self.owner_of_client(client), |reply| Req::Fetch {
             client,
             requests,
-            reply: tx,
-        });
-        recv(rx)
+            reply,
+        }) {
+            Reply::Fetched(r) => r,
+            _ => unreachable!("fetch reply"),
+        }
     }
 
     /// Merge (and with `take`, reset) every worker's byte ledger — the
     /// partitioned replacement for the locked accounting mutex.
     pub(crate) fn collect_bytes(&self, take: bool) -> HashMap<(ClientId, Tier), u64> {
-        let mut receivers = Vec::new();
-        for worker in &self.workers {
-            let (tx, rx) = mpsc::channel();
-            worker.post(Req::CollectBytes { take, reply: tx });
-            receivers.push(rx);
-        }
         let mut merged: HashMap<(ClientId, Tier), u64> = HashMap::new();
-        for rx in receivers {
-            for (key, bytes) in recv(rx) {
-                *merged.entry(key).or_insert(0) += bytes;
+        WAVE.with_borrow_mut(|wave| {
+            for worker in &self.workers {
+                let slot = self.slot();
+                worker.post(Req::CollectBytes {
+                    take,
+                    reply: Arc::clone(&slot),
+                });
+                wave.push(slot);
             }
-        }
+            for slot in wave.drain(..) {
+                self.plane.round_trips.inc();
+                match slot.take(self.spin_cap) {
+                    Reply::Bytes(ledger) => {
+                        for (key, bytes) in ledger {
+                            *merged.entry(key).or_insert(0) += bytes;
+                        }
+                    }
+                    _ => unreachable!("collect-bytes reply"),
+                }
+                self.release_slot(slot);
+            }
+        });
         merged
     }
 
@@ -1311,9 +1896,16 @@ impl PartitionedCore {
         for (p, n) in gets.into_iter().enumerate() {
             slices[p % pool].gets.insert(p, n);
         }
+        // Rebuild the fid-tracking mask wholesale — the checkout's `f`
+        // (tiering, repair) may have created or dropped buffer entries.
+        let mut tracked: HashMap<u64, u64> = HashMap::new();
         for (n, buffer) in local.into_iter().enumerate() {
+            for fid in buffer.keys() {
+                *tracked.entry(*fid).or_insert(0) |= 1u64 << ((n % pool) & 63);
+            }
             slices[n % pool].local.insert(n, buffer);
         }
+        *self.tracked.write().expect("tracked poisoned") = tracked;
         for (n, cache) in read_cache.into_iter().enumerate() {
             slices[n % pool].read_cache.insert(n, cache);
         }
@@ -1340,7 +1932,7 @@ impl PartitionedCore {
 impl Drop for PartitionedCore {
     fn drop(&mut self) {
         for worker in &self.workers {
-            worker.post(Req::Shutdown);
+            worker.post_quiet(Req::Shutdown);
         }
         for worker in &mut self.workers {
             if let Some(join) = worker.join.take() {
@@ -1366,7 +1958,7 @@ mod tests {
             4096,
             cfg.geometry.total_procs(),
         );
-        let metrics = JobMetrics::new();
+        let metrics = Arc::new(JobMetrics::new());
         PartitionedCore::new(&cfg, &metrics, None, caps)
     }
 
@@ -1391,7 +1983,7 @@ mod tests {
         core.ensure_chain(client).unwrap();
         core.chain_exists(client).unwrap();
         let placed = core
-            .append(client, vec![Payload::pattern(7, 64)], true)
+            .append(client, vec![Payload::pattern(7, 64)], true, false)
             .unwrap();
         assert_eq!(placed.len(), 1);
         let got = core
@@ -1403,13 +1995,15 @@ mod tests {
     }
 
     #[test]
-    fn punch_claims_and_fragments_like_the_locked_path() {
+    fn write_commit_claims_and_fragments_like_the_locked_path() {
         let core = core(2, 2, 2);
         let client = ClientId::new(0, 0);
         let rec = SegmentRecord::new(client, VirtualAddr(100), 100);
-        core.put_records(vec![(SegKey { fid: 1, offset: 0 }, rec)]);
+        // An insert-only commit (punch of empty index, then the put).
+        let out = core.write_commit(1, 0, 100, &[(0, rec)]);
+        assert!(out.removed.is_empty());
         // Punch the middle third: one claim, two surviving fragments.
-        let out = core.punch(1, 30, 60);
+        let out = core.write_commit(1, 30, 60, &[]);
         assert_eq!(out.removed, vec![SegKey { fid: 1, offset: 0 }]);
         assert_eq!(out.displaced.len(), 1);
         assert_eq!(out.displaced[0].1.va, VirtualAddr(130));
@@ -1418,7 +2012,95 @@ mod tests {
         assert_eq!(out.fragments[0].0.offset, 0);
         assert_eq!(out.fragments[1].0.offset, 60);
         // The claimed record is gone; a second punch finds nothing.
-        assert!(core.punch(1, 30, 60).removed.is_empty());
+        assert!(core.write_commit(1, 30, 60, &[]).removed.is_empty());
+    }
+
+    #[test]
+    fn fused_write_commits_in_one_handler_pass() {
+        // One worker owns everything, so any span gates onto the fused
+        // path.
+        let core = core(1, 2, 1);
+        let client = ClientId::new(0, 0);
+        assert_eq!(core.fused_owner(client, 0, 0, 128), Some(0));
+        let records = core
+            .write_fused(
+                client,
+                5,
+                0,
+                0,
+                128,
+                vec![Payload::pattern(9, 128)],
+                vec![(0, 128)],
+            )
+            .unwrap();
+        assert_eq!(records, 1);
+        // The commit is fully visible: KV record, node buffer, readable
+        // bytes, generation bump.
+        assert_eq!(core.scan(5, 0, 128).len(), 1);
+        let plan = core.read_plan(0, 5, 0, 128).unwrap();
+        assert_eq!(plan.local.len(), 1);
+        assert!(plan.remote.is_none(), "node buffer covers the read");
+        let (_, rec) = core.scan(5, 0, 128)[0];
+        let got = core.fetch(client, vec![(rec.va, rec.len)]).unwrap();
+        assert!(got[0].0.content_eq(&Payload::pattern(9, 128)));
+        assert_eq!(
+            core.generations.read().unwrap().get(&5).copied(),
+            Some(1),
+            "fused write bumps the generation in-handler"
+        );
+        // Overwrite the middle through the same path: the punch claims
+        // the old record and the fragments survive.
+        core.write_fused(
+            client,
+            5,
+            0,
+            32,
+            96,
+            vec![Payload::pattern(4, 64)],
+            vec![(32, 64)],
+        )
+        .unwrap();
+        let after = core.scan(5, 0, 128);
+        assert_eq!(after.len(), 3, "left fragment, new record, right fragment");
+        assert_eq!(after[0].0.offset, 0);
+        assert_eq!(after[1].0.offset, 32);
+        assert_eq!(after[2].0.offset, 96);
+    }
+
+    #[test]
+    fn reply_slot_pool_recycles_across_round_trips() {
+        let metrics = Arc::new(JobMetrics::new());
+        let mut cfg = UniviStorConfig::test_small(2, 2);
+        cfg.partitions = 2;
+        let caps = layer_caps_with_node_local(
+            cfg.cal.dram_cache_capacity_per_node,
+            None,
+            cfg.geometry.procs_per_node,
+            4096,
+            cfg.geometry.total_procs(),
+        );
+        let core = PartitionedCore::new(&cfg, &metrics, None, caps);
+        let client = ClientId::new(0, 0);
+        core.ensure_chain(client).unwrap();
+        for _ in 0..8 {
+            core.chain_exists(client).unwrap();
+        }
+        let snap = metrics.snapshot();
+        let hits = snap
+            .counter("univistor_msgplane_reply_pool_hits_total", &[])
+            .unwrap_or(0);
+        let misses = snap
+            .counter("univistor_msgplane_reply_pool_misses_total", &[])
+            .unwrap_or(0);
+        let trips = snap
+            .counter("univistor_partition_round_trips_total", &[])
+            .unwrap_or(0);
+        assert_eq!(trips, 9, "one awaited round-trip per request");
+        assert_eq!(hits + misses, 9);
+        assert!(
+            hits >= 8,
+            "sequential round-trips recycle one slot (hits {hits}, misses {misses})"
+        );
     }
 
     #[test]
@@ -1427,11 +2109,11 @@ mod tests {
         let client = ClientId::new(0, 2); // node 1 → worker 1
         core.ensure_chain(client).unwrap();
         let placed = core
-            .append(client, vec![Payload::pattern(3, 64)], false)
+            .append(client, vec![Payload::pattern(3, 64)], false, false)
             .unwrap();
         let rec = SegmentRecord::new(client, placed[0].va, 64);
-        core.put_records(vec![(SegKey { fid: 9, offset: 0 }, rec)]);
-        core.buffer_insert(1, 9, vec![(0, rec)]);
+        let out = core.write_commit(9, 0, 64, &[(0, rec)]);
+        core.write_finish(9, 1, out, &[(0, rec)], Vec::new());
         // The assembled locked core sees everything the workers own …
         let (len, local_hits, live) = core.with_checked_out(|locked| {
             (
@@ -1441,10 +2123,12 @@ mod tests {
             )
         });
         assert_eq!((len, local_hits, live), (1, 1, 64));
-        // … and after check-in the workers still serve it.
+        // … and after check-in the workers still serve it, and the
+        // rebuilt tracking mask still targets worker 1's sweep.
         let got = core.fetch(client, vec![(placed[0].va, 64)]).unwrap();
         assert!(got[0].0.content_eq(&Payload::pattern(3, 64)));
         assert_eq!(core.scan(9, 0, 64).len(), 1);
-        assert_eq!(core.lookup_local(1, 9, 0, 64).len(), 1);
+        assert_eq!(core.read_plan(1, 9, 0, 64).unwrap().local.len(), 1);
+        assert_eq!(core.tracked_mask(9), 1 << 1);
     }
 }

@@ -526,17 +526,19 @@ impl UniviStorJob {
             entry.written.store(true, Ordering::Relaxed);
             entry.fid
         };
-        self.ensure_chain(client)?;
         let node = self.cfg.geometry.node_of_rank(client.rank as usize);
         match &self.core {
-            Core::Locked(core) => match self.cfg.write_pipeline {
-                WritePipeline::Batched => {
-                    self.write_batched(core, client, fid, node, offset, payload)?
+            Core::Locked(core) => {
+                self.ensure_chain(client)?;
+                match self.cfg.write_pipeline {
+                    WritePipeline::Batched => {
+                        self.write_batched(core, client, fid, node, offset, payload)?
+                    }
+                    WritePipeline::PerPiece => {
+                        self.write_per_piece(core, client, fid, node, offset, payload)?
+                    }
                 }
-                WritePipeline::PerPiece => {
-                    self.write_per_piece(core, client, fid, node, offset, payload)?
-                }
-            },
+            }
             // The routed pipeline is inherently batched; the pipeline
             // toggle selects locked-runtime reference flavors only.
             Core::Partitioned(core) => {
@@ -800,11 +802,15 @@ impl UniviStorJob {
 
     /// Routed write pipeline ([`Runtime::Partitioned`]): the same plan,
     /// replication, coalescing, commit, and release steps as
-    /// [`write_batched`](Self::write_batched), but every state mutation is
-    /// a message to the owning partition worker instead of a lock
-    /// acquisition — the call takes **zero** counted locks. Byte ledgers
-    /// accumulate in the appending worker (`account`), replacing the
-    /// router-side accounting mutex.
+    /// [`write_batched`](Self::write_batched), fused into at most one
+    /// awaited round-trip per involved worker — the append (chain
+    /// creation folded in), then one `WriteCommit` per span owner; the
+    /// fragment puts, buffer sweep/refresh, and chain releases ride a
+    /// fire-and-forget finish wave. When one worker owns the whole
+    /// widened span and the producer chain (and replication is off), the
+    /// write collapses to a single fused message. The call takes **zero**
+    /// counted locks; byte ledgers accumulate in the appending worker
+    /// (`account`), replacing the router-side accounting mutex.
     fn write_routed(
         &self,
         core: &PartitionedCore,
@@ -814,8 +820,9 @@ impl UniviStorJob {
         offset: u64,
         payload: Payload,
     ) -> SimResult<()> {
-        // The commit below is many messages; hold off tiering checkouts
-        // until the last one lands (see `PartitionedCore::exclude_passes`).
+        // The commit below may be several messages; hold off tiering
+        // checkouts until the last one lands (see
+        // `PartitionedCore::exclude_passes`).
         let _commit = core.exclude_passes();
         let len = payload.len();
         let end = offset + len;
@@ -825,14 +832,28 @@ impl UniviStorJob {
             .map(|&(cur, plen)| payload.slice(cur - offset, plen))
             .collect();
 
+        // Single-round-trip fast path: the owning worker runs the whole
+        // commit (with the retry loops inside the handler — do not wrap
+        // it in `with_retries`, a replayed message would double-append).
+        if !self.cfg.replicate_volatile && core.fused_owner(client, node, offset, end).is_some() {
+            let records =
+                core.write_fused(client, fid, node, offset, end, payloads, pieces.clone())?;
+            self.metrics.record_write_batch(
+                pieces.len() as u64,
+                records,
+                WriteLockCounts::default(),
+            );
+            return Ok(());
+        }
+
         let placed = with_retries(&self.cfg.retry, Some(&self.metrics), || {
-            core.append(client, payloads.clone(), true)
+            core.append(client, payloads.clone(), true, true)
         })?;
 
         // Replicate volatile pieces into a healthy buddy's chain —
-        // best-effort, one message, after the primary run completes
-        // (mirrors the locked pipeline's lock ordering: never two chains
-        // at once).
+        // best-effort, one message (chain creation fused in), after the
+        // primary run completes (mirrors the locked pipeline's lock
+        // ordering: never two chains at once).
         let mut replicas: Vec<Option<(ClientId, VirtualAddr, usize)>> = vec![None; pieces.len()];
         if self.cfg.replicate_volatile {
             if let Some(buddy) = self.replica_buddy(client) {
@@ -843,11 +864,10 @@ impl UniviStorJob {
                     .map(|(i, _)| i)
                     .collect();
                 if !volatile.is_empty() {
-                    core.ensure_chain(buddy)?;
                     let copies: Vec<Payload> =
                         volatile.iter().map(|&i| payloads[i].clone()).collect();
                     let mirrored = with_retries(&self.cfg.retry, Some(&self.metrics), || {
-                        core.append(buddy, copies.clone(), false)
+                        core.append(buddy, copies.clone(), false, true)
                     });
                     if let Ok(rplaced) = mirrored {
                         for (&i, rp) in volatile.iter().zip(&rplaced) {
@@ -920,25 +940,19 @@ impl UniviStorJob {
                 off + record.len
             );
         }
-        let outcome = core.punch(fid, offset, end);
-        // `punch_inner` parity: with nothing claimed there are no
-        // fragments to re-insert and no node-buffer sweep to run.
-        if !outcome.removed.is_empty() {
-            core.put_records(outcome.fragments.clone());
-            core.buffer_apply(fid, outcome.removed.clone(), outcome.fragments.clone());
-        }
-        core.put_records(
-            records
-                .iter()
-                .map(|&(off, record)| (SegKey { fid, offset: off }, record))
-                .collect(),
-        );
-        core.buffer_insert(node, fid, records.clone());
+        // First commit wave: one `WriteCommit` per span owner — the punch
+        // and that worker's record puts in one message. The punch
+        // precedes the puts inside each handler, so the CAS claims never
+        // see the new records.
+        let outcome = core.write_commit(fid, offset, end, &records);
         core.bump_generation(fid);
 
-        // Free the log space of overwritten data, including replica
-        // copies, grouped by owning worker; the stable sort keeps punch
-        // order within an owner (the locked pipeline's release order).
+        // Second wave, fire-and-forget: fragment puts, the node-buffer
+        // sweep (only on workers whose nodes track the fid), the producer
+        // buffer refresh, and the releases of overwritten log space
+        // (including replica copies); the stable sort keeps punch order
+        // within an owner (the locked pipeline's release order). Mailbox
+        // FIFO order sequences these before any later observer.
         let mut spans: Vec<(ClientId, VirtualAddr, u64)> = Vec::new();
         for (_, d) in &outcome.displaced {
             spans.push((d.client, d.va, d.len));
@@ -947,7 +961,7 @@ impl UniviStorJob {
             }
         }
         spans.sort_by_key(|&(c, _, _)| c);
-        core.release_spans(spans);
+        core.write_finish(fid, node, outcome, &records, spans);
 
         self.metrics.record_write_batch(
             pieces.len() as u64,
@@ -1063,30 +1077,21 @@ impl UniviStorJob {
                 && self
                     .read_state
                     .advance(client, fid, offset, end, self.cfg.readahead_min_streak);
-            let local_hits = core.lookup_local(my_node, fid, offset, end);
-            trace.local_md_hits += local_hits.len() as u64;
-            let covered: u64 = local_hits
-                .iter()
-                .map(|(k, r)| {
-                    let lo = k.offset.max(offset);
-                    let hi = (k.offset + r.len).min(end);
-                    hi.saturating_sub(lo)
-                })
-                .sum();
-            records.extend(local_hits.iter().copied());
-            if covered < len {
+            // One fused `ReadPlan` round-trip to the node owner: buffer
+            // lookup, and — only when the buffer leaves the request
+            // uncovered — the `kv_lookup` fault draw (drawn before
+            // touching further state, `lookup_range_cached` parity) plus
+            // the generation-validated cache probe.
+            let plan = core.read_plan(my_node, fid, offset, end)?;
+            trace.local_md_hits += plan.local.len() as u64;
+            records.extend(plan.local.iter().copied());
+            if let Some((gen, probe)) = plan.remote {
                 let fetch_hi = if readahead_active {
                     end.saturating_add(self.cfg.readahead_window)
                 } else {
                     end
                 };
-                // `lookup_range_cached` parity: the fault is drawn first,
-                // before touching any state.
-                if let Some(inj) = &self.injector {
-                    inj.inject("kv_lookup", None)?;
-                }
-                let gen = core.generation(fid);
-                let remote_hits = match core.cache_lookup(my_node, fid, offset, end, gen) {
+                let remote_hits = match probe {
                     Some(hits) => {
                         trace.md_cache_hits += 1;
                         hits

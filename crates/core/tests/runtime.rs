@@ -436,6 +436,164 @@ fn shutdown_drains_queued_mailbox_messages() {
     assert!(snap.counter_total("univistor_partition_messages_total") > 0);
 }
 
+/// The fused-protocol message budget: a steady-state batched write on
+/// the partitioned runtime costs at most **2 awaited round-trips per
+/// involved worker** (one append + one `WriteCommit` to the chain
+/// owner, one `WriteCommit` to each other span owner — everything else
+/// rides fire-and-forget finish posts), a fresh single-block write from
+/// the block's owner costs exactly **1** (the fused fast path), and the
+/// lock counters stay at zero throughout.
+#[test]
+fn batched_write_stays_within_two_round_trips_per_worker() {
+    let j = Arc::new(UniviStorJob::new(cfg(Runtime::Partitioned)));
+    assert_eq!(j.partition_workers(), 4);
+    j.open_file("/rt")
+        .read_write()
+        .representing(4)
+        .by(client(0))
+        .unwrap();
+    let trips = |j: &UniviStorJob| {
+        j.metrics()
+            .counter_total("univistor_partition_round_trips_total")
+    };
+
+    // Fused fast path: rank 0 (node 0 → worker 0) writes the first
+    // metadata block, whose widened span worker 0 owns outright.
+    let before = trips(&j);
+    j.write(client(0), "/rt", 0, Payload::pattern(1, 1024))
+        .unwrap();
+    assert_eq!(
+        trips(&j) - before,
+        1,
+        "single-owner write must commit in one fused round-trip"
+    );
+
+    // General path: 4 KiB from rank 2 spans all four KV partitions →
+    // all four workers involved. One append plus one commit per span
+    // owner = 5 awaited round-trips ≤ 2 × 4; the punch sweep, fragment
+    // puts, buffer refresh, and releases are fire-and-forget.
+    let before = trips(&j);
+    j.write(client(2), "/rt", 0, Payload::pattern(2, 4096))
+        .unwrap();
+    let wide = trips(&j) - before;
+    assert!(
+        wide <= 2 * 4,
+        "all-partition write took {wide} round-trips (> 2 per worker)"
+    );
+    assert_eq!(wide, 5, "append + one WriteCommit per span owner");
+
+    // Overwriting the same span adds no extra awaited waves — the
+    // sweep/release work stays asynchronous.
+    let before = trips(&j);
+    j.write(client(2), "/rt", 0, Payload::pattern(3, 4096))
+        .unwrap();
+    assert_eq!(trips(&j) - before, 5, "overwrite must not add waves");
+
+    let snap = j.metrics();
+    assert_eq!(
+        snap.counter_total("univistor_write_lock_acquisitions_total"),
+        0
+    );
+    assert_eq!(
+        snap.counter_total("univistor_read_lock_acquisitions_total"),
+        0
+    );
+}
+
+/// A depth-1 mailbox still drains a write spanning every partition:
+/// workers never post to other workers, so any mailbox depth ≥ 1 is
+/// deadlock-free — the router just blocks (backpressure) when a worker
+/// falls behind.
+#[test]
+fn depth_one_mailbox_drains_a_multi_partition_write() {
+    let mut c = cfg(Runtime::Partitioned);
+    c.mailbox_depth = 1;
+    let j = Arc::new(UniviStorJob::new(c));
+    assert_eq!(j.partition_workers(), 4);
+    j.open_file("/narrow")
+        .read_write()
+        .representing(4)
+        .by(client(0))
+        .unwrap();
+    // 8 KiB across all four workers, twice (the overwrite adds the
+    // punch sweep + release fan-out), then a full read-back.
+    j.write(client(0), "/narrow", 0, Payload::pattern(1, 8192))
+        .unwrap();
+    j.write(client(2), "/narrow", 0, Payload::pattern(2, 8192))
+        .unwrap();
+    let got = j.read(client(3), "/narrow", 0, 8192).unwrap();
+    assert!(got.content_eq(&Payload::pattern(2, 8192)));
+}
+
+/// Rollback spanning the stages of a fused commit: a transient fault
+/// exhausting the append retries inside the fused handler must leave
+/// **no** partial stage behind — no chain bytes, no KV records, no byte
+/// accounting, as if the write never happened.
+#[test]
+fn no_partial_stage_of_a_fused_commit_survives_append_failure() {
+    let mut c = cfg(Runtime::Partitioned);
+    c.retry.backoff_base_us = 1;
+    c.retry.backoff_cap_us = 10;
+    c.fault = Some(FaultConfig {
+        seed: 7,
+        transient_prob: 1.0, // every chain_append draw fails → retries exhaust
+        ..FaultConfig::default()
+    });
+    let j = Arc::new(UniviStorJob::new(c));
+    j.open_file("/roll").read_write().by(client(0)).unwrap();
+    // Rank 0 at offset 0: the single-owner fused path.
+    let err = j.write(client(0), "/roll", 0, Payload::pattern(1, 1024));
+    assert!(err.is_err(), "exhausted retries must surface the fault");
+    assert_eq!(j.metadata_records(), 0, "a KV record survived rollback");
+    for (_, used) in j.tier_usage() {
+        assert_eq!(used, 0, "chain bytes survived rollback");
+    }
+    assert!(
+        j.stats().bytes_by_client_tier.is_empty(),
+        "byte accounting survived rollback"
+    );
+}
+
+/// Same-seed replay equivalence with transient faults landing *inside*
+/// fused commits: both runtimes replay the identical overwrite-heavy
+/// single-client workload under the same fault seed, drawing faults at
+/// the same logical points (per-piece appends, the kv-insert draw, the
+/// kv-lookup draw), so retries consume the same draws and the final
+/// state is identical — bytes, record count, per-tier residency.
+#[test]
+fn runtimes_replay_identically_under_faults_mid_fused_commit() {
+    let run = |runtime| {
+        let mut c = cfg(runtime);
+        c.retry.backoff_base_us = 1;
+        c.retry.backoff_cap_us = 10;
+        c.fault = Some(FaultConfig {
+            seed: 1234,
+            transient_prob: 0.2,
+            ..FaultConfig::default()
+        });
+        let j = Arc::new(UniviStorJob::new(c));
+        j.open_file("/replay").read_write().by(client(0)).unwrap();
+        let mut model = SparseBuffer::new();
+        // Rank 0 hammering block 0: every write takes the fused path,
+        // and from the second on the punch + sweep run mid-fused-commit
+        // under the fault drizzle.
+        for i in 0..24u64 {
+            let offset = (i % 4) * 256;
+            let p = Payload::pattern(i, 256);
+            model.write(offset, p.clone());
+            j.write(client(0), "/replay", offset, p).unwrap();
+        }
+        let got = j.read(client(0), "/replay", 0, 1024).unwrap();
+        assert!(got.content_eq(&model.read(0, 1024)), "diverged from model");
+        (got, j.metadata_records(), j.tier_usage())
+    };
+    let (locked_bytes, locked_records, locked_tiers) = run(Runtime::Locked);
+    let (part_bytes, part_records, part_tiers) = run(Runtime::Partitioned);
+    assert!(locked_bytes.content_eq(&part_bytes));
+    assert_eq!(locked_records, part_records);
+    assert_eq!(locked_tiers, part_tiers);
+}
+
 /// Regression for the shared-read-view writer-starvation hazard: the
 /// locked runtime's `ChainSet::with` acquires views by `try_read` with
 /// backoff instead of parking in the rwlock's reader queue, so a
