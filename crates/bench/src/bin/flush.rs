@@ -1,0 +1,210 @@
+//! Flush-plane microbenchmark: what a close-time flush costs in Lustre
+//! write calls, OST object writes, and chain-gather round-trips under
+//! the parallel pipelined engine vs. the sequential reference
+//! (DESIGN.md §15), on both runtimes.
+//!
+//! The workload is the differential suite's geometry: 2 nodes × 2
+//! procs, 4 KV partitions, records capped at 256 B so the 16 KiB
+//! block-per-rank tiling yields 64 records at a quarter of the adaptive
+//! stripe unit — many records per unit, so coalescing is measurable.
+//! The file is tiled once; each op then reopens and closes it, which
+//! re-drains the identical cached bytes (flush copies, it does not
+//! evict), so every rep measures a steady-state full-file drain.
+//!
+//! The per-op counters (`univistor_flush_{write_calls,ost_writes,
+//! spans,gather_round_trips,catchup_passes}_total`) are deterministic
+//! and portable. Wall-clock flushes/sec is not the headline on a 1-CPU
+//! host: the gather workers and the writer stage time-slice one core,
+//! so the stage overlap and per-server parallelism cannot show up as
+//! latency wins there — the counter reductions are the result.
+
+use std::time::Instant;
+use univistor_bench::cli::Options;
+use univistor_core::config::{FlushPipeline, Runtime, UniviStorConfig};
+use univistor_core::metadata::ClientId;
+use univistor_core::server::UniviStorJob;
+use univistor_mpi::driver::OpenMode;
+use univistor_obs::Json;
+use univistor_sim::Payload;
+
+/// Ranks tiling the file (2 nodes × 2 procs).
+const RANKS: u64 = 4;
+/// Contiguous block each rank writes.
+const BLOCK: u64 = 4096;
+/// Write granularity — also the record cap (`metadata_range_size`).
+const RECORD: u64 = 256;
+
+fn config(runtime: Runtime, pipeline: FlushPipeline) -> UniviStorConfig {
+    let mut cfg = UniviStorConfig::test_small(2, 2);
+    cfg.runtime = runtime;
+    cfg.partitions = 4; // explicit pool: 4 workers even on one CPU
+    cfg.flush_pipeline = pipeline;
+    cfg.metadata_range_size = RECORD;
+    cfg
+}
+
+/// Flush-plane counter snapshot.
+struct Plane {
+    write_calls: u64,
+    ost_writes: u64,
+    spans: u64,
+    gather_round_trips: u64,
+    catchup_passes: u64,
+}
+
+fn plane(job: &UniviStorJob) -> Plane {
+    let snap = job.metrics();
+    Plane {
+        write_calls: snap.counter_total("univistor_flush_write_calls_total"),
+        ost_writes: snap.counter_total("univistor_flush_ost_writes_total"),
+        spans: snap.counter_total("univistor_flush_spans_total"),
+        gather_round_trips: snap.counter_total("univistor_flush_gather_round_trips_total"),
+        catchup_passes: snap.counter_total("univistor_flush_catchup_passes_total"),
+    }
+}
+
+fn client(rank: u32) -> ClientId {
+    ClientId::new(0, rank)
+}
+
+fn tile(job: &UniviStorJob) {
+    job.open_file("/flush")
+        .read_write()
+        .representing(RANKS as usize)
+        .by(client(0))
+        .unwrap();
+    for rank in 0..RANKS {
+        for i in 0..(BLOCK / RECORD) {
+            let offset = rank * BLOCK + i * RECORD;
+            job.write(
+                client(rank as u32),
+                "/flush",
+                offset,
+                Payload::pattern(offset, RECORD),
+            )
+            .unwrap();
+        }
+    }
+}
+
+fn run(runtime: Runtime, pipeline: FlushPipeline, reps: usize) -> Json {
+    let job = UniviStorJob::new(config(runtime, pipeline));
+    tile(&job);
+    // First flush outside the measured window: creates the Lustre file,
+    // so every measured rep drains into an existing destination.
+    job.close(
+        "/flush",
+        client(0),
+        OpenMode::ReadWrite,
+        RANKS as usize,
+        true,
+    )
+    .unwrap();
+
+    let before = plane(&job);
+    let start = Instant::now();
+    for _ in 0..reps {
+        job.open_file("/flush").read_write().by(client(0)).unwrap();
+        job.close("/flush", client(0), OpenMode::ReadWrite, 1, true)
+            .unwrap()
+            .expect("close should flush");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let after = plane(&job);
+
+    let per = |a: u64, b: u64| (a - b) as f64 / reps as f64;
+    let write_calls = per(after.write_calls, before.write_calls);
+    let ost_writes = per(after.ost_writes, before.ost_writes);
+    let spans = per(after.spans, before.spans);
+    let gathers = per(after.gather_round_trips, before.gather_round_trips);
+    let catchups = per(after.catchup_passes, before.catchup_passes);
+    let label = format!("{runtime:?}/{pipeline:?}");
+    println!(
+        "{label:>22}: {write_calls:>7.1} writes/op {ost_writes:>7.1} ost-writes/op \
+         {gathers:>7.1} gathers/op {spans:>6.1} spans/op {:>10.0} flushes/sec",
+        reps as f64 / elapsed
+    );
+    Json::object([
+        ("runtime", Json::string(&format!("{runtime:?}"))),
+        ("pipeline", Json::string(&format!("{pipeline:?}"))),
+        ("reps", Json::Number(reps as f64)),
+        ("write_calls_per_op", Json::Number(write_calls)),
+        ("ost_writes_per_op", Json::Number(ost_writes)),
+        ("spans_per_op", Json::Number(spans)),
+        ("gather_round_trips_per_op", Json::Number(gathers)),
+        ("catchup_passes_per_op", Json::Number(catchups)),
+        ("elapsed_s", Json::Number(elapsed)),
+        ("flushes_per_sec", Json::Number(reps as f64 / elapsed)),
+    ])
+}
+
+fn main() {
+    let opts = Options::from_env();
+    let reps = if opts.max_procs <= 512 { 200 } else { 2_000 };
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "flush bench: {reps} full-file drains per cell, 64 × 256 B records, \
+         {cpus} CPU(s)"
+    );
+
+    let mut rows = Vec::new();
+    for runtime in [Runtime::Locked, Runtime::Partitioned] {
+        for pipeline in [FlushPipeline::Sequential, FlushPipeline::Parallel] {
+            rows.push(run(runtime, pipeline, reps));
+        }
+    }
+
+    // Stage-overlap accounting: the pipelined engine's shape for this
+    // geometry. Four nonempty server ranges feed min(4, cpus) gather
+    // workers through a bounded channel (capacity 2×workers) into one
+    // reorder-buffer writer; on a 1-CPU host the stages still overlap
+    // logically (gather of range k+1 proceeds while range k sits queued)
+    // but time-slice a single core, so the overlap is architectural, not
+    // a wall-clock win.
+    let workers = RANKS.min(cpus as u64);
+    let overlap = Json::object([
+        ("server_ranges", Json::Number(RANKS as f64)),
+        ("gather_workers", Json::Number(workers as f64)),
+        (
+            "pipeline_channel_capacity",
+            Json::Number((workers * 2) as f64),
+        ),
+        ("writer_stages", Json::Number(1.0)),
+    ]);
+
+    let doc = Json::object([
+        ("bench", Json::string("flush")),
+        (
+            "workload",
+            Json::string(
+                "16 KiB file, block-per-rank tiling, 64 x 256 B records at a \
+                 quarter of the adaptive stripe unit; each op is a full-file \
+                 close-time drain to Lustre",
+            ),
+        ),
+        ("reps_per_cell", Json::Number(reps as f64)),
+        ("cpus_available", Json::Number(cpus as f64)),
+        ("results", Json::Array(rows)),
+        ("stage_overlap", overlap),
+        (
+            "note",
+            Json::string(
+                "write_calls/ost_writes/gather_round_trips per op are \
+                 deterministic and portable: the sequential reference drains \
+                 span-at-a-time (64/64/64 for this geometry) while the \
+                 parallel engine coalesces adjacent spans into per-range runs \
+                 and batches same-client gathers (4/32/4). Wall-clock \
+                 flushes/sec is bounded by cpus_available: on a 1-CPU host the \
+                 gather workers and writer stage time-slice one core, so the \
+                 per-server parallelism and stage overlap cannot appear as \
+                 latency wins there — only a multi-core re-run can convert the \
+                 round-trip and write-call reductions into wall-clock speedup",
+            ),
+        ),
+    ]);
+    let out = "BENCH_flush.json";
+    std::fs::write(out, doc.render() + "\n").expect("write BENCH_flush.json");
+    println!("wrote {out}");
+}

@@ -93,6 +93,27 @@ pub enum ReadPipeline {
     PerRecord,
 }
 
+/// Which flush-plane implementation the close-time flush (and the
+/// tiering daemon's catch-up) uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FlushPipeline {
+    /// Parallel pipelined engine: per-server gather workers overlap the
+    /// metadata lookup and tier gather of range N+1 with the stripe
+    /// write of range N through a bounded queue; adjacent spans bound
+    /// for the same server range coalesce into single Lustre writes;
+    /// and instead of holding the core for the whole flush, the record
+    /// set is snapshotted and drained live, with a generation-validated
+    /// catch-up pass re-draining anything mutated mid-flight.
+    #[default]
+    Parallel,
+    /// Reference implementation: one sequential loop over the server
+    /// ranges, one chain read and one Lustre write per clipped span.
+    /// Under [`Runtime::Partitioned`] the core is checked out (workers
+    /// parked) for the whole flush. Kept for differential tests and as
+    /// the `flush` bench baseline.
+    Sequential,
+}
+
 /// Which server-core runtime [`UniviStorJob`](crate::server::UniviStorJob)
 /// executes its data plane on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -311,6 +332,8 @@ pub struct UniviStorConfig {
     pub write_pipeline: WritePipeline,
     /// Which read-path implementation to use (batched by default).
     pub read_pipeline: ReadPipeline,
+    /// Which flush-plane implementation to use (parallel by default).
+    pub flush_pipeline: FlushPipeline,
     /// Forward reads by one `(client, fid)` pair whose start matches the
     /// previous read's end before readahead kicks in. Streak detection is
     /// per client+file, so interleaved streams don't defeat it.
@@ -366,6 +389,7 @@ impl UniviStorConfig {
             replicate_volatile: false,
             write_pipeline: WritePipeline::default(),
             read_pipeline: ReadPipeline::default(),
+            flush_pipeline: FlushPipeline::default(),
             readahead_min_streak: 2,
             readahead_window: 0,
             retry: RetryPolicy::default(),
@@ -401,6 +425,7 @@ impl UniviStorConfig {
             replicate_volatile: false,
             write_pipeline: WritePipeline::default(),
             read_pipeline: ReadPipeline::default(),
+            flush_pipeline: FlushPipeline::default(),
             readahead_min_streak: 2,
             readahead_window: 0,
             retry: RetryPolicy::default(),
@@ -506,6 +531,12 @@ impl UniviStorConfigBuilder {
     /// Set the read pipeline implementation.
     pub fn read_pipeline(mut self, pipeline: ReadPipeline) -> Self {
         self.cfg.read_pipeline = pipeline;
+        self
+    }
+
+    /// Set the flush-plane implementation.
+    pub fn flush_pipeline(mut self, pipeline: FlushPipeline) -> Self {
+        self.cfg.flush_pipeline = pipeline;
         self
     }
 

@@ -52,7 +52,7 @@ pub mod va;
 pub mod workflow;
 
 pub use config::{
-    Features, JobGeometry, PromotionPolicy, Runtime, TierWatermarks, TieringConfig,
+    Features, FlushPipeline, JobGeometry, PromotionPolicy, Runtime, TierWatermarks, TieringConfig,
     UniviStorConfig, UniviStorConfigBuilder,
 };
 pub use driver::UniviStorDriver;

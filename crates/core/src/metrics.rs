@@ -24,6 +24,11 @@
 //! | `univistor_flush_server_bytes` | histogram | — | bytes one server wrote in one flush |
 //! | `univistor_flush_source_bytes_total` | counter | `tier` | where flushed bytes were cached |
 //! | `univistor_flush_lock_revocations_total` | counter | — | Lustre lock revocations while flushing |
+//! | `univistor_flush_ost_writes_total` | counter | — | OST object writes issued (after stripe coalescing) |
+//! | `univistor_flush_write_calls_total` | counter | — | Lustre object-write calls (one per coalesced run) |
+//! | `univistor_flush_spans_total` | counter | — | clipped spans drained (engine-independent) |
+//! | `univistor_flush_gather_round_trips_total` | counter | — | chain read round-trips gathering flush data |
+//! | `univistor_flush_catchup_passes_total` | counter | — | generation-invalidated redo passes of the write-overlapped drain |
 //! | `univistor_sched_decisions_total` | counter | `decision` | placement/migration choices (`sched`) |
 //! | `univistor_write_pieces_total` | counter | — | segment-grid pieces planned by write calls |
 //! | `univistor_write_records_total` | counter | — | metadata records committed by write calls (post-coalescing) |
@@ -182,6 +187,11 @@ pub struct JobMetrics {
     flush_server_bytes: Histogram,
     flush_source: [Counter; 4],
     flush_revocations: Counter,
+    flush_ost_writes: Counter,
+    flush_write_calls: Counter,
+    flush_spans: Counter,
+    flush_gather_round_trips: Counter,
+    flush_catchup_passes: Counter,
 
     write_pieces: Counter,
     write_records: Counter,
@@ -299,6 +309,26 @@ impl JobMetrics {
         let flush_revocations = registry.counter_family(
             "univistor_flush_lock_revocations_total",
             "Lustre extent-lock revocations suffered while flushing",
+        );
+        let flush_ost_writes = registry.counter_family(
+            "univistor_flush_ost_writes_total",
+            "OST object writes issued by flushes (after stripe coalescing)",
+        );
+        let flush_write_calls = registry.counter_family(
+            "univistor_flush_write_calls_total",
+            "Lustre object-write calls issued by flushes (one per coalesced run)",
+        );
+        let flush_spans = registry.counter_family(
+            "univistor_flush_spans_total",
+            "clipped spans drained by flushes (engine-independent)",
+        );
+        let flush_gather_round_trips = registry.counter_family(
+            "univistor_flush_gather_round_trips_total",
+            "chain read round-trips gathering flush data",
+        );
+        let flush_catchup_passes = registry.counter_family(
+            "univistor_flush_catchup_passes_total",
+            "generation-invalidated redo passes of the write-overlapped drain",
         );
         let sched = registry.counter_family(
             "univistor_sched_decisions_total",
@@ -431,6 +461,11 @@ impl JobMetrics {
             flush_server_bytes: flush_server.with(&[]),
             flush_source: per_tier(&flush_source),
             flush_revocations: flush_revocations.with(&[]),
+            flush_ost_writes: flush_ost_writes.with(&[]),
+            flush_write_calls: flush_write_calls.with(&[]),
+            flush_spans: flush_spans.with(&[]),
+            flush_gather_round_trips: flush_gather_round_trips.with(&[]),
+            flush_catchup_passes: flush_catchup_passes.with(&[]),
             write_pieces: write_pieces.with(&[]),
             write_records: write_records.with(&[]),
             write_locks: [
@@ -674,6 +709,12 @@ impl JobMetrics {
             self.flush_source[tier_index(tier)].add(bytes);
         }
         self.flush_revocations.add(receipt.lock_revocations);
+        self.flush_ost_writes.add(receipt.ost_writes);
+        self.flush_write_calls.add(receipt.write_calls);
+        self.flush_spans.add(receipt.spans);
+        self.flush_gather_round_trips
+            .add(receipt.gather_round_trips);
+        self.flush_catchup_passes.add(receipt.catchup_passes);
         self.flush_skipped_lost_bytes.add(receipt.lost.lost_bytes);
         self.tiering_catchup_bytes.add(receipt.drained_ahead_bytes);
     }
@@ -935,6 +976,11 @@ mod tests {
                 lost_bytes: 256,
             },
             drained_ahead_bytes: 512,
+            ost_writes: 12,
+            write_calls: 6,
+            spans: 8,
+            gather_round_trips: 5,
+            catchup_passes: 2,
         });
         m.flush_finished();
         let snap = m.snapshot();
@@ -959,6 +1005,23 @@ mod tests {
         assert_eq!(
             snap.counter("univistor_tiering_catchup_skipped_bytes_total", &[]),
             Some(512)
+        );
+        assert_eq!(
+            snap.counter("univistor_flush_ost_writes_total", &[]),
+            Some(12)
+        );
+        assert_eq!(
+            snap.counter("univistor_flush_write_calls_total", &[]),
+            Some(6)
+        );
+        assert_eq!(snap.counter("univistor_flush_spans_total", &[]), Some(8));
+        assert_eq!(
+            snap.counter("univistor_flush_gather_round_trips_total", &[]),
+            Some(5)
+        );
+        assert_eq!(
+            snap.counter("univistor_flush_catchup_passes_total", &[]),
+            Some(2)
         );
     }
 

@@ -1293,6 +1293,18 @@ impl PartitionedCore {
             .or_insert(0) += 1;
     }
 
+    /// The fid's current mutation generation (0 if never mutated) —
+    /// mirrors `MetadataService::generation`, the flush engine's
+    /// catch-up fence.
+    pub(crate) fn fid_generation(&self, fid: u64) -> u64 {
+        self.generations
+            .read()
+            .expect("generations poisoned")
+            .get(&fid)
+            .copied()
+            .unwrap_or(0)
+    }
+
     // ---- reply-slot pool ----
 
     fn slot(&self) -> Arc<ReplySlot> {
@@ -1926,6 +1938,28 @@ impl PartitionedCore {
                 .push((client, chain));
         }
         slices
+    }
+}
+
+/// The flush engine's view of the partitioned runtime: record scans and
+/// chain fetches route to the owning partition workers as ordinary
+/// messages, so a close-time flush drains without a whole-core checkout —
+/// foreground writers keep committing, fenced by the generation counter.
+impl crate::flush::FlushSource for PartitionedCore {
+    fn records(&self, fid: u64, lo: u64, hi: u64) -> Vec<(SegKey, SegmentRecord)> {
+        self.scan(fid, lo, hi)
+    }
+
+    fn read_spans(
+        &self,
+        client: ClientId,
+        requests: &[(VirtualAddr, u64)],
+    ) -> SimResult<Vec<(Payload, Tier)>> {
+        self.fetch(client, requests.to_vec())
+    }
+
+    fn generation(&self, fid: u64) -> u64 {
+        self.fid_generation(fid)
     }
 }
 

@@ -124,12 +124,27 @@ pub fn migrate_for_flush_counted(
     let shape = assignment.shape;
     let mut moved = Vec::new();
     for core in 0..shape.cores() {
-        let procs: Vec<ProcSlot> = assignment.procs_on_core(core).to_vec();
-        let has_server = procs.iter().any(|p| p.program == SERVER_PROGRAM);
-        if !has_server {
+        if !assignment
+            .procs_on_core(core)
+            .iter()
+            .any(|p| p.program == SERVER_PROGRAM)
+        {
             continue;
         }
-        for slot in procs.into_iter().filter(|p| p.program != SERVER_PROGRAM) {
+        // Walk the core's live slot list by re-borrowing it after each
+        // migration (which compacts the list in place, preserving
+        // relative order) instead of cloning it: `skip` counts the
+        // unmovable slots already passed over. Nothing migrates *into* a
+        // server core, so the walk visits exactly the original clients.
+        let mut skip = 0;
+        loop {
+            let slot = assignment
+                .procs_on_core(core)
+                .iter()
+                .filter(|p| p.program != SERVER_PROGRAM)
+                .nth(skip)
+                .copied();
+            let Some(slot) = slot else { break };
             // Least-loaded core without a server, same socket preferred.
             let socket = shape.socket_of(core);
             let candidates = shape
@@ -149,6 +164,8 @@ pub fn migrate_for_flush_counted(
                 }
                 moved.push((slot, core));
                 assignment.migrate(slot, target);
+            } else {
+                skip += 1;
             }
         }
     }

@@ -37,10 +37,10 @@
 //! panel cannot hold: flush receipts and the per-client byte map), so the
 //! two can never disagree.
 
-use crate::config::{Runtime, UniviStorConfig, WritePipeline};
+use crate::config::{FlushPipeline, Runtime, UniviStorConfig, WritePipeline};
 use crate::error::{Error, Result};
 use crate::fault::{with_retries, FaultInjector};
-use crate::flush::{flush_file, FlushReceipt};
+use crate::flush::{flush_file, flush_with_source, FlushReceipt};
 use crate::metadata::{ClientId, MetadataService, SegKey, SegmentRecord};
 use crate::metrics::{JobMetrics, ScalarValues, WriteLockCounts};
 use crate::placement::{healthy_buddy, layer_caps_with_node_local, ChainSet, ProcChain};
@@ -1530,36 +1530,62 @@ impl UniviStorJob {
             .clone();
         // No job-wide lock during the flush under the locked runtime:
         // other clients keep writing and reading other files while this
-        // one drains to Lustre. The partitioned runtime checks the core
-        // out for the duration instead (flush is the cold path).
-        let result = self.with_core(|core| {
-            // Serialize against the tiering daemon on this file: a pass
-            // that holds the gate finishes (or is skipped) before the
-            // flush reads the chains, so no drain write or migration
-            // release races the flush. Passes only `try_lock` the gate,
-            // so this cannot deadlock (and under the partitioned runtime
-            // the checkout serializer already excludes concurrent
-            // passes).
-            let gate = self.tiering.fid_gate(fid);
-            let _gate = gate.lock().expect("tiering gate poisoned");
-            // Consume the drain ledger: spans the daemon already copied
-            // (and that are still current) turn the flush into a
-            // catch-up.
-            let ledger = self.tiering.take_ledger(fid);
-            flush_file(
-                &core.metadata,
-                &core.chains,
-                &self.lustre,
-                &self.cfg,
-                &failed,
-                Some(&self.metrics),
-                self.injector.as_deref(),
-                fid,
-                size,
-                path,
-                ledger.as_ref(),
-            )
-        });
+        // one drains to Lustre. Under the partitioned runtime the
+        // parallel engine routes its record scans and chain fetches to
+        // the owning workers as ordinary messages (write-overlapped
+        // checkout: no core checkout at all, a generation fence redoes
+        // the pass if a writer raced); only the sequential reference
+        // engine still checks the core out for the duration.
+        let result = match (&self.core, self.cfg.flush_pipeline) {
+            (Core::Partitioned(core), FlushPipeline::Parallel) => {
+                // Serialize against the tiering daemon on this file (see
+                // the locked arm below); the routed flush holds the gate
+                // across every pass of the generation-fenced drain.
+                let gate = self.tiering.fid_gate(fid);
+                let _gate = gate.lock().expect("tiering gate poisoned");
+                let ledger = self.tiering.take_ledger(fid);
+                flush_with_source(
+                    core,
+                    &self.lustre,
+                    &self.cfg,
+                    &failed,
+                    Some(&self.metrics),
+                    self.injector.as_deref(),
+                    fid,
+                    size,
+                    path,
+                    ledger.as_ref(),
+                )
+            }
+            _ => self.with_core(|core| {
+                // Serialize against the tiering daemon on this file: a
+                // pass that holds the gate finishes (or is skipped)
+                // before the flush reads the chains, so no drain write
+                // or migration release races the flush. Passes only
+                // `try_lock` the gate, so this cannot deadlock (and
+                // under the partitioned runtime the checkout serializer
+                // already excludes concurrent passes).
+                let gate = self.tiering.fid_gate(fid);
+                let _gate = gate.lock().expect("tiering gate poisoned");
+                // Consume the drain ledger: spans the daemon already
+                // copied (and that are still current) turn the flush
+                // into a catch-up.
+                let ledger = self.tiering.take_ledger(fid);
+                flush_file(
+                    &core.metadata,
+                    &core.chains,
+                    &self.lustre,
+                    &self.cfg,
+                    &failed,
+                    Some(&self.metrics),
+                    self.injector.as_deref(),
+                    fid,
+                    size,
+                    path,
+                    ledger.as_ref(),
+                )
+            }),
+        };
         self.metrics.flush_finished();
         let receipt = result?;
         self.tiering

@@ -49,6 +49,32 @@ pub struct StripePlan {
     pub osts_per_server: usize,
 }
 
+impl StripePlan {
+    /// Clip the span `[lo, hi)` along this plan's per-server ranges,
+    /// yielding `(server, clip_lo, clip_hi)` for every range the span
+    /// touches, in server order. The last range is treated as open-ended
+    /// (extended to cover `hi`), so spans written after the file grew
+    /// past the plan's size still get a server attribution — the same
+    /// rule the close-time flush applies when it stretches a resumed
+    /// plan's accounting ranges.
+    pub fn clip_to_servers(
+        &self,
+        lo: u64,
+        hi: u64,
+    ) -> impl Iterator<Item = (usize, u64, u64)> + '_ {
+        let last = self.server_ranges.len().saturating_sub(1);
+        self.server_ranges
+            .iter()
+            .enumerate()
+            .filter_map(move |(server, &(start, end))| {
+                let end = if server == last { end.max(hi) } else { end };
+                let clip_lo = lo.max(start);
+                let clip_hi = hi.min(end);
+                (clip_hi > clip_lo).then_some((server, clip_lo, clip_hi))
+            })
+    }
+}
+
 /// Split `[0, file_size)` into `servers` contiguous ranges (last absorbs
 /// the remainder). Empty ranges occur when `file_size < servers`.
 pub fn server_ranges(file_size: u64, servers: usize) -> Vec<(u64, u64)> {
@@ -258,6 +284,26 @@ mod tests {
             }
             assert_eq!(cur, size);
         }
+    }
+
+    #[test]
+    fn clip_to_servers_splits_and_extends_last_range() {
+        let plan = adaptive_plan(400, 4, 248, 8, GB);
+        // Ranges: [0,100), [100,200), [200,300), [300,400).
+        let clips: Vec<_> = plan.clip_to_servers(50, 250).collect();
+        assert_eq!(clips, vec![(0, 50, 100), (1, 100, 200), (2, 200, 250)]);
+        // A span inside one range yields a single clip.
+        assert_eq!(
+            plan.clip_to_servers(120, 160).collect::<Vec<_>>(),
+            vec![(1, 120, 160)]
+        );
+        // Growth past the plan's size lands on the last server.
+        assert_eq!(
+            plan.clip_to_servers(380, 500).collect::<Vec<_>>(),
+            vec![(3, 380, 500)]
+        );
+        // An empty span clips to nothing.
+        assert_eq!(plan.clip_to_servers(100, 100).count(), 0);
     }
 
     #[test]

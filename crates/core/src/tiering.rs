@@ -722,7 +722,7 @@ fn drain_phase(
                 clean = false; // transient failure: retry on a later pass
                 continue;
             };
-            if write_span_to_dest(ctx, path, &plan, key.offset, rec.len, &payload).is_err() {
+            if write_span_to_dest(ctx, path, &plan, key.offset, &payload).is_err() {
                 clean = false;
                 continue;
             }
@@ -758,32 +758,20 @@ fn drain_phase(
     Ok(())
 }
 
-/// Write one span's bytes to the destination file, split along the
-/// plan's per-server ranges so server attribution matches the flush
-/// (the last range is extended to cover growth past the plan's size).
+/// Write one span's bytes to the destination file through the flush
+/// plane's shared stripe writer ([`crate::flush::write_stripes`]), which
+/// splits it along the plan's per-server ranges so server attribution
+/// matches the flush (the last range is extended to cover growth past
+/// the plan's size). The drain ignores the write's stats — its receipts
+/// are the ledger entries, and the close-time catch-up accounts them.
 fn write_span_to_dest(
     ctx: &PassCtx<'_>,
     dest: &str,
     plan: &StripePlan,
     lo: u64,
-    len: u64,
     payload: &univistor_sim::Payload,
 ) -> SimResult<()> {
-    let hi = lo + len;
-    let last = plan.server_ranges.len() - 1;
-    for (server, &(start, end)) in plan.server_ranges.iter().enumerate() {
-        let end = if server == last { end.max(hi) } else { end };
-        let clip_lo = lo.max(start);
-        let clip_hi = hi.min(end);
-        if clip_hi <= clip_lo {
-            continue;
-        }
-        let part = payload.slice(clip_lo - lo, clip_hi - clip_lo);
-        ctx.lustre
-            .write()
-            .expect("lustre poisoned")
-            .write(dest, clip_lo, part, server as u64)?;
-    }
+    crate::flush::write_stripes(ctx.lustre, dest, plan, lo, payload.clone())?;
     Ok(())
 }
 

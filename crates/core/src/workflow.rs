@@ -122,12 +122,18 @@ impl StateFile {
 
     /// Reader lock: waits while the file is being written; then joins the
     /// reader group (concurrent readers share). Returns true if it waited.
+    ///
+    /// Readers joining during FLUSHING leave the state alone: they read
+    /// the still-cached data while the servers drain (§II-E), and the
+    /// flush transition must survive until `end_flush`.
     pub fn acquire_read(&self, path: &str) -> bool {
         let waited = self.wait_until(path, |e| e.state() != FileState::Writing);
         let mut inner = self.inner.lock().unwrap();
         let entry = inner.files.entry(path.to_string()).or_default();
         entry.readers += 1;
-        entry.state = Some(FileState::Reading);
+        if entry.state() != FileState::Flushing {
+            entry.state = Some(FileState::Reading);
+        }
         waited
     }
 
@@ -141,11 +147,15 @@ impl StateFile {
         let mut inner = self.inner.lock().unwrap();
         let entry = inner.files.entry(path.to_string()).or_default();
         entry.readers += 1;
-        entry.state = Some(FileState::Reading);
+        if entry.state() != FileState::Flushing {
+            entry.state = Some(FileState::Reading);
+        }
         waited
     }
 
-    /// Reader unlock: last reader sets READ_DONE.
+    /// Reader unlock: last reader sets READ_DONE — unless the servers are
+    /// mid-flush, in which case FLUSHING stays until `end_flush` (the
+    /// reader group count alone records that the readers left).
     pub fn release_read(&self, path: &str) {
         let mut inner = self.inner.lock().unwrap();
         let entry = inner.files.entry(path.to_string()).or_default();
@@ -154,7 +164,7 @@ impl StateFile {
             "release_read without read lock on '{path}'"
         );
         entry.readers -= 1;
-        if entry.readers == 0 {
+        if entry.readers == 0 && entry.state() != FileState::Flushing {
             entry.state = Some(FileState::ReadDone);
         }
         drop(inner);
@@ -276,16 +286,13 @@ mod tests {
         sf.acquire_write("/f");
         sf.release_write("/f");
         assert!(!sf.begin_flush("/f"));
-        // A reader proceeds during the flush.
+        // A reader proceeds during the flush, and its join/leave leaves
+        // the FLUSHING transition intact for `end_flush`.
         assert!(!sf.acquire_read("/f"));
+        assert_eq!(sf.state_of("/f"), FileState::Flushing);
         sf.release_read("/f");
+        assert_eq!(sf.state_of("/f"), FileState::Flushing);
 
-        // Re-enter flushing state (release_read overwrote it) to verify a
-        // writer genuinely blocks on FLUSHING.
-        {
-            let mut inner = sf.inner.lock().unwrap();
-            inner.files.get_mut("/f").expect("exists").state = Some(FileState::Flushing);
-        }
         let sf2 = Arc::clone(&sf);
         let flushed = Arc::new(AtomicBool::new(false));
         let fl2 = Arc::clone(&flushed);

@@ -369,12 +369,11 @@ fn disabled_config_runs_no_actors_but_handle_still_works() {
     assert!(got.content_eq(&Payload::pattern(5, 512)));
 }
 
-/// The deprecated `promote_hot` shim routes through the tiering engine:
-/// same observable behavior, and its work shows up in the handle's
-/// stats.
+/// An explicit `promote_now` pass routes through the tiering engine:
+/// promotions show up in the handle's stats and still feed the legacy
+/// counter.
 #[test]
-#[allow(deprecated)]
-fn deprecated_promote_hot_feeds_tiering_stats() {
+fn promote_now_feeds_tiering_stats() {
     let mut cfg = UniviStorConfig::test_small(1, 1);
     cfg.cal.dram_cache_capacity_per_node = 512;
     cfg.chunk_size = 256;
@@ -388,7 +387,14 @@ fn deprecated_promote_hot_feeds_tiering_stats() {
     }
     j.write(client(0), "/s", 0, Payload::pattern(8, 512))
         .unwrap();
-    assert_eq!(j.promote_hot(3).unwrap(), 1);
+    let report = j
+        .tiering()
+        .promote_now(PromotionPolicy {
+            min_reads: 3,
+            min_benefit: 0.0,
+        })
+        .unwrap();
+    assert_eq!(report.promoted_segments, 1);
     assert_eq!(j.tiering().stats().promoted_segments, 1);
     assert_eq!(j.stats().promotions, 1, "legacy counter still fed");
 }
