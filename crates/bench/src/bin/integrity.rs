@@ -1,0 +1,307 @@
+//! Integrity-plane benchmark: what write-commit checksums cost the data
+//! path, and how fast the scrubber verifies and repairs.
+//!
+//! Six clients on three nodes write one replicated file N-to-N style as
+//! 512-byte segment records, then scan it sequentially — once with
+//! checksums on (the default) and once with the integrity plane disabled,
+//! in interleaved rounds on fresh jobs. The paired ratios give the
+//! checksum overhead on writes (hash at commit) and reads (full-record
+//! fetch + verify). A third phase times a full scrub sweep over the file
+//! (clean verify throughput), then corrupts the stored primaries and
+//! times the detect-and-repair sweep.
+//!
+//! Timing is wall-clock minima over interleaved rounds; overhead ratios
+//! are medians of per-round pairs. Results land in
+//! `BENCH_integrity.json` so later PRs have a baseline to beat.
+
+use std::time::Instant;
+use univistor_bench::cli::Options;
+use univistor_core::config::{JobGeometry, UniviStorConfig};
+use univistor_core::fault::FaultConfig;
+use univistor_core::metadata::ClientId;
+use univistor_core::server::UniviStorJob;
+use univistor_obs::Json;
+use univistor_sim::Payload;
+
+/// Clients (two per node).
+const RANKS: usize = 6;
+/// 512-byte segments, one record per write call.
+const SEGMENT: u64 = 512;
+/// Segments per read call.
+const SEGMENTS_PER_READ: u64 = 64;
+
+fn config(checksums: bool) -> UniviStorConfig {
+    let mut cfg = UniviStorConfig::paper(RANKS);
+    cfg.geometry = JobGeometry {
+        nodes: 3,
+        procs_per_node: 2,
+        servers_per_node: 2,
+    };
+    cfg.features.flush_on_close = false;
+    cfg.replicate_volatile = true;
+    cfg.chunk_size = 16 << 10;
+    cfg.segment_size = SEGMENT;
+    cfg.metadata_range_size = 32 << 10;
+    cfg.integrity.checksums = checksums;
+    cfg
+}
+
+struct PhaseStats {
+    write_s: f64,
+    read_s: f64,
+    read_calls: u64,
+}
+
+/// Write `segments` records N-to-N, then `read_passes` sequential scans.
+fn run_data_path(cfg: UniviStorConfig, segments: u64, read_passes: u64) -> PhaseStats {
+    let job = UniviStorJob::new(cfg);
+    let clients: Vec<ClientId> = (0..RANKS).map(|r| ClientId::new(0, r as u32)).collect();
+    for &c in &clients {
+        job.connect(c);
+    }
+    job.open_file("/integrity/f")
+        .read_write()
+        .representing(RANKS)
+        .by(clients[0])
+        .unwrap();
+    let per_rank = segments / RANKS as u64;
+    let write_start = Instant::now();
+    for s in 0..segments {
+        job.write(
+            clients[(s / per_rank) as usize],
+            "/integrity/f",
+            s * SEGMENT,
+            Payload::pattern(s, SEGMENT),
+        )
+        .unwrap();
+    }
+    let write_s = write_start.elapsed().as_secs_f64();
+
+    let block = SEGMENTS_PER_READ * SEGMENT;
+    let blocks = segments / SEGMENTS_PER_READ;
+    let reader = clients[2];
+    // Warm the metadata caches before timing reads.
+    for i in 0..blocks {
+        job.read(reader, "/integrity/f", i * block, block).unwrap();
+    }
+    let read_start = Instant::now();
+    for i in 0..read_passes * blocks {
+        let offset = (i % blocks) * block;
+        let got = job.read(reader, "/integrity/f", offset, block).unwrap();
+        debug_assert!(got
+            .slice(0, SEGMENT)
+            .content_eq(&Payload::pattern((i % blocks) * SEGMENTS_PER_READ, SEGMENT)));
+    }
+    PhaseStats {
+        write_s,
+        read_s: read_start.elapsed().as_secs_f64(),
+        read_calls: read_passes * blocks,
+    }
+}
+
+struct ScrubStats {
+    clean_s: f64,
+    clean_scanned: u64,
+    repair_s: f64,
+    corrupted: usize,
+    repaired: u64,
+}
+
+/// Time a clean verify sweep over the file, then corrupt every stored
+/// primary and time the detect-and-repair sweep.
+fn run_scrub(segments: u64) -> ScrubStats {
+    let mut cfg = config(true);
+    // Targeted corruption needs an injector; zero probabilities keep the
+    // data path fault-free.
+    cfg.fault = Some(FaultConfig {
+        seed: 1,
+        ..FaultConfig::default()
+    });
+    // One pass per node sweeps the whole file.
+    cfg.integrity.scrub.max_segments_per_pass = segments as usize;
+    let job = UniviStorJob::new(cfg);
+    let clients: Vec<ClientId> = (0..RANKS).map(|r| ClientId::new(0, r as u32)).collect();
+    for &c in &clients {
+        job.connect(c);
+    }
+    job.open_file("/integrity/f")
+        .read_write()
+        .representing(RANKS)
+        .by(clients[0])
+        .unwrap();
+    let per_rank = segments / RANKS as u64;
+    for s in 0..segments {
+        job.write(
+            clients[(s / per_rank) as usize],
+            "/integrity/f",
+            s * SEGMENT,
+            Payload::pattern(s, SEGMENT),
+        )
+        .unwrap();
+    }
+
+    let clean_start = Instant::now();
+    let clean = job.scrub().scrub_now().unwrap();
+    let clean_s = clean_start.elapsed().as_secs_f64();
+    assert_eq!(clean.corrupt_copies, 0, "clean sweep found corruption");
+    assert_eq!(clean.scanned_records, segments, "sweep missed records");
+
+    let corrupted = job
+        .corrupt_stored_range("/integrity/f", 0, segments * SEGMENT, false)
+        .unwrap();
+    let repair_start = Instant::now();
+    let repair = job.scrub().scrub_now().unwrap();
+    let repair_s = repair_start.elapsed().as_secs_f64();
+    assert_eq!(repair.repaired_copies, corrupted as u64, "{repair:?}");
+    assert_eq!(repair.unrepaired_copies, 0, "{repair:?}");
+
+    // Post-repair byte-identity, first try, no reroutes.
+    let whole = job
+        .read(clients[2], "/integrity/f", 0, segments * SEGMENT)
+        .unwrap();
+    for s in 0..segments {
+        assert!(
+            whole
+                .slice(s * SEGMENT, SEGMENT)
+                .content_eq(&Payload::pattern(s, SEGMENT)),
+            "segment {s} corrupt after repair"
+        );
+    }
+    ScrubStats {
+        clean_s,
+        clean_scanned: clean.scanned_records,
+        repair_s,
+        corrupted,
+        repaired: repair.repaired_copies,
+    }
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let opts = Options::from_env();
+    // --quick shrinks the workload for CI smoke runs.
+    let (segments, read_passes) = if opts.max_procs <= 512 {
+        (768, 2)
+    } else {
+        (3_072, 4)
+    };
+
+    println!(
+        "integrity bench: {RANKS} producers on 3 nodes, {segments} replicated \
+         {SEGMENT} B segments; checksums on vs off, then scrub sweeps"
+    );
+
+    let mut on: Option<PhaseStats> = None;
+    let mut off: Option<PhaseStats> = None;
+    let mut write_ratios = Vec::new();
+    let mut read_ratios = Vec::new();
+    for round in 0..9 {
+        // Alternate which variant runs first so slow machine drift within
+        // a round cancels out of the paired ratios.
+        let (with, without) = if round % 2 == 0 {
+            let with = run_data_path(config(true), segments, read_passes);
+            (with, run_data_path(config(false), segments, read_passes))
+        } else {
+            let without = run_data_path(config(false), segments, read_passes);
+            (run_data_path(config(true), segments, read_passes), without)
+        };
+        write_ratios.push(with.write_s / without.write_s);
+        read_ratios.push(with.read_s / without.read_s);
+        let fold = |slot: &mut Option<PhaseStats>, r: PhaseStats| match slot {
+            None => *slot = Some(r),
+            Some(b) => {
+                b.write_s = b.write_s.min(r.write_s);
+                b.read_s = b.read_s.min(r.read_s);
+            }
+        };
+        fold(&mut on, with);
+        fold(&mut off, without);
+    }
+    let on = on.expect("nine rounds");
+    let off = off.expect("nine rounds");
+    let write_overhead = median(write_ratios);
+    let read_overhead = median(read_ratios);
+
+    let scrub = run_scrub(segments);
+    let scrub_seg_per_sec = scrub.clean_scanned as f64 / scrub.clean_s;
+    let repair_seg_per_sec = scrub.repaired as f64 / scrub.repair_s;
+
+    let w_on = segments as f64 / on.write_s;
+    let w_off = segments as f64 / off.write_s;
+    let r_on = on.read_calls as f64 / on.read_s;
+    let r_off = off.read_calls as f64 / off.read_s;
+    println!(
+        "    writes: {w_on:>9.0} ops/sec checksummed vs {w_off:>9.0} plain \
+         ({:+.1}% overhead, median of paired rounds)",
+        (write_overhead - 1.0) * 100.0
+    );
+    println!(
+        "     reads: {r_on:>9.0} ops/sec verified vs {r_off:>9.0} plain \
+         ({:+.1}% overhead, median of paired rounds)",
+        (read_overhead - 1.0) * 100.0
+    );
+    println!(
+        "     scrub: {} records verified in {:.4} s = {scrub_seg_per_sec:.0} segments/sec clean",
+        scrub.clean_scanned, scrub.clean_s
+    );
+    println!(
+        "    repair: {} corrupt copies rebuilt in {:.4} s = {repair_seg_per_sec:.0} segments/sec",
+        scrub.repaired, scrub.repair_s
+    );
+
+    let doc = Json::object([
+        ("bench", Json::string("integrity")),
+        (
+            "workload",
+            Json::string(
+                "6 producers on 3 nodes write one replicated file N-to-N \
+                 (contiguous shares of 512 B segment records) and scan it \
+                 sequentially, with the integrity plane on vs off on fresh \
+                 jobs; then a full scrub sweep clean, and again after every \
+                 stored primary is silently corrupted",
+            ),
+        ),
+        ("segments", Json::Number(segments as f64)),
+        ("segment_bytes", Json::Number(SEGMENT as f64)),
+        ("write_ops_per_sec_checksums_on", Json::Number(w_on)),
+        ("write_ops_per_sec_checksums_off", Json::Number(w_off)),
+        ("write_checksum_overhead", Json::Number(write_overhead)),
+        ("read_calls", Json::Number(on.read_calls as f64)),
+        ("read_ops_per_sec_checksums_on", Json::Number(r_on)),
+        ("read_ops_per_sec_checksums_off", Json::Number(r_off)),
+        ("read_checksum_overhead", Json::Number(read_overhead)),
+        (
+            "scrub",
+            Json::object([
+                ("clean_elapsed_s", Json::Number(scrub.clean_s)),
+                ("scanned_records", Json::Number(scrub.clean_scanned as f64)),
+                ("segments_per_sec", Json::Number(scrub_seg_per_sec)),
+                ("corrupted_copies", Json::Number(scrub.corrupted as f64)),
+                ("repair_elapsed_s", Json::Number(scrub.repair_s)),
+                ("repaired_copies", Json::Number(scrub.repaired as f64)),
+                ("repair_segments_per_sec", Json::Number(repair_seg_per_sec)),
+            ]),
+        ),
+        (
+            "note",
+            Json::string(
+                "ops/sec is hardware-dependent; overhead ratios are medians \
+                 of order-alternated paired rounds on fresh jobs; scrub \
+                 sweeps verify both copies of every record. The read ratio \
+                 overstates real-world verify cost: simulated reads are \
+                 zero-copy rope operations that never touch payload bytes, \
+                 so the checksum is the only per-byte work on the path — \
+                 the absolute verify cost is ~0.1 us per 512 B record \
+                 (hashing at ~5 GB/s), which a data path that actually \
+                 moves bytes would amortize to low single digits",
+            ),
+        ),
+    ]);
+    let out = "BENCH_integrity.json";
+    std::fs::write(out, doc.render() + "\n").expect("write BENCH_integrity.json");
+    println!("wrote {out}");
+}

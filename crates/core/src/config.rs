@@ -4,6 +4,7 @@
 use crate::fault::{FaultConfig, RetryPolicy};
 use crate::va::Tier;
 use univistor_sim::calibration::Calibration;
+use univistor_sim::{SimError, SimResult};
 
 /// Which optimizations are enabled. Every evaluation figure toggles some
 /// subset of these; defaults are "everything on" (the shipping system).
@@ -259,6 +260,69 @@ impl TieringConfig {
     }
 }
 
+/// Background checksum-scrubber daemon knobs. Modeled on
+/// [`TieringConfig`]: disabled by default, so jobs that never opt in pay
+/// nothing and produce byte-identical figure results. Enable via
+/// `UniviStorConfig::builder().integrity(IntegrityConfig { scrub: ScrubConfig::on(), ..Default::default() })`
+/// or by setting the fields directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScrubConfig {
+    /// Spawn one scrubber actor per node at job construction. Explicit
+    /// `ScrubHandle::scrub_now()` calls run regardless, so operators can
+    /// scrub manually on a disabled job.
+    pub enabled: bool,
+    /// Wall-clock pause between a scrubber actor's passes, in
+    /// milliseconds.
+    pub interval_ms: u64,
+    /// Most segment records one pass verifies per node (rate limit, so
+    /// the scrubber steals bounded work from the data plane).
+    pub max_segments_per_pass: usize,
+}
+
+impl Default for ScrubConfig {
+    fn default() -> Self {
+        ScrubConfig {
+            enabled: false,
+            interval_ms: 5,
+            max_segments_per_pass: 256,
+        }
+    }
+}
+
+impl ScrubConfig {
+    /// The default policy with the daemon switched on.
+    pub fn on() -> Self {
+        ScrubConfig {
+            enabled: true,
+            ..ScrubConfig::default()
+        }
+    }
+}
+
+/// The end-to-end data-integrity plane: write-commit checksums plus the
+/// background scrubber.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntegrityConfig {
+    /// Stamp every committed [`SegmentRecord`](crate::metadata::SegmentRecord)
+    /// with a content checksum and verify it at every point data
+    /// is fetched (read, flush gather, tiering copy, repair source). On
+    /// by default: verification reroutes to a healthy replica instead of
+    /// surfacing wrong bytes, and figure results stay byte-identical
+    /// because checksums never change *which* bytes are returned.
+    pub checksums: bool,
+    /// Background scrubber daemon (off by default).
+    pub scrub: ScrubConfig,
+}
+
+impl Default for IntegrityConfig {
+    fn default() -> Self {
+        IntegrityConfig {
+            checksums: true,
+            scrub: ScrubConfig::default(),
+        }
+    }
+}
+
 /// Shape of the job UniviStor serves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct JobGeometry {
@@ -356,6 +420,9 @@ pub struct UniviStorConfig {
     /// drain, policy-driven promotion). Off by default: the data path
     /// then pays only a boolean check.
     pub tiering: TieringConfig,
+    /// End-to-end data-integrity plane: write-commit checksums (on by
+    /// default) and the background scrubber daemon (off by default).
+    pub integrity: IntegrityConfig,
     /// Which server-core runtime executes the data plane (locked by
     /// default; the partitioned runtime is the shared-nothing
     /// message-passing implementation).
@@ -395,6 +462,7 @@ impl UniviStorConfig {
             retry: RetryPolicy::default(),
             fault: None,
             tiering: TieringConfig::default(),
+            integrity: IntegrityConfig::default(),
             runtime: Runtime::default(),
             partitions: 0,
             mailbox_depth: 1024,
@@ -431,6 +499,7 @@ impl UniviStorConfig {
             retry: RetryPolicy::default(),
             fault: None,
             tiering: TieringConfig::default(),
+            integrity: IntegrityConfig::default(),
             runtime: Runtime::default(),
             partitions: 0,
             mailbox_depth: 1024,
@@ -461,6 +530,62 @@ impl UniviStorConfig {
         } else {
             self.partitions.min(servers)
         }
+    }
+
+    /// Reject configurations that would misbehave at runtime with a
+    /// typed [`SimError::InvalidConfig`] instead of silent clamping, a
+    /// wedged mailbox, or an unbounded probability draw. Called by job
+    /// construction ([`UniviStorJob::try_new`](crate::server::UniviStorJob::try_new));
+    /// the panicking constructors surface the same message.
+    pub fn validate(&self) -> SimResult<()> {
+        fn prob(name: &str, p: f64) -> SimResult<()> {
+            if !(0.0..=1.0).contains(&p) || p.is_nan() {
+                return Err(SimError::InvalidConfig(format!(
+                    "{name} must be a probability in [0, 1], got {p}"
+                )));
+            }
+            Ok(())
+        }
+        if let Some(fault) = &self.fault {
+            prob("fault.transient_prob", fault.transient_prob)?;
+            for (tier, p) in &fault.tier_transient_prob {
+                prob(&format!("fault.tier_transient_prob[{tier}]"), *p)?;
+            }
+            prob("fault.corrupt_prob", fault.corrupt_prob)?;
+            for (tier, p) in &fault.tier_corrupt_prob {
+                prob(&format!("fault.tier_corrupt_prob[{tier}]"), *p)?;
+            }
+        }
+        for (name, tier) in [
+            ("tiering.dram", Tier::Dram),
+            ("tiering.node_local", Tier::NodeLocal),
+            ("tiering.burst_buffer", Tier::SharedBurstBuffer),
+        ] {
+            let w = self.tiering.watermarks(tier).expect("finite tier");
+            let ordered = w.low >= 0.0 && w.low < w.high && w.high <= 1.0;
+            if !ordered || w.low.is_nan() || w.high.is_nan() {
+                return Err(SimError::InvalidConfig(format!(
+                    "{name} watermarks must satisfy 0 <= low < high <= 1, \
+                     got low={} high={}",
+                    w.low, w.high
+                )));
+            }
+        }
+        if self.mailbox_depth == 0 {
+            return Err(SimError::InvalidConfig(
+                "mailbox_depth must be at least 1 (a zero-depth mailbox \
+                 can never deliver a request)"
+                    .into(),
+            ));
+        }
+        if self.retry.max_attempts == 0 {
+            return Err(SimError::InvalidConfig(
+                "retry.max_attempts must be at least 1 (zero attempts \
+                 means every operation fails without running)"
+                    .into(),
+            ));
+        }
+        Ok(())
     }
 
     /// Start a [`UniviStorConfigBuilder`] from the paper configuration
@@ -519,6 +644,12 @@ impl UniviStorConfigBuilder {
     /// Set the background tiering policy.
     pub fn tiering(mut self, tiering: TieringConfig) -> Self {
         self.cfg.tiering = tiering;
+        self
+    }
+
+    /// Set the data-integrity plane (checksums + scrubber).
+    pub fn integrity(mut self, integrity: IntegrityConfig) -> Self {
+        self.cfg.integrity = integrity;
         self
     }
 
@@ -673,6 +804,85 @@ mod tests {
             .build();
         assert_eq!(small.chunk_size, 256);
         assert_eq!(small.tiering.drain_cadence_ops, 8);
+    }
+
+    #[test]
+    fn integrity_defaults_checksums_on_scrubber_off() {
+        let i = IntegrityConfig::default();
+        assert!(i.checksums, "checksums default on");
+        assert!(!i.scrub.enabled, "scrubber must default off");
+        assert!(ScrubConfig::on().enabled);
+        assert_eq!(UniviStorConfig::paper(64).integrity, i);
+        let cfg = UniviStorConfig::builder()
+            .integrity(IntegrityConfig {
+                checksums: false,
+                scrub: ScrubConfig::on(),
+            })
+            .build();
+        assert!(!cfg.integrity.checksums && cfg.integrity.scrub.enabled);
+    }
+
+    #[test]
+    fn validate_accepts_the_shipping_configurations() {
+        UniviStorConfig::paper(64).validate().expect("paper config");
+        UniviStorConfig::test_small(2, 2)
+            .validate()
+            .expect("test config");
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_probabilities() {
+        let mut cfg = UniviStorConfig::test_small(1, 2);
+        cfg.fault = Some(FaultConfig {
+            transient_prob: 1.5,
+            ..FaultConfig::default()
+        });
+        let err = cfg.validate().unwrap_err().to_string();
+        assert!(err.contains("transient_prob"), "{err}");
+
+        let mut cfg = UniviStorConfig::test_small(1, 2);
+        cfg.fault = Some(FaultConfig {
+            corrupt_prob: -0.1,
+            ..FaultConfig::default()
+        });
+        let err = cfg.validate().unwrap_err().to_string();
+        assert!(err.contains("corrupt_prob"), "{err}");
+
+        let mut cfg = UniviStorConfig::test_small(1, 2);
+        cfg.fault = Some(FaultConfig {
+            tier_corrupt_prob: vec![(Tier::Pfs, 2.0)],
+            ..FaultConfig::default()
+        });
+        let err = cfg.validate().unwrap_err().to_string();
+        assert!(err.contains("tier_corrupt_prob"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_inverted_watermarks() {
+        let mut cfg = UniviStorConfig::test_small(1, 2);
+        cfg.tiering.dram = TierWatermarks {
+            high: 0.3,
+            low: 0.8,
+        };
+        let err = cfg.validate().unwrap_err().to_string();
+        assert!(err.contains("tiering.dram"), "{err}");
+        assert!(err.contains("low < high"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_zero_mailbox_depth() {
+        let mut cfg = UniviStorConfig::test_small(1, 2);
+        cfg.mailbox_depth = 0;
+        let err = cfg.validate().unwrap_err().to_string();
+        assert!(err.contains("mailbox_depth"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_zero_attempt_retry_policy() {
+        let mut cfg = UniviStorConfig::test_small(1, 2);
+        cfg.retry.max_attempts = 0;
+        let err = cfg.validate().unwrap_err().to_string();
+        assert!(err.contains("max_attempts"), "{err}");
     }
 
     #[test]

@@ -84,6 +84,15 @@ impl Error {
         matches!(self.source, SimError::Transient { .. })
     }
 
+    /// The injection site of a transient source (`None` for any other
+    /// source) — retry loops fold it into the op-kind retry label.
+    pub fn transient_site(&self) -> Option<&str> {
+        match &self.source {
+            SimError::Transient { site, .. } => Some(site),
+            _ => None,
+        }
+    }
+
     /// How many attempts a transient failure survived before being
     /// surfaced, when the source is transient (0 = failed on the first
     /// try, no retry loop involved).

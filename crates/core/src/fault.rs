@@ -23,19 +23,26 @@
 //! `None` (the default) none of this is constructed and the hot path
 //! pays only an `Option` check.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{OnceLock, RwLock};
 use std::time::Duration;
 
 use univistor_sim::rng::DetRng;
-use univistor_sim::{SimError, SimResult};
+use univistor_sim::{Payload, SimError, SimResult};
 
 use crate::error::Error;
+use crate::metadata::ClientId;
 use crate::metrics::{FaultCounters, JobMetrics};
-use crate::va::Tier;
+use crate::va::{Tier, VirtualAddr};
 
 /// Golden-ratio increment used to decorrelate per-op RNG streams.
 const OP_STREAM: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Stream separator for silent-corruption draws: corruption uses its own
+/// op counter *and* its own seed stream, so enabling it never perturbs
+/// the transient-fault schedule of a given seed.
+const CORRUPT_STREAM: u64 = 0xD1B5_4A32_D192_ED03;
 
 /// Declarative fault schedule, carried in `UniviStorConfig::fault`.
 ///
@@ -60,6 +67,13 @@ pub struct FaultConfig {
     /// Latency added to every instrumented operation, in microseconds.
     /// Real `thread::sleep`, so keep it small in tests.
     pub op_latency_us: u64,
+    /// Probability in `[0, 1]` that a freshly appended span lands
+    /// silently corrupted: the bytes read back differ from the bytes
+    /// written, with no error at write time. Detection is the integrity
+    /// plane's job. Applied when no per-tier override matches.
+    pub corrupt_prob: f64,
+    /// Per-tier overrides for `corrupt_prob`; first match wins.
+    pub tier_corrupt_prob: Vec<(Tier, f64)>,
 }
 
 impl FaultConfig {
@@ -75,6 +89,37 @@ impl FaultConfig {
         }
         self.transient_prob
     }
+
+    /// Silent-corruption probability for an append landing on `tier`.
+    fn corrupt_prob_for(&self, tier: Tier) -> f64 {
+        for &(ot, p) in &self.tier_corrupt_prob {
+            if ot == tier {
+                return p;
+            }
+        }
+        self.corrupt_prob
+    }
+
+    /// Whether any corruption probability in the schedule is nonzero.
+    fn corruption_possible(&self) -> bool {
+        self.corrupt_prob > 0.0 || self.tier_corrupt_prob.iter().any(|&(_, p)| p > 0.0)
+    }
+}
+
+/// One registered silent corruption: reads of `owner`'s chain that cover
+/// absolute chain address `flip_at` observe `flip` XORed into that byte.
+/// Spans are cleared when new data is appended over the same VA range —
+/// the corruption lives in the *stored copy*, not the address.
+#[derive(Debug, Clone, Copy)]
+struct CorruptSpan {
+    /// First corrupted-copy chain address.
+    va: u64,
+    /// Span length in bytes.
+    len: u64,
+    /// Absolute chain address of the flipped byte.
+    flip_at: u64,
+    /// Nonzero XOR mask applied to that byte.
+    flip: u8,
 }
 
 /// Deterministic, lock-free fault injector shared by the chain, KV,
@@ -90,18 +135,34 @@ pub struct FaultInjector {
     failures: Vec<(u64, usize)>,
     next_failure: AtomicUsize,
     counters: OnceLock<FaultCounters>,
+    /// Whether the schedule can ever draw a corruption (precomputed so
+    /// the append hook is a plain bool check when it cannot).
+    corruption_possible: bool,
+    /// Corruption draw counter — separate from `ops` so enabling
+    /// corruption never shifts the transient-fault draw sequence.
+    corrupt_ops: AtomicU64,
+    /// Registered corrupt spans per producer. Guarded by a lock, but the
+    /// data path only touches it when `corrupt_count` is nonzero — a job
+    /// with no live corruption pays one relaxed load per read/append.
+    corrupted: RwLock<HashMap<ClientId, Vec<CorruptSpan>>>,
+    corrupt_count: AtomicUsize,
 }
 
 impl FaultInjector {
     pub fn new(cfg: FaultConfig) -> Self {
         let mut failures = cfg.fail_node_at.clone();
         failures.sort_unstable();
+        let corruption_possible = cfg.corruption_possible();
         FaultInjector {
             cfg,
             ops: AtomicU64::new(0),
             failures,
             next_failure: AtomicUsize::new(0),
             counters: OnceLock::new(),
+            corruption_possible,
+            corrupt_ops: AtomicU64::new(0),
+            corrupted: RwLock::new(HashMap::new()),
+            corrupt_count: AtomicUsize::new(0),
         }
     }
 
@@ -173,6 +234,125 @@ impl FaultInjector {
         }
         due
     }
+
+    /// Append hook: new data landed at `[va, va + len)` of `owner`'s
+    /// chain on `tier`. Clears any stale corrupt span the fresh bytes
+    /// overwrite (corruption belongs to a stored copy, and that copy is
+    /// gone), then draws the tier's silent-corruption probability and,
+    /// on a hit, registers a deterministic one-byte flip inside the span.
+    /// The draw stream is independent of the transient-fault stream, so
+    /// two runs with the same seed corrupt the same appends regardless
+    /// of the transient schedule.
+    pub fn on_append(&self, owner: ClientId, va: VirtualAddr, len: u64, tier: Tier) {
+        if self.corrupt_count.load(Ordering::Relaxed) > 0 {
+            self.clear_overlapping(owner, va.0, len);
+        }
+        if !self.corruption_possible || len == 0 {
+            return;
+        }
+        let prob = self.cfg.corrupt_prob_for(tier);
+        if prob <= 0.0 {
+            return;
+        }
+        let op = self.corrupt_ops.fetch_add(1, Ordering::Relaxed);
+        let mut rng = DetRng::seed(self.cfg.seed ^ CORRUPT_STREAM ^ op.wrapping_mul(OP_STREAM));
+        if rng.unit() < prob {
+            let flip_at = va.0 + rng.below(len.min(usize::MAX as u64) as usize) as u64;
+            // Any nonzero mask corrupts; `| 1` guards the zero draw.
+            let flip = (rng.below(256) as u8) | 1;
+            self.register(
+                owner,
+                CorruptSpan {
+                    va: va.0,
+                    len,
+                    flip_at,
+                    flip,
+                },
+            );
+        }
+    }
+
+    /// Targeted corruption op (tests, chaos drills): unconditionally
+    /// corrupt the stored copy at `[va, va + len)` of `owner`'s chain by
+    /// flipping its first byte.
+    pub fn corrupt_span(&self, owner: ClientId, va: VirtualAddr, len: u64) {
+        if len == 0 {
+            return;
+        }
+        self.clear_overlapping(owner, va.0, len);
+        self.register(
+            owner,
+            CorruptSpan {
+                va: va.0,
+                len,
+                flip_at: va.0,
+                flip: 0xFF,
+            },
+        );
+    }
+
+    /// Read hook: apply every registered flip that falls inside a read
+    /// of `[va, va + payload.len())` from `owner`'s chain. One relaxed
+    /// load when nothing is registered.
+    pub fn corrupt_read(&self, owner: ClientId, va: VirtualAddr, payload: Payload) -> Payload {
+        if self.corrupt_count.load(Ordering::Relaxed) == 0 {
+            return payload;
+        }
+        let len = payload.len();
+        let flips: Vec<(u64, u8)> = {
+            let map = self.corrupted.read().expect("corrupt registry poisoned");
+            match map.get(&owner) {
+                None => return payload,
+                Some(spans) => spans
+                    .iter()
+                    .filter(|s| s.flip_at >= va.0 && s.flip_at - va.0 < len)
+                    .map(|s| (s.flip_at - va.0, s.flip))
+                    .collect(),
+            }
+        };
+        if flips.is_empty() {
+            return payload;
+        }
+        let mut bytes = Vec::with_capacity(len as usize);
+        payload.materialize_into(&mut bytes);
+        for (off, flip) in flips {
+            bytes[off as usize] ^= flip;
+        }
+        Payload::from_bytes(bytes)
+    }
+
+    /// Live corrupt spans (registered and not yet overwritten).
+    pub fn corrupt_spans_live(&self) -> usize {
+        self.corrupt_count.load(Ordering::Relaxed)
+    }
+
+    fn register(&self, owner: ClientId, span: CorruptSpan) {
+        self.corrupted
+            .write()
+            .expect("corrupt registry poisoned")
+            .entry(owner)
+            .or_default()
+            .push(span);
+        self.corrupt_count.fetch_add(1, Ordering::Relaxed);
+        if let Some(c) = self.counters.get() {
+            c.corruption.inc();
+        }
+    }
+
+    fn clear_overlapping(&self, owner: ClientId, va: u64, len: u64) {
+        let mut map = self.corrupted.write().expect("corrupt registry poisoned");
+        if let Some(spans) = map.get_mut(&owner) {
+            let before = spans.len();
+            spans.retain(|s| s.va + s.len <= va || va + len <= s.va);
+            let removed = before - spans.len();
+            if removed > 0 {
+                self.corrupt_count.fetch_sub(removed, Ordering::Relaxed);
+            }
+            if spans.is_empty() {
+                map.remove(&owner);
+            }
+        }
+    }
 }
 
 /// Retry budget for transient faults, carried in
@@ -236,7 +416,7 @@ pub fn with_retries<T>(
                     return Err(SimError::Transient { site, attempt });
                 }
                 if let Some(m) = metrics {
-                    m.record_retry();
+                    m.record_retry(&site);
                 }
                 let us = policy.backoff_us(attempt);
                 if us > 0 {
@@ -269,7 +449,7 @@ pub fn with_retries_ctx<T>(
                     return Err(e.with_attempts(attempt));
                 }
                 if let Some(m) = metrics {
-                    m.record_retry();
+                    m.record_retry(e.transient_site().unwrap_or(""));
                 }
                 let us = policy.backoff_us(attempt);
                 if us > 0 {
@@ -418,6 +598,75 @@ mod tests {
         });
         assert_eq!(calls, 1);
         assert!(matches!(out.unwrap_err(), SimError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn corruption_draws_are_seeded_and_independent_of_transients() {
+        let schedule = |seed: u64, transient: f64| -> Vec<bool> {
+            let inj = FaultInjector::new(FaultConfig {
+                seed,
+                transient_prob: transient,
+                corrupt_prob: 0.3,
+                ..FaultConfig::default()
+            });
+            let owner = ClientId::new(0, 0);
+            (0..200u64)
+                .map(|i| {
+                    let before = inj.corrupt_spans_live();
+                    inj.on_append(owner, VirtualAddr(i * 64), 64, Tier::Dram);
+                    inj.corrupt_spans_live() > before
+                })
+                .collect()
+        };
+        assert_eq!(schedule(42, 0.0), schedule(42, 0.0));
+        // Same seed, different transient schedule → same corruptions.
+        assert_eq!(schedule(42, 0.0), schedule(42, 0.5));
+        assert_ne!(schedule(42, 0.0), schedule(43, 0.0));
+        let hits = schedule(42, 0.0).iter().filter(|&&b| b).count();
+        assert!((30..=90).contains(&hits), "p=0.3 over 200 appends: {hits}");
+    }
+
+    #[test]
+    fn corrupt_read_flips_exactly_one_byte_in_span() {
+        let inj = always(0.0);
+        let owner = ClientId::new(0, 3);
+        let clean = Payload::pattern(9, 256);
+        // Nothing registered: payload passes through untouched.
+        assert!(inj
+            .corrupt_read(owner, VirtualAddr(1000), clean.clone())
+            .content_eq(&clean));
+        inj.corrupt_span(owner, VirtualAddr(1000), 256);
+        let dirty = inj.corrupt_read(owner, VirtualAddr(1000), clean.clone());
+        assert!(!dirty.content_eq(&clean));
+        let diffs = (0..256u64)
+            .filter(|&i| dirty.byte_at(i) != clean.byte_at(i))
+            .count();
+        assert_eq!(diffs, 1, "targeted op flips the first byte only");
+        assert_ne!(dirty.byte_at(0), clean.byte_at(0));
+        // A read of a disjoint span is unaffected.
+        let other = Payload::pattern(9, 64);
+        assert!(inj
+            .corrupt_read(owner, VirtualAddr(2000), other.clone())
+            .content_eq(&other));
+        // A different producer's chain is unaffected.
+        assert!(inj
+            .corrupt_read(ClientId::new(0, 4), VirtualAddr(1000), clean.clone())
+            .content_eq(&clean));
+    }
+
+    #[test]
+    fn overwriting_appends_clear_stale_corruption() {
+        let inj = always(0.0);
+        let owner = ClientId::new(1, 0);
+        inj.corrupt_span(owner, VirtualAddr(500), 100);
+        assert_eq!(inj.corrupt_spans_live(), 1);
+        // Fresh data over the same VA range: the corrupt copy is gone.
+        inj.on_append(owner, VirtualAddr(500), 100, Tier::Dram);
+        assert_eq!(inj.corrupt_spans_live(), 0);
+        let p = Payload::pattern(1, 100);
+        assert!(inj
+            .corrupt_read(owner, VirtualAddr(500), p.clone())
+            .content_eq(&p));
     }
 
     #[test]

@@ -260,6 +260,92 @@ fn healthy_source(
     }
 }
 
+/// The span both engines request for one clipped record: stamped records
+/// fetch the *whole* record from its base VA (the sequential checksum can
+/// only verify the full span), unstamped ones the clip alone.
+fn gather_span(
+    rec: &SegmentRecord,
+    base_va: VirtualAddr,
+    key_offset: u64,
+    clip_lo: u64,
+    clip_len: u64,
+) -> (VirtualAddr, u64) {
+    match rec.checksum {
+        Some(_) => (base_va, rec.len),
+        None => (VirtualAddr(base_va.0 + (clip_lo - key_offset)), clip_len),
+    }
+}
+
+/// Finish one gathered span: verify a stamped record's full payload
+/// against its write-commit stamp and clip the requested window back out;
+/// on a verify failure fall back to the record's other healthy copy. No
+/// clean copy is a typed [`SimError::Integrity`] — the flush never
+/// persists wrong bytes, and the lost ledger stays reserved for node
+/// failures (a corrupt-but-present copy is the scrubber's job, not a
+/// silent skip).
+#[allow(clippy::too_many_arguments)]
+fn verify_gathered(
+    source: &dyn FlushSource,
+    cfg: &UniviStorConfig,
+    failed_nodes: &HashSet<usize>,
+    metrics: Option<&JobMetrics>,
+    rec: &SegmentRecord,
+    chosen: (ClientId, VirtualAddr),
+    key_offset: u64,
+    clip_lo: u64,
+    clip_len: u64,
+    payload: Payload,
+    tier: Tier,
+    round_trips: &mut u64,
+) -> SimResult<(Payload, Tier)> {
+    let Some(sum) = rec.checksum else {
+        return Ok((payload, tier));
+    };
+    let clip_off = clip_lo - key_offset;
+    let whole_record = clip_off == 0 && clip_len == rec.len;
+    if payload.content_checksum() == sum {
+        // Steady path: skip the clip when the gather spans the record.
+        return Ok(if whole_record {
+            (payload, tier)
+        } else {
+            (payload.slice(clip_off, clip_len), tier)
+        });
+    }
+    if let Some(m) = metrics {
+        m.record_verify_failure("flush");
+    }
+    // The record's other copy, when one exists on a healthy node.
+    let alt = if chosen == (rec.client, rec.va) {
+        rec.replica
+            .filter(|(rc, _)| !failed_nodes.contains(&cfg.geometry.node_of_rank(rc.rank as usize)))
+    } else {
+        let primary_node = cfg.geometry.node_of_rank(rec.client.rank as usize);
+        (!failed_nodes.contains(&primary_node)).then_some((rec.client, rec.va))
+    };
+    if let Some((alt_client, alt_va)) = alt {
+        let mut got = with_retries(&cfg.retry, metrics, || {
+            source.read_spans(alt_client, &[(alt_va, rec.len)])
+        })?;
+        *round_trips += 1;
+        let (alt_payload, alt_tier) = got.pop().expect("one span requested");
+        if alt_payload.content_checksum() == sum {
+            return Ok(if whole_record {
+                (alt_payload, alt_tier)
+            } else {
+                (alt_payload.slice(clip_off, clip_len), alt_tier)
+            });
+        }
+        if let Some(m) = metrics {
+            m.record_verify_failure("flush");
+        }
+    }
+    Err(SimError::Integrity {
+        site: "flush_gather".into(),
+        offset: clip_lo,
+        len: clip_len,
+    })
+}
+
 /// Flush every byte of `fid` (logical size `file_size`) to `dest` on
 /// `lustre`, using the configuration's striping mode, server count, and
 /// flush engine (`cfg.flush_pipeline`). Segments whose primary node is in
@@ -490,13 +576,27 @@ fn sequential_pass(
                 acc.lost.lost_bytes += clip_len;
                 continue;
             };
-            let va = VirtualAddr(base_va.0 + (clip_lo - key.offset));
+            let request = gather_span(&rec, base_va, key.offset, clip_lo, clip_len);
             let mut got = with_retries(&cfg.retry, metrics, || {
-                source.read_spans(client, &[(va, clip_len)])
+                source.read_spans(client, &[request])
             })?;
             let (payload, tier) = got.pop().expect("one span requested");
             acc.spans += 1;
             acc.gather_round_trips += 1;
+            let (payload, tier) = verify_gathered(
+                source,
+                cfg,
+                failed_nodes,
+                metrics,
+                &rec,
+                (client, base_va),
+                key.offset,
+                clip_lo,
+                clip_len,
+                payload,
+                tier,
+                &mut acc.gather_round_trips,
+            )?;
             *acc.source_tiers.entry(tier).or_insert(0) += clip_len;
             let w = write_stripes(lustre, dest, plan, clip_lo, payload)?;
             acc.absorb_write(w);
@@ -681,7 +781,9 @@ fn gather_range(
             clip_lo: u64,
             len: u64,
             client: ClientId,
-            va: VirtualAddr,
+            base_va: VirtualAddr,
+            key_offset: u64,
+            rec: SegmentRecord,
         },
     }
     let records = source.records(fid, start, end);
@@ -706,7 +808,9 @@ fn gather_range(
                 clip_lo,
                 len: clip_len,
                 client,
-                va: VirtualAddr(base_va.0 + (clip_lo - key.offset)),
+                base_va,
+                key_offset: key.offset,
+                rec,
             }),
         }
     }
@@ -728,22 +832,49 @@ fn gather_range(
                 let run_start = i;
                 requests.clear();
                 while let Some(&Resolved::Fetch {
-                    client: c, va, len, ..
+                    client: c,
+                    base_va,
+                    key_offset,
+                    clip_lo,
+                    len,
+                    ref rec,
                 }) = resolved.get(i)
                 {
                     if c != client {
                         break;
                     }
-                    requests.push((va, len));
+                    requests.push(gather_span(rec, base_va, key_offset, clip_lo, len));
                     i += 1;
                 }
                 let results =
                     with_retries(&cfg.retry, metrics, || source.read_spans(client, &requests))?;
                 round_trips += 1;
                 for (j, (payload, tier)) in results.into_iter().enumerate() {
-                    let Resolved::Fetch { clip_lo, len, .. } = resolved[run_start + j] else {
+                    let Resolved::Fetch {
+                        clip_lo,
+                        len,
+                        base_va,
+                        key_offset,
+                        rec,
+                        ..
+                    } = resolved[run_start + j]
+                    else {
                         unreachable!("fetch run resolved from fetch entries");
                     };
+                    let (payload, tier) = verify_gathered(
+                        source,
+                        cfg,
+                        failed_nodes,
+                        metrics,
+                        &rec,
+                        (client, base_va),
+                        key_offset,
+                        clip_lo,
+                        len,
+                        payload,
+                        tier,
+                        &mut round_trips,
+                    )?;
                     spans.push(SpanOutcome::Data {
                         clip_lo,
                         len,

@@ -45,6 +45,7 @@ pub mod read;
 pub mod repair;
 pub(crate) mod runtime;
 pub mod sched;
+pub mod scrub;
 pub mod server;
 pub mod striping;
 pub mod tiering;
@@ -52,8 +53,8 @@ pub mod va;
 pub mod workflow;
 
 pub use config::{
-    Features, FlushPipeline, JobGeometry, PromotionPolicy, Runtime, TierWatermarks, TieringConfig,
-    UniviStorConfig, UniviStorConfigBuilder,
+    Features, FlushPipeline, IntegrityConfig, JobGeometry, PromotionPolicy, Runtime, ScrubConfig,
+    TierWatermarks, TieringConfig, UniviStorConfig, UniviStorConfigBuilder,
 };
 pub use driver::UniviStorDriver;
 pub use error::{Error, Result};
@@ -62,6 +63,7 @@ pub use flush::{FlushReceipt, FlushReport};
 pub use metadata::{ClientId, SegKey, SegmentRecord};
 pub use metrics::JobMetrics;
 pub use repair::RepairReport;
+pub use scrub::{CorruptReport, ScrubDaemon, ScrubHandle, ScrubReport};
 pub use server::{JobStats, OpenRequest, UniviStorJob};
 pub use tiering::{TieringDaemon, TieringHandle, TieringPassReport, TieringStats};
 pub use univistor_obs::MetricsSnapshot;

@@ -70,16 +70,26 @@ pub struct SegmentRecord {
     pub len: u64,
     /// Replica location: (buddy client, VA within the buddy's chain).
     pub replica: Option<(ClientId, VirtualAddr)>,
+    /// Content checksum over the record's full payload span (the
+    /// streaming digest of [`univistor_sim::Checksum`]), stamped at
+    /// write commit and carried unchanged across legitimate data moves
+    /// (migration, repair — the bytes are identical, so the checksum is
+    /// too). `None` marks an unprotected record: overwrite fragments lose
+    /// their stamp (the digest covers the whole span, a sub-span's digest
+    /// cannot be derived from it) until the scrubber re-stamps them, and
+    /// jobs with the integrity plane disabled never stamp at all.
+    pub checksum: Option<u64>,
 }
 
 impl SegmentRecord {
-    /// A record without a replica.
+    /// A record without a replica or a checksum stamp.
     pub fn new(client: ClientId, va: VirtualAddr, len: u64) -> Self {
         SegmentRecord {
             client,
             va,
             len,
             replica: None,
+            checksum: None,
         }
     }
 }
@@ -158,11 +168,15 @@ pub(crate) fn split_overlapped(
     // Left fragment survives.
     if k.offset < lo {
         let keep = lo - k.offset;
+        // Fragments lose the checksum stamp: the digest covers the whole
+        // span, so a sub-span's digest cannot be derived from it. The
+        // scrubber re-stamps unprotected fragments on its next pass.
         let frag = SegmentRecord {
             client: v.client,
             va: v.va,
             len: keep,
             replica: v.replica,
+            checksum: None,
         };
         fragments.push((k, frag));
     }
@@ -175,6 +189,7 @@ pub(crate) fn split_overlapped(
             va: VirtualAddr(v.va.0 + skip),
             len: seg_end - hi,
             replica: v.replica.map(|(c, rva)| (c, VirtualAddr(rva.0 + skip))),
+            checksum: None,
         };
         fragments.push((
             SegKey {

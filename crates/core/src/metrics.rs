@@ -37,8 +37,8 @@
 //! | `univistor_read_md_cache_hits_total` | counter | — | distributed lookups served by the node's read record cache |
 //! | `univistor_read_md_cache_misses_total` | counter | — | distributed lookups that visited the KV servers |
 //! | `univistor_read_readahead_bytes_total` | counter | — | lookup-window bytes issued past request ends by readahead |
-//! | `univistor_faults_injected_total` | counter | `kind` | fault injector firings: `transient`, `node_loss`, `latency` |
-//! | `univistor_retries_total` | counter | — | transient faults absorbed by a retry |
+//! | `univistor_faults_injected_total` | counter | `kind` | fault injector firings: `transient`, `node_loss`, `latency`, `corruption` |
+//! | `univistor_retries_total` | counter | `op` | transient faults absorbed by a retry, by op kind (`append`/`read`/`kv`/`flush`/`other`) |
 //! | `univistor_retry_exhausted_total` | counter | — | operations that failed after the full retry budget |
 //! | `univistor_degraded_segments` | gauge | — | records whose primary or replica sits on a failed node |
 //! | `univistor_flush_skipped_lost_bytes_total` | counter | — | bytes a degraded flush skipped because primary and replica were lost |
@@ -54,6 +54,10 @@
 //! | `univistor_tiering_heat_decays_total` | counter | — | periodic heat-counter halving ticks applied |
 //! | `univistor_tiering_paused` | gauge | — | 1 while the tiering engine is paused |
 //! | `univistor_tiering_catchup_skipped_bytes_total` | counter | — | bytes the close-time flush skipped because the daemon had drained them |
+//! | `univistor_integrity_verify_failures_total` | counter | `site` | checksum verifies that failed, by verify point (`read`/`flush`/`tiering`/`repair`/`scrub`) |
+//! | `univistor_scrub_segments_total` | counter | — | records the scrubber has verified |
+//! | `univistor_scrub_corruptions_detected_total` | counter | — | corrupt copies the scrubber (or a read verify) detected |
+//! | `univistor_scrub_repaired_total` | counter | — | corrupt copies repaired from a clean copy |
 //! | `univistor_partition_mailbox_depth` | gauge | `partition` | requests queued in a partition worker's mailbox |
 //! | `univistor_partition_wait_seconds` | histogram | `partition` | enqueue-to-dequeue latency of mailbox messages |
 //! | `univistor_partition_messages_total` | counter | `partition` | messages dequeued by a partition worker |
@@ -99,6 +103,32 @@ fn tier_index(tier: Tier) -> usize {
     }
 }
 
+/// Op-kind labels of `univistor_retries_total`; indexes the cached
+/// handle array via [`retry_index`].
+const RETRY_OPS: [&str; 5] = ["append", "read", "kv", "flush", "other"];
+
+/// Map a fault-injection site tag to its retry op-kind index.
+fn retry_index(site: &str) -> usize {
+    if site.starts_with("chain_append") {
+        0
+    } else if site.starts_with("chain_read") {
+        1
+    } else if site.starts_with("kv") {
+        2
+    } else if site.starts_with("flush") {
+        3
+    } else {
+        4
+    }
+}
+
+/// Verify-point labels of `univistor_integrity_verify_failures_total`.
+const VERIFY_SITES: [&str; 5] = ["read", "flush", "tiering", "repair", "scrub"];
+
+fn verify_site_index(site: &str) -> usize {
+    VERIFY_SITES.iter().position(|&s| s == site).unwrap_or(0)
+}
+
 /// Cached scheduler counters handed to [`crate::sched`] so the placement
 /// policy can report without holding a registry reference.
 #[derive(Debug, Clone)]
@@ -122,6 +152,8 @@ pub struct FaultCounters {
     pub node_loss: Counter,
     /// Operations delayed by injected latency.
     pub latency: Counter,
+    /// Silent corruptions registered against stored copies.
+    pub corruption: Counter,
 }
 
 /// Cached mailbox instruments of one partition worker (the partitioned
@@ -204,8 +236,15 @@ pub struct JobMetrics {
     read_readahead_bytes: Counter,
 
     faults: FaultCounters,
-    retries: Counter,
+    /// Indexed as append / read / kv / flush / other (see `retry_index`).
+    retries: [Counter; 5],
     retry_exhausted: Counter,
+    /// Indexed as read / flush / tiering / repair / scrub (see
+    /// `verify_site_index`).
+    verify_failures: [Counter; 5],
+    scrub_segments: Counter,
+    scrub_detected: Counter,
+    scrub_repaired: Counter,
     degraded_segments: Gauge,
     flush_skipped_lost_bytes: Counter,
     repaired_primary: Counter,
@@ -368,11 +407,27 @@ impl JobMetrics {
         );
         let retries = registry.counter_family(
             "univistor_retries_total",
-            "transient faults absorbed by a retry",
+            "transient faults absorbed by a retry, by op kind",
         );
         let retry_exhausted = registry.counter_family(
             "univistor_retry_exhausted_total",
             "operations that failed after exhausting the retry budget",
+        );
+        let verify_failures = registry.counter_family(
+            "univistor_integrity_verify_failures_total",
+            "checksum verifies that failed, by verify point",
+        );
+        let scrub_segments = registry.counter_family(
+            "univistor_scrub_segments_total",
+            "records the scrubber has checksum-verified",
+        );
+        let scrub_detected = registry.counter_family(
+            "univistor_scrub_corruptions_detected_total",
+            "corrupt copies detected by checksum verification",
+        );
+        let scrub_repaired = registry.counter_family(
+            "univistor_scrub_repaired_total",
+            "corrupt copies repaired from a clean copy",
         );
         let degraded = registry.gauge_family(
             "univistor_degraded_segments",
@@ -482,9 +537,14 @@ impl JobMetrics {
                 transient: faults.with(&[("kind", "transient")]),
                 node_loss: faults.with(&[("kind", "node_loss")]),
                 latency: faults.with(&[("kind", "latency")]),
+                corruption: faults.with(&[("kind", "corruption")]),
             },
-            retries: retries.with(&[]),
+            retries: RETRY_OPS.map(|op| retries.with(&[("op", op)])),
             retry_exhausted: retry_exhausted.with(&[]),
+            verify_failures: VERIFY_SITES.map(|site| verify_failures.with(&[("site", site)])),
+            scrub_segments: scrub_segments.with(&[]),
+            scrub_detected: scrub_detected.with(&[]),
+            scrub_repaired: scrub_repaired.with(&[]),
             degraded_segments: degraded.with(&[]),
             flush_skipped_lost_bytes: flush_skipped.with(&[]),
             repaired_primary: repaired.with(&[("role", "primary")]),
@@ -588,14 +648,33 @@ impl JobMetrics {
         }
     }
 
-    /// A transient fault was absorbed by a retry.
-    pub fn record_retry(&self) {
-        self.retries.inc();
+    /// A transient fault at `site` was absorbed by a retry. The site
+    /// string is the injection site tag (`chain_append`, `chain_read`,
+    /// `kv_insert`, `kv_lookup`, `flush_lookup`, ...), folded into the
+    /// op-kind label so scrub- and app-path retries are distinguishable.
+    pub fn record_retry(&self, site: &str) {
+        self.retries[retry_index(site)].inc();
     }
 
     /// An operation failed after exhausting its retry budget.
     pub fn record_retry_exhausted(&self) {
         self.retry_exhausted.inc();
+    }
+
+    /// A checksum verify failed at the named verify point.
+    pub fn record_verify_failure(&self, site: &'static str) {
+        self.verify_failures[verify_site_index(site)].inc();
+        self.scrub_detected.inc();
+    }
+
+    /// The scrubber checksum-verified `n` records.
+    pub fn record_scrub_segments(&self, n: u64) {
+        self.scrub_segments.add(n);
+    }
+
+    /// A corrupt copy was repaired from a clean one.
+    pub fn record_scrub_repair(&self) {
+        self.scrub_repaired.inc();
     }
 
     /// Publish the current count of degraded records (records whose
@@ -1077,7 +1156,7 @@ mod tests {
         faults.transient.inc();
         faults.transient.inc();
         faults.node_loss.inc();
-        m.record_retry();
+        m.record_retry("chain_read");
         m.record_retry_exhausted();
         m.set_degraded_segments(7);
         m.record_repair(3, 4, 2048);
@@ -1091,6 +1170,11 @@ mod tests {
             Some(1)
         );
         assert_eq!(snap.counter_total("univistor_retries_total"), 1);
+        assert_eq!(
+            snap.counter("univistor_retries_total", &[("op", "read")]),
+            Some(1),
+            "chain_read maps onto the read op label"
+        );
         assert_eq!(snap.counter_total("univistor_retry_exhausted_total"), 1);
         assert_eq!(snap.gauge("univistor_degraded_segments", &[]), Some(7));
         assert_eq!(
@@ -1107,5 +1191,61 @@ mod tests {
             m.snapshot().gauge("univistor_degraded_segments", &[]),
             Some(0)
         );
+    }
+
+    #[test]
+    fn retry_sites_map_onto_op_labels() {
+        let m = JobMetrics::new();
+        m.record_retry("chain_append");
+        m.record_retry("chain_read");
+        m.record_retry("kv_insert");
+        m.record_retry("kv_lookup");
+        m.record_retry("flush_lookup");
+        m.record_retry("mystery_site");
+        let snap = m.snapshot();
+        for (op, want) in [
+            ("append", 1),
+            ("read", 1),
+            ("kv", 2),
+            ("flush", 1),
+            ("other", 1),
+        ] {
+            assert_eq!(
+                snap.counter("univistor_retries_total", &[("op", op)]),
+                Some(want),
+                "op label {op}"
+            );
+        }
+        assert_eq!(snap.counter_total("univistor_retries_total"), 6);
+    }
+
+    #[test]
+    fn integrity_and_scrub_families_record() {
+        let m = JobMetrics::new();
+        m.record_verify_failure("read");
+        m.record_verify_failure("scrub");
+        m.record_scrub_segments(10);
+        m.record_scrub_repair();
+        let snap = m.snapshot();
+        assert_eq!(
+            snap.counter(
+                "univistor_integrity_verify_failures_total",
+                &[("site", "read")]
+            ),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter(
+                "univistor_integrity_verify_failures_total",
+                &[("site", "scrub")]
+            ),
+            Some(1)
+        );
+        assert_eq!(snap.counter_total("univistor_scrub_segments_total"), 10);
+        assert_eq!(
+            snap.counter_total("univistor_scrub_corruptions_detected_total"),
+            2
+        );
+        assert_eq!(snap.counter_total("univistor_scrub_repaired_total"), 1);
     }
 }

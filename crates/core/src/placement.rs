@@ -180,6 +180,24 @@ impl ChainSet {
         self.injector = Some(injector);
     }
 
+    /// Corruption registration hook: a piece landed (and its append draw
+    /// passed), so the injector may mark the stored copy silently corrupt
+    /// — and must clear stale corruption the fresh bytes overwrote.
+    fn note_append(&self, client: ClientId, p: &PlacedSegment) {
+        if let Some(inj) = &self.injector {
+            inj.on_append(client, p.va, p.len, p.tier);
+        }
+    }
+
+    /// Corruption application hook: flips registered corrupt bytes into
+    /// a payload read from `client`'s chain at `va`.
+    fn corrupt(&self, client: ClientId, va: VirtualAddr, payload: Payload) -> Payload {
+        match &self.injector {
+            Some(inj) => inj.corrupt_read(client, va, payload),
+            None => payload,
+        }
+    }
+
     fn inject(&self, site: &'static str, tier: Tier) -> SimResult<()> {
         match &self.injector {
             Some(inj) => inj.inject(site, Some(tier)),
@@ -250,6 +268,7 @@ impl ChainSet {
             chain.release(placed.va, placed.len);
             return Err(e);
         }
+        self.note_append(client, &placed);
         Ok(placed)
     }
 
@@ -291,6 +310,11 @@ impl ChainSet {
                 }
             }
         }
+        // Corruption registration only once the whole batch has stuck —
+        // rolled-back pieces never existed.
+        for p in &placed {
+            self.note_append(client, p);
+        }
         Ok(placed)
     }
 
@@ -328,6 +352,9 @@ impl ChainSet {
                 }
             }
         }
+        for p in &placed {
+            self.note_append(client, p);
+        }
         Ok(placed)
     }
 
@@ -345,7 +372,7 @@ impl ChainSet {
         let payload = chain.read(va, len)?;
         let tier = chain.tier_of(va);
         self.inject("chain_read", tier)?;
-        Ok((payload, tier))
+        Ok((self.corrupt(client, va, payload), tier))
     }
 
     /// Read every `(va, len)` request from `client`'s chain under a
@@ -365,7 +392,7 @@ impl ChainSet {
                 let payload = chain.read(va, len)?;
                 let tier = chain.tier_of(va);
                 self.inject("chain_read", tier)?;
-                Ok((payload, tier))
+                Ok((self.corrupt(client, va, payload), tier))
             })
             .collect()
     }

@@ -44,7 +44,9 @@
 
 use crate::config::{JobGeometry, ReadPipeline};
 use crate::metadata::{ClientId, MetadataService, SegKey, SegmentRecord};
+use crate::metrics::JobMetrics;
 use crate::placement::ChainSet;
+use crate::scrub::{CorruptQueue, CorruptReport};
 use crate::va::{Tier, VirtualAddr};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
@@ -210,12 +212,107 @@ impl ReadState {
 
 /// One clipped fragment of the read plan: `len` bytes at `va` of
 /// `source`'s chain (the replica owner when the primary's node failed —
-/// rerouting is resolved at plan time, not per fetch).
+/// rerouting is resolved at plan time, not per fetch). Carries enough of
+/// its record for the integrity plane: the write-commit stamp, the
+/// record-base span (the stamp digests the whole record, so only the
+/// *whole* record can be verified — stamped fragments fetch the full span
+/// and clip after the verify), and the alternate copy a verify failure
+/// reroutes to.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Fragment {
     pub(crate) source: ClientId,
     pub(crate) va: VirtualAddr,
     pub(crate) len: u64,
+    /// Write-commit stamp of the whole record this clip came from;
+    /// `None` (unstamped overwrite fragment, or checksums disabled)
+    /// keeps the legacy clip-only fetch.
+    pub(crate) checksum: Option<u64>,
+    /// Record-base VA on `source`'s chain and the record's full length —
+    /// the span actually fetched when stamped.
+    pub(crate) rec_va: VirtualAddr,
+    pub(crate) rec_len: u64,
+    /// The other copy of the record (record-base VA) when one exists on
+    /// a healthy node: the reroute target after a verify failure.
+    pub(crate) alternate: Option<(ClientId, VirtualAddr)>,
+    /// Metadata key of the record (repair enqueue) and the clip's
+    /// logical file offset (error context).
+    pub(crate) key: SegKey,
+    pub(crate) logical: u64,
+}
+
+/// The span to request for `f`: the full record when stamped (so the
+/// fetch can be verified), the clip alone otherwise.
+pub(crate) fn fetch_span(f: &Fragment) -> (VirtualAddr, u64) {
+    match f.checksum {
+        Some(_) => (f.rec_va, f.rec_len),
+        None => (f.va, f.len),
+    }
+}
+
+/// Finish one fetched fragment: verify stamped records against their
+/// write-commit stamp, clip the requested window back out, and on a
+/// verify failure reroute to the alternate copy — enqueueing every bad
+/// copy for online repair. The caller never sees wrong bytes: the result
+/// is a verified clip, or [`SimError::Integrity`] when no clean copy of
+/// the record exists.
+pub(crate) fn finish_fragment(
+    f: &Fragment,
+    payload: Payload,
+    tier: Tier,
+    refetch: &mut dyn FnMut(ClientId, VirtualAddr, u64) -> SimResult<(Payload, Tier)>,
+    metrics: Option<&JobMetrics>,
+    queue: Option<&CorruptQueue>,
+) -> SimResult<(Payload, Tier)> {
+    let Some(sum) = f.checksum else {
+        return Ok((payload, tier));
+    };
+    let clip_off = f.va.0 - f.rec_va.0;
+    let whole_record = clip_off == 0 && f.len == f.rec_len;
+    if payload.content_checksum() == sum {
+        // Steady path: skip the clip when the request spans the record.
+        return Ok(if whole_record {
+            (payload, tier)
+        } else {
+            (payload.slice(clip_off, f.len), tier)
+        });
+    }
+    if let Some(m) = metrics {
+        m.record_verify_failure("read");
+    }
+    if let Some(q) = queue {
+        q.push(CorruptReport {
+            key: f.key,
+            client: f.source,
+            va: f.rec_va,
+            len: f.rec_len,
+        });
+    }
+    if let Some((alt_client, alt_va)) = f.alternate {
+        let (alt_payload, alt_tier) = refetch(alt_client, alt_va, f.rec_len)?;
+        if alt_payload.content_checksum() == sum {
+            return Ok(if whole_record {
+                (alt_payload, alt_tier)
+            } else {
+                (alt_payload.slice(clip_off, f.len), alt_tier)
+            });
+        }
+        if let Some(m) = metrics {
+            m.record_verify_failure("read");
+        }
+        if let Some(q) = queue {
+            q.push(CorruptReport {
+                key: f.key,
+                client: alt_client,
+                va: alt_va,
+                len: f.rec_len,
+            });
+        }
+    }
+    Err(SimError::Integrity {
+        site: "read_fetch".into(),
+        offset: f.logical,
+        len: f.len,
+    })
 }
 
 /// Stage 2, shared with the partitioned runtime's router: clip every
@@ -251,7 +348,7 @@ pub(crate) fn plan_fragments(
 
         // Route around failed producers using the resilience replica.
         let primary_node = geometry.node_of_rank(r.client.rank as usize);
-        let (source, va) = if failed.contains(&primary_node) {
+        let (source, rec_va, alternate) = if failed.contains(&primary_node) {
             let (rc, rva) = r.replica.ok_or_else(|| {
                 SimError::InvalidConfig(format!(
                     "segment at offset {} lost: node {primary_node} failed and no replica",
@@ -266,14 +363,25 @@ pub(crate) fn plan_fragments(
                 )));
             }
             trace.replica_bytes += clip_len;
-            (rc, VirtualAddr(rva.0 + (clip_lo - k.offset)))
+            // The primary is on a failed node — a verify failure here has
+            // nowhere healthy to reroute to.
+            (rc, rva, None)
         } else {
-            (r.client, VirtualAddr(r.va.0 + (clip_lo - k.offset)))
+            let alt = r
+                .replica
+                .filter(|&(rc, _)| !failed.contains(&geometry.node_of_rank(rc.rank as usize)));
+            (r.client, r.va, alt)
         };
         fragments.push(Fragment {
             source,
-            va,
+            va: VirtualAddr(rec_va.0 + (clip_lo - k.offset)),
             len: clip_len,
+            checksum: r.checksum,
+            rec_va,
+            rec_len: r.len,
+            alternate,
+            key: k,
+            logical: clip_lo,
         });
         cursor = clip_hi;
     }
@@ -339,6 +447,8 @@ pub struct ReadService<'a> {
     readahead_window: u64,
     state: Option<&'a ReadState>,
     failed_nodes: Option<&'a HashSet<usize>>,
+    metrics: Option<&'a JobMetrics>,
+    corrupt_queue: Option<&'a CorruptQueue>,
 }
 
 impl<'a> ReadService<'a> {
@@ -359,7 +469,23 @@ impl<'a> ReadService<'a> {
             readahead_window: 0,
             state: None,
             failed_nodes: None,
+            metrics: None,
+            corrupt_queue: None,
         }
+    }
+
+    /// Attach the integrity plane: verify failures are counted on
+    /// `metrics` and bad copies enqueued on `queue` for online repair.
+    /// Verification itself is driven by the per-record stamps
+    /// ([`SegmentRecord::checksum`]); unstamped records skip it.
+    pub(crate) fn with_integrity(
+        mut self,
+        metrics: Option<&'a JobMetrics>,
+        queue: Option<&'a CorruptQueue>,
+    ) -> Self {
+        self.metrics = metrics;
+        self.corrupt_queue = queue;
+        self
     }
 
     /// Toggle the location-aware path (§II-B4). The naive path performs
@@ -432,6 +558,17 @@ impl<'a> ReadService<'a> {
 
         let mut parts = Vec::with_capacity(fetched.len());
         for (fragment, (payload, tier)) in fragments.iter().zip(fetched) {
+            let (payload, tier) = finish_fragment(
+                fragment,
+                payload,
+                tier,
+                &mut |alt_client, alt_va, alt_len| {
+                    locks.chain += 1;
+                    self.chains.read_at(alt_client, alt_va, alt_len)
+                },
+                self.metrics,
+                self.corrupt_queue,
+            )?;
             self.classify(fragment, tier, my_node, &mut trace);
             parts.push(payload);
         }
@@ -548,7 +685,8 @@ impl<'a> ReadService<'a> {
     ) -> SimResult<Vec<(Payload, Tier)>> {
         let mut fetched = Vec::with_capacity(fragments.len());
         for f in fragments {
-            fetched.push(self.chains.read_at(f.source, f.va, f.len)?);
+            let (va, len) = fetch_span(f);
+            fetched.push(self.chains.read_at(f.source, va, len)?);
             locks.chain += 1;
         }
         Ok(fetched)
@@ -583,8 +721,7 @@ impl<'a> ReadService<'a> {
         }
         if let [(source, _)] = groups[..] {
             // Single producer: the plan order is already the group order.
-            let requests: Vec<(VirtualAddr, u64)> =
-                fragments.iter().map(|f| (f.va, f.len)).collect();
+            let requests: Vec<(VirtualAddr, u64)> = fragments.iter().map(fetch_span).collect();
             let fetched = self.chains.read_at_many(source, &requests)?;
             locks.chain += 1;
             return Ok(fetched);
@@ -601,7 +738,7 @@ impl<'a> ReadService<'a> {
         for (f, &g) in fragments.iter().zip(&group_of) {
             let s = next[g as usize];
             next[g as usize] = s + 1;
-            requests[s as usize] = (f.va, f.len);
+            requests[s as usize] = fetch_span(f);
             slot.push(s);
         }
         // One shared chain-lock acquisition per producer group.

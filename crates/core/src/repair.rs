@@ -65,7 +65,8 @@ impl RepairReport {
 /// (chunk-split sub-appends, like the promotion path), returning its VA.
 /// A fragmented or cross-layer copy is rolled back and reported as `None`
 /// — the record must stay describable by a single `(client, va)` pair.
-fn place_copy(
+/// Shared with the scrubber's corrupt-copy repair.
+pub(crate) fn place_copy(
     chains: &ChainSet,
     target: ClientId,
     payload: &Payload,
@@ -153,6 +154,21 @@ pub fn repair_file(
             continue;
         };
 
+        // Verify the surviving copy before replicating it: propagating a
+        // silently corrupted source would mint two bad copies with a valid
+        // looking record. The other copy lives on the failed node, so a
+        // corrupt survivor has no fallback — leave the record degraded for
+        // the scrubber/read path to report instead of spreading rot.
+        if let Some(sum) = rec.checksum {
+            if payload.content_checksum() != sum {
+                if let Some(m) = metrics {
+                    m.record_verify_failure("repair");
+                }
+                report.remaining_degraded += 1;
+                continue;
+            }
+        }
+
         // Place a fresh copy on a healthy buddy of the surviving owner.
         // No healthy buddy (single node, or everything else failed) means
         // the record stays un-mirrored but readable.
@@ -173,6 +189,9 @@ pub fn repair_file(
                 va: src_va,
                 len: rec.len,
                 replica: fresh,
+                // The verified survivor carries the same bytes, so the
+                // write-commit stamp stays valid across the promotion.
+                checksum: rec.checksum,
             }
         } else {
             // Primary healthy, replica lost: keep the primary span, point
@@ -274,6 +293,7 @@ mod tests {
             va: p.va,
             len: 128,
             replica: Some((buddy, r.va)),
+            checksum: None,
         };
         metadata.insert(key, rec, 0);
         (key, rec)

@@ -441,6 +441,8 @@ struct Worker {
     /// router so checkouts keep one coherent counter set.
     generations: Arc<RwLock<HashMap<u64, u64>>>,
     injector: Option<Arc<FaultInjector>>,
+    /// Whether the integrity plane stamps checksums on fused commits.
+    integrity: bool,
     /// Retry budget for the fused write's in-handler retry loops.
     retry: RetryPolicy,
     /// The job panel, for retry accounting and per-segment metrics on the
@@ -657,6 +659,13 @@ impl Worker {
                 }
             }
         }
+        // Corruption registration once the batch has stuck, mirroring
+        // `ChainSet::append_many` — rolled-back pieces never existed.
+        if let Some(inj) = &injector {
+            for p in &placed {
+                inj.on_append(client, p.va, p.len, p.tier);
+            }
+        }
         if account {
             for p in &placed {
                 *self.bytes.entry((client, p.tier)).or_insert(0) += p.len;
@@ -695,6 +704,11 @@ impl Worker {
         let range = self.partitioner.range_size;
         let mut records: Vec<(u64, SegmentRecord)> = Vec::with_capacity(pieces.len());
         let mut tail_layer = 0usize;
+        // Checksum stamping rides the coalescing loop: a running
+        // checksum state per tail record absorbs each merged piece, so
+        // the stamp covers the record's full (post-merge) payload span
+        // without re-walking it.
+        let mut tail_sum = univistor_sim::Checksum::new();
         for (i, p) in placed.iter().enumerate() {
             let (off, plen) = pieces[i];
             jm.record_segment(p.tier, p.layer, plen);
@@ -704,10 +718,20 @@ impl Worker {
                     && last.len + plen <= range
                 {
                     last.len += plen;
+                    if self.integrity {
+                        payloads[i].absorb_to(&mut tail_sum);
+                        last.checksum = Some(tail_sum.finalize());
+                    }
                     continue;
                 }
             }
-            records.push((off, SegmentRecord::new(client, p.va, plen)));
+            let mut record = SegmentRecord::new(client, p.va, plen);
+            if self.integrity {
+                tail_sum = univistor_sim::Checksum::new();
+                payloads[i].absorb_to(&mut tail_sum);
+                record.checksum = Some(tail_sum.finalize());
+            }
+            records.push((off, record));
             tail_layer = p.layer;
         }
         for &(off, record) in &records {
@@ -1035,6 +1059,10 @@ impl Worker {
                 let payload = chain.read(va, len)?;
                 let tier = chain.tier_of(va);
                 inject(&self.injector, "chain_read", Some(tier))?;
+                let payload = match &self.injector {
+                    Some(inj) => inj.corrupt_read(client, va, payload),
+                    None => payload,
+                };
                 Ok((payload, tier))
             })
             .collect()
@@ -1197,6 +1225,7 @@ impl PartitionedCore {
                 procs_per_node: cfg.geometry.procs_per_node.max(1),
                 generations: Arc::clone(&generations),
                 injector: injector.clone(),
+                integrity: cfg.integrity.checksums,
                 retry: cfg.retry,
                 job_metrics: Arc::clone(metrics),
                 metrics: handles.clone(),

@@ -1,0 +1,651 @@
+//! Background integrity scrubber: walk the metadata index, verify every
+//! stamped copy against its write-commit checksum, and repair corrupt
+//! copies online — the proactive half of the end-to-end integrity plane
+//! (the reactive half lives in the read path, which reroutes around a bad
+//! copy and enqueues it here).
+//!
+//! The scrubber is structured like the tiering engine: a pass is a
+//! budgeted, per-node unit of work ([`scrub_pass`]) that any caller can
+//! drive synchronously ([`ScrubHandle::scrub_now`]), and
+//! [`ScrubDaemon`] runs one actor thread per node that ticks passes in
+//! the background. The daemon is config-gated
+//! ([`ScrubConfig::enabled`], default **off**) and spawns no threads at
+//! all when disabled, so the default job pays nothing for it.
+//!
+//! A pass does two things, in order:
+//!
+//! 1. **Targeted repairs** — drain the job's [`CorruptQueue`] of the bad
+//!    copies readers reported (this node's share: entries whose corrupt
+//!    copy lives on a chain owned by this node's ranks), re-verify each
+//!    against the current index entry (the report may be stale — the
+//!    record can have been overwritten, migrated, or already repaired),
+//!    and rebuild the ones still bad.
+//! 2. **Index walk** — resume the node's cursor over `(fid, offset)`
+//!    space, verify up to [`ScrubConfig::max_segments_per_pass`] of this
+//!    node's records (both copies when replicated), repair what fails,
+//!    and opportunistically stamp unstamped records whose content is
+//!    unambiguous.
+//!
+//! Repair follows the online-repair discipline ([`crate::repair`]): read
+//! the clean copy, re-verify it against the stamp, append a fresh span on
+//! the bad copy's own chain ([`place_copy`] — one contiguous same-layer
+//! span), swap the index entry with `replace_if_current`, and release the
+//! bad span only after the swap lands. A record overwritten mid-repair
+//! wins the race; the fresh span is rolled back. Appending through the
+//! chain clears any injected corruption registered over the new span
+//! (`FaultInjector::on_append`), so the repaired copy is genuinely clean.
+//!
+//! Lock order matches the data path: at most one chain lock at a time,
+//! index shard locks strictly between chain acquisitions.
+//!
+//! [`ScrubConfig::enabled`]: crate::config::ScrubConfig
+//! [`ScrubConfig::max_segments_per_pass`]: crate::config::ScrubConfig
+
+use crate::config::UniviStorConfig;
+use crate::fault::with_retries;
+use crate::metadata::{ClientId, MetadataService, SegKey, SegmentRecord};
+use crate::metrics::JobMetrics;
+use crate::placement::ChainSet;
+use crate::repair::place_copy;
+use crate::server::UniviStorJob;
+use crate::va::VirtualAddr;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use univistor_sim::{Payload, SimResult};
+
+/// One bad copy a reader (or flush) detected: the record's key and the
+/// exact `(client, va)` span that failed its verify. The scrubber treats
+/// this as a hint, not a fact — it re-verifies against the live index
+/// before touching anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorruptReport {
+    /// Metadata key of the record whose copy failed.
+    pub key: SegKey,
+    /// Owner of the corrupt span.
+    pub client: ClientId,
+    /// Record-base VA of the corrupt span.
+    pub va: VirtualAddr,
+    /// Full record length.
+    pub len: u64,
+}
+
+/// The job-level queue of reader-reported bad copies, drained by scrub
+/// passes. The data path touches it only on a verify *failure*, so a
+/// plain mutex'd vec is plenty; `len` is mirrored in an atomic so
+/// telemetry probes never take the lock.
+#[derive(Debug, Default)]
+pub struct CorruptQueue {
+    reports: Mutex<Vec<CorruptReport>>,
+    pending: AtomicUsize,
+}
+
+impl CorruptQueue {
+    /// Enqueue a report, deduplicating exact repeats (the same bad copy
+    /// is typically hit by every read of its record until repaired).
+    pub fn push(&self, report: CorruptReport) {
+        let mut reports = self.reports.lock().expect("corrupt queue poisoned");
+        if !reports.contains(&report) {
+            reports.push(report);
+            self.pending.store(reports.len(), Ordering::Release);
+        }
+    }
+
+    /// Remove and return every report whose corrupt copy `pred` claims
+    /// (per-node draining: each scrub actor takes only its own share).
+    pub fn drain_matching(&self, pred: impl Fn(&CorruptReport) -> bool) -> Vec<CorruptReport> {
+        let mut reports = self.reports.lock().expect("corrupt queue poisoned");
+        let mut mine = Vec::new();
+        reports.retain(|r| {
+            if pred(r) {
+                mine.push(*r);
+                false
+            } else {
+                true
+            }
+        });
+        self.pending.store(reports.len(), Ordering::Release);
+        mine
+    }
+
+    /// Reports waiting for repair (lock-free).
+    pub fn len(&self) -> usize {
+        self.pending.load(Ordering::Acquire)
+    }
+
+    /// Whether no reports are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Outcome of one scrub pass (or an aggregation of passes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Index records this pass examined in its walk.
+    pub scanned_records: u64,
+    /// Copies that failed their checksum verify (walk and queue drain).
+    pub corrupt_copies: u64,
+    /// Corrupt copies rebuilt from a verified clean copy.
+    pub repaired_copies: u64,
+    /// Corrupt copies left in place: no healthy verified source, no room
+    /// for the fresh span, or the repair lost a race to an overwrite.
+    pub unrepaired_copies: u64,
+    /// Unstamped records stamped from unambiguous content.
+    pub restamped_records: u64,
+    /// Reader reports drained from the queue by this pass.
+    pub queued_reports: u64,
+    /// True when the pass found another pass for the same node running
+    /// and did nothing.
+    pub skipped: bool,
+}
+
+impl ScrubReport {
+    /// Fold another pass into this one. `skipped` ANDs: an aggregate
+    /// counts as skipped only when every pass was.
+    pub fn absorb(&mut self, other: &ScrubReport) {
+        self.scanned_records += other.scanned_records;
+        self.corrupt_copies += other.corrupt_copies;
+        self.repaired_copies += other.repaired_copies;
+        self.unrepaired_copies += other.unrepaired_copies;
+        self.restamped_records += other.restamped_records;
+        self.queued_reports += other.queued_reports;
+        self.skipped &= other.skipped;
+    }
+}
+
+/// Shared scrub engine state on the job: per-node walk cursors, per-node
+/// pass gates, and the lifetime pass counter.
+#[derive(Debug, Default)]
+pub(crate) struct ScrubState {
+    /// node → next `(fid, offset)` to examine; absent means start over.
+    cursors: Mutex<HashMap<usize, (u64, u64)>>,
+    /// One gate per node: a pass `try_lock`s it and reports `skipped`
+    /// when another pass for the same node is already running.
+    gates: Mutex<HashMap<usize, Arc<Mutex<()>>>>,
+    pub(crate) passes: AtomicU64,
+}
+
+impl ScrubState {
+    fn node_gate(&self, node: usize) -> Arc<Mutex<()>> {
+        Arc::clone(
+            self.gates
+                .lock()
+                .expect("scrub gates poisoned")
+                .entry(node)
+                .or_default(),
+        )
+    }
+
+    fn cursor(&self, node: usize) -> (u64, u64) {
+        *self
+            .cursors
+            .lock()
+            .expect("scrub cursors poisoned")
+            .get(&node)
+            .unwrap_or(&(0, 0))
+    }
+
+    fn set_cursor(&self, node: usize, cursor: (u64, u64)) {
+        self.cursors
+            .lock()
+            .expect("scrub cursors poisoned")
+            .insert(node, cursor);
+    }
+}
+
+/// Everything one pass needs, borrowed from the job (checkout-safe: only
+/// assembled-core structures and job-level shared state).
+pub(crate) struct ScrubCtx<'a> {
+    pub cfg: &'a UniviStorConfig,
+    pub metadata: &'a MetadataService,
+    pub chains: &'a ChainSet,
+    pub metrics: &'a JobMetrics,
+    pub state: &'a ScrubState,
+    pub queue: &'a CorruptQueue,
+    /// `(fid, size)` of every written file — the walk's work list.
+    pub files: Vec<(u64, u64)>,
+    /// Nodes currently failed: their copies are the repair module's
+    /// problem (the spans are *gone*, not corrupt), so the scrubber
+    /// neither reads nor repairs them.
+    pub failed: HashSet<usize>,
+}
+
+impl ScrubCtx<'_> {
+    fn node_of(&self, c: ClientId) -> usize {
+        self.cfg.geometry.node_of_rank(c.rank as usize)
+    }
+
+    fn node_failed(&self, c: ClientId) -> bool {
+        self.failed.contains(&self.node_of(c))
+    }
+
+    /// Read the full span of one copy through the fault-aware chain path
+    /// (transient faults retried; injected corruption applied — that is
+    /// the point).
+    fn read_copy(&self, client: ClientId, va: VirtualAddr, len: u64) -> SimResult<Payload> {
+        let (payload, _) = with_retries(&self.cfg.retry, Some(self.metrics), || {
+            self.chains.read_at(client, va, len)
+        })?;
+        Ok(payload)
+    }
+}
+
+/// Which of a record's two copies a repair targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CopySel {
+    Primary,
+    Replica,
+}
+
+/// Rebuild one corrupt copy of `rec` from the other, verified copy. The
+/// fresh span lands on the bad copy's own chain, so placement and
+/// locality are unchanged; the index entry is swapped under
+/// `replace_if_current` and the bad span released only after the swap.
+fn repair_copy(
+    ctx: &ScrubCtx<'_>,
+    key: SegKey,
+    rec: SegmentRecord,
+    bad: CopySel,
+    sum: u64,
+    report: &mut ScrubReport,
+) -> SimResult<()> {
+    let source = match bad {
+        CopySel::Primary => rec.replica,
+        CopySel::Replica => Some((rec.client, rec.va)),
+    };
+    let Some((src_client, src_va)) = source.filter(|&(c, _)| !ctx.node_failed(c)) else {
+        report.unrepaired_copies += 1;
+        return Ok(());
+    };
+    let Ok(payload) = ctx.read_copy(src_client, src_va, rec.len) else {
+        report.unrepaired_copies += 1;
+        return Ok(());
+    };
+    if payload.content_checksum() != sum {
+        // The would-be source is corrupt too: both copies bad, nothing
+        // clean to rebuild from. Count the second copy's failure — the
+        // caller only verified the first.
+        ctx.metrics.record_verify_failure("scrub");
+        report.corrupt_copies += 1;
+        report.unrepaired_copies += 1;
+        return Ok(());
+    }
+    let (bad_client, bad_va) = match bad {
+        CopySel::Primary => (rec.client, rec.va),
+        CopySel::Replica => rec.replica.expect("replica verified corrupt"),
+    };
+    let Some(new_va) = place_copy(
+        ctx.chains,
+        bad_client,
+        &payload,
+        rec.len,
+        ctx.cfg.chunk_size,
+        &ctx.cfg.retry,
+        Some(ctx.metrics),
+    )?
+    else {
+        // No room for one contiguous fresh span: the record stays
+        // readable through its clean copy; a later pass retries.
+        report.unrepaired_copies += 1;
+        return Ok(());
+    };
+    let new_rec = match bad {
+        CopySel::Primary => SegmentRecord { va: new_va, ..rec },
+        CopySel::Replica => SegmentRecord {
+            replica: Some((bad_client, new_va)),
+            ..rec
+        },
+    };
+    let producer_node = ctx.node_of(new_rec.client);
+    if ctx
+        .metadata
+        .replace_if_current(key, &rec, new_rec, producer_node)
+        .1
+    {
+        ctx.chains.release(bad_client, bad_va, rec.len);
+        ctx.metrics.record_scrub_repair();
+        report.repaired_copies += 1;
+    } else {
+        // Lost the race to an overwrite: the new data already has a
+        // fresh record; drop our copy.
+        ctx.chains.release(bad_client, new_va, rec.len);
+        report.unrepaired_copies += 1;
+    }
+    Ok(())
+}
+
+/// Verify both copies of one stamped record, repairing whichever fails.
+fn verify_record(
+    ctx: &ScrubCtx<'_>,
+    key: SegKey,
+    rec: SegmentRecord,
+    report: &mut ScrubReport,
+) -> SimResult<()> {
+    let Some(sum) = rec.checksum else {
+        return restamp_record(ctx, key, rec, report);
+    };
+    if !ctx.node_failed(rec.client) {
+        if let Ok(payload) = ctx.read_copy(rec.client, rec.va, rec.len) {
+            if payload.content_checksum() != sum {
+                ctx.metrics.record_verify_failure("scrub");
+                report.corrupt_copies += 1;
+                repair_copy(ctx, key, rec, CopySel::Primary, sum, report)?;
+                // The record may have been swapped by the repair; the
+                // replica (unchanged by a primary repair) is still worth
+                // checking below against the original coordinates.
+            }
+        }
+    }
+    if let Some((rc, rva)) = rec.replica {
+        if !ctx.node_failed(rc) {
+            if let Ok(payload) = ctx.read_copy(rc, rva, rec.len) {
+                if payload.content_checksum() != sum {
+                    ctx.metrics.record_verify_failure("scrub");
+                    report.corrupt_copies += 1;
+                    // Re-read the live record: a primary repair above
+                    // replaced the index entry, and the replica swap must
+                    // CAS against the *current* one.
+                    let (_, Some(current)) = ctx.metadata.get(&key) else {
+                        report.unrepaired_copies += 1;
+                        return Ok(());
+                    };
+                    if current.replica == rec.replica && current.checksum == Some(sum) {
+                        repair_copy(ctx, key, current, CopySel::Replica, sum, report)?;
+                    } else {
+                        report.unrepaired_copies += 1;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Stamp an unstamped record (pre-integrity data, or an overwrite
+/// fragment committed without a sub-span hash) so future reads and
+/// passes can verify it. Only unambiguous content is stamped: a single
+/// copy's bytes are by definition the record's content, and a
+/// replicated record is stamped only when both copies hash identically —
+/// disagreeing copies mean one is already rotten and stamping either
+/// would launder the corruption.
+fn restamp_record(
+    ctx: &ScrubCtx<'_>,
+    key: SegKey,
+    rec: SegmentRecord,
+    report: &mut ScrubReport,
+) -> SimResult<()> {
+    if !ctx.cfg.integrity.checksums || ctx.node_failed(rec.client) {
+        return Ok(());
+    }
+    let Ok(payload) = ctx.read_copy(rec.client, rec.va, rec.len) else {
+        return Ok(());
+    };
+    let sum = payload.content_checksum();
+    if let Some((rc, rva)) = rec.replica {
+        if ctx.node_failed(rc) {
+            // Cannot compare against the lost copy; leave it for repair.
+            return Ok(());
+        }
+        let Ok(mirror) = ctx.read_copy(rc, rva, rec.len) else {
+            return Ok(());
+        };
+        if mirror.content_checksum() != sum {
+            ctx.metrics.record_verify_failure("scrub");
+            report.corrupt_copies += 1;
+            report.unrepaired_copies += 1;
+            return Ok(());
+        }
+    }
+    let new_rec = SegmentRecord {
+        checksum: Some(sum),
+        ..rec
+    };
+    let producer_node = ctx.node_of(rec.client);
+    if ctx
+        .metadata
+        .replace_if_current(key, &rec, new_rec, producer_node)
+        .1
+    {
+        report.restamped_records += 1;
+    }
+    Ok(())
+}
+
+/// Run one scrub pass for `node`: drain this node's share of the corrupt
+/// queue, then walk up to `max_segments_per_pass` of this node's records
+/// from the resumable cursor. Returns a skipped report when a pass for
+/// the same node is already running.
+pub(crate) fn run_scrub_pass(ctx: &ScrubCtx<'_>, node: usize) -> SimResult<ScrubReport> {
+    let mut report = ScrubReport::default();
+    let gate = ctx.state.node_gate(node);
+    let Ok(_node_gate) = gate.try_lock() else {
+        report.skipped = true;
+        return Ok(report);
+    };
+    ctx.state.passes.fetch_add(1, Ordering::Relaxed);
+
+    // Phase 1: targeted repairs of reader-reported bad copies owned by
+    // this node's ranks.
+    let mine = ctx.queue.drain_matching(|r| ctx.node_of(r.client) == node);
+    for hint in mine {
+        report.queued_reports += 1;
+        // Re-verify against the live index: the record may have been
+        // overwritten, migrated, or repaired since the report.
+        let (_, Some(rec)) = ctx.metadata.get(&hint.key) else {
+            continue;
+        };
+        let Some(sum) = rec.checksum else { continue };
+        let bad = if (rec.client, rec.va) == (hint.client, hint.va) {
+            CopySel::Primary
+        } else if rec.replica == Some((hint.client, hint.va)) {
+            CopySel::Replica
+        } else {
+            continue; // stale: the span the reader saw is gone
+        };
+        if ctx.node_failed(hint.client) {
+            continue; // node loss superseded the corruption
+        }
+        // Still corrupt? (A concurrent repair may have fixed it, or the
+        // read may fail transiently — retry on a later pass.)
+        let Ok(payload) = ctx.read_copy(hint.client, hint.va, rec.len) else {
+            ctx.queue.push(hint);
+            continue;
+        };
+        if payload.content_checksum() == sum {
+            continue;
+        }
+        report.corrupt_copies += 1;
+        repair_copy(ctx, hint.key, rec, bad, sum, &mut report)?;
+    }
+
+    // Phase 2: resumable index walk over this node's records.
+    let mut budget = ctx.cfg.integrity.scrub.max_segments_per_pass;
+    let mut files = ctx.files.clone();
+    files.sort_unstable();
+    let (cur_fid, cur_off) = ctx.state.cursor(node);
+    let mut next_cursor: Option<(u64, u64)> = None;
+    'walk: for &(fid, size) in files.iter().filter(|&&(fid, _)| fid >= cur_fid) {
+        if size == 0 {
+            continue;
+        }
+        let start = if fid == cur_fid { cur_off } else { 0 };
+        if start >= size {
+            continue;
+        }
+        let (_, records) = ctx.metadata.lookup_range(fid, start, size);
+        for (key, rec) in records {
+            if ctx.node_of(rec.client) != node {
+                continue;
+            }
+            if budget == 0 {
+                next_cursor = Some((fid, key.offset));
+                break 'walk;
+            }
+            budget -= 1;
+            report.scanned_records += 1;
+            verify_record(ctx, key, rec, &mut report)?;
+        }
+    }
+    // Budget exhausted mid-walk resumes there next pass; a completed
+    // sweep wraps around to the start.
+    ctx.state.set_cursor(node, next_cursor.unwrap_or((0, 0)));
+    ctx.metrics.record_scrub_segments(report.scanned_records);
+    Ok(report)
+}
+
+/// The scrub control surface, from [`UniviStorJob::scrub`]: run passes
+/// synchronously and inspect the repair backlog.
+pub struct ScrubHandle<'a> {
+    job: &'a UniviStorJob,
+}
+
+impl<'a> ScrubHandle<'a> {
+    pub(crate) fn new(job: &'a UniviStorJob) -> Self {
+        ScrubHandle { job }
+    }
+
+    /// Run one scrub pass on every node right now, aggregating the
+    /// reports. Works whether or not the background daemon is enabled.
+    pub fn scrub_now(&self) -> crate::error::Result<ScrubReport> {
+        let mut total = ScrubReport {
+            skipped: true,
+            ..ScrubReport::default()
+        };
+        for node in 0..self.job.cfg().geometry.nodes {
+            total.absorb(&self.job.scrub_pass(node)?);
+        }
+        Ok(total)
+    }
+
+    /// Reader-reported bad copies waiting for repair.
+    pub fn pending_repairs(&self) -> usize {
+        self.job.corrupt_queue().len()
+    }
+
+    /// Lifetime scrub passes run (synchronous and daemon).
+    pub fn passes(&self) -> u64 {
+        self.job.scrub_state().passes.load(Ordering::Relaxed)
+    }
+}
+
+/// The background scrubber: one OS thread per node, each running a scrub
+/// pass every [`ScrubConfig::interval_ms`] until stopped or dropped.
+/// With scrubbing disabled in the job's config, `spawn` starts no
+/// threads at all.
+///
+/// [`ScrubConfig::interval_ms`]: crate::config::ScrubConfig
+#[derive(Debug)]
+pub struct ScrubDaemon {
+    stop: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ScrubDaemon {
+    /// Start the per-node actors for `job`.
+    pub fn spawn(job: Arc<UniviStorJob>) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::new();
+        if job.cfg().integrity.scrub.enabled {
+            for node in 0..job.cfg().geometry.nodes {
+                let job = Arc::clone(&job);
+                let stop = Arc::clone(&stop);
+                threads.push(std::thread::spawn(move || {
+                    let interval = Duration::from_millis(job.cfg().integrity.scrub.interval_ms);
+                    while !stop.load(Ordering::Acquire) {
+                        // Pass errors are not fatal to the daemon: the
+                        // next tick retries from fresh state.
+                        let _ = job.scrub_pass(node);
+                        std::thread::park_timeout(interval);
+                    }
+                }));
+            }
+        }
+        ScrubDaemon { stop, threads }
+    }
+
+    /// Number of actor threads running (0 when scrubbing is disabled).
+    pub fn actors(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Signal all actors and wait for them to exit.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        for t in self.threads.drain(..) {
+            t.thread().unpark();
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ScrubDaemon {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corrupt_queue_dedups_and_drains_by_owner() {
+        let q = CorruptQueue::default();
+        let report = |rank: u32| CorruptReport {
+            key: SegKey { fid: 1, offset: 0 },
+            client: ClientId::new(0, rank),
+            va: VirtualAddr(0),
+            len: 64,
+        };
+        q.push(report(0));
+        q.push(report(0)); // exact repeat: deduplicated
+        q.push(report(1));
+        assert_eq!(q.len(), 2);
+        let mine = q.drain_matching(|r| r.client.rank == 0);
+        assert_eq!(mine.len(), 1);
+        assert_eq!(q.len(), 1, "other owner's report stays queued");
+        assert!(!q.is_empty());
+        let rest = q.drain_matching(|_| true);
+        assert_eq!(rest.len(), 1);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn scrub_report_absorb_sums_and_ands_skipped() {
+        let mut total = ScrubReport {
+            skipped: true,
+            ..ScrubReport::default()
+        };
+        total.absorb(&ScrubReport {
+            scanned_records: 3,
+            corrupt_copies: 1,
+            repaired_copies: 1,
+            skipped: true,
+            ..ScrubReport::default()
+        });
+        assert!(total.skipped, "all skipped so far");
+        total.absorb(&ScrubReport {
+            scanned_records: 2,
+            skipped: false,
+            ..ScrubReport::default()
+        });
+        assert_eq!(total.scanned_records, 5);
+        assert_eq!(total.repaired_copies, 1);
+        assert!(!total.skipped, "one real pass makes the aggregate real");
+    }
+
+    #[test]
+    fn cursor_state_round_trips_and_defaults_to_origin() {
+        let state = ScrubState::default();
+        assert_eq!(state.cursor(0), (0, 0));
+        state.set_cursor(0, (7, 4096));
+        assert_eq!(state.cursor(0), (7, 4096));
+        assert_eq!(state.cursor(1), (0, 0), "cursors are per node");
+    }
+}

@@ -45,10 +45,12 @@ use crate::metadata::{ClientId, MetadataService, SegKey, SegmentRecord};
 use crate::metrics::{JobMetrics, ScalarValues, WriteLockCounts};
 use crate::placement::{healthy_buddy, layer_caps_with_node_local, ChainSet, ProcChain};
 use crate::read::{
-    classify_fragment, plan_fragments, ReadLockCounts, ReadService, ReadState, ReadTrace,
+    classify_fragment, fetch_span, finish_fragment, plan_fragments, ReadLockCounts, ReadService,
+    ReadState, ReadTrace,
 };
 use crate::repair::{repair_file, RepairReport};
 use crate::runtime::{LockedCore, PartitionedCore};
+use crate::scrub::{run_scrub_pass, CorruptQueue, ScrubCtx, ScrubHandle, ScrubReport, ScrubState};
 use crate::tiering::{
     run_pass, PassCtx, PassOptions, TieringHandle, TieringPassReport, TieringState,
 };
@@ -182,6 +184,11 @@ pub struct UniviStorJob {
     /// lifetime counters). With tiering disabled the write path pays one
     /// relaxed atomic load against it.
     tiering: TieringState,
+    /// Reader-reported corrupt copies awaiting online repair. Touched by
+    /// the data path only on a verify *failure*.
+    corrupt_queue: CorruptQueue,
+    /// Background scrubber state (per-node cursors and pass gates).
+    scrub: ScrubState,
 }
 
 /// Builder for one open call, created by [`UniviStorJob::open_file`].
@@ -254,8 +261,19 @@ impl<'a> OpenRequest<'a> {
 
 impl UniviStorJob {
     /// Launch the service for a job with the given configuration.
+    ///
+    /// Panics when the configuration fails [`UniviStorConfig::validate`];
+    /// use [`try_new`](Self::try_new) to receive the typed error instead.
     pub fn new(cfg: UniviStorConfig) -> Self {
         Self::with_metrics(cfg, Arc::new(JobMetrics::new()))
+    }
+
+    /// Launch the service after validating the configuration, rejecting
+    /// out-of-range probabilities, inverted watermarks, a zero mailbox
+    /// depth, or a zero-attempt retry policy with a typed error.
+    pub fn try_new(cfg: UniviStorConfig) -> Result<Self> {
+        cfg.validate().map_err(|e| Error::new("config", e))?;
+        Ok(Self::with_metrics(cfg, Arc::new(JobMetrics::new())))
     }
 
     /// Launch the service reporting into an existing metrics panel.
@@ -264,6 +282,9 @@ impl UniviStorJob {
     /// counters, so sharing one panel across concurrently *measured* jobs
     /// mixes their stats; share only for passive fleet-wide aggregation.
     pub fn with_metrics(cfg: UniviStorConfig, metrics: Arc<JobMetrics>) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid UniviStorConfig: {e}");
+        }
         let lustre = Lustre::new(cfg.cal.ost_count);
         let stats_base = metrics.scalars();
         let injector = cfg
@@ -321,6 +342,8 @@ impl UniviStorJob {
             metrics,
             injector,
             tiering: TieringState::default(),
+            corrupt_queue: CorruptQueue::default(),
+            scrub: ScrubState::default(),
         }
     }
 
@@ -603,6 +626,9 @@ impl UniviStorJob {
             // landed on volatile layers into a buddy process's chain on
             // the next (healthy) node, so a node failure loses no data.
             let mut record = SegmentRecord::new(client, placed.va, piece_len);
+            if self.cfg.integrity.checksums {
+                record.checksum = Some(piece.content_checksum());
+            }
             if self.cfg.replicate_volatile && placed.tier != Tier::Pfs {
                 if let Some(buddy) = self.replica_buddy(client) {
                     self.ensure_chain(buddy)?;
@@ -726,9 +752,14 @@ impl UniviStorJob {
         // stay correct. Layer equality matters because a VA seam between
         // two layers can also be address-adjacent.
         let range = self.cfg.metadata_range_size;
+        let integrity = self.cfg.integrity.checksums;
         let mut records: Vec<(u64, SegmentRecord)> = Vec::with_capacity(pieces.len());
         let mut tail_layer = 0usize;
         let mut tail_replica_layer = 0usize;
+        // Running checksum state of the record currently being
+        // coalesced, so the write-commit stamp streams through the same
+        // loop instead of re-walking the merged payloads afterwards.
+        let mut tail_sum = univistor_sim::Checksum::new();
         for (i, p) in placed.iter().enumerate() {
             let (off, plen) = pieces[i];
             self.metrics.record_segment(p.tier, p.layer, plen);
@@ -746,18 +777,26 @@ impl UniviStorJob {
                     && last.len + plen <= range
                 {
                     last.len += plen;
+                    if integrity {
+                        payloads[i].absorb_to(&mut tail_sum);
+                        last.checksum = Some(tail_sum.finalize());
+                    }
                     continue;
                 }
             }
-            records.push((
-                off,
-                SegmentRecord {
-                    client,
-                    va: p.va,
-                    len: plen,
-                    replica: replicas[i].map(|(c, va, _)| (c, va)),
-                },
-            ));
+            let mut record = SegmentRecord {
+                client,
+                va: p.va,
+                len: plen,
+                replica: replicas[i].map(|(c, va, _)| (c, va)),
+                checksum: None,
+            };
+            if integrity {
+                tail_sum = univistor_sim::Checksum::new();
+                payloads[i].absorb_to(&mut tail_sum);
+                record.checksum = Some(tail_sum.finalize());
+            }
+            records.push((off, record));
             tail_layer = p.layer;
             tail_replica_layer = replicas[i].map(|(_, _, l)| l).unwrap_or(0);
         }
@@ -883,9 +922,14 @@ impl UniviStorJob {
         // same-layer VA-adjacent pieces with lined-up replicas merge, each
         // record capped at the metadata range size.
         let range = self.cfg.metadata_range_size;
+        let integrity = self.cfg.integrity.checksums;
         let mut records: Vec<(u64, SegmentRecord)> = Vec::with_capacity(pieces.len());
         let mut tail_layer = 0usize;
         let mut tail_replica_layer = 0usize;
+        // Running checksum state of the record currently being
+        // coalesced, so the write-commit stamp streams through the same
+        // loop instead of re-walking the merged payloads afterwards.
+        let mut tail_sum = univistor_sim::Checksum::new();
         for (i, p) in placed.iter().enumerate() {
             let (off, plen) = pieces[i];
             self.metrics.record_segment(p.tier, p.layer, plen);
@@ -903,18 +947,26 @@ impl UniviStorJob {
                     && last.len + plen <= range
                 {
                     last.len += plen;
+                    if integrity {
+                        payloads[i].absorb_to(&mut tail_sum);
+                        last.checksum = Some(tail_sum.finalize());
+                    }
                     continue;
                 }
             }
-            records.push((
-                off,
-                SegmentRecord {
-                    client,
-                    va: p.va,
-                    len: plen,
-                    replica: replicas[i].map(|(c, va, _)| (c, va)),
-                },
-            ));
+            let mut record = SegmentRecord {
+                client,
+                va: p.va,
+                len: plen,
+                replica: replicas[i].map(|(c, va, _)| (c, va)),
+                checksum: None,
+            };
+            if integrity {
+                tail_sum = univistor_sim::Checksum::new();
+                payloads[i].absorb_to(&mut tail_sum);
+                record.checksum = Some(tail_sum.finalize());
+            }
+            records.push((off, record));
             tail_layer = p.layer;
             tail_replica_layer = replicas[i].map(|(_, _, l)| l).unwrap_or(0);
         }
@@ -1012,6 +1064,7 @@ impl UniviStorJob {
                         .readahead(self.cfg.readahead_min_streak, self.cfg.readahead_window)
                         .with_state(&self.read_state)
                         .with_failed_nodes(failed)
+                        .with_integrity(Some(&self.metrics), Some(&self.corrupt_queue))
                         .read(client, fid, offset, len)
                 })?;
                 self.metrics.record_read_trace(&out.trace);
@@ -1145,10 +1198,8 @@ impl UniviStorJob {
         }
         let mut fetched: Vec<Option<(Payload, Tier)>> = (0..n).map(|_| None).collect();
         for (source, idxs) in &groups {
-            let requests: Vec<(VirtualAddr, u64)> = idxs
-                .iter()
-                .map(|&i| (fragments[i].va, fragments[i].len))
-                .collect();
+            let requests: Vec<(VirtualAddr, u64)> =
+                idxs.iter().map(|&i| fetch_span(&fragments[i])).collect();
             for (&i, got) in idxs.iter().zip(core.fetch(*source, requests)?) {
                 fetched[i] = Some(got);
             }
@@ -1156,6 +1207,20 @@ impl UniviStorJob {
         let mut parts = Vec::with_capacity(n);
         for (fragment, got) in fragments.iter().zip(fetched) {
             let (payload, tier) = got.expect("every fragment fetched");
+            // Verify stamped records and reroute to the alternate copy on
+            // a failure, exactly like the locked service; the refetch is
+            // one more message to the alternate's owning worker.
+            let (payload, tier) = finish_fragment(
+                fragment,
+                payload,
+                tier,
+                &mut |alt_client, alt_va, alt_len| {
+                    let got = core.fetch(alt_client, vec![(alt_va, alt_len)])?;
+                    Ok(got.into_iter().next().expect("one span requested"))
+                },
+                Some(&self.metrics),
+                Some(&self.corrupt_queue),
+            )?;
             classify_fragment(
                 &self.cfg.geometry,
                 self.cfg.features.location_aware_reads,
@@ -1399,6 +1464,103 @@ impl UniviStorJob {
     /// The engine's shared state (ledgers, gates, counters).
     pub(crate) fn tiering_state(&self) -> &TieringState {
         &self.tiering
+    }
+
+    /// The integrity scrubber's control surface: run passes synchronously,
+    /// inspect the repair backlog.
+    pub fn scrub(&self) -> ScrubHandle<'_> {
+        ScrubHandle::new(self)
+    }
+
+    /// Chaos drill (tests, soak harnesses): silently corrupt the stored
+    /// primary copy of every record overlapping `[offset, offset + len)`
+    /// of `path` — and the replica copies too when `include_replicas` —
+    /// by registering targeted bit flips with the fault injector. The
+    /// index entries are untouched: subsequent reads see wrong bytes at
+    /// the storage layer, exactly like silent media corruption. Returns
+    /// the number of copies corrupted. Requires a configured
+    /// [`FaultConfig`](crate::fault::FaultConfig).
+    pub fn corrupt_stored_range(
+        &self,
+        path: &str,
+        offset: u64,
+        len: u64,
+        include_replicas: bool,
+    ) -> Result<usize> {
+        let inj = self.injector.as_ref().ok_or_else(|| {
+            Error::new(
+                "corrupt",
+                SimError::InvalidConfig(
+                    "targeted corruption requires a fault injector (cfg.fault)".into(),
+                ),
+            )
+        })?;
+        let fid = self
+            .files
+            .read()
+            .expect("file table poisoned")
+            .get(path)
+            .ok_or_else(|| {
+                Error::new(
+                    "corrupt",
+                    SimError::InvalidConfig(format!("corrupt of unopened '{path}'")),
+                )
+            })?
+            .fid;
+        let records = self.with_core(|core| {
+            let (_, records) = core.metadata.lookup_range(fid, offset, offset + len);
+            records
+        });
+        let mut corrupted = 0;
+        for (_, rec) in records {
+            inj.corrupt_span(rec.client, rec.va, rec.len);
+            corrupted += 1;
+            if include_replicas {
+                if let Some((rc, rva)) = rec.replica {
+                    inj.corrupt_span(rc, rva, rec.len);
+                    corrupted += 1;
+                }
+            }
+        }
+        Ok(corrupted)
+    }
+
+    /// The reader-reported corrupt-copy queue.
+    pub(crate) fn corrupt_queue(&self) -> &CorruptQueue {
+        &self.corrupt_queue
+    }
+
+    /// The scrub engine's shared state (cursors, gates, counters).
+    pub(crate) fn scrub_state(&self) -> &ScrubState {
+        &self.scrub
+    }
+
+    /// Run one scrub pass for `node`: drain this node's share of the
+    /// corrupt queue, then verify a budgeted slice of this node's records
+    /// (see [`crate::scrub`]). Safe to run while clients keep writing and
+    /// reading — repairs swap records with the same compare-and-swap
+    /// discipline as online repair and lose gracefully to overwrites.
+    pub(crate) fn scrub_pass(&self, node: usize) -> Result<ScrubReport> {
+        let files = self.file_spans();
+        let failed = self
+            .failed_nodes
+            .read()
+            .expect("failed set poisoned")
+            .clone();
+        self.with_core(|core| {
+            let ctx = ScrubCtx {
+                cfg: &self.cfg,
+                metadata: &core.metadata,
+                chains: &core.chains,
+                metrics: &self.metrics,
+                state: &self.scrub,
+                queue: &self.corrupt_queue,
+                files,
+                failed,
+            };
+            run_scrub_pass(&ctx, node)
+        })
+        .map_err(|e| Error::new("scrub", e))
     }
 
     /// Run one tiering pass for `node` with the given phase selection.

@@ -852,6 +852,15 @@ fn migrate_record(
     }) else {
         return Ok(false);
     };
+    // Never migrate a copy that fails its write-commit stamp: moving it
+    // would destroy the healthy source VA this record points at. Leave
+    // the segment in place for the read path / scrubber to repair.
+    if let Some(sum) = rec.checksum {
+        if payload.content_checksum() != sum {
+            ctx.metrics.record_verify_failure("tiering");
+            return Ok(false);
+        }
+    }
     let chunk = ctx.cfg.chunk_size;
     let mut sub = Vec::with_capacity((rec.len / chunk) as usize + 1);
     let mut pos = 0u64;
@@ -1062,6 +1071,7 @@ mod tests {
             va: crate::va::VirtualAddr(0),
             len,
             replica: None,
+            checksum: None,
         };
         {
             let mut drain = state.drain.lock().unwrap();
@@ -1103,6 +1113,7 @@ mod tests {
                     va: crate::va::VirtualAddr(0),
                     len: 32,
                     replica: None,
+                    checksum: None,
                 },
             );
             drain.insert(

@@ -1,0 +1,382 @@
+//! End-to-end data-integrity tests: silent corruption is detected by the
+//! write-commit checksum, reads reroute to the healthy replica and report
+//! the bad copy, the scrubber repairs it online, and when no clean copy
+//! exists the app gets a typed `Integrity` error — never wrong bytes.
+//! The detection/reroute/repair cycle runs under both server runtimes.
+
+use std::sync::Arc;
+use univistor_core::config::{IntegrityConfig, Runtime, ScrubConfig, UniviStorConfig};
+use univistor_core::fault::FaultConfig;
+use univistor_core::metadata::ClientId;
+use univistor_core::server::UniviStorJob;
+use univistor_core::ScrubDaemon;
+use univistor_sim::Payload;
+
+fn client(rank: u32) -> ClientId {
+    ClientId::new(0, rank)
+}
+
+/// 3 nodes × 2 procs, replication on, roomy DRAM, and a fault injector
+/// configured (targeted corruption needs one even with zero random
+/// probabilities).
+fn integrity_cfg(fault: FaultConfig) -> UniviStorConfig {
+    let mut cfg = UniviStorConfig::test_small(3, 2);
+    cfg.replicate_volatile = true;
+    cfg.cal.dram_cache_capacity_per_node = 8192;
+    cfg.retry.backoff_base_us = 1;
+    cfg.retry.backoff_cap_us = 10;
+    cfg.fault = Some(fault);
+    cfg
+}
+
+/// Every rank writes two 256 B blocks in two waves; returns the job and
+/// the expected file contents.
+fn write_workload(cfg: UniviStorConfig) -> (Arc<UniviStorJob>, Payload) {
+    let ranks = cfg.geometry.total_procs() as u32;
+    let j = Arc::new(UniviStorJob::new(cfg));
+    j.open_file("/data")
+        .write()
+        .representing(ranks as usize)
+        .by(client(0))
+        .unwrap();
+    let wave = ranks as u64 * 256;
+    let mut blocks = Vec::new();
+    for w in 0..2u64 {
+        for rank in 0..ranks {
+            let block = Payload::pattern(w * 100 + rank as u64, 256);
+            let off = w * wave + rank as u64 * 256;
+            j.write(client(rank), "/data", off, block.clone()).unwrap();
+            blocks.push(block);
+        }
+    }
+    (j, Payload::chain(blocks))
+}
+
+/// The tentpole cycle, under both runtimes: corrupt the stored primary of
+/// every record, read back byte-identically (verify failures rerouted to
+/// replicas), confirm the bad copies were reported, repair them with a
+/// synchronous scrub, and read again clean.
+#[test]
+fn corruption_is_rerouted_then_repaired_under_both_runtimes() {
+    for runtime in [Runtime::Locked, Runtime::Partitioned] {
+        let mut cfg = integrity_cfg(FaultConfig {
+            seed: 7,
+            ..FaultConfig::default()
+        });
+        cfg.runtime = runtime;
+        let (j, expected) = write_workload(cfg);
+
+        let corrupted = j
+            .corrupt_stored_range("/data", 0, expected.len(), false)
+            .unwrap();
+        assert!(corrupted > 0, "{runtime:?}: nothing corrupted");
+
+        // Reads never see the flipped bytes: every fragment whose primary
+        // fails its verify is refetched from the replica.
+        let got = j.read(client(0), "/data", 0, expected.len()).unwrap();
+        assert!(
+            got.content_eq(&expected),
+            "{runtime:?}: corrupted primaries leaked wrong bytes"
+        );
+        let snap = j.metrics();
+        let read_failures = snap
+            .counter(
+                "univistor_integrity_verify_failures_total",
+                &[("site", "read")],
+            )
+            .unwrap_or(0);
+        assert!(
+            read_failures as usize >= corrupted,
+            "{runtime:?}: {corrupted} corrupt copies but only {read_failures} read verify failures"
+        );
+        assert!(
+            snap.counter_total("univistor_scrub_corruptions_detected_total") > 0,
+            "{runtime:?}: detections not counted"
+        );
+        let pending = j.scrub().pending_repairs();
+        assert!(
+            pending > 0,
+            "{runtime:?}: rerouted reads must enqueue the bad copies"
+        );
+
+        // Online repair: the scrub pass drains the queue and rebuilds
+        // every bad copy from its verified replica.
+        let report = j.scrub().scrub_now().unwrap();
+        assert!(!report.skipped, "{runtime:?}: {report:?}");
+        assert!(report.queued_reports > 0, "{runtime:?}: {report:?}");
+        assert!(
+            report.repaired_copies >= corrupted as u64,
+            "{runtime:?}: {report:?}"
+        );
+        assert_eq!(report.unrepaired_copies, 0, "{runtime:?}: {report:?}");
+        assert_eq!(j.scrub().pending_repairs(), 0, "{runtime:?}");
+        assert!(j.scrub().passes() > 0, "{runtime:?}");
+        assert!(
+            j.metrics().counter_total("univistor_scrub_repaired_total") >= corrupted as u64,
+            "{runtime:?}"
+        );
+
+        // Post-repair reads are clean — and add no new verify failures.
+        let again = j.read(client(1), "/data", 0, expected.len()).unwrap();
+        assert!(
+            again.content_eq(&expected),
+            "{runtime:?}: repair corrupted data"
+        );
+        let after = j
+            .metrics()
+            .counter(
+                "univistor_integrity_verify_failures_total",
+                &[("site", "read")],
+            )
+            .unwrap_or(0);
+        assert_eq!(
+            after, read_failures,
+            "{runtime:?}: repaired copies still failing verifies"
+        );
+    }
+}
+
+/// The scrubber's index walk finds corruption no reader has touched yet
+/// (phase 2: cursor walk, not just queue draining) and repairs it.
+#[test]
+fn scrub_walk_repairs_unreported_corruption() {
+    let (j, expected) = write_workload(integrity_cfg(FaultConfig {
+        seed: 11,
+        ..FaultConfig::default()
+    }));
+    let corrupted = j
+        .corrupt_stored_range("/data", 0, expected.len(), false)
+        .unwrap();
+    assert!(corrupted > 0);
+    assert_eq!(
+        j.scrub().pending_repairs(),
+        0,
+        "no reader reported anything"
+    );
+
+    let report = j.scrub().scrub_now().unwrap();
+    assert!(report.scanned_records > 0, "{report:?}");
+    assert!(report.corrupt_copies >= corrupted as u64, "{report:?}");
+    assert!(report.repaired_copies >= corrupted as u64, "{report:?}");
+    assert_eq!(report.unrepaired_copies, 0, "{report:?}");
+    let snap = j.metrics();
+    assert!(snap.counter_total("univistor_scrub_segments_total") > 0);
+    assert!(
+        snap.counter(
+            "univistor_integrity_verify_failures_total",
+            &[("site", "scrub")]
+        )
+        .unwrap_or(0)
+            > 0
+    );
+
+    let got = j.read(client(0), "/data", 0, expected.len()).unwrap();
+    assert!(got.content_eq(&expected));
+    assert_eq!(
+        j.metrics()
+            .counter(
+                "univistor_integrity_verify_failures_total",
+                &[("site", "read")]
+            )
+            .unwrap_or(0),
+        0,
+        "scrub-repaired data must read clean on the first try"
+    );
+}
+
+/// With both copies corrupt, the read fails with the typed `Integrity`
+/// error naming the verify site — not wrong bytes, not a panic.
+#[test]
+fn no_healthy_copy_is_a_typed_integrity_error() {
+    let (j, expected) = write_workload(integrity_cfg(FaultConfig {
+        seed: 13,
+        ..FaultConfig::default()
+    }));
+    let corrupted = j.corrupt_stored_range("/data", 0, 256, true).unwrap();
+    assert!(corrupted >= 2, "primary and replica both corrupted");
+
+    let err = j.read(client(0), "/data", 0, 256).unwrap_err();
+    assert_eq!(err.op(), "read");
+    assert_eq!(err.path(), Some("/data"));
+    let msg = err.to_string();
+    assert!(
+        msg.contains("integrity failure at read_fetch"),
+        "untyped error: {msg}"
+    );
+
+    // The rest of the file is untouched and still reads clean.
+    let tail = j
+        .read(client(0), "/data", 256, expected.len() - 256)
+        .unwrap();
+    assert!(tail.content_eq(&expected.slice(256, expected.len() - 256)));
+}
+
+/// An unreplicated job has no healthy copy to reroute to: corruption of
+/// the single copy is a typed error, and the scrubber reports it
+/// unrepairable rather than laundering it.
+#[test]
+fn unreplicated_corruption_cannot_be_repaired() {
+    let mut cfg = integrity_cfg(FaultConfig {
+        seed: 17,
+        ..FaultConfig::default()
+    });
+    cfg.replicate_volatile = false;
+    let (j, expected) = write_workload(cfg);
+    let corrupted = j.corrupt_stored_range("/data", 0, 256, false).unwrap();
+    assert!(corrupted > 0);
+
+    let err = j.read(client(0), "/data", 0, 256).unwrap_err();
+    assert!(err.to_string().contains("integrity failure"), "{err}");
+
+    let report = j.scrub().scrub_now().unwrap();
+    assert!(report.corrupt_copies > 0, "{report:?}");
+    assert_eq!(report.repaired_copies, 0, "{report:?}");
+    assert!(report.unrepaired_copies > 0, "{report:?}");
+    // Untouched spans still read.
+    let tail = j
+        .read(client(0), "/data", 256, expected.len() - 256)
+        .unwrap();
+    assert!(tail.content_eq(&expected.slice(256, expected.len() - 256)));
+}
+
+/// Random (probability-drawn) corruption replays bit-for-bit under the
+/// same seed: two identical runs detect the same corruptions at the same
+/// sites and return the same read outcomes.
+#[test]
+fn seeded_corruption_replays_deterministically() {
+    let run = || {
+        let fault = FaultConfig {
+            seed: 99,
+            corrupt_prob: 0.2,
+            ..FaultConfig::default()
+        };
+        let (j, expected) = write_workload(integrity_cfg(fault));
+        // Reads may fail when both copies drew corruption — capture the
+        // outcome rather than asserting success.
+        let mut outcomes = Vec::new();
+        let ranks = j.cfg().geometry.total_procs() as u32;
+        let wave = ranks as u64 * 256;
+        for w in 0..2u64 {
+            for rank in 0..ranks {
+                let off = w * wave + rank as u64 * 256;
+                match j.read(client(rank), "/data", off, 256) {
+                    Ok(p) => {
+                        assert!(
+                            p.content_eq(&expected.slice(off, 256)),
+                            "a successful read returned wrong bytes"
+                        );
+                        outcomes.push(true);
+                    }
+                    Err(e) => {
+                        assert!(e.to_string().contains("integrity failure"), "{e}");
+                        outcomes.push(false);
+                    }
+                }
+            }
+        }
+        let snap = j.metrics();
+        (
+            outcomes,
+            snap.counter(
+                "univistor_integrity_verify_failures_total",
+                &[("site", "read")],
+            )
+            .unwrap_or(0),
+            snap.counter_total("univistor_scrub_corruptions_detected_total"),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same-seed corruption runs diverged");
+    assert!(
+        a.1 > 0,
+        "a 20% draw over 12 appends should corrupt something"
+    );
+}
+
+/// The background daemon: disabled configs spawn zero actors; enabled
+/// configs spawn one per node and repair reader-reported corruption
+/// without any synchronous scrub call.
+#[test]
+fn scrub_daemon_repairs_in_the_background() {
+    // Disabled (the default): no threads at all.
+    let (j, _) = write_workload(integrity_cfg(FaultConfig::default()));
+    let idle = ScrubDaemon::spawn(Arc::clone(&j));
+    assert_eq!(idle.actors(), 0, "disabled scrubber must spawn no actors");
+    idle.shutdown();
+
+    // Enabled: per-node actors drain the corrupt queue on their own.
+    let mut cfg = integrity_cfg(FaultConfig {
+        seed: 23,
+        ..FaultConfig::default()
+    });
+    cfg.integrity = IntegrityConfig {
+        checksums: true,
+        scrub: ScrubConfig {
+            interval_ms: 1,
+            ..ScrubConfig::on()
+        },
+    };
+    let nodes = cfg.geometry.nodes;
+    let (j, expected) = write_workload(cfg);
+    let daemon = ScrubDaemon::spawn(Arc::clone(&j));
+    assert_eq!(daemon.actors(), nodes);
+
+    let corrupted = j
+        .corrupt_stored_range("/data", 0, expected.len(), false)
+        .unwrap();
+    assert!(corrupted > 0);
+    // A read routes around the corruption and files the reports the
+    // daemon will pick up.
+    let got = j.read(client(0), "/data", 0, expected.len()).unwrap();
+    assert!(got.content_eq(&expected));
+
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while j.metrics().counter_total("univistor_scrub_repaired_total") < corrupted as u64 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "daemon did not repair {corrupted} copies in time: {:?}",
+            j.metrics().counter_total("univistor_scrub_repaired_total")
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    daemon.shutdown();
+    assert_eq!(j.scrub().pending_repairs(), 0);
+    let again = j.read(client(1), "/data", 0, expected.len()).unwrap();
+    assert!(again.content_eq(&expected));
+}
+
+/// Flushing to Lustre verifies every gathered span: with the primary
+/// corrupt the flush drains from the verified replica, and the bytes on
+/// the PFS match what was written.
+#[test]
+fn flush_gathers_from_verified_replica_when_primary_is_corrupt() {
+    use univistor_mpi::driver::OpenMode;
+    let (j, expected) = write_workload(integrity_cfg(FaultConfig {
+        seed: 29,
+        ..FaultConfig::default()
+    }));
+    let corrupted = j
+        .corrupt_stored_range("/data", 0, expected.len(), false)
+        .unwrap();
+    assert!(corrupted > 0);
+    let ranks = j.cfg().geometry.total_procs();
+    j.close("/data", client(0), OpenMode::Write, ranks, true)
+        .unwrap()
+        .expect("last close flushes");
+    let pfs = j.lustre_read("/data", 0, expected.len()).unwrap();
+    assert!(
+        pfs.content_eq(&expected),
+        "flush persisted corrupt bytes to the PFS"
+    );
+    assert!(
+        j.metrics()
+            .counter(
+                "univistor_integrity_verify_failures_total",
+                &[("site", "flush")]
+            )
+            .unwrap_or(0)
+            > 0,
+        "the flush should have hit (and rerouted around) the corruption"
+    );
+}

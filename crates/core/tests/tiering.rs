@@ -125,10 +125,8 @@ fn daemon_races_flush_and_repair_under_faults() {
         cfg.tiering.drain_cadence_ops = 4;
         cfg.fault = Some(FaultConfig {
             seed,
-            fail_node_at: Vec::new(),
             transient_prob: 0.03,
-            tier_transient_prob: Vec::new(),
-            op_latency_us: 0,
+            ..FaultConfig::default()
         });
         let j = Arc::new(UniviStorJob::new(cfg));
         j.open_file("/race")

@@ -23,6 +23,12 @@ pub enum SimError {
     /// attempts had been made when the error was surfaced (0 = first try;
     /// retry loops rewrite it so an exhausted error carries the budget).
     Transient { site: String, attempt: u64 },
+    /// A checksum verify failed and no clean copy of the data exists.
+    /// Not retryable: the bytes on every copy disagree with the checksum
+    /// stamped at write commit. `site` is the verify point that detected
+    /// it (`read_fetch`, `flush_gather`, `tiering_copy`, `repair_source`,
+    /// `scrub`).
+    Integrity { site: String, offset: u64, len: u64 },
 }
 
 impl fmt::Display for SimError {
@@ -45,6 +51,10 @@ impl fmt::Display for SimError {
             SimError::Transient { site, attempt } => {
                 write!(f, "transient fault at {site} (attempt {attempt})")
             }
+            SimError::Integrity { site, offset, len } => write!(
+                f,
+                "integrity failure at {site}: no clean copy of [{offset}, +{len} bytes)"
+            ),
         }
     }
 }

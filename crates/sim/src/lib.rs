@@ -44,7 +44,7 @@ pub use buffer::SparseBuffer;
 pub use bytes::Bytes;
 pub use error::{SimError, SimResult};
 pub use flow::{FlowId, FlowOutcome, FlowSim, FlowSpec};
-pub use payload::Payload;
+pub use payload::{Checksum, Payload};
 pub use resource::{Resource, ResourceId};
 pub use time::SimTime;
 pub use topology::{ClusterResources, ClusterSpec};

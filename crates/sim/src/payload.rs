@@ -44,7 +44,7 @@ pub enum Payload {
 
 /// SplitMix64 — small, fast, high-quality 64-bit mixer used for pattern data.
 #[inline]
-pub fn splitmix64(mut z: u64) -> u64 {
+pub const fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -261,28 +261,251 @@ impl Payload {
         self.to_bytes() == other.to_bytes()
     }
 
-    /// FNV-1a checksum of the content. O(len); for verification at small
-    /// and medium scale.
+    /// Content checksum of the payload: absorb into a fresh
+    /// [`Checksum`] state and fold. Streams synthetic payloads (patterns
+    /// block-wise, zero runs in closed form) without materializing them,
+    /// so it is safe on any payload size.
     pub fn content_checksum(&self) -> u64 {
-        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
-        let mut h = FNV_OFFSET;
+        let mut state = Checksum::new();
+        self.absorb_to(&mut state);
+        state.finalize()
+    }
+
+    /// Absorb this payload's bytes into a running [`Checksum`] state.
+    /// Absorbing payloads in sequence equals checksumming their
+    /// concatenation — the write pipelines use this to stamp coalesced
+    /// records without assembling the merged payload.
+    pub fn absorb_to(&self, state: &mut Checksum) {
         match self {
-            Payload::Chain(parts) => {
-                for part in parts {
-                    for b in part.to_bytes().iter() {
-                        h = (h ^ *b as u64).wrapping_mul(FNV_PRIME);
+            Payload::Bytes(b) => state.absorb_bytes(b),
+            Payload::Zeros { len } => state.absorb_zeros(*len),
+            Payload::Pattern { seed, offset, len } => {
+                let mut pos = *offset;
+                let end = offset + len;
+                while pos < end {
+                    // Fast path: the stream word boundary and the pattern
+                    // block boundary coincide, so whole blocks absorb as
+                    // words in one register-resident bulk loop.
+                    if state.word_aligned() && pos % 8 == 0 && end - pos >= 32 {
+                        let quads = (end - pos) / 32;
+                        state.absorb_pattern_quads(*seed, pos / 8, quads);
+                        pos += quads * 32;
+                    } else if state.word_aligned() && pos % 8 == 0 && end - pos >= 8 {
+                        state.absorb_word(splitmix64(seed ^ (pos / 8)));
+                        pos += 8;
+                    } else {
+                        let block = splitmix64(seed ^ (pos / 8));
+                        let in_block = (pos % 8) as u32;
+                        let take = ((8 - in_block) as u64).min(end - pos) as u32;
+                        let shifted = block >> (8 * in_block);
+                        state.absorb_bytes(&shifted.to_le_bytes()[..take as usize]);
+                        pos += take as u64;
                     }
                 }
             }
-            _ => {
-                for b in self.to_bytes().iter() {
-                    h = (h ^ *b as u64).wrapping_mul(FNV_PRIME);
+            Payload::Chain(parts) => {
+                for p in parts {
+                    p.absorb_to(state);
                 }
             }
         }
-        h
     }
+}
+
+/// The lane multiplier (odd, so xor-then-multiply is a bijection per
+/// absorb and corruption can never cancel out of a lane).
+const WORD_MUL: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Distinct nonzero lane seeds.
+const LANE_INIT: [u64; 4] = [splitmix64(1), splitmix64(2), splitmix64(3), splitmix64(4)];
+
+/// Streaming content-checksum state: four multiply-xor lanes fed
+/// round-robin with the stream's 8-byte little-endian words, a
+/// partial-word buffer so arbitrary byte splits compose exactly, and a
+/// length-aware final fold.
+///
+/// The digest is a pure function of the byte stream — however that
+/// stream is split across payloads, chain parts, or representation
+/// (bytes vs. synthetic). Word-granular absorption keeps four
+/// independent multiply chains in flight, so verifying runs at
+/// memcpy-class throughput instead of the one-multiply-per-byte serial
+/// chain of a classic FNV loop; any corruption of a word changes its
+/// lane irreversibly (each absorb is a bijection), and zero runs and
+/// length changes are caught by the word counter folded into
+/// [`finalize`](Checksum::finalize).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Checksum {
+    lanes: [u64; 4],
+    /// Bytes of the in-progress stream word, little-endian, low bytes
+    /// first.
+    partial: u64,
+    /// How many bytes of `partial` are filled (0..8).
+    partial_len: u32,
+    /// Completed stream words — selects the next lane round-robin.
+    words: u64,
+}
+
+impl Default for Checksum {
+    fn default() -> Self {
+        Checksum::new()
+    }
+}
+
+impl Checksum {
+    /// A fresh state (no bytes absorbed).
+    pub fn new() -> Self {
+        Checksum {
+            lanes: LANE_INIT,
+            partial: 0,
+            partial_len: 0,
+            words: 0,
+        }
+    }
+
+    /// Whether the stream position is on an 8-byte word boundary.
+    #[inline]
+    fn word_aligned(&self) -> bool {
+        self.partial_len == 0
+    }
+
+    #[inline]
+    fn absorb_word(&mut self, w: u64) {
+        let lane = (self.words & 3) as usize;
+        self.lanes[lane] = (self.lanes[lane] ^ w).wrapping_mul(WORD_MUL);
+        self.words += 1;
+    }
+
+    /// Absorb `quads * 4` consecutive synthetic pattern blocks starting
+    /// at `first_block`, word-aligned. The lanes live in locals for the
+    /// whole run, so the hot loop is four independent xor-multiply
+    /// chains plus the block generation — no per-word state traffic.
+    fn absorb_pattern_quads(&mut self, seed: u64, first_block: u64, quads: u64) {
+        let p = (self.words & 3) as usize;
+        let mut l0 = self.lanes[p];
+        let mut l1 = self.lanes[(p + 1) & 3];
+        let mut l2 = self.lanes[(p + 2) & 3];
+        let mut l3 = self.lanes[(p + 3) & 3];
+        let mut k = first_block;
+        for _ in 0..quads {
+            l0 = (l0 ^ splitmix64(seed ^ k)).wrapping_mul(WORD_MUL);
+            l1 = (l1 ^ splitmix64(seed ^ (k + 1))).wrapping_mul(WORD_MUL);
+            l2 = (l2 ^ splitmix64(seed ^ (k + 2))).wrapping_mul(WORD_MUL);
+            l3 = (l3 ^ splitmix64(seed ^ (k + 3))).wrapping_mul(WORD_MUL);
+            k += 4;
+        }
+        self.lanes[p] = l0;
+        self.lanes[(p + 1) & 3] = l1;
+        self.lanes[(p + 2) & 3] = l2;
+        self.lanes[(p + 3) & 3] = l3;
+        self.words += quads * 4;
+    }
+
+    #[inline]
+    fn push_byte(&mut self, b: u8) {
+        self.partial |= (b as u64) << (8 * self.partial_len);
+        self.partial_len += 1;
+        if self.partial_len == 8 {
+            let w = self.partial;
+            self.partial = 0;
+            self.partial_len = 0;
+            self.absorb_word(w);
+        }
+    }
+
+    /// Absorb a run of real bytes.
+    pub fn absorb_bytes(&mut self, bytes: &[u8]) {
+        let mut rest = bytes;
+        // Top up a partially-filled word first.
+        while !self.word_aligned() && !rest.is_empty() {
+            self.push_byte(rest[0]);
+            rest = &rest[1..];
+        }
+        // Aligned middle, four words per step with register-resident
+        // lanes (phase is loop-invariant: each step advances the
+        // round-robin by a full cycle).
+        let p = (self.words & 3) as usize;
+        let mut quads = rest.chunks_exact(32);
+        let mut l0 = self.lanes[p];
+        let mut l1 = self.lanes[(p + 1) & 3];
+        let mut l2 = self.lanes[(p + 2) & 3];
+        let mut l3 = self.lanes[(p + 3) & 3];
+        let mut n = 0u64;
+        for q in &mut quads {
+            let w0 = u64::from_le_bytes(q[0..8].try_into().expect("quad word"));
+            let w1 = u64::from_le_bytes(q[8..16].try_into().expect("quad word"));
+            let w2 = u64::from_le_bytes(q[16..24].try_into().expect("quad word"));
+            let w3 = u64::from_le_bytes(q[24..32].try_into().expect("quad word"));
+            l0 = (l0 ^ w0).wrapping_mul(WORD_MUL);
+            l1 = (l1 ^ w1).wrapping_mul(WORD_MUL);
+            l2 = (l2 ^ w2).wrapping_mul(WORD_MUL);
+            l3 = (l3 ^ w3).wrapping_mul(WORD_MUL);
+            n += 4;
+        }
+        self.lanes[p] = l0;
+        self.lanes[(p + 1) & 3] = l1;
+        self.lanes[(p + 2) & 3] = l2;
+        self.lanes[(p + 3) & 3] = l3;
+        self.words += n;
+        let rest = quads.remainder();
+        let mut words = rest.chunks_exact(8);
+        for w in &mut words {
+            self.absorb_word(u64::from_le_bytes(w.try_into().expect("8-byte chunk")));
+        }
+        for &b in words.remainder() {
+            self.push_byte(b);
+        }
+    }
+
+    /// Absorb a run of `n` zero bytes in O(log n): a zero word maps a
+    /// lane to `lane · M`, so each lane soaks up `M^(its share of the
+    /// run)` in closed form.
+    pub fn absorb_zeros(&mut self, mut n: u64) {
+        while !self.word_aligned() && n > 0 {
+            self.push_byte(0);
+            n -= 1;
+        }
+        let k = n / 8;
+        if k > 0 {
+            for j in 0..4u64 {
+                let lane = ((self.words + j) & 3) as usize;
+                let cnt = k / 4 + u64::from(j < k % 4);
+                self.lanes[lane] = self.lanes[lane].wrapping_mul(pow_mul(WORD_MUL, cnt));
+            }
+            self.words += k;
+            n -= k * 8;
+        }
+        // Trailing zero bytes buffer into the (all-zero) partial word.
+        self.partial_len += n as u32;
+    }
+
+    /// Fold the state to the 64-bit digest. Pure: the state keeps
+    /// absorbing afterwards — the coalescing write paths re-finalize as
+    /// a record grows under them.
+    pub fn finalize(&self) -> u64 {
+        let len = self
+            .words
+            .wrapping_mul(8)
+            .wrapping_add(self.partial_len as u64);
+        let mut h = self.partial.wrapping_add(splitmix64(len));
+        for &lane in &self.lanes {
+            h = (h ^ lane).wrapping_mul(WORD_MUL);
+        }
+        splitmix64(h)
+    }
+}
+
+/// `base^n mod 2^64` by binary exponentiation — the closed form of a
+/// zero-word run's lane transform.
+fn pow_mul(mut base: u64, mut n: u64) -> u64 {
+    let mut acc = 1u64;
+    while n > 0 {
+        if n & 1 == 1 {
+            acc = acc.wrapping_mul(base);
+        }
+        base = base.wrapping_mul(base);
+        n >>= 1;
+    }
+    acc
 }
 
 impl fmt::Debug for Payload {
@@ -433,5 +656,100 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn slice_out_of_range_panics() {
         Payload::pattern(1, 10).slice(5, 6);
+    }
+
+    #[test]
+    fn checksum_is_representation_independent() {
+        // Same bytes through every representation → same checksum.
+        let shapes = [
+            Payload::pattern(11, 300).slice(7, 200),
+            Payload::zeros(129),
+            Payload::chain([
+                Payload::from_bytes(&b"abc"[..]),
+                Payload::zeros(17),
+                Payload::pattern(3, 64).slice(1, 60),
+            ]),
+        ];
+        for p in shapes {
+            let materialized = Payload::from_bytes(p.to_bytes());
+            assert_eq!(p.content_checksum(), materialized.content_checksum());
+        }
+    }
+
+    #[test]
+    fn checksum_state_composes_like_concatenation() {
+        let a = Payload::pattern(5, 100);
+        let b = Payload::zeros(33);
+        let c = Payload::from_bytes(&b"tail"[..]);
+        let whole = Payload::chain([a.clone(), b.clone(), c.clone()]);
+        let mut state = Checksum::new();
+        a.absorb_to(&mut state);
+        b.absorb_to(&mut state);
+        c.absorb_to(&mut state);
+        assert_eq!(whole.content_checksum(), state.finalize());
+    }
+
+    #[test]
+    fn checksum_is_split_invariant_at_any_byte_boundary() {
+        // The digest must be a pure function of the byte stream no
+        // matter how awkwardly the stream is partitioned — the write
+        // pipelines chain arbitrary-size payloads through one state.
+        let bytes: Vec<u8> = (0..97u8).collect();
+        let expected = Payload::from_bytes(bytes.clone()).content_checksum();
+        for split in [1usize, 3, 7, 8, 9, 31, 32, 33, 64, 96] {
+            let mut state = Checksum::new();
+            state.absorb_bytes(&bytes[..split]);
+            state.absorb_bytes(&bytes[split..]);
+            assert_eq!(state.finalize(), expected, "diverged at split {split}");
+        }
+        // Zero runs interleaved with bytes at odd offsets.
+        let with_zeros = Payload::chain([
+            Payload::from_bytes(&bytes[..5]),
+            Payload::zeros(41),
+            Payload::from_bytes(&bytes[5..]),
+        ]);
+        let materialized = Payload::from_bytes(with_zeros.to_bytes());
+        assert_eq!(
+            with_zeros.content_checksum(),
+            materialized.content_checksum()
+        );
+    }
+
+    #[test]
+    fn checksum_detects_single_byte_and_length_changes() {
+        let bytes: Vec<u8> = (0..64u8).collect();
+        let clean = Payload::from_bytes(bytes.clone()).content_checksum();
+        for i in 0..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[i] ^= 0xFF;
+            assert_ne!(
+                Payload::from_bytes(flipped).content_checksum(),
+                clean,
+                "flip at byte {i} undetected"
+            );
+        }
+        assert_ne!(
+            Payload::from_bytes(&bytes[..63]).content_checksum(),
+            clean,
+            "truncation undetected"
+        );
+        assert_ne!(
+            Payload::zeros(64).content_checksum(),
+            Payload::zeros(72).content_checksum(),
+            "zero-run length change undetected"
+        );
+    }
+
+    #[test]
+    fn huge_synthetic_checksum_never_materializes() {
+        // Checksumming must stream: a 2 TB zero run is O(log n), and a
+        // large pattern is block-wise with no allocation.
+        let z = Payload::zeros(2 << 40);
+        let _ = z.content_checksum();
+        let p = Payload::pattern(9, 8 << 20);
+        assert_eq!(
+            p.content_checksum(),
+            Payload::from_bytes(p.to_bytes()).content_checksum()
+        );
     }
 }
